@@ -1,0 +1,426 @@
+// Benchmarks reproducing the Loom paper's tables and figures. One
+// testing.B target per experiment (see DESIGN.md §3 for the index), plus
+// per-partitioner micro-benchmarks whose ns/op is directly comparable to
+// Table 2 (time to partition a 10k-edge stream).
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// or regenerate a single artefact, e.g.:
+//
+//	go test -bench=BenchmarkFig7 -benchtime=1x -v
+//
+// The figure benchmarks print their paper-style tables when run with -v via
+// b.Log; cmd/loom-bench renders the same tables to stdout with more knobs.
+package loom_test
+
+import (
+	"bytes"
+	"testing"
+
+	"loom/internal/bench"
+	"loom/internal/core"
+	"loom/internal/dataset"
+	"loom/internal/graph"
+	"loom/internal/partition"
+	"loom/internal/refine"
+	"loom/internal/signature"
+	"loom/internal/simulate"
+	"loom/internal/tpstry"
+	"loom/internal/window"
+	"loom/internal/workload"
+)
+
+// benchCfg is the shared harness configuration for the figure/table
+// benchmarks: small enough that the full suite runs in minutes, large
+// enough that every relative comparison holds.
+func benchCfg() bench.Config {
+	return bench.Config{
+		Scale:      6000,
+		Seed:       42,
+		K:          8,
+		WindowSize: 1024,
+		MaxMatches: 100_000,
+	}
+}
+
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.RunTable1(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			var buf bytes.Buffer
+			bench.RenderTable1(&buf, rows)
+			b.Log("\n" + buf.String())
+		}
+	}
+}
+
+func BenchmarkFig4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts := bench.RunFig4()
+		if i == 0 {
+			var buf bytes.Buffer
+			bench.RenderFig4(&buf, pts)
+			b.Log("\n" + buf.String())
+		}
+	}
+}
+
+func BenchmarkFig7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cells, err := bench.RunFig7(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			var buf bytes.Buffer
+			bench.RenderIPTCells(&buf, "Fig. 7: ipt vs Hash, 8-way, three stream orders", cells)
+			b.Logf("\n%smedian Loom reduction vs Fennel: %.1f%%", buf.String(), bench.SummarizeLoomVsFennel(cells))
+		}
+	}
+}
+
+func BenchmarkFig8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cells, err := bench.RunFig8(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			var buf bytes.Buffer
+			bench.RenderIPTCells(&buf, "Fig. 8: ipt vs Hash, k ∈ {2,8,32}, bfs streams", cells)
+			b.Logf("\n%smedian Loom reduction vs Fennel: %.1f%%", buf.String(), bench.SummarizeLoomVsFennel(cells))
+		}
+	}
+}
+
+func BenchmarkFig9(b *testing.B) {
+	cfg := benchCfg()
+	cfg.Datasets = []string{"provgen", "musicbrainz"}
+	for i := 0; i < b.N; i++ {
+		pts, err := bench.RunFig9(cfg, []int{64, 256, 1024, 4096})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			var buf bytes.Buffer
+			bench.RenderFig9(&buf, pts)
+			b.Log("\n" + buf.String())
+		}
+	}
+}
+
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.RunTable2(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			var buf bytes.Buffer
+			bench.RenderTable2(&buf, rows)
+			b.Log("\n" + buf.String())
+		}
+	}
+}
+
+func BenchmarkAblation(b *testing.B) {
+	cfg := benchCfg()
+	cfg.Datasets = []string{"musicbrainz"}
+	for i := 0; i < b.N; i++ {
+		cells, err := bench.RunAblation(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			var buf bytes.Buffer
+			bench.RenderAblation(&buf, cells)
+			b.Log("\n" + buf.String())
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Micro-benchmarks: time to partition a 10k-edge stream (Table 2's unit).
+// ---------------------------------------------------------------------------
+
+// tenKStream generates a 10k-edge BFS stream of the MusicBrainz-like graph
+// (the paper's most heterogeneous dataset) once per benchmark binary.
+func tenKStream(b *testing.B) (graph.Stream, *graph.Graph) {
+	b.Helper()
+	g, err := dataset.Generate("musicbrainz", 4500, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := graph.StreamOf(g, graph.OrderBFS, nil)
+	if len(s) < 10_000 {
+		b.Fatalf("stream too short: %d", len(s))
+	}
+	return s[:10_000], g
+}
+
+func streamVertexCount(s graph.Stream) int {
+	seen := make(map[graph.VertexID]struct{})
+	for _, e := range s {
+		seen[e.U] = struct{}{}
+		seen[e.V] = struct{}{}
+	}
+	return len(seen)
+}
+
+func BenchmarkHashPartition10k(b *testing.B) {
+	s, _ := tenKStream(b)
+	n := streamVertexCount(s)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := partition.NewHash(8, partition.CapacityFor(n, 8, partition.DefaultImbalance))
+		for _, e := range s {
+			p.ProcessEdge(e)
+		}
+		p.Flush()
+	}
+}
+
+func BenchmarkLDGPartition10k(b *testing.B) {
+	s, _ := tenKStream(b)
+	n := streamVertexCount(s)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := partition.NewLDG(8, partition.CapacityFor(n, 8, partition.DefaultImbalance))
+		for _, e := range s {
+			p.ProcessEdge(e)
+		}
+		p.Flush()
+	}
+}
+
+func BenchmarkFennelPartition10k(b *testing.B) {
+	s, _ := tenKStream(b)
+	n := streamVertexCount(s)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := partition.NewFennel(8, n, len(s))
+		for _, e := range s {
+			p.ProcessEdge(e)
+		}
+		p.Flush()
+	}
+}
+
+func BenchmarkLoomPartition10k(b *testing.B) {
+	s, _ := tenKStream(b)
+	n := streamVertexCount(s)
+	wl, err := workload.ForDataset("musicbrainz")
+	if err != nil {
+		b.Fatal(err)
+	}
+	scheme := signature.NewScheme(signature.DefaultP, 42)
+	scheme.RegisterLabels(dataset.DatasetLabels("musicbrainz"))
+	trie, err := wl.BuildTrie(scheme)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := core.New(core.Config{
+			K:        8,
+			Capacity: partition.CapacityFor(n, 8, partition.DefaultImbalance),
+			// Paper configuration: window 10k, T = 40%.
+			WindowSize:       10_000,
+			SupportThreshold: 0.40,
+		}, trie)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, e := range s {
+			p.ProcessEdge(e)
+		}
+		p.Flush()
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Component micro-benchmarks.
+// ---------------------------------------------------------------------------
+
+func BenchmarkSignatureOfQueryGraph(b *testing.B) {
+	wl, err := workload.ForDataset("lubm")
+	if err != nil {
+		b.Fatal(err)
+	}
+	scheme := signature.NewScheme(signature.DefaultP, 1)
+	q := wl.Queries[0].Pattern
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = scheme.SignatureOf(q)
+	}
+}
+
+func BenchmarkEdgeDelta(b *testing.B) {
+	scheme := signature.NewScheme(signature.DefaultP, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = scheme.EdgeDelta("Person", i%4, "Paper", (i+1)%4)
+	}
+}
+
+func BenchmarkTrieConstruction(b *testing.B) {
+	wl, err := workload.ForDataset("musicbrainz")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		scheme := signature.NewScheme(signature.DefaultP, 42)
+		trie := tpstry.New(scheme)
+		for _, q := range wl.Queries {
+			if err := trie.AddQuery(q.Pattern, q.Freq); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkWindowInsert(b *testing.B) {
+	s, _ := tenKStream(b)
+	wl, err := workload.ForDataset("musicbrainz")
+	if err != nil {
+		b.Fatal(err)
+	}
+	scheme := signature.NewScheme(signature.DefaultP, 42)
+	scheme.RegisterLabels(dataset.DatasetLabels("musicbrainz"))
+	trie, err := wl.BuildTrie(scheme)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := window.NewMatcher(trie, 0.40, len(s)+1)
+		for _, e := range s {
+			if _, ok := w.SingleEdgeMotif(e); ok {
+				if err := w.Insert(e); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkSimulation(b *testing.B) {
+	cfg := benchCfg()
+	cfg.Datasets = []string{"provgen"}
+	for i := 0; i < b.N; i++ {
+		cells, err := bench.RunSimulation(cfg, simulate.CostModel{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			var buf bytes.Buffer
+			bench.RenderSimulation(&buf, cells)
+			b.Log("\n" + buf.String())
+		}
+	}
+}
+
+func BenchmarkExtensions(b *testing.B) {
+	cfg := benchCfg()
+	cfg.Datasets = []string{"provgen"}
+	for i := 0; i < b.N; i++ {
+		cells, err := bench.RunExtensions(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			var buf bytes.Buffer
+			bench.RenderExtensions(&buf, cells)
+			b.Log("\n" + buf.String())
+		}
+	}
+}
+
+func BenchmarkRefine(b *testing.B) {
+	g, err := dataset.Generate("provgen", 4000, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	wl, err := workload.ForDataset("provgen")
+	if err != nil {
+		b.Fatal(err)
+	}
+	scheme := signature.NewScheme(signature.DefaultP, 42)
+	scheme.RegisterLabels(dataset.DatasetLabels("provgen"))
+	trie, err := wl.BuildTrie(scheme)
+	if err != nil {
+		b.Fatal(err)
+	}
+	k := 8
+	capC := partition.CapacityFor(g.NumVertices(), k, partition.DefaultImbalance)
+	h := partition.NewHash(k, capC)
+	for _, se := range graph.StreamOf(g, graph.OrderBFS, nil) {
+		h.ProcessEdge(se)
+	}
+	a := h.Assignment()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := refine.Refine(g, a, trie, refine.Config{Capacity: capC}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMultisetOps(b *testing.B) {
+	base := signature.NewMultiset(3, 17, 42, 42, 99, 120, 200)
+	d := signature.Delta{7, 55, 180}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		grown := base.PlusDelta(d)
+		if _, ok := grown.Minus(base); !ok {
+			b.Fatal("minus failed")
+		}
+	}
+}
+
+func BenchmarkTrieChildLookup(b *testing.B) {
+	wl, err := workload.ForDataset("musicbrainz")
+	if err != nil {
+		b.Fatal(err)
+	}
+	scheme := signature.NewScheme(signature.DefaultP, 42)
+	scheme.RegisterLabels(dataset.DatasetLabels("musicbrainz"))
+	trie, err := wl.BuildTrie(scheme)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := scheme.EdgeDelta(dataset.LArtist, 0, dataset.LAlbum, 0)
+	root := trie.Root()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := root.ChildByDelta(d); !ok {
+			b.Fatal("lookup failed")
+		}
+	}
+}
+
+func BenchmarkWorkloadExecution(b *testing.B) {
+	s, g := tenKStream(b)
+	wl, err := workload.ForDataset("musicbrainz")
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := streamVertexCount(s)
+	p := partition.NewHash(8, partition.CapacityFor(n, 8, partition.DefaultImbalance))
+	for _, e := range s {
+		p.ProcessEdge(e)
+	}
+	a := p.Assignment()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := workload.Execute(g, a, wl, workload.Options{MaxMatchesPerQuery: 50_000}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

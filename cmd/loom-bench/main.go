@@ -1,0 +1,124 @@
+// Command loom-bench reruns the paper's evaluation (§5): every table and
+// figure, at a laptop-friendly scale, printing paper-style text tables.
+//
+// Usage:
+//
+//	loom-bench -exp all
+//	loom-bench -exp fig7 -scale 20000 -k 8
+//	loom-bench -exp fig9 -datasets musicbrainz
+//
+// Experiments: table1, fig4, fig7, fig8, fig9, table2, ablation, all.
+// See EXPERIMENTS.md for how each output maps onto the paper's results.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"loom/internal/bench"
+	"loom/internal/simulate"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment: table1, fig4, fig7, fig8, fig9, table2, ablation, extensions, simulate, motifs, all")
+		scale    = flag.Int("scale", 12000, "per-dataset target vertex count")
+		seed     = flag.Int64("seed", 42, "seed for generation/shuffles/signatures")
+		k        = flag.Int("k", 8, "partitions (fig7/fig9/table2)")
+		win      = flag.Int("window", 2048, "Loom window size at harness scale")
+		datasets = flag.String("datasets", "", "comma-separated subset (default: dblp,provgen,musicbrainz,lubm)")
+	)
+	flag.Parse()
+
+	cfg := bench.Config{Scale: *scale, Seed: *seed, K: *k, WindowSize: *win}
+	if *datasets != "" {
+		cfg.Datasets = strings.Split(*datasets, ",")
+	}
+	if err := run(*exp, cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "loom-bench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, cfg bench.Config) error {
+	runOne := func(name string) error {
+		start := time.Now()
+		defer func() {
+			fmt.Printf("(%s completed in %s)\n\n", name, time.Since(start).Round(time.Millisecond))
+		}()
+		switch name {
+		case "table1":
+			rows, err := bench.RunTable1(cfg)
+			if err != nil {
+				return err
+			}
+			bench.RenderTable1(os.Stdout, rows)
+		case "fig4":
+			bench.RenderFig4(os.Stdout, bench.RunFig4())
+		case "fig7":
+			cells, err := bench.RunFig7(cfg)
+			if err != nil {
+				return err
+			}
+			bench.RenderIPTCells(os.Stdout, "Fig. 7: ipt vs Hash, 8-way partitionings, three stream orders", cells)
+			fmt.Printf("median Loom ipt reduction vs Fennel: %.1f%%\n", bench.SummarizeLoomVsFennel(cells))
+		case "fig8":
+			cells, err := bench.RunFig8(cfg)
+			if err != nil {
+				return err
+			}
+			bench.RenderIPTCells(os.Stdout, "Fig. 8: ipt vs Hash across k ∈ {2, 8, 32}, breadth-first streams", cells)
+			fmt.Printf("median Loom ipt reduction vs Fennel: %.1f%%\n", bench.SummarizeLoomVsFennel(cells))
+		case "fig9":
+			pts, err := bench.RunFig9(cfg, nil)
+			if err != nil {
+				return err
+			}
+			bench.RenderFig9(os.Stdout, pts)
+		case "table2":
+			rows, err := bench.RunTable2(cfg)
+			if err != nil {
+				return err
+			}
+			bench.RenderTable2(os.Stdout, rows)
+		case "ablation":
+			cells, err := bench.RunAblation(cfg)
+			if err != nil {
+				return err
+			}
+			bench.RenderAblation(os.Stdout, cells)
+		case "extensions":
+			cells, err := bench.RunExtensions(cfg)
+			if err != nil {
+				return err
+			}
+			bench.RenderExtensions(os.Stdout, cells)
+		case "simulate":
+			cells, err := bench.RunSimulation(cfg, simulate.CostModel{})
+			if err != nil {
+				return err
+			}
+			bench.RenderSimulation(os.Stdout, cells)
+		case "motifs":
+			if err := bench.RenderMotifs(os.Stdout, cfg); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("unknown experiment %q", name)
+		}
+		return nil
+	}
+
+	if exp == "all" {
+		for _, name := range []string{"table1", "fig4", "fig7", "fig8", "table2", "fig9", "ablation", "extensions", "simulate"} {
+			if err := runOne(name); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return runOne(exp)
+}

@@ -1,0 +1,36 @@
+package main
+
+import (
+	"testing"
+
+	"loom/internal/bench"
+)
+
+func tinyCfg() bench.Config {
+	return bench.Config{Scale: 900, Seed: 3, K: 2, WindowSize: 64, Datasets: []string{"provgen"}}
+}
+
+func TestRunEachExperiment(t *testing.T) {
+	for _, exp := range []string{"table1", "fig4", "fig9", "table2", "ablation", "extensions", "motifs", "simulate"} {
+		if err := run(exp, tinyCfg()); err != nil {
+			t.Errorf("%s: %v", exp, err)
+		}
+	}
+}
+
+func TestRunFig7AndFig8(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for _, exp := range []string{"fig7", "fig8"} {
+		if err := run(exp, tinyCfg()); err != nil {
+			t.Errorf("%s: %v", exp, err)
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run("fig99", tinyCfg()); err == nil {
+		t.Error("unknown experiment: want error")
+	}
+}

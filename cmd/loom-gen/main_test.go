@@ -1,0 +1,69 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"loom/internal/dataset"
+)
+
+func TestRunGeneratesReadableEdgeList(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "g.el")
+	if err := run("provgen", 1200, "bfs", 7, out, dataset.CustomSpec{}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	stream, err := dataset.ReadEdgeList(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stream) == 0 {
+		t.Fatal("empty stream written")
+	}
+}
+
+func TestRunCustomDataset(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "c.el")
+	spec := dataset.CustomSpec{Labels: 6, EdgeFactor: 2}
+	if err := run("custom", 800, "random", 3, out, spec); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	stream, err := dataset.ReadEdgeList(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := map[string]bool{}
+	for _, e := range stream {
+		labels[string(e.LU)] = true
+		labels[string(e.LV)] = true
+	}
+	if len(labels) != 6 {
+		t.Errorf("custom labels = %d, want 6", len(labels))
+	}
+	if err := run("custom", 800, "bfs", 3, out, dataset.CustomSpec{Labels: -1}); err == nil {
+		t.Error("bad custom spec: want error")
+	}
+}
+
+func TestRunRejectsBadInputs(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "g.el")
+	if err := run("nope", 100, "bfs", 1, out, dataset.CustomSpec{}); err == nil {
+		t.Error("unknown dataset: want error")
+	}
+	if err := run("provgen", 100, "sorted", 1, out, dataset.CustomSpec{}); err == nil {
+		t.Error("unknown order: want error")
+	}
+	if err := run("provgen", 100, "bfs", 1, "/nonexistent-dir/file.el", dataset.CustomSpec{}); err == nil {
+		t.Error("bad output path: want error")
+	}
+}

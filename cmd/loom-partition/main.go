@@ -1,0 +1,182 @@
+// Command loom-partition partitions an edge-list graph stream with Loom or
+// one of the baseline streaming partitioners, writing the vertex →
+// partition assignment and quality metrics.
+//
+// Usage:
+//
+//	loom-gen -dataset provgen -scale 12000 -order bfs -out g.el
+//	loom-partition -input g.el -k 8 -algo loom -workload provgen -out parts.tsv
+//
+// The workload is either one of the built-in dataset workloads (-workload
+// dblp|provgen|musicbrainz|lubm) or a JSON file (-workload-file, see
+// internal/workload JSON format). Quality (ipt, edge-cut, imbalance) is
+// reported on stderr; use -no-eval to skip workload execution on very
+// large inputs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"loom/internal/core"
+	"loom/internal/dataset"
+	"loom/internal/graph"
+	"loom/internal/partition"
+	"loom/internal/signature"
+	"loom/internal/workload"
+)
+
+func main() {
+	var (
+		input    = flag.String("input", "-", "edge-list input file ('-' for stdin)")
+		k        = flag.Int("k", 8, "number of partitions")
+		algo     = flag.String("algo", "loom", "partitioner: loom, hash, ldg, fennel")
+		wlName   = flag.String("workload", "", "built-in workload: dblp, provgen, musicbrainz, lubm")
+		wlFile   = flag.String("workload-file", "", "JSON workload file (overrides -workload)")
+		win      = flag.Int("window", 10000, "Loom window size t")
+		thr      = flag.Float64("threshold", 0.40, "Loom motif support threshold T")
+		seed     = flag.Int64("seed", 1, "signature seed")
+		out      = flag.String("out", "-", "assignment output file ('-' for stdout)")
+		noEval   = flag.Bool("no-eval", false, "skip workload execution (ipt measurement)")
+		costsTrv = flag.Bool("traversal-cost", false, "use the traversal-level ipt cost model")
+	)
+	flag.Parse()
+	if err := run(*input, *k, *algo, *wlName, *wlFile, *win, *thr, *seed, *out, *noEval, *costsTrv); err != nil {
+		fmt.Fprintf(os.Stderr, "loom-partition: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(input string, k int, algo, wlName, wlFile string, win int, thr float64, seed int64, out string, noEval, costTrv bool) error {
+	// Load the stream.
+	in := os.Stdin
+	if input != "-" {
+		f, err := os.Open(input)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	stream, err := dataset.ReadEdgeList(in)
+	if err != nil {
+		return err
+	}
+	if len(stream) == 0 {
+		return fmt.Errorf("empty input stream")
+	}
+
+	// Count distinct vertices for the capacity constraint.
+	seen := make(map[graph.VertexID]struct{})
+	for _, e := range stream {
+		seen[e.U] = struct{}{}
+		seen[e.V] = struct{}{}
+	}
+	n := len(seen)
+	capC := partition.CapacityFor(n, k, partition.DefaultImbalance)
+
+	// Load the workload if needed (required for loom; optional for the
+	// quality report otherwise).
+	var wl workload.Workload
+	haveWL := false
+	switch {
+	case wlFile != "":
+		f, err := os.Open(wlFile)
+		if err != nil {
+			return err
+		}
+		wl, err = workload.ParseJSON(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		haveWL = true
+	case wlName != "":
+		wl, err = workload.ForDataset(wlName)
+		if err != nil {
+			return err
+		}
+		haveWL = true
+	}
+
+	// Build the partitioner.
+	var s partition.Streamer
+	switch algo {
+	case "hash":
+		s = partition.NewHash(k, capC)
+	case "ldg":
+		s = partition.NewLDG(k, capC)
+	case "fennel":
+		s = partition.NewFennel(k, n, len(stream))
+	case "loom":
+		if !haveWL {
+			return fmt.Errorf("loom requires -workload or -workload-file")
+		}
+		scheme := signature.NewScheme(signature.DefaultP, seed)
+		trie, err := wl.BuildTrie(scheme)
+		if err != nil {
+			return err
+		}
+		s, err = core.New(core.Config{
+			K: k, Capacity: capC, WindowSize: win, SupportThreshold: thr,
+		}, trie)
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown algorithm %q", algo)
+	}
+
+	// Partition.
+	start := time.Now()
+	for _, e := range stream {
+		s.ProcessEdge(e)
+	}
+	s.Flush()
+	elapsed := time.Since(start)
+	a := s.Assignment()
+
+	// Write assignments.
+	w := os.Stdout
+	if out != "-" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := partition.WriteAssignment(w, a); err != nil {
+		return err
+	}
+
+	// Quality report.
+	fmt.Fprintf(os.Stderr, "%s: k=%d vertices=%d edges=%d time=%s (%.0f edges/s)\n",
+		algo, k, a.NumAssigned(), len(stream), elapsed.Round(time.Millisecond),
+		float64(len(stream))/elapsed.Seconds())
+	g, err := graph.BuildGraph(stream)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "edge-cut=%d (%.1f%%) imbalance=%.1f%%\n",
+		partition.EdgeCut(g, a), 100*float64(partition.EdgeCut(g, a))/float64(g.NumEdges()),
+		100*partition.Imbalance(a))
+	if haveWL && !noEval {
+		model := workload.EmbeddingCrossings
+		if costTrv {
+			model = workload.TraversalCrossings
+		}
+		res, err := workload.Execute(g, a, wl, workload.Options{Model: model})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "workload %q ipt=%.1f\n", wl.Name, res.IPT)
+		for _, q := range res.PerQuery {
+			fmt.Fprintf(os.Stderr, "  %-28s matches=%-8d crossings=%-8d weighted=%.1f\n",
+				q.Name, q.Matches, q.Crossings, q.WeightedIPT)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,121 @@
+package main
+
+import (
+	"bufio"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"loom/internal/dataset"
+	"loom/internal/graph"
+)
+
+func writeTestStream(t *testing.T) string {
+	t.Helper()
+	g, err := dataset.Generate("provgen", 1000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := graph.StreamOf(g, graph.OrderRandom, rand.New(rand.NewSource(2)))
+	path := filepath.Join(t.TempDir(), "in.el")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := dataset.WriteEdgeList(f, s); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func readAssignments(t *testing.T, path string, k int) map[int64]int {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	out := map[int64]int{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) != 2 {
+			t.Fatalf("bad line %q", sc.Text())
+		}
+		v, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := strconv.Atoi(fields[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p < 0 || p >= k {
+			t.Fatalf("partition %d out of range", p)
+		}
+		out[v] = p
+	}
+	return out
+}
+
+func TestRunAllAlgorithms(t *testing.T) {
+	in := writeTestStream(t)
+	for _, algo := range []string{"hash", "ldg", "fennel", "loom"} {
+		out := filepath.Join(t.TempDir(), algo+".tsv")
+		err := run(in, 4, algo, "provgen", "", 256, 0.4, 1, out, false, false)
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		asg := readAssignments(t, out, 4)
+		if len(asg) == 0 {
+			t.Fatalf("%s: no assignments written", algo)
+		}
+	}
+}
+
+func TestRunTraversalCostModel(t *testing.T) {
+	in := writeTestStream(t)
+	out := filepath.Join(t.TempDir(), "p.tsv")
+	if err := run(in, 2, "ldg", "provgen", "", 64, 0.4, 1, out, false, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWorkloadFile(t *testing.T) {
+	in := writeTestStream(t)
+	wlPath := filepath.Join(t.TempDir(), "wl.json")
+	wl := `{"name":"custom","queries":[{"name":"step","freq":1,
+		"edges":[[1,"Entity",2,"Activity"],[2,"Activity",3,"Entity"]]}]}`
+	if err := os.WriteFile(wlPath, []byte(wl), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(t.TempDir(), "p.tsv")
+	if err := run(in, 2, "loom", "", wlPath, 64, 0.4, 1, out, false, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	in := writeTestStream(t)
+	out := filepath.Join(t.TempDir(), "p.tsv")
+	if err := run(in, 2, "loom", "", "", 64, 0.4, 1, out, false, false); err == nil {
+		t.Error("loom without workload: want error")
+	}
+	if err := run(in, 2, "metis", "provgen", "", 64, 0.4, 1, out, false, false); err == nil {
+		t.Error("unknown algorithm: want error")
+	}
+	if err := run("/does/not/exist.el", 2, "hash", "", "", 64, 0.4, 1, out, false, false); err == nil {
+		t.Error("missing input: want error")
+	}
+	empty := filepath.Join(t.TempDir(), "empty.el")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(empty, 2, "hash", "", "", 64, 0.4, 1, out, false, false); err == nil {
+		t.Error("empty input: want error")
+	}
+}

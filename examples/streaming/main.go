@@ -1,0 +1,78 @@
+// Streaming example: Loom's *online* behaviours — the sliding window as a
+// temporary partition (Ptemp, §3), mid-stream placement queries, and
+// workload evolution (§2's "trivially updated" TPSTry++).
+//
+// Run with:
+//
+//	go run ./examples/streaming
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"loom"
+)
+
+func main() {
+	// Start with a citation-style workload over papers and people.
+	wl := loom.NewWorkload("bibliometrics")
+	wl.Add("coauthors", loom.Path("Person", "Paper", "Person"), 0.7)
+	wl.Add("citations", loom.Path("Paper", "Paper"), 0.3)
+
+	p, err := loom.New(loom.Options{
+		Partitions:       4,
+		ExpectedVertices: 4000,
+		WindowSize:       64,
+	}, wl)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Generate a DBLP-like stream and feed it online.
+	edges, err := loom.GenerateDataset("dblp", 3000, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	checkpoints := map[int]bool{
+		len(edges) / 4: true, len(edges) / 2: true, 3 * len(edges) / 4: true,
+	}
+	for i, e := range edges {
+		p.AddStreamEdge(e)
+
+		if checkpoints[i] {
+			st := p.Stats()
+			// Vertices in the window are accessible in the temporary
+			// partition Ptemp before permanent placement — here we just
+			// observe how many edges are buffered.
+			fmt.Printf("after %6d edges: window(Ptemp)=%d edges, evictions=%d, immediate=%d\n",
+				i+1, st.WindowLen, st.Evictions, st.ImmediateEdges)
+		}
+
+		// Halfway through, the application's query mix changes: venue
+		// queries appear. Loom absorbs the new pattern online; newly
+		// arriving venue edges start matching motifs immediately.
+		if i == len(edges)/2 {
+			if err := p.AddQuery("venue-community", loom.Path("Person", "Paper", "Venue"), 0.4); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println("        >>> workload updated mid-stream: venue queries added")
+		}
+	}
+
+	// A placement can be read at any time; vertices still in Ptemp are
+	// reported as unassigned.
+	if part, ok := p.PartitionOf(edges[0].U); ok {
+		fmt.Printf("vertex %d is in partition %d before the final flush\n", edges[0].U, part)
+	}
+
+	p.Flush()
+	fmt.Printf("final sizes: %v\n", p.Sizes())
+	ev, err := p.Evaluate()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("final quality: ipt=%.1f edge-cut=%d imbalance=%.1f%%\n",
+		ev.IPT, ev.EdgeCut, 100*ev.Imbalance)
+}

@@ -1,0 +1,147 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"text/tabwriter"
+
+	"loom/internal/core"
+	"loom/internal/graph"
+	"loom/internal/partition"
+	"loom/internal/refine"
+	"loom/internal/workload"
+)
+
+// The extensions experiment evaluates the two §6 future-work integrations
+// implemented by this library on the paper's hardest setting — the
+// pseudo-adversarial random stream order:
+//
+//   - restreaming (a second Loom pass with the first pass's assignment as
+//     prior), after Nishimura & Ugander [22];
+//   - offline TAPER-style refinement (internal/refine), after Firth &
+//     Missier [8].
+
+// ExtensionCell is one row of the extensions table.
+type ExtensionCell struct {
+	Dataset   string
+	System    string // loom, loom+restream, loom+refine, loom+restream+refine
+	IPT       float64
+	RelToHash float64
+	Imbalance float64
+}
+
+// RunExtensions runs Loom, Loom with a restream pass, and Loom with offline
+// refinement over random-order streams.
+func RunExtensions(cfg Config) ([]ExtensionCell, error) {
+	cfg = cfg.withDefaults()
+	var out []ExtensionCell
+	for _, ds := range cfg.Datasets {
+		p, err := prepare(ds, cfg)
+		if err != nil {
+			return nil, err
+		}
+		stream := graph.StreamOf(p.g, graph.OrderRandom, rand.New(rand.NewSource(cfg.Seed)))
+		n := p.g.NumVertices()
+		capC := partition.CapacityFor(n, cfg.K, partition.DefaultImbalance)
+
+		eval := func(a *partition.Assignment) (float64, float64, error) {
+			res, err := workload.Execute(p.g, a, p.wl, workload.Options{MaxMatchesPerQuery: cfg.MaxMatches})
+			if err != nil {
+				return 0, 0, err
+			}
+			return res.IPT, partition.Imbalance(a), nil
+		}
+
+		// Hash baseline for the relative scale.
+		hash := partition.NewHash(cfg.K, capC)
+		for _, se := range stream {
+			hash.ProcessEdge(se)
+		}
+		hashIPT, _, err := eval(hash.Assignment())
+		if err != nil {
+			return nil, err
+		}
+		rel := func(ipt float64) float64 {
+			if hashIPT == 0 {
+				return 100
+			}
+			return 100 * ipt / hashIPT
+		}
+
+		runLoom := func(s graph.Stream, prior *partition.Assignment) (*partition.Assignment, error) {
+			lm, err := core.New(core.Config{
+				K: cfg.K, Capacity: capC, WindowSize: cfg.WindowSize,
+				SupportThreshold: cfg.Threshold, Prior: prior,
+			}, p.trie)
+			if err != nil {
+				return nil, err
+			}
+			for _, se := range s {
+				lm.ProcessEdge(se)
+			}
+			lm.Flush()
+			return lm.Assignment(), nil
+		}
+
+		// Pass 1: plain Loom.
+		a1, err := runLoom(stream, nil)
+		if err != nil {
+			return nil, err
+		}
+		ipt1, imb1, err := eval(a1)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ExtensionCell{ds, "loom", ipt1, rel(ipt1), imb1})
+
+		// Pass 2: restream with the pass-1 assignment as prior. The
+		// replay arrives in a different random order — the realistic
+		// restreaming setting (replaying the identical sequence through
+		// identical heuristics is a fixed point).
+		stream2 := graph.StreamOf(p.g, graph.OrderRandom, rand.New(rand.NewSource(cfg.Seed+1)))
+		a2, err := runLoom(stream2, a1)
+		if err != nil {
+			return nil, err
+		}
+		ipt2, imb2, err := eval(a2)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ExtensionCell{ds, "loom+restream", ipt2, rel(ipt2), imb2})
+
+		// Offline refinement of pass 1.
+		r1, _, err := refine.Refine(p.g, a1, p.trie, refine.Config{Capacity: capC})
+		if err != nil {
+			return nil, err
+		}
+		iptR, imbR, err := eval(r1)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ExtensionCell{ds, "loom+refine", iptR, rel(iptR), imbR})
+
+		// Restream + refinement.
+		r2, _, err := refine.Refine(p.g, a2, p.trie, refine.Config{Capacity: capC})
+		if err != nil {
+			return nil, err
+		}
+		iptRR, imbRR, err := eval(r2)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ExtensionCell{ds, "loom+restream+refine", iptRR, rel(iptRR), imbRR})
+	}
+	return out, nil
+}
+
+// RenderExtensions writes the extensions table.
+func RenderExtensions(w io.Writer, cells []ExtensionCell) {
+	fmt.Fprintln(w, "Extensions (§6 future work): restreaming and offline refinement, random-order streams")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "dataset\tsystem\tipt\t% of hash\timbalance")
+	for _, c := range cells {
+		fmt.Fprintf(tw, "%s\t%s\t%.0f\t%.1f%%\t%.1f%%\n", c.Dataset, c.System, c.IPT, c.RelToHash, 100*c.Imbalance)
+	}
+	tw.Flush()
+}

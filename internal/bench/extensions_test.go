@@ -1,0 +1,43 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunExtensions(t *testing.T) {
+	cfg := smallCfg()
+	cells, err := RunExtensions(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 systems per dataset.
+	if len(cells) != 4 {
+		t.Fatalf("cells = %d, want 4", len(cells))
+	}
+	bySystem := map[string]ExtensionCell{}
+	for _, c := range cells {
+		bySystem[c.System] = c
+		if c.IPT < 0 || c.RelToHash < 0 {
+			t.Errorf("%s: bad cell %+v", c.System, c)
+		}
+	}
+	for _, sys := range []string{"loom", "loom+restream", "loom+refine", "loom+restream+refine"} {
+		if _, ok := bySystem[sys]; !ok {
+			t.Errorf("missing system %s", sys)
+		}
+	}
+	// Restreaming on a fresh random order should not do materially worse
+	// than the single pass (allow a modest tolerance: the second order is
+	// adversarial too).
+	if bySystem["loom+restream"].IPT > bySystem["loom"].IPT*1.10 {
+		t.Errorf("restream ipt %.0f much worse than single pass %.0f",
+			bySystem["loom+restream"].IPT, bySystem["loom"].IPT)
+	}
+	var buf bytes.Buffer
+	RenderExtensions(&buf, cells)
+	if !strings.Contains(buf.String(), "loom+restream+refine") {
+		t.Error("render incomplete")
+	}
+}

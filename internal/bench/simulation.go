@@ -1,0 +1,100 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"text/tabwriter"
+
+	"loom/internal/graph"
+	"loom/internal/simulate"
+)
+
+// The simulation experiment turns ipt into the latency-flavoured number the
+// paper's motivation promises: with a local/remote cost model (default
+// 1:1000), how many times cheaper does each partitioner make the workload
+// than Hash, and how evenly is the query-serving load spread?
+
+// SimulationCell is one system's simulated execution on one dataset.
+type SimulationCell struct {
+	Dataset       string
+	System        string
+	RemoteHops    int
+	LocalHops     int
+	TotalCost     float64
+	Speedup       float64 // vs Hash
+	LoadImbalance float64
+}
+
+// RunSimulation partitions each dataset's BFS stream with every system and
+// simulates distributed workload execution.
+func RunSimulation(cfg Config, model simulate.CostModel) ([]SimulationCell, error) {
+	cfg = cfg.withDefaults()
+	var out []SimulationCell
+	for _, ds := range cfg.Datasets {
+		p, err := prepare(ds, cfg)
+		if err != nil {
+			return nil, err
+		}
+		stream := graph.StreamOf(p.g, graph.OrderBFS, rand.New(rand.NewSource(cfg.Seed)))
+		var hashRes simulate.Result
+		for _, sys := range Systems {
+			s, err := newSystem(sys, p, cfg.K, cfg.WindowSize, cfg.Threshold)
+			if err != nil {
+				return nil, err
+			}
+			for _, se := range stream {
+				s.ProcessEdge(se)
+			}
+			s.Flush()
+			res, err := simulate.Run(p.g, s.Assignment(), p.wl, model, cfg.MaxMatches)
+			if err != nil {
+				return nil, err
+			}
+			if sys == "hash" {
+				hashRes = res
+			}
+			out = append(out, SimulationCell{
+				Dataset:       ds,
+				System:        sys,
+				RemoteHops:    res.RemoteHops,
+				LocalHops:     res.LocalHops,
+				TotalCost:     res.TotalCost,
+				Speedup:       simulate.Speedup(res, hashRes),
+				LoadImbalance: res.LoadImbalance(),
+			})
+		}
+	}
+	return out, nil
+}
+
+// RenderMotifs prints the TPSTry++ summary for every configured dataset's
+// workload at the harness threshold — the Fig. 2-style view of what Loom
+// will treat as motifs (a workload-engineering aid).
+func RenderMotifs(w io.Writer, cfg Config) error {
+	cfg = cfg.withDefaults()
+	for _, ds := range cfg.Datasets {
+		p, err := prepare(ds, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "workload %q:\n", ds)
+		if err := p.trie.Summary(w, cfg.Threshold); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// RenderSimulation writes the simulation table.
+func RenderSimulation(w io.Writer, cells []SimulationCell) {
+	fmt.Fprintln(w, "Simulated distributed execution (local:remote = 1:1000, bfs streams)")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "dataset\tsystem\tremote hops\tlocal hops\tcost\tspeedup vs hash\tserve-load imbalance")
+	for _, c := range cells {
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%.0f\t%.2fx\t%.1f%%\n",
+			c.Dataset, c.System, c.RemoteHops, c.LocalHops, c.TotalCost, c.Speedup, 100*c.LoadImbalance)
+	}
+	tw.Flush()
+}

@@ -1,0 +1,45 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"loom/internal/simulate"
+)
+
+func TestRunSimulation(t *testing.T) {
+	cells, err := RunSimulation(smallCfg(), simulate.CostModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != len(Systems) {
+		t.Fatalf("cells = %d, want %d", len(cells), len(Systems))
+	}
+	var hash, loom SimulationCell
+	for _, c := range cells {
+		switch c.System {
+		case "hash":
+			hash = c
+		case "loom":
+			loom = c
+		}
+		if c.TotalCost <= 0 {
+			t.Errorf("%s: non-positive cost", c.System)
+		}
+	}
+	if hash.Speedup != 1 {
+		t.Errorf("hash speedup = %v, want 1", hash.Speedup)
+	}
+	if loom.Speedup <= 1 {
+		t.Errorf("loom speedup = %v, want > 1 on provgen bfs", loom.Speedup)
+	}
+	if loom.RemoteHops >= hash.RemoteHops {
+		t.Errorf("loom remote hops %d >= hash %d", loom.RemoteHops, hash.RemoteHops)
+	}
+	var buf bytes.Buffer
+	RenderSimulation(&buf, cells)
+	if !strings.Contains(buf.String(), "speedup") {
+		t.Error("render incomplete")
+	}
+}

@@ -1,0 +1,586 @@
+// Package core implements the Loom partitioner (§4 of the paper): a
+// single-pass streaming graph partitioner that places motif-matching
+// sub-graphs wholly within individual partitions to reduce inter-partition
+// traversals for a given query workload.
+//
+// The pipeline per stream edge e:
+//
+//  1. e is checked against the single-edge motifs at the root of the
+//     TPSTry++. A non-matching edge "will never form part of any sub-graph
+//     that matches a motif" (§3) and is assigned immediately with the LDG
+//     heuristic, bypassing the window.
+//  2. A matching edge enters the sliding window Ptemp, where Alg. 2
+//     incrementally maintains the matchList of motif-matching sub-graphs.
+//  3. When the window exceeds its capacity t, the oldest edge e is evicted
+//     and assigned together with the window sub-graphs that match motifs
+//     containing it, using the equal opportunism heuristic: support-sorted
+//     matches Me, per-partition bids (Eq. 1), and the rationing function l
+//     (Eq. 2) that throttles large partitions (Eq. 3).
+//
+// Equal opportunism's published Eq. 2 reads |V(Si)|/Smin·α, which is
+// inconsistent with both the prose ("inversely correlated with Si's size")
+// and the worked example (l = (1/1.33)·(2/3) = 1/2); this implementation
+// follows the example: l(Si) = α·Smin/|V(Si)|, clamped to 1 for the
+// smallest partition and 0 beyond the imbalance bound b (see DESIGN.md §5).
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"loom/internal/graph"
+	"loom/internal/partition"
+	"loom/internal/tpstry"
+	"loom/internal/window"
+)
+
+// Assignment mode names for Config.Mode.
+const (
+	// ModeEqualOpportunism is the paper's heuristic (default).
+	ModeEqualOpportunism = "equal-opportunism"
+	// ModeNaiveGreedy is the strawman of §4: the whole match cluster goes
+	// to the partition sharing the most incident edges, with no balance
+	// or support weighting. Provided for the ablation benchmarks.
+	ModeNaiveGreedy = "naive-greedy"
+)
+
+// Config parameterises a Loom partitioner. Zero fields take the paper's
+// defaults via New.
+type Config struct {
+	// K is the number of partitions (required, >= 1).
+	K int
+	// Capacity is the per-partition vertex capacity C; derive it with
+	// partition.CapacityFor(expectedVertices, K, slack). Required.
+	Capacity float64
+	// WindowSize is the sliding window capacity t in edges. Default
+	// 10_000 (§5.1: "a window size of 10k edges").
+	WindowSize int
+	// SupportThreshold is the motif support threshold T in [0, 1].
+	// Default 0.4 (§5.1: "a motif support threshold of 40%").
+	SupportThreshold float64
+	// Alpha is the rationing aggression α in (0, 1]. Default 2/3 (§4).
+	Alpha float64
+	// MaxImbalance is the bound b: a partition more than b times the size
+	// of the smallest receives no motif clusters. Default 1.1 (§4,
+	// "emulating Fennel").
+	MaxImbalance float64
+	// Mode selects the assignment heuristic (default equal opportunism).
+	Mode string
+	// DisableSupportWeight drops the supp(mk) term from bids (ablation).
+	DisableSupportWeight bool
+	// DisableRation makes l(Si) ≡ 1 (ablation: greedy bids, no ration).
+	DisableRation bool
+	// MaxMatchesPerVertex caps matchList fan-out per vertex; 0 uses the
+	// window package default.
+	MaxMatchesPerVertex int
+	// Prior, when non-nil, enables the restreaming mode the paper lists
+	// as future work (§6, after Nishimura & Ugander [22]): when a
+	// placement decision has no neighbourhood information (a cold-start
+	// vertex or a zero-bid cluster), the vertex's partition from a
+	// previous pass is used instead of the least-loaded fallback. Later
+	// passes therefore keep the locality discovered earlier while still
+	// improving it with full-stream knowledge.
+	Prior *partition.Assignment
+}
+
+func (c Config) withDefaults() Config {
+	if c.WindowSize == 0 {
+		c.WindowSize = 10_000
+	}
+	if c.SupportThreshold == 0 {
+		c.SupportThreshold = 0.40
+	}
+	if c.Alpha == 0 {
+		c.Alpha = 2.0 / 3.0
+	}
+	if c.MaxImbalance == 0 {
+		c.MaxImbalance = partition.DefaultImbalance
+	}
+	if c.Mode == "" {
+		c.Mode = ModeEqualOpportunism
+	}
+	return c
+}
+
+// Stats counts the paths taken while partitioning; benchmarks and examples
+// report them.
+type Stats struct {
+	EdgesProcessed    int // stream edges consumed
+	SelfLoops         int // dropped
+	DuplicateEdges    int // dropped (already in window)
+	ImmediateEdges    int // failed the single-edge motif gate → LDG
+	WindowedEdges     int // entered Ptemp
+	Evictions         int // eviction rounds (equal opportunism invocations)
+	MatchesAssigned   int // motif matches placed with their cluster
+	ZeroBidRounds     int // rounds decided by the least-loaded fallback
+	LoneEdgeRounds    int // evictions of single-edge-only clusters (LDG path)
+	DeferredEndpoints int // endpoints left to Ptemp instead of immediate LDG
+	PriorPlacements   int // decisions taken from the restreaming prior
+}
+
+// Loom is the workload-aware streaming partitioner. It implements
+// partition.Streamer. Not safe for concurrent use (the paper's §6 notes
+// Loom is single-threaded).
+type Loom struct {
+	cfg   Config
+	trie  *tpstry.Trie
+	tr    *partition.Tracker
+	win   *window.Matcher
+	stats Stats
+}
+
+// New builds a Loom over a TPSTry++ that already encodes the workload Q
+// (tpstry.Trie.AddQuery). The trie may continue to be updated between
+// edges as the workload evolves.
+func New(cfg Config, trie *tpstry.Trie) (*Loom, error) {
+	cfg = cfg.withDefaults()
+	if cfg.K < 1 {
+		return nil, fmt.Errorf("core: K must be >= 1, got %d", cfg.K)
+	}
+	if cfg.Capacity <= 0 {
+		return nil, fmt.Errorf("core: Capacity must be positive, got %v", cfg.Capacity)
+	}
+	if cfg.WindowSize < 0 {
+		return nil, fmt.Errorf("core: WindowSize must be >= 0, got %d", cfg.WindowSize)
+	}
+	if cfg.SupportThreshold < 0 || cfg.SupportThreshold > 1 {
+		return nil, fmt.Errorf("core: SupportThreshold must be in [0,1], got %v", cfg.SupportThreshold)
+	}
+	if cfg.Mode != ModeEqualOpportunism && cfg.Mode != ModeNaiveGreedy {
+		return nil, fmt.Errorf("core: unknown mode %q", cfg.Mode)
+	}
+	w := window.NewMatcher(trie, cfg.SupportThreshold, cfg.WindowSize)
+	if cfg.MaxMatchesPerVertex > 0 {
+		w.SetMaxMatchesPerVertex(cfg.MaxMatchesPerVertex)
+	}
+	return &Loom{
+		cfg:  cfg,
+		trie: trie,
+		tr:   partition.NewTracker(cfg.K, cfg.Capacity),
+		win:  w,
+	}, nil
+}
+
+// Name implements partition.Streamer.
+func (l *Loom) Name() string { return "loom" }
+
+// Config returns the effective configuration (defaults resolved).
+func (l *Loom) Config() Config { return l.cfg }
+
+// Stats returns processing counters.
+func (l *Loom) Stats() Stats { return l.stats }
+
+// Tracker exposes the partition tracker (tests pre-seed assignments; the
+// bench harness reads sizes).
+func (l *Loom) Tracker() *partition.Tracker { return l.tr }
+
+// Window exposes the sliding window (diagnostics).
+func (l *Loom) Window() *window.Matcher { return l.win }
+
+// ProcessEdge implements partition.Streamer.
+func (l *Loom) ProcessEdge(se graph.StreamEdge) {
+	l.stats.EdgesProcessed++
+	if se.U == se.V {
+		l.stats.SelfLoops++
+		return
+	}
+	l.tr.Observe(se)
+
+	if _, ok := l.win.SingleEdgeMotif(se); !ok || l.cfg.WindowSize == 0 {
+		// §3: e can never be part of a motif match — assign immediately
+		// with LDG and "behave as if the edge was never added to the
+		// window" (§4). A zero-size window degenerates Loom to LDG.
+		l.stats.ImmediateEdges++
+		l.assignImmediate(se)
+		return
+	}
+	if err := l.win.Insert(se); err != nil {
+		// Duplicate stream edge: the first copy is already buffered.
+		l.stats.DuplicateEdges++
+		return
+	}
+	l.stats.WindowedEdges++
+	for l.win.OverCapacity() {
+		l.EvictOne()
+	}
+}
+
+// assignImmediate places any unassigned endpoint with LDG — except
+// endpoints that still have motif-matching edges buffered in the window:
+// those are Ptemp residents whose placement belongs to the upcoming cluster
+// assignment (equal opportunism), not to an incidental non-motif edge.
+// Deferred endpoints are guaranteed a home because every window edge is
+// eventually evicted or removed with its endpoints assigned.
+func (l *Loom) assignImmediate(se graph.StreamEdge) {
+	for _, v := range [2]graph.VertexID{se.U, se.V} {
+		if l.tr.PartOf(v) != partition.Unassigned {
+			continue
+		}
+		if l.win.HasVertex(v) {
+			l.stats.DeferredEndpoints++
+			continue
+		}
+		l.assignVertexLDG(v)
+	}
+}
+
+// assignVertexLDG places one vertex with the LDG rule, consulting the
+// restreaming prior (if any) before the least-loaded fallback.
+func (l *Loom) assignVertexLDG(v graph.VertexID) {
+	if p, ok := l.priorOf(v); ok && l.tr.NeighborCounts(v)[p] == 0 {
+		// Prior exists but the standard rule may still be better; only
+		// prefer the prior when LDG itself would have no signal.
+		counts := l.tr.NeighborCounts(v)
+		signal := false
+		for q := 0; q < l.tr.K(); q++ {
+			if counts[q] > 0 && float64(l.tr.Size(partition.ID(q)))+1 <= l.tr.Capacity() {
+				signal = true
+				break
+			}
+		}
+		if !signal && float64(l.tr.Size(p))+1 <= l.tr.Capacity() {
+			l.stats.PriorPlacements++
+			l.tr.Assign(v, p)
+			return
+		}
+	}
+	l.tr.AssignLDG(v)
+}
+
+// priorOf returns v's partition in the restreaming prior, if configured and
+// valid for this K.
+func (l *Loom) priorOf(v graph.VertexID) (partition.ID, bool) {
+	if l.cfg.Prior == nil {
+		return partition.Unassigned, false
+	}
+	p := l.cfg.Prior.Of(v)
+	if p == partition.Unassigned || int(p) >= l.tr.K() {
+		return partition.Unassigned, false
+	}
+	return p, true
+}
+
+// Flush implements partition.Streamer: it drains the window, assigning
+// every buffered edge. Call at end-of-stream before reading the final
+// assignment (during live operation the window is Ptemp, an extra
+// partition that queries may read, §3).
+func (l *Loom) Flush() {
+	for !l.win.Empty() {
+		l.EvictOne()
+	}
+}
+
+// EvictOne evicts the oldest window edge and assigns its motif-match
+// cluster per §4. It reports whether an eviction happened.
+func (l *Loom) EvictOne() bool {
+	old, ok := l.win.Oldest()
+	if !ok {
+		return false
+	}
+	l.stats.Evictions++
+
+	me := l.win.MatchesContaining(old.Edge())
+	if len(me) == 0 {
+		// Unreachable in normal flow: the single-edge match exists while
+		// the edge does. Guard anyway: place endpoints by LDG.
+		l.assignImmediate(old)
+		l.win.RemoveEdges([]graph.Edge{old.Edge().Norm()})
+		return true
+	}
+	l.sortBySupport(me)
+
+	var winner partition.ID
+	var prefix []*window.Match
+	switch {
+	case l.cfg.Mode == ModeNaiveGreedy:
+		winner = l.naiveWinner(me)
+		prefix = me // the naive approach assigns the whole cluster
+	case len(me) == 1 && len(me[0].Edges) == 1:
+		// A lone single-edge match: there is no intra-cluster locality
+		// for equal opportunism to preserve. Place each unassigned
+		// endpoint with the per-vertex LDG rule — the same treatment a
+		// non-motif edge gets in §3, only deferred to eviction time,
+		// when more of the endpoint's neighbourhood has been observed
+		// ("the longer an edge remains in the sliding window … the
+		// better partitioning decisions we can make for it", §4).
+		l.stats.LoneEdgeRounds++
+		e := me[0].Edges[0]
+		for _, v := range [2]graph.VertexID{e.U, e.V} {
+			if l.tr.PartOf(v) == partition.Unassigned {
+				l.assignVertexLDG(v)
+			}
+		}
+		l.stats.MatchesAssigned++
+		l.win.RemoveEdges(me[0].Edges)
+		return true
+	default:
+		winner, prefix = l.equalOpportunism(me)
+	}
+
+	// Assign every unassigned vertex of the winning prefix to the winner
+	// and drop the placed edges from the window; matches not taken stay
+	// only if none of their edges were assigned (window.RemoveEdges kills
+	// intersecting matches).
+	edgeSet := make(map[graph.Edge]struct{})
+	for _, m := range prefix {
+		for _, e := range m.Edges {
+			edgeSet[e] = struct{}{}
+		}
+	}
+	edges := make([]graph.Edge, 0, len(edgeSet))
+	for e := range edgeSet {
+		edges = append(edges, e)
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].U != edges[j].U {
+			return edges[i].U < edges[j].U
+		}
+		return edges[i].V < edges[j].V
+	})
+	for _, e := range edges {
+		for _, v := range [2]graph.VertexID{e.U, e.V} {
+			if l.tr.PartOf(v) == partition.Unassigned {
+				l.tr.Assign(v, winner)
+			}
+		}
+	}
+	l.stats.MatchesAssigned += len(prefix)
+	l.win.RemoveEdges(edges)
+	return true
+}
+
+// sortBySupport orders Me in descending motif support; ties break toward
+// smaller matches (the §4 example assigns ⟨e1,m1⟩ and the 2-edge m3 before
+// the 3-edge m6), then lexicographic edge sets for determinism.
+func (l *Loom) sortBySupport(me []*window.Match) {
+	sort.Slice(me, func(i, j int) bool {
+		si, sj := l.trie.SupportOf(me[i].Node), l.trie.SupportOf(me[j].Node)
+		if si != sj {
+			return si > sj
+		}
+		if len(me[i].Edges) != len(me[j].Edges) {
+			return len(me[i].Edges) < len(me[j].Edges)
+		}
+		return lessEdges(me[i].Edges, me[j].Edges)
+	})
+}
+
+func lessEdges(a, b []graph.Edge) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			if a[i].U != b[i].U {
+				return a[i].U < b[i].U
+			}
+			return a[i].V < b[i].V
+		}
+	}
+	return len(a) < len(b)
+}
+
+// ration computes l(Si) (Eq. 2, corrected per DESIGN.md §5): 1 for the
+// smallest partition; 0 for a partition at its capacity C = b·n/k (the
+// imbalance bound b "emulating Fennel", whose ν = 1.1 is relative to n/k);
+// otherwise α·Smin/|V(Si)|, inversely correlated with Si's size relative to
+// the smallest partition.
+func (l *Loom) ration(p partition.ID, smin int) float64 {
+	if l.cfg.DisableRation {
+		return 1
+	}
+	size := l.tr.Size(p)
+	if float64(size)+1 > l.tr.Capacity() {
+		return 0 // at the maximum-imbalance bound: no motif clusters
+	}
+	if size == smin {
+		return 1
+	}
+	base := smin
+	if base < 1 {
+		base = 1 // smooth the cold start: an empty smallest partition
+	}
+	return l.cfg.Alpha * float64(base) / float64(size)
+}
+
+// bid computes Eq. 1 for one partition and match: N(Si, Ek)·(1 −
+// |V(Si)|/C)·supp(mk).
+//
+// N(Si, Ek) follows footnote 8 ("a generalisation of LDG's function N"):
+// LDG's N counts an edge's incident edges inside Si, so the sub-graph
+// generalisation counts both the match's member vertices already in Si and
+// the observed incident edges from the match's vertices into Si. For a
+// fresh single-edge match this reduces exactly to LDG's N(Si, e); the
+// printed |V(Si) ∩ V(Ek)| alone discards the neighbourhood signal LDG uses
+// (see DESIGN.md §5).
+func (l *Loom) bid(p partition.ID, m *window.Match) float64 {
+	n := 0
+	for _, v := range m.Vertices() {
+		if l.tr.PartOf(v) == p {
+			n++
+		}
+		for _, u := range l.tr.Neighbors(v) {
+			if l.tr.PartOf(u) == p {
+				n++
+			}
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	b := float64(n) * l.tr.Residual(p)
+	if !l.cfg.DisableSupportWeight {
+		b *= l.trie.SupportOf(m.Node)
+	}
+	return b
+}
+
+// equalOpportunism runs Eq. 3: every partition totals its bids over the
+// first ⌈l(Si)·|Me|⌉ support-sorted matches; the winner takes exactly that
+// prefix. When every bid is zero (cold start or no overlap), the least
+// loaded partition takes its full ration.
+func (l *Loom) equalOpportunism(me []*window.Match) (partition.ID, []*window.Match) {
+	smin := l.tr.MinSize()
+	best := partition.Unassigned
+	bestBid := 0.0
+	bestCnt := 0
+	for p := 0; p < l.tr.K(); p++ {
+		pid := partition.ID(p)
+		ration := l.ration(pid, smin)
+		if ration <= 0 {
+			continue
+		}
+		cnt := int(math.Ceil(ration * float64(len(me))))
+		if cnt > len(me) {
+			cnt = len(me)
+		}
+		if cnt < 1 {
+			cnt = 1
+		}
+		total := 0.0
+		for i := 0; i < cnt; i++ {
+			total += l.bid(pid, me[i])
+		}
+		total *= ration // Eq. 3: l(Si) scales the rationed bid total
+		if total > bestBid ||
+			(total == bestBid && best != partition.Unassigned && l.tr.Size(pid) < l.tr.Size(best)) {
+			if total > 0 {
+				best, bestBid, bestCnt = pid, total, cnt
+			}
+		}
+	}
+	if best == partition.Unassigned {
+		// No partition holds any of the cluster's vertices yet. Equal
+		// opportunism "extends ideas present in LDG" (§4): fall back to
+		// LDG's neighbourhood rule over the whole cluster — the cluster
+		// vertices' observed neighbours (e.g. an already-placed venue or
+		// agent reached by non-motif edges) pull it toward their
+		// partition; with no assigned neighbours at all, take the least
+		// loaded.
+		l.stats.ZeroBidRounds++
+		best = l.clusterLDG(me)
+		ration := l.ration(best, smin)
+		bestCnt = int(math.Ceil(ration * float64(len(me))))
+		if bestCnt > len(me) {
+			bestCnt = len(me)
+		}
+		if bestCnt < 1 {
+			bestCnt = 1
+		}
+	}
+	return best, me[:bestCnt]
+}
+
+// clusterLDG scores every partition by the LDG rule applied to the union of
+// the cluster's vertices: Σ_v N(Si, v) · (1 − |V(Si)|/C). Zero scores fall
+// back to the least-loaded partition.
+func (l *Loom) clusterLDG(me []*window.Match) partition.ID {
+	seen := make(map[graph.VertexID]struct{})
+	counts := make([]int, l.tr.K())
+	for _, m := range me {
+		for _, v := range m.Vertices() {
+			if _, dup := seen[v]; dup {
+				continue
+			}
+			seen[v] = struct{}{}
+			for p, c := range l.tr.NeighborCounts(v) {
+				counts[p] += c
+			}
+		}
+	}
+	best := partition.Unassigned
+	bestScore := 0.0
+	for p := 0; p < l.tr.K(); p++ {
+		pid := partition.ID(p)
+		if float64(l.tr.Size(pid))+1 > l.tr.Capacity() {
+			continue
+		}
+		score := float64(counts[p]) * l.tr.Residual(pid)
+		if score > bestScore ||
+			(score == bestScore && best != partition.Unassigned && l.tr.Size(pid) < l.tr.Size(best)) {
+			if score > 0 {
+				best, bestScore = pid, score
+			}
+		}
+	}
+	if best == partition.Unassigned {
+		best = l.priorMajority(me)
+	}
+	return best
+}
+
+// priorMajority returns the restreaming prior's majority partition over the
+// cluster's vertices (capacity permitting), else the least-loaded
+// partition.
+func (l *Loom) priorMajority(me []*window.Match) partition.ID {
+	if l.cfg.Prior != nil {
+		votes := make([]int, l.tr.K())
+		for _, m := range me {
+			for _, v := range m.Vertices() {
+				if p, ok := l.priorOf(v); ok {
+					votes[p]++
+				}
+			}
+		}
+		best, bestVotes := partition.Unassigned, 0
+		for p := 0; p < l.tr.K(); p++ {
+			if votes[p] > bestVotes && float64(l.tr.Size(partition.ID(p)))+1 <= l.tr.Capacity() {
+				best, bestVotes = partition.ID(p), votes[p]
+			}
+		}
+		if best != partition.Unassigned {
+			l.stats.PriorPlacements++
+			return best
+		}
+	}
+	return l.tr.LeastLoaded()
+}
+
+// naiveWinner implements §4's strawman: the whole cluster goes to the
+// partition with the most incident edges (observed neighbours inside the
+// partition), ignoring balance and support.
+func (l *Loom) naiveWinner(me []*window.Match) partition.ID {
+	seen := make(map[graph.VertexID]struct{})
+	for _, m := range me {
+		for _, v := range m.Vertices() {
+			seen[v] = struct{}{}
+		}
+	}
+	counts := make([]int, l.tr.K())
+	for v := range seen {
+		for p, c := range l.tr.NeighborCounts(v) {
+			counts[p] += c
+		}
+	}
+	best := partition.ID(0)
+	for p := 1; p < l.tr.K(); p++ {
+		if counts[p] > counts[best] {
+			best = partition.ID(p)
+		}
+	}
+	if counts[best] == 0 {
+		return l.tr.LeastLoaded()
+	}
+	return best
+}
+
+// Assignment implements partition.Streamer.
+func (l *Loom) Assignment() *partition.Assignment { return l.tr.Assignment() }

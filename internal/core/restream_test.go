@@ -1,0 +1,111 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"loom/internal/graph"
+	"loom/internal/partition"
+)
+
+// restreamSetup partitions a random stream once, then replays a reshuffled
+// stream with the first assignment as prior.
+func restreamSetup(t *testing.T, withPrior bool) (*Loom, *partition.Assignment) {
+	t.Helper()
+	trie := paperTrie(t)
+	r := rand.New(rand.NewSource(21))
+	s := ringOfCliques(r, 16, 8, []graph.Label{"a", "b", "c"})
+	distinct := make(map[graph.VertexID]struct{})
+	for _, se := range s {
+		distinct[se.U] = struct{}{}
+		distinct[se.V] = struct{}{}
+	}
+	n := len(distinct)
+	capC := partition.CapacityFor(n, 4, partition.DefaultImbalance)
+
+	first := mustLoom(t, Config{K: 4, Capacity: capC, WindowSize: 64}, trie)
+	for _, se := range s {
+		first.ProcessEdge(se)
+	}
+	first.Flush()
+	prior := first.Assignment()
+
+	cfg := Config{K: 4, Capacity: capC, WindowSize: 64}
+	if withPrior {
+		cfg.Prior = prior
+	}
+	second := mustLoom(t, cfg, trie)
+	shuffled := append(graph.Stream(nil), s...)
+	r2 := rand.New(rand.NewSource(99))
+	r2.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+	for _, se := range shuffled {
+		second.ProcessEdge(se)
+	}
+	second.Flush()
+	return second, prior
+}
+
+func TestPriorIsConsulted(t *testing.T) {
+	second, _ := restreamSetup(t, true)
+	if second.Stats().PriorPlacements == 0 {
+		t.Error("restream pass never consulted the prior")
+	}
+}
+
+func TestPriorIncreasesAgreement(t *testing.T) {
+	// With a prior, the second pass should agree with the first pass's
+	// placement more often than an independent run does.
+	withPrior, prior := restreamSetup(t, true)
+	without, _ := restreamSetup(t, false)
+
+	agree := func(a *partition.Assignment) float64 {
+		same, total := 0, 0
+		for v, p := range prior.Parts {
+			total++
+			if a.Of(v) == p {
+				same++
+			}
+		}
+		return float64(same) / float64(total)
+	}
+	ap := agree(withPrior.Assignment())
+	an := agree(without.Assignment())
+	if ap <= an {
+		t.Errorf("prior agreement %.3f <= independent agreement %.3f", ap, an)
+	}
+	t.Logf("agreement with prior: %.3f, without: %.3f", ap, an)
+}
+
+func TestPriorIgnoredWhenInvalid(t *testing.T) {
+	trie := paperTrie(t)
+	// Prior with a partition id beyond K must be ignored, not crash.
+	prior := &partition.Assignment{
+		K:     16,
+		Parts: map[graph.VertexID]partition.ID{1: 12, 2: 12},
+		Sizes: make([]int, 16),
+	}
+	l := mustLoom(t, Config{K: 2, Capacity: 50, WindowSize: 8, Prior: prior}, trie)
+	l.ProcessEdge(graph.StreamEdge{U: 1, LU: "a", V: 2, LV: "b"})
+	l.Flush()
+	if got := l.Tracker().PartOf(1); got != 0 && got != 1 {
+		t.Errorf("vertex 1 in invalid partition %d", got)
+	}
+}
+
+func TestPriorRespectsCapacity(t *testing.T) {
+	trie := paperTrie(t)
+	prior := &partition.Assignment{
+		K:     2,
+		Parts: map[graph.VertexID]partition.ID{10: 0, 11: 0, 12: 0},
+		Sizes: []int{3, 0},
+	}
+	// Capacity 2: partition 0 is full after two assignments; the prior
+	// must not push it over.
+	l := mustLoom(t, Config{K: 2, Capacity: 2, WindowSize: 4, Prior: prior}, trie)
+	l.Tracker().Assign(100, 0)
+	l.Tracker().Assign(101, 0)
+	l.ProcessEdge(graph.StreamEdge{U: 10, LU: "d", V: 11, LV: "e"}) // non-motif → immediate
+	if got := l.Tracker().PartOf(10); got == 0 {
+		t.Error("prior placement violated capacity")
+	}
+}

@@ -1,0 +1,240 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"loom/internal/dataset"
+	"loom/internal/graph"
+	"loom/internal/partition"
+	"loom/internal/signature"
+
+	"loom/internal/workload"
+)
+
+// datasetLoom builds a Loom for one of the canonical datasets.
+func datasetLoom(t testing.TB, ds string, n, k, win int) *Loom {
+	t.Helper()
+	wl, err := workload.ForDataset(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scheme := signature.NewScheme(signature.DefaultP, 11)
+	scheme.RegisterLabels(dataset.DatasetLabels(ds))
+	trie, err := wl.BuildTrie(scheme)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := New(Config{
+		K:          k,
+		Capacity:   partition.CapacityFor(n, k, partition.DefaultImbalance),
+		WindowSize: win,
+	}, trie)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+// TestSoakAllDatasets runs the full pipeline for every dataset and order
+// at small scale, checking structural invariants after every run.
+func TestSoakAllDatasets(t *testing.T) {
+	for _, ds := range []string{"dblp", "provgen", "musicbrainz", "lubm"} {
+		for _, order := range graph.Orders() {
+			g, err := dataset.Generate(ds, 1500, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			stream := graph.StreamOf(g, order, rand.New(rand.NewSource(5)))
+			l := datasetLoom(t, ds, g.NumVertices(), 4, 128)
+			maxWin := 0
+			for _, se := range stream {
+				l.ProcessEdge(se)
+				if w := l.Window().Len(); w > maxWin {
+					maxWin = w
+				}
+				if l.Window().Len() > 128 {
+					t.Fatalf("%s/%s: window exceeded capacity: %d", ds, order, l.Window().Len())
+				}
+			}
+			l.Flush()
+
+			a := l.Assignment()
+			if a.NumAssigned() != g.NumVertices() {
+				t.Errorf("%s/%s: assigned %d of %d", ds, order, a.NumAssigned(), g.NumVertices())
+			}
+			total := 0
+			for _, s := range a.Sizes {
+				total += s
+			}
+			if total != a.NumAssigned() {
+				t.Errorf("%s/%s: sizes sum %d != assigned %d", ds, order, total, a.NumAssigned())
+			}
+			st := l.Stats()
+			// Stats identity: every stream edge took exactly one path.
+			if st.SelfLoops+st.DuplicateEdges+st.ImmediateEdges+st.WindowedEdges != st.EdgesProcessed {
+				t.Errorf("%s/%s: stats do not add up: %+v", ds, order, st)
+			}
+			if !l.Window().Empty() {
+				t.Errorf("%s/%s: window not drained", ds, order)
+			}
+		}
+	}
+}
+
+// TestLoomDeterminism: identical streams and configuration yield identical
+// assignments (no map-iteration nondeterminism leaks into placement).
+func TestLoomDeterminism(t *testing.T) {
+	g, err := dataset.Generate("musicbrainz", 2500, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := graph.StreamOf(g, graph.OrderRandom, rand.New(rand.NewSource(31)))
+
+	runOnce := func() *partition.Assignment {
+		l := datasetLoom(t, "musicbrainz", g.NumVertices(), 8, 512)
+		for _, se := range stream {
+			l.ProcessEdge(se)
+		}
+		l.Flush()
+		return l.Assignment()
+	}
+	a1 := runOnce()
+	a2 := runOnce()
+	if a1.NumAssigned() != a2.NumAssigned() {
+		t.Fatalf("different assignment counts: %d vs %d", a1.NumAssigned(), a2.NumAssigned())
+	}
+	for v, p := range a1.Parts {
+		if a2.Parts[v] != p {
+			t.Fatalf("nondeterministic placement at vertex %d: %d vs %d", v, p, a2.Parts[v])
+		}
+	}
+}
+
+// TestGoldenIPT pins the end-to-end ipt numbers for a fixed seed so that
+// algorithmic regressions are caught immediately. The values encode current
+// behaviour, not ground truth; update them deliberately when the algorithm
+// changes (and record why in the commit).
+func TestGoldenIPT(t *testing.T) {
+	g, err := dataset.Generate("provgen", 2000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl, err := workload.ForDataset("provgen")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := graph.StreamOf(g, graph.OrderBFS, nil)
+	l := datasetLoom(t, "provgen", g.NumVertices(), 4, 256)
+	for _, se := range stream {
+		l.ProcessEdge(se)
+	}
+	l.Flush()
+	res, err := workload.Execute(g, l.Assignment(), wl, workload.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Regression window: the exact value is seed-dependent; assert a
+	// band of ±20% around the recorded 911.55 so cosmetic refactors pass
+	// and behavioural changes fail loudly.
+	const recorded = 911.55
+	if res.IPT < recorded*0.8 || res.IPT > recorded*1.2 {
+		t.Errorf("golden ipt = %.2f, recorded %.2f (±20%%) — algorithm behaviour changed; "+
+			"verify deliberately and update the constant", res.IPT, recorded)
+	}
+}
+
+// TestTrieSharedAcrossRuns: the trie is read-only during partitioning, so
+// sequential runs over one trie must not interfere.
+func TestTrieSharedAcrossRuns(t *testing.T) {
+	wl, err := workload.ForDataset("provgen")
+	if err != nil {
+		t.Fatal(err)
+	}
+	scheme := signature.NewScheme(signature.DefaultP, 11)
+	trie, err := wl.BuildTrie(scheme)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizeBefore := trie.Size()
+
+	g, err := dataset.Generate("provgen", 1200, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := graph.StreamOf(g, graph.OrderBFS, nil)
+	for i := 0; i < 2; i++ {
+		l, err := New(Config{
+			K:        4,
+			Capacity: partition.CapacityFor(g.NumVertices(), 4, partition.DefaultImbalance),
+			// Small window to force heavy eviction traffic through the
+			// shared trie.
+			WindowSize: 32,
+		}, trie)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, se := range stream {
+			l.ProcessEdge(se)
+		}
+		l.Flush()
+	}
+	if trie.Size() != sizeBefore {
+		t.Errorf("trie mutated during partitioning: %d → %d nodes", sizeBefore, trie.Size())
+	}
+}
+
+// TestEvictOneOnEmptyWindow is a no-op, not a panic.
+func TestEvictOneOnEmptyWindow(t *testing.T) {
+	l := datasetLoom(t, "provgen", 100, 2, 8)
+	if l.EvictOne() {
+		t.Error("EvictOne on empty window returned true")
+	}
+	l.Flush() // also a no-op
+}
+
+// TestNaiveModeImbalanceUnbounded documents the §4 strawman behaviour that
+// motivates equal opportunism: naive greedy can blow through any balance
+// target.
+func TestNaiveModeCanExceedBalancedSizes(t *testing.T) {
+	g, err := dataset.Generate("dblp", 2500, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := graph.StreamOf(g, graph.OrderBFS, nil)
+	wl, err := workload.ForDataset("dblp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	scheme := signature.NewScheme(signature.DefaultP, 11)
+	scheme.RegisterLabels(dataset.DatasetLabels("dblp"))
+	trie, err := wl.BuildTrie(scheme)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(mode string) float64 {
+		l, err := New(Config{
+			K:          8,
+			Capacity:   partition.CapacityFor(g.NumVertices(), 8, partition.DefaultImbalance),
+			WindowSize: 256,
+			Mode:       mode,
+		}, trie)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, se := range stream {
+			l.ProcessEdge(se)
+		}
+		l.Flush()
+		return partition.Imbalance(l.Assignment())
+	}
+	equal := mk(ModeEqualOpportunism)
+	naive := mk(ModeNaiveGreedy)
+	if equal > 0.12 {
+		t.Errorf("equal opportunism imbalance %.3f exceeds the b=1.1 bound", equal)
+	}
+	if naive < equal {
+		t.Errorf("naive greedy (%.3f) unexpectedly better balanced than equal opportunism (%.3f)", naive, equal)
+	}
+	t.Logf("imbalance: equal opportunism %.3f, naive greedy %.3f", equal, naive)
+}

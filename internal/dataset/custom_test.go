@@ -1,0 +1,126 @@
+package dataset
+
+import (
+	"testing"
+
+	"loom/internal/graph"
+)
+
+func TestCustomDefaults(t *testing.T) {
+	g, err := Custom(4000, 7, CustomSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(g.Labels()); got != 4 {
+		t.Errorf("|LV| = %d, want default 4", got)
+	}
+	n, m := g.NumVertices(), g.NumEdges()
+	if n != 4000 {
+		t.Errorf("|V| = %d, want 4000", n)
+	}
+	ratio := float64(m) / float64(n)
+	if ratio < 2.0 || ratio > 3.0 {
+		t.Errorf("|E|/|V| = %.2f, want near default 2.5", ratio)
+	}
+}
+
+func TestCustomHeterogeneityAndDensity(t *testing.T) {
+	g, err := Custom(3000, 1, CustomSpec{Labels: 12, EdgeFactor: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(g.Labels()); got != 12 {
+		t.Errorf("|LV| = %d, want 12", got)
+	}
+	ratio := float64(g.NumEdges()) / float64(g.NumVertices())
+	if ratio < 3.2 || ratio > 4.5 {
+		t.Errorf("|E|/|V| = %.2f, want near 4", ratio)
+	}
+}
+
+func TestCustomCommunityStructure(t *testing.T) {
+	// With low cross fraction, most edges stay within a community.
+	spec := CustomSpec{Labels: 3, EdgeFactor: 3, Communities: 10, CrossFraction: 0.02, HubSkew: 0.3}
+	g, err := Custom(2000, 3, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	commOf := func(v graph.VertexID) int {
+		// Vertices are created round-robin: builder IDs start at 1.
+		return int(v-1) % 10
+	}
+	cross := 0
+	for _, e := range g.Edges() {
+		if commOf(e.U) != commOf(e.V) {
+			cross++
+		}
+	}
+	frac := float64(cross) / float64(g.NumEdges())
+	if frac > 0.10 {
+		t.Errorf("cross-community fraction = %.3f, want small", frac)
+	}
+}
+
+func TestCustomHubSkewProducesHubs(t *testing.T) {
+	flat, err := Custom(3000, 5, CustomSpec{HubSkew: 0.0001, EdgeFactor: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	skewed, err := Custom(3000, 5, CustomSpec{HubSkew: 0.9, EdgeFactor: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxDeg := func(g *graph.Graph) int {
+		max := 0
+		for _, v := range g.Vertices() {
+			if d := g.Degree(v); d > max {
+				max = d
+			}
+		}
+		return max
+	}
+	if maxDeg(skewed) <= maxDeg(flat) {
+		t.Errorf("hub skew had no effect: max degree %d (skewed) vs %d (flat)",
+			maxDeg(skewed), maxDeg(flat))
+	}
+}
+
+func TestCustomDeterministic(t *testing.T) {
+	spec := CustomSpec{Labels: 5, EdgeFactor: 2}
+	g1, err := Custom(1000, 9, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Custom(1000, 9, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.NumEdges() != g2.NumEdges() {
+		t.Fatal("not deterministic")
+	}
+	e1, e2 := g1.Edges(), g2.Edges()
+	for i := range e1 {
+		if e1[i] != e2[i] {
+			t.Fatalf("edge %d differs", i)
+		}
+	}
+}
+
+func TestCustomValidation(t *testing.T) {
+	cases := []CustomSpec{
+		{Labels: -1},
+		{EdgeFactor: 0.1},
+		{Communities: -2},
+		{CrossFraction: 1.5},
+		{HubSkew: 1.0},
+	}
+	for i, spec := range cases {
+		if _, err := Custom(100, 1, spec); err == nil {
+			t.Errorf("case %d: want error for %+v", i, spec)
+		}
+	}
+	// Tiny scale is clamped, not an error.
+	if _, err := Custom(1, 1, CustomSpec{}); err != nil {
+		t.Errorf("tiny scale: %v", err)
+	}
+}

@@ -1,0 +1,210 @@
+package dataset
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"loom/internal/graph"
+)
+
+func TestGeneratorsMatchTable1Shape(t *testing.T) {
+	cases := []struct {
+		name       string
+		wantLabels int
+		minRatio   float64 // |E|/|V| bounds, around Table 1's values
+		maxRatio   float64
+	}{
+		{"dblp", 8, 1.6, 3.2},
+		{"provgen", 3, 1.3, 2.3},
+		{"musicbrainz", 12, 1.8, 3.6},
+		{"lubm", 15, 3.0, 5.5},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			g, err := Generate(c.name, 8000, 42)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := len(g.Labels()); got != c.wantLabels {
+				t.Errorf("|LV| = %d, want %d (labels: %v)", got, c.wantLabels, g.Labels())
+			}
+			n, m := g.NumVertices(), g.NumEdges()
+			if n < 4000 || n > 16000 {
+				t.Errorf("|V| = %d, want within 2x of scale 8000", n)
+			}
+			ratio := float64(m) / float64(n)
+			if ratio < c.minRatio || ratio > c.maxRatio {
+				t.Errorf("|E|/|V| = %.2f, want in [%.1f, %.1f]", ratio, c.minRatio, c.maxRatio)
+			}
+		})
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	for _, name := range []string{"dblp", "provgen", "musicbrainz", "lubm"} {
+		g1, err := Generate(name, 2000, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g2, err := Generate(name, 2000, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g1.NumVertices() != g2.NumVertices() || g1.NumEdges() != g2.NumEdges() {
+			t.Errorf("%s: not deterministic: %v vs %v", name, g1, g2)
+			continue
+		}
+		e1, e2 := g1.Edges(), g2.Edges()
+		for i := range e1 {
+			if e1[i] != e2[i] {
+				t.Errorf("%s: edge %d differs: %v vs %v", name, i, e1[i], e2[i])
+				break
+			}
+		}
+	}
+}
+
+func TestGeneratorsSeedSensitive(t *testing.T) {
+	g1, _ := Generate("dblp", 2000, 1)
+	g2, _ := Generate("dblp", 2000, 2)
+	if g1.NumEdges() == g2.NumEdges() {
+		// Edge counts could coincide; compare edge lists too.
+		same := true
+		e1, e2 := g1.Edges(), g2.Edges()
+		for i := range e1 {
+			if e1[i] != e2[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("different seeds produced identical graphs")
+		}
+	}
+}
+
+func TestGenerateUnknown(t *testing.T) {
+	if _, err := Generate("nope", 100, 1); err == nil {
+		t.Error("unknown dataset: want error")
+	}
+}
+
+func TestDegreeSkew(t *testing.T) {
+	// Preferential attachment must produce hubs: in DBLP, the most-cited
+	// paper / most prolific author should have degree well above average.
+	g, err := Generate("dblp", 20000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxDeg, sumDeg := 0, 0
+	for _, v := range g.Vertices() {
+		d := g.Degree(v)
+		sumDeg += d
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	avg := float64(sumDeg) / float64(g.NumVertices())
+	if float64(maxDeg) < 10*avg {
+		t.Errorf("max degree %d not clearly above avg %.1f: degree distribution too flat", maxDeg, avg)
+	}
+}
+
+func TestLUBMStructure(t *testing.T) {
+	g, err := Generate("lubm", 5000, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist := g.LabelHistogram()
+	if hist[LDepartment] == 0 || hist[LUniversity] == 0 {
+		t.Fatal("missing departments/universities")
+	}
+	if hist[LDepartment] < hist[LUniversity] {
+		t.Error("departments should outnumber universities")
+	}
+	if hist[LUndergrad] < 5*hist[LFullProf] {
+		t.Error("undergrads should dwarf full professors")
+	}
+}
+
+func TestDatasetLabelsMatchGenerators(t *testing.T) {
+	for _, name := range []string{"dblp", "provgen", "musicbrainz", "lubm"} {
+		g, err := Generate(name, 4000, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		declared := DatasetLabels(name)
+		set := make(map[graph.Label]bool, len(declared))
+		for _, l := range declared {
+			set[l] = true
+		}
+		for _, l := range g.Labels() {
+			if !set[l] {
+				t.Errorf("%s: generator used undeclared label %q", name, l)
+			}
+		}
+	}
+}
+
+func TestCatalog(t *testing.T) {
+	cat := Catalog()
+	if len(cat) != 5 {
+		t.Fatalf("catalog size = %d, want 5 (Table 1 rows)", len(cat))
+	}
+	if cat[0].Name != "dblp" || cat[0].Labels != 8 {
+		t.Errorf("catalog[0] = %+v", cat[0])
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	g, err := Generate("provgen", 500, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := graph.StreamOf(g, graph.OrderRandom, rand.New(rand.NewSource(2)))
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(s) {
+		t.Fatalf("round trip: %d edges, want %d", len(back), len(s))
+	}
+	for i := range s {
+		if back[i] != s[i] {
+			t.Fatalf("edge %d: %v != %v", i, back[i], s[i])
+		}
+	}
+}
+
+func TestReadEdgeListTolerant(t *testing.T) {
+	in := "# comment\n\n1 A 2 B\n  3 C 4 D  \n"
+	s, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s) != 2 || s[0].LU != "A" || s[1].V != 4 {
+		t.Fatalf("parsed %v", s)
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	if _, err := ReadEdgeList(strings.NewReader("1 A 2\n")); err == nil {
+		t.Error("short line: want error")
+	}
+	if _, err := ReadEdgeList(strings.NewReader("x A 2 B\n")); err == nil {
+		t.Error("bad id: want error")
+	}
+}
+
+func TestWriteEdgeListRejectsWhitespaceLabels(t *testing.T) {
+	s := graph.Stream{{U: 1, LU: "bad label", V: 2, LV: "B"}}
+	if err := WriteEdgeList(&bytes.Buffer{}, s); err == nil {
+		t.Error("whitespace label: want error")
+	}
+}

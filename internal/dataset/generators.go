@@ -1,0 +1,351 @@
+package dataset
+
+import (
+	"loom/internal/graph"
+)
+
+// DBLP generates a citation-network graph with DBLP's 8 vertex labels:
+// papers authored by persons, published at venues or in journals, tagged
+// with topics and years, citing earlier papers (preferentially), with
+// persons affiliated to institutions and journals owned by publishers.
+// scale is a target |V|; |E|/|V| lands near Table 1's ≈ 2.1.
+func DBLP(scale int, seed int64) *graph.Graph {
+	b := newBuilder(seed)
+	// Roughly 1 paper + 1.1 new persons per unit ≈ 2.1 vertices/unit.
+	units := scale * 10 / 21
+	if units < 1 {
+		units = 1
+	}
+
+	// Shared pools, sized sublinearly like the real data.
+	nVenues := clampMin(units/150, 3)
+	nJournals := clampMin(units/250, 2)
+	nPublishers := clampMin(nJournals/4, 1)
+	nYears := clampMin(units/400, 5)
+	nTopics := clampMin(units/80, 4)
+	nInstitutions := clampMin(units/120, 3)
+
+	venues := b.pool(LVenue, nVenues)
+	journals := b.pool(LJournal, nJournals)
+	publishers := b.pool(LPublisher, nPublishers)
+	years := b.pool(LYear, nYears)
+	topics := b.pool(LTopic, nTopics)
+	institutions := b.pool(LInstitution, nInstitutions)
+
+	for _, j := range journals {
+		b.edge(j, b.pick(publishers))
+	}
+
+	var papers, persons []graph.VertexID
+	for i := 0; i < units; i++ {
+		p := b.vertex(LPaper)
+
+		// Authors: 1–3 (avg 2), drawn from a growing pool with
+		// preferential re-use (prolific authors).
+		nAuthors := 1 + b.rng.Intn(3)
+		for a := 0; a < nAuthors; a++ {
+			var person graph.VertexID
+			if len(persons) == 0 || b.rng.Float64() < 0.55 {
+				person = b.vertex(LPerson)
+				persons = append(persons, person)
+				// Some new persons get an affiliation.
+				if b.rng.Float64() < 0.3 {
+					b.edge(person, b.pick(institutions))
+				}
+			} else {
+				person = b.preferential(persons)
+			}
+			b.edge(p, person)
+		}
+
+		// Publication outlet: venue (70%) or journal (30%); a year on
+		// half the papers (keeps |E|/|V| near Table 1's 2.1).
+		if b.rng.Float64() < 0.7 {
+			b.edge(p, b.pick(venues))
+		} else {
+			b.edge(p, b.pick(journals))
+		}
+		if b.rng.Float64() < 0.5 {
+			b.edge(p, b.pick(years))
+		}
+
+		// Topics: 0–1.
+		if b.rng.Intn(2) == 1 {
+			b.edge(p, b.pick(topics))
+		}
+
+		// Citations: preferential to earlier papers, average ≈ 0.5.
+		if len(papers) > 0 {
+			nCites := b.rng.Intn(2)
+			for c := 0; c < nCites; c++ {
+				b.edge(p, b.preferential(papers))
+			}
+		}
+		papers = append(papers, p)
+	}
+	return b.g
+}
+
+// ProvGen generates wiki-page provenance in the 3-label PROV-DM schema
+// (Entity, Activity, Agent): per page, a chain of revisions where each edit
+// Activity uses the previous page version, generates the next, is
+// associated with an Agent, and derived versions link entity-to-entity.
+// |E|/|V| lands near Table 1's ≈ 1.8.
+func ProvGen(scale int, seed int64) *graph.Graph {
+	b := newBuilder(seed)
+	// A revision ≈ 2 vertices (Entity + Activity) + occasional Agent.
+	revisions := scale * 10 / 21
+	if revisions < 1 {
+		revisions = 1
+	}
+	var agents []graph.VertexID
+
+	remaining := revisions
+	for remaining > 0 {
+		// Page with a geometric-ish revision chain, mean ≈ 8.
+		chain := 1 + b.rng.Intn(15)
+		if chain > remaining {
+			chain = remaining
+		}
+		remaining -= chain
+
+		var prev graph.VertexID
+		for r := 0; r < chain; r++ {
+			entity := b.vertex(LEntity)
+			activity := b.vertex(LActivity)
+			b.edge(activity, entity) // generated
+			if r > 0 {
+				b.edge(activity, prev) // used
+				// wasDerivedFrom: entity–entity, ~60%.
+				if b.rng.Float64() < 0.6 {
+					b.edge(entity, prev)
+				}
+			}
+			// Agent: mostly a returning editor.
+			var agent graph.VertexID
+			if len(agents) == 0 || b.rng.Float64() < 0.08 {
+				agent = b.vertex(LAgent)
+				agents = append(agents, agent)
+			} else {
+				agent = b.preferential(agents)
+			}
+			b.edge(activity, agent) // associatedWith
+			if b.rng.Float64() < 0.25 {
+				b.edge(entity, agent) // attributedTo
+			}
+			prev = entity
+		}
+	}
+	return b.g
+}
+
+// MusicBrainz generates music metadata with the 12 labels of the paper's
+// MusicBrainz graph: artists from areas signed to labels, releasing albums
+// whose tracks are recordings of works, with genres, events at places, and
+// series. It is the most heterogeneous dataset and the one where Loom's
+// advantage peaks (§5.2). |E|/|V| lands near 2.6 (Table 1: ≈ 3.2).
+func MusicBrainz(scale int, seed int64) *graph.Graph {
+	b := newBuilder(seed)
+	// Per artist unit ≈ 1 artist + 1.2 albums + 3.6 tracks + 3.6
+	// recordings + 0.9 works + … ≈ 10.6 vertices.
+	artists := scale / 10
+	if artists < 2 {
+		artists = 2
+	}
+
+	nAreas := clampMin(artists/60, 3)
+	nLabels := clampMin(artists/25, 2)
+	nGenres := clampMin(artists/40, 3)
+	nPlaces := clampMin(artists/50, 2)
+	nSeries := clampMin(artists/80, 1)
+
+	areas := b.pool(LArea, nAreas)
+	labels := b.pool(LLabel, nLabels)
+	genres := b.pool(LGenre, nGenres)
+	places := b.pool(LPlace, nPlaces)
+	series := b.pool(LSeries, nSeries)
+
+	var artistPool, workPool []graph.VertexID
+	for i := 0; i < artists; i++ {
+		artist := b.vertex(LArtist)
+		artistPool = append(artistPool, artist)
+		b.edge(artist, b.pick(areas))
+		b.edge(artist, b.pick(labels))
+		if b.rng.Float64() < 0.5 {
+			b.edge(artist, b.pick(genres))
+		}
+
+		nAlbums := 1 + b.rng.Intn(2)
+		for al := 0; al < nAlbums; al++ {
+			album := b.vertex(LAlbum)
+			b.edge(album, artist)
+			b.edge(album, b.pick(labels))
+			if b.rng.Float64() < 0.6 {
+				b.edge(album, b.pick(genres))
+			}
+			// Collaboration: second artist on the album (prior artist,
+			// preferential — the "potential collaboration" structure the
+			// workload queries look for).
+			if len(artistPool) > 1 && b.rng.Float64() < 0.35 {
+				other := b.preferential(artistPool)
+				if other != artist {
+					b.edge(album, other)
+				}
+			}
+			// A release of the album (edition), sometimes in a series.
+			release := b.vertex(LRelease)
+			b.edge(release, album)
+			b.edge(release, b.pick(labels))
+			if b.rng.Float64() < 0.15 {
+				b.edge(release, b.pick(series))
+			}
+
+			nTracks := 2 + b.rng.Intn(3)
+			for tr := 0; tr < nTracks; tr++ {
+				track := b.vertex(LTrack)
+				b.edge(track, album)
+				b.edge(track, release) // appears on this edition
+				rec := b.vertex(LRecording)
+				b.edge(track, rec)
+				b.edge(rec, artist)
+				if b.rng.Float64() < 0.4 {
+					b.edge(rec, b.pick(genres))
+				}
+				// Work: 60% a cover/new recording of an existing work
+				// (work re-use keeps the vertex count down and builds
+				// the cross-artist connectivity real MusicBrainz has).
+				var work graph.VertexID
+				if len(workPool) > 0 && b.rng.Float64() < 0.6 {
+					work = b.preferential(workPool)
+				} else {
+					work = b.vertex(LWork)
+					workPool = append(workPool, work)
+				}
+				b.edge(rec, work)
+			}
+		}
+
+		// Live events.
+		if b.rng.Float64() < 0.4 {
+			event := b.vertex(LEvent)
+			b.edge(event, artist)
+			b.edge(event, b.pick(places))
+		}
+	}
+	return b.g
+}
+
+// LUBM generates university records following the LUBM schema with 15
+// vertex labels: universities contain departments; departments employ
+// professors and lecturers, enrol students, offer courses and host research
+// groups; students take courses; graduate students have advisors, TA
+// courses and RA for groups; publications are co-authored by faculty and
+// graduate students. scale is a target |V|; |E|/|V| lands near Table 1's
+// ≈ 4.2 thanks to dense takesCourse/authorship edges.
+func LUBM(scale int, seed int64) *graph.Graph {
+	b := newBuilder(seed)
+	// One department ≈ 96 vertices (see unit counts below).
+	departments := clampMin(scale/96, 1)
+	deptsPerUni := 5
+
+	var universities []graph.VertexID
+	for d := 0; d < departments; d++ {
+		if d%deptsPerUni == 0 {
+			universities = append(universities, b.vertex(LUniversity))
+		}
+		uni := universities[len(universities)-1]
+		dept := b.vertex(LDepartment)
+		b.edge(dept, uni)
+
+		full := b.pool(LFullProf, 3)
+		assoc := b.pool(LAssocProf, 4)
+		asst := b.pool(LAsstProf, 4)
+		lect := b.pool(LLecturer, 3)
+		faculty := concat(full, assoc, asst, lect)
+		for _, f := range faculty {
+			b.edge(f, dept) // worksFor
+		}
+		// Chair of the department.
+		chair := b.vertex(LChair)
+		b.edge(chair, full[0])
+		b.edge(chair, dept)
+
+		courses := b.pool(LCourse, 10)
+		gradCourses := b.pool(LGradCourse, 5)
+		for _, c := range courses {
+			b.edge(c, b.pick(faculty)) // teacherOf
+		}
+		for _, c := range gradCourses {
+			b.edge(c, b.pick(faculty))
+		}
+
+		groups := b.pool(LResearchGroup, 3)
+		for _, g := range groups {
+			b.edge(g, dept)
+			b.edge(g, b.pick(faculty))
+		}
+
+		undergrads := b.pool(LUndergrad, 40)
+		grads := b.pool(LGradStudent, 12)
+		for _, s := range undergrads {
+			b.edge(s, dept) // memberOf
+			for n := 3 + b.rng.Intn(4); n > 0; n-- {
+				b.edge(s, b.pick(courses)) // takesCourse
+			}
+		}
+		for _, s := range grads {
+			b.edge(s, dept)
+			b.edge(s, b.pick(faculty)) // advisor
+			for n := 2 + b.rng.Intn(3); n > 0; n-- {
+				b.edge(s, b.pick(gradCourses))
+			}
+			if b.rng.Float64() < 0.4 {
+				ta := b.vertex(LTA)
+				b.edge(ta, s)
+				b.edge(ta, b.pick(courses))
+			}
+			if b.rng.Float64() < 0.3 {
+				ra := b.vertex(LRA)
+				b.edge(ra, s)
+				b.edge(ra, b.pick(groups))
+			}
+		}
+
+		// Publications: each faculty member authors ~2, co-authored with
+		// one or more grad students.
+		for _, f := range faculty {
+			for n := 1 + b.rng.Intn(3); n > 0; n-- {
+				pub := b.vertex(LPublication)
+				b.edge(pub, f)
+				for c := 1 + b.rng.Intn(3); c > 0; c-- {
+					b.edge(pub, b.pick(grads))
+				}
+			}
+		}
+	}
+	return b.g
+}
+
+// pool creates n fresh vertices with one label.
+func (b *builder) pool(l graph.Label, n int) []graph.VertexID {
+	out := make([]graph.VertexID, n)
+	for i := range out {
+		out[i] = b.vertex(l)
+	}
+	return out
+}
+
+func clampMin(v, min int) int {
+	if v < min {
+		return min
+	}
+	return v
+}
+
+func concat(ss ...[]graph.VertexID) []graph.VertexID {
+	var out []graph.VertexID
+	for _, s := range ss {
+		out = append(out, s...)
+	}
+	return out
+}

@@ -1,0 +1,69 @@
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"loom/internal/graph"
+)
+
+// Edge-list text format, one stream element per line:
+//
+//	<u> <label-u> <v> <label-v>
+//
+// Lines starting with '#' and blank lines are ignored. This is the on-disk
+// form of a graph stream: the evaluation "streams a graph from disk" in a
+// chosen order (§5.1), and cmd/loom-gen materialises orderings to files in
+// this format.
+
+// WriteEdgeList writes a stream, returning the first write error.
+func WriteEdgeList(w io.Writer, s graph.Stream) error {
+	bw := bufio.NewWriter(w)
+	for _, e := range s {
+		if strings.ContainsAny(string(e.LU), " \t\n") || strings.ContainsAny(string(e.LV), " \t\n") {
+			return fmt.Errorf("dataset: label with whitespace cannot be serialised: %q %q", e.LU, e.LV)
+		}
+		if _, err := fmt.Fprintf(bw, "%d %s %d %s\n", e.U, e.LU, e.V, e.LV); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeList parses a stream written by WriteEdgeList.
+func ReadEdgeList(r io.Reader) (graph.Stream, error) {
+	var out graph.Stream
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 4 {
+			return nil, fmt.Errorf("dataset: line %d: want 4 fields, got %d", lineNo, len(fields))
+		}
+		u, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: line %d: bad vertex id %q: %v", lineNo, fields[0], err)
+		}
+		v, err := strconv.ParseInt(fields[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: line %d: bad vertex id %q: %v", lineNo, fields[2], err)
+		}
+		out = append(out, graph.StreamEdge{
+			U: graph.VertexID(u), LU: graph.Label(fields[1]),
+			V: graph.VertexID(v), LV: graph.Label(fields[3]),
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dataset: read: %v", err)
+	}
+	return out, nil
+}

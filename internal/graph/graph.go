@@ -1,0 +1,294 @@
+// Package graph provides the labelled-graph substrate used throughout Loom:
+// vertices carrying labels from a small alphabet, undirected (or directed)
+// edges, adjacency indexes, and deterministic stream orderings of a graph's
+// edges (breadth-first, depth-first, random) as used by the paper's
+// evaluation (§5.1).
+//
+// A labelled graph G = (V, E, LV, fl) follows §1.3 of the paper: V is a set
+// of vertices, E a set of pairwise edges, LV a set of vertex labels and
+// fl : V → LV a surjective mapping of vertices to labels. Graphs here are
+// simple (no self-loops, no parallel edges) and undirected by default; the
+// directed extension the paper mentions inline is supported via NewDirected.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// VertexID identifies a vertex. IDs are opaque to the library; datasets and
+// generators choose them. They need not be dense.
+type VertexID int64
+
+// Label is a vertex label drawn from the (typically small) alphabet LV.
+type Label string
+
+// Edge is a pair of vertex endpoints. For undirected graphs the pair is kept
+// in normalised (U <= V) order so an Edge value can be used as a map key.
+type Edge struct {
+	U, V VertexID
+}
+
+// Norm returns e with endpoints in canonical order for undirected keying.
+func (e Edge) Norm() Edge {
+	if e.V < e.U {
+		return Edge{e.V, e.U}
+	}
+	return e
+}
+
+// Other returns the endpoint of e that is not v. It panics if v is not an
+// endpoint of e; callers always hold an incident vertex.
+func (e Edge) Other(v VertexID) VertexID {
+	switch v {
+	case e.U:
+		return e.V
+	case e.V:
+		return e.U
+	}
+	panic(fmt.Sprintf("graph: vertex %d is not an endpoint of edge %v", v, e))
+}
+
+// HasEndpoint reports whether v is one of e's endpoints.
+func (e Edge) HasEndpoint(v VertexID) bool { return e.U == v || e.V == v }
+
+func (e Edge) String() string { return fmt.Sprintf("(%d,%d)", e.U, e.V) }
+
+// Graph is a simple labelled graph. The zero value is not usable; construct
+// with New or NewDirected.
+type Graph struct {
+	directed bool
+
+	labels map[VertexID]Label
+	adj    map[VertexID][]VertexID
+
+	// vorder and eorder preserve insertion order so that iteration,
+	// orderings and tests are deterministic (map iteration is not).
+	vorder []VertexID
+	eorder []Edge
+	eset   map[Edge]struct{}
+}
+
+// New returns an empty undirected labelled graph.
+func New() *Graph {
+	return &Graph{
+		labels: make(map[VertexID]Label),
+		adj:    make(map[VertexID][]VertexID),
+		eset:   make(map[Edge]struct{}),
+	}
+}
+
+// NewDirected returns an empty directed labelled graph. Directed edges are
+// stored (U→V); Neighbors returns out-neighbours and InNeighbors is provided
+// for the reverse direction.
+func NewDirected() *Graph {
+	g := New()
+	g.directed = true
+	return g
+}
+
+// Directed reports whether g stores directed edges.
+func (g *Graph) Directed() bool { return g.directed }
+
+// AddVertex inserts vertex id with the given label. Re-adding an existing
+// vertex with the same label is a no-op; with a different label it returns
+// an error, since fl is a function.
+func (g *Graph) AddVertex(id VertexID, l Label) error {
+	if have, ok := g.labels[id]; ok {
+		if have != l {
+			return fmt.Errorf("graph: vertex %d already has label %q (got %q)", id, have, l)
+		}
+		return nil
+	}
+	g.labels[id] = l
+	g.vorder = append(g.vorder, id)
+	return nil
+}
+
+// HasVertex reports whether id is in the graph.
+func (g *Graph) HasVertex(id VertexID) bool {
+	_, ok := g.labels[id]
+	return ok
+}
+
+// Label returns the label of id and whether id exists.
+func (g *Graph) Label(id VertexID) (Label, bool) {
+	l, ok := g.labels[id]
+	return l, ok
+}
+
+// MustLabel returns the label of id, panicking if id is absent. Intended for
+// internal hot paths where existence is an invariant.
+func (g *Graph) MustLabel(id VertexID) Label {
+	l, ok := g.labels[id]
+	if !ok {
+		panic(fmt.Sprintf("graph: vertex %d not in graph", id))
+	}
+	return l
+}
+
+func (g *Graph) key(u, v VertexID) Edge {
+	e := Edge{u, v}
+	if !g.directed {
+		e = e.Norm()
+	}
+	return e
+}
+
+// AddEdge inserts the edge (u,v). Both endpoints must already exist.
+// Self-loops and duplicate edges are rejected with an error: the paper's
+// graphs are simple, and rejecting rather than silently ignoring surfaces
+// generator bugs early.
+func (g *Graph) AddEdge(u, v VertexID) error {
+	if u == v {
+		return fmt.Errorf("graph: self-loop on vertex %d", u)
+	}
+	if !g.HasVertex(u) {
+		return fmt.Errorf("graph: edge endpoint %d not in graph", u)
+	}
+	if !g.HasVertex(v) {
+		return fmt.Errorf("graph: edge endpoint %d not in graph", v)
+	}
+	k := g.key(u, v)
+	if _, dup := g.eset[k]; dup {
+		return fmt.Errorf("graph: duplicate edge %v", k)
+	}
+	g.eset[k] = struct{}{}
+	g.eorder = append(g.eorder, k)
+	g.adj[u] = append(g.adj[u], v)
+	if !g.directed {
+		g.adj[v] = append(g.adj[v], u)
+	}
+	return nil
+}
+
+// EnsureEdge inserts vertices u and v (with labels lu, lv) if absent, then
+// the edge between them. It reports whether a new edge was added; duplicate
+// edges and self-loops return false without error, making it convenient for
+// ingesting noisy streams. A label conflict still returns an error.
+func (g *Graph) EnsureEdge(u VertexID, lu Label, v VertexID, lv Label) (bool, error) {
+	if err := g.AddVertex(u, lu); err != nil {
+		return false, err
+	}
+	if err := g.AddVertex(v, lv); err != nil {
+		return false, err
+	}
+	if u == v {
+		return false, nil
+	}
+	if _, dup := g.eset[g.key(u, v)]; dup {
+		return false, nil
+	}
+	return true, g.AddEdge(u, v)
+}
+
+// HasEdge reports whether the edge (u,v) exists. For undirected graphs the
+// order of u and v does not matter.
+func (g *Graph) HasEdge(u, v VertexID) bool {
+	_, ok := g.eset[g.key(u, v)]
+	return ok
+}
+
+// Degree returns the number of edges incident to v (out-degree for directed
+// graphs).
+func (g *Graph) Degree(v VertexID) int { return len(g.adj[v]) }
+
+// Neighbors returns the adjacency list of v. The returned slice is owned by
+// the graph and must not be modified.
+func (g *Graph) Neighbors(v VertexID) []VertexID { return g.adj[v] }
+
+// InNeighbors returns, for a directed graph, the vertices with an edge into
+// v. It is computed on demand and is O(|E|); directed support exists for the
+// paper's "extends to directed graphs" remark, not for hot paths.
+func (g *Graph) InNeighbors(v VertexID) []VertexID {
+	if !g.directed {
+		return g.adj[v]
+	}
+	var in []VertexID
+	for _, e := range g.eorder {
+		if e.V == v {
+			in = append(in, e.U)
+		}
+	}
+	return in
+}
+
+// NumVertices returns |V|.
+func (g *Graph) NumVertices() int { return len(g.labels) }
+
+// NumEdges returns |E|.
+func (g *Graph) NumEdges() int { return len(g.eorder) }
+
+// Vertices returns all vertex IDs in insertion order. The returned slice is
+// a copy and may be modified by the caller.
+func (g *Graph) Vertices() []VertexID {
+	out := make([]VertexID, len(g.vorder))
+	copy(out, g.vorder)
+	return out
+}
+
+// Edges returns all edges in insertion order. The returned slice is a copy.
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, len(g.eorder))
+	copy(out, g.eorder)
+	return out
+}
+
+// Labels returns the distinct labels in use, sorted, i.e. the alphabet LV.
+func (g *Graph) Labels() []Label {
+	seen := make(map[Label]struct{})
+	for _, l := range g.labels {
+		seen[l] = struct{}{}
+	}
+	out := make([]Label, 0, len(seen))
+	for l := range seen {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// LabelHistogram returns the number of vertices per label.
+func (g *Graph) LabelHistogram() map[Label]int {
+	h := make(map[Label]int)
+	for _, l := range g.labels {
+		h[l]++
+	}
+	return h
+}
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{
+		directed: g.directed,
+		labels:   make(map[VertexID]Label, len(g.labels)),
+		adj:      make(map[VertexID][]VertexID, len(g.adj)),
+		vorder:   append([]VertexID(nil), g.vorder...),
+		eorder:   append([]Edge(nil), g.eorder...),
+		eset:     make(map[Edge]struct{}, len(g.eset)),
+	}
+	for v, l := range g.labels {
+		c.labels[v] = l
+	}
+	for v, ns := range g.adj {
+		c.adj[v] = append([]VertexID(nil), ns...)
+	}
+	for e := range g.eset {
+		c.eset[e] = struct{}{}
+	}
+	return c
+}
+
+// EdgeLabels returns the labels of an edge's endpoints in (U,V) order.
+func (g *Graph) EdgeLabels(e Edge) (Label, Label) {
+	return g.labels[e.U], g.labels[e.V]
+}
+
+// String summarises the graph.
+func (g *Graph) String() string {
+	kind := "undirected"
+	if g.directed {
+		kind = "directed"
+	}
+	return fmt.Sprintf("graph{%s |V|=%d |E|=%d |LV|=%d}", kind, g.NumVertices(), g.NumEdges(), len(g.Labels()))
+}

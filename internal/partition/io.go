@@ -1,0 +1,84 @@
+package partition
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"loom/internal/graph"
+)
+
+// Assignment serialisation: one "<vertex>\t<partition>" line per assigned
+// vertex, sorted by vertex ID. This is the interchange format between
+// cmd/loom-partition and downstream systems (a graph database's placement
+// driver, the refinement tool, a later restreaming pass).
+
+// WriteAssignment writes a in the TSV interchange format.
+func WriteAssignment(w io.Writer, a *Assignment) error {
+	bw := bufio.NewWriter(w)
+	vs := make([]graph.VertexID, 0, len(a.Parts))
+	for v := range a.Parts {
+		vs = append(vs, v)
+	}
+	sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+	for _, v := range vs {
+		if _, err := fmt.Fprintf(bw, "%d\t%d\n", v, a.Parts[v]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadAssignment parses the TSV interchange format. k is inferred as one
+// more than the largest partition ID seen unless a larger kHint is given.
+func ReadAssignment(r io.Reader, kHint int) (*Assignment, error) {
+	parts := make(map[graph.VertexID]ID)
+	maxID := ID(-1)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("partition: line %d: want 2 fields, got %d", lineNo, len(fields))
+		}
+		v, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("partition: line %d: bad vertex %q: %v", lineNo, fields[0], err)
+		}
+		p, err := strconv.Atoi(fields[1])
+		if err != nil || p < 0 {
+			return nil, fmt.Errorf("partition: line %d: bad partition %q", lineNo, fields[1])
+		}
+		if _, dup := parts[graph.VertexID(v)]; dup {
+			return nil, fmt.Errorf("partition: line %d: duplicate vertex %d", lineNo, v)
+		}
+		parts[graph.VertexID(v)] = ID(p)
+		if ID(p) > maxID {
+			maxID = ID(p)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("partition: read: %v", err)
+	}
+	k := int(maxID) + 1
+	if kHint > k {
+		k = kHint
+	}
+	if k < 1 {
+		k = 1
+	}
+	sizes := make([]int, k)
+	for _, p := range parts {
+		sizes[p]++
+	}
+	return &Assignment{K: k, Parts: parts, Sizes: sizes}, nil
+}

@@ -1,0 +1,90 @@
+package partition
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"loom/internal/graph"
+)
+
+func TestAssignmentRoundTrip(t *testing.T) {
+	a := &Assignment{
+		K:     4,
+		Parts: map[graph.VertexID]ID{5: 2, 1: 0, 9: 3, 2: 0},
+		Sizes: []int{2, 0, 1, 1},
+	}
+	var buf bytes.Buffer
+	if err := WriteAssignment(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	// Sorted by vertex ID.
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if lines[0] != "1\t0" || lines[len(lines)-1] != "9\t3" {
+		t.Errorf("output not sorted: %v", lines)
+	}
+	back, err := ReadAssignment(&buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.K != 4 || back.NumAssigned() != 4 {
+		t.Fatalf("round trip: %+v", back)
+	}
+	for v, p := range a.Parts {
+		if back.Of(v) != p {
+			t.Errorf("vertex %d: %d != %d", v, back.Of(v), p)
+		}
+	}
+	for i := range a.Sizes {
+		if back.Sizes[i] != a.Sizes[i] {
+			t.Errorf("sizes differ: %v vs %v", back.Sizes, a.Sizes)
+		}
+	}
+}
+
+func TestReadAssignmentKHint(t *testing.T) {
+	in := "1\t0\n2\t1\n"
+	a, err := ReadAssignment(strings.NewReader(in), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.K != 8 || len(a.Sizes) != 8 {
+		t.Errorf("kHint ignored: K=%d", a.K)
+	}
+}
+
+func TestReadAssignmentTolerant(t *testing.T) {
+	in := "# comment\n\n  1\t0  \n2 1\n"
+	a, err := ReadAssignment(strings.NewReader(in), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumAssigned() != 2 {
+		t.Errorf("parsed %d", a.NumAssigned())
+	}
+}
+
+func TestReadAssignmentErrors(t *testing.T) {
+	cases := map[string]string{
+		"short line":    "1\n",
+		"bad vertex":    "x\t0\n",
+		"bad partition": "1\tx\n",
+		"negative":      "1\t-2\n",
+		"duplicate":     "1\t0\n1\t1\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadAssignment(strings.NewReader(in), 0); err == nil {
+			t.Errorf("%s: want error", name)
+		}
+	}
+}
+
+func TestReadAssignmentEmpty(t *testing.T) {
+	a, err := ReadAssignment(strings.NewReader(""), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.K != 1 || a.NumAssigned() != 0 {
+		t.Errorf("empty: %+v", a)
+	}
+}

@@ -1,0 +1,162 @@
+package partition
+
+import (
+	"math"
+	"testing"
+
+	"loom/internal/graph"
+)
+
+func TestResidualAndLeastLoaded(t *testing.T) {
+	tr := NewTracker(3, 10)
+	tr.Assign(1, 0)
+	tr.Assign(2, 0)
+	tr.Assign(3, 1)
+	if got := tr.Residual(0); math.Abs(got-0.8) > 1e-12 {
+		t.Errorf("Residual(0) = %v, want 0.8", got)
+	}
+	if got := tr.Residual(2); got != 1 {
+		t.Errorf("Residual(2) = %v, want 1", got)
+	}
+	if got := tr.LeastLoaded(); got != 2 {
+		t.Errorf("LeastLoaded = %d, want 2", got)
+	}
+	if got := tr.MinSize(); got != 0 {
+		t.Errorf("MinSize = %d, want 0", got)
+	}
+}
+
+func TestObservedEdgesAndNeighbors(t *testing.T) {
+	tr := NewTracker(2, 10)
+	tr.Observe(graph.StreamEdge{U: 1, LU: "a", V: 2, LV: "b"})
+	tr.Observe(graph.StreamEdge{U: 1, LU: "a", V: 3, LV: "c"})
+	if tr.ObservedEdges() != 2 {
+		t.Errorf("ObservedEdges = %d", tr.ObservedEdges())
+	}
+	ns := tr.Neighbors(1)
+	if len(ns) != 2 {
+		t.Errorf("Neighbors(1) = %v", ns)
+	}
+}
+
+func TestTrackerConstructorValidation(t *testing.T) {
+	for _, tc := range []struct {
+		k   int
+		cap float64
+	}{{0, 10}, {2, 0}, {2, -1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewTracker(%d, %v): want panic", tc.k, tc.cap)
+				}
+			}()
+			NewTracker(tc.k, tc.cap)
+		}()
+	}
+}
+
+func TestAssignLDGTieBreaksTowardSmaller(t *testing.T) {
+	tr := NewTracker(2, 100)
+	// Vertex 5 has one neighbour in each partition; partition 1 is
+	// smaller overall → its residual is higher, so it must win.
+	tr.Assign(1, 0)
+	tr.Assign(2, 0)
+	tr.Assign(3, 1)
+	tr.Observe(graph.StreamEdge{U: 5, LU: "x", V: 1, LV: "x"})
+	tr.Observe(graph.StreamEdge{U: 5, LU: "x", V: 3, LV: "x"})
+	if got := tr.AssignLDG(5); got != 1 {
+		t.Errorf("AssignLDG = %d, want 1 (higher residual)", got)
+	}
+}
+
+func TestAssignLDGAllFullFallsBack(t *testing.T) {
+	tr := NewTracker(2, 1)
+	tr.Assign(1, 0)
+	tr.Assign(2, 1)
+	// Both partitions at capacity: overflow to least loaded, not panic.
+	got := tr.AssignLDG(3)
+	if got != 0 && got != 1 {
+		t.Errorf("AssignLDG overflow = %d", got)
+	}
+}
+
+func TestHashTrackerAccessors(t *testing.T) {
+	h := NewHash(4, 10)
+	if h.Tracker() == nil {
+		t.Error("nil tracker")
+	}
+	l := NewLDG(4, 10)
+	if l.Tracker() == nil {
+		t.Error("nil tracker")
+	}
+	f := NewFennel(4, 100, 200)
+	if f.Tracker() == nil {
+		t.Error("nil tracker")
+	}
+}
+
+func TestStreamerNames(t *testing.T) {
+	if NewHash(2, 10).Name() != "hash" {
+		t.Error("hash name")
+	}
+	if NewLDG(2, 10).Name() != "ldg" {
+		t.Error("ldg name")
+	}
+	if NewFennel(2, 10, 20).Name() != "fennel" {
+		t.Error("fennel name")
+	}
+}
+
+func TestAssignmentOf(t *testing.T) {
+	a := &Assignment{K: 2, Parts: map[graph.VertexID]ID{1: 1}, Sizes: []int{0, 1}}
+	if a.Of(1) != 1 {
+		t.Error("Of(1)")
+	}
+	if a.Of(99) != Unassigned {
+		t.Error("Of(missing)")
+	}
+	if a.NumAssigned() != 1 {
+		t.Error("NumAssigned")
+	}
+}
+
+func TestImbalanceEmpty(t *testing.T) {
+	a := &Assignment{K: 4, Sizes: make([]int, 4), Parts: map[graph.VertexID]ID{}}
+	if got := Imbalance(a); got != 0 {
+		t.Errorf("Imbalance empty = %v", got)
+	}
+}
+
+func TestCommunicationVolumeMultiPartition(t *testing.T) {
+	// Star with leaves in 3 different partitions: hub contributes 2 (two
+	// foreign partitions), each foreign leaf contributes 1.
+	g := graph.New()
+	for v, l := range map[graph.VertexID]graph.Label{1: "h", 2: "a", 3: "a", 4: "a"} {
+		if err := g.AddVertex(v, l); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, v := range []graph.VertexID{2, 3, 4} {
+		if err := g.AddEdge(1, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a := &Assignment{K: 3, Parts: map[graph.VertexID]ID{1: 0, 2: 0, 3: 1, 4: 2}, Sizes: []int{2, 1, 1}}
+	// hub (p0): neighbours in p1, p2 → 2. leaf 3 (p1): hub in p0 → 1.
+	// leaf 4 (p2): hub in p0 → 1. leaf 2 (p0): hub in p0 → 0.
+	if got := CommunicationVolume(g, a); got != 4 {
+		t.Errorf("CommunicationVolume = %d, want 4", got)
+	}
+}
+
+func TestFennelPrefersNeighborsOverEmptiness(t *testing.T) {
+	// With a modest α, one assigned neighbour must beat an empty
+	// partition.
+	f := NewFennel(2, 1000, 2000)
+	f.ProcessEdge(graph.StreamEdge{U: 1, LU: "a", V: 2, LV: "a"})
+	p1 := f.Assignment().Of(1)
+	f.ProcessEdge(graph.StreamEdge{U: 1, LU: "a", V: 3, LV: "a"})
+	if got := f.Assignment().Of(3); got != p1 {
+		t.Errorf("vertex 3 in %d, want neighbour's partition %d", got, p1)
+	}
+}

@@ -1,0 +1,296 @@
+package partition
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"loom/internal/graph"
+)
+
+func chain(n int) graph.Stream {
+	s := make(graph.Stream, 0, n-1)
+	for i := 1; i < n; i++ {
+		s = append(s, graph.StreamEdge{
+			U: graph.VertexID(i), LU: "a",
+			V: graph.VertexID(i + 1), LV: "a",
+		})
+	}
+	return s
+}
+
+func run(p Streamer, s graph.Stream) *Assignment {
+	for _, e := range s {
+		p.ProcessEdge(e)
+	}
+	p.Flush()
+	return p.Assignment()
+}
+
+func TestTrackerBasics(t *testing.T) {
+	tr := NewTracker(4, 10)
+	e := graph.StreamEdge{U: 1, LU: "a", V: 2, LV: "b"}
+	tr.Observe(e)
+	if tr.ObservedDegree(1) != 1 || tr.ObservedDegree(2) != 1 {
+		t.Error("Observe did not record adjacency")
+	}
+	if tr.PartOf(1) != Unassigned {
+		t.Error("vertex should start unassigned")
+	}
+	tr.Assign(1, 2)
+	if tr.PartOf(1) != 2 || tr.Size(2) != 1 {
+		t.Error("Assign not reflected")
+	}
+	if tr.NeighborCount(2, 2) != 1 {
+		t.Error("NeighborCount should see vertex 1 in partition 2")
+	}
+	counts := tr.NeighborCounts(2)
+	if counts[2] != 1 || counts[0] != 0 {
+		t.Errorf("NeighborCounts = %v", counts)
+	}
+}
+
+func TestTrackerPanicsOnReassign(t *testing.T) {
+	tr := NewTracker(2, 10)
+	tr.Assign(1, 0)
+	defer func() {
+		if recover() == nil {
+			t.Error("reassignment must panic (one-pass streaming)")
+		}
+	}()
+	tr.Assign(1, 1)
+}
+
+func TestTrackerPanicsOnBadPartition(t *testing.T) {
+	tr := NewTracker(2, 10)
+	defer func() {
+		if recover() == nil {
+			t.Error("bad partition id must panic")
+		}
+	}()
+	tr.Assign(1, 5)
+}
+
+func TestCapacityFor(t *testing.T) {
+	if got := CapacityFor(100, 4, 1.1); math.Abs(got-27.5) > 1e-9 {
+		t.Errorf("CapacityFor = %v, want 27.5", got)
+	}
+	if got := CapacityFor(0, 4, 1.1); got != 1 {
+		t.Errorf("CapacityFor floor = %v, want 1", got)
+	}
+}
+
+func TestHashIsDeterministicAndComplete(t *testing.T) {
+	s := chain(100)
+	a1 := run(NewHash(4, CapacityFor(100, 4, DefaultImbalance)), s)
+	a2 := run(NewHash(4, CapacityFor(100, 4, DefaultImbalance)), s)
+	if a1.NumAssigned() != 100 {
+		t.Fatalf("assigned = %d, want 100", a1.NumAssigned())
+	}
+	for v, p := range a1.Parts {
+		if a2.Parts[v] != p {
+			t.Fatalf("hash not deterministic at %d", v)
+		}
+		if p < 0 || int(p) >= 4 {
+			t.Fatalf("bad partition %d", p)
+		}
+	}
+}
+
+func TestHashRoughlyBalanced(t *testing.T) {
+	s := chain(4000)
+	a := run(NewHash(8, CapacityFor(4000, 8, DefaultImbalance)), s)
+	if imb := Imbalance(a); imb > 0.25 {
+		t.Errorf("hash imbalance = %.3f, want < 0.25", imb)
+	}
+}
+
+func TestLDGKeepsNeighborsTogether(t *testing.T) {
+	// Two disjoint cliques streamed BFS-style: LDG should put each clique
+	// in one partition (they fit comfortably within capacity).
+	var s graph.Stream
+	cliq := func(base graph.VertexID) {
+		ids := []graph.VertexID{base, base + 1, base + 2, base + 3}
+		for i := 0; i < len(ids); i++ {
+			for j := i + 1; j < len(ids); j++ {
+				s = append(s, graph.StreamEdge{U: ids[i], LU: "a", V: ids[j], LV: "a"})
+			}
+		}
+	}
+	cliq(1)
+	cliq(100)
+	a := run(NewLDG(2, CapacityFor(8, 2, DefaultImbalance)), s)
+	p1 := a.Of(1)
+	for _, v := range []graph.VertexID{2, 3, 4} {
+		if a.Of(v) != p1 {
+			t.Errorf("clique 1 split: vertex %d in %d, want %d", v, a.Of(v), p1)
+		}
+	}
+	p2 := a.Of(100)
+	for _, v := range []graph.VertexID{101, 102, 103} {
+		if a.Of(v) != p2 {
+			t.Errorf("clique 2 split: vertex %d in %d, want %d", v, a.Of(v), p2)
+		}
+	}
+	if p1 == p2 {
+		t.Error("cliques should land in different partitions (balance)")
+	}
+}
+
+func TestLDGRespectsCapacity(t *testing.T) {
+	// Stream a star: without the capacity term every vertex would follow
+	// the hub. With C = ν·n/k the partitions must stay within capacity.
+	var s graph.Stream
+	for i := 2; i <= 101; i++ {
+		s = append(s, graph.StreamEdge{U: 1, LU: "h", V: graph.VertexID(i), LV: "a"})
+	}
+	k := 4
+	cap := CapacityFor(101, k, DefaultImbalance)
+	a := run(NewLDG(k, cap), s)
+	for p, size := range a.Sizes {
+		if float64(size) > cap+1e-9 {
+			t.Errorf("partition %d has %d vertices, capacity %.1f", p, size, cap)
+		}
+	}
+}
+
+func TestFennelAlpha(t *testing.T) {
+	f := NewFennel(4, 1000, 5000)
+	want := 5000 * math.Pow(4, 0.5) / math.Pow(1000, 1.5)
+	if math.Abs(f.Alpha()-want) > 1e-12 {
+		t.Errorf("alpha = %v, want %v", f.Alpha(), want)
+	}
+}
+
+func TestFennelBeatsHashOnEdgeCut(t *testing.T) {
+	// A ring of small communities: Fennel and LDG must cut far fewer
+	// edges than Hash.
+	r := rand.New(rand.NewSource(11))
+	var s graph.Stream
+	nComm, commSize := 32, 16
+	id := func(c, i int) graph.VertexID { return graph.VertexID(c*commSize + i) }
+	for c := 0; c < nComm; c++ {
+		for i := 0; i < commSize; i++ {
+			for j := i + 1; j < commSize; j++ {
+				if r.Float64() < 0.4 {
+					s = append(s, graph.StreamEdge{U: id(c, i), LU: "a", V: id(c, j), LV: "a"})
+				}
+			}
+		}
+		// One bridge to the next community.
+		s = append(s, graph.StreamEdge{U: id(c, 0), LU: "a", V: id((c+1)%nComm, 1), LV: "a"})
+	}
+	n := nComm * commSize
+	g, err := graph.BuildGraph(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	k := 8
+	hash := run(NewHash(k, CapacityFor(n, k, DefaultImbalance)), s)
+	ldg := run(NewLDG(k, CapacityFor(n, k, DefaultImbalance)), s)
+	fennel := run(NewFennel(k, n, len(s)), s)
+
+	cutHash := EdgeCut(g, hash)
+	cutLDG := EdgeCut(g, ldg)
+	cutFennel := EdgeCut(g, fennel)
+	if cutLDG >= cutHash {
+		t.Errorf("LDG cut %d >= Hash cut %d", cutLDG, cutHash)
+	}
+	if cutFennel >= cutHash {
+		t.Errorf("Fennel cut %d >= Hash cut %d", cutFennel, cutHash)
+	}
+}
+
+func TestFennelRespectsHardBalance(t *testing.T) {
+	var s graph.Stream
+	for i := 2; i <= 201; i++ {
+		s = append(s, graph.StreamEdge{U: 1, LU: "h", V: graph.VertexID(i), LV: "a"})
+	}
+	k := 4
+	f := NewFennel(k, 201, 200)
+	a := run(f, s)
+	cap := CapacityFor(201, k, DefaultImbalance)
+	for p, size := range a.Sizes {
+		if float64(size) > cap+1 { // +1: overflow fallback may exceed by the final vertex
+			t.Errorf("partition %d has %d vertices, cap %.1f", p, size, cap)
+		}
+	}
+}
+
+func TestEdgeCutAndMetrics(t *testing.T) {
+	g := graph.New()
+	for v := graph.VertexID(1); v <= 4; v++ {
+		if err := g.AddVertex(v, "a"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, e := range []graph.Edge{{U: 1, V: 2}, {U: 2, V: 3}, {U: 3, V: 4}} {
+		if err := g.AddEdge(e.U, e.V); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a := &Assignment{K: 2, Parts: map[graph.VertexID]ID{1: 0, 2: 0, 3: 1, 4: 1}, Sizes: []int{2, 2}}
+	if got := EdgeCut(g, a); got != 1 {
+		t.Errorf("EdgeCut = %d, want 1", got)
+	}
+	if got := Imbalance(a); got != 0 {
+		t.Errorf("Imbalance = %v, want 0", got)
+	}
+	if got := CommunicationVolume(g, a); got != 2 {
+		t.Errorf("CommunicationVolume = %d, want 2 (vertices 2 and 3)", got)
+	}
+	// Unassigned endpoints live together in Ptemp: edge 2-3 crosses from
+	// partition 0 into Ptemp (cut); edge 3-4 is wholly inside Ptemp.
+	b := &Assignment{K: 2, Parts: map[graph.VertexID]ID{1: 0, 2: 0}, Sizes: []int{2, 0}}
+	if got := EdgeCut(g, b); got != 1 {
+		t.Errorf("EdgeCut with unassigned = %d, want 1", got)
+	}
+}
+
+func TestImbalanceSkewed(t *testing.T) {
+	a := &Assignment{K: 2, Sizes: []int{3, 1}, Parts: map[graph.VertexID]ID{1: 0, 2: 0, 3: 0, 4: 1}}
+	if got := Imbalance(a); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("Imbalance = %v, want 0.5", got)
+	}
+}
+
+// Property: every streaming baseline assigns every vertex it has seen, to a
+// valid partition, for arbitrary random streams.
+func TestBaselinesAssignEverythingProperty(t *testing.T) {
+	f := func(seed int64, kRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		k := int(kRaw%7) + 1
+		n := 30 + r.Intn(50)
+		var s graph.Stream
+		for i := 1; i < n; i++ {
+			u := graph.VertexID(r.Intn(i) + 1)
+			v := graph.VertexID(i + 1)
+			s = append(s, graph.StreamEdge{U: u, LU: "a", V: v, LV: "b"})
+		}
+		cap := CapacityFor(n, k, DefaultImbalance)
+		for _, p := range []Streamer{NewHash(k, cap), NewLDG(k, cap), NewFennel(k, n, len(s))} {
+			a := run(p, s)
+			if a.NumAssigned() != n {
+				return false
+			}
+			total := 0
+			for _, sz := range a.Sizes {
+				total += sz
+			}
+			if total != n {
+				return false
+			}
+			for _, pid := range a.Parts {
+				if pid < 0 || int(pid) >= k {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

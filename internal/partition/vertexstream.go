@@ -1,0 +1,173 @@
+package partition
+
+import (
+	"math"
+	"math/rand"
+
+	"loom/internal/graph"
+)
+
+// Vertex-stream partitioning: the model LDG (Stanton & Kliot) and Fennel
+// (Tsourakakis et al.) were originally defined in, where each stream
+// element is a vertex together with its adjacency list. The Loom paper
+// evaluates the edge-stream variants (online graphs arrive as edges,
+// footnote 7: "LDG may partition either vertex or edge streams"); the
+// vertex-stream forms are provided for completeness and for the
+// edge-vs-vertex ablation in the benchmarks.
+
+// VertexElement is one element of a vertex stream: a vertex, its label and
+// its full adjacency list (neighbours may or may not have arrived yet).
+type VertexElement struct {
+	V         graph.VertexID
+	L         graph.Label
+	Neighbors []graph.VertexID
+}
+
+// VertexStreamOf materialises g as a vertex stream in the given order
+// (vertex visit order of the corresponding edge ordering).
+func VertexStreamOf(g *graph.Graph, order graph.StreamOrder, rng *rand.Rand) []VertexElement {
+	var ids []graph.VertexID
+	switch order {
+	case graph.OrderOriginal:
+		ids = g.Vertices()
+	case graph.OrderRandom:
+		ids = g.Vertices()
+		if rng == nil {
+			panic("partition: OrderRandom requires a rand source")
+		}
+		rng.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
+	case graph.OrderBFS, graph.OrderDFS:
+		// Vertex visit order of the edge stream.
+		seen := make(map[graph.VertexID]struct{}, g.NumVertices())
+		for _, se := range graph.StreamOf(g, order, rng) {
+			for _, v := range []graph.VertexID{se.U, se.V} {
+				if _, ok := seen[v]; !ok {
+					seen[v] = struct{}{}
+					ids = append(ids, v)
+				}
+			}
+		}
+		// Isolated vertices never appear in the edge stream.
+		for _, v := range g.Vertices() {
+			if _, ok := seen[v]; !ok {
+				ids = append(ids, v)
+			}
+		}
+	default:
+		panic("partition: unknown stream order " + string(order))
+	}
+	out := make([]VertexElement, 0, len(ids))
+	for _, v := range ids {
+		out = append(out, VertexElement{
+			V:         v,
+			L:         g.MustLabel(v),
+			Neighbors: append([]graph.VertexID(nil), g.Neighbors(v)...),
+		})
+	}
+	return out
+}
+
+// VertexPlacer assigns one vertex-stream element at a time.
+type VertexPlacer interface {
+	Name() string
+	Place(e VertexElement) ID
+	Assignment() *Assignment
+}
+
+// LDGVertex is the original vertex-stream LDG: a vertex goes to the
+// partition holding most of its (already placed) neighbours, weighted by
+// residual capacity.
+type LDGVertex struct {
+	t *Tracker
+}
+
+// NewLDGVertex returns a vertex-stream LDG partitioner.
+func NewLDGVertex(k int, capacity float64) *LDGVertex {
+	return &LDGVertex{t: NewTracker(k, capacity)}
+}
+
+// Name implements VertexPlacer.
+func (l *LDGVertex) Name() string { return "ldg-vertex" }
+
+// Place implements VertexPlacer.
+func (l *LDGVertex) Place(e VertexElement) ID {
+	best, bestScore := Unassigned, 0.0
+	for p := 0; p < l.t.K(); p++ {
+		pid := ID(p)
+		if float64(l.t.Size(pid))+1 > l.t.Capacity() {
+			continue
+		}
+		n := 0
+		for _, u := range e.Neighbors {
+			if l.t.PartOf(u) == pid {
+				n++
+			}
+		}
+		score := float64(n) * l.t.Residual(pid)
+		if score > bestScore || (score == bestScore && best != Unassigned && l.t.Size(pid) < l.t.Size(best)) {
+			if score > 0 {
+				best, bestScore = pid, score
+			}
+		}
+	}
+	if best == Unassigned {
+		best = l.t.LeastLoaded()
+	}
+	l.t.Assign(e.V, best)
+	return best
+}
+
+// Assignment implements VertexPlacer.
+func (l *LDGVertex) Assignment() *Assignment { return l.t.Assignment() }
+
+// FennelVertex is the original vertex-stream Fennel.
+type FennelVertex struct {
+	t     *Tracker
+	alpha float64
+}
+
+// NewFennelVertex returns a vertex-stream Fennel partitioner.
+func NewFennelVertex(k, expectedVertices, expectedEdges int) *FennelVertex {
+	n := float64(expectedVertices)
+	if n < 1 {
+		n = 1
+	}
+	return &FennelVertex{
+		t:     NewTracker(k, CapacityFor(expectedVertices, k, DefaultImbalance)),
+		alpha: float64(expectedEdges) * math.Pow(float64(k), FennelGamma-1) / math.Pow(n, FennelGamma),
+	}
+}
+
+// Name implements VertexPlacer.
+func (f *FennelVertex) Name() string { return "fennel-vertex" }
+
+// Place implements VertexPlacer.
+func (f *FennelVertex) Place(e VertexElement) ID {
+	best := Unassigned
+	bestScore := math.Inf(-1)
+	for p := 0; p < f.t.K(); p++ {
+		pid := ID(p)
+		size := float64(f.t.Size(pid))
+		if size+1 > f.t.Capacity() {
+			continue
+		}
+		n := 0
+		for _, u := range e.Neighbors {
+			if f.t.PartOf(u) == pid {
+				n++
+			}
+		}
+		score := float64(n) - f.alpha*FennelGamma*math.Pow(size, FennelGamma-1)
+		if score > bestScore || (score == bestScore && best != Unassigned && f.t.Size(pid) < f.t.Size(best)) {
+			best, bestScore = pid, score
+		}
+	}
+	if best == Unassigned {
+		best = f.t.LeastLoaded()
+	}
+	f.t.Assign(e.V, best)
+	return best
+}
+
+// Assignment implements VertexPlacer.
+func (f *FennelVertex) Assignment() *Assignment { return f.t.Assignment() }

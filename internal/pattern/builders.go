@@ -1,0 +1,95 @@
+package pattern
+
+import (
+	"fmt"
+
+	"loom/internal/graph"
+)
+
+// Builders for the small query graphs that make up workloads. Vertices are
+// numbered 1..n in construction order, so the shapes are deterministic and
+// easy to reference from tests.
+
+// Path returns the path graph l1 - l2 - … - ln. At least two labels are
+// required (a pattern needs an edge).
+func Path(labels ...graph.Label) *graph.Graph {
+	if len(labels) < 2 {
+		panic("pattern: Path needs at least 2 labels")
+	}
+	g := graph.New()
+	for i, l := range labels {
+		mustAddVertex(g, graph.VertexID(i+1), l)
+	}
+	for i := 1; i < len(labels); i++ {
+		mustAddEdge(g, graph.VertexID(i), graph.VertexID(i+1))
+	}
+	return g
+}
+
+// Cycle returns the cycle l1 - l2 - … - ln - l1. At least three labels are
+// required.
+func Cycle(labels ...graph.Label) *graph.Graph {
+	if len(labels) < 3 {
+		panic("pattern: Cycle needs at least 3 labels")
+	}
+	g := Path(labels...)
+	mustAddEdge(g, graph.VertexID(len(labels)), 1)
+	return g
+}
+
+// Star returns a star with the given centre label and one leaf per leaf
+// label. The centre is vertex 1.
+func Star(centre graph.Label, leaves ...graph.Label) *graph.Graph {
+	if len(leaves) < 1 {
+		panic("pattern: Star needs at least 1 leaf")
+	}
+	g := graph.New()
+	mustAddVertex(g, 1, centre)
+	for i, l := range leaves {
+		id := graph.VertexID(i + 2)
+		mustAddVertex(g, id, l)
+		mustAddEdge(g, 1, id)
+	}
+	return g
+}
+
+// Triangle returns the 3-cycle with the given labels.
+func Triangle(a, b, c graph.Label) *graph.Graph { return Cycle(a, b, c) }
+
+// FromEdges builds a pattern graph from explicit labelled edges, where each
+// edge is {u, lu, v, lv}. Convenient for irregular shapes like Fig. 6's
+// provenance and collaboration queries.
+type LabelledEdge struct {
+	U  graph.VertexID
+	LU graph.Label
+	V  graph.VertexID
+	LV graph.Label
+}
+
+// FromEdges assembles a pattern from labelled edges. Duplicate edges are an
+// error: query graphs are simple.
+func FromEdges(edges ...LabelledEdge) *graph.Graph {
+	g := graph.New()
+	for _, e := range edges {
+		added, err := g.EnsureEdge(e.U, e.LU, e.V, e.LV)
+		if err != nil {
+			panic(fmt.Sprintf("pattern: %v", err))
+		}
+		if !added {
+			panic(fmt.Sprintf("pattern: duplicate or degenerate edge %d-%d", e.U, e.V))
+		}
+	}
+	return g
+}
+
+func mustAddVertex(g *graph.Graph, id graph.VertexID, l graph.Label) {
+	if err := g.AddVertex(id, l); err != nil {
+		panic(fmt.Sprintf("pattern: %v", err))
+	}
+}
+
+func mustAddEdge(g *graph.Graph, u, v graph.VertexID) {
+	if err := g.AddEdge(u, v); err != nil {
+		panic(fmt.Sprintf("pattern: %v", err))
+	}
+}

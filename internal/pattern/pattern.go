@@ -1,0 +1,386 @@
+// Package pattern provides exact sub-graph pattern matching over labelled
+// graphs: enumeration of the embeddings of a small query graph q in a data
+// graph G, per the definition in §1.3 of the Loom paper (a bijection from a
+// sub-graph's vertices to q's vertices preserving edges and labels).
+//
+// Loom itself matches motifs probabilistically with signatures; this
+// package is the authoritative matcher used to (a) execute query workloads
+// when measuring inter-partition traversals, and (b) validate the
+// signature scheme in tests (no false negatives, rare false positives).
+package pattern
+
+import (
+	"fmt"
+	"sort"
+
+	"loom/internal/graph"
+)
+
+// Embedding maps pattern vertices to data-graph vertices. It is injective
+// and label- and edge-preserving by construction.
+type Embedding map[graph.VertexID]graph.VertexID
+
+// Matcher enumerates embeddings of one pattern graph. Building a Matcher
+// precomputes a connected search order with degree information, so a
+// Matcher can be reused across many data graphs (the workload executor
+// matches the same query patterns against every partitioned graph).
+type Matcher struct {
+	q     *graph.Graph
+	order []graph.VertexID // search order: order[0] is the anchor
+	// anchored[i] lists, for order[i], the already-ordered pattern
+	// neighbours (indices < i). Non-empty for i > 0 because patterns are
+	// connected.
+	anchored [][]graph.VertexID
+}
+
+// NewMatcher prepares a matcher for pattern q. The pattern must be
+// connected and have at least one edge; pattern matching queries in the
+// paper are connected traversal patterns.
+func NewMatcher(q *graph.Graph) (*Matcher, error) {
+	if q.NumEdges() == 0 {
+		return nil, fmt.Errorf("pattern: query graph has no edges")
+	}
+	if !graph.IsConnected(q) {
+		return nil, fmt.Errorf("pattern: query graph must be connected")
+	}
+
+	// Greedy connected search order: start from a highest-degree vertex
+	// (most selective anchor), then repeatedly add the unordered vertex
+	// with the most ordered neighbours (ties: higher degree, lower ID).
+	vertices := q.Vertices()
+	start := vertices[0]
+	for _, v := range vertices {
+		if q.Degree(v) > q.Degree(start) || (q.Degree(v) == q.Degree(start) && v < start) {
+			start = v
+		}
+	}
+	ordered := map[graph.VertexID]bool{start: true}
+	order := []graph.VertexID{start}
+	for len(order) < len(vertices) {
+		var best graph.VertexID
+		bestScore := -1
+		for _, v := range vertices {
+			if ordered[v] {
+				continue
+			}
+			score := 0
+			for _, n := range q.Neighbors(v) {
+				if ordered[n] {
+					score++
+				}
+			}
+			if score > bestScore ||
+				(score == bestScore && (q.Degree(v) > q.Degree(best) || (q.Degree(v) == q.Degree(best) && v < best))) {
+				best, bestScore = v, score
+			}
+		}
+		ordered[best] = true
+		order = append(order, best)
+	}
+
+	anchored := make([][]graph.VertexID, len(order))
+	pos := make(map[graph.VertexID]int, len(order))
+	for i, v := range order {
+		pos[v] = i
+	}
+	for i, v := range order {
+		for _, n := range q.Neighbors(v) {
+			if pos[n] < i {
+				anchored[i] = append(anchored[i], n)
+			}
+		}
+		sort.Slice(anchored[i], func(a, b int) bool { return anchored[i][a] < anchored[i][b] })
+	}
+	return &Matcher{q: q, order: order, anchored: anchored}, nil
+}
+
+// Pattern returns the query graph the matcher was built for.
+func (m *Matcher) Pattern() *graph.Graph { return m.q }
+
+// Options configures an enumeration run.
+type Options struct {
+	// Limit caps the number of embeddings yielded; 0 means unlimited.
+	Limit int
+	// OnTraverse, when non-nil, is invoked for every data-graph edge the
+	// matcher walks while extending partial matches (from an already
+	// mapped vertex to a candidate neighbour). The workload executor uses
+	// this to count traversal-level partition crossings, the paper's ipt
+	// cost model: each edge walk between machines is one network hop.
+	OnTraverse func(from, to graph.VertexID)
+}
+
+// Embeddings enumerates embeddings of the pattern in g, invoking yield for
+// each one. The Embedding passed to yield is reused between calls; copy it
+// if retained. Enumeration stops early when yield returns false or the
+// option limit is reached.
+func (m *Matcher) Embeddings(g *graph.Graph, opt Options, yield func(Embedding) bool) {
+	assign := make(Embedding, len(m.order))
+	used := make(map[graph.VertexID]bool, len(m.order))
+	count := 0
+
+	var rec func(depth int) bool // returns false to abort entirely
+	rec = func(depth int) bool {
+		if depth == len(m.order) {
+			count++
+			if !yield(assign) {
+				return false
+			}
+			return opt.Limit == 0 || count < opt.Limit
+		}
+		pv := m.order[depth]
+		want, _ := m.q.Label(pv)
+
+		if depth == 0 {
+			for _, dv := range g.Vertices() {
+				if l, _ := g.Label(dv); l != want {
+					continue
+				}
+				if g.Degree(dv) < m.q.Degree(pv) {
+					continue
+				}
+				assign[pv] = dv
+				used[dv] = true
+				ok := rec(depth + 1)
+				delete(assign, pv)
+				delete(used, dv)
+				if !ok {
+					return false
+				}
+			}
+			return true
+		}
+
+		// Candidates: neighbours of the first anchored image; validate
+		// against all anchors.
+		anchors := m.anchored[depth]
+		base := assign[anchors[0]]
+		for _, dv := range g.Neighbors(base) {
+			if opt.OnTraverse != nil {
+				opt.OnTraverse(base, dv)
+			}
+			if used[dv] {
+				continue
+			}
+			if l, _ := g.Label(dv); l != want {
+				continue
+			}
+			if g.Degree(dv) < m.q.Degree(pv) {
+				continue
+			}
+			ok := true
+			for _, a := range anchors[1:] {
+				if !g.HasEdge(assign[a], dv) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			assign[pv] = dv
+			used[dv] = true
+			cont := rec(depth + 1)
+			delete(assign, pv)
+			delete(used, dv)
+			if !cont {
+				return false
+			}
+		}
+		return true
+	}
+	rec(0)
+}
+
+// EmbeddingEdges returns the data-graph edges of an embedding: for every
+// pattern edge (a,b), the edge (f(a), f(b)) in normalised order.
+func EmbeddingEdges(q *graph.Graph, emb Embedding) []graph.Edge {
+	edges := make([]graph.Edge, 0, q.NumEdges())
+	for _, e := range q.Edges() {
+		edges = append(edges, graph.Edge{U: emb[e.U], V: emb[e.V]}.Norm())
+	}
+	return edges
+}
+
+// Match is a distinct matched sub-graph: a canonical (sorted) edge set.
+type Match []graph.Edge
+
+// key returns a canonical string for deduplicating matches that differ only
+// by pattern automorphism.
+func (mt Match) key() string {
+	out := make([]byte, 0, len(mt)*16)
+	for _, e := range mt {
+		out = append(out, byte(e.U), byte(e.U>>8), byte(e.U>>16), byte(e.U>>24),
+			byte(e.V), byte(e.V>>8), byte(e.V>>16), byte(e.V>>24))
+	}
+	return string(out)
+}
+
+// FindMatches returns the distinct sub-graphs of g matching q (deduplicated
+// across pattern automorphisms), capped at limit when limit > 0.
+func FindMatches(g, q *graph.Graph, limit int) ([]Match, error) {
+	m, err := NewMatcher(q)
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[string]bool)
+	var out []Match
+	m.Embeddings(g, Options{}, func(emb Embedding) bool {
+		edges := EmbeddingEdges(q, emb)
+		sort.Slice(edges, func(i, j int) bool {
+			if edges[i].U != edges[j].U {
+				return edges[i].U < edges[j].U
+			}
+			return edges[i].V < edges[j].V
+		})
+		k := Match(edges).key()
+		if seen[k] {
+			return true
+		}
+		seen[k] = true
+		out = append(out, Match(edges))
+		return limit == 0 || len(out) < limit
+	})
+	return out, nil
+}
+
+// CountEmbeddings returns the number of embeddings (not deduplicated) of q
+// in g, up to limit (0 = unlimited).
+func CountEmbeddings(g, q *graph.Graph, limit int) (int, error) {
+	m, err := NewMatcher(q)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	m.Embeddings(g, Options{Limit: limit}, func(Embedding) bool {
+		n++
+		return true
+	})
+	return n, nil
+}
+
+// Isomorphic reports whether two labelled graphs are isomorphic. Both must
+// be simple; the check is exact (backtracking) and intended for the small
+// graphs that appear in query workloads and TPSTry++ nodes. Fast paths
+// reject on vertex/edge counts, label histograms and degree sequences.
+func Isomorphic(a, b *graph.Graph) bool {
+	if a.NumVertices() != b.NumVertices() || a.NumEdges() != b.NumEdges() {
+		return false
+	}
+	if a.NumVertices() == 0 {
+		return true
+	}
+	ha, hb := a.LabelHistogram(), b.LabelHistogram()
+	if len(ha) != len(hb) {
+		return false
+	}
+	for l, n := range ha {
+		if hb[l] != n {
+			return false
+		}
+	}
+	if !degreeSeqEqual(a, b) {
+		return false
+	}
+	if a.NumEdges() == 0 {
+		// Same label histogram, no edges: isomorphic.
+		return true
+	}
+	// A label/edge-preserving injective embedding of a into b with
+	// |V(a)| = |V(b)| and |E(a)| = |E(b)| is necessarily bijective on
+	// edges too, hence an isomorphism — provided a is connected. For
+	// disconnected graphs, match component by component.
+	compsA := graph.ConnectedComponents(a)
+	if len(compsA) > 1 {
+		return isomorphicMultiComponent(a, b, compsA)
+	}
+	m, err := NewMatcher(a)
+	if err != nil {
+		return false
+	}
+	found := false
+	m.Embeddings(b, Options{Limit: 1}, func(Embedding) bool {
+		found = true
+		return false
+	})
+	return found
+}
+
+func degreeSeqEqual(a, b *graph.Graph) bool {
+	da := degreeSeq(a)
+	db := degreeSeq(b)
+	for i := range da {
+		if da[i] != db[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func degreeSeq(g *graph.Graph) []int {
+	out := make([]int, 0, g.NumVertices())
+	for _, v := range g.Vertices() {
+		out = append(out, g.Degree(v))
+	}
+	sort.Ints(out)
+	return out
+}
+
+// isomorphicMultiComponent greedily matches components of a against
+// components of b. Greedy matching with backtracking over component
+// assignments; component counts are tiny for the graphs this library sees.
+func isomorphicMultiComponent(a, b *graph.Graph, compsA [][]graph.VertexID) bool {
+	compsB := graph.ConnectedComponents(b)
+	if len(compsA) != len(compsB) {
+		return false
+	}
+	subA := make([]*graph.Graph, len(compsA))
+	subB := make([]*graph.Graph, len(compsB))
+	for i, c := range compsA {
+		subA[i] = inducedByVertices(a, c)
+	}
+	for i, c := range compsB {
+		subB[i] = inducedByVertices(b, c)
+	}
+	usedB := make([]bool, len(subB))
+	var match func(i int) bool
+	match = func(i int) bool {
+		if i == len(subA) {
+			return true
+		}
+		for j := range subB {
+			if usedB[j] {
+				continue
+			}
+			if Isomorphic(subA[i], subB[j]) {
+				usedB[j] = true
+				if match(i + 1) {
+					return true
+				}
+				usedB[j] = false
+			}
+		}
+		return false
+	}
+	return match(0)
+}
+
+func inducedByVertices(g *graph.Graph, vs []graph.VertexID) *graph.Graph {
+	in := make(map[graph.VertexID]bool, len(vs))
+	for _, v := range vs {
+		in[v] = true
+	}
+	sub := graph.New()
+	for _, v := range vs {
+		if err := sub.AddVertex(v, g.MustLabel(v)); err != nil {
+			panic(err)
+		}
+	}
+	for _, e := range g.Edges() {
+		if in[e.U] && in[e.V] {
+			if err := sub.AddEdge(e.U, e.V); err != nil {
+				panic(err)
+			}
+		}
+	}
+	return sub
+}

@@ -1,0 +1,226 @@
+package pattern
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"loom/internal/graph"
+)
+
+func TestIsomorphicMultiComponent(t *testing.T) {
+	// Two components each: {a-b path, c-d path} vs the same pair in the
+	// other insertion order — isomorphic. vs {a-b, c-c}: not.
+	build := func(pairs [][2]graph.Label) *graph.Graph {
+		g := graph.New()
+		id := graph.VertexID(1)
+		for _, p := range pairs {
+			u, v := id, id+1
+			id += 2
+			if err := g.AddVertex(u, p[0]); err != nil {
+				t.Fatal(err)
+			}
+			if err := g.AddVertex(v, p[1]); err != nil {
+				t.Fatal(err)
+			}
+			if err := g.AddEdge(u, v); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return g
+	}
+	a := build([][2]graph.Label{{"a", "b"}, {"c", "d"}})
+	b := build([][2]graph.Label{{"c", "d"}, {"a", "b"}})
+	c := build([][2]graph.Label{{"a", "b"}, {"c", "c"}})
+	if !Isomorphic(a, b) {
+		t.Error("component order must not matter")
+	}
+	if Isomorphic(a, c) {
+		t.Error("different component labels must not match")
+	}
+	// Component-count mismatch.
+	d := build([][2]graph.Label{{"a", "b"}})
+	if Isomorphic(a, d) {
+		t.Error("different sizes must not match")
+	}
+}
+
+func TestIsomorphicEdgelessGraphs(t *testing.T) {
+	mk := func(labels ...graph.Label) *graph.Graph {
+		g := graph.New()
+		for i, l := range labels {
+			if err := g.AddVertex(graph.VertexID(i+1), l); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return g
+	}
+	if !Isomorphic(mk("a", "b"), mk("b", "a")) {
+		t.Error("edgeless graphs with same label histogram are isomorphic")
+	}
+	if Isomorphic(mk("a", "a"), mk("a", "b")) {
+		t.Error("different histograms must not match")
+	}
+	if !Isomorphic(mk(), mk()) {
+		t.Error("two empty graphs are isomorphic")
+	}
+}
+
+func TestMatcherSearchOrderIsConnected(t *testing.T) {
+	// For any connected pattern, each non-anchor vertex in the search
+	// order must have at least one previously ordered neighbour.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		q := randomConnected(r, 2+r.Intn(7), r.Intn(6))
+		m, err := NewMatcher(q)
+		if err != nil {
+			return false
+		}
+		for i := 1; i < len(m.order); i++ {
+			if len(m.anchored[i]) == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMatcherAnchorIsHighestDegree(t *testing.T) {
+	q := Star("h", "a", "a", "a")
+	m, err := NewMatcher(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := q.Label(m.order[0]); got != "h" {
+		t.Errorf("anchor label = %s, want the hub", got)
+	}
+}
+
+func TestEmbeddingsOnEmptyGraph(t *testing.T) {
+	g := graph.New()
+	m, err := NewMatcher(Path("a", "b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	m.Embeddings(g, Options{}, func(Embedding) bool { n++; return true })
+	if n != 0 {
+		t.Errorf("embeddings in empty graph = %d", n)
+	}
+}
+
+func TestEmbeddingsEarlyAbort(t *testing.T) {
+	g := fig1G(t)
+	m, err := NewMatcher(Path("a", "b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	m.Embeddings(g, Options{}, func(Embedding) bool {
+		n++
+		return false // abort after the first
+	})
+	if n != 1 {
+		t.Errorf("yield false did not abort: %d", n)
+	}
+}
+
+func TestFindMatchesLimit(t *testing.T) {
+	g := fig1G(t)
+	ms, err := FindMatches(g, Path("a", "b"), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 2 {
+		t.Errorf("limited matches = %d, want 2", len(ms))
+	}
+}
+
+func TestCountEmbeddingsErrors(t *testing.T) {
+	g := fig1G(t)
+	bad := graph.New()
+	if err := bad.AddVertex(1, "a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CountEmbeddings(g, bad, 0); err == nil {
+		t.Error("edgeless pattern: want error")
+	}
+	if _, err := FindMatches(g, bad, 0); err == nil {
+		t.Error("edgeless pattern: want error")
+	}
+}
+
+func TestTriangleMatching(t *testing.T) {
+	// Triangles require the multi-anchor adjacency check (the candidate
+	// must connect to BOTH previously mapped vertices).
+	g := graph.New()
+	for v, l := range map[graph.VertexID]graph.Label{1: "a", 2: "b", 3: "c", 4: "c"} {
+		if err := g.AddVertex(v, l); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, e := range []graph.Edge{{U: 1, V: 2}, {U: 2, V: 3}, {U: 1, V: 3}, {U: 2, V: 4}} {
+		if err := g.AddEdge(e.U, e.V); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 1-2-3 closes a triangle; 1-2-4 does not.
+	ms, err := FindMatches(g, Triangle("a", "b", "c"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 1 {
+		t.Fatalf("triangle matches = %d (%v), want 1", len(ms), ms)
+	}
+	if len(ms[0]) != 3 {
+		t.Errorf("triangle match has %d edges", len(ms[0]))
+	}
+}
+
+func TestMatchesAgreeWithBruteForceProperty(t *testing.T) {
+	// FindMatches against a naive "check every vertex subset" counter on
+	// small graphs: for the a-b pattern, matches == a-b edges.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomConnected(r, 2+r.Intn(6), r.Intn(8))
+		ms, err := FindMatches(g, Path("a", "b"), 0)
+		if err != nil {
+			return false
+		}
+		want := 0
+		for _, e := range g.Edges() {
+			lu, lv := g.EdgeLabels(e)
+			if (lu == "a" && lv == "b") || (lu == "b" && lv == "a") {
+				want++
+			}
+		}
+		return len(ms) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEmbeddingEdges(t *testing.T) {
+	g := fig1G(t)
+	q := Path("a", "b", "c")
+	m, err := NewMatcher(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Embeddings(g, Options{Limit: 1}, func(emb Embedding) bool {
+		edges := EmbeddingEdges(q, emb)
+		if len(edges) != 2 {
+			t.Fatalf("embedding edges = %d", len(edges))
+		}
+		for _, e := range edges {
+			if !g.HasEdge(e.U, e.V) {
+				t.Errorf("edge %v not in graph", e)
+			}
+		}
+		return false
+	})
+}

@@ -1,0 +1,202 @@
+package refine
+
+import (
+	"testing"
+
+	"loom/internal/dataset"
+	"loom/internal/graph"
+	"loom/internal/partition"
+	"loom/internal/pattern"
+	"loom/internal/signature"
+	"loom/internal/tpstry"
+	"loom/internal/workload"
+)
+
+func provTrie(t testing.TB) *tpstry.Trie {
+	t.Helper()
+	wl, err := workload.ForDataset("provgen")
+	if err != nil {
+		t.Fatal(err)
+	}
+	scheme := signature.NewScheme(signature.DefaultP, 9)
+	scheme.RegisterLabels(dataset.DatasetLabels("provgen"))
+	trie, err := wl.BuildTrie(scheme)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return trie
+}
+
+func hashAssign(g *graph.Graph, k int) *partition.Assignment {
+	h := partition.NewHash(k, partition.CapacityFor(g.NumVertices(), k, partition.DefaultImbalance))
+	for _, se := range graph.StreamOf(g, graph.OrderOriginal, nil) {
+		h.ProcessEdge(se)
+	}
+	return h.Assignment()
+}
+
+func TestRefineReducesWeightedCut(t *testing.T) {
+	g, err := dataset.Generate("provgen", 3000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trie := provTrie(t)
+	k := 4
+	a := hashAssign(g, k)
+	capC := partition.CapacityFor(g.NumVertices(), k, partition.DefaultImbalance)
+
+	refined, st, err := Refine(g, a, trie, Config{Capacity: capC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Moves == 0 {
+		t.Fatal("no moves made on a hash partitioning")
+	}
+	if st.CutAfter >= st.CutBefore {
+		t.Fatalf("weighted cut did not improve: %.1f → %.1f", st.CutBefore, st.CutAfter)
+	}
+	// Raw edge-cut should improve too (smoothing gives non-motif edges a
+	// pull).
+	if partition.EdgeCut(g, refined) >= partition.EdgeCut(g, a) {
+		t.Error("raw edge-cut did not improve")
+	}
+	// Capacity respected.
+	for p, size := range refined.Sizes {
+		if float64(size) > capC+1e-9 {
+			t.Errorf("partition %d has %d vertices, capacity %.1f", p, size, capC)
+		}
+	}
+	// Total vertex count conserved.
+	sum := 0
+	for _, s := range refined.Sizes {
+		sum += s
+	}
+	if sum != a.NumAssigned() {
+		t.Errorf("vertices lost: %d vs %d", sum, a.NumAssigned())
+	}
+}
+
+func TestRefineImprovesIPT(t *testing.T) {
+	g, err := dataset.Generate("provgen", 3000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl, err := workload.ForDataset("provgen")
+	if err != nil {
+		t.Fatal(err)
+	}
+	trie := provTrie(t)
+	k := 4
+	a := hashAssign(g, k)
+	refined, _, err := Refine(g, a, trie, Config{Capacity: partition.CapacityFor(g.NumVertices(), k, partition.DefaultImbalance)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := workload.Execute(g, a, wl, workload.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := workload.Execute(g, refined, wl, workload.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.IPT >= before.IPT {
+		t.Errorf("ipt did not improve: %.1f → %.1f", before.IPT, after.IPT)
+	}
+	t.Logf("refinement: ipt %.1f → %.1f (%.1f%%)", before.IPT, after.IPT, 100*after.IPT/before.IPT)
+}
+
+func TestRefineDoesNotMutateInput(t *testing.T) {
+	g, err := dataset.Generate("provgen", 800, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trie := provTrie(t)
+	a := hashAssign(g, 2)
+	beforeParts := make(map[graph.VertexID]partition.ID)
+	for v, p := range a.Parts {
+		beforeParts[v] = p
+	}
+	if _, _, err := Refine(g, a, trie, Config{Capacity: 1e9}); err != nil {
+		t.Fatal(err)
+	}
+	for v, p := range beforeParts {
+		if a.Parts[v] != p {
+			t.Fatalf("input assignment mutated at vertex %d", v)
+		}
+	}
+}
+
+func TestRefineConvergesAndIsDeterministic(t *testing.T) {
+	g, err := dataset.Generate("provgen", 1500, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trie := provTrie(t)
+	a := hashAssign(g, 4)
+	capC := partition.CapacityFor(g.NumVertices(), 4, partition.DefaultImbalance)
+	r1, s1, err := Refine(g, a, trie, Config{Capacity: capC, MaxPasses: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, s2, err := Refine(g, a, trie, Config{Capacity: capC, MaxPasses: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.Moves != s2.Moves || s1.CutAfter != s2.CutAfter {
+		t.Errorf("refinement not deterministic: %+v vs %+v", s1, s2)
+	}
+	for v, p := range r1.Parts {
+		if r2.Parts[v] != p {
+			t.Fatalf("assignments differ at %d", v)
+		}
+	}
+	if s1.Passes > 10 {
+		t.Error("pass bound exceeded")
+	}
+	// Refining an already-refined assignment should be (almost) a no-op.
+	_, s3, err := Refine(g, r1, trie, Config{Capacity: capC, MaxPasses: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s3.Moves > s1.Moves/10 {
+		t.Errorf("second refinement made %d moves (first made %d): not converged", s3.Moves, s1.Moves)
+	}
+}
+
+func TestRefineValidation(t *testing.T) {
+	g := pattern.Path("a", "b")
+	trie := provTrie(t)
+	a := &partition.Assignment{K: 2, Parts: map[graph.VertexID]partition.ID{}, Sizes: []int{0, 0}}
+	if _, _, err := Refine(g, a, trie, Config{}); err == nil {
+		t.Error("zero capacity: want error")
+	}
+	bad := &partition.Assignment{K: 0}
+	if _, _, err := Refine(g, bad, trie, Config{Capacity: 10}); err == nil {
+		t.Error("K=0: want error")
+	}
+}
+
+func TestRefineSkipsUnassigned(t *testing.T) {
+	g := graph.New()
+	for v, l := range map[graph.VertexID]graph.Label{1: "Entity", 2: "Activity", 3: "Entity"} {
+		if err := g.AddVertex(v, l); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.AddEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(2, 3); err != nil {
+		t.Fatal(err)
+	}
+	trie := provTrie(t)
+	a := &partition.Assignment{K: 2, Parts: map[graph.VertexID]partition.ID{1: 0}, Sizes: []int{1, 0}}
+	refined, _, err := Refine(g, a, trie, Config{Capacity: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := refined.Parts[2]; ok {
+		t.Error("unassigned vertex gained a partition")
+	}
+}

@@ -1,0 +1,98 @@
+package signature
+
+import (
+	"math"
+)
+
+// This file reproduces the collision analysis of §2.3 (Fig. 4). Each of the
+// 3|E| factors in a signature is a uniform random variable over [1, p) and
+// collides — i.e. coincides with a factor describing a *different* graph
+// feature — with probability 2/p (two scenarios per factor kind). The
+// number of colliding factors is therefore Binomial(3|E|, 2/p), and the
+// quantity Fig. 4 plots is the probability that no more than C% of a
+// signature's factors collide.
+
+// BinomialCDF returns P(X <= k) for X ~ Binomial(n, q). It is computed
+// directly in float64, which is exact enough for the n <= a few hundred
+// used here (query graphs are small, "of the order of 10 edges").
+func BinomialCDF(n int, q float64, k int) float64 {
+	if k < 0 {
+		return 0
+	}
+	if k >= n {
+		return 1
+	}
+	// Recurrence over the pmf avoids recomputing binomial coefficients:
+	// pmf(0) = (1-q)^n; pmf(x+1) = pmf(x) * (n-x)/(x+1) * q/(1-q).
+	if q <= 0 {
+		return 1
+	}
+	if q >= 1 {
+		return 0
+	}
+	pmf := math.Pow(1-q, float64(n))
+	cdf := pmf
+	ratio := q / (1 - q)
+	for x := 0; x < k; x++ {
+		pmf *= float64(n-x) / float64(x+1) * ratio
+		cdf += pmf
+	}
+	if cdf > 1 {
+		cdf = 1
+	}
+	return cdf
+}
+
+// CollisionProbability returns the probability that no more than
+// tolerance·(3·edges) factors of a signature over a prime field p collide,
+// following the paper's Binomial(3|E|, 2/p) model. tolerance is a fraction
+// (0.05 for the "5%" panel of Fig. 4).
+func CollisionProbability(edges int, p uint32, tolerance float64) float64 {
+	n := 3 * edges
+	cmax := int(math.Floor(tolerance * float64(n)))
+	return BinomialCDF(n, 2/float64(p), cmax)
+}
+
+// ExpectedCollisions returns the expected number of colliding factors for a
+// query graph with the given edge count under prime p: 3|E|·2/p.
+func ExpectedCollisions(edges int, p uint32) float64 {
+	return float64(3*edges) * 2 / float64(p)
+}
+
+// CollisionCurvePoint is one (p, probability) sample of a Fig. 4 curve.
+type CollisionCurvePoint struct {
+	P    uint32
+	Prob float64
+}
+
+// CollisionCurve samples CollisionProbability for every prime p in
+// [2, maxP], one curve of Fig. 4 (fixed factor count = 3·edges and
+// tolerance).
+func CollisionCurve(edges int, tolerance float64, maxP uint32) []CollisionCurvePoint {
+	primes := PrimesUpTo(maxP)
+	out := make([]CollisionCurvePoint, 0, len(primes))
+	for _, p := range primes {
+		out = append(out, CollisionCurvePoint{P: p, Prob: CollisionProbability(edges, p, tolerance)})
+	}
+	return out
+}
+
+// PrimesUpTo returns all primes <= n in ascending order (sieve of
+// Eratosthenes). Fig. 4's x-axis spans "p choices between 2 and 317".
+func PrimesUpTo(n uint32) []uint32 {
+	if n < 2 {
+		return nil
+	}
+	composite := make([]bool, n+1)
+	var primes []uint32
+	for i := uint32(2); i <= n; i++ {
+		if composite[i] {
+			continue
+		}
+		primes = append(primes, i)
+		for j := uint64(i) * uint64(i); j <= uint64(n); j += uint64(i) {
+			composite[j] = true
+		}
+	}
+	return primes
+}

@@ -1,0 +1,159 @@
+package signature
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestBinomialCDFBounds(t *testing.T) {
+	if got := BinomialCDF(10, 0.3, -1); got != 0 {
+		t.Errorf("CDF(k<0) = %v, want 0", got)
+	}
+	if got := BinomialCDF(10, 0.3, 10); got != 1 {
+		t.Errorf("CDF(k=n) = %v, want 1", got)
+	}
+	if got := BinomialCDF(10, 0, 0); got != 1 {
+		t.Errorf("CDF(q=0,k=0) = %v, want 1", got)
+	}
+	if got := BinomialCDF(10, 1, 5); got != 0 {
+		t.Errorf("CDF(q=1,k<n) = %v, want 0", got)
+	}
+}
+
+func TestBinomialCDFAgainstDirectSum(t *testing.T) {
+	// Direct evaluation with explicit binomial coefficients.
+	n, q, k := 24, 2.0/11.0, 3
+	var want float64
+	for x := 0; x <= k; x++ {
+		want += choose(n, x) * math.Pow(q, float64(x)) * math.Pow(1-q, float64(n-x))
+	}
+	got := BinomialCDF(n, q, k)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("CDF = %.15f, want %.15f", got, want)
+	}
+}
+
+func TestBinomialCDFMonteCarlo(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	n, q, k := 36, 2.0/31.0, 2
+	trials := 200000
+	hit := 0
+	for i := 0; i < trials; i++ {
+		x := 0
+		for j := 0; j < n; j++ {
+			if r.Float64() < q {
+				x++
+			}
+		}
+		if x <= k {
+			hit++
+		}
+	}
+	emp := float64(hit) / float64(trials)
+	got := BinomialCDF(n, q, k)
+	if math.Abs(got-emp) > 0.01 {
+		t.Errorf("CDF = %.4f, Monte Carlo = %.4f", got, emp)
+	}
+}
+
+func TestCollisionProbabilityAtPaperDefaults(t *testing.T) {
+	// §2.3: "we use a p value of 251, which ... gives a negligible
+	// probability of significant factor collisions." At 5% tolerance the
+	// 8-edge (24-factor) curve allows floor(0.05·24) = 1 collision:
+	// P = CDF(24, 2/251, 1), which should be very high (> 0.98).
+	for _, edges := range []int{8, 12, 16} {
+		p := CollisionProbability(edges, 251, 0.05)
+		if p < 0.95 {
+			t.Errorf("edges=%d: P(<5%% collisions at p=251) = %.4f, want > 0.95", edges, p)
+		}
+	}
+	// Tiny p: almost certain to exceed the tolerance.
+	if p := CollisionProbability(16, 3, 0.05); p > 0.2 {
+		t.Errorf("P at p=3 = %.4f, want small", p)
+	}
+}
+
+func TestCollisionProbabilityMonotonicInP(t *testing.T) {
+	prev := 0.0
+	for _, p := range PrimesUpTo(317) {
+		cur := CollisionProbability(12, p, 0.10)
+		if cur+1e-12 < prev {
+			t.Fatalf("probability not monotone at p=%d: %.6f < %.6f", p, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestCollisionProbabilityMonotonicInTolerance(t *testing.T) {
+	// Larger tolerance can only increase the acceptance probability.
+	for _, p := range []uint32{11, 53, 251} {
+		p5 := CollisionProbability(16, p, 0.05)
+		p10 := CollisionProbability(16, p, 0.10)
+		p20 := CollisionProbability(16, p, 0.20)
+		if p5 > p10+1e-12 || p10 > p20+1e-12 {
+			t.Errorf("p=%d: tolerance monotonicity violated: %v %v %v", p, p5, p10, p20)
+		}
+	}
+}
+
+func TestCollisionCurveShape(t *testing.T) {
+	curve := CollisionCurve(8, 0.05, 317)
+	if len(curve) == 0 {
+		t.Fatal("empty curve")
+	}
+	last := curve[len(curve)-1]
+	if last.P != 317 {
+		t.Errorf("last prime = %d, want 317", last.P)
+	}
+	if last.Prob < 0.98 {
+		t.Errorf("P at p=313 = %.4f, want ≈ 1", last.Prob)
+	}
+	if curve[0].P != 2 || curve[0].Prob > 0.9 {
+		t.Errorf("first point = %+v, want p=2 with low probability", curve[0])
+	}
+}
+
+func TestExpectedCollisions(t *testing.T) {
+	if got := ExpectedCollisions(8, 251); math.Abs(got-24*2.0/251.0) > 1e-12 {
+		t.Errorf("ExpectedCollisions = %v", got)
+	}
+}
+
+func TestPrimesUpTo(t *testing.T) {
+	got := PrimesUpTo(30)
+	want := []uint32{2, 3, 5, 7, 11, 13, 17, 19, 23, 29}
+	if len(got) != len(want) {
+		t.Fatalf("PrimesUpTo(30) = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("PrimesUpTo(30) = %v", got)
+		}
+	}
+	if PrimesUpTo(1) != nil {
+		t.Error("PrimesUpTo(1) should be empty")
+	}
+	// 251 and 317 (paper's choices/range) must be prime.
+	ps := PrimesUpTo(320)
+	found251, found317 := false, false
+	for _, p := range ps {
+		if p == 251 {
+			found251 = true
+		}
+		if p == 317 {
+			found317 = true
+		}
+	}
+	if !found251 || !found317 {
+		t.Error("251 and 317 must be prime")
+	}
+}
+
+func choose(n, k int) float64 {
+	out := 1.0
+	for i := 0; i < k; i++ {
+		out *= float64(n-i) / float64(i+1)
+	}
+	return out
+}

@@ -1,0 +1,151 @@
+package signature
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Multiset is a multiset of signature factors, Loom's representation of a
+// graph signature (§2.3: "represent signatures as sets of their constituent
+// factors, which eliminates a source of collisions, e.g. we can now
+// distinguish between graphs with factors {6,2}, {4,3} and {12}").
+//
+// Factors are kept sorted ascending with duplicates, so equality, subset
+// and difference are linear merges, and Key yields a canonical map key.
+type Multiset struct {
+	fs []Factor // sorted ascending, duplicates allowed
+}
+
+// NewMultiset returns an empty multiset.
+func NewMultiset(fs ...Factor) *Multiset {
+	m := &Multiset{}
+	for _, f := range fs {
+		m.Add(f)
+	}
+	return m
+}
+
+// Len returns the number of factors, counting multiplicity.
+func (m *Multiset) Len() int { return len(m.fs) }
+
+// Add inserts one factor, keeping the slice sorted.
+func (m *Multiset) Add(f Factor) {
+	i := sort.Search(len(m.fs), func(i int) bool { return m.fs[i] >= f })
+	m.fs = append(m.fs, 0)
+	copy(m.fs[i+1:], m.fs[i:])
+	m.fs[i] = f
+}
+
+// AddDelta inserts the three factors of a Delta.
+func (m *Multiset) AddDelta(d Delta) {
+	m.Add(d[0])
+	m.Add(d[1])
+	m.Add(d[2])
+}
+
+// Clone returns an independent copy.
+func (m *Multiset) Clone() *Multiset {
+	return &Multiset{fs: append([]Factor(nil), m.fs...)}
+}
+
+// PlusDelta returns a copy of m with the delta's factors added; m is not
+// modified. This is the incremental signature step used by both Alg. 1
+// (trie construction) and Alg. 2 (stream matching).
+func (m *Multiset) PlusDelta(d Delta) *Multiset {
+	c := m.Clone()
+	c.AddDelta(d)
+	return c
+}
+
+// Equal reports whether two multisets contain exactly the same factors with
+// the same multiplicities.
+func (m *Multiset) Equal(o *Multiset) bool {
+	if len(m.fs) != len(o.fs) {
+		return false
+	}
+	for i := range m.fs {
+		if m.fs[i] != o.fs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Contains reports whether o is a sub-multiset of m.
+func (m *Multiset) Contains(o *Multiset) bool {
+	i := 0
+	for _, f := range o.fs {
+		for i < len(m.fs) && m.fs[i] < f {
+			i++
+		}
+		if i >= len(m.fs) || m.fs[i] != f {
+			return false
+		}
+		i++
+	}
+	return true
+}
+
+// Minus returns the multiset difference m \ o and true, or nil and false if
+// o is not contained in m. The TPSTry++ uses this to ask whether a child's
+// signature differs from its parent's by exactly the factors of one edge
+// addition (§3: fac(e, gi) = c.signatures \ n.signatures).
+func (m *Multiset) Minus(o *Multiset) (*Multiset, bool) {
+	if !m.Contains(o) {
+		return nil, false
+	}
+	out := &Multiset{fs: make([]Factor, 0, len(m.fs)-len(o.fs))}
+	i := 0
+	for _, f := range m.fs {
+		if i < len(o.fs) && o.fs[i] == f {
+			i++
+			continue
+		}
+		out.fs = append(out.fs, f)
+	}
+	return out, true
+}
+
+// Factors returns the sorted factor slice. The result is owned by the
+// multiset and must not be modified.
+func (m *Multiset) Factors() []Factor { return m.fs }
+
+// Key returns a canonical byte-string key for the multiset, suitable for
+// map indexing (TPSTry++ node lookup by signature).
+func (m *Multiset) Key() string {
+	buf := make([]byte, 4*len(m.fs))
+	for i, f := range m.fs {
+		binary.LittleEndian.PutUint32(buf[4*i:], uint32(f))
+	}
+	return string(buf)
+}
+
+// DeltaKey returns the canonical key of a bare Delta (used for child-edge
+// lookup without allocating a Multiset).
+func DeltaKey(d Delta) string {
+	d = sortDelta(d)
+	var buf [12]byte
+	for i, f := range d {
+		binary.LittleEndian.PutUint32(buf[4*i:], uint32(f))
+	}
+	return string(buf[:])
+}
+
+// AsDelta converts a 3-factor multiset into a Delta; ok is false when the
+// multiset does not have exactly three factors.
+func (m *Multiset) AsDelta() (Delta, bool) {
+	if len(m.fs) != 3 {
+		return Delta{}, false
+	}
+	return Delta{m.fs[0], m.fs[1], m.fs[2]}, true
+}
+
+func (m *Multiset) String() string {
+	parts := make([]string, len(m.fs))
+	for i, f := range m.fs {
+		parts[i] = fmt.Sprint(uint32(f))
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}

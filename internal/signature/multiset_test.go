@@ -1,0 +1,142 @@
+package signature
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestMultisetAddKeepsSorted(t *testing.T) {
+	m := NewMultiset()
+	for _, f := range []Factor{9, 3, 7, 3, 1} {
+		m.Add(f)
+	}
+	got := m.Factors()
+	want := []Factor{1, 3, 3, 7, 9}
+	if len(got) != len(want) {
+		t.Fatalf("len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Factors = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestMultisetEqualAndKey(t *testing.T) {
+	a := NewMultiset(6, 2)
+	b := NewMultiset(2, 6)
+	c := NewMultiset(4, 3)
+	d := NewMultiset(12)
+	if !a.Equal(b) {
+		t.Error("order must not matter")
+	}
+	// The paper's own example: {6,2}, {4,3} and {12} are distinguishable
+	// as multisets even though their products are all 12.
+	if a.Equal(c) || a.Equal(d) || c.Equal(d) {
+		t.Error("distinct factor multisets with equal products must differ")
+	}
+	if a.Key() != b.Key() {
+		t.Error("keys of equal multisets must match")
+	}
+	if a.Key() == c.Key() {
+		t.Error("keys of distinct multisets must differ")
+	}
+}
+
+func TestMultisetMultiplicityMatters(t *testing.T) {
+	a := NewMultiset(5, 5)
+	b := NewMultiset(5)
+	if a.Equal(b) {
+		t.Error("multiplicity must be respected")
+	}
+	if !a.Contains(b) {
+		t.Error("{5,5} contains {5}")
+	}
+	if b.Contains(a) {
+		t.Error("{5} does not contain {5,5}")
+	}
+}
+
+func TestMultisetMinus(t *testing.T) {
+	m := NewMultiset(1, 2, 2, 3, 7)
+	o := NewMultiset(2, 3)
+	diff, ok := m.Minus(o)
+	if !ok {
+		t.Fatal("Minus: want ok")
+	}
+	if !diff.Equal(NewMultiset(1, 2, 7)) {
+		t.Errorf("Minus = %v, want {1,2,7}", diff)
+	}
+	if _, ok := o.Minus(m); ok {
+		t.Error("Minus of superset from subset must fail")
+	}
+	if _, ok := m.Minus(NewMultiset(9)); ok {
+		t.Error("Minus with foreign factor must fail")
+	}
+}
+
+func TestPlusDeltaDoesNotMutate(t *testing.T) {
+	m := NewMultiset(4)
+	_ = m.PlusDelta(Delta{1, 2, 3})
+	if m.Len() != 1 {
+		t.Error("PlusDelta mutated receiver")
+	}
+}
+
+func TestAsDelta(t *testing.T) {
+	if d, ok := NewMultiset(3, 1, 2).AsDelta(); !ok || d != (Delta{1, 2, 3}) {
+		t.Errorf("AsDelta = %v,%v", d, ok)
+	}
+	if _, ok := NewMultiset(1, 2).AsDelta(); ok {
+		t.Error("AsDelta of len 2 must fail")
+	}
+}
+
+func TestDeltaKeyCanonical(t *testing.T) {
+	if DeltaKey(Delta{3, 1, 2}) != DeltaKey(Delta{1, 2, 3}) {
+		t.Error("DeltaKey must be order-invariant")
+	}
+	if DeltaKey(Delta{1, 1, 2}) == DeltaKey(Delta{1, 2, 2}) {
+		t.Error("DeltaKey must respect multiplicity")
+	}
+}
+
+// Property: Minus inverts AddDelta/PlusDelta.
+func TestMinusInvertsPlusProperty(t *testing.T) {
+	f := func(seed int64, base []uint16, d0, d1, d2 uint16) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := NewMultiset()
+		for _, b := range base {
+			m.Add(Factor(b%250 + 1))
+		}
+		_ = r
+		d := sortDelta(Delta{Factor(d0%250 + 1), Factor(d1%250 + 1), Factor(d2%250 + 1)})
+		grown := m.PlusDelta(d)
+		diff, ok := grown.Minus(m)
+		if !ok || diff.Len() != 3 {
+			return false
+		}
+		got, ok := diff.AsDelta()
+		return ok && got == d
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the sorted-slice invariant holds under arbitrary insertions.
+func TestMultisetSortedInvariantProperty(t *testing.T) {
+	f := func(vals []uint16) bool {
+		m := NewMultiset()
+		for _, v := range vals {
+			m.Add(Factor(v))
+		}
+		fs := m.Factors()
+		return sort.SliceIsSorted(fs, func(i, j int) bool { return fs[i] < fs[j] }) && m.Len() == len(vals)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,232 @@
+// Package signature implements the number-theoretic graph signatures of
+// Loom §2.1–2.3, extending Song et al.'s event-pattern-matching signatures.
+//
+// Each label l ∈ LV is assigned a pseudo-random value r(l) ∈ [1, p) for a
+// user-chosen prime p. A graph's signature is then the product of
+//
+//   - one edge factor per edge:    |r(l(u)) − r(l(v))| (mod p), and
+//   - one degree factor per unit of degree: for a vertex v of degree n, the
+//     factors ((r(l(v)) + 1) mod p) · … · ((r(l(v)) + n) mod p),
+//
+// with any zero factor replaced by p (footnote 3 of the paper), giving
+// exactly 3|E| factors in total. Two isomorphic graphs always produce the
+// same factors (no false negatives); two different graphs rarely do (§2.3
+// quantifies the collision probability, reproduced in collision.go).
+//
+// Loom deviates from Song et al. in one crucial way (§2.3): signatures are
+// kept as *multisets of factors* rather than their big-integer product,
+// which removes the "two distinct factor sets share a product" collision
+// class and lets the TPSTry++ label its edges with compact 3-factor deltas.
+// The big-integer product is still available (Product) for tests and to
+// reproduce the paper's worked examples.
+package signature
+
+import (
+	"fmt"
+	"math/big"
+	"math/rand"
+	"sort"
+
+	"loom/internal/graph"
+)
+
+// DefaultP is the prime modulus Loom uses when identifying and matching
+// motifs (§2.3: "we use a p value of 251").
+const DefaultP = 251
+
+// Factor is a single signature factor, a value in [1, p] (p stands in for
+// zero).
+type Factor uint32
+
+// Delta is the multiset of exactly three factors contributed by adding one
+// edge to a graph: the edge factor plus one new degree factor per endpoint
+// (each endpoint's degree grows by one). Deltas are stored sorted so they
+// are directly comparable and usable as map keys (TPSTry++ edge labels).
+type Delta [3]Factor
+
+// sortDelta returns d with its factors in ascending order.
+func sortDelta(d Delta) Delta {
+	if d[0] > d[1] {
+		d[0], d[1] = d[1], d[0]
+	}
+	if d[1] > d[2] {
+		d[1], d[2] = d[2], d[1]
+	}
+	if d[0] > d[1] {
+		d[0], d[1] = d[1], d[0]
+	}
+	return d
+}
+
+func (d Delta) String() string { return fmt.Sprintf("Δ%v", [3]Factor(d)) }
+
+// Scheme holds the prime p and the per-label random values r(l). A Scheme
+// is deterministic for a given (p, seed) pair: label values are drawn from
+// a seeded generator in first-use order, and datasets/workloads register
+// labels in a fixed order, so runs are reproducible.
+//
+// Scheme is not safe for concurrent use; Loom's pipeline is single-threaded
+// by design (§6).
+type Scheme struct {
+	p     uint32
+	seed  int64
+	rng   *rand.Rand
+	rvals map[graph.Label]uint32
+}
+
+// NewScheme returns a Scheme with prime modulus p, assigning label values
+// from a generator seeded with seed. p must be at least 3; the library does
+// not verify primality (the paper's analysis assumes a prime, and callers
+// use published primes such as 251, 11, 317).
+func NewScheme(p uint32, seed int64) *Scheme {
+	if p < 3 {
+		panic(fmt.Sprintf("signature: modulus p must be >= 3, got %d", p))
+	}
+	return &Scheme{
+		p:     p,
+		seed:  seed,
+		rng:   rand.New(rand.NewSource(seed)),
+		rvals: make(map[graph.Label]uint32),
+	}
+}
+
+// NewSchemeWithValues returns a Scheme with explicit label values, used by
+// tests to reproduce the paper's worked examples (p = 11, r(a) = 3,
+// r(b) = 10). Values must lie in [1, p).
+func NewSchemeWithValues(p uint32, values map[graph.Label]uint32) *Scheme {
+	s := NewScheme(p, 0)
+	for l, v := range values {
+		if v < 1 || v >= p {
+			panic(fmt.Sprintf("signature: label value %d out of range [1,%d)", v, p))
+		}
+		s.rvals[l] = v
+	}
+	return s
+}
+
+// P returns the scheme's modulus.
+func (s *Scheme) P() uint32 { return s.p }
+
+// LabelValue returns r(l), assigning a fresh pseudo-random value in [1, p)
+// on first use.
+func (s *Scheme) LabelValue(l graph.Label) uint32 {
+	if v, ok := s.rvals[l]; ok {
+		return v
+	}
+	v := uint32(s.rng.Intn(int(s.p-1))) + 1 // [1, p)
+	s.rvals[l] = v
+	return v
+}
+
+// nonzero maps a residue in [0, p) to a valid factor in [1, p], replacing 0
+// by p per the paper's footnote 3.
+func (s *Scheme) nonzero(x uint32) Factor {
+	if x == 0 {
+		return Factor(s.p)
+	}
+	return Factor(x)
+}
+
+// EdgeFactor returns the factor for an undirected edge between labels lu
+// and lv: |r(lu) − r(lv)| with 0 replaced by p. Absolute difference makes
+// the subtraction order "consistent" as §2.1 requires, and reproduces the
+// paper's worked example ((3, 10) mod 11 → 7).
+func (s *Scheme) EdgeFactor(lu, lv graph.Label) Factor {
+	a, b := s.LabelValue(lu), s.LabelValue(lv)
+	if a < b {
+		a, b = b, a
+	}
+	return s.nonzero((a - b) % s.p)
+}
+
+// DirectedEdgeFactor returns the factor for a directed edge src→dst:
+// (r(src) − r(dst)) mod p, per the paper's inline note that "the random
+// value for the target vertex's label is subtracted from the random value
+// for the source vertex's label".
+func (s *Scheme) DirectedEdgeFactor(src, dst graph.Label) Factor {
+	a, b := s.LabelValue(src), s.LabelValue(dst)
+	return s.nonzero((a + s.p - b) % s.p)
+}
+
+// DegreeFactor returns the i-th degree factor of a vertex labelled l, i.e.
+// the factor contributed when the vertex's degree reaches i (i ≥ 1):
+// ((r(l) + i) mod p), 0 → p.
+func (s *Scheme) DegreeFactor(l graph.Label, i int) Factor {
+	if i < 1 {
+		panic(fmt.Sprintf("signature: degree index must be >= 1, got %d", i))
+	}
+	return s.nonzero(uint32((uint64(s.LabelValue(l)) + uint64(i)) % uint64(s.p)))
+}
+
+// EdgeDelta returns the three factors contributed by adding an edge between
+// a vertex labelled lu whose degree (within the sub-graph being grown) was
+// du before the addition, and one labelled lv with prior degree dv. This is
+// the incremental computation §2.1 highlights: the signature of G can be
+// derived from the signature of any sub-graph Gi plus the factors due to
+// the additional edges and degree in G \ Gi.
+func (s *Scheme) EdgeDelta(lu graph.Label, du int, lv graph.Label, dv int) Delta {
+	return sortDelta(Delta{
+		s.EdgeFactor(lu, lv),
+		s.DegreeFactor(lu, du+1),
+		s.DegreeFactor(lv, dv+1),
+	})
+}
+
+// SignatureOf computes the full factor multiset of g from scratch. For
+// undirected graphs this is |E| edge factors plus Σ deg(v) = 2|E| degree
+// factors.
+func (s *Scheme) SignatureOf(g *graph.Graph) *Multiset {
+	ms := NewMultiset()
+	for _, e := range g.Edges() {
+		lu, lv := g.EdgeLabels(e)
+		if g.Directed() {
+			ms.Add(s.DirectedEdgeFactor(lu, lv))
+		} else {
+			ms.Add(s.EdgeFactor(lu, lv))
+		}
+	}
+	for _, v := range g.Vertices() {
+		l := g.MustLabel(v)
+		deg := g.Degree(v)
+		if g.Directed() {
+			deg += len(g.InNeighbors(v))
+		}
+		for i := 1; i <= deg; i++ {
+			ms.Add(s.DegreeFactor(l, i))
+		}
+	}
+	return ms
+}
+
+// Product returns the big-integer product of a factor multiset — the
+// signature representation of Song et al., exercised by tests against the
+// paper's worked examples (§2.1: signature(q1) = 116208400).
+func Product(ms *Multiset) *big.Int {
+	out := big.NewInt(1)
+	tmp := new(big.Int)
+	for _, f := range ms.Factors() {
+		tmp.SetUint64(uint64(f))
+		out.Mul(out, tmp)
+	}
+	return out
+}
+
+// LabelValues returns a copy of the currently assigned label values, sorted
+// by label, for diagnostics.
+func (s *Scheme) LabelValues() map[graph.Label]uint32 {
+	out := make(map[graph.Label]uint32, len(s.rvals))
+	for l, v := range s.rvals {
+		out[l] = v
+	}
+	return out
+}
+
+// RegisterLabels assigns values to the given labels in order. Generators
+// call this up front so that label values do not depend on stream order.
+func (s *Scheme) RegisterLabels(labels []graph.Label) {
+	ordered := append([]graph.Label(nil), labels...)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i] < ordered[j] })
+	for _, l := range ordered {
+		s.LabelValue(l)
+	}
+}

@@ -1,0 +1,161 @@
+package simulate
+
+import (
+	"math"
+	"testing"
+
+	"loom/internal/dataset"
+	"loom/internal/graph"
+	"loom/internal/partition"
+	"loom/internal/pattern"
+	"loom/internal/workload"
+)
+
+func twoTrianglesGraph(t testing.TB) *graph.Graph {
+	t.Helper()
+	g := graph.New()
+	labels := map[graph.VertexID]graph.Label{
+		1: "a", 2: "b", 3: "c",
+		4: "a", 5: "b", 6: "c",
+	}
+	for v, l := range labels {
+		if err := g.AddVertex(v, l); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, e := range []graph.Edge{{U: 1, V: 2}, {U: 2, V: 3}, {U: 1, V: 3}, {U: 4, V: 5}, {U: 5, V: 6}, {U: 4, V: 6}} {
+		if err := g.AddEdge(e.U, e.V); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+func triangleWorkload() workload.Workload {
+	return workload.Workload{Name: "tri", Queries: []workload.Query{{
+		Name: "triangle", Pattern: pattern.Triangle("a", "b", "c"), Freq: 1,
+	}}}
+}
+
+func TestPerfectPartitioningHasNoRemoteHops(t *testing.T) {
+	g := twoTrianglesGraph(t)
+	a := &partition.Assignment{K: 2, Parts: map[graph.VertexID]partition.ID{
+		1: 0, 2: 0, 3: 0, 4: 1, 5: 1, 6: 1,
+	}, Sizes: []int{3, 3}}
+	res, err := Run(g, a, triangleWorkload(), CostModel{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RemoteHops != 0 {
+		t.Errorf("remote hops = %d, want 0", res.RemoteHops)
+	}
+	if res.LocalHops == 0 {
+		t.Error("no local hops recorded")
+	}
+	// Cost = localHops × 1 × freq.
+	if math.Abs(res.TotalCost-float64(res.LocalHops)) > 1e-9 {
+		t.Errorf("cost = %v, want %v", res.TotalCost, res.LocalHops)
+	}
+}
+
+func TestSplitTriangleCostsRemoteHops(t *testing.T) {
+	g := twoTrianglesGraph(t)
+	// Split the first triangle across machines.
+	a := &partition.Assignment{K: 2, Parts: map[graph.VertexID]partition.ID{
+		1: 0, 2: 1, 3: 0, 4: 1, 5: 1, 6: 1,
+	}, Sizes: []int{2, 4}}
+	res, err := Run(g, a, triangleWorkload(), CostModel{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RemoteHops == 0 {
+		t.Error("split triangle must incur remote hops")
+	}
+	// Remote hops dominate the cost at the default 1000× ratio.
+	if res.TotalCost < 1000 {
+		t.Errorf("cost = %v, expected ≥ one remote hop", res.TotalCost)
+	}
+}
+
+func TestUnassignedServedByPtemp(t *testing.T) {
+	g := twoTrianglesGraph(t)
+	a := &partition.Assignment{K: 2, Parts: map[graph.VertexID]partition.ID{
+		1: 0, 2: 0, 3: 0, // triangle 2 unassigned
+	}, Sizes: []int{3, 0}}
+	res, err := Run(g, a, triangleWorkload(), CostModel{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MachineLoad[2] == 0 {
+		t.Error("Ptemp slot recorded no load for unassigned vertices")
+	}
+}
+
+func TestSpeedupLoomVsHashOnProvgen(t *testing.T) {
+	g, err := dataset.Generate("provgen", 2500, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl, err := workload.ForDataset("provgen")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := graph.StreamOf(g, graph.OrderBFS, nil)
+	k := 4
+	capC := partition.CapacityFor(g.NumVertices(), k, partition.DefaultImbalance)
+
+	hash := partition.NewHash(k, capC)
+	ldg := partition.NewLDG(k, capC)
+	for _, se := range stream {
+		hash.ProcessEdge(se)
+		ldg.ProcessEdge(se)
+	}
+	hashRes, err := Run(g, hash.Assignment(), wl, CostModel{}, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ldgRes, err := Run(g, ldg.Assignment(), wl, CostModel{}, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := Speedup(ldgRes, hashRes)
+	if sp <= 1 {
+		t.Errorf("LDG speedup over Hash = %.2f, want > 1", sp)
+	}
+	t.Logf("simulated LDG speedup over Hash: %.2fx (remote hops %d vs %d)",
+		sp, ldgRes.RemoteHops, hashRes.RemoteHops)
+}
+
+func TestLoadImbalance(t *testing.T) {
+	r := Result{MachineLoad: []int{100, 100, 100, 100, 0}} // 4 machines + Ptemp
+	if got := r.LoadImbalance(); got != 0 {
+		t.Errorf("balanced load imbalance = %v", got)
+	}
+	r2 := Result{MachineLoad: []int{300, 100, 100, 100, 0}}
+	if got := r2.LoadImbalance(); math.Abs(got-1.0) > 1e-9 {
+		t.Errorf("skewed load imbalance = %v, want 1.0", got)
+	}
+	empty := Result{}
+	if empty.LoadImbalance() != 0 {
+		t.Error("empty result imbalance")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	g := twoTrianglesGraph(t)
+	a := &partition.Assignment{K: 1, Parts: map[graph.VertexID]partition.ID{}, Sizes: []int{0}}
+	if _, err := Run(g, a, workload.Workload{Name: "empty"}, CostModel{}, 0); err == nil {
+		t.Error("empty workload: want error")
+	}
+}
+
+func TestCostModelDefaults(t *testing.T) {
+	m := CostModel{}.withDefaults()
+	if m.LocalCost != 1 || m.RemoteCost != 1000 {
+		t.Errorf("defaults = %+v", m)
+	}
+	custom := CostModel{LocalCost: 2, RemoteCost: 50}.withDefaults()
+	if custom.LocalCost != 2 || custom.RemoteCost != 50 {
+		t.Errorf("custom overridden: %+v", custom)
+	}
+}

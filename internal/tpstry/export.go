@@ -1,0 +1,121 @@
+package tpstry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"loom/internal/graph"
+	"loom/internal/signature"
+)
+
+// Export helpers: a Graphviz DOT rendering of the TPSTry++ (motifs
+// highlighted, mirroring Fig. 2's shaded nodes) and a compact text summary.
+// Both are diagnostic aids for workload engineering: choosing query
+// frequencies and the threshold T is much easier when the motif frontier is
+// visible.
+
+// WriteDot renders the trie in Graphviz DOT format. Nodes are labelled with
+// a canonical description of their graph (label-sorted edge list) and their
+// support; motifs at the given threshold are shaded. Edges carry the
+// 3-factor delta of the corresponding edge addition.
+func (t *Trie) WriteDot(w io.Writer, threshold float64) error {
+	var b strings.Builder
+	b.WriteString("digraph tpstry {\n")
+	b.WriteString("  rankdir=TB;\n")
+	b.WriteString("  node [shape=box, fontsize=10];\n")
+	b.WriteString("  root [label=\"∅\", shape=circle];\n")
+
+	for _, n := range t.Nodes() {
+		style := ""
+		if t.IsMotif(n, threshold) {
+			style = ", style=filled, fillcolor=lightgrey"
+		}
+		fmt.Fprintf(&b, "  n%d [label=\"%s\\nsupp=%.2f\"%s];\n",
+			n.ID, describeGraph(n.Rep), t.SupportOf(n), style)
+	}
+
+	// Root links.
+	for _, d := range sortedDeltas(t.root) {
+		c := t.root.children[d]
+		fmt.Fprintf(&b, "  root -> n%d [label=\"%v\", fontsize=8];\n", c.ID, d)
+	}
+	for _, n := range t.Nodes() {
+		for _, d := range sortedDeltas(n) {
+			c := n.children[d]
+			fmt.Fprintf(&b, "  n%d -> n%d [label=\"%v\", fontsize=8];\n", n.ID, c.ID, d)
+		}
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Summary writes a text overview: node and motif counts per level plus the
+// motif list, handy in logs and the loom-bench output.
+func (t *Trie) Summary(w io.Writer, threshold float64) error {
+	byLevel := map[int][]*Node{}
+	maxLevel := 0
+	for _, n := range t.Nodes() {
+		byLevel[n.Edges] = append(byLevel[n.Edges], n)
+		if n.Edges > maxLevel {
+			maxLevel = n.Edges
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "TPSTry++: %d nodes, %d motifs at T=%.0f%%, total weight %.2f\n",
+		t.Size(), len(t.Motifs(threshold)), threshold*100, t.TotalWeight())
+	for lvl := 1; lvl <= maxLevel; lvl++ {
+		nodes := byLevel[lvl]
+		motifs := 0
+		for _, n := range nodes {
+			if t.IsMotif(n, threshold) {
+				motifs++
+			}
+		}
+		fmt.Fprintf(&b, "  level %d: %d nodes, %d motifs\n", lvl, len(nodes), motifs)
+	}
+	for _, m := range t.Motifs(threshold) {
+		fmt.Fprintf(&b, "  motif #%d (%d edges, supp %.2f): %s\n",
+			m.ID, m.Edges, t.SupportOf(m), describeGraph(m.Rep))
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// describeGraph renders a small graph as a sorted list of label pairs,
+// e.g. "Person-Paper, Paper-Paper".
+func describeGraph(g *graph.Graph) string {
+	if g == nil || g.NumEdges() == 0 {
+		return "∅"
+	}
+	pairs := make([]string, 0, g.NumEdges())
+	for _, e := range g.Edges() {
+		lu, lv := g.EdgeLabels(e)
+		if lv < lu {
+			lu, lv = lv, lu
+		}
+		pairs = append(pairs, fmt.Sprintf("%s–%s", lu, lv))
+	}
+	sort.Strings(pairs)
+	return strings.Join(pairs, ", ")
+}
+
+// sortedDeltas returns a node's child deltas in a stable order.
+func sortedDeltas(n *Node) []signature.Delta {
+	out := make([]signature.Delta, 0, len(n.children))
+	for d := range n.children {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		for k := 0; k < 3; k++ {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+	return out
+}

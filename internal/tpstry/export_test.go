@@ -1,0 +1,78 @@
+package tpstry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteDot(t *testing.T) {
+	trie := newTrie()
+	fig1Workload(t, trie)
+	var buf bytes.Buffer
+	if err := trie.WriteDot(&buf, 0.40); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "digraph tpstry {") {
+		t.Error("not a digraph")
+	}
+	if !strings.Contains(out, "fillcolor=lightgrey") {
+		t.Error("motifs not shaded")
+	}
+	if !strings.Contains(out, "root ->") {
+		t.Error("no root links")
+	}
+	// Every non-root node must be declared.
+	for _, n := range trie.Nodes() {
+		if !strings.Contains(out, nodeDecl(n.ID)) {
+			t.Errorf("node %d missing from DOT", n.ID)
+		}
+	}
+}
+
+func nodeDecl(id int) string {
+	return "n" + itoa(id) + " ["
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var digits []byte
+	for i > 0 {
+		digits = append([]byte{byte('0' + i%10)}, digits...)
+		i /= 10
+	}
+	return string(digits)
+}
+
+func TestSummary(t *testing.T) {
+	trie := newTrie()
+	fig1Workload(t, trie)
+	var buf bytes.Buffer
+	if err := trie.Summary(&buf, 0.40); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "3 motifs") {
+		t.Errorf("summary missing motif count:\n%s", out)
+	}
+	if !strings.Contains(out, "level 1") || !strings.Contains(out, "level 2") {
+		t.Errorf("summary missing levels:\n%s", out)
+	}
+	if !strings.Contains(out, "a–b") {
+		t.Errorf("summary missing graph description:\n%s", out)
+	}
+}
+
+func TestDescribeGraph(t *testing.T) {
+	trie := newTrie()
+	fig1Workload(t, trie)
+	if got := describeGraph(nil); got != "∅" {
+		t.Errorf("describeGraph(nil) = %q", got)
+	}
+	if got := describeGraph(trie.Root().Rep); got != "∅" {
+		t.Errorf("describeGraph(root) = %q", got)
+	}
+}

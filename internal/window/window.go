@@ -1,0 +1,480 @@
+// Package window implements Loom's sliding stream window Ptemp and the
+// motif-matching procedure of §3 (Alg. 2).
+//
+// The window buffers the most recent motif-matching edges of the graph
+// stream. Alongside it, a matchList maps each window vertex v to the set of
+// motif-matching sub-graphs in Ptemp that contain v, each paired with the
+// TPSTry++ node of the motif it matches: entries take the form
+// v → {⟨Ei, mi⟩, ⟨Ej, mj⟩, …} where Ei is a set of window edges forming a
+// sub-graph with the same signature as motif mi.
+//
+// When a new edge e = (v1, v2) arrives:
+//
+//  1. If e does not match a single-edge motif at the root of the TPSTry++,
+//     it "will never form part of any sub-graph that matches a motif" and
+//     the caller (Loom) assigns it immediately, bypassing the window.
+//  2. Otherwise e is added with its single-edge match, then every existing
+//     match connected to e is tentatively grown by e: the 3-factor delta of
+//     the addition is computed against the match's sub-graph and looked up
+//     among the children of the match's trie node (Alg. 2 lines 3–8).
+//  3. Finally, pairs of existing matches around v1 and v2 are joined by
+//     recursively growing the larger by the edges of the smaller, one trie
+//     link at a time (Alg. 2 lines 11–18).
+//
+// Matches are recorded for every vertex of the matching sub-graph, per the
+// worked example of §3 (⟨{e2,e3}, m3⟩ is added "to the matchList entries
+// for vertices 3, 4 and 5").
+package window
+
+import (
+	"fmt"
+	"sort"
+
+	"loom/internal/graph"
+	"loom/internal/signature"
+	"loom/internal/tpstry"
+)
+
+// DefaultMaxMatchesPerVertex guards against pathological windows (e.g. a
+// dense same-label hub) where the number of overlapping motif matches per
+// vertex explodes. Beyond the cap, new matches containing the vertex are
+// not recorded; partitioning degrades gracefully toward LDG behaviour.
+const DefaultMaxMatchesPerVertex = 128
+
+// Match is a motif-matching sub-graph in the window: an edge set paired
+// with the TPSTry++ node whose signature it shares (an entry ⟨Ei, mi⟩ of
+// the matchList).
+type Match struct {
+	// Edges is the match's edge set in canonical (normalised, sorted)
+	// order.
+	Edges []graph.Edge
+	// Node is the motif's TPSTry++ node; Node.Sig equals the sub-graph's
+	// signature and the trie's SupportOf(Node) gives the motif support
+	// used to rank matches during assignment (§4).
+	Node *tpstry.Node
+
+	key  string
+	dead bool
+}
+
+// Vertices returns the distinct vertices of the match, sorted.
+func (m *Match) Vertices() []graph.VertexID {
+	seen := make(map[graph.VertexID]struct{}, len(m.Edges)+1)
+	for _, e := range m.Edges {
+		seen[e.U] = struct{}{}
+		seen[e.V] = struct{}{}
+	}
+	out := make([]graph.VertexID, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ContainsEdge reports whether the match includes e (normalised).
+func (m *Match) ContainsEdge(e graph.Edge) bool {
+	e = e.Norm()
+	for _, me := range m.Edges {
+		if me == e {
+			return true
+		}
+	}
+	return false
+}
+
+func (m *Match) String() string {
+	return fmt.Sprintf("⟨%v,%v⟩", m.Edges, m.Node)
+}
+
+func matchKey(edges []graph.Edge, node *tpstry.Node) string {
+	buf := make([]byte, 0, len(edges)*16+8)
+	for _, e := range edges {
+		for i := 0; i < 8; i++ {
+			buf = append(buf, byte(e.U>>(8*i)))
+		}
+		for i := 0; i < 8; i++ {
+			buf = append(buf, byte(e.V>>(8*i)))
+		}
+	}
+	id := node.ID
+	for i := 0; i < 8; i++ {
+		buf = append(buf, byte(id>>(8*i)))
+	}
+	return string(buf)
+}
+
+// Matcher is the sliding window Ptemp plus its matchList. It is not safe
+// for concurrent use (Loom is single-threaded, §6).
+type Matcher struct {
+	trie      *tpstry.Trie
+	scheme    *signature.Scheme
+	threshold float64
+	capacity  int
+	maxEdges  int // largest motif size; matches never grow beyond it
+	maxPerV   int
+
+	fifo     []graph.StreamEdge
+	head     int
+	inWindow map[graph.Edge]bool
+	count    int
+
+	labels   map[graph.VertexID]graph.Label
+	vertexRC map[graph.VertexID]int // window edges touching each vertex
+
+	byVertex map[graph.VertexID][]*Match
+	byEdge   map[graph.Edge][]*Match
+	all      map[string]*Match
+}
+
+// NewMatcher builds a window of the given capacity (the paper's t, default
+// 10k edges in §5.1) over the motifs of trie at the given support
+// threshold.
+func NewMatcher(trie *tpstry.Trie, threshold float64, capacity int) *Matcher {
+	if capacity < 0 {
+		panic(fmt.Sprintf("window: negative capacity %d", capacity))
+	}
+	return &Matcher{
+		trie:      trie,
+		scheme:    trie.Scheme(),
+		threshold: threshold,
+		capacity:  capacity,
+		maxEdges:  trie.MaxMotifEdges(threshold),
+		maxPerV:   DefaultMaxMatchesPerVertex,
+		inWindow:  make(map[graph.Edge]bool),
+		labels:    make(map[graph.VertexID]graph.Label),
+		vertexRC:  make(map[graph.VertexID]int),
+		byVertex:  make(map[graph.VertexID][]*Match),
+		byEdge:    make(map[graph.Edge][]*Match),
+		all:       make(map[string]*Match),
+	}
+}
+
+// SetMaxMatchesPerVertex overrides the per-vertex match cap.
+func (w *Matcher) SetMaxMatchesPerVertex(n int) { w.maxPerV = n }
+
+// Len returns the number of edges currently in the window.
+func (w *Matcher) Len() int { return w.count }
+
+// Capacity returns the window size t.
+func (w *Matcher) Capacity() int { return w.capacity }
+
+// OverCapacity reports whether the window holds more than t edges, i.e. an
+// eviction is due ("each new edge added to a full window causes the oldest
+// edge to be dropped", §4).
+func (w *Matcher) OverCapacity() bool { return w.count > w.capacity }
+
+// Empty reports whether the window holds no edges.
+func (w *Matcher) Empty() bool { return w.count == 0 }
+
+// NumMatches returns the number of live matches (diagnostics).
+func (w *Matcher) NumMatches() int { return len(w.all) }
+
+// Label returns the label of a window vertex.
+func (w *Matcher) Label(v graph.VertexID) (graph.Label, bool) {
+	l, ok := w.labels[v]
+	return l, ok
+}
+
+// HasVertex reports whether v currently has edges buffered in the window,
+// i.e. v is part of Ptemp and will be placed by a future eviction. Loom's
+// immediate-assignment path consults this to avoid pinning a vertex whose
+// motif cluster is still forming (§4: the assignment of motif matches, not
+// incidental non-motif edges, should decide such vertices' placement).
+func (w *Matcher) HasVertex(v graph.VertexID) bool { return w.vertexRC[v] > 0 }
+
+// SingleEdgeMotif returns the TPSTry++ node for the single-edge motif
+// matching e, if one exists at the current threshold. This is the gate of
+// §3: edges failing it never enter the window.
+func (w *Matcher) SingleEdgeMotif(e graph.StreamEdge) (*tpstry.Node, bool) {
+	d := w.scheme.EdgeDelta(e.LU, 0, e.LV, 0)
+	n, ok := w.trie.Root().ChildByDelta(d)
+	if !ok || !w.trie.IsMotif(n, w.threshold) {
+		return nil, false
+	}
+	return n, true
+}
+
+// Insert adds a motif-matching edge to the window and updates the
+// matchList per Alg. 2. The caller must have checked SingleEdgeMotif; a
+// duplicate window edge or self-loop is rejected with an error.
+func (w *Matcher) Insert(e graph.StreamEdge) error {
+	if e.U == e.V {
+		return fmt.Errorf("window: self-loop %v", e)
+	}
+	norm := e.Edge().Norm()
+	if w.inWindow[norm] {
+		return fmt.Errorf("window: duplicate edge %v", norm)
+	}
+	node, ok := w.SingleEdgeMotif(e)
+	if !ok {
+		return fmt.Errorf("window: edge %v does not match a single-edge motif", e)
+	}
+
+	w.fifo = append(w.fifo, e)
+	w.inWindow[norm] = true
+	w.count++
+	w.labels[e.U] = e.LU
+	w.labels[e.V] = e.LV
+	w.vertexRC[e.U]++
+	w.vertexRC[e.V]++
+
+	// The new single-edge match ⟨{e}, m⟩.
+	w.addMatch([]graph.Edge{norm}, node)
+
+	// Alg. 2 lines 3–8: grow each existing match connected to e.
+	for _, m := range w.connectedMatches(e.U, e.V, norm) {
+		if len(m.Edges) >= w.maxEdges || m.ContainsEdge(norm) {
+			continue
+		}
+		d := w.deltaFor(norm, m.Edges)
+		if c, ok := m.Node.ChildByDelta(d); ok && w.trie.IsMotif(c, w.threshold) {
+			w.addMatch(append(append([]graph.Edge(nil), m.Edges...), norm), c)
+		}
+	}
+
+	// Alg. 2 lines 11–18: join pairs of matches from the two endpoints'
+	// (updated) matchList entries.
+	ms1 := append([]*Match(nil), w.byVertex[e.U]...)
+	ms2 := append([]*Match(nil), w.byVertex[e.V]...)
+	for _, m1 := range ms1 {
+		if m1.dead {
+			continue
+		}
+		for _, m2 := range ms2 {
+			if m2.dead || m1 == m2 {
+				continue
+			}
+			w.tryJoin(m1, m2)
+		}
+	}
+	return nil
+}
+
+// connectedMatches snapshots the live matches listed under either endpoint
+// (excluding the just-added single edge match, which cannot grow by its own
+// edge anyway — ContainsEdge filters it).
+func (w *Matcher) connectedMatches(u, v graph.VertexID, _ graph.Edge) []*Match {
+	seen := make(map[*Match]bool)
+	var out []*Match
+	for _, list := range [2][]*Match{w.byVertex[u], w.byVertex[v]} {
+		for _, m := range list {
+			if !m.dead && !seen[m] {
+				seen[m] = true
+				out = append(out, m)
+			}
+		}
+	}
+	return out
+}
+
+// deltaFor computes the 3 factors that adding edge e to the sub-graph
+// formed by edges would multiply into its signature: the edge factor plus
+// one degree factor per endpoint, using each endpoint's degree *within the
+// sub-graph* (§2.1's incremental computation, applied stream-side).
+func (w *Matcher) deltaFor(e graph.Edge, edges []graph.Edge) signature.Delta {
+	du, dv := 0, 0
+	for _, me := range edges {
+		if me.HasEndpoint(e.U) {
+			du++
+		}
+		if me.HasEndpoint(e.V) {
+			dv++
+		}
+	}
+	return w.scheme.EdgeDelta(w.labels[e.U], du, w.labels[e.V], dv)
+}
+
+// addMatch records a match if it is new and the per-vertex cap allows,
+// returning the canonical *Match (existing or new) and whether it was
+// created.
+func (w *Matcher) addMatch(edges []graph.Edge, node *tpstry.Node) (*Match, bool) {
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].U != edges[j].U {
+			return edges[i].U < edges[j].U
+		}
+		return edges[i].V < edges[j].V
+	})
+	key := matchKey(edges, node)
+	if m, ok := w.all[key]; ok {
+		return m, false
+	}
+	m := &Match{Edges: edges, Node: node, key: key}
+	for _, v := range m.Vertices() {
+		if len(w.byVertex[v]) >= w.maxPerV {
+			return nil, false // cap: do not record (graceful degradation)
+		}
+	}
+	w.all[key] = m
+	for _, v := range m.Vertices() {
+		w.byVertex[v] = append(w.byVertex[v], m)
+	}
+	for _, e := range m.Edges {
+		w.byEdge[e] = append(w.byEdge[e], m)
+	}
+	return m, true
+}
+
+// tryJoin attempts to combine two matches (Alg. 2 lines 11–18): edges of
+// the smaller match are added to the larger one at a time; every
+// intermediate step must land on a motif node of the trie. On success the
+// combined match is recorded.
+func (w *Matcher) tryJoin(m1, m2 *Match) {
+	// Grow the larger by the smaller ("we consider each edge from the
+	// smaller motif match").
+	if len(m2.Edges) > len(m1.Edges) {
+		m1, m2 = m2, m1
+	}
+	remaining := make([]graph.Edge, 0, len(m2.Edges))
+	for _, e := range m2.Edges {
+		if !m1.ContainsEdge(e) {
+			remaining = append(remaining, e)
+		}
+	}
+	if len(remaining) == 0 {
+		return // m2 ⊆ m1: nothing new
+	}
+	if len(m1.Edges)+len(remaining) > w.maxEdges {
+		return // cannot possibly match a motif
+	}
+	edges := append([]graph.Edge(nil), m1.Edges...)
+	if node, ok := w.grow(m1.Node, edges, remaining); ok {
+		combined := append(edges, remaining...)
+		w.addMatch(combined, node)
+	}
+}
+
+// grow recursively adds the remaining edges (in any workable order) to the
+// edge set, following motif child links; it reports the final node on
+// success. The edge set slice is used as scratch (append/truncate).
+func (w *Matcher) grow(node *tpstry.Node, edges []graph.Edge, remaining []graph.Edge) (*tpstry.Node, bool) {
+	if len(remaining) == 0 {
+		return node, true
+	}
+	for i, e := range remaining {
+		// Connectivity guard: the next edge must touch the sub-graph
+		// (trie deltas imply this, but a factor collision could lie).
+		if !touches(edges, e) {
+			continue
+		}
+		d := w.deltaFor(e, edges)
+		c, ok := node.ChildByDelta(d)
+		if !ok || !w.trie.IsMotif(c, w.threshold) {
+			continue
+		}
+		rest := make([]graph.Edge, 0, len(remaining)-1)
+		rest = append(rest, remaining[:i]...)
+		rest = append(rest, remaining[i+1:]...)
+		if final, ok := w.grow(c, append(edges, e), rest); ok {
+			return final, true
+		}
+	}
+	return nil, false
+}
+
+func touches(edges []graph.Edge, e graph.Edge) bool {
+	for _, me := range edges {
+		if me.HasEndpoint(e.U) || me.HasEndpoint(e.V) {
+			return true
+		}
+	}
+	return false
+}
+
+// Oldest returns the oldest edge still in the window.
+func (w *Matcher) Oldest() (graph.StreamEdge, bool) {
+	for w.head < len(w.fifo) {
+		e := w.fifo[w.head]
+		if w.inWindow[e.Edge().Norm()] {
+			return e, true
+		}
+		w.head++ // tombstoned by an earlier removal
+	}
+	return graph.StreamEdge{}, false
+}
+
+// MatchesContaining returns the live matches whose edge sets include e —
+// the set Me of §4 when e is being evicted. The result is a fresh slice.
+func (w *Matcher) MatchesContaining(e graph.Edge) []*Match {
+	e = e.Norm()
+	var out []*Match
+	for _, m := range w.byEdge[e] {
+		if !m.dead {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// RemoveEdges drops the given edges from the window and kills every match
+// whose edge set intersects them ("matches in Me which are not bid on by
+// the winning partition are dropped from the matchList map, as some of
+// their constituent edges have been assigned", §4). Edges not in the
+// window are ignored. Remaining edges stay available for future matches.
+func (w *Matcher) RemoveEdges(edges []graph.Edge) {
+	var killed []*Match
+	for _, e := range edges {
+		e = e.Norm()
+		if !w.inWindow[e] {
+			continue
+		}
+		delete(w.inWindow, e)
+		w.count--
+		for _, v := range [2]graph.VertexID{e.U, e.V} {
+			w.vertexRC[v]--
+			if w.vertexRC[v] <= 0 {
+				delete(w.vertexRC, v)
+				delete(w.labels, v)
+			}
+		}
+		for _, m := range w.byEdge[e] {
+			if !m.dead {
+				m.dead = true
+				delete(w.all, m.key)
+				killed = append(killed, m)
+			}
+		}
+	}
+	// Unlink killed matches from exactly the index entries that hold
+	// them; per-match vertex/edge sets are small, so this is O(|killed|)
+	// rather than a full index sweep.
+	for _, m := range killed {
+		for _, v := range m.Vertices() {
+			w.byVertex[v] = dropDead(w.byVertex[v])
+			if len(w.byVertex[v]) == 0 {
+				delete(w.byVertex, v)
+			}
+		}
+		for _, e := range m.Edges {
+			w.byEdge[e] = dropDead(w.byEdge[e])
+			if len(w.byEdge[e]) == 0 {
+				delete(w.byEdge, e)
+			}
+		}
+	}
+}
+
+func dropDead(list []*Match) []*Match {
+	live := list[:0]
+	for _, m := range list {
+		if !m.dead {
+			live = append(live, m)
+		}
+	}
+	return live
+}
+
+// WindowEdges returns the edges currently buffered, oldest first (used by
+// Flush and tests).
+func (w *Matcher) WindowEdges() []graph.StreamEdge {
+	out := make([]graph.StreamEdge, 0, w.count)
+	for i := w.head; i < len(w.fifo); i++ {
+		if w.inWindow[w.fifo[i].Edge().Norm()] {
+			out = append(out, w.fifo[i])
+		}
+	}
+	return out
+}
+
+// Support returns the normalised support of a match's motif.
+func (w *Matcher) Support(m *Match) float64 { return w.trie.SupportOf(m.Node) }

@@ -1,0 +1,226 @@
+package window
+
+import (
+	"math/rand"
+	"testing"
+
+	"loom/internal/graph"
+	"loom/internal/pattern"
+	"loom/internal/signature"
+	"loom/internal/tpstry"
+)
+
+// chainTrie: workload with a 4-edge path motif over two labels, so matches
+// must grow through three intermediate levels.
+func chainTrie(t testing.TB) *tpstry.Trie {
+	t.Helper()
+	trie := tpstry.New(signature.NewScheme(signature.DefaultP, 77))
+	if err := trie.AddQuery(pattern.Path("a", "b", "a", "b", "a"), 1.0); err != nil {
+		t.Fatal(err)
+	}
+	return trie
+}
+
+func TestDeepMatchGrowth(t *testing.T) {
+	trie := chainTrie(t)
+	w := NewMatcher(trie, 0.4, 100)
+	// Build the path 1a-2b-3a-4b-5a edge by edge.
+	labels := []graph.Label{"a", "b", "a", "b", "a"}
+	for i := 1; i <= 4; i++ {
+		se := graph.StreamEdge{
+			U: graph.VertexID(i), LU: labels[i-1],
+			V: graph.VertexID(i + 1), LV: labels[i],
+		}
+		if err := w.Insert(se); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The full 4-edge match must exist on every vertex of the path.
+	full, ok := trie.NodeBySignature(trie.Scheme().SignatureOf(pattern.Path("a", "b", "a", "b", "a")))
+	if !ok {
+		t.Fatal("4-edge node missing from trie")
+	}
+	found := false
+	for _, m := range w.MatchesContaining(graph.Edge{U: 1, V: 2}) {
+		if m.Node == full && len(m.Edges) == 4 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("full 4-edge match not discovered")
+	}
+}
+
+func TestDeepGrowthOutOfOrder(t *testing.T) {
+	// The same path arriving as two fragments joined by the middle edge:
+	// 1-2, 4-5 first (disconnected), then 3-4, 2-3 — the final insert
+	// must join everything via the pair-join step.
+	trie := chainTrie(t)
+	w := NewMatcher(trie, 0.4, 100)
+	inserts := []graph.StreamEdge{
+		{U: 1, LU: "a", V: 2, LV: "b"},
+		{U: 4, LU: "b", V: 5, LV: "a"},
+		{U: 3, LU: "a", V: 4, LV: "b"},
+		{U: 2, LU: "b", V: 3, LV: "a"},
+	}
+	for _, se := range inserts {
+		if err := w.Insert(se); err != nil {
+			t.Fatal(err)
+		}
+	}
+	full, _ := trie.NodeBySignature(trie.Scheme().SignatureOf(pattern.Path("a", "b", "a", "b", "a")))
+	found := false
+	for _, m := range w.MatchesContaining(graph.Edge{U: 2, V: 3}) {
+		if m.Node == full && len(m.Edges) == 4 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("out-of-order arrival did not produce the full match")
+	}
+}
+
+func TestRemoveEdgesKillsOnlyIntersectingMatches(t *testing.T) {
+	trie := chainTrie(t)
+	w := NewMatcher(trie, 0.4, 100)
+	// Two disjoint 2-edge chains sharing no edges.
+	for _, se := range []graph.StreamEdge{
+		{U: 1, LU: "a", V: 2, LV: "b"},
+		{U: 2, LU: "b", V: 3, LV: "a"},
+		{U: 10, LU: "a", V: 11, LV: "b"},
+		{U: 11, LU: "b", V: 12, LV: "a"},
+	} {
+		if err := w.Insert(se); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := w.NumMatches()
+	w.RemoveEdges([]graph.Edge{{U: 1, V: 2}, {U: 2, V: 3}})
+	// The second chain's matches are untouched.
+	if got := len(w.MatchesContaining(graph.Edge{U: 10, V: 11})); got == 0 {
+		t.Error("disjoint chain lost its matches")
+	}
+	if w.NumMatches() >= before {
+		t.Error("no matches removed")
+	}
+	if w.Len() != 2 {
+		t.Errorf("window Len = %d, want 2", w.Len())
+	}
+}
+
+func TestVertexLabelLifecycle(t *testing.T) {
+	trie := chainTrie(t)
+	w := NewMatcher(trie, 0.4, 100)
+	if err := w.Insert(graph.StreamEdge{U: 1, LU: "a", V: 2, LV: "b"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := w.Label(1); !ok {
+		t.Error("label missing while vertex in window")
+	}
+	if !w.HasVertex(1) {
+		t.Error("HasVertex(1) = false")
+	}
+	w.RemoveEdges([]graph.Edge{{U: 1, V: 2}})
+	if _, ok := w.Label(1); ok {
+		t.Error("label retained after last edge removed")
+	}
+	if w.HasVertex(1) {
+		t.Error("HasVertex after removal")
+	}
+}
+
+// TestWindowSoak drives a random motif-rich stream through a small window
+// with interleaved evictions and verifies the core invariants at every
+// step: matches reference only in-window edges, match signatures equal
+// their node signatures, and Len always equals the live edge count.
+func TestWindowSoak(t *testing.T) {
+	trie := chainTrie(t)
+	scheme := trie.Scheme()
+	w := NewMatcher(trie, 0.4, 16)
+	r := rand.New(rand.NewSource(1234))
+	g := graph.New()
+
+	steps := 0
+	for steps < 400 {
+		u := graph.VertexID(r.Intn(60) + 1)
+		v := graph.VertexID(r.Intn(60) + 1)
+		if u == v {
+			continue
+		}
+		lu := graph.Label("a")
+		if u%2 == 0 {
+			lu = "b"
+		}
+		lv := graph.Label("a")
+		if v%2 == 0 {
+			lv = "b"
+		}
+		se := graph.StreamEdge{U: u, LU: lu, V: v, LV: lv}
+		if _, ok := w.SingleEdgeMotif(se); !ok {
+			continue
+		}
+		if added, err := g.EnsureEdge(u, lu, v, lv); err != nil || !added {
+			continue
+		}
+		if err := w.Insert(se); err != nil {
+			t.Fatal(err)
+		}
+		steps++
+
+		for w.OverCapacity() {
+			old, ok := w.Oldest()
+			if !ok {
+				t.Fatal("over capacity with no oldest")
+			}
+			me := w.MatchesContaining(old.Edge())
+			if len(me) == 0 {
+				t.Fatalf("evicted edge %v has no matches", old)
+			}
+			w.RemoveEdges([]graph.Edge{old.Edge().Norm()})
+		}
+
+		if steps%25 != 0 {
+			continue
+		}
+		// Invariant sweep.
+		live := 0
+		for _, se2 := range w.WindowEdges() {
+			live++
+			for _, m := range w.MatchesContaining(se2.Edge()) {
+				for _, e := range m.Edges {
+					if !w.inWindow[e] {
+						t.Fatalf("match %v references evicted edge %v", m, e)
+					}
+				}
+				sub := graph.InducedSubgraph(g, m.Edges)
+				if !scheme.SignatureOf(sub).Equal(m.Node.Sig) {
+					t.Fatalf("signature mismatch for %v", m)
+				}
+			}
+		}
+		if live != w.Len() {
+			t.Fatalf("Len=%d but %d live edges", w.Len(), live)
+		}
+	}
+}
+
+func TestZeroCapacityWindow(t *testing.T) {
+	trie := chainTrie(t)
+	w := NewMatcher(trie, 0.4, 0)
+	if err := w.Insert(graph.StreamEdge{U: 1, LU: "a", V: 2, LV: "b"}); err != nil {
+		t.Fatal(err)
+	}
+	if !w.OverCapacity() {
+		t.Error("zero-capacity window must be immediately over capacity")
+	}
+}
+
+func TestNegativeCapacityPanics(t *testing.T) {
+	trie := chainTrie(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("negative capacity should panic")
+		}
+	}()
+	NewMatcher(trie, 0.4, -1)
+}

@@ -1,0 +1,380 @@
+package window
+
+import (
+	"math/rand"
+	"testing"
+
+	"loom/internal/graph"
+	"loom/internal/pattern"
+	"loom/internal/signature"
+	"loom/internal/tpstry"
+)
+
+// fig5Trie builds a TPSTry++ whose motifs (at T = 0.4) are exactly the six
+// of Fig. 5: m1 = a-b, m2 = b-c, m3 = a-b-c, m4 = a-b-a, m5 = b-a-b and
+// m6 = the path a-b-a-b. Workload: {a-b-a-b path: 50%, a-b-c path: 50%}.
+func fig5Trie(t testing.TB) *tpstry.Trie {
+	t.Helper()
+	trie := tpstry.New(signature.NewScheme(signature.DefaultP, 23))
+	if err := trie.AddQuery(pattern.Path("a", "b", "a", "b"), 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := trie.AddQuery(pattern.Path("a", "b", "c"), 0.5); err != nil {
+		t.Fatal(err)
+	}
+	return trie
+}
+
+// fig5Edges returns the stream of Fig. 5: vertices 1a 2b 3a 4b 5c, edges
+// e1=(1,2), e2=(3,4), e3=(4,5), e4=(2,5), e5=(2,3).
+func fig5Edges() []graph.StreamEdge {
+	return []graph.StreamEdge{
+		{U: 1, LU: "a", V: 2, LV: "b"}, // e1
+		{U: 3, LU: "a", V: 4, LV: "b"}, // e2
+		{U: 4, LU: "b", V: 5, LV: "c"}, // e3
+		{U: 2, LU: "b", V: 5, LV: "c"}, // e4
+		{U: 2, LU: "b", V: 3, LV: "a"}, // e5
+	}
+}
+
+func nodeOf(t testing.TB, trie *tpstry.Trie, g *graph.Graph) *tpstry.Node {
+	t.Helper()
+	n, ok := trie.NodeBySignature(trie.Scheme().SignatureOf(g))
+	if !ok {
+		t.Fatalf("trie node missing for %v", g)
+	}
+	return n
+}
+
+// hasMatch reports whether the window has a live match with exactly these
+// edges and motif node.
+func hasMatch(w *Matcher, node *tpstry.Node, edges ...graph.Edge) bool {
+	if len(edges) == 0 {
+		return false
+	}
+	for _, m := range w.MatchesContaining(edges[0]) {
+		if m.Node != node || len(m.Edges) != len(edges) {
+			continue
+		}
+		all := true
+		for _, e := range edges {
+			if !m.ContainsEdge(e) {
+				all = false
+				break
+			}
+		}
+		if all {
+			return true
+		}
+	}
+	return false
+}
+
+func TestFig5Walkthrough(t *testing.T) {
+	trie := fig5Trie(t)
+	w := NewMatcher(trie, 0.4, 100)
+	es := fig5Edges()
+
+	m1 := nodeOf(t, trie, pattern.Path("a", "b"))
+	m2 := nodeOf(t, trie, pattern.Path("b", "c"))
+	m3 := nodeOf(t, trie, pattern.Path("a", "b", "c"))
+	m4 := nodeOf(t, trie, pattern.Path("a", "b", "a"))
+	m5 := nodeOf(t, trie, pattern.Path("b", "a", "b"))
+	m6 := nodeOf(t, trie, pattern.Path("a", "b", "a", "b"))
+
+	e1 := graph.Edge{U: 1, V: 2}
+	e2 := graph.Edge{U: 3, V: 4}
+	e3 := graph.Edge{U: 4, V: 5}
+	e4 := graph.Edge{U: 2, V: 5}
+	e5 := graph.Edge{U: 2, V: 3}
+
+	// e1: single-edge match ⟨e1, m1⟩.
+	if err := w.Insert(es[0]); err != nil {
+		t.Fatal(err)
+	}
+	if !hasMatch(w, m1, e1) {
+		t.Fatal("⟨e1,m1⟩ missing")
+	}
+	// e2: same process.
+	if err := w.Insert(es[1]); err != nil {
+		t.Fatal(err)
+	}
+	if !hasMatch(w, m1, e2) {
+		t.Fatal("⟨e2,m1⟩ missing")
+	}
+	// e3 (b-c): single-edge ⟨e3,m2⟩ plus the growth ⟨{e2,e3},m3⟩
+	// recorded for vertices 3, 4 and 5.
+	if err := w.Insert(es[2]); err != nil {
+		t.Fatal(err)
+	}
+	if !hasMatch(w, m2, e3) {
+		t.Fatal("⟨e3,m2⟩ missing")
+	}
+	if !hasMatch(w, m3, e2, e3) {
+		t.Fatal("⟨{e2,e3},m3⟩ missing")
+	}
+	// e4 (b-c): ⟨e4,m2⟩ and ⟨{e1,e4},m3⟩ per the text.
+	if err := w.Insert(es[3]); err != nil {
+		t.Fatal(err)
+	}
+	if !hasMatch(w, m2, e4) {
+		t.Fatal("⟨e4,m2⟩ missing")
+	}
+	if !hasMatch(w, m3, e1, e4) {
+		t.Fatal("⟨{e1,e4},m3⟩ missing")
+	}
+	// e5 (b-a): ⟨{e1,e5},m4⟩, ⟨{e2,e5},m5⟩ and the join result
+	// ⟨{e1,e2,e5},m6⟩.
+	if err := w.Insert(es[4]); err != nil {
+		t.Fatal(err)
+	}
+	if !hasMatch(w, m4, e1, e5) {
+		t.Fatal("⟨{e1,e5},m4⟩ missing")
+	}
+	if !hasMatch(w, m5, e2, e5) {
+		t.Fatal("⟨{e2,e5},m5⟩ missing")
+	}
+	if !hasMatch(w, m6, e1, e2, e5) {
+		t.Fatal("⟨{e1,e2,e5},m6⟩ missing (pair join)")
+	}
+	if w.Len() != 5 {
+		t.Errorf("window Len = %d, want 5", w.Len())
+	}
+}
+
+func TestSingleEdgeMotifGate(t *testing.T) {
+	trie := fig5Trie(t)
+	w := NewMatcher(trie, 0.4, 10)
+	// c-d never appears in the workload: not a motif.
+	if _, ok := w.SingleEdgeMotif(graph.StreamEdge{U: 7, LU: "c", V: 8, LV: "d"}); ok {
+		t.Error("c-d must not match a single-edge motif")
+	}
+	if _, ok := w.SingleEdgeMotif(graph.StreamEdge{U: 1, LU: "a", V: 2, LV: "b"}); !ok {
+		t.Error("a-b must match a single-edge motif")
+	}
+	if err := w.Insert(graph.StreamEdge{U: 7, LU: "c", V: 8, LV: "d"}); err == nil {
+		t.Error("Insert of non-motif edge must fail")
+	}
+}
+
+func TestInsertRejectsDuplicatesAndSelfLoops(t *testing.T) {
+	w := NewMatcher(fig5Trie(t), 0.4, 10)
+	e := graph.StreamEdge{U: 1, LU: "a", V: 2, LV: "b"}
+	if err := w.Insert(e); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Insert(e); err == nil {
+		t.Error("duplicate insert must fail")
+	}
+	if err := w.Insert(graph.StreamEdge{U: 3, LU: "a", V: 3, LV: "a"}); err == nil {
+		t.Error("self-loop insert must fail")
+	}
+}
+
+func TestOldestAndRemoveEdges(t *testing.T) {
+	trie := fig5Trie(t)
+	w := NewMatcher(trie, 0.4, 100)
+	for _, e := range fig5Edges() {
+		if err := w.Insert(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	old, ok := w.Oldest()
+	if !ok || old.Edge() != (graph.Edge{U: 1, V: 2}) {
+		t.Fatalf("Oldest = %v,%v want e1", old, ok)
+	}
+
+	e1 := graph.Edge{U: 1, V: 2}
+	e2 := graph.Edge{U: 3, V: 4}
+	m1 := nodeOf(t, trie, pattern.Path("a", "b"))
+	before := w.NumMatches()
+	w.RemoveEdges([]graph.Edge{e1})
+	if w.Len() != 4 {
+		t.Errorf("Len after removal = %d, want 4", w.Len())
+	}
+	// All matches containing e1 died; ⟨e2,m1⟩ must survive.
+	if got := w.MatchesContaining(e1); len(got) != 0 {
+		t.Errorf("matches containing removed edge: %v", got)
+	}
+	if !hasMatch(w, m1, e2) {
+		t.Error("⟨e2,m1⟩ should survive e1's removal")
+	}
+	if w.NumMatches() >= before {
+		t.Error("match count should drop after removal")
+	}
+	// Oldest now skips the tombstoned e1.
+	old, ok = w.Oldest()
+	if !ok || old.Edge() != (graph.Edge{U: 3, V: 4}) {
+		t.Fatalf("Oldest after removal = %v, want e2", old)
+	}
+	// Removing an absent edge is a no-op.
+	w.RemoveEdges([]graph.Edge{{U: 99, V: 100}})
+	if w.Len() != 4 {
+		t.Error("removing absent edge changed Len")
+	}
+}
+
+func TestOverCapacity(t *testing.T) {
+	w := NewMatcher(fig5Trie(t), 0.4, 2)
+	es := fig5Edges()
+	for i := 0; i < 2; i++ {
+		if err := w.Insert(es[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.OverCapacity() {
+		t.Error("window at capacity is not over capacity")
+	}
+	if err := w.Insert(es[2]); err != nil {
+		t.Fatal(err)
+	}
+	if !w.OverCapacity() {
+		t.Error("window must be over capacity after t+1 inserts")
+	}
+}
+
+func TestMatchSignatureInvariant(t *testing.T) {
+	// Every live match's induced sub-graph must have exactly the
+	// signature of its motif node — the core soundness property tying
+	// Alg. 2 to the trie.
+	trie := fig5Trie(t)
+	w := NewMatcher(trie, 0.4, 1000)
+	scheme := trie.Scheme()
+
+	r := rand.New(rand.NewSource(99))
+	// Random bipartite-ish stream over labels a, b, c to exercise growth.
+	labels := []graph.Label{"a", "b", "c"}
+	g := graph.New()
+	var inserted []graph.StreamEdge
+	for i := 0; i < 300; i++ {
+		u := graph.VertexID(r.Intn(40) + 1)
+		v := graph.VertexID(r.Intn(40) + 1)
+		if u == v {
+			continue
+		}
+		lu := labels[int(u)%len(labels)]
+		lv := labels[int(v)%len(labels)]
+		se := graph.StreamEdge{U: u, LU: lu, V: v, LV: lv}
+		if _, ok := w.SingleEdgeMotif(se); !ok {
+			continue
+		}
+		added, err := g.EnsureEdge(u, lu, v, lv)
+		if err != nil || !added {
+			continue
+		}
+		if err := w.Insert(se); err != nil {
+			t.Fatal(err)
+		}
+		inserted = append(inserted, se)
+	}
+	if len(inserted) < 20 {
+		t.Fatalf("too few motif edges inserted: %d", len(inserted))
+	}
+
+	checked := 0
+	for _, se := range inserted {
+		for _, m := range w.MatchesContaining(se.Edge()) {
+			sub := graph.InducedSubgraph(g, m.Edges)
+			if !scheme.SignatureOf(sub).Equal(m.Node.Sig) {
+				t.Fatalf("match %v: sub-graph signature %v != node sig %v",
+					m, scheme.SignatureOf(sub), m.Node.Sig)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no matches checked")
+	}
+}
+
+func TestMatchesAreSubgraphsOfWindow(t *testing.T) {
+	trie := fig5Trie(t)
+	w := NewMatcher(trie, 0.4, 3)
+	// Insert 5 edges with manual eviction of oldest after each overflow,
+	// mimicking Loom's loop; matches must never reference evicted edges.
+	for _, se := range fig5Edges() {
+		if err := w.Insert(se); err != nil {
+			t.Fatal(err)
+		}
+		for w.OverCapacity() {
+			old, ok := w.Oldest()
+			if !ok {
+				t.Fatal("over capacity but no oldest")
+			}
+			w.RemoveEdges([]graph.Edge{old.Edge().Norm()})
+		}
+	}
+	for _, se := range w.WindowEdges() {
+		for _, m := range w.MatchesContaining(se.Edge()) {
+			for _, e := range m.Edges {
+				if !w.inWindow[e] {
+					t.Fatalf("match %v references evicted edge %v", m, e)
+				}
+			}
+		}
+	}
+}
+
+func TestMaxMatchesPerVertexGuard(t *testing.T) {
+	trie := tpstry.New(signature.NewScheme(signature.DefaultP, 5))
+	// Star workload: hub label h with many a-leaves, so every new leaf
+	// edge multiplies matches at the hub.
+	if err := trie.AddQuery(pattern.Star("h", "a", "a", "a", "a"), 1); err != nil {
+		t.Fatal(err)
+	}
+	w := NewMatcher(trie, 0.1, 1000)
+	w.SetMaxMatchesPerVertex(10)
+	for i := 0; i < 30; i++ {
+		se := graph.StreamEdge{U: 1, LU: "h", V: graph.VertexID(i + 2), LV: "a"}
+		if err := w.Insert(se); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(w.byVertex[1]); got > 10 {
+		t.Errorf("hub has %d matches, cap 10", got)
+	}
+}
+
+func TestWindowEdgesOrder(t *testing.T) {
+	w := NewMatcher(fig5Trie(t), 0.4, 100)
+	es := fig5Edges()
+	for _, e := range es {
+		if err := w.Insert(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := w.WindowEdges()
+	if len(got) != len(es) {
+		t.Fatalf("WindowEdges len = %d", len(got))
+	}
+	for i := range es {
+		if got[i].Edge() != es[i].Edge() {
+			t.Errorf("WindowEdges[%d] = %v, want %v", i, got[i], es[i])
+		}
+	}
+}
+
+func TestSupportOrdering(t *testing.T) {
+	trie := fig5Trie(t)
+	w := NewMatcher(trie, 0.4, 100)
+	for _, e := range fig5Edges() {
+		if err := w.Insert(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Single-edge a-b motif (support 1.0) must outrank the 3-edge m6
+	// (support 0.5).
+	e1 := graph.Edge{U: 1, V: 2}
+	var single, m6sup float64
+	for _, m := range w.MatchesContaining(e1) {
+		switch len(m.Edges) {
+		case 1:
+			single = w.Support(m)
+		case 3:
+			m6sup = w.Support(m)
+		}
+	}
+	if !(single > m6sup && m6sup > 0) {
+		t.Errorf("support ordering wrong: single=%v, m6=%v", single, m6sup)
+	}
+}

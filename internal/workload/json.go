@@ -1,0 +1,100 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"loom/internal/graph"
+)
+
+// JSON serialisation for workloads, used by cmd/loom-partition so that
+// users can supply their own query mixes:
+//
+//	{
+//	  "name": "social",
+//	  "queries": [
+//	    {"name": "coauthors", "freq": 0.6,
+//	     "edges": [[1, "Person", 2, "Paper"], [2, "Paper", 3, "Person"]]}
+//	  ]
+//	}
+//
+// Each edge is [u, labelU, v, labelV]; vertex IDs are local to the query
+// pattern.
+
+type jsonWorkload struct {
+	Name    string      `json:"name"`
+	Queries []jsonQuery `json:"queries"`
+}
+
+type jsonQuery struct {
+	Name  string               `json:"name"`
+	Freq  float64              `json:"freq"`
+	Edges [][4]json.RawMessage `json:"edges"`
+}
+
+// ParseJSON reads a workload from JSON.
+func ParseJSON(r io.Reader) (Workload, error) {
+	var jw jsonWorkload
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&jw); err != nil {
+		return Workload{}, fmt.Errorf("workload: parse: %w", err)
+	}
+	w := Workload{Name: jw.Name}
+	for qi, jq := range jw.Queries {
+		g := graph.New()
+		for ei, raw := range jq.Edges {
+			var u, v int64
+			var lu, lv string
+			if err := json.Unmarshal(raw[0], &u); err != nil {
+				return Workload{}, fmt.Errorf("workload: query %d edge %d: bad u: %w", qi, ei, err)
+			}
+			if err := json.Unmarshal(raw[1], &lu); err != nil {
+				return Workload{}, fmt.Errorf("workload: query %d edge %d: bad label u: %w", qi, ei, err)
+			}
+			if err := json.Unmarshal(raw[2], &v); err != nil {
+				return Workload{}, fmt.Errorf("workload: query %d edge %d: bad v: %w", qi, ei, err)
+			}
+			if err := json.Unmarshal(raw[3], &lv); err != nil {
+				return Workload{}, fmt.Errorf("workload: query %d edge %d: bad label v: %w", qi, ei, err)
+			}
+			added, err := g.EnsureEdge(graph.VertexID(u), graph.Label(lu), graph.VertexID(v), graph.Label(lv))
+			if err != nil {
+				return Workload{}, fmt.Errorf("workload: query %q: %w", jq.Name, err)
+			}
+			if !added {
+				return Workload{}, fmt.Errorf("workload: query %q: duplicate or self-loop edge %d-%d", jq.Name, u, v)
+			}
+		}
+		w.Queries = append(w.Queries, Query{Name: jq.Name, Pattern: g, Freq: jq.Freq})
+	}
+	if err := w.Validate(); err != nil {
+		return Workload{}, err
+	}
+	return w, nil
+}
+
+// WriteJSON serialises a workload to JSON (indented).
+func WriteJSON(w io.Writer, wl Workload) error {
+	jw := jsonWorkload{Name: wl.Name}
+	for _, q := range wl.Queries {
+		jq := jsonQuery{Name: q.Name, Freq: q.Freq}
+		for _, e := range q.Pattern.Edges() {
+			lu, lv := q.Pattern.EdgeLabels(e)
+			var quad [4]json.RawMessage
+			for i, val := range []interface{}{int64(e.U), string(lu), int64(e.V), string(lv)} {
+				b, err := json.Marshal(val)
+				if err != nil {
+					return err
+				}
+				quad[i] = b
+			}
+			jq.Edges = append(jq.Edges, quad)
+		}
+		jw.Queries = append(jw.Queries, jq)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(jw)
+}

@@ -1,0 +1,74 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	for _, name := range []string{"dblp", "provgen", "musicbrainz", "lubm"} {
+		w, err := ForDataset(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := WriteJSON(&buf, w); err != nil {
+			t.Fatalf("%s: write: %v", name, err)
+		}
+		back, err := ParseJSON(&buf)
+		if err != nil {
+			t.Fatalf("%s: parse: %v", name, err)
+		}
+		if back.Name != w.Name || len(back.Queries) != len(w.Queries) {
+			t.Fatalf("%s: round trip mismatch", name)
+		}
+		for i := range w.Queries {
+			a, b := w.Queries[i], back.Queries[i]
+			if a.Name != b.Name || a.Freq != b.Freq {
+				t.Errorf("%s/%s: metadata mismatch", name, a.Name)
+			}
+			if a.Pattern.NumEdges() != b.Pattern.NumEdges() || a.Pattern.NumVertices() != b.Pattern.NumVertices() {
+				t.Errorf("%s/%s: shape mismatch", name, a.Name)
+			}
+		}
+	}
+}
+
+func TestParseJSONValid(t *testing.T) {
+	in := `{
+	  "name": "social",
+	  "queries": [
+	    {"name": "coauthors", "freq": 0.6,
+	     "edges": [[1, "Person", 2, "Paper"], [2, "Paper", 3, "Person"]]}
+	  ]
+	}`
+	w, err := ParseJSON(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Name != "social" || len(w.Queries) != 1 {
+		t.Fatalf("parsed %+v", w)
+	}
+	q := w.Queries[0]
+	if q.Pattern.NumVertices() != 3 || q.Pattern.NumEdges() != 2 {
+		t.Errorf("pattern shape wrong: %v", q.Pattern)
+	}
+}
+
+func TestParseJSONErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad json":      `{`,
+		"unknown field": `{"nope": 1}`,
+		"bad id":        `{"name":"x","queries":[{"name":"q","freq":1,"edges":[["a","A",2,"B"]]}]}`,
+		"self loop":     `{"name":"x","queries":[{"name":"q","freq":1,"edges":[[1,"A",1,"A"]]}]}`,
+		"zero freq":     `{"name":"x","queries":[{"name":"q","freq":0,"edges":[[1,"A",2,"B"]]}]}`,
+		"disconnected":  `{"name":"x","queries":[{"name":"q","freq":1,"edges":[[1,"A",2,"B"],[3,"A",4,"B"]]}]}`,
+		"label clash":   `{"name":"x","queries":[{"name":"q","freq":1,"edges":[[1,"A",2,"B"],[1,"Z",3,"C"]]}]}`,
+	}
+	for name, in := range cases {
+		if _, err := ParseJSON(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: want error", name)
+		}
+	}
+}

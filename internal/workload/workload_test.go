@@ -1,0 +1,273 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"loom/internal/core"
+	"loom/internal/dataset"
+	"loom/internal/graph"
+	"loom/internal/partition"
+	"loom/internal/pattern"
+	"loom/internal/signature"
+	"loom/internal/tpstry"
+)
+
+// newLoomForTest builds a Loom partitioner as a partition.Streamer.
+func newLoomForTest(k int, capC float64, win int, trie *tpstry.Trie) (partition.Streamer, error) {
+	return core.New(core.Config{K: k, Capacity: capC, WindowSize: win}, trie)
+}
+
+func TestCanonicalWorkloadsValidate(t *testing.T) {
+	for _, name := range []string{"dblp", "provgen", "musicbrainz", "lubm"} {
+		w, err := ForDataset(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		total := w.TotalFreq()
+		if total < 0.99 || total > 1.01 {
+			t.Errorf("%s: frequencies sum to %v, want ≈ 1", name, total)
+		}
+		// Patterns should be small (§2: "typically small", footnote:
+		// "of the order of 10 edges").
+		for _, q := range w.Queries {
+			if q.Pattern.NumEdges() > 10 {
+				t.Errorf("%s/%s: %d edges, suspiciously large", name, q.Name, q.Pattern.NumEdges())
+			}
+		}
+	}
+	if _, err := ForDataset("bogus"); err == nil {
+		t.Error("unknown dataset: want error")
+	}
+}
+
+func TestWorkloadsBuildTries(t *testing.T) {
+	for _, name := range []string{"dblp", "provgen", "musicbrainz", "lubm"} {
+		w, err := ForDataset(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scheme := signature.NewScheme(signature.DefaultP, 1)
+		scheme.RegisterLabels(dataset.DatasetLabels(name))
+		trie, err := w.BuildTrie(scheme)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if trie.Size() == 0 {
+			t.Errorf("%s: empty trie", name)
+		}
+		// At the paper's default threshold there must be at least one
+		// motif, otherwise Loom degenerates to LDG on this workload.
+		if len(trie.Motifs(0.40)) == 0 {
+			t.Errorf("%s: no motifs at T=40%%", name)
+		}
+	}
+}
+
+func TestValidateRejectsBadWorkloads(t *testing.T) {
+	if err := (Workload{Name: "empty"}).Validate(); err == nil {
+		t.Error("empty workload: want error")
+	}
+	w := Workload{Name: "bad", Queries: []Query{{
+		Name: "q", Pattern: pattern.Path("a", "b"), Freq: 0,
+	}}}
+	if err := w.Validate(); err == nil {
+		t.Error("zero frequency: want error")
+	}
+}
+
+// pathGraph builds the Fig. 1 data graph G for hand-computable ipt counts.
+func fig1G(t testing.TB) *graph.Graph {
+	t.Helper()
+	g := graph.New()
+	labels := map[graph.VertexID]graph.Label{
+		1: "a", 2: "b", 3: "c", 4: "d",
+		5: "b", 6: "a", 7: "d", 8: "c",
+	}
+	for v := graph.VertexID(1); v <= 8; v++ {
+		if err := g.AddVertex(v, labels[v]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, e := range []graph.Edge{{U: 1, V: 2}, {U: 2, V: 3}, {U: 3, V: 4}, {U: 5, V: 6}, {U: 6, V: 7}, {U: 7, V: 8}, {U: 1, V: 5}, {U: 2, V: 6}, {U: 3, V: 7}, {U: 4, V: 8}} {
+		if err := g.AddEdge(e.U, e.V); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+// TestFig1IPTStory reproduces the paper's §1 motivating numbers: with the
+// min-edge-cut partitioning {A,B} = {1,2,3,4},{5,6,7,8}, a workload of only
+// q2 = a-b-c suffers one ipt per match ({(1,2),(2,3)} is internal;
+// {(2,6),(2,3)} crosses); with A' = {1,2,3,6}, B' = {4,5,7,8} it suffers
+// none.
+func TestFig1IPTStory(t *testing.T) {
+	g := fig1G(t)
+	w := Workload{Name: "q2-only", Queries: []Query{{
+		Name: "q2", Pattern: pattern.Path("a", "b", "c"), Freq: 1.0,
+	}}}
+
+	ab := &partition.Assignment{K: 2, Parts: map[graph.VertexID]partition.ID{
+		1: 0, 2: 0, 3: 0, 4: 0, 5: 1, 6: 1, 7: 1, 8: 1,
+	}, Sizes: []int{4, 4}}
+	res, err := Execute(g, ab, w, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PerQuery[0].Matches != 2 {
+		t.Fatalf("q2 matches = %d, want 2", res.PerQuery[0].Matches)
+	}
+	if res.IPT != 1 {
+		t.Errorf("ipt over {A,B} = %v, want 1 (the (2,6) crossing)", res.IPT)
+	}
+
+	aPrime := &partition.Assignment{K: 2, Parts: map[graph.VertexID]partition.ID{
+		1: 0, 2: 0, 3: 0, 6: 0, 4: 1, 5: 1, 7: 1, 8: 1,
+	}, Sizes: []int{4, 4}}
+	res2, err := Execute(g, aPrime, w, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.IPT != 0 {
+		t.Errorf("ipt over {A',B'} = %v, want 0", res2.IPT)
+	}
+	if rel := RelativeIPT(res2, res); rel != 0 {
+		t.Errorf("relative ipt = %v, want 0", rel)
+	}
+}
+
+func TestFrequencyWeighting(t *testing.T) {
+	g := fig1G(t)
+	a := &partition.Assignment{K: 2, Parts: map[graph.VertexID]partition.ID{
+		1: 0, 2: 0, 3: 0, 4: 0, 5: 1, 6: 1, 7: 1, 8: 1,
+	}, Sizes: []int{4, 4}}
+	w := Workload{Name: "weighted", Queries: []Query{
+		{Name: "q2", Pattern: pattern.Path("a", "b", "c"), Freq: 0.6},
+		{Name: "ab", Pattern: pattern.Path("a", "b"), Freq: 0.4},
+	}}
+	res, err := Execute(g, a, w, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// q2: 1 crossing × 0.6. a-b matches: (1,2),(2,6),(5,6),(1,5) — cut:
+	// (2,6) and (1,5) → 2 crossings × 0.4.
+	want := 1*0.6 + 2*0.4
+	if diff := res.IPT - want; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("IPT = %v, want %v", res.IPT, want)
+	}
+}
+
+func TestTraversalModelCountsMore(t *testing.T) {
+	g := fig1G(t)
+	a := &partition.Assignment{K: 2, Parts: map[graph.VertexID]partition.ID{
+		1: 0, 2: 0, 3: 0, 4: 0, 5: 1, 6: 1, 7: 1, 8: 1,
+	}, Sizes: []int{4, 4}}
+	w := Workload{Name: "q2", Queries: []Query{{
+		Name: "q2", Pattern: pattern.Path("a", "b", "c"), Freq: 1,
+	}}}
+	emb, err := Execute(g, a, w, Options{Model: EmbeddingCrossings})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trav, err := Execute(g, a, w, Options{Model: TraversalCrossings})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The search also pays for crossings on failed partials, so the
+	// traversal count dominates the embedding count.
+	if trav.IPT < emb.IPT {
+		t.Errorf("traversal ipt %v < embedding ipt %v", trav.IPT, emb.IPT)
+	}
+}
+
+func TestMatchCapIsDeterministic(t *testing.T) {
+	g, err := dataset.Generate("provgen", 2000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := ForDataset("provgen")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hash := partition.NewHash(4, partition.CapacityFor(g.NumVertices(), 4, 1.1))
+	for _, se := range graph.StreamOf(g, graph.OrderOriginal, nil) {
+		hash.ProcessEdge(se)
+	}
+	a := hash.Assignment()
+	r1, err := Execute(g, a, w, Options{MaxMatchesPerQuery: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Execute(g, a, w, Options{MaxMatchesPerQuery: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.IPT != r2.IPT {
+		t.Errorf("capped execution not deterministic: %v vs %v", r1.IPT, r2.IPT)
+	}
+	for _, q := range r1.PerQuery {
+		if q.Matches > 50 {
+			t.Errorf("%s: %d matches beyond cap", q.Name, q.Matches)
+		}
+	}
+}
+
+// TestLoomBeatsHashOnProvgen is the end-to-end integration check: a Loom
+// partitioning must suffer materially fewer ipt than Hash on a real
+// pipeline run (generate → stream → partition → execute).
+func TestLoomBeatsHashOnProvgen(t *testing.T) {
+	g, err := dataset.Generate("provgen", 4000, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := ForDataset("provgen")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := graph.StreamOf(g, graph.OrderBFS, rand.New(rand.NewSource(1)))
+
+	k := 8
+	capC := partition.CapacityFor(g.NumVertices(), k, partition.DefaultImbalance)
+
+	hash := partition.NewHash(k, capC)
+	for _, se := range stream {
+		hash.ProcessEdge(se)
+	}
+	hash.Flush()
+	hashRes, err := Execute(g, hash.Assignment(), w, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	scheme := signature.NewScheme(signature.DefaultP, 1)
+	scheme.RegisterLabels(dataset.DatasetLabels("provgen"))
+	trie, err := w.BuildTrie(scheme)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loomP, err := newLoomForTest(k, capC, 512, trie)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, se := range stream {
+		loomP.ProcessEdge(se)
+	}
+	loomP.Flush()
+	loomRes, err := Execute(g, loomP.Assignment(), w, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if hashRes.IPT == 0 {
+		t.Fatal("hash ipt is zero; test graph too small")
+	}
+	rel := RelativeIPT(loomRes, hashRes)
+	if rel > 80 {
+		t.Errorf("loom relative ipt = %.1f%% of hash, want < 80%%", rel)
+	}
+	t.Logf("loom ipt = %.1f%% of hash (%v vs %v)", rel, loomRes.IPT, hashRes.IPT)
+}

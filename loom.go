@@ -1,0 +1,589 @@
+// Package loom is a query-aware streaming graph partitioner, a faithful
+// from-scratch implementation of
+//
+//	H. Firth, P. Missier, J. Aiston.
+//	"Loom: Query-aware Partitioning of Online Graphs", EDBT 2018.
+//
+// Loom consumes a stream of labelled edges (an online graph) and
+// continuously assigns vertices to k partitions, optimising placement for a
+// workload Q of sub-graph pattern-matching queries with known relative
+// frequencies. It discovers the traversal patterns ("motifs") that the
+// workload visits most, detects sub-graphs matching those motifs as they
+// form in the stream, and places each matching cluster inside a single
+// partition — cutting the inter-partition traversals (ipt) that dominate
+// distributed query latency.
+//
+// # Quick start
+//
+//	wl := loom.NewWorkload("social")
+//	wl.Add("friends-of-friends", loom.Path("person", "person", "person"), 0.7)
+//	wl.Add("same-city", loom.Path("person", "city", "person"), 0.3)
+//
+//	p, err := loom.New(loom.Options{Partitions: 4, ExpectedVertices: 10000}, wl)
+//	// stream edges as they arrive:
+//	p.AddEdge(1, "person", 2, "person")
+//	p.AddEdge(2, "person", 7, "city")
+//	// ...
+//	p.Flush() // drain the window at end-of-stream
+//	part, ok := p.PartitionOf(1)
+//
+// The package also exposes the paper's baseline streaming partitioners
+// (Hash, LDG, Fennel) behind the same interface via NewBaseline, the
+// evaluation datasets via GenerateDataset/DatasetWorkload, and an ipt
+// evaluator via Evaluate — everything needed to reproduce the paper's
+// experiments (see cmd/loom-bench and EXPERIMENTS.md).
+package loom
+
+import (
+	"fmt"
+	"math/rand"
+
+	"loom/internal/core"
+	"loom/internal/dataset"
+	"loom/internal/graph"
+	"loom/internal/partition"
+	"loom/internal/pattern"
+	"loom/internal/refine"
+	"loom/internal/signature"
+	"loom/internal/simulate"
+	"loom/internal/tpstry"
+	"loom/internal/workload"
+)
+
+// StreamEdge is one element of the input stream: an edge with the labels of
+// both endpoints (labels travel with edges because a vertex may first
+// appear inside one).
+type StreamEdge struct {
+	U  int64
+	LU string
+	V  int64
+	LV string
+}
+
+// Options configures a Partitioner. Zero values take the paper's defaults.
+type Options struct {
+	// Partitions is k, the number of partitions (required).
+	Partitions int
+	// ExpectedVertices sizes the per-partition capacity C = ν·n/k
+	// (required; streaming balance needs a capacity estimate, §4).
+	ExpectedVertices int
+	// ExpectedEdges is used by the Fennel baseline's α (optional; ignored
+	// by Loom itself).
+	ExpectedEdges int
+	// WindowSize is the sliding window t in edges (default 10_000).
+	WindowSize int
+	// SupportThreshold is the motif threshold T (default 0.40).
+	SupportThreshold float64
+	// Alpha is equal opportunism's rationing aggression (default 2/3).
+	Alpha float64
+	// MaxImbalance is the bound b / Fennel's ν (default 1.1).
+	MaxImbalance float64
+	// SignaturePrime is the finite-field modulus p (default 251, §2.3).
+	SignaturePrime uint32
+	// Seed makes signature label values and any internal randomness
+	// reproducible (default 1).
+	Seed int64
+	// KeepGraph records every accepted edge so Evaluate can replay the
+	// workload over the final partitioning (default true; disable for
+	// large streams where only the assignment matters).
+	DisableGraphRecording bool
+}
+
+// Pattern is a small labelled query graph.
+type Pattern struct {
+	g *graph.Graph
+}
+
+// Path returns the path pattern l1 − l2 − … − ln.
+func Path(labels ...string) *Pattern {
+	return &Pattern{g: pattern.Path(toLabels(labels)...)}
+}
+
+// Cycle returns the cycle pattern l1 − l2 − … − ln − l1.
+func Cycle(labels ...string) *Pattern {
+	return &Pattern{g: pattern.Cycle(toLabels(labels)...)}
+}
+
+// Star returns a star pattern with a centre label and one leaf per label.
+func Star(centre string, leaves ...string) *Pattern {
+	return &Pattern{g: pattern.Star(graph.Label(centre), toLabels(leaves)...)}
+}
+
+// NewPattern returns an empty pattern for incremental construction.
+func NewPattern() *Pattern { return &Pattern{g: graph.New()} }
+
+// AddEdge adds a labelled edge between pattern vertices u and v, creating
+// them as needed. It returns the pattern for chaining and panics on label
+// conflicts (patterns are built from literals; a conflict is a programming
+// error).
+func (p *Pattern) AddEdge(u int64, lu string, v int64, lv string) *Pattern {
+	added, err := p.g.EnsureEdge(graph.VertexID(u), graph.Label(lu), graph.VertexID(v), graph.Label(lv))
+	if err != nil {
+		panic(fmt.Sprintf("loom: pattern edge %d-%d: %v", u, v, err))
+	}
+	if !added {
+		panic(fmt.Sprintf("loom: duplicate pattern edge %d-%d", u, v))
+	}
+	return p
+}
+
+// Edges returns the number of edges in the pattern.
+func (p *Pattern) Edges() int { return p.g.NumEdges() }
+
+func toLabels(ss []string) []graph.Label {
+	out := make([]graph.Label, len(ss))
+	for i, s := range ss {
+		out[i] = graph.Label(s)
+	}
+	return out
+}
+
+// Workload is a multiset of pattern queries with relative frequencies
+// (§1.3).
+type Workload struct {
+	name    string
+	queries []workload.Query
+}
+
+// NewWorkload returns an empty named workload.
+func NewWorkload(name string) *Workload { return &Workload{name: name} }
+
+// Add appends a query pattern with its relative frequency (any positive
+// weight; Loom normalises internally). It returns the workload for
+// chaining.
+func (w *Workload) Add(name string, p *Pattern, freq float64) *Workload {
+	w.queries = append(w.queries, workload.Query{Name: name, Pattern: p.g, Freq: freq})
+	return w
+}
+
+// Len returns the number of queries.
+func (w *Workload) Len() int { return len(w.queries) }
+
+func (w *Workload) internal() workload.Workload {
+	return workload.Workload{Name: w.name, Queries: w.queries}
+}
+
+// Stats mirrors the partitioner's processing counters.
+type Stats struct {
+	EdgesProcessed int
+	ImmediateEdges int // bypassed the window (no single-edge motif)
+	WindowedEdges  int // buffered in Ptemp
+	Evictions      int
+	WindowLen      int // edges currently buffered (Ptemp size)
+}
+
+// Partitioner is the public handle over a streaming partitioner: Loom
+// itself or one of the baselines. Not safe for concurrent use.
+type Partitioner struct {
+	name     string
+	streamer partition.Streamer
+	loom     *core.Loom // non-nil only for algo == loom
+	trie     *tpstry.Trie
+	wl       *Workload
+	g        *graph.Graph // recorded graph (nil when disabled)
+	opt      Options
+	// refined, when non-nil, supersedes the streamer's assignment (set by
+	// Refine).
+	refined *partition.Assignment
+}
+
+func (o Options) normalise() (Options, error) {
+	if o.Partitions < 1 {
+		return o, fmt.Errorf("loom: Partitions must be >= 1, got %d", o.Partitions)
+	}
+	if o.ExpectedVertices < 1 {
+		return o, fmt.Errorf("loom: ExpectedVertices must be >= 1, got %d", o.ExpectedVertices)
+	}
+	if o.WindowSize == 0 {
+		o.WindowSize = 10_000
+	}
+	if o.SupportThreshold == 0 {
+		o.SupportThreshold = 0.40
+	}
+	if o.Alpha == 0 {
+		o.Alpha = 2.0 / 3.0
+	}
+	if o.MaxImbalance == 0 {
+		o.MaxImbalance = partition.DefaultImbalance
+	}
+	if o.SignaturePrime == 0 {
+		o.SignaturePrime = signature.DefaultP
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o, nil
+}
+
+// New builds a Loom partitioner for the given workload.
+func New(opt Options, wl *Workload) (*Partitioner, error) {
+	opt, err := opt.normalise()
+	if err != nil {
+		return nil, err
+	}
+	if wl == nil || wl.Len() == 0 {
+		return nil, fmt.Errorf("loom: a non-empty workload is required (use NewBaseline for workload-agnostic partitioning)")
+	}
+	iwl := wl.internal()
+	if err := iwl.Validate(); err != nil {
+		return nil, err
+	}
+	scheme := signature.NewScheme(opt.SignaturePrime, opt.Seed)
+	trie, err := iwl.BuildTrie(scheme)
+	if err != nil {
+		return nil, err
+	}
+	lm, err := core.New(core.Config{
+		K:                opt.Partitions,
+		Capacity:         partition.CapacityFor(opt.ExpectedVertices, opt.Partitions, opt.MaxImbalance),
+		WindowSize:       opt.WindowSize,
+		SupportThreshold: opt.SupportThreshold,
+		Alpha:            opt.Alpha,
+		MaxImbalance:     opt.MaxImbalance,
+	}, trie)
+	if err != nil {
+		return nil, err
+	}
+	p := &Partitioner{name: "loom", streamer: lm, loom: lm, trie: trie, wl: wl, opt: opt}
+	if !opt.DisableGraphRecording {
+		p.g = graph.New()
+	}
+	return p, nil
+}
+
+// NewBaseline builds one of the paper's baseline partitioners — "hash",
+// "ldg" or "fennel" — behind the same interface, with an optional workload
+// used only by Evaluate.
+func NewBaseline(algo string, opt Options, wl *Workload) (*Partitioner, error) {
+	opt, err := opt.normalise()
+	if err != nil {
+		return nil, err
+	}
+	capC := partition.CapacityFor(opt.ExpectedVertices, opt.Partitions, opt.MaxImbalance)
+	var s partition.Streamer
+	switch algo {
+	case "hash":
+		s = partition.NewHash(opt.Partitions, capC)
+	case "ldg":
+		s = partition.NewLDG(opt.Partitions, capC)
+	case "fennel":
+		m := opt.ExpectedEdges
+		if m == 0 {
+			m = 2 * opt.ExpectedVertices
+		}
+		s = partition.NewFennel(opt.Partitions, opt.ExpectedVertices, m)
+	default:
+		return nil, fmt.Errorf("loom: unknown baseline %q (want hash, ldg or fennel)", algo)
+	}
+	p := &Partitioner{name: algo, streamer: s, wl: wl, opt: opt}
+	if !opt.DisableGraphRecording {
+		p.g = graph.New()
+	}
+	return p, nil
+}
+
+// Name returns the algorithm name ("loom", "hash", "ldg", "fennel").
+func (p *Partitioner) Name() string { return p.name }
+
+// AddEdge feeds one stream edge. Self-loops and duplicates are tolerated
+// (dropped), matching the robustness expected of an online ingest path.
+func (p *Partitioner) AddEdge(u int64, lu string, v int64, lv string) {
+	se := graph.StreamEdge{
+		U: graph.VertexID(u), LU: graph.Label(lu),
+		V: graph.VertexID(v), LV: graph.Label(lv),
+	}
+	if p.g != nil {
+		// Recording tolerates duplicates/self-loops; label conflicts
+		// indicate corrupt input and are surfaced as a panic here since
+		// AddEdge has no error channel by design (hot path).
+		if _, err := p.g.EnsureEdge(se.U, se.LU, se.V, se.LV); err != nil {
+			panic(fmt.Sprintf("loom: %v", err))
+		}
+	}
+	p.streamer.ProcessEdge(se)
+}
+
+// AddStreamEdge is AddEdge for a StreamEdge value.
+func (p *Partitioner) AddStreamEdge(e StreamEdge) { p.AddEdge(e.U, e.LU, e.V, e.LV) }
+
+// Flush drains the sliding window, assigning all buffered edges. Call at
+// end-of-stream (or at a checkpoint) before reading final placements.
+func (p *Partitioner) Flush() { p.streamer.Flush() }
+
+// PartitionOf returns v's partition in [0, Partitions), or ok = false while
+// v is unassigned (not yet seen, or still buffered in the window Ptemp).
+func (p *Partitioner) PartitionOf(v int64) (int, bool) {
+	a := p.currentAssignment()
+	id := a.Of(graph.VertexID(v))
+	if id == partition.Unassigned {
+		return 0, false
+	}
+	return int(id), true
+}
+
+// Partitions returns k.
+func (p *Partitioner) Partitions() int { return p.currentAssignment().K }
+
+// Sizes returns the current vertex count of each partition.
+func (p *Partitioner) Sizes() []int {
+	return append([]int(nil), p.currentAssignment().Sizes...)
+}
+
+// Assignments returns a copy of the full vertex → partition map.
+func (p *Partitioner) Assignments() map[int64]int {
+	a := p.currentAssignment()
+	out := make(map[int64]int, len(a.Parts))
+	for v, id := range a.Parts {
+		out[int64(v)] = int(id)
+	}
+	return out
+}
+
+// Stats returns processing counters (Loom-specific fields are zero for
+// baselines).
+func (p *Partitioner) Stats() Stats {
+	if p.loom == nil {
+		return Stats{}
+	}
+	st := p.loom.Stats()
+	return Stats{
+		EdgesProcessed: st.EdgesProcessed,
+		ImmediateEdges: st.ImmediateEdges,
+		WindowedEdges:  st.WindowedEdges,
+		Evictions:      st.Evictions,
+		WindowLen:      p.loom.Window().Len(),
+	}
+}
+
+// AddQuery extends the workload while streaming ("the TPSTry++ may be
+// trivially updated to account for change in the frequencies of workload
+// queries", §2). Only valid for Loom partitioners.
+func (p *Partitioner) AddQuery(name string, pat *Pattern, freq float64) error {
+	if p.loom == nil {
+		return fmt.Errorf("loom: %s baseline has no workload to update", p.name)
+	}
+	if err := p.trie.AddQuery(pat.g, freq); err != nil {
+		return err
+	}
+	p.wl.Add(name, pat, freq)
+	return nil
+}
+
+// Evaluation reports partitioning quality over the recorded graph.
+type Evaluation struct {
+	// IPT is the frequency-weighted inter-partition traversal count for
+	// the workload (§1.3's quality measure).
+	IPT float64
+	// EdgeCut counts edges crossing partitions.
+	EdgeCut int
+	// Imbalance is max |Vi|/(n/k) − 1.
+	Imbalance float64
+	// AssignedVertices is the number of placed vertices.
+	AssignedVertices int
+}
+
+// Evaluate executes the workload over the recorded graph and the current
+// assignment. The Partitioner must have been built with graph recording
+// enabled and (for baselines) a workload.
+func (p *Partitioner) Evaluate() (Evaluation, error) {
+	if p.g == nil {
+		return Evaluation{}, fmt.Errorf("loom: graph recording disabled; Evaluate unavailable")
+	}
+	if p.wl == nil || p.wl.Len() == 0 {
+		return Evaluation{}, fmt.Errorf("loom: no workload to evaluate")
+	}
+	a := p.currentAssignment()
+	res, err := workload.Execute(p.g, a, p.wl.internal(), workload.Options{})
+	if err != nil {
+		return Evaluation{}, err
+	}
+	return Evaluation{
+		IPT:              res.IPT,
+		EdgeCut:          partition.EdgeCut(p.g, a),
+		Imbalance:        partition.Imbalance(a),
+		AssignedVertices: a.NumAssigned(),
+	}, nil
+}
+
+// RefineStats reports an offline refinement run (see Refine).
+type RefineStats struct {
+	Passes    int
+	Moves     int
+	CutBefore float64 // workload-weighted edge cut before
+	CutAfter  float64
+}
+
+// Refine runs the offline TAPER-style re-partitioning pass the paper
+// proposes integrating with Loom (§6): vertices migrate between partitions
+// when that reduces the workload-weighted edge cut, within the balance
+// bound. It requires graph recording and a workload; the partitioner's
+// assignment is updated in place conceptually — subsequent PartitionOf and
+// Evaluate calls observe the refined placement, but the streaming state is
+// finished: call only after Flush.
+func (p *Partitioner) Refine(maxPasses int) (RefineStats, error) {
+	if p.g == nil {
+		return RefineStats{}, fmt.Errorf("loom: graph recording disabled; Refine unavailable")
+	}
+	if p.wl == nil || p.wl.Len() == 0 {
+		return RefineStats{}, fmt.Errorf("loom: no workload to refine against")
+	}
+	trie := p.trie
+	if trie == nil {
+		// Baselines carry a workload but no trie; build one.
+		scheme := signature.NewScheme(p.opt.SignaturePrime, p.opt.Seed)
+		t, err := p.wl.internal().BuildTrie(scheme)
+		if err != nil {
+			return RefineStats{}, err
+		}
+		trie = t
+	}
+	a := p.streamer.Assignment()
+	refined, st, err := refine.Refine(p.g, a, trie, refine.Config{
+		Capacity:  partition.CapacityFor(p.opt.ExpectedVertices, p.opt.Partitions, p.opt.MaxImbalance),
+		MaxPasses: maxPasses,
+	})
+	if err != nil {
+		return RefineStats{}, err
+	}
+	p.refined = refined
+	return RefineStats{Passes: st.Passes, Moves: st.Moves, CutBefore: st.CutBefore, CutAfter: st.CutAfter}, nil
+}
+
+// Restream returns a fresh Loom partitioner that uses this partitioner's
+// current assignment as a restreaming prior (§6 future work): replay the
+// stream (in any order) through the returned partitioner and cold-start
+// decisions will keep the localities discovered on the first pass. Only
+// available for Loom partitioners.
+func (p *Partitioner) Restream() (*Partitioner, error) {
+	if p.loom == nil {
+		return nil, fmt.Errorf("loom: Restream requires a Loom partitioner, not %s", p.name)
+	}
+	opt := p.opt
+	iwl := p.wl.internal()
+	scheme := signature.NewScheme(opt.SignaturePrime, opt.Seed)
+	trie, err := iwl.BuildTrie(scheme)
+	if err != nil {
+		return nil, err
+	}
+	lm, err := core.New(core.Config{
+		K:                opt.Partitions,
+		Capacity:         partition.CapacityFor(opt.ExpectedVertices, opt.Partitions, opt.MaxImbalance),
+		WindowSize:       opt.WindowSize,
+		SupportThreshold: opt.SupportThreshold,
+		Alpha:            opt.Alpha,
+		MaxImbalance:     opt.MaxImbalance,
+		Prior:            p.currentAssignment(),
+	}, trie)
+	if err != nil {
+		return nil, err
+	}
+	np := &Partitioner{name: "loom", streamer: lm, loom: lm, trie: trie, wl: p.wl, opt: opt}
+	if !opt.DisableGraphRecording {
+		np.g = graph.New()
+	}
+	return np, nil
+}
+
+// currentAssignment returns the refined assignment when present, else the
+// streamer's.
+func (p *Partitioner) currentAssignment() *partition.Assignment {
+	if p.refined != nil {
+		return p.refined
+	}
+	return p.streamer.Assignment()
+}
+
+// Simulation reports a simulated distributed execution of the workload
+// (see Simulate).
+type Simulation struct {
+	// LocalHops and RemoteHops count intra- and inter-machine adjacency
+	// traversals during workload execution.
+	LocalHops, RemoteHops int
+	// TotalCost is the frequency-weighted cost under the given model.
+	TotalCost float64
+	// MachineLoad is the number of traversal steps served per machine
+	// (last slot: unassigned/Ptemp vertices).
+	MachineLoad []int
+}
+
+// Simulate executes the workload over the recorded graph with an explicit
+// distributed cost model: every adjacency step costs localCost on one
+// machine and remoteCost across machines (0 values take the defaults
+// 1 and 1000). This turns the paper's ipt proxy into a latency-flavoured
+// estimate; see internal/simulate.
+func (p *Partitioner) Simulate(localCost, remoteCost float64) (Simulation, error) {
+	if p.g == nil {
+		return Simulation{}, fmt.Errorf("loom: graph recording disabled; Simulate unavailable")
+	}
+	if p.wl == nil || p.wl.Len() == 0 {
+		return Simulation{}, fmt.Errorf("loom: no workload to simulate")
+	}
+	res, err := simulate.Run(p.g, p.currentAssignment(), p.wl.internal(),
+		simulate.CostModel{LocalCost: localCost, RemoteCost: remoteCost}, 0)
+	if err != nil {
+		return Simulation{}, err
+	}
+	return Simulation{
+		LocalHops:   res.LocalHops,
+		RemoteHops:  res.RemoteHops,
+		TotalCost:   res.TotalCost,
+		MachineLoad: res.MachineLoad,
+	}, nil
+}
+
+// GenerateDataset produces one of the paper's evaluation graphs ("dblp",
+// "provgen", "musicbrainz", "lubm") as a stream in insertion order. scale
+// is a target vertex count.
+func GenerateDataset(name string, scale int, seed int64) ([]StreamEdge, error) {
+	g, err := dataset.Generate(name, scale, seed)
+	if err != nil {
+		return nil, err
+	}
+	return toPublicStream(graph.StreamOf(g, graph.OrderOriginal, nil)), nil
+}
+
+// DatasetWorkload returns the canonical query workload for one of the
+// paper's datasets.
+func DatasetWorkload(name string) (*Workload, error) {
+	iwl, err := workload.ForDataset(name)
+	if err != nil {
+		return nil, err
+	}
+	w := NewWorkload(iwl.Name)
+	w.queries = iwl.Queries
+	return w, nil
+}
+
+// OrderStream reorders a stream breadth-first ("bfs"), depth-first ("dfs")
+// or uniformly at random ("random") — the three stream orders of the
+// paper's evaluation (§5.1). The input must form a valid graph.
+func OrderStream(edges []StreamEdge, order string, seed int64) ([]StreamEdge, error) {
+	g := graph.New()
+	for _, e := range edges {
+		if _, err := g.EnsureEdge(graph.VertexID(e.U), graph.Label(e.LU), graph.VertexID(e.V), graph.Label(e.LV)); err != nil {
+			return nil, err
+		}
+	}
+	var o graph.StreamOrder
+	switch order {
+	case "bfs":
+		o = graph.OrderBFS
+	case "dfs":
+		o = graph.OrderDFS
+	case "random":
+		o = graph.OrderRandom
+	case "original":
+		o = graph.OrderOriginal
+	default:
+		return nil, fmt.Errorf("loom: unknown stream order %q", order)
+	}
+	return toPublicStream(graph.StreamOf(g, o, rand.New(rand.NewSource(seed)))), nil
+}
+
+func toPublicStream(s graph.Stream) []StreamEdge {
+	out := make([]StreamEdge, len(s))
+	for i, e := range s {
+		out[i] = StreamEdge{U: int64(e.U), LU: string(e.LU), V: int64(e.V), LV: string(e.LV)}
+	}
+	return out
+}
