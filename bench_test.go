@@ -405,6 +405,77 @@ func BenchmarkTrieChildLookup(b *testing.B) {
 	}
 }
 
+// ---------------------------------------------------------------------------
+// Streaming hot-path benchmarks: cost of ingesting ONE stream edge
+// (ns/op and allocs/op are per edge). These are the numbers the interning
+// refactor targets; run with
+//
+//	go test -bench=AddEdge -benchmem
+// ---------------------------------------------------------------------------
+
+// runAddEdge drives b.N single-edge ingests through fresh partitioners,
+// recycling the stream (the partitioner is rebuilt outside the timer when
+// the stream wraps, so steady-state per-edge cost dominates).
+func runAddEdge(b *testing.B, s graph.Stream, newPartitioner func() partition.Streamer) {
+	b.Helper()
+	b.ReportAllocs()
+	p := newPartitioner()
+	j := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if j == len(s) {
+			b.StopTimer()
+			p = newPartitioner()
+			j = 0
+			b.StartTimer()
+		}
+		p.ProcessEdge(s[j])
+		j++
+	}
+}
+
+func BenchmarkAddEdgeLoom(b *testing.B) {
+	s, _ := tenKStream(b)
+	n := streamVertexCount(s)
+	wl, err := workload.ForDataset("musicbrainz")
+	if err != nil {
+		b.Fatal(err)
+	}
+	scheme := signature.NewScheme(signature.DefaultP, 42)
+	scheme.RegisterLabels(dataset.DatasetLabels("musicbrainz"))
+	trie, err := wl.BuildTrie(scheme)
+	if err != nil {
+		b.Fatal(err)
+	}
+	runAddEdge(b, s, func() partition.Streamer {
+		p, err := core.New(core.Config{
+			K:                8,
+			Capacity:         partition.CapacityFor(n, 8, partition.DefaultImbalance),
+			WindowSize:       1024,
+			SupportThreshold: 0.40,
+		}, trie)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return p
+	})
+}
+
+func BenchmarkAddEdgeBaselines(b *testing.B) {
+	s, _ := tenKStream(b)
+	n := streamVertexCount(s)
+	capC := partition.CapacityFor(n, 8, partition.DefaultImbalance)
+	b.Run("hash", func(b *testing.B) {
+		runAddEdge(b, s, func() partition.Streamer { return partition.NewHash(8, capC) })
+	})
+	b.Run("ldg", func(b *testing.B) {
+		runAddEdge(b, s, func() partition.Streamer { return partition.NewLDG(8, capC) })
+	})
+	b.Run("fennel", func(b *testing.B) {
+		runAddEdge(b, s, func() partition.Streamer { return partition.NewFennel(8, n, len(s)) })
+	})
+}
+
 func BenchmarkWorkloadExecution(b *testing.B) {
 	s, g := tenKStream(b)
 	wl, err := workload.ForDataset("musicbrainz")

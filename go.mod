@@ -1,0 +1,3 @@
+module loom
+
+go 1.24

@@ -17,6 +17,12 @@
 //     matches Me, per-partition bids (Eq. 1), and the rationing function l
 //     (Eq. 2) that throttles large partitions (Eq. 3).
 //
+// The per-edge path is interned: both endpoints and labels are resolved to
+// dense indices/codes once at ingest (internal/intern) and every downstream
+// step — adjacency bookkeeping, motif matching, equal-opportunism bids,
+// LDG scoring — runs on slice-indexed state shared between the tracker and
+// the window, with no string hashing and near-zero allocation.
+//
 // Equal opportunism's published Eq. 2 reads |V(Si)|/Smin·α, which is
 // inconsistent with both the prose ("inversely correlated with Si's size")
 // and the worked example (l = (1/1.33)·(2/3) = 1/2); this implementation
@@ -27,9 +33,11 @@ package core
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 
 	"loom/internal/graph"
+	"loom/internal/intern"
 	"loom/internal/partition"
 	"loom/internal/tpstry"
 	"loom/internal/window"
@@ -127,7 +135,11 @@ type Loom struct {
 	trie  *tpstry.Trie
 	tr    *partition.Tracker
 	win   *window.Matcher
+	verts *intern.VertexTable // shared by tracker and window
+	ltab  *intern.LabelTable
 	stats Stats
+
+	evictEdges []window.IEdge // scratch: unique cluster edges per eviction
 }
 
 // New builds a Loom over a TPSTry++ that already encodes the workload Q
@@ -150,15 +162,19 @@ func New(cfg Config, trie *tpstry.Trie) (*Loom, error) {
 	if cfg.Mode != ModeEqualOpportunism && cfg.Mode != ModeNaiveGreedy {
 		return nil, fmt.Errorf("core: unknown mode %q", cfg.Mode)
 	}
-	w := window.NewMatcher(trie, cfg.SupportThreshold, cfg.WindowSize)
+	verts := intern.NewVertexTable(1024)
+	ltab := intern.NewLabelTable()
+	w := window.NewMatcherWith(trie, cfg.SupportThreshold, cfg.WindowSize, verts, ltab)
 	if cfg.MaxMatchesPerVertex > 0 {
 		w.SetMaxMatchesPerVertex(cfg.MaxMatchesPerVertex)
 	}
 	return &Loom{
-		cfg:  cfg,
-		trie: trie,
-		tr:   partition.NewTracker(cfg.K, cfg.Capacity),
-		win:  w,
+		cfg:   cfg,
+		trie:  trie,
+		tr:    partition.NewTrackerWith(cfg.K, cfg.Capacity, verts),
+		win:   w,
+		verts: verts,
+		ltab:  ltab,
 	}, nil
 }
 
@@ -185,21 +201,31 @@ func (l *Loom) ProcessEdge(se graph.StreamEdge) {
 		l.stats.SelfLoops++
 		return
 	}
-	l.tr.Observe(se)
+	// The interning boundary: both endpoints and labels are resolved to
+	// dense indices/codes exactly once; everything below runs on them.
+	ui := l.tr.Intern(se.U)
+	vi := l.tr.Intern(se.V)
+	cu := l.ltab.Intern(string(se.LU))
+	cv := l.ltab.Intern(string(se.LV))
 
-	if _, ok := l.win.SingleEdgeMotif(se); !ok || l.cfg.WindowSize == 0 {
+	node, ok := l.win.SingleEdgeMotifCodes(cu, cv)
+	if !ok || l.cfg.WindowSize == 0 {
 		// §3: e can never be part of a motif match — assign immediately
 		// with LDG and "behave as if the edge was never added to the
 		// window" (§4). A zero-size window degenerates Loom to LDG.
+		l.tr.ObserveIdx(ui, vi)
 		l.stats.ImmediateEdges++
-		l.assignImmediate(se)
+		l.assignImmediate(ui, vi)
 		return
 	}
-	if err := l.win.Insert(se); err != nil {
-		// Duplicate stream edge: the first copy is already buffered.
+	if err := l.win.InsertInterned(se, ui, vi, cu, cv, node); err != nil {
+		// Duplicate stream edge: the first copy is already buffered and
+		// already observed — observing again would double v in u's
+		// adjacency and bias every later neighbourhood score.
 		l.stats.DuplicateEdges++
 		return
 	}
+	l.tr.ObserveIdx(ui, vi)
 	l.stats.WindowedEdges++
 	for l.win.OverCapacity() {
 		l.EvictOne()
@@ -212,26 +238,27 @@ func (l *Loom) ProcessEdge(se graph.StreamEdge) {
 // assignment (equal opportunism), not to an incidental non-motif edge.
 // Deferred endpoints are guaranteed a home because every window edge is
 // eventually evicted or removed with its endpoints assigned.
-func (l *Loom) assignImmediate(se graph.StreamEdge) {
-	for _, v := range [2]graph.VertexID{se.U, se.V} {
-		if l.tr.PartOf(v) != partition.Unassigned {
+func (l *Loom) assignImmediate(ui, vi uint32) {
+	for _, i := range [2]uint32{ui, vi} {
+		if l.tr.PartOfIdx(i) != partition.Unassigned {
 			continue
 		}
-		if l.win.HasVertex(v) {
+		if l.win.HasVertexIdx(i) {
 			l.stats.DeferredEndpoints++
 			continue
 		}
-		l.assignVertexLDG(v)
+		l.assignVertexLDG(i)
 	}
 }
 
-// assignVertexLDG places one vertex with the LDG rule, consulting the
-// restreaming prior (if any) before the least-loaded fallback.
-func (l *Loom) assignVertexLDG(v graph.VertexID) {
-	if p, ok := l.priorOf(v); ok && l.tr.NeighborCounts(v)[p] == 0 {
+// assignVertexLDG places one vertex (by dense index) with the LDG rule,
+// consulting the restreaming prior (if any) before the least-loaded
+// fallback.
+func (l *Loom) assignVertexLDG(i uint32) {
+	if p, ok := l.priorOf(i); ok {
 		// Prior exists but the standard rule may still be better; only
 		// prefer the prior when LDG itself would have no signal.
-		counts := l.tr.NeighborCounts(v)
+		counts := l.tr.NeighborCountsIdx(i)
 		signal := false
 		for q := 0; q < l.tr.K(); q++ {
 			if counts[q] > 0 && float64(l.tr.Size(partition.ID(q)))+1 <= l.tr.Capacity() {
@@ -239,22 +266,22 @@ func (l *Loom) assignVertexLDG(v graph.VertexID) {
 				break
 			}
 		}
-		if !signal && float64(l.tr.Size(p))+1 <= l.tr.Capacity() {
+		if counts[p] == 0 && !signal && float64(l.tr.Size(p))+1 <= l.tr.Capacity() {
 			l.stats.PriorPlacements++
-			l.tr.Assign(v, p)
+			l.tr.AssignIdx(i, p)
 			return
 		}
 	}
-	l.tr.AssignLDG(v)
+	l.tr.AssignLDGIdx(i)
 }
 
-// priorOf returns v's partition in the restreaming prior, if configured and
-// valid for this K.
-func (l *Loom) priorOf(v graph.VertexID) (partition.ID, bool) {
+// priorOf returns the partition of the vertex at dense index i in the
+// restreaming prior, if configured and valid for this K.
+func (l *Loom) priorOf(i uint32) (partition.ID, bool) {
 	if l.cfg.Prior == nil {
 		return partition.Unassigned, false
 	}
-	p := l.cfg.Prior.Of(v)
+	p := l.cfg.Prior.Of(graph.VertexID(l.verts.ID(i)))
 	if p == partition.Unassigned || int(p) >= l.tr.K() {
 		return partition.Unassigned, false
 	}
@@ -274,18 +301,19 @@ func (l *Loom) Flush() {
 // EvictOne evicts the oldest window edge and assigns its motif-match
 // cluster per §4. It reports whether an eviction happened.
 func (l *Loom) EvictOne() bool {
-	old, ok := l.win.Oldest()
+	_, oldIE, ok := l.win.OldestI()
 	if !ok {
 		return false
 	}
 	l.stats.Evictions++
 
-	me := l.win.MatchesContaining(old.Edge())
+	me := l.win.MatchesContainingI(oldIE)
 	if len(me) == 0 {
 		// Unreachable in normal flow: the single-edge match exists while
 		// the edge does. Guard anyway: place endpoints by LDG.
-		l.assignImmediate(old)
-		l.win.RemoveEdges([]graph.Edge{old.Edge().Norm()})
+		l.assignImmediate(oldIE.U, oldIE.V)
+		l.evictEdges = append(l.evictEdges[:0], oldIE)
+		l.win.RemoveIEdges(l.evictEdges)
 		return true
 	}
 	l.sortBySupport(me)
@@ -305,14 +333,13 @@ func (l *Loom) EvictOne() bool {
 		// ("the longer an edge remains in the sliding window … the
 		// better partitioning decisions we can make for it", §4).
 		l.stats.LoneEdgeRounds++
-		e := me[0].Edges[0]
-		for _, v := range [2]graph.VertexID{e.U, e.V} {
-			if l.tr.PartOf(v) == partition.Unassigned {
+		for _, v := range me[0].VertexIndices() {
+			if l.tr.PartOfIdx(v) == partition.Unassigned {
 				l.assignVertexLDG(v)
 			}
 		}
 		l.stats.MatchesAssigned++
-		l.win.RemoveEdges(me[0].Edges)
+		l.win.RemoveIEdges(me[0].IEdges())
 		return true
 	default:
 		winner, prefix = l.equalOpportunism(me)
@@ -320,33 +347,25 @@ func (l *Loom) EvictOne() bool {
 
 	// Assign every unassigned vertex of the winning prefix to the winner
 	// and drop the placed edges from the window; matches not taken stay
-	// only if none of their edges were assigned (window.RemoveEdges kills
-	// intersecting matches).
-	edgeSet := make(map[graph.Edge]struct{})
+	// only if none of their edges were assigned (window.RemoveIEdges
+	// kills intersecting matches).
+	edges := l.evictEdges[:0]
 	for _, m := range prefix {
-		for _, e := range m.Edges {
-			edgeSet[e] = struct{}{}
-		}
+		edges = append(edges, m.IEdges()...)
 	}
-	edges := make([]graph.Edge, 0, len(edgeSet))
-	for e := range edgeSet {
-		edges = append(edges, e)
-	}
-	sort.Slice(edges, func(i, j int) bool {
-		if edges[i].U != edges[j].U {
-			return edges[i].U < edges[j].U
-		}
-		return edges[i].V < edges[j].V
-	})
+	slices.SortFunc(edges, window.CompareIEdges)
+	edges = slices.Compact(edges)
+	l.evictEdges = edges
 	for _, e := range edges {
-		for _, v := range [2]graph.VertexID{e.U, e.V} {
-			if l.tr.PartOf(v) == partition.Unassigned {
-				l.tr.Assign(v, winner)
-			}
+		if l.tr.PartOfIdx(e.U) == partition.Unassigned {
+			l.tr.AssignIdx(e.U, winner)
+		}
+		if l.tr.PartOfIdx(e.V) == partition.Unassigned {
+			l.tr.AssignIdx(e.V, winner)
 		}
 	}
 	l.stats.MatchesAssigned += len(prefix)
-	l.win.RemoveEdges(edges)
+	l.win.RemoveIEdges(edges)
 	return true
 }
 
@@ -410,15 +429,16 @@ func (l *Loom) ration(p partition.ID, smin int) float64 {
 // the observed incident edges from the match's vertices into Si. For a
 // fresh single-edge match this reduces exactly to LDG's N(Si, e); the
 // printed |V(Si) ∩ V(Ek)| alone discards the neighbourhood signal LDG uses
-// (see DESIGN.md §5).
+// (see DESIGN.md §5). Everything runs on dense indices: match vertices and
+// tracker adjacency are both interned, so scoring is pure slice traversal.
 func (l *Loom) bid(p partition.ID, m *window.Match) float64 {
 	n := 0
-	for _, v := range m.Vertices() {
-		if l.tr.PartOf(v) == p {
+	for _, v := range m.VertexIndices() {
+		if l.tr.PartOfIdx(v) == p {
 			n++
 		}
-		for _, u := range l.tr.Neighbors(v) {
-			if l.tr.PartOf(u) == p {
+		for _, u := range l.tr.NeighborsIdx(v) {
+			if l.tr.PartOfIdx(u) == p {
 				n++
 			}
 		}
@@ -489,23 +509,30 @@ func (l *Loom) equalOpportunism(me []*window.Match) (partition.ID, []*window.Mat
 	return best, me[:bestCnt]
 }
 
-// clusterLDG scores every partition by the LDG rule applied to the union of
-// the cluster's vertices: Σ_v N(Si, v) · (1 − |V(Si)|/C). Zero scores fall
-// back to the least-loaded partition.
-func (l *Loom) clusterLDG(me []*window.Match) partition.ID {
-	seen := make(map[graph.VertexID]struct{})
+// clusterCounts sums observed-neighbour counts per partition over the
+// distinct vertices of a cluster (the union of the matches' vertex sets).
+func (l *Loom) clusterCounts(me []*window.Match) []int {
+	seen := make(map[uint32]struct{})
 	counts := make([]int, l.tr.K())
 	for _, m := range me {
-		for _, v := range m.Vertices() {
+		for _, v := range m.VertexIndices() {
 			if _, dup := seen[v]; dup {
 				continue
 			}
 			seen[v] = struct{}{}
-			for p, c := range l.tr.NeighborCounts(v) {
+			for p, c := range l.tr.NeighborCountsIdx(v) {
 				counts[p] += c
 			}
 		}
 	}
+	return counts
+}
+
+// clusterLDG scores every partition by the LDG rule applied to the union of
+// the cluster's vertices: Σ_v N(Si, v) · (1 − |V(Si)|/C). Zero scores fall
+// back to the least-loaded partition.
+func (l *Loom) clusterLDG(me []*window.Match) partition.ID {
+	counts := l.clusterCounts(me)
 	best := partition.Unassigned
 	bestScore := 0.0
 	for p := 0; p < l.tr.K(); p++ {
@@ -534,7 +561,7 @@ func (l *Loom) priorMajority(me []*window.Match) partition.ID {
 	if l.cfg.Prior != nil {
 		votes := make([]int, l.tr.K())
 		for _, m := range me {
-			for _, v := range m.Vertices() {
+			for _, v := range m.VertexIndices() {
 				if p, ok := l.priorOf(v); ok {
 					votes[p]++
 				}
@@ -558,18 +585,7 @@ func (l *Loom) priorMajority(me []*window.Match) partition.ID {
 // partition with the most incident edges (observed neighbours inside the
 // partition), ignoring balance and support.
 func (l *Loom) naiveWinner(me []*window.Match) partition.ID {
-	seen := make(map[graph.VertexID]struct{})
-	for _, m := range me {
-		for _, v := range m.Vertices() {
-			seen[v] = struct{}{}
-		}
-	}
-	counts := make([]int, l.tr.K())
-	for v := range seen {
-		for p, c := range l.tr.NeighborCounts(v) {
-			counts[p] += c
-		}
-	}
+	counts := l.clusterCounts(me)
 	best := partition.ID(0)
 	for p := 1; p < l.tr.K(); p++ {
 		if counts[p] > counts[best] {

@@ -60,7 +60,7 @@ func TestPriorIncreasesAgreement(t *testing.T) {
 
 	agree := func(a *partition.Assignment) float64 {
 		same, total := 0, 0
-		for v, p := range prior.Parts {
+		for v, p := range prior.Parts() {
 			total++
 			if a.Of(v) == p {
 				same++
@@ -79,11 +79,7 @@ func TestPriorIncreasesAgreement(t *testing.T) {
 func TestPriorIgnoredWhenInvalid(t *testing.T) {
 	trie := paperTrie(t)
 	// Prior with a partition id beyond K must be ignored, not crash.
-	prior := &partition.Assignment{
-		K:     16,
-		Parts: map[graph.VertexID]partition.ID{1: 12, 2: 12},
-		Sizes: make([]int, 16),
-	}
+	prior := partition.AssignmentOf(16, map[graph.VertexID]partition.ID{1: 12, 2: 12})
 	l := mustLoom(t, Config{K: 2, Capacity: 50, WindowSize: 8, Prior: prior}, trie)
 	l.ProcessEdge(graph.StreamEdge{U: 1, LU: "a", V: 2, LV: "b"})
 	l.Flush()
@@ -94,11 +90,7 @@ func TestPriorIgnoredWhenInvalid(t *testing.T) {
 
 func TestPriorRespectsCapacity(t *testing.T) {
 	trie := paperTrie(t)
-	prior := &partition.Assignment{
-		K:     2,
-		Parts: map[graph.VertexID]partition.ID{10: 0, 11: 0, 12: 0},
-		Sizes: []int{3, 0},
-	}
+	prior := partition.AssignmentOf(2, map[graph.VertexID]partition.ID{10: 0, 11: 0, 12: 0})
 	// Capacity 2: partition 0 is full after two assignments; the prior
 	// must not push it over.
 	l := mustLoom(t, Config{K: 2, Capacity: 2, WindowSize: 4, Prior: prior}, trie)

@@ -104,9 +104,10 @@ func TestLoomDeterminism(t *testing.T) {
 	if a1.NumAssigned() != a2.NumAssigned() {
 		t.Fatalf("different assignment counts: %d vs %d", a1.NumAssigned(), a2.NumAssigned())
 	}
-	for v, p := range a1.Parts {
-		if a2.Parts[v] != p {
-			t.Fatalf("nondeterministic placement at vertex %d: %d vs %d", v, p, a2.Parts[v])
+	p2 := a2.Parts()
+	for v, p := range a1.Parts() {
+		if p2[v] != p {
+			t.Fatalf("nondeterministic placement at vertex %d: %d vs %d", v, p, p2[v])
 		}
 	}
 }

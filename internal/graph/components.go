@@ -6,18 +6,19 @@ package graph
 // component in discovery (BFS) order, so the result is deterministic.
 func ConnectedComponents(g *Graph) [][]VertexID {
 	visited := make(map[VertexID]struct{}, g.NumVertices())
-	undirected := g.adj
+	neighbors := g.Neighbors
 	if g.directed {
 		// Build a symmetric adjacency view for traversal.
-		undirected = make(map[VertexID][]VertexID, len(g.adj))
+		undirected := make(map[VertexID][]VertexID, g.NumVertices())
 		for _, e := range g.eorder {
 			undirected[e.U] = append(undirected[e.U], e.V)
 			undirected[e.V] = append(undirected[e.V], e.U)
 		}
+		neighbors = func(v VertexID) []VertexID { return undirected[v] }
 	}
 
 	var comps [][]VertexID
-	for _, root := range g.vorder {
+	for _, root := range g.Vertices() {
 		if _, ok := visited[root]; ok {
 			continue
 		}
@@ -27,7 +28,7 @@ func ConnectedComponents(g *Graph) [][]VertexID {
 		for len(queue) > 0 {
 			u := queue[0]
 			queue = queue[1:]
-			for _, v := range undirected[u] {
+			for _, v := range neighbors(u) {
 				if _, ok := visited[v]; ok {
 					continue
 				}

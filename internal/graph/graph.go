@@ -9,11 +9,18 @@
 // fl : V → LV a surjective mapping of vertices to labels. Graphs here are
 // simple (no self-loops, no parallel edges) and undirected by default; the
 // directed extension the paper mentions inline is supported via NewDirected.
+//
+// Storage is slice-backed: external vertex IDs and label strings are
+// interned (internal/intern) at insertion, and labels, adjacency lists and
+// the edge set are indexed by the dense vertex index. The exported API
+// still speaks VertexID/Label; only the representation changed.
 package graph
 
 import (
 	"fmt"
 	"sort"
+
+	"loom/internal/intern"
 )
 
 // VertexID identifies a vertex. IDs are opaque to the library; datasets and
@@ -59,22 +66,24 @@ func (e Edge) String() string { return fmt.Sprintf("(%d,%d)", e.U, e.V) }
 type Graph struct {
 	directed bool
 
-	labels map[VertexID]Label
-	adj    map[VertexID][]VertexID
+	verts  *intern.VertexTable
+	ltab   *intern.LabelTable
+	vlabel []uint16     // label code per dense vertex index
+	adj    [][]VertexID // adjacency per dense vertex index (external IDs)
 
-	// vorder and eorder preserve insertion order so that iteration,
-	// orderings and tests are deterministic (map iteration is not).
-	vorder []VertexID
+	// eorder preserves insertion order so that iteration, orderings and
+	// tests are deterministic; eset (packed dense index pairs) detects
+	// duplicates without hashing external IDs twice.
 	eorder []Edge
-	eset   map[Edge]struct{}
+	eset   map[uint64]struct{}
 }
 
 // New returns an empty undirected labelled graph.
 func New() *Graph {
 	return &Graph{
-		labels: make(map[VertexID]Label),
-		adj:    make(map[VertexID][]VertexID),
-		eset:   make(map[Edge]struct{}),
+		verts: intern.NewVertexTable(0),
+		ltab:  intern.NewLabelTable(),
+		eset:  make(map[uint64]struct{}),
 	}
 }
 
@@ -90,49 +99,64 @@ func NewDirected() *Graph {
 // Directed reports whether g stores directed edges.
 func (g *Graph) Directed() bool { return g.directed }
 
-// AddVertex inserts vertex id with the given label. Re-adding an existing
-// vertex with the same label is a no-op; with a different label it returns
-// an error, since fl is a function.
-func (g *Graph) AddVertex(id VertexID, l Label) error {
-	if have, ok := g.labels[id]; ok {
-		if have != l {
-			return fmt.Errorf("graph: vertex %d already has label %q (got %q)", id, have, l)
-		}
-		return nil
+// packIdx packs a dense index pair into the edge-set key, normalising for
+// undirected graphs.
+func (g *Graph) packIdx(ui, vi uint32) uint64 {
+	if !g.directed && vi < ui {
+		ui, vi = vi, ui
 	}
-	g.labels[id] = l
-	g.vorder = append(g.vorder, id)
-	return nil
+	return uint64(ui)<<32 | uint64(vi)
 }
 
-// HasVertex reports whether id is in the graph.
-func (g *Graph) HasVertex(id VertexID) bool {
-	_, ok := g.labels[id]
-	return ok
-}
-
-// Label returns the label of id and whether id exists.
-func (g *Graph) Label(id VertexID) (Label, bool) {
-	l, ok := g.labels[id]
-	return l, ok
-}
-
-// MustLabel returns the label of id, panicking if id is absent. Intended for
-// internal hot paths where existence is an invariant.
-func (g *Graph) MustLabel(id VertexID) Label {
-	l, ok := g.labels[id]
-	if !ok {
-		panic(fmt.Sprintf("graph: vertex %d not in graph", id))
-	}
-	return l
-}
-
+// key returns the canonical Edge value for (u,v): normalised for
+// undirected graphs, as-is for directed ones.
 func (g *Graph) key(u, v VertexID) Edge {
 	e := Edge{u, v}
 	if !g.directed {
 		e = e.Norm()
 	}
 	return e
+}
+
+// AddVertex inserts vertex id with the given label. Re-adding an existing
+// vertex with the same label is a no-op; with a different label it returns
+// an error, since fl is a function.
+func (g *Graph) AddVertex(id VertexID, l Label) error {
+	if i, ok := g.verts.Lookup(int64(id)); ok {
+		if have := g.ltab.Name(g.vlabel[i]); have != string(l) {
+			return fmt.Errorf("graph: vertex %d already has label %q (got %q)", id, have, l)
+		}
+		return nil
+	}
+	g.verts.Intern(int64(id))
+	g.vlabel = append(g.vlabel, g.ltab.Intern(string(l)))
+	g.adj = append(g.adj, nil)
+	return nil
+}
+
+// HasVertex reports whether id is in the graph.
+func (g *Graph) HasVertex(id VertexID) bool {
+	_, ok := g.verts.Lookup(int64(id))
+	return ok
+}
+
+// Label returns the label of id and whether id exists.
+func (g *Graph) Label(id VertexID) (Label, bool) {
+	i, ok := g.verts.Lookup(int64(id))
+	if !ok {
+		return "", false
+	}
+	return Label(g.ltab.Name(g.vlabel[i])), true
+}
+
+// MustLabel returns the label of id, panicking if id is absent. Intended for
+// internal hot paths where existence is an invariant.
+func (g *Graph) MustLabel(id VertexID) Label {
+	i, ok := g.verts.Lookup(int64(id))
+	if !ok {
+		panic(fmt.Sprintf("graph: vertex %d not in graph", id))
+	}
+	return Label(g.ltab.Name(g.vlabel[i]))
 }
 
 // AddEdge inserts the edge (u,v). Both endpoints must already exist.
@@ -143,21 +167,27 @@ func (g *Graph) AddEdge(u, v VertexID) error {
 	if u == v {
 		return fmt.Errorf("graph: self-loop on vertex %d", u)
 	}
-	if !g.HasVertex(u) {
+	ui, ok := g.verts.Lookup(int64(u))
+	if !ok {
 		return fmt.Errorf("graph: edge endpoint %d not in graph", u)
 	}
-	if !g.HasVertex(v) {
+	vi, ok := g.verts.Lookup(int64(v))
+	if !ok {
 		return fmt.Errorf("graph: edge endpoint %d not in graph", v)
 	}
-	k := g.key(u, v)
-	if _, dup := g.eset[k]; dup {
+	k := Edge{u, v}
+	if !g.directed {
+		k = k.Norm()
+	}
+	pk := g.packIdx(ui, vi)
+	if _, dup := g.eset[pk]; dup {
 		return fmt.Errorf("graph: duplicate edge %v", k)
 	}
-	g.eset[k] = struct{}{}
+	g.eset[pk] = struct{}{}
 	g.eorder = append(g.eorder, k)
-	g.adj[u] = append(g.adj[u], v)
+	g.adj[ui] = append(g.adj[ui], v)
 	if !g.directed {
-		g.adj[v] = append(g.adj[v], u)
+		g.adj[vi] = append(g.adj[vi], u)
 	}
 	return nil
 }
@@ -176,7 +206,9 @@ func (g *Graph) EnsureEdge(u VertexID, lu Label, v VertexID, lv Label) (bool, er
 	if u == v {
 		return false, nil
 	}
-	if _, dup := g.eset[g.key(u, v)]; dup {
+	ui, _ := g.verts.Lookup(int64(u))
+	vi, _ := g.verts.Lookup(int64(v))
+	if _, dup := g.eset[g.packIdx(ui, vi)]; dup {
 		return false, nil
 	}
 	return true, g.AddEdge(u, v)
@@ -185,24 +217,44 @@ func (g *Graph) EnsureEdge(u VertexID, lu Label, v VertexID, lv Label) (bool, er
 // HasEdge reports whether the edge (u,v) exists. For undirected graphs the
 // order of u and v does not matter.
 func (g *Graph) HasEdge(u, v VertexID) bool {
-	_, ok := g.eset[g.key(u, v)]
+	ui, ok := g.verts.Lookup(int64(u))
+	if !ok {
+		return false
+	}
+	vi, ok := g.verts.Lookup(int64(v))
+	if !ok {
+		return false
+	}
+	_, ok = g.eset[g.packIdx(ui, vi)]
 	return ok
 }
 
 // Degree returns the number of edges incident to v (out-degree for directed
 // graphs).
-func (g *Graph) Degree(v VertexID) int { return len(g.adj[v]) }
+func (g *Graph) Degree(v VertexID) int {
+	i, ok := g.verts.Lookup(int64(v))
+	if !ok {
+		return 0
+	}
+	return len(g.adj[i])
+}
 
 // Neighbors returns the adjacency list of v. The returned slice is owned by
 // the graph and must not be modified.
-func (g *Graph) Neighbors(v VertexID) []VertexID { return g.adj[v] }
+func (g *Graph) Neighbors(v VertexID) []VertexID {
+	i, ok := g.verts.Lookup(int64(v))
+	if !ok {
+		return nil
+	}
+	return g.adj[i]
+}
 
 // InNeighbors returns, for a directed graph, the vertices with an edge into
 // v. It is computed on demand and is O(|E|); directed support exists for the
 // paper's "extends to directed graphs" remark, not for hot paths.
 func (g *Graph) InNeighbors(v VertexID) []VertexID {
 	if !g.directed {
-		return g.adj[v]
+		return g.Neighbors(v)
 	}
 	var in []VertexID
 	for _, e := range g.eorder {
@@ -214,7 +266,7 @@ func (g *Graph) InNeighbors(v VertexID) []VertexID {
 }
 
 // NumVertices returns |V|.
-func (g *Graph) NumVertices() int { return len(g.labels) }
+func (g *Graph) NumVertices() int { return g.verts.Len() }
 
 // NumEdges returns |E|.
 func (g *Graph) NumEdges() int { return len(g.eorder) }
@@ -222,8 +274,11 @@ func (g *Graph) NumEdges() int { return len(g.eorder) }
 // Vertices returns all vertex IDs in insertion order. The returned slice is
 // a copy and may be modified by the caller.
 func (g *Graph) Vertices() []VertexID {
-	out := make([]VertexID, len(g.vorder))
-	copy(out, g.vorder)
+	ids := g.verts.IDs()
+	out := make([]VertexID, len(ids))
+	for i, id := range ids {
+		out[i] = VertexID(id)
+	}
 	return out
 }
 
@@ -236,13 +291,10 @@ func (g *Graph) Edges() []Edge {
 
 // Labels returns the distinct labels in use, sorted, i.e. the alphabet LV.
 func (g *Graph) Labels() []Label {
-	seen := make(map[Label]struct{})
-	for _, l := range g.labels {
-		seen[l] = struct{}{}
-	}
-	out := make([]Label, 0, len(seen))
-	for l := range seen {
-		out = append(out, l)
+	names := g.ltab.Names()
+	out := make([]Label, len(names))
+	for i, n := range names {
+		out[i] = Label(n)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
@@ -251,8 +303,8 @@ func (g *Graph) Labels() []Label {
 // LabelHistogram returns the number of vertices per label.
 func (g *Graph) LabelHistogram() map[Label]int {
 	h := make(map[Label]int)
-	for _, l := range g.labels {
-		h[l]++
+	for _, c := range g.vlabel {
+		h[Label(g.ltab.Name(c))]++
 	}
 	return h
 }
@@ -261,17 +313,15 @@ func (g *Graph) LabelHistogram() map[Label]int {
 func (g *Graph) Clone() *Graph {
 	c := &Graph{
 		directed: g.directed,
-		labels:   make(map[VertexID]Label, len(g.labels)),
-		adj:      make(map[VertexID][]VertexID, len(g.adj)),
-		vorder:   append([]VertexID(nil), g.vorder...),
+		verts:    g.verts.Clone(),
+		ltab:     g.ltab.Clone(),
+		vlabel:   append([]uint16(nil), g.vlabel...),
+		adj:      make([][]VertexID, len(g.adj)),
 		eorder:   append([]Edge(nil), g.eorder...),
-		eset:     make(map[Edge]struct{}, len(g.eset)),
+		eset:     make(map[uint64]struct{}, len(g.eset)),
 	}
-	for v, l := range g.labels {
-		c.labels[v] = l
-	}
-	for v, ns := range g.adj {
-		c.adj[v] = append([]VertexID(nil), ns...)
+	for i, ns := range g.adj {
+		c.adj[i] = append([]VertexID(nil), ns...)
 	}
 	for e := range g.eset {
 		c.eset[e] = struct{}{}
@@ -281,7 +331,9 @@ func (g *Graph) Clone() *Graph {
 
 // EdgeLabels returns the labels of an edge's endpoints in (U,V) order.
 func (g *Graph) EdgeLabels(e Edge) (Label, Label) {
-	return g.labels[e.U], g.labels[e.V]
+	lu, _ := g.Label(e.U)
+	lv, _ := g.Label(e.V)
+	return lu, lv
 }
 
 // String summarises the graph.

@@ -88,7 +88,7 @@ func bfsEdges(g *Graph) []Edge {
 	visited := make(map[VertexID]struct{}, g.NumVertices())
 	out := make([]Edge, 0, g.NumEdges())
 
-	for _, root := range g.vorder {
+	for _, root := range g.Vertices() {
 		if _, ok := visited[root]; ok {
 			continue
 		}
@@ -97,7 +97,7 @@ func bfsEdges(g *Graph) []Edge {
 		for len(queue) > 0 {
 			u := queue[0]
 			queue = queue[1:]
-			for _, v := range g.adj[u] {
+			for _, v := range g.Neighbors(u) {
 				k := g.key(u, v)
 				if _, dup := seen[k]; !dup {
 					seen[k] = struct{}{}
@@ -120,7 +120,7 @@ func dfsEdges(g *Graph) []Edge {
 	visited := make(map[VertexID]struct{}, g.NumVertices())
 	out := make([]Edge, 0, g.NumEdges())
 
-	for _, root := range g.vorder {
+	for _, root := range g.Vertices() {
 		if _, ok := visited[root]; ok {
 			continue
 		}
@@ -131,7 +131,7 @@ func dfsEdges(g *Graph) []Edge {
 			if _, ok := visited[u]; ok {
 				// Still emit any unseen edges from u so every edge
 				// appears exactly once even when u was reached twice.
-				for _, v := range g.adj[u] {
+				for _, v := range g.Neighbors(u) {
 					k := g.key(u, v)
 					if _, dup := seen[k]; !dup {
 						seen[k] = struct{}{}
@@ -143,7 +143,7 @@ func dfsEdges(g *Graph) []Edge {
 			visited[u] = struct{}{}
 			// Push neighbours in reverse so traversal follows
 			// adjacency insertion order.
-			ns := g.adj[u]
+			ns := g.Neighbors(u)
 			for i := len(ns) - 1; i >= 0; i-- {
 				v := ns[i]
 				k := g.key(u, v)

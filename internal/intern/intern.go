@@ -1,0 +1,155 @@
+// Package intern provides the dense interning tables that back Loom's
+// streaming hot path: a VertexTable mapping sparse external vertex IDs
+// (int64) to dense uint32 indices, and a LabelTable mapping label strings to
+// small uint16 codes.
+//
+// Loom's per-edge cost must stay constant and tiny (§4–5 of the paper): a
+// single-pass online partitioner that hashes strings and sparse IDs on every
+// bookkeeping access cannot keep up with serving-scale streams. Interning
+// confines hashing to the ingest boundary — one int64 map probe per endpoint
+// and one string map probe per label — after which every downstream
+// structure (adjacency, partition assignments, window matchLists, label
+// r-values) is a plain slice indexed by the dense index or code.
+//
+// Tables only grow; indices and codes are stable for the lifetime of the
+// table, so any number of components (tracker, window, recorded graph) can
+// share one table and index their own slices consistently. Tables are not
+// safe for concurrent use (Loom's pipeline is single-threaded by design,
+// §6 of the paper).
+package intern
+
+import "fmt"
+
+// MaxLabels bounds the label alphabet: codes are uint16 and the paper's
+// datasets use alphabets of a handful of labels ("typically small", §1.3).
+const MaxLabels = 1 << 16
+
+// VertexTable interns external int64 vertex IDs as dense uint32 indices in
+// first-seen order.
+type VertexTable struct {
+	idx map[int64]uint32
+	ids []int64
+}
+
+// NewVertexTable returns an empty table pre-sized for capacityHint vertices.
+func NewVertexTable(capacityHint int) *VertexTable {
+	if capacityHint < 0 {
+		capacityHint = 0
+	}
+	return &VertexTable{
+		idx: make(map[int64]uint32, capacityHint),
+		ids: make([]int64, 0, capacityHint),
+	}
+}
+
+// Intern returns the dense index of id, assigning the next free index on
+// first use.
+func (t *VertexTable) Intern(id int64) uint32 {
+	if i, ok := t.idx[id]; ok {
+		return i
+	}
+	if len(t.ids) >= int(^uint32(0)) {
+		panic("intern: vertex table overflow (2^32-1 vertices)")
+	}
+	i := uint32(len(t.ids))
+	t.idx[id] = i
+	t.ids = append(t.ids, id)
+	return i
+}
+
+// Lookup returns the dense index of id without interning it.
+func (t *VertexTable) Lookup(id int64) (uint32, bool) {
+	i, ok := t.idx[id]
+	return i, ok
+}
+
+// ID returns the external ID at dense index i. It panics if i has not been
+// assigned.
+func (t *VertexTable) ID(i uint32) int64 {
+	if int(i) >= len(t.ids) {
+		panic(fmt.Sprintf("intern: vertex index %d out of range (len %d)", i, len(t.ids)))
+	}
+	return t.ids[i]
+}
+
+// Len returns the number of interned vertices; valid indices are [0, Len).
+func (t *VertexTable) Len() int { return len(t.ids) }
+
+// IDs returns the interned external IDs in index order. The slice is owned
+// by the table and must not be modified.
+func (t *VertexTable) IDs() []int64 { return t.ids }
+
+// Clone returns a deep copy of the table.
+func (t *VertexTable) Clone() *VertexTable {
+	c := &VertexTable{
+		idx: make(map[int64]uint32, len(t.idx)),
+		ids: append([]int64(nil), t.ids...),
+	}
+	for id, i := range t.idx {
+		c.idx[id] = i
+	}
+	return c
+}
+
+// LabelTable interns label strings as dense uint16 codes in first-seen
+// order.
+type LabelTable struct {
+	code  map[string]uint16
+	names []string
+}
+
+// NewLabelTable returns an empty label table.
+func NewLabelTable() *LabelTable {
+	return &LabelTable{code: make(map[string]uint16)}
+}
+
+// Intern returns the code of name, assigning the next free code on first
+// use. It panics past MaxLabels distinct labels (the alphabet LV is small by
+// construction; overflowing it indicates corrupt input, e.g. IDs fed as
+// labels).
+func (t *LabelTable) Intern(name string) uint16 {
+	if c, ok := t.code[name]; ok {
+		return c
+	}
+	if len(t.names) >= MaxLabels {
+		panic(fmt.Sprintf("intern: label table overflow (%d distinct labels)", MaxLabels))
+	}
+	c := uint16(len(t.names))
+	t.code[name] = c
+	t.names = append(t.names, name)
+	return c
+}
+
+// Lookup returns the code of name without interning it.
+func (t *LabelTable) Lookup(name string) (uint16, bool) {
+	c, ok := t.code[name]
+	return c, ok
+}
+
+// Name returns the label string for code c. It panics if c has not been
+// assigned.
+func (t *LabelTable) Name(c uint16) string {
+	if int(c) >= len(t.names) {
+		panic(fmt.Sprintf("intern: label code %d out of range (len %d)", c, len(t.names)))
+	}
+	return t.names[c]
+}
+
+// Len returns the number of interned labels; valid codes are [0, Len).
+func (t *LabelTable) Len() int { return len(t.names) }
+
+// Names returns the interned labels in code order. The slice is owned by
+// the table and must not be modified.
+func (t *LabelTable) Names() []string { return t.names }
+
+// Clone returns a deep copy of the table.
+func (t *LabelTable) Clone() *LabelTable {
+	c := &LabelTable{
+		code:  make(map[string]uint16, len(t.code)),
+		names: append([]string(nil), t.names...),
+	}
+	for n, cd := range t.code {
+		c.code[n] = cd
+	}
+	return c
+}

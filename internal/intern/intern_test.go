@@ -1,0 +1,101 @@
+package intern
+
+import "testing"
+
+func TestVertexTableInternLookup(t *testing.T) {
+	vt := NewVertexTable(4)
+	if vt.Len() != 0 {
+		t.Fatalf("new table Len = %d", vt.Len())
+	}
+	a := vt.Intern(100)
+	b := vt.Intern(-7)
+	c := vt.Intern(100) // repeat
+	if a != 0 || b != 1 || c != a {
+		t.Fatalf("indices = %d,%d,%d; want 0,1,0", a, b, c)
+	}
+	if vt.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", vt.Len())
+	}
+	if got := vt.ID(0); got != 100 {
+		t.Errorf("ID(0) = %d, want 100", got)
+	}
+	if got := vt.ID(1); got != -7 {
+		t.Errorf("ID(1) = %d, want -7", got)
+	}
+	if i, ok := vt.Lookup(-7); !ok || i != 1 {
+		t.Errorf("Lookup(-7) = %d,%v; want 1,true", i, ok)
+	}
+	if _, ok := vt.Lookup(999); ok {
+		t.Error("Lookup(999) found a missing ID")
+	}
+	if ids := vt.IDs(); len(ids) != 2 || ids[0] != 100 || ids[1] != -7 {
+		t.Errorf("IDs() = %v", ids)
+	}
+}
+
+func TestVertexTableIDOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ID out of range: want panic")
+		}
+	}()
+	NewVertexTable(0).ID(0)
+}
+
+func TestVertexTableClone(t *testing.T) {
+	vt := NewVertexTable(0)
+	vt.Intern(1)
+	vt.Intern(2)
+	c := vt.Clone()
+	c.Intern(3)
+	if vt.Len() != 2 || c.Len() != 3 {
+		t.Fatalf("Len after clone mutate: orig %d clone %d", vt.Len(), c.Len())
+	}
+	if i, ok := c.Lookup(1); !ok || i != 0 {
+		t.Errorf("clone Lookup(1) = %d,%v", i, ok)
+	}
+}
+
+func TestLabelTableInternLookup(t *testing.T) {
+	lt := NewLabelTable()
+	a := lt.Intern("person")
+	b := lt.Intern("city")
+	c := lt.Intern("person")
+	if a != 0 || b != 1 || c != a {
+		t.Fatalf("codes = %d,%d,%d; want 0,1,0", a, b, c)
+	}
+	if lt.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", lt.Len())
+	}
+	if got := lt.Name(1); got != "city" {
+		t.Errorf("Name(1) = %q", got)
+	}
+	if cd, ok := lt.Lookup("city"); !ok || cd != 1 {
+		t.Errorf("Lookup(city) = %d,%v", cd, ok)
+	}
+	if _, ok := lt.Lookup("venue"); ok {
+		t.Error("Lookup(venue) found a missing label")
+	}
+}
+
+func TestLabelTableClone(t *testing.T) {
+	lt := NewLabelTable()
+	lt.Intern("a")
+	c := lt.Clone()
+	c.Intern("b")
+	if lt.Len() != 1 || c.Len() != 2 {
+		t.Fatalf("Len after clone mutate: orig %d clone %d", lt.Len(), c.Len())
+	}
+	if names := c.Names(); names[0] != "a" || names[1] != "b" {
+		t.Errorf("clone Names() = %v", names)
+	}
+}
+
+func TestLabelTableNameOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Name out of range: want panic")
+		}
+	}()
+	NewLabelTable().Name(0)
+}

@@ -32,11 +32,12 @@ func (h *Hash) Name() string { return "hash" }
 // ProcessEdge implements Streamer: each unseen endpoint is hashed to a
 // partition.
 func (h *Hash) ProcessEdge(e graph.StreamEdge) {
-	h.t.Observe(e)
-	for _, v := range [2]graph.VertexID{e.U, e.V} {
-		if h.t.PartOf(v) == Unassigned {
-			h.t.Assign(v, ID(fnvHash(v)%uint64(h.t.K())))
-		}
+	ui, vi := h.t.ObserveStream(e)
+	if h.t.PartOfIdx(ui) == Unassigned {
+		h.t.AssignIdx(ui, ID(fnvHash(e.U)%uint64(h.t.K())))
+	}
+	if h.t.PartOfIdx(vi) == Unassigned {
+		h.t.AssignIdx(vi, ID(fnvHash(e.V)%uint64(h.t.K())))
 	}
 }
 
@@ -72,12 +73,12 @@ func (l *LDG) Name() string { return "ldg" }
 // ProcessEdge implements Streamer: unassigned endpoints are placed with the
 // LDG rule against the adjacency observed so far.
 func (l *LDG) ProcessEdge(e graph.StreamEdge) {
-	l.t.Observe(e)
-	if l.t.PartOf(e.U) == Unassigned {
-		l.t.AssignLDG(e.U)
+	ui, vi := l.t.ObserveStream(e)
+	if l.t.PartOfIdx(ui) == Unassigned {
+		l.t.AssignLDGIdx(ui)
 	}
-	if l.t.PartOf(e.V) == Unassigned {
-		l.t.AssignLDG(e.V)
+	if l.t.PartOfIdx(vi) == Unassigned {
+		l.t.AssignLDGIdx(vi)
 	}
 }
 
@@ -130,17 +131,17 @@ func (f *Fennel) Name() string { return "fennel" }
 
 // ProcessEdge implements Streamer.
 func (f *Fennel) ProcessEdge(e graph.StreamEdge) {
-	f.t.Observe(e)
-	if f.t.PartOf(e.U) == Unassigned {
-		f.assign(e.U)
+	ui, vi := f.t.ObserveStream(e)
+	if f.t.PartOfIdx(ui) == Unassigned {
+		f.assign(ui)
 	}
-	if f.t.PartOf(e.V) == Unassigned {
-		f.assign(e.V)
+	if f.t.PartOfIdx(vi) == Unassigned {
+		f.assign(vi)
 	}
 }
 
-func (f *Fennel) assign(v graph.VertexID) {
-	counts := f.t.NeighborCounts(v)
+func (f *Fennel) assign(vi uint32) {
+	counts := f.t.NeighborCountsIdx(vi)
 	best := Unassigned
 	bestScore := math.Inf(-1)
 	for p := 0; p < f.t.K(); p++ {
@@ -156,7 +157,7 @@ func (f *Fennel) assign(v graph.VertexID) {
 	if best == Unassigned {
 		best = f.t.LeastLoaded() // every partition at capacity: overflow to smallest
 	}
-	f.t.Assign(v, best)
+	f.t.AssignIdx(vi, best)
 }
 
 // Flush implements Streamer (no-op).

@@ -19,13 +19,15 @@ import (
 // WriteAssignment writes a in the TSV interchange format.
 func WriteAssignment(w io.Writer, a *Assignment) error {
 	bw := bufio.NewWriter(w)
-	vs := make([]graph.VertexID, 0, len(a.Parts))
-	for v := range a.Parts {
-		vs = append(vs, v)
+	type row struct {
+		v graph.VertexID
+		p ID
 	}
-	sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
-	for _, v := range vs {
-		if _, err := fmt.Fprintf(bw, "%d\t%d\n", v, a.Parts[v]); err != nil {
+	rows := make([]row, 0, a.NumAssigned())
+	a.Each(func(v graph.VertexID, p ID) { rows = append(rows, row{v, p}) })
+	sort.Slice(rows, func(i, j int) bool { return rows[i].v < rows[j].v })
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(bw, "%d\t%d\n", r.v, r.p); err != nil {
 			return err
 		}
 	}
@@ -35,7 +37,12 @@ func WriteAssignment(w io.Writer, a *Assignment) error {
 // ReadAssignment parses the TSV interchange format. k is inferred as one
 // more than the largest partition ID seen unless a larger kHint is given.
 func ReadAssignment(r io.Reader, kHint int) (*Assignment, error) {
-	parts := make(map[graph.VertexID]ID)
+	type row struct {
+		v graph.VertexID
+		p ID
+	}
+	var rows []row // file order, so dense indices are stable
+	seen := make(map[graph.VertexID]struct{})
 	maxID := ID(-1)
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
@@ -58,10 +65,11 @@ func ReadAssignment(r io.Reader, kHint int) (*Assignment, error) {
 		if err != nil || p < 0 {
 			return nil, fmt.Errorf("partition: line %d: bad partition %q", lineNo, fields[1])
 		}
-		if _, dup := parts[graph.VertexID(v)]; dup {
+		if _, dup := seen[graph.VertexID(v)]; dup {
 			return nil, fmt.Errorf("partition: line %d: duplicate vertex %d", lineNo, v)
 		}
-		parts[graph.VertexID(v)] = ID(p)
+		seen[graph.VertexID(v)] = struct{}{}
+		rows = append(rows, row{graph.VertexID(v), ID(p)})
 		if ID(p) > maxID {
 			maxID = ID(p)
 		}
@@ -76,9 +84,9 @@ func ReadAssignment(r io.Reader, kHint int) (*Assignment, error) {
 	if k < 1 {
 		k = 1
 	}
-	sizes := make([]int, k)
-	for _, p := range parts {
-		sizes[p]++
+	a := NewAssignment(k)
+	for _, r := range rows {
+		a.Set(r.v, r.p)
 	}
-	return &Assignment{K: k, Parts: parts, Sizes: sizes}, nil
+	return a, nil
 }

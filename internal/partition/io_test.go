@@ -9,11 +9,7 @@ import (
 )
 
 func TestAssignmentRoundTrip(t *testing.T) {
-	a := &Assignment{
-		K:     4,
-		Parts: map[graph.VertexID]ID{5: 2, 1: 0, 9: 3, 2: 0},
-		Sizes: []int{2, 0, 1, 1},
-	}
+	a := AssignmentOf(4, map[graph.VertexID]ID{5: 2, 1: 0, 9: 3, 2: 0})
 	var buf bytes.Buffer
 	if err := WriteAssignment(&buf, a); err != nil {
 		t.Fatal(err)
@@ -30,7 +26,7 @@ func TestAssignmentRoundTrip(t *testing.T) {
 	if back.K != 4 || back.NumAssigned() != 4 {
 		t.Fatalf("round trip: %+v", back)
 	}
-	for v, p := range a.Parts {
+	for v, p := range a.Parts() {
 		if back.Of(v) != p {
 			t.Errorf("vertex %d: %d != %d", v, back.Of(v), p)
 		}

@@ -1,0 +1,75 @@
+package partition
+
+import (
+	"testing"
+
+	"loom/internal/graph"
+)
+
+// LDG tie-breaking: when two partitions score identically, the vertex must
+// go to the emptier one (the original Loom codebase carried a review note —
+// "We should be assigning ties to the emptier of two parts" — and this
+// pins that behaviour).
+func TestAssignLDGTieGoesToEmptierPartition(t *testing.T) {
+	// Capacity 16 keeps the residuals exact binary fractions:
+	// p0 holds 8 vertices → residual 0.5; p1 holds 4 → residual 0.75.
+	// v has 3 neighbours in p0 and 2 in p1: both score 3·0.5 = 2·0.75
+	// = 1.5 exactly. The tie must break toward p1, the emptier.
+	tr := NewTracker(2, 16)
+	var next graph.VertexID = 100
+	fill := func(p ID, n int) []graph.VertexID {
+		out := make([]graph.VertexID, 0, n)
+		for i := 0; i < n; i++ {
+			tr.Assign(next, p)
+			out = append(out, next)
+			next++
+		}
+		return out
+	}
+	inP0 := fill(0, 8)
+	inP1 := fill(1, 4)
+
+	const v graph.VertexID = 1
+	for _, u := range inP0[:3] {
+		tr.Observe(graph.StreamEdge{U: v, LU: "a", V: u, LV: "a"})
+	}
+	for _, u := range inP1[:2] {
+		tr.Observe(graph.StreamEdge{U: v, LU: "a", V: u, LV: "a"})
+	}
+
+	if got := tr.AssignLDG(v); got != 1 {
+		t.Fatalf("AssignLDG tie broke to partition %d; want 1 (the emptier)", got)
+	}
+}
+
+// With no assigned neighbours every score is zero: the fallback must pick
+// the least-loaded partition, lowest index on ties.
+func TestAssignLDGZeroScoreFallsBackToLeastLoaded(t *testing.T) {
+	tr := NewTracker(3, 100)
+	tr.Assign(10, 0)
+	tr.Assign(11, 0)
+	tr.Assign(12, 2)
+	// Sizes: [2, 0, 1] → least loaded is 1.
+	if got := tr.AssignLDG(1); got != 1 {
+		t.Fatalf("zero-score fallback chose %d; want 1", got)
+	}
+
+	tr2 := NewTracker(3, 100)
+	// All empty: ties between all three → lowest index.
+	if got := tr2.AssignLDG(1); got != 0 {
+		t.Fatalf("all-empty fallback chose %d; want 0", got)
+	}
+}
+
+// A full partition never receives a vertex from the LDG rule, even when it
+// scores highest.
+func TestAssignLDGRespectsCapacity(t *testing.T) {
+	tr := NewTracker(2, 2)
+	tr.Assign(10, 0)
+	tr.Assign(11, 0) // partition 0 at capacity 2
+	tr.Observe(graph.StreamEdge{U: 1, LU: "a", V: 10, LV: "a"})
+	tr.Observe(graph.StreamEdge{U: 1, LU: "a", V: 11, LV: "a"})
+	if got := tr.AssignLDG(1); got != 1 {
+		t.Fatalf("AssignLDG overfilled partition 0 (got %d)", got)
+	}
+}

@@ -11,13 +11,20 @@
 // an edge arrives, any endpoint not yet assigned is placed using the
 // partitioner's heuristic (the paper notes "LDG may partition either vertex
 // or edge streams").
+//
+// Hot-path state is slice-backed: external vertex IDs are interned to dense
+// uint32 indices (internal/intern) and assignments/adjacency are plain
+// slices indexed by them. The *Idx methods operate directly on dense
+// indices — streaming partitioners intern each endpoint once per edge and
+// stay on the index forms; the VertexID forms remain as convenience
+// wrappers for tests and cold paths.
 package partition
 
 import (
 	"fmt"
-	"hash/fnv"
 
 	"loom/internal/graph"
+	"loom/internal/intern"
 )
 
 // ID identifies a partition, 0..k-1. Unassigned is the sentinel for
@@ -48,41 +55,139 @@ type Streamer interface {
 	Assignment() *Assignment
 }
 
-// Assignment is the result of a partitioning run.
+// Assignment is the result of a partitioning run: a dense slice of
+// partition IDs indexed by interned vertex, plus the table that maps
+// external vertex IDs to those indices.
 type Assignment struct {
 	K     int
-	Parts map[graph.VertexID]ID
 	Sizes []int // vertex count per partition
+
+	verts    *intern.VertexTable
+	parts    []ID // per dense vertex index; Unassigned for unplaced
+	assigned int
+}
+
+// NewAssignment returns an empty assignment over k partitions with its own
+// vertex table.
+func NewAssignment(k int) *Assignment {
+	return &Assignment{K: k, Sizes: make([]int, k), verts: intern.NewVertexTable(0)}
+}
+
+// AssignmentOf builds an assignment from an explicit vertex → partition
+// map (test and tooling convenience). Sizes are derived from the map.
+func AssignmentOf(k int, parts map[graph.VertexID]ID) *Assignment {
+	a := NewAssignment(k)
+	for v, p := range parts {
+		a.Set(v, p)
+	}
+	return a
+}
+
+// NewAssignmentFrom wraps an existing dense parts slice (indexed by verts'
+// dense indices) as an Assignment, deriving sizes. The slice and table are
+// retained, not copied.
+func NewAssignmentFrom(k int, verts *intern.VertexTable, parts []ID) *Assignment {
+	a := &Assignment{K: k, Sizes: make([]int, k), verts: verts, parts: parts}
+	for _, p := range parts {
+		if p != Unassigned {
+			a.Sizes[p]++
+			a.assigned++
+		}
+	}
+	return a
 }
 
 // Of returns v's partition, or Unassigned.
 func (a *Assignment) Of(v graph.VertexID) ID {
-	if p, ok := a.Parts[v]; ok {
-		return p
+	if a.verts == nil {
+		return Unassigned
 	}
-	return Unassigned
+	i, ok := a.verts.Lookup(int64(v))
+	if !ok || int(i) >= len(a.parts) {
+		return Unassigned
+	}
+	return a.parts[i]
+}
+
+// Set places (or re-places) v in partition p, maintaining Sizes. Unlike the
+// Tracker's Assign, re-assignment is allowed: an Assignment is a snapshot
+// under construction (refinement, deserialisation), not streaming state.
+func (a *Assignment) Set(v graph.VertexID, p ID) {
+	if p < 0 || int(p) >= a.K {
+		panic(fmt.Sprintf("partition: bad partition id %d (k=%d)", p, a.K))
+	}
+	i := a.verts.Intern(int64(v))
+	for len(a.parts) <= int(i) {
+		a.parts = append(a.parts, Unassigned)
+	}
+	if old := a.parts[i]; old != Unassigned {
+		a.Sizes[old]--
+	} else {
+		a.assigned++
+	}
+	a.parts[i] = p
+	a.Sizes[p]++
 }
 
 // NumAssigned returns the number of assigned vertices.
-func (a *Assignment) NumAssigned() int { return len(a.Parts) }
+func (a *Assignment) NumAssigned() int { return a.assigned }
+
+// Each calls f for every assigned vertex in dense-index (first-seen) order.
+func (a *Assignment) Each(f func(v graph.VertexID, p ID)) {
+	for i, p := range a.parts {
+		if p != Unassigned {
+			f(graph.VertexID(a.verts.ID(uint32(i))), p)
+		}
+	}
+}
+
+// Parts materialises the assignment as a vertex → partition map (cold-path
+// convenience for reports and tests; the hot-path representation is the
+// dense slice).
+func (a *Assignment) Parts() map[graph.VertexID]ID {
+	out := make(map[graph.VertexID]ID, a.assigned)
+	a.Each(func(v graph.VertexID, p ID) { out[v] = p })
+	return out
+}
+
+// Table returns the vertex table mapping external IDs to dense indices.
+// The table is shared, not copied; it may gain vertices beyond this
+// snapshot's range as streaming continues (Of guards the bound).
+func (a *Assignment) Table() *intern.VertexTable { return a.verts }
+
+// PartsClone returns a copy of the dense parts slice, indexed by Table()'s
+// dense indices. Offline passes (refinement) mutate the copy and rewrap it
+// with NewAssignmentFrom.
+func (a *Assignment) PartsClone() []ID { return append([]ID(nil), a.parts...) }
 
 // Tracker maintains the shared streaming state: assignments, partition
 // sizes, and the adjacency observed so far (needed by neighbourhood
 // heuristics: "heuristics which consider the local neighbourhood of each
-// new element at the time it arrives", §1.2).
+// new element at the time it arrives", §1.2). All per-vertex state is
+// slice-backed, indexed by the dense index of a shared vertex table.
 type Tracker struct {
 	k        int
 	capacity float64 // C: per-partition vertex capacity
-	parts    map[graph.VertexID]ID
+	verts    *intern.VertexTable
+	parts    []ID       // per dense index
+	nbrs     [][]uint32 // observed adjacency per dense index
 	sizes    []int
-	nbrs     map[graph.VertexID][]graph.VertexID
-	observed int // edges observed
+	assigned int
+	observed int   // edges observed
+	counts   []int // scratch for NeighborCountsIdx (len k)
 }
 
 // NewTracker creates a tracker for k partitions with per-partition vertex
 // capacity C. Capacity is typically ν·n/k for an expected vertex count n
 // (see CapacityFor); it must be positive.
 func NewTracker(k int, capacity float64) *Tracker {
+	return NewTrackerWith(k, capacity, intern.NewVertexTable(0))
+}
+
+// NewTrackerWith creates a tracker that interns vertices through a shared
+// table, so components cooperating on one stream (e.g. Loom's tracker and
+// sliding window) agree on dense indices.
+func NewTrackerWith(k int, capacity float64, verts *intern.VertexTable) *Tracker {
 	if k < 1 {
 		panic(fmt.Sprintf("partition: k must be >= 1, got %d", k))
 	}
@@ -92,9 +197,9 @@ func NewTracker(k int, capacity float64) *Tracker {
 	return &Tracker{
 		k:        k,
 		capacity: capacity,
-		parts:    make(map[graph.VertexID]ID),
+		verts:    verts,
 		sizes:    make([]int, k),
-		nbrs:     make(map[graph.VertexID][]graph.VertexID),
+		counts:   make([]int, k),
 	}
 }
 
@@ -114,44 +219,123 @@ func (t *Tracker) K() int { return t.k }
 // Capacity returns the per-partition capacity C.
 func (t *Tracker) Capacity() float64 { return t.capacity }
 
-// Observe records the adjacency of a stream edge without assigning
-// anything. Callers observe every edge exactly once, before placement.
-func (t *Tracker) Observe(e graph.StreamEdge) {
-	t.nbrs[e.U] = append(t.nbrs[e.U], e.V)
-	t.nbrs[e.V] = append(t.nbrs[e.V], e.U)
+// Verts returns the tracker's vertex table.
+func (t *Tracker) Verts() *intern.VertexTable { return t.verts }
+
+// ensure grows the per-vertex slices to cover dense index i (the shared
+// table may have been grown by another component).
+func (t *Tracker) ensure(i uint32) {
+	for len(t.parts) <= int(i) {
+		t.parts = append(t.parts, Unassigned)
+		t.nbrs = append(t.nbrs, nil)
+	}
+}
+
+// Intern returns v's dense index, growing the tracker's state as needed.
+func (t *Tracker) Intern(v graph.VertexID) uint32 {
+	i := t.verts.Intern(int64(v))
+	t.ensure(i)
+	return i
+}
+
+// ObserveIdx records the adjacency of an edge between dense indices ui and
+// vi without assigning anything. Callers observe every edge exactly once,
+// before placement.
+func (t *Tracker) ObserveIdx(ui, vi uint32) {
+	t.ensure(ui)
+	t.ensure(vi)
+	t.nbrs[ui] = append(t.nbrs[ui], vi)
+	t.nbrs[vi] = append(t.nbrs[vi], ui)
 	t.observed++
 }
+
+// ObserveStream interns a stream edge's endpoints, records its adjacency,
+// and returns the dense endpoint indices — the single per-edge entry point
+// for streaming partitioners.
+func (t *Tracker) ObserveStream(e graph.StreamEdge) (ui, vi uint32) {
+	ui = t.Intern(e.U)
+	vi = t.Intern(e.V)
+	t.nbrs[ui] = append(t.nbrs[ui], vi)
+	t.nbrs[vi] = append(t.nbrs[vi], ui)
+	t.observed++
+	return ui, vi
+}
+
+// Observe records the adjacency of a stream edge without assigning
+// anything.
+func (t *Tracker) Observe(e graph.StreamEdge) { t.ObserveStream(e) }
 
 // ObservedEdges returns the number of edges observed so far.
 func (t *Tracker) ObservedEdges() int { return t.observed }
 
 // ObservedDegree returns the degree of v in the graph seen so far.
-func (t *Tracker) ObservedDegree(v graph.VertexID) int { return len(t.nbrs[v]) }
+func (t *Tracker) ObservedDegree(v graph.VertexID) int {
+	i, ok := t.verts.Lookup(int64(v))
+	if !ok || int(i) >= len(t.nbrs) {
+		return 0
+	}
+	return len(t.nbrs[i])
+}
 
-// Neighbors returns v's observed neighbours (owned by the tracker).
-func (t *Tracker) Neighbors(v graph.VertexID) []graph.VertexID { return t.nbrs[v] }
+// NeighborsIdx returns the observed neighbours (dense indices) of dense
+// index i. The slice is owned by the tracker.
+func (t *Tracker) NeighborsIdx(i uint32) []uint32 {
+	if int(i) >= len(t.nbrs) {
+		return nil
+	}
+	return t.nbrs[i]
+}
+
+// Neighbors returns v's observed neighbours as external IDs. The slice is
+// freshly allocated (cold-path convenience; hot paths use NeighborsIdx).
+func (t *Tracker) Neighbors(v graph.VertexID) []graph.VertexID {
+	i, ok := t.verts.Lookup(int64(v))
+	if !ok {
+		return nil
+	}
+	ns := t.NeighborsIdx(i)
+	out := make([]graph.VertexID, len(ns))
+	for j, u := range ns {
+		out[j] = graph.VertexID(t.verts.ID(u))
+	}
+	return out
+}
+
+// PartOfIdx returns the partition of dense index i, or Unassigned.
+func (t *Tracker) PartOfIdx(i uint32) ID {
+	if int(i) >= len(t.parts) {
+		return Unassigned
+	}
+	return t.parts[i]
+}
 
 // PartOf returns v's partition, or Unassigned.
 func (t *Tracker) PartOf(v graph.VertexID) ID {
-	if p, ok := t.parts[v]; ok {
-		return p
+	i, ok := t.verts.Lookup(int64(v))
+	if !ok {
+		return Unassigned
 	}
-	return Unassigned
+	return t.PartOfIdx(i)
 }
 
-// Assign places v in partition p. Re-assignment is a programming error in
-// one-pass streaming ("streaming partitioners do not perform any
-// refinement", §1.2) and panics.
-func (t *Tracker) Assign(v graph.VertexID, p ID) {
+// AssignIdx places dense index i in partition p. Re-assignment is a
+// programming error in one-pass streaming ("streaming partitioners do not
+// perform any refinement", §1.2) and panics.
+func (t *Tracker) AssignIdx(i uint32, p ID) {
 	if p < 0 || int(p) >= t.k {
 		panic(fmt.Sprintf("partition: bad partition id %d (k=%d)", p, t.k))
 	}
-	if old, ok := t.parts[v]; ok {
-		panic(fmt.Sprintf("partition: vertex %d reassigned %d → %d", v, old, p))
+	t.ensure(i)
+	if old := t.parts[i]; old != Unassigned {
+		panic(fmt.Sprintf("partition: vertex %d reassigned %d → %d", t.verts.ID(i), old, p))
 	}
-	t.parts[v] = p
+	t.parts[i] = p
 	t.sizes[p]++
+	t.assigned++
 }
+
+// Assign places v in partition p (see AssignIdx).
+func (t *Tracker) Assign(v graph.VertexID, p ID) { t.AssignIdx(t.Intern(v), p) }
 
 // Size returns |V(Si)| for partition p.
 func (t *Tracker) Size(p ID) int { return t.sizes[p] }
@@ -187,42 +371,69 @@ func (t *Tracker) Residual(p ID) float64 {
 // NeighborCount returns N(Si, v): the number of v's observed neighbours
 // already assigned to partition p.
 func (t *Tracker) NeighborCount(v graph.VertexID, p ID) int {
+	i, ok := t.verts.Lookup(int64(v))
+	if !ok {
+		return 0
+	}
 	n := 0
-	for _, u := range t.nbrs[v] {
-		if t.PartOf(u) == p {
+	for _, u := range t.NeighborsIdx(i) {
+		if t.parts[u] == p {
 			n++
 		}
 	}
 	return n
 }
 
-// NeighborCounts returns N(Si, v) for every partition in one pass.
-func (t *Tracker) NeighborCounts(v graph.VertexID) []int {
-	counts := make([]int, t.k)
-	for _, u := range t.nbrs[v] {
-		if p, ok := t.parts[u]; ok {
-			counts[p]++
+// NeighborCountsIdx returns N(Si, ·) for every partition in one pass over
+// the neighbours of dense index i. The returned slice is the tracker's
+// reusable scratch buffer: it is valid only until the next call that
+// computes neighbour counts on this tracker (NeighborCountsIdx,
+// NeighborCounts, countNeighbors, AssignLDGIdx, AssignLDG, or any placer
+// built on them).
+func (t *Tracker) NeighborCountsIdx(i uint32) []int {
+	counts := t.counts
+	for p := range counts {
+		counts[p] = 0
+	}
+	if int(i) < len(t.nbrs) {
+		for _, u := range t.nbrs[i] {
+			if p := t.parts[u]; p != Unassigned {
+				counts[p]++
+			}
 		}
 	}
 	return counts
 }
 
-// Assignment snapshots the current assignment.
-func (t *Tracker) Assignment() *Assignment {
-	parts := make(map[graph.VertexID]ID, len(t.parts))
-	for v, p := range t.parts {
-		parts[v] = p
+// NeighborCounts returns N(Si, v) for every partition in one pass. The
+// slice is freshly allocated (hot paths use NeighborCountsIdx).
+func (t *Tracker) NeighborCounts(v graph.VertexID) []int {
+	counts := make([]int, t.k)
+	if i, ok := t.verts.Lookup(int64(v)); ok {
+		copy(counts, t.NeighborCountsIdx(i))
 	}
-	return &Assignment{K: t.k, Parts: parts, Sizes: append([]int(nil), t.sizes...)}
+	return counts
 }
 
-// AssignLDG places vertex v with the Linear Deterministic Greedy rule
-// (§4, quoting [30]): argmax over Si of N(Si, v)·(1 − |V(Si)|/C), falling
-// back to the least-loaded partition when every score is zero (no assigned
-// neighbours, or all candidates full). Exposed on the tracker because Loom
-// reuses it verbatim for non-motif edges.
-func (t *Tracker) AssignLDG(v graph.VertexID) ID {
-	counts := t.NeighborCounts(v)
+// Assignment snapshots the current assignment. The parts slice is copied;
+// the vertex table is shared (it only grows, and Of bounds-checks).
+func (t *Tracker) Assignment() *Assignment {
+	return &Assignment{
+		K:        t.k,
+		Sizes:    append([]int(nil), t.sizes...),
+		verts:    t.verts,
+		parts:    append([]ID(nil), t.parts...),
+		assigned: t.assigned,
+	}
+}
+
+// AssignLDGIdx places the vertex at dense index i with the Linear
+// Deterministic Greedy rule (§4, quoting [30]): argmax over Si of
+// N(Si, v)·(1 − |V(Si)|/C), breaking ties toward the emptier partition and
+// falling back to the least-loaded partition when every score is zero (no
+// assigned neighbours, or all candidates full).
+func (t *Tracker) AssignLDGIdx(i uint32) ID {
+	counts := t.NeighborCountsIdx(i)
 	best, bestScore := Unassigned, 0.0
 	for p := 0; p < t.k; p++ {
 		if float64(t.sizes[p])+1 > t.capacity {
@@ -238,8 +449,14 @@ func (t *Tracker) AssignLDG(v graph.VertexID) ID {
 	if best == Unassigned {
 		best = t.LeastLoaded()
 	}
-	t.Assign(v, best)
+	t.AssignIdx(i, best)
 	return best
+}
+
+// AssignLDG places vertex v with the LDG rule (see AssignLDGIdx). Exposed
+// on the tracker because Loom reuses it verbatim for non-motif edges.
+func (t *Tracker) AssignLDG(v graph.VertexID) ID {
+	return t.AssignLDGIdx(t.Intern(v))
 }
 
 // EdgeCut returns the number of edges of g whose endpoints are assigned to
@@ -297,16 +514,20 @@ func CommunicationVolume(g *graph.Graph, a *Assignment) int {
 	return vol
 }
 
-// fnvHash hashes a vertex ID (used by the Hash baseline).
+// fnvHash hashes a vertex ID (used by the Hash baseline). It is FNV-1a over
+// the ID's little-endian bytes, inlined so the hot path does not allocate a
+// hash.Hash — bit-identical to hash/fnv's New64a.
 func fnvHash(v graph.VertexID) uint64 {
-	h := fnv.New64a()
-	var buf [8]byte
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	x := uint64(v)
 	for i := 0; i < 8; i++ {
-		buf[i] = byte(v >> (8 * i))
+		h ^= x & 0xff
+		h *= prime64
+		x >>= 8
 	}
-	if _, err := h.Write(buf[:]); err != nil {
-		// hash.Hash.Write never fails; keep vet honest.
-		panic(err)
-	}
-	return h.Sum64()
+	return h
 }

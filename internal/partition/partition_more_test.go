@@ -108,7 +108,7 @@ func TestStreamerNames(t *testing.T) {
 }
 
 func TestAssignmentOf(t *testing.T) {
-	a := &Assignment{K: 2, Parts: map[graph.VertexID]ID{1: 1}, Sizes: []int{0, 1}}
+	a := AssignmentOf(2, map[graph.VertexID]ID{1: 1})
 	if a.Of(1) != 1 {
 		t.Error("Of(1)")
 	}
@@ -121,7 +121,7 @@ func TestAssignmentOf(t *testing.T) {
 }
 
 func TestImbalanceEmpty(t *testing.T) {
-	a := &Assignment{K: 4, Sizes: make([]int, 4), Parts: map[graph.VertexID]ID{}}
+	a := AssignmentOf(4, nil)
 	if got := Imbalance(a); got != 0 {
 		t.Errorf("Imbalance empty = %v", got)
 	}
@@ -141,7 +141,7 @@ func TestCommunicationVolumeMultiPartition(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	a := &Assignment{K: 3, Parts: map[graph.VertexID]ID{1: 0, 2: 0, 3: 1, 4: 2}, Sizes: []int{2, 1, 1}}
+	a := AssignmentOf(3, map[graph.VertexID]ID{1: 0, 2: 0, 3: 1, 4: 2})
 	// hub (p0): neighbours in p1, p2 → 2. leaf 3 (p1): hub in p0 → 1.
 	// leaf 4 (p2): hub in p0 → 1. leaf 2 (p0): hub in p0 → 0.
 	if got := CommunicationVolume(g, a); got != 4 {

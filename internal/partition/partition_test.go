@@ -88,8 +88,9 @@ func TestHashIsDeterministicAndComplete(t *testing.T) {
 	if a1.NumAssigned() != 100 {
 		t.Fatalf("assigned = %d, want 100", a1.NumAssigned())
 	}
-	for v, p := range a1.Parts {
-		if a2.Parts[v] != p {
+	p2 := a2.Parts()
+	for v, p := range a1.Parts() {
+		if p2[v] != p {
 			t.Fatalf("hash not deterministic at %d", v)
 		}
 		if p < 0 || int(p) >= 4 {
@@ -231,7 +232,7 @@ func TestEdgeCutAndMetrics(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	a := &Assignment{K: 2, Parts: map[graph.VertexID]ID{1: 0, 2: 0, 3: 1, 4: 1}, Sizes: []int{2, 2}}
+	a := AssignmentOf(2, map[graph.VertexID]ID{1: 0, 2: 0, 3: 1, 4: 1})
 	if got := EdgeCut(g, a); got != 1 {
 		t.Errorf("EdgeCut = %d, want 1", got)
 	}
@@ -243,14 +244,14 @@ func TestEdgeCutAndMetrics(t *testing.T) {
 	}
 	// Unassigned endpoints live together in Ptemp: edge 2-3 crosses from
 	// partition 0 into Ptemp (cut); edge 3-4 is wholly inside Ptemp.
-	b := &Assignment{K: 2, Parts: map[graph.VertexID]ID{1: 0, 2: 0}, Sizes: []int{2, 0}}
+	b := AssignmentOf(2, map[graph.VertexID]ID{1: 0, 2: 0})
 	if got := EdgeCut(g, b); got != 1 {
 		t.Errorf("EdgeCut with unassigned = %d, want 1", got)
 	}
 }
 
 func TestImbalanceSkewed(t *testing.T) {
-	a := &Assignment{K: 2, Sizes: []int{3, 1}, Parts: map[graph.VertexID]ID{1: 0, 2: 0, 3: 0, 4: 1}}
+	a := AssignmentOf(2, map[graph.VertexID]ID{1: 0, 2: 0, 3: 0, 4: 1})
 	if got := Imbalance(a); math.Abs(got-0.5) > 1e-9 {
 		t.Errorf("Imbalance = %v, want 0.5", got)
 	}
@@ -282,7 +283,7 @@ func TestBaselinesAssignEverythingProperty(t *testing.T) {
 			if total != n {
 				return false
 			}
-			for _, pid := range a.Parts {
+			for _, pid := range a.Parts() {
 				if pid < 0 || int(pid) >= k {
 					return false
 				}

@@ -67,6 +67,23 @@ func VertexStreamOf(g *graph.Graph, order graph.StreamOrder, rng *rand.Rand) []V
 	return out
 }
 
+// countNeighbors tallies the already-assigned members of an explicit
+// neighbour list per partition (vertex-stream elements carry their own
+// adjacency, unlike the tracker-observed edge-stream form). Returns the
+// tracker's scratch buffer.
+func (t *Tracker) countNeighbors(neighbors []graph.VertexID) []int {
+	counts := t.counts
+	for p := range counts {
+		counts[p] = 0
+	}
+	for _, u := range neighbors {
+		if p := t.PartOf(u); p != Unassigned {
+			counts[p]++
+		}
+	}
+	return counts
+}
+
 // VertexPlacer assigns one vertex-stream element at a time.
 type VertexPlacer interface {
 	Name() string
@@ -91,19 +108,14 @@ func (l *LDGVertex) Name() string { return "ldg-vertex" }
 
 // Place implements VertexPlacer.
 func (l *LDGVertex) Place(e VertexElement) ID {
+	counts := l.t.countNeighbors(e.Neighbors)
 	best, bestScore := Unassigned, 0.0
 	for p := 0; p < l.t.K(); p++ {
 		pid := ID(p)
 		if float64(l.t.Size(pid))+1 > l.t.Capacity() {
 			continue
 		}
-		n := 0
-		for _, u := range e.Neighbors {
-			if l.t.PartOf(u) == pid {
-				n++
-			}
-		}
-		score := float64(n) * l.t.Residual(pid)
+		score := float64(counts[p]) * l.t.Residual(pid)
 		if score > bestScore || (score == bestScore && best != Unassigned && l.t.Size(pid) < l.t.Size(best)) {
 			if score > 0 {
 				best, bestScore = pid, score
@@ -143,6 +155,7 @@ func (f *FennelVertex) Name() string { return "fennel-vertex" }
 
 // Place implements VertexPlacer.
 func (f *FennelVertex) Place(e VertexElement) ID {
+	counts := f.t.countNeighbors(e.Neighbors)
 	best := Unassigned
 	bestScore := math.Inf(-1)
 	for p := 0; p < f.t.K(); p++ {
@@ -151,13 +164,7 @@ func (f *FennelVertex) Place(e VertexElement) ID {
 		if size+1 > f.t.Capacity() {
 			continue
 		}
-		n := 0
-		for _, u := range e.Neighbors {
-			if f.t.PartOf(u) == pid {
-				n++
-			}
-		}
-		score := float64(n) - f.alpha*FennelGamma*math.Pow(size, FennelGamma-1)
+		score := float64(counts[p]) - f.alpha*FennelGamma*math.Pow(size, FennelGamma-1)
 		if score > bestScore || (score == bestScore && best != Unassigned && f.t.Size(pid) < f.t.Size(best)) {
 			best, bestScore = pid, score
 		}

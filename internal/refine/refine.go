@@ -97,18 +97,23 @@ func Refine(g *graph.Graph, a *partition.Assignment, trie *tpstry.Trie, cfg Conf
 		return w
 	}
 
-	// Working copy.
-	parts := make(map[graph.VertexID]partition.ID, len(a.Parts))
-	for v, p := range a.Parts {
-		parts[v] = p
-	}
+	// Working copy: the dense parts slice plus the assignment's vertex
+	// table (shared; refinement never adds vertices).
+	tbl := a.Table()
+	parts := a.PartsClone()
 	sizes := append([]int(nil), a.Sizes...)
+	lookup := func(v graph.VertexID) partition.ID {
+		i, ok := tbl.Lookup(int64(v))
+		if !ok || int(i) >= len(parts) {
+			return partition.Unassigned
+		}
+		return parts[i]
+	}
 
 	cut := func() float64 {
 		total := 0.0
 		for _, e := range g.Edges() {
-			pu, pv := lookup(parts, e.U), lookup(parts, e.V)
-			if pu != pv {
+			if lookup(e.U) != lookup(e.V) {
 				total += weight(e)
 			}
 		}
@@ -124,14 +129,18 @@ func Refine(g *graph.Graph, a *partition.Assignment, trie *tpstry.Trie, cfg Conf
 	for pass := 0; pass < cfg.MaxPasses; pass++ {
 		moves := 0
 		for _, v := range order {
-			cur, ok := parts[v]
-			if !ok {
+			vi, ok := tbl.Lookup(int64(v))
+			if !ok || int(vi) >= len(parts) {
+				continue // unknown to the assignment: skip
+			}
+			cur := parts[vi]
+			if cur == partition.Unassigned {
 				continue // unassigned (e.g. still in a window): skip
 			}
 			// Weighted adjacency per partition.
 			attract := make([]float64, a.K)
 			for _, u := range g.Neighbors(v) {
-				if p, ok := parts[u]; ok {
+				if p := lookup(u); p != partition.Unassigned {
 					attract[p] += weight(graph.Edge{U: v, V: u})
 				}
 			}
@@ -150,7 +159,7 @@ func Refine(g *graph.Graph, a *partition.Assignment, trie *tpstry.Trie, cfg Conf
 				}
 			}
 			if best != cur {
-				parts[v] = best
+				parts[vi] = best
 				sizes[cur]--
 				sizes[best]++
 				moves++
@@ -164,12 +173,5 @@ func Refine(g *graph.Graph, a *partition.Assignment, trie *tpstry.Trie, cfg Conf
 	}
 
 	st.CutAfter = cut()
-	return &partition.Assignment{K: a.K, Parts: parts, Sizes: sizes}, st, nil
-}
-
-func lookup(parts map[graph.VertexID]partition.ID, v graph.VertexID) partition.ID {
-	if p, ok := parts[v]; ok {
-		return p
-	}
-	return partition.Unassigned
+	return partition.NewAssignmentFrom(a.K, tbl, parts), st, nil
 }

@@ -113,15 +113,13 @@ func TestRefineDoesNotMutateInput(t *testing.T) {
 	}
 	trie := provTrie(t)
 	a := hashAssign(g, 2)
-	beforeParts := make(map[graph.VertexID]partition.ID)
-	for v, p := range a.Parts {
-		beforeParts[v] = p
-	}
+	beforeParts := a.Parts()
 	if _, _, err := Refine(g, a, trie, Config{Capacity: 1e9}); err != nil {
 		t.Fatal(err)
 	}
+	afterParts := a.Parts()
 	for v, p := range beforeParts {
-		if a.Parts[v] != p {
+		if afterParts[v] != p {
 			t.Fatalf("input assignment mutated at vertex %d", v)
 		}
 	}
@@ -146,8 +144,9 @@ func TestRefineConvergesAndIsDeterministic(t *testing.T) {
 	if s1.Moves != s2.Moves || s1.CutAfter != s2.CutAfter {
 		t.Errorf("refinement not deterministic: %+v vs %+v", s1, s2)
 	}
-	for v, p := range r1.Parts {
-		if r2.Parts[v] != p {
+	p2 := r2.Parts()
+	for v, p := range r1.Parts() {
+		if p2[v] != p {
 			t.Fatalf("assignments differ at %d", v)
 		}
 	}
@@ -167,11 +166,11 @@ func TestRefineConvergesAndIsDeterministic(t *testing.T) {
 func TestRefineValidation(t *testing.T) {
 	g := pattern.Path("a", "b")
 	trie := provTrie(t)
-	a := &partition.Assignment{K: 2, Parts: map[graph.VertexID]partition.ID{}, Sizes: []int{0, 0}}
+	a := partition.AssignmentOf(2, nil)
 	if _, _, err := Refine(g, a, trie, Config{}); err == nil {
 		t.Error("zero capacity: want error")
 	}
-	bad := &partition.Assignment{K: 0}
+	bad := partition.AssignmentOf(0, nil)
 	if _, _, err := Refine(g, bad, trie, Config{Capacity: 10}); err == nil {
 		t.Error("K=0: want error")
 	}
@@ -191,12 +190,12 @@ func TestRefineSkipsUnassigned(t *testing.T) {
 		t.Fatal(err)
 	}
 	trie := provTrie(t)
-	a := &partition.Assignment{K: 2, Parts: map[graph.VertexID]partition.ID{1: 0}, Sizes: []int{1, 0}}
+	a := partition.AssignmentOf(2, map[graph.VertexID]partition.ID{1: 0})
 	refined, _, err := Refine(g, a, trie, Config{Capacity: 10})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := refined.Parts[2]; ok {
+	if refined.Of(2) != partition.Unassigned {
 		t.Error("unassigned vertex gained a partition")
 	}
 }

@@ -172,6 +172,36 @@ func (s *Scheme) EdgeDelta(lu graph.Label, du int, lv graph.Label, dv int) Delta
 	})
 }
 
+// EdgeFactorVals is EdgeFactor over pre-resolved label values ru = r(lu),
+// rv = r(lv) (both in [1, p)). Hot paths that intern labels cache r-values
+// by label code and call the *Vals variants to keep the per-edge path free
+// of string hashing.
+func (s *Scheme) EdgeFactorVals(ru, rv uint32) Factor {
+	if ru < rv {
+		ru, rv = rv, ru
+	}
+	return s.nonzero((ru - rv) % s.p)
+}
+
+// DegreeFactorVal is DegreeFactor over a pre-resolved label value rv = r(l).
+func (s *Scheme) DegreeFactorVal(rv uint32, i int) Factor {
+	if i < 1 {
+		panic(fmt.Sprintf("signature: degree index must be >= 1, got %d", i))
+	}
+	return s.nonzero(uint32((uint64(rv) + uint64(i)) % uint64(s.p)))
+}
+
+// EdgeDeltaVals is EdgeDelta over pre-resolved label values ru = r(lu),
+// rv = r(lv): the allocation- and hash-free hot-path form used by the
+// sliding window's incremental matcher.
+func (s *Scheme) EdgeDeltaVals(ru uint32, du int, rv uint32, dv int) Delta {
+	return sortDelta(Delta{
+		s.EdgeFactorVals(ru, rv),
+		s.DegreeFactorVal(ru, du+1),
+		s.DegreeFactorVal(rv, dv+1),
+	})
+}
+
 // SignatureOf computes the full factor multiset of g from scratch. For
 // undirected graphs this is |E| edge factors plus Σ deg(v) = 2|E| degree
 // factors.

@@ -39,9 +39,9 @@ func triangleWorkload() workload.Workload {
 
 func TestPerfectPartitioningHasNoRemoteHops(t *testing.T) {
 	g := twoTrianglesGraph(t)
-	a := &partition.Assignment{K: 2, Parts: map[graph.VertexID]partition.ID{
+	a := partition.AssignmentOf(2, map[graph.VertexID]partition.ID{
 		1: 0, 2: 0, 3: 0, 4: 1, 5: 1, 6: 1,
-	}, Sizes: []int{3, 3}}
+	})
 	res, err := Run(g, a, triangleWorkload(), CostModel{}, 0)
 	if err != nil {
 		t.Fatal(err)
@@ -61,9 +61,9 @@ func TestPerfectPartitioningHasNoRemoteHops(t *testing.T) {
 func TestSplitTriangleCostsRemoteHops(t *testing.T) {
 	g := twoTrianglesGraph(t)
 	// Split the first triangle across machines.
-	a := &partition.Assignment{K: 2, Parts: map[graph.VertexID]partition.ID{
+	a := partition.AssignmentOf(2, map[graph.VertexID]partition.ID{
 		1: 0, 2: 1, 3: 0, 4: 1, 5: 1, 6: 1,
-	}, Sizes: []int{2, 4}}
+	})
 	res, err := Run(g, a, triangleWorkload(), CostModel{}, 0)
 	if err != nil {
 		t.Fatal(err)
@@ -79,9 +79,9 @@ func TestSplitTriangleCostsRemoteHops(t *testing.T) {
 
 func TestUnassignedServedByPtemp(t *testing.T) {
 	g := twoTrianglesGraph(t)
-	a := &partition.Assignment{K: 2, Parts: map[graph.VertexID]partition.ID{
+	a := partition.AssignmentOf(2, map[graph.VertexID]partition.ID{
 		1: 0, 2: 0, 3: 0, // triangle 2 unassigned
-	}, Sizes: []int{3, 0}}
+	})
 	res, err := Run(g, a, triangleWorkload(), CostModel{}, 0)
 	if err != nil {
 		t.Fatal(err)
@@ -143,7 +143,7 @@ func TestLoadImbalance(t *testing.T) {
 
 func TestRunValidation(t *testing.T) {
 	g := twoTrianglesGraph(t)
-	a := &partition.Assignment{K: 1, Parts: map[graph.VertexID]partition.ID{}, Sizes: []int{0}}
+	a := partition.AssignmentOf(1, nil)
 	if _, err := Run(g, a, workload.Workload{Name: "empty"}, CostModel{}, 0); err == nil {
 		t.Error("empty workload: want error")
 	}

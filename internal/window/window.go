@@ -24,13 +24,21 @@
 // Matches are recorded for every vertex of the matching sub-graph, per the
 // worked example of §3 (⟨{e2,e3}, m3⟩ is added "to the matchList entries
 // for vertices 3, 4 and 5").
+//
+// The matcher is slice-backed: vertices and labels are interned
+// (internal/intern) and all per-vertex state — label r-values, window
+// reference counts, matchList entries — is indexed by the dense vertex
+// index, so the per-edge matching path performs no string hashing and
+// signature deltas are computed from cached r-values.
 package window
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 
 	"loom/internal/graph"
+	"loom/internal/intern"
 	"loom/internal/signature"
 	"loom/internal/tpstry"
 )
@@ -41,36 +49,56 @@ import (
 // not recorded; partitioning degrades gracefully toward LDG behaviour.
 const DefaultMaxMatchesPerVertex = 128
 
+// IEdge is a window edge as a pair of dense (interned) vertex indices,
+// normalised U <= V.
+type IEdge struct {
+	U, V uint32
+}
+
+func (e IEdge) norm() IEdge {
+	if e.V < e.U {
+		return IEdge{e.V, e.U}
+	}
+	return e
+}
+
+func (e IEdge) hasEndpoint(i uint32) bool { return e.U == i || e.V == i }
+
 // Match is a motif-matching sub-graph in the window: an edge set paired
 // with the TPSTry++ node whose signature it shares (an entry ⟨Ei, mi⟩ of
 // the matchList).
 type Match struct {
-	// Edges is the match's edge set in canonical (normalised, sorted)
-	// order.
+	// Edges is the match's edge set as external vertex IDs, in canonical
+	// (normalised, sorted) order.
 	Edges []graph.Edge
 	// Node is the motif's TPSTry++ node; Node.Sig equals the sub-graph's
 	// signature and the trie's SupportOf(Node) gives the motif support
 	// used to rank matches during assignment (§4).
 	Node *tpstry.Node
 
-	key  string
-	dead bool
+	iedges []IEdge  // interned edge set, sorted by (U,V)
+	verts  []uint32 // distinct interned vertices, sorted
+	dead   bool
 }
 
-// Vertices returns the distinct vertices of the match, sorted.
+// Vertices returns the distinct external vertex IDs of the match, sorted.
+// Cold-path convenience; the assignment hot path uses VertexIndices.
 func (m *Match) Vertices() []graph.VertexID {
-	seen := make(map[graph.VertexID]struct{}, len(m.Edges)+1)
+	out := make([]graph.VertexID, 0, len(m.Edges)+1)
 	for _, e := range m.Edges {
-		seen[e.U] = struct{}{}
-		seen[e.V] = struct{}{}
+		out = append(out, e.U, e.V)
 	}
-	out := make([]graph.VertexID, 0, len(seen))
-	for v := range seen {
-		out = append(out, v)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	slices.Sort(out)
+	return slices.Compact(out)
 }
+
+// VertexIndices returns the match's distinct dense vertex indices, sorted.
+// The slice is owned by the match and must not be modified.
+func (m *Match) VertexIndices() []uint32 { return m.verts }
+
+// IEdges returns the match's interned edge set, sorted by (U,V). The slice
+// is owned by the match and must not be modified.
+func (m *Match) IEdges() []IEdge { return m.iedges }
 
 // ContainsEdge reports whether the match includes e (normalised).
 func (m *Match) ContainsEdge(e graph.Edge) bool {
@@ -83,25 +111,26 @@ func (m *Match) ContainsEdge(e graph.Edge) bool {
 	return false
 }
 
-func (m *Match) String() string {
-	return fmt.Sprintf("⟨%v,%v⟩", m.Edges, m.Node)
+func (m *Match) containsIEdge(e IEdge) bool {
+	for _, me := range m.iedges {
+		if me == e {
+			return true
+		}
+	}
+	return false
 }
 
-func matchKey(edges []graph.Edge, node *tpstry.Node) string {
-	buf := make([]byte, 0, len(edges)*16+8)
-	for _, e := range edges {
-		for i := 0; i < 8; i++ {
-			buf = append(buf, byte(e.U>>(8*i)))
-		}
-		for i := 0; i < 8; i++ {
-			buf = append(buf, byte(e.V>>(8*i)))
+func (m *Match) containsVertex(i uint32) bool {
+	for _, v := range m.verts {
+		if v == i {
+			return true
 		}
 	}
-	id := node.ID
-	for i := 0; i < 8; i++ {
-		buf = append(buf, byte(id>>(8*i)))
-	}
-	return string(buf)
+	return false
+}
+
+func (m *Match) String() string {
+	return fmt.Sprintf("⟨%v,%v⟩", m.Edges, m.Node)
 }
 
 // Matcher is the sliding window Ptemp plus its matchList. It is not safe
@@ -114,23 +143,43 @@ type Matcher struct {
 	maxEdges  int // largest motif size; matches never grow beyond it
 	maxPerV   int
 
-	fifo     []graph.StreamEdge
+	verts *intern.VertexTable
+	ltab  *intern.LabelTable
+	lval  []uint32 // r(l) per label code (0 = not yet resolved; values are in [1, p))
+
+	// Per dense vertex index (sticky; a vertex keeps its slot after
+	// leaving the window — labels are immutable and slots are reused on
+	// return).
+	vrval    []uint32 // r-value of the vertex's label
+	vcode    []uint16 // label code of the vertex
+	vertexRC []int32  // window edges touching the vertex
+	byVertex [][]*Match
+
+	fifo     []winEdge
 	head     int
-	inWindow map[graph.Edge]bool
+	inWindow map[IEdge]bool
 	count    int
 
-	labels   map[graph.VertexID]graph.Label
-	vertexRC map[graph.VertexID]int // window edges touching each vertex
+	byEdge map[IEdge][]*Match
+	live   int // live matches
+}
 
-	byVertex map[graph.VertexID][]*Match
-	byEdge   map[graph.Edge][]*Match
-	all      map[string]*Match
+type winEdge struct {
+	se graph.StreamEdge
+	ie IEdge
 }
 
 // NewMatcher builds a window of the given capacity (the paper's t, default
 // 10k edges in §5.1) over the motifs of trie at the given support
-// threshold.
+// threshold, with its own interning tables.
 func NewMatcher(trie *tpstry.Trie, threshold float64, capacity int) *Matcher {
+	return NewMatcherWith(trie, threshold, capacity, intern.NewVertexTable(0), intern.NewLabelTable())
+}
+
+// NewMatcherWith is NewMatcher over shared interning tables, so the window
+// and the partition tracker agree on dense vertex indices (Loom shares one
+// table per partitioner).
+func NewMatcherWith(trie *tpstry.Trie, threshold float64, capacity int, verts *intern.VertexTable, ltab *intern.LabelTable) *Matcher {
 	if capacity < 0 {
 		panic(fmt.Sprintf("window: negative capacity %d", capacity))
 	}
@@ -141,12 +190,10 @@ func NewMatcher(trie *tpstry.Trie, threshold float64, capacity int) *Matcher {
 		capacity:  capacity,
 		maxEdges:  trie.MaxMotifEdges(threshold),
 		maxPerV:   DefaultMaxMatchesPerVertex,
-		inWindow:  make(map[graph.Edge]bool),
-		labels:    make(map[graph.VertexID]graph.Label),
-		vertexRC:  make(map[graph.VertexID]int),
-		byVertex:  make(map[graph.VertexID][]*Match),
-		byEdge:    make(map[graph.Edge][]*Match),
-		all:       make(map[string]*Match),
+		verts:     verts,
+		ltab:      ltab,
+		inWindow:  make(map[IEdge]bool),
+		byEdge:    make(map[IEdge][]*Match),
 	}
 }
 
@@ -168,12 +215,52 @@ func (w *Matcher) OverCapacity() bool { return w.count > w.capacity }
 func (w *Matcher) Empty() bool { return w.count == 0 }
 
 // NumMatches returns the number of live matches (diagnostics).
-func (w *Matcher) NumMatches() int { return len(w.all) }
+func (w *Matcher) NumMatches() int { return w.live }
+
+// Verts returns the matcher's vertex table.
+func (w *Matcher) Verts() *intern.VertexTable { return w.verts }
+
+// Labels returns the matcher's label table.
+func (w *Matcher) Labels() *intern.LabelTable { return w.ltab }
+
+// labelVal returns (caching) the scheme r-value of label code c.
+func (w *Matcher) labelVal(c uint16) uint32 {
+	for len(w.lval) <= int(c) {
+		w.lval = append(w.lval, 0)
+	}
+	if w.lval[c] == 0 {
+		// r-values live in [1, p), so 0 safely marks "unresolved".
+		w.lval[c] = w.scheme.LabelValue(graph.Label(w.ltab.Name(c)))
+	}
+	return w.lval[c]
+}
+
+// ensureVertex grows the per-vertex slices to cover dense index i and
+// records i's label r-value.
+func (w *Matcher) ensureVertex(i uint32, code uint16) {
+	for len(w.vrval) <= int(i) {
+		w.vrval = append(w.vrval, 0)
+		w.vcode = append(w.vcode, 0)
+		w.vertexRC = append(w.vertexRC, 0)
+		w.byVertex = append(w.byVertex, nil)
+	}
+	w.vrval[i] = w.labelVal(code)
+	w.vcode[i] = code
+}
 
 // Label returns the label of a window vertex.
 func (w *Matcher) Label(v graph.VertexID) (graph.Label, bool) {
-	l, ok := w.labels[v]
-	return l, ok
+	i, ok := w.verts.Lookup(int64(v))
+	if !ok || !w.HasVertexIdx(i) {
+		return "", false
+	}
+	return graph.Label(w.ltab.Name(w.vcode[i])), true
+}
+
+// HasVertexIdx reports whether the vertex at dense index i currently has
+// edges buffered in the window (see HasVertex).
+func (w *Matcher) HasVertexIdx(i uint32) bool {
+	return int(i) < len(w.vertexRC) && w.vertexRC[i] > 0
 }
 
 // HasVertex reports whether v currently has edges buffered in the window,
@@ -181,18 +268,28 @@ func (w *Matcher) Label(v graph.VertexID) (graph.Label, bool) {
 // immediate-assignment path consults this to avoid pinning a vertex whose
 // motif cluster is still forming (§4: the assignment of motif matches, not
 // incidental non-motif edges, should decide such vertices' placement).
-func (w *Matcher) HasVertex(v graph.VertexID) bool { return w.vertexRC[v] > 0 }
+func (w *Matcher) HasVertex(v graph.VertexID) bool {
+	i, ok := w.verts.Lookup(int64(v))
+	return ok && w.HasVertexIdx(i)
+}
 
-// SingleEdgeMotif returns the TPSTry++ node for the single-edge motif
-// matching e, if one exists at the current threshold. This is the gate of
-// §3: edges failing it never enter the window.
-func (w *Matcher) SingleEdgeMotif(e graph.StreamEdge) (*tpstry.Node, bool) {
-	d := w.scheme.EdgeDelta(e.LU, 0, e.LV, 0)
+// SingleEdgeMotifCodes returns the TPSTry++ node for the single-edge motif
+// over interned label codes (cu, cv), if one exists at the current
+// threshold. This is the gate of §3: edges failing it never enter the
+// window.
+func (w *Matcher) SingleEdgeMotifCodes(cu, cv uint16) (*tpstry.Node, bool) {
+	d := w.scheme.EdgeDeltaVals(w.labelVal(cu), 0, w.labelVal(cv), 0)
 	n, ok := w.trie.Root().ChildByDelta(d)
 	if !ok || !w.trie.IsMotif(n, w.threshold) {
 		return nil, false
 	}
 	return n, true
+}
+
+// SingleEdgeMotif is SingleEdgeMotifCodes for a raw stream edge, interning
+// its labels.
+func (w *Matcher) SingleEdgeMotif(e graph.StreamEdge) (*tpstry.Node, bool) {
+	return w.SingleEdgeMotifCodes(w.ltab.Intern(string(e.LU)), w.ltab.Intern(string(e.LV)))
 }
 
 // Insert adds a motif-matching edge to the window and updates the
@@ -202,41 +299,58 @@ func (w *Matcher) Insert(e graph.StreamEdge) error {
 	if e.U == e.V {
 		return fmt.Errorf("window: self-loop %v", e)
 	}
-	norm := e.Edge().Norm()
-	if w.inWindow[norm] {
-		return fmt.Errorf("window: duplicate edge %v", norm)
-	}
 	node, ok := w.SingleEdgeMotif(e)
 	if !ok {
 		return fmt.Errorf("window: edge %v does not match a single-edge motif", e)
 	}
+	ui := w.verts.Intern(int64(e.U))
+	vi := w.verts.Intern(int64(e.V))
+	cu, _ := w.ltab.Lookup(string(e.LU))
+	cv, _ := w.ltab.Lookup(string(e.LV))
+	return w.InsertInterned(e, ui, vi, cu, cv, node)
+}
 
-	w.fifo = append(w.fifo, e)
-	w.inWindow[norm] = true
+// InsertInterned is the pre-interned fast path used by Loom's per-edge
+// pipeline: the caller supplies the endpoints' dense indices, label codes
+// and the already-matched single-edge motif node, so no map is consulted
+// here beyond the duplicate check.
+func (w *Matcher) InsertInterned(e graph.StreamEdge, ui, vi uint32, cu, cv uint16, node *tpstry.Node) error {
+	if ui == vi {
+		return fmt.Errorf("window: self-loop %v", e)
+	}
+	ie := IEdge{ui, vi}.norm()
+	if w.inWindow[ie] {
+		return fmt.Errorf("window: duplicate edge %v", e.Edge().Norm())
+	}
+
+	w.fifo = append(w.fifo, winEdge{se: e, ie: ie})
+	w.inWindow[ie] = true
 	w.count++
-	w.labels[e.U] = e.LU
-	w.labels[e.V] = e.LV
-	w.vertexRC[e.U]++
-	w.vertexRC[e.V]++
+	w.ensureVertex(ui, cu)
+	w.ensureVertex(vi, cv)
+	w.vertexRC[ui]++
+	w.vertexRC[vi]++
 
 	// The new single-edge match ⟨{e}, m⟩.
-	w.addMatch([]graph.Edge{norm}, node)
+	norm := e.Edge().Norm()
+	w.addMatch([]graph.Edge{norm}, []IEdge{ie}, node)
 
-	// Alg. 2 lines 3–8: grow each existing match connected to e.
-	for _, m := range w.connectedMatches(e.U, e.V, norm) {
-		if len(m.Edges) >= w.maxEdges || m.ContainsEdge(norm) {
-			continue
-		}
-		d := w.deltaFor(norm, m.Edges)
-		if c, ok := m.Node.ChildByDelta(d); ok && w.trie.IsMotif(c, w.threshold) {
-			w.addMatch(append(append([]graph.Edge(nil), m.Edges...), norm), c)
+	// Alg. 2 lines 3–8: grow each existing match connected to e. Slice
+	// headers are stable snapshots: matches added below are appended to
+	// the live lists, not these.
+	ms1, ms2 := w.byVertex[ui], w.byVertex[vi]
+	for _, m := range ms1 {
+		w.tryGrow(m, norm, ie)
+	}
+	for _, m := range ms2 {
+		if !m.containsVertex(ui) { // those were grown from ms1 already
+			w.tryGrow(m, norm, ie)
 		}
 	}
 
 	// Alg. 2 lines 11–18: join pairs of matches from the two endpoints'
 	// (updated) matchList entries.
-	ms1 := append([]*Match(nil), w.byVertex[e.U]...)
-	ms2 := append([]*Match(nil), w.byVertex[e.V]...)
+	ms1, ms2 = w.byVertex[ui], w.byVertex[vi]
 	for _, m1 := range ms1 {
 		if m1.dead {
 			continue
@@ -251,65 +365,102 @@ func (w *Matcher) Insert(e graph.StreamEdge) error {
 	return nil
 }
 
-// connectedMatches snapshots the live matches listed under either endpoint
-// (excluding the just-added single edge match, which cannot grow by its own
-// edge anyway — ContainsEdge filters it).
-func (w *Matcher) connectedMatches(u, v graph.VertexID, _ graph.Edge) []*Match {
-	seen := make(map[*Match]bool)
-	var out []*Match
-	for _, list := range [2][]*Match{w.byVertex[u], w.byVertex[v]} {
-		for _, m := range list {
-			if !m.dead && !seen[m] {
-				seen[m] = true
-				out = append(out, m)
-			}
-		}
+// tryGrow extends match m by the new edge (Alg. 2 lines 3–8): the 3-factor
+// delta of adding the edge to m's sub-graph is looked up among m's trie
+// node's children.
+func (w *Matcher) tryGrow(m *Match, norm graph.Edge, ie IEdge) {
+	if m.dead || len(m.iedges) >= w.maxEdges || m.containsIEdge(ie) {
+		return
 	}
-	return out
+	d := w.deltaFor(ie, m.iedges)
+	if c, ok := m.Node.ChildByDelta(d); ok && w.trie.IsMotif(c, w.threshold) {
+		edges := append(append([]graph.Edge(nil), m.Edges...), norm)
+		iedges := append(append([]IEdge(nil), m.iedges...), ie)
+		w.addMatch(edges, iedges, c)
+	}
 }
 
-// deltaFor computes the 3 factors that adding edge e to the sub-graph
-// formed by edges would multiply into its signature: the edge factor plus
+// deltaFor computes the 3 factors that adding edge ie to the sub-graph
+// formed by iedges would multiply into its signature: the edge factor plus
 // one degree factor per endpoint, using each endpoint's degree *within the
-// sub-graph* (§2.1's incremental computation, applied stream-side).
-func (w *Matcher) deltaFor(e graph.Edge, edges []graph.Edge) signature.Delta {
+// sub-graph* (§2.1's incremental computation, applied stream-side). All
+// inputs are interned; label r-values come from the per-vertex cache.
+func (w *Matcher) deltaFor(ie IEdge, iedges []IEdge) signature.Delta {
 	du, dv := 0, 0
-	for _, me := range edges {
-		if me.HasEndpoint(e.U) {
+	for _, me := range iedges {
+		if me.hasEndpoint(ie.U) {
 			du++
 		}
-		if me.HasEndpoint(e.V) {
+		if me.hasEndpoint(ie.V) {
 			dv++
 		}
 	}
-	return w.scheme.EdgeDelta(w.labels[e.U], du, w.labels[e.V], dv)
+	return w.scheme.EdgeDeltaVals(w.vrval[ie.U], du, w.vrval[ie.V], dv)
+}
+
+// CompareIEdges orders interned edges by (U, V); match edge sets are kept
+// sorted under it. slices.SortFunc with it is allocation-free, unlike
+// sort.Slice's reflective swapper, which the per-edge path cannot afford.
+func CompareIEdges(a, b IEdge) int {
+	if a.U != b.U {
+		return cmp.Compare(a.U, b.U)
+	}
+	return cmp.Compare(a.V, b.V)
+}
+
+func compareEdges(a, b graph.Edge) int {
+	if a.U != b.U {
+		return cmp.Compare(a.U, b.U)
+	}
+	return cmp.Compare(a.V, b.V)
+}
+
+// sameIEdges reports whether two sorted interned edge sets are equal.
+func sameIEdges(a, b []IEdge) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // addMatch records a match if it is new and the per-vertex cap allows,
 // returning the canonical *Match (existing or new) and whether it was
-// created.
-func (w *Matcher) addMatch(edges []graph.Edge, node *tpstry.Node) (*Match, bool) {
-	sort.Slice(edges, func(i, j int) bool {
-		if edges[i].U != edges[j].U {
-			return edges[i].U < edges[j].U
+// created. edges and iedges must describe the same edge set; both are
+// sorted in place into canonical order.
+func (w *Matcher) addMatch(edges []graph.Edge, iedges []IEdge, node *tpstry.Node) (*Match, bool) {
+	slices.SortFunc(edges, compareEdges)
+	slices.SortFunc(iedges, CompareIEdges)
+	// Dedup: an identical match (same edge set, same motif node) already
+	// hangs off any of its edges' byEdge lists.
+	for _, m := range w.byEdge[iedges[0]] {
+		if !m.dead && m.Node == node && sameIEdges(m.iedges, iedges) {
+			return m, false
 		}
-		return edges[i].V < edges[j].V
-	})
-	key := matchKey(edges, node)
-	if m, ok := w.all[key]; ok {
-		return m, false
 	}
-	m := &Match{Edges: edges, Node: node, key: key}
-	for _, v := range m.Vertices() {
+	// Distinct vertices, sorted.
+	verts := make([]uint32, 0, len(iedges)+1)
+	for _, e := range iedges {
+		verts = append(verts, e.U, e.V)
+	}
+	slices.Sort(verts)
+	verts = slices.Compact(verts)
+
+	for _, v := range verts {
 		if len(w.byVertex[v]) >= w.maxPerV {
 			return nil, false // cap: do not record (graceful degradation)
 		}
 	}
-	w.all[key] = m
-	for _, v := range m.Vertices() {
+	m := &Match{Edges: edges, Node: node, iedges: iedges, verts: verts}
+	w.live++
+	for _, v := range verts {
 		w.byVertex[v] = append(w.byVertex[v], m)
 	}
-	for _, e := range m.Edges {
+	for _, e := range iedges {
 		w.byEdge[e] = append(w.byEdge[e], m)
 	}
 	return m, true
@@ -322,83 +473,102 @@ func (w *Matcher) addMatch(edges []graph.Edge, node *tpstry.Node) (*Match, bool)
 func (w *Matcher) tryJoin(m1, m2 *Match) {
 	// Grow the larger by the smaller ("we consider each edge from the
 	// smaller motif match").
-	if len(m2.Edges) > len(m1.Edges) {
+	if len(m2.iedges) > len(m1.iedges) {
 		m1, m2 = m2, m1
 	}
-	remaining := make([]graph.Edge, 0, len(m2.Edges))
-	for _, e := range m2.Edges {
-		if !m1.ContainsEdge(e) {
+	remaining := make([]IEdge, 0, len(m2.iedges))
+	for _, e := range m2.iedges {
+		if !m1.containsIEdge(e) {
 			remaining = append(remaining, e)
 		}
 	}
 	if len(remaining) == 0 {
 		return // m2 ⊆ m1: nothing new
 	}
-	if len(m1.Edges)+len(remaining) > w.maxEdges {
+	if len(m1.iedges)+len(remaining) > w.maxEdges {
 		return // cannot possibly match a motif
 	}
-	edges := append([]graph.Edge(nil), m1.Edges...)
-	if node, ok := w.grow(m1.Node, edges, remaining); ok {
-		combined := append(edges, remaining...)
-		w.addMatch(combined, node)
+	scratch := append([]IEdge(nil), m1.iedges...)
+	if node, ok := w.grow(m1.Node, scratch, remaining); ok {
+		iedges := append(append([]IEdge(nil), m1.iedges...), remaining...)
+		edges := append([]graph.Edge(nil), m1.Edges...)
+		for _, e := range m2.Edges {
+			if !m1.ContainsEdge(e) {
+				edges = append(edges, e)
+			}
+		}
+		w.addMatch(edges, iedges, node)
 	}
 }
 
 // grow recursively adds the remaining edges (in any workable order) to the
 // edge set, following motif child links; it reports the final node on
 // success. The edge set slice is used as scratch (append/truncate).
-func (w *Matcher) grow(node *tpstry.Node, edges []graph.Edge, remaining []graph.Edge) (*tpstry.Node, bool) {
+func (w *Matcher) grow(node *tpstry.Node, iedges []IEdge, remaining []IEdge) (*tpstry.Node, bool) {
 	if len(remaining) == 0 {
 		return node, true
 	}
 	for i, e := range remaining {
 		// Connectivity guard: the next edge must touch the sub-graph
 		// (trie deltas imply this, but a factor collision could lie).
-		if !touches(edges, e) {
+		if !touches(iedges, e) {
 			continue
 		}
-		d := w.deltaFor(e, edges)
+		d := w.deltaFor(e, iedges)
 		c, ok := node.ChildByDelta(d)
 		if !ok || !w.trie.IsMotif(c, w.threshold) {
 			continue
 		}
-		rest := make([]graph.Edge, 0, len(remaining)-1)
+		rest := make([]IEdge, 0, len(remaining)-1)
 		rest = append(rest, remaining[:i]...)
 		rest = append(rest, remaining[i+1:]...)
-		if final, ok := w.grow(c, append(edges, e), rest); ok {
+		if final, ok := w.grow(c, append(iedges, e), rest); ok {
 			return final, true
 		}
 	}
 	return nil, false
 }
 
-func touches(edges []graph.Edge, e graph.Edge) bool {
-	for _, me := range edges {
-		if me.HasEndpoint(e.U) || me.HasEndpoint(e.V) {
+func touches(iedges []IEdge, e IEdge) bool {
+	for _, me := range iedges {
+		if me.hasEndpoint(e.U) || me.hasEndpoint(e.V) {
 			return true
 		}
 	}
 	return false
 }
 
+// HasEdge reports whether e is currently buffered in the window.
+func (w *Matcher) HasEdge(e graph.Edge) bool {
+	ie, ok := w.lookupIEdge(e)
+	return ok && w.inWindow[ie]
+}
+
 // Oldest returns the oldest edge still in the window.
 func (w *Matcher) Oldest() (graph.StreamEdge, bool) {
+	e, _, ok := w.OldestI()
+	return e, ok
+}
+
+// OldestI returns the oldest edge still in the window along with its
+// interned form (Loom's eviction entry point).
+func (w *Matcher) OldestI() (graph.StreamEdge, IEdge, bool) {
 	for w.head < len(w.fifo) {
-		e := w.fifo[w.head]
-		if w.inWindow[e.Edge().Norm()] {
-			return e, true
+		we := w.fifo[w.head]
+		if w.inWindow[we.ie] {
+			return we.se, we.ie, true
 		}
 		w.head++ // tombstoned by an earlier removal
 	}
-	return graph.StreamEdge{}, false
+	return graph.StreamEdge{}, IEdge{}, false
 }
 
-// MatchesContaining returns the live matches whose edge sets include e —
-// the set Me of §4 when e is being evicted. The result is a fresh slice.
-func (w *Matcher) MatchesContaining(e graph.Edge) []*Match {
-	e = e.Norm()
+// MatchesContainingI returns the live matches whose edge sets include the
+// interned edge ie — the set Me of §4 when ie is being evicted. The result
+// is a fresh slice.
+func (w *Matcher) MatchesContainingI(ie IEdge) []*Match {
 	var out []*Match
-	for _, m := range w.byEdge[e] {
+	for _, m := range w.byEdge[ie.norm()] {
 		if !m.dead {
 			out = append(out, m)
 		}
@@ -406,31 +576,48 @@ func (w *Matcher) MatchesContaining(e graph.Edge) []*Match {
 	return out
 }
 
-// RemoveEdges drops the given edges from the window and kills every match
-// whose edge set intersects them ("matches in Me which are not bid on by
-// the winning partition are dropped from the matchList map, as some of
-// their constituent edges have been assigned", §4). Edges not in the
-// window are ignored. Remaining edges stay available for future matches.
-func (w *Matcher) RemoveEdges(edges []graph.Edge) {
+// MatchesContaining is MatchesContainingI for an external edge.
+func (w *Matcher) MatchesContaining(e graph.Edge) []*Match {
+	ie, ok := w.lookupIEdge(e)
+	if !ok {
+		return nil
+	}
+	return w.MatchesContainingI(ie)
+}
+
+func (w *Matcher) lookupIEdge(e graph.Edge) (IEdge, bool) {
+	ui, ok := w.verts.Lookup(int64(e.U))
+	if !ok {
+		return IEdge{}, false
+	}
+	vi, ok := w.verts.Lookup(int64(e.V))
+	if !ok {
+		return IEdge{}, false
+	}
+	return IEdge{ui, vi}.norm(), true
+}
+
+// RemoveIEdges drops the given interned edges from the window and kills
+// every match whose edge set intersects them ("matches in Me which are not
+// bid on by the winning partition are dropped from the matchList map, as
+// some of their constituent edges have been assigned", §4). Edges not in
+// the window are ignored. Remaining edges stay available for future
+// matches.
+func (w *Matcher) RemoveIEdges(iedges []IEdge) {
 	var killed []*Match
-	for _, e := range edges {
-		e = e.Norm()
-		if !w.inWindow[e] {
+	for _, ie := range iedges {
+		ie = ie.norm()
+		if !w.inWindow[ie] {
 			continue
 		}
-		delete(w.inWindow, e)
+		delete(w.inWindow, ie)
 		w.count--
-		for _, v := range [2]graph.VertexID{e.U, e.V} {
-			w.vertexRC[v]--
-			if w.vertexRC[v] <= 0 {
-				delete(w.vertexRC, v)
-				delete(w.labels, v)
-			}
-		}
-		for _, m := range w.byEdge[e] {
+		w.vertexRC[ie.U]--
+		w.vertexRC[ie.V]--
+		for _, m := range w.byEdge[ie] {
 			if !m.dead {
 				m.dead = true
-				delete(w.all, m.key)
+				w.live--
 				killed = append(killed, m)
 			}
 		}
@@ -439,19 +626,27 @@ func (w *Matcher) RemoveEdges(edges []graph.Edge) {
 	// them; per-match vertex/edge sets are small, so this is O(|killed|)
 	// rather than a full index sweep.
 	for _, m := range killed {
-		for _, v := range m.Vertices() {
+		for _, v := range m.verts {
 			w.byVertex[v] = dropDead(w.byVertex[v])
-			if len(w.byVertex[v]) == 0 {
-				delete(w.byVertex, v)
-			}
 		}
-		for _, e := range m.Edges {
+		for _, e := range m.iedges {
 			w.byEdge[e] = dropDead(w.byEdge[e])
 			if len(w.byEdge[e]) == 0 {
 				delete(w.byEdge, e)
 			}
 		}
 	}
+}
+
+// RemoveEdges is RemoveIEdges for external edges.
+func (w *Matcher) RemoveEdges(edges []graph.Edge) {
+	ies := make([]IEdge, 0, len(edges))
+	for _, e := range edges {
+		if ie, ok := w.lookupIEdge(e); ok {
+			ies = append(ies, ie)
+		}
+	}
+	w.RemoveIEdges(ies)
 }
 
 func dropDead(list []*Match) []*Match {
@@ -469,8 +664,8 @@ func dropDead(list []*Match) []*Match {
 func (w *Matcher) WindowEdges() []graph.StreamEdge {
 	out := make([]graph.StreamEdge, 0, w.count)
 	for i := w.head; i < len(w.fifo); i++ {
-		if w.inWindow[w.fifo[i].Edge().Norm()] {
-			out = append(out, w.fifo[i])
+		if w.inWindow[w.fifo[i].ie] {
+			out = append(out, w.fifo[i].se)
 		}
 	}
 	return out

@@ -188,7 +188,7 @@ func TestWindowSoak(t *testing.T) {
 			live++
 			for _, m := range w.MatchesContaining(se2.Edge()) {
 				for _, e := range m.Edges {
-					if !w.inWindow[e] {
+					if !w.HasEdge(e) {
 						t.Fatalf("match %v references evicted edge %v", m, e)
 					}
 				}

@@ -307,7 +307,7 @@ func TestMatchesAreSubgraphsOfWindow(t *testing.T) {
 	for _, se := range w.WindowEdges() {
 		for _, m := range w.MatchesContaining(se.Edge()) {
 			for _, e := range m.Edges {
-				if !w.inWindow[e] {
+				if !w.HasEdge(e) {
 					t.Fatalf("match %v references evicted edge %v", m, e)
 				}
 			}

@@ -111,9 +111,9 @@ func TestFig1IPTStory(t *testing.T) {
 		Name: "q2", Pattern: pattern.Path("a", "b", "c"), Freq: 1.0,
 	}}}
 
-	ab := &partition.Assignment{K: 2, Parts: map[graph.VertexID]partition.ID{
+	ab := partition.AssignmentOf(2, map[graph.VertexID]partition.ID{
 		1: 0, 2: 0, 3: 0, 4: 0, 5: 1, 6: 1, 7: 1, 8: 1,
-	}, Sizes: []int{4, 4}}
+	})
 	res, err := Execute(g, ab, w, Options{})
 	if err != nil {
 		t.Fatal(err)
@@ -125,9 +125,9 @@ func TestFig1IPTStory(t *testing.T) {
 		t.Errorf("ipt over {A,B} = %v, want 1 (the (2,6) crossing)", res.IPT)
 	}
 
-	aPrime := &partition.Assignment{K: 2, Parts: map[graph.VertexID]partition.ID{
+	aPrime := partition.AssignmentOf(2, map[graph.VertexID]partition.ID{
 		1: 0, 2: 0, 3: 0, 6: 0, 4: 1, 5: 1, 7: 1, 8: 1,
-	}, Sizes: []int{4, 4}}
+	})
 	res2, err := Execute(g, aPrime, w, Options{})
 	if err != nil {
 		t.Fatal(err)
@@ -142,9 +142,9 @@ func TestFig1IPTStory(t *testing.T) {
 
 func TestFrequencyWeighting(t *testing.T) {
 	g := fig1G(t)
-	a := &partition.Assignment{K: 2, Parts: map[graph.VertexID]partition.ID{
+	a := partition.AssignmentOf(2, map[graph.VertexID]partition.ID{
 		1: 0, 2: 0, 3: 0, 4: 0, 5: 1, 6: 1, 7: 1, 8: 1,
-	}, Sizes: []int{4, 4}}
+	})
 	w := Workload{Name: "weighted", Queries: []Query{
 		{Name: "q2", Pattern: pattern.Path("a", "b", "c"), Freq: 0.6},
 		{Name: "ab", Pattern: pattern.Path("a", "b"), Freq: 0.4},
@@ -163,9 +163,9 @@ func TestFrequencyWeighting(t *testing.T) {
 
 func TestTraversalModelCountsMore(t *testing.T) {
 	g := fig1G(t)
-	a := &partition.Assignment{K: 2, Parts: map[graph.VertexID]partition.ID{
+	a := partition.AssignmentOf(2, map[graph.VertexID]partition.ID{
 		1: 0, 2: 0, 3: 0, 4: 0, 5: 1, 6: 1, 7: 1, 8: 1,
-	}, Sizes: []int{4, 4}}
+	})
 	w := Workload{Name: "q2", Queries: []Query{{
 		Name: "q2", Pattern: pattern.Path("a", "b", "c"), Freq: 1,
 	}}}

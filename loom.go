@@ -332,10 +332,8 @@ func (p *Partitioner) Sizes() []int {
 // Assignments returns a copy of the full vertex → partition map.
 func (p *Partitioner) Assignments() map[int64]int {
 	a := p.currentAssignment()
-	out := make(map[int64]int, len(a.Parts))
-	for v, id := range a.Parts {
-		out[int64(v)] = int(id)
-	}
+	out := make(map[int64]int, a.NumAssigned())
+	a.Each(func(v graph.VertexID, id partition.ID) { out[int64(v)] = int(id) })
 	return out
 }
 
