@@ -434,6 +434,88 @@ func runAddEdge(b *testing.B, s graph.Stream, newPartitioner func() partition.St
 	}
 }
 
+// ---------------------------------------------------------------------------
+// Eviction-path benchmarks: cost of evicting ONE window edge with its
+// motif cluster (equal opportunism end to end), and of draining a full
+// window. The eviction overhaul targets 0 steady-state allocs/op on the
+// EvictOne path; run with
+//
+//	go test -bench 'EvictOne|Flush' -benchmem
+// ---------------------------------------------------------------------------
+
+// loomFor10k builds a Loom configured like the paper's Table 2 run over
+// the shared 10k-edge stream.
+func loomFor10k(b *testing.B, n int) func() *core.Loom {
+	b.Helper()
+	wl, err := workload.ForDataset("musicbrainz")
+	if err != nil {
+		b.Fatal(err)
+	}
+	scheme := signature.NewScheme(signature.DefaultP, 42)
+	scheme.RegisterLabels(dataset.DatasetLabels("musicbrainz"))
+	trie, err := wl.BuildTrie(scheme)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return func() *core.Loom {
+		p, err := core.New(core.Config{
+			K:                8,
+			Capacity:         partition.CapacityFor(n, 8, partition.DefaultImbalance),
+			WindowSize:       10_000,
+			SupportThreshold: 0.40,
+		}, trie)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return p
+	}
+}
+
+// BenchmarkEvictOne measures one eviction round: oldest edge → Me →
+// support sort → single-pass bidding → cluster assignment → window
+// removal. The window is refilled outside the timer whenever it drains.
+func BenchmarkEvictOne(b *testing.B) {
+	s, _ := tenKStream(b)
+	newLoom := loomFor10k(b, streamVertexCount(s))
+	fill := func() *core.Loom {
+		p := newLoom()
+		for _, e := range s {
+			p.ProcessEdge(e)
+		}
+		return p
+	}
+	b.ReportAllocs()
+	p := fill()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if p.Window().Empty() {
+			b.StopTimer()
+			p = fill()
+			b.StartTimer()
+		}
+		if !p.EvictOne() {
+			b.Fatal("eviction failed on a non-empty window")
+		}
+	}
+}
+
+// BenchmarkFlush measures draining a full 10k-edge window end to end.
+func BenchmarkFlush(b *testing.B) {
+	s, _ := tenKStream(b)
+	newLoom := loomFor10k(b, streamVertexCount(s))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		p := newLoom()
+		for _, e := range s {
+			p.ProcessEdge(e)
+		}
+		b.StartTimer()
+		p.Flush()
+	}
+}
+
 func BenchmarkAddEdgeLoom(b *testing.B) {
 	s, _ := tenKStream(b)
 	n := streamVertexCount(s)

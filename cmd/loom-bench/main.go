@@ -6,8 +6,13 @@
 //	loom-bench -exp all
 //	loom-bench -exp fig7 -scale 20000 -k 8
 //	loom-bench -exp fig9 -datasets musicbrainz
+//	loom-bench -exp perf -json BENCH_$(git rev-parse --short HEAD).json
 //
-// Experiments: table1, fig4, fig7, fig8, fig9, table2, ablation, all.
+// Experiments: table1, fig4, fig7, fig8, fig9, table2, ablation, perf, all.
+// The perf experiment measures every partitioner's streaming cost (ns,
+// allocs and bytes per edge) plus the ipt it buys; -json writes it as
+// machine-readable JSON ("-" for stdout) so the performance trajectory can
+// be tracked across commits (BENCH_*.json).
 // See EXPERIMENTS.md for how each output maps onto the paper's results.
 package main
 
@@ -24,12 +29,13 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: table1, fig4, fig7, fig8, fig9, table2, ablation, extensions, simulate, motifs, all")
+		exp      = flag.String("exp", "all", "experiment: table1, fig4, fig7, fig8, fig9, table2, ablation, extensions, simulate, motifs, perf, all")
 		scale    = flag.Int("scale", 12000, "per-dataset target vertex count")
 		seed     = flag.Int64("seed", 42, "seed for generation/shuffles/signatures")
 		k        = flag.Int("k", 8, "partitions (fig7/fig9/table2)")
 		win      = flag.Int("window", 2048, "Loom window size at harness scale")
 		datasets = flag.String("datasets", "", "comma-separated subset (default: dblp,provgen,musicbrainz,lubm)")
+		jsonOut  = flag.String("json", "", "write the perf experiment as JSON to this file (\"-\" for stdout); implies -exp perf")
 	)
 	flag.Parse()
 
@@ -37,10 +43,42 @@ func main() {
 	if *datasets != "" {
 		cfg.Datasets = strings.Split(*datasets, ",")
 	}
+	if *jsonOut != "" {
+		if *exp != "all" && *exp != "perf" {
+			fmt.Fprintf(os.Stderr, "loom-bench: -json only applies to the perf experiment (got -exp %s)\n", *exp)
+			os.Exit(1)
+		}
+		if err := runPerfJSON(cfg, *jsonOut); err != nil {
+			fmt.Fprintf(os.Stderr, "loom-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*exp, cfg); err != nil {
 		fmt.Fprintf(os.Stderr, "loom-bench: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// runPerfJSON runs the perf experiment and writes the machine-readable
+// report to path ("-" = stdout).
+func runPerfJSON(cfg bench.Config, path string) error {
+	rep, err := bench.RunPerf(cfg)
+	if err != nil {
+		return err
+	}
+	if path == "-" {
+		return bench.WritePerfJSON(os.Stdout, rep)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := bench.WritePerfJSON(f, rep); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func run(exp string, cfg bench.Config) error {
@@ -106,6 +144,12 @@ func run(exp string, cfg bench.Config) error {
 			if err := bench.RenderMotifs(os.Stdout, cfg); err != nil {
 				return err
 			}
+		case "perf":
+			rep, err := bench.RunPerf(cfg)
+			if err != nil {
+				return err
+			}
+			bench.RenderPerf(os.Stdout, rep)
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}

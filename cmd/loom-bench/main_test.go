@@ -1,6 +1,8 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
 	"testing"
 
 	"loom/internal/bench"
@@ -11,9 +13,32 @@ func tinyCfg() bench.Config {
 }
 
 func TestRunEachExperiment(t *testing.T) {
-	for _, exp := range []string{"table1", "fig4", "fig9", "table2", "ablation", "extensions", "motifs", "simulate"} {
+	for _, exp := range []string{"table1", "fig4", "fig9", "table2", "ablation", "extensions", "motifs", "simulate", "perf"} {
 		if err := run(exp, tinyCfg()); err != nil {
 			t.Errorf("%s: %v", exp, err)
+		}
+	}
+}
+
+func TestRunPerfJSON(t *testing.T) {
+	path := t.TempDir() + "/BENCH_test.json"
+	if err := runPerfJSON(tinyCfg(), path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep bench.PerfReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if len(rep.Rows) != len(bench.Systems) {
+		t.Fatalf("got %d rows, want %d", len(rep.Rows), len(bench.Systems))
+	}
+	for _, r := range rep.Rows {
+		if r.NsPerEdge <= 0 {
+			t.Errorf("%s/%s: non-positive ns/edge %v", r.Dataset, r.System, r.NsPerEdge)
 		}
 	}
 }

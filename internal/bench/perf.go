@@ -1,0 +1,157 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"text/tabwriter"
+	"time"
+
+	"loom/internal/graph"
+	"loom/internal/partition"
+	"loom/internal/workload"
+)
+
+// PerfRow is one partitioner's performance measurement on one dataset:
+// streaming cost per edge (time and allocation) plus the partitioning
+// quality it buys (ipt, absolute and relative to Hash).
+type PerfRow struct {
+	Dataset       string  `json:"dataset"`
+	System        string  `json:"system"`
+	Edges         int     `json:"edges"`
+	NsPerEdge     float64 `json:"ns_per_edge"`
+	AllocsPerEdge float64 `json:"allocs_per_edge"`
+	BytesPerEdge  float64 `json:"bytes_per_edge"`
+	IPT           float64 `json:"ipt"`
+	IPTPctOfHash  float64 `json:"ipt_pct_of_hash"`
+}
+
+// PerfReport is the machine-readable output of RunPerf: the harness
+// configuration that produced the rows, so BENCH_*.json files from
+// different commits are comparable.
+type PerfReport struct {
+	Scale      int       `json:"scale"`
+	Seed       int64     `json:"seed"`
+	K          int       `json:"k"`
+	WindowSize int       `json:"window_size"`
+	Reps       int       `json:"reps"`
+	GoVersion  string    `json:"go_version"`
+	Rows       []PerfRow `json:"rows"`
+}
+
+// perfReps is how many full-stream partitioning runs each timing
+// measurement averages over.
+const perfReps = 3
+
+// RunPerf measures every system's streaming cost and partitioning quality
+// per dataset: each measurement partitions the dataset's breadth-first
+// stream perfReps times (after one warm-up run) and averages wall time and
+// allocations per edge, then executes the workload once for ipt. It backs
+// loom-bench's -json output, the perf trajectory tracked across commits.
+func RunPerf(cfg Config) (*PerfReport, error) {
+	cfg = cfg.withDefaults()
+	rep := &PerfReport{
+		Scale:      cfg.Scale,
+		Seed:       cfg.Seed,
+		K:          cfg.K,
+		WindowSize: cfg.WindowSize,
+		Reps:       perfReps,
+		GoVersion:  runtime.Version(),
+	}
+	for _, ds := range cfg.Datasets {
+		p, err := prepare(ds, cfg)
+		if err != nil {
+			return nil, err
+		}
+		stream := graph.StreamOf(p.g, graph.OrderBFS, nil)
+		var hashIPT float64
+		start := len(rep.Rows)
+		for _, sys := range Systems {
+			row, err := perfOne(p, sys, stream, cfg)
+			if err != nil {
+				return nil, err
+			}
+			if sys == "hash" {
+				hashIPT = row.IPT
+			}
+			rep.Rows = append(rep.Rows, row)
+		}
+		for i := start; i < len(rep.Rows); i++ {
+			if hashIPT > 0 {
+				rep.Rows[i].IPTPctOfHash = 100 * rep.Rows[i].IPT / hashIPT
+			} else {
+				rep.Rows[i].IPTPctOfHash = 100
+			}
+		}
+	}
+	return rep, nil
+}
+
+func perfOne(p *prepared, sys string, stream graph.Stream, cfg Config) (PerfRow, error) {
+	run := func() (partition.Streamer, error) {
+		s, err := newSystem(sys, p, cfg.K, cfg.WindowSize, cfg.Threshold)
+		if err != nil {
+			return nil, err
+		}
+		for _, se := range stream {
+			s.ProcessEdge(se)
+		}
+		s.Flush()
+		return s, nil
+	}
+	// Warm-up run; its assignment also provides the ipt measurement.
+	s, err := run()
+	if err != nil {
+		return PerfRow{}, err
+	}
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < perfReps; i++ {
+		if _, err := run(); err != nil {
+			return PerfRow{}, err
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+
+	a := s.Assignment()
+	res, err := workload.Execute(p.g, a, p.wl, workload.Options{MaxMatchesPerQuery: cfg.MaxMatches})
+	if err != nil {
+		return PerfRow{}, err
+	}
+	edges := perfReps * len(stream)
+	return PerfRow{
+		Dataset:       p.name,
+		System:        sys,
+		Edges:         len(stream),
+		NsPerEdge:     float64(elapsed.Nanoseconds()) / float64(edges),
+		AllocsPerEdge: float64(after.Mallocs-before.Mallocs) / float64(edges),
+		BytesPerEdge:  float64(after.TotalAlloc-before.TotalAlloc) / float64(edges),
+		IPT:           res.IPT,
+		IPTPctOfHash:  100,
+	}, nil
+}
+
+// WritePerfJSON writes the report as indented JSON.
+func WritePerfJSON(w io.Writer, rep *PerfReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// RenderPerf writes the report as an aligned text table.
+func RenderPerf(w io.Writer, rep *PerfReport) {
+	fmt.Fprintf(w, "Streaming perf (scale %d, k %d, window %d, %d reps)\n",
+		rep.Scale, rep.K, rep.WindowSize, rep.Reps)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "dataset\tsystem\tns/edge\tallocs/edge\tB/edge\tipt\t% of hash")
+	for _, r := range rep.Rows {
+		fmt.Fprintf(tw, "%s\t%s\t%.0f\t%.3f\t%.0f\t%.0f\t%.1f%%\n",
+			r.Dataset, r.System, r.NsPerEdge, r.AllocsPerEdge, r.BytesPerEdge,
+			r.IPT, r.IPTPctOfHash)
+	}
+	tw.Flush()
+}

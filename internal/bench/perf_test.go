@@ -1,0 +1,49 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRunPerf(t *testing.T) {
+	cfg := Config{Scale: 900, Seed: 3, K: 2, WindowSize: 64, Datasets: []string{"provgen"}}
+	rep, err := RunPerf(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != len(Systems) {
+		t.Fatalf("got %d rows, want one per system (%d)", len(rep.Rows), len(Systems))
+	}
+	var hashPct float64
+	for _, r := range rep.Rows {
+		if r.NsPerEdge <= 0 || r.Edges <= 0 {
+			t.Errorf("%s: degenerate measurement %+v", r.System, r)
+		}
+		if r.System == "hash" {
+			hashPct = r.IPTPctOfHash
+		}
+	}
+	if hashPct != 100 {
+		t.Errorf("hash relative ipt = %v, want 100", hashPct)
+	}
+
+	var buf bytes.Buffer
+	if err := WritePerfJSON(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	var decoded PerfReport
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("round-trip failed: %v", err)
+	}
+	if len(decoded.Rows) != len(rep.Rows) {
+		t.Errorf("round-trip lost rows: %d != %d", len(decoded.Rows), len(rep.Rows))
+	}
+
+	var txt bytes.Buffer
+	RenderPerf(&txt, rep)
+	if !strings.Contains(txt.String(), "loom") {
+		t.Errorf("text render missing loom row:\n%s", txt.String())
+	}
+}

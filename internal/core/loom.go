@@ -31,10 +31,10 @@
 package core
 
 import (
+	"cmp"
 	"fmt"
 	"math"
 	"slices"
-	"sort"
 
 	"loom/internal/graph"
 	"loom/internal/intern"
@@ -139,7 +139,26 @@ type Loom struct {
 	ltab  *intern.LabelTable
 	stats Stats
 
-	evictEdges []window.IEdge // scratch: unique cluster edges per eviction
+	// Eviction-path scratch, reused across rounds so the steady-state
+	// eviction performs no allocation.
+	evictEdges []window.IEdge  // unique cluster edges per eviction
+	meBuf      []*window.Match // Me, the matches containing the evicted edge
+	bidCounts  []int32         // per-match K-vectors of partition counts (flat, K·maxCnt)
+	supports   []float64       // supp(mk) per support-sorted match prefix
+	rations    []float64       // l(Si) per partition
+	residuals  []float64       // 1 − |V(Si)|/C per partition
+	cnts       []int           // rationed prefix length per partition
+	totals     []float64       // running rationed bid total per partition
+	ccounts    []int           // clusterCounts accumulator (len K)
+	seenStamp  []uint32        // per dense vertex: epoch of last visit
+	epoch      uint32          // current clusterCounts epoch
+
+	// vlab caches each dense vertex's interned label code (−1 = not yet
+	// seen). Vertex labels are immutable for the life of the stream (the
+	// window's per-vertex r-value cache already relies on this), so after
+	// a vertex's first edge the per-edge path never hashes its label
+	// string again.
+	vlab []int32
 }
 
 // New builds a Loom over a TPSTry++ that already encodes the workload Q
@@ -162,19 +181,35 @@ func New(cfg Config, trie *tpstry.Trie) (*Loom, error) {
 	if cfg.Mode != ModeEqualOpportunism && cfg.Mode != ModeNaiveGreedy {
 		return nil, fmt.Errorf("core: unknown mode %q", cfg.Mode)
 	}
-	verts := intern.NewVertexTable(1024)
+	// The capacity constraint C = ν·n/k fixes the expected vertex count
+	// n = C·k/ν: pre-size every per-vertex structure for it (clamped so a
+	// wild capacity cannot force an absurd allocation), taking all
+	// incremental slice growth off the per-edge path.
+	expected := int(cfg.Capacity*float64(cfg.K)/cfg.MaxImbalance) + 1
+	if expected < 1024 {
+		expected = 1024
+	}
+	if expected > 1<<21 {
+		expected = 1 << 21
+	}
+	verts := intern.NewVertexTable(expected)
 	ltab := intern.NewLabelTable()
 	w := window.NewMatcherWith(trie, cfg.SupportThreshold, cfg.WindowSize, verts, ltab)
 	if cfg.MaxMatchesPerVertex > 0 {
 		w.SetMaxMatchesPerVertex(cfg.MaxMatchesPerVertex)
 	}
+	w.Reserve(expected)
+	tr := partition.NewTrackerWith(cfg.K, cfg.Capacity, verts)
+	tr.Reserve(expected)
 	return &Loom{
-		cfg:   cfg,
-		trie:  trie,
-		tr:    partition.NewTrackerWith(cfg.K, cfg.Capacity, verts),
-		win:   w,
-		verts: verts,
-		ltab:  ltab,
+		cfg:       cfg,
+		trie:      trie,
+		tr:        tr,
+		win:       w,
+		verts:     verts,
+		ltab:      ltab,
+		vlab:      make([]int32, 0, expected),
+		seenStamp: make([]uint32, 0, expected),
 	}, nil
 }
 
@@ -205,8 +240,8 @@ func (l *Loom) ProcessEdge(se graph.StreamEdge) {
 	// dense indices/codes exactly once; everything below runs on them.
 	ui := l.tr.Intern(se.U)
 	vi := l.tr.Intern(se.V)
-	cu := l.ltab.Intern(string(se.LU))
-	cv := l.ltab.Intern(string(se.LV))
+	cu := l.labelCodeOf(ui, se.LU)
+	cv := l.labelCodeOf(vi, se.LV)
 
 	node, ok := l.win.SingleEdgeMotifCodes(cu, cv)
 	if !ok || l.cfg.WindowSize == 0 {
@@ -230,6 +265,21 @@ func (l *Loom) ProcessEdge(se graph.StreamEdge) {
 	for l.win.OverCapacity() {
 		l.EvictOne()
 	}
+}
+
+// labelCodeOf returns the interned label code of the vertex at dense
+// index i, hashing the label string only on the vertex's first sighting
+// (vertex labels are immutable for the life of the stream).
+func (l *Loom) labelCodeOf(i uint32, lab graph.Label) uint16 {
+	for int(i) >= len(l.vlab) {
+		l.vlab = append(l.vlab, -1)
+	}
+	if c := l.vlab[i]; c >= 0 {
+		return uint16(c)
+	}
+	c := l.ltab.Intern(string(lab))
+	l.vlab[i] = int32(c)
+	return c
 }
 
 // assignImmediate places any unassigned endpoint with LDG — except
@@ -307,7 +357,8 @@ func (l *Loom) EvictOne() bool {
 	}
 	l.stats.Evictions++
 
-	me := l.win.MatchesContainingI(oldIE)
+	me := l.win.MatchesContainingI(oldIE, l.meBuf[:0])
+	l.meBuf = me
 	if len(me) == 0 {
 		// Unreachable in normal flow: the single-edge match exists while
 		// the edge does. Guard anyway: place endpoints by LDG.
@@ -371,30 +422,35 @@ func (l *Loom) EvictOne() bool {
 
 // sortBySupport orders Me in descending motif support; ties break toward
 // smaller matches (the §4 example assigns ⟨e1,m1⟩ and the 2-edge m3 before
-// the 3-edge m6), then lexicographic edge sets for determinism.
+// the 3-edge m6), then lexicographic edge sets for determinism. The
+// comparator is a total order over distinct matches, so the (unstable)
+// sort is deterministic; slices.SortFunc avoids sort.Slice's reflective,
+// allocating swapper on this per-eviction path.
 func (l *Loom) sortBySupport(me []*window.Match) {
-	sort.Slice(me, func(i, j int) bool {
-		si, sj := l.trie.SupportOf(me[i].Node), l.trie.SupportOf(me[j].Node)
-		if si != sj {
-			return si > sj
+	slices.SortFunc(me, func(a, b *window.Match) int {
+		// Raw weights order identically to normalised supports (shared
+		// positive divisor) and skip a division per comparison.
+		sa, sb := a.Node.SupportWeight(), b.Node.SupportWeight()
+		if sa != sb {
+			return cmp.Compare(sb, sa) // descending support
 		}
-		if len(me[i].Edges) != len(me[j].Edges) {
-			return len(me[i].Edges) < len(me[j].Edges)
+		if la, lb := len(a.Edges), len(b.Edges); la != lb {
+			return cmp.Compare(la, lb)
 		}
-		return lessEdges(me[i].Edges, me[j].Edges)
+		return compareEdgeSets(a.Edges, b.Edges)
 	})
 }
 
-func lessEdges(a, b []graph.Edge) bool {
+func compareEdgeSets(a, b []graph.Edge) int {
 	for i := 0; i < len(a) && i < len(b); i++ {
 		if a[i] != b[i] {
 			if a[i].U != b[i].U {
-				return a[i].U < b[i].U
+				return cmp.Compare(a[i].U, b[i].U)
 			}
-			return a[i].V < b[i].V
+			return cmp.Compare(a[i].V, b[i].V)
 		}
 	}
-	return len(a) < len(b)
+	return cmp.Compare(len(a), len(b))
 }
 
 // ration computes l(Si) (Eq. 2, corrected per DESIGN.md §5): 1 for the
@@ -420,8 +476,9 @@ func (l *Loom) ration(p partition.ID, smin int) float64 {
 	return l.cfg.Alpha * float64(base) / float64(size)
 }
 
-// bid computes Eq. 1 for one partition and match: N(Si, Ek)·(1 −
-// |V(Si)|/C)·supp(mk).
+// scatterBidCounts computes N(Si, Ek) for every partition Si in ONE pass
+// over the match's vertices and their observed neighbourhoods, writing the
+// K-vector into counts.
 //
 // N(Si, Ek) follows footnote 8 ("a generalisation of LDG's function N"):
 // LDG's N counts an edge's incident edges inside Si, so the sub-graph
@@ -430,42 +487,64 @@ func (l *Loom) ration(p partition.ID, smin int) float64 {
 // fresh single-edge match this reduces exactly to LDG's N(Si, e); the
 // printed |V(Si) ∩ V(Ek)| alone discards the neighbourhood signal LDG uses
 // (see DESIGN.md §5). Everything runs on dense indices: match vertices and
-// tracker adjacency are both interned, so scoring is pure slice traversal.
-func (l *Loom) bid(p partition.ID, m *window.Match) float64 {
-	n := 0
+// tracker adjacency are both interned, so the scatter is pure slice
+// traversal — O(|V(Ek)| + Σdeg) total, where the per-partition rewalk it
+// replaces cost K times that.
+func (l *Loom) scatterBidCounts(m *window.Match, counts []int32) {
+	for i := range counts {
+		counts[i] = 0
+	}
 	for _, v := range m.VertexIndices() {
-		if l.tr.PartOfIdx(v) == p {
-			n++
+		if p := l.tr.PartOfIdx(v); p != partition.Unassigned {
+			counts[p]++
 		}
 		for _, u := range l.tr.NeighborsIdx(v) {
-			if l.tr.PartOfIdx(u) == p {
-				n++
+			if p := l.tr.PartOfIdx(u); p != partition.Unassigned {
+				counts[p]++
 			}
 		}
 	}
-	if n == 0 {
-		return 0
+}
+
+// ensureBidScratch sizes the per-partition scratch vectors.
+func (l *Loom) ensureBidScratch(k int) {
+	if cap(l.rations) < k {
+		l.rations = make([]float64, k)
+		l.residuals = make([]float64, k)
+		l.totals = make([]float64, k)
+		l.cnts = make([]int, k)
 	}
-	b := float64(n) * l.tr.Residual(p)
-	if !l.cfg.DisableSupportWeight {
-		b *= l.trie.SupportOf(m.Node)
-	}
-	return b
+	l.rations = l.rations[:k]
+	l.residuals = l.residuals[:k]
+	l.totals = l.totals[:k]
+	l.cnts = l.cnts[:k]
 }
 
 // equalOpportunism runs Eq. 3: every partition totals its bids over the
 // first ⌈l(Si)·|Me|⌉ support-sorted matches; the winner takes exactly that
 // prefix. When every bid is zero (cold start or no overlap), the least
 // loaded partition takes its full ration.
+//
+// The evaluation is single-pass: each match in the longest rationed prefix
+// gets one K-vector of partition counts (scatterBidCounts), and all K
+// rationed prefix totals are then accumulated incrementally from those
+// vectors — Eq. 1 is never recomputed per partition. Per-partition bid
+// totals are summed in the same order (match index ascending, then scaled
+// by l(Si)) as the direct per-partition evaluation, so the floating-point
+// results — and hence placements — are bit-identical to it.
 func (l *Loom) equalOpportunism(me []*window.Match) (partition.ID, []*window.Match) {
+	k := l.tr.K()
 	smin := l.tr.MinSize()
-	best := partition.Unassigned
-	bestBid := 0.0
-	bestCnt := 0
-	for p := 0; p < l.tr.K(); p++ {
+	l.ensureBidScratch(k)
+	maxCnt := 0
+	for p := 0; p < k; p++ {
 		pid := partition.ID(p)
+		l.totals[p] = 0
+		l.residuals[p] = l.tr.Residual(pid)
 		ration := l.ration(pid, smin)
+		l.rations[p] = ration
 		if ration <= 0 {
+			l.cnts[p] = 0 // at the imbalance bound: receives no clusters
 			continue
 		}
 		cnt := int(math.Ceil(ration * float64(len(me))))
@@ -475,15 +554,60 @@ func (l *Loom) equalOpportunism(me []*window.Match) (partition.ID, []*window.Mat
 		if cnt < 1 {
 			cnt = 1
 		}
-		total := 0.0
-		for i := 0; i < cnt; i++ {
-			total += l.bid(pid, me[i])
+		l.cnts[p] = cnt
+		if cnt > maxCnt {
+			maxCnt = cnt
 		}
-		total *= ration // Eq. 3: l(Si) scales the rationed bid total
+	}
+
+	// One scatter per match in the longest prefix; supports cached once.
+	need := maxCnt * k
+	if cap(l.bidCounts) < need {
+		l.bidCounts = make([]int32, need)
+	}
+	l.bidCounts = l.bidCounts[:need]
+	if cap(l.supports) < maxCnt {
+		l.supports = make([]float64, maxCnt)
+	}
+	l.supports = l.supports[:maxCnt]
+	for i := 0; i < maxCnt; i++ {
+		l.scatterBidCounts(me[i], l.bidCounts[i*k:(i+1)*k])
+		l.supports[i] = l.trie.SupportOf(me[i].Node)
+	}
+
+	// Incremental prefix totals: match i contributes to every partition
+	// whose rationed prefix extends past i.
+	for i := 0; i < maxCnt; i++ {
+		counts := l.bidCounts[i*k : (i+1)*k]
+		for p := 0; p < k; p++ {
+			if i >= l.cnts[p] {
+				continue
+			}
+			n := counts[p]
+			if n == 0 {
+				continue
+			}
+			b := float64(n) * l.residuals[p]
+			if !l.cfg.DisableSupportWeight {
+				b *= l.supports[i]
+			}
+			l.totals[p] += b
+		}
+	}
+
+	best := partition.Unassigned
+	bestBid := 0.0
+	bestCnt := 0
+	for p := 0; p < k; p++ {
+		if l.cnts[p] == 0 {
+			continue
+		}
+		pid := partition.ID(p)
+		total := l.totals[p] * l.rations[p] // Eq. 3: l(Si) scales the rationed bid total
 		if total > bestBid ||
 			(total == bestBid && best != partition.Unassigned && l.tr.Size(pid) < l.tr.Size(best)) {
 			if total > 0 {
-				best, bestBid, bestCnt = pid, total, cnt
+				best, bestBid, bestCnt = pid, total, l.cnts[p]
 			}
 		}
 	}
@@ -511,15 +635,31 @@ func (l *Loom) equalOpportunism(me []*window.Match) (partition.ID, []*window.Mat
 
 // clusterCounts sums observed-neighbour counts per partition over the
 // distinct vertices of a cluster (the union of the matches' vertex sets).
+// The result is the reusable ccounts scratch, valid until the next call.
+// Vertex dedup across matches uses an epoch-stamp slice indexed by dense
+// vertex index instead of a freshly allocated set.
 func (l *Loom) clusterCounts(me []*window.Match) []int {
-	seen := make(map[uint32]struct{})
-	counts := make([]int, l.tr.K())
+	if cap(l.ccounts) < l.tr.K() {
+		l.ccounts = make([]int, l.tr.K())
+	}
+	counts := l.ccounts[:l.tr.K()]
+	for p := range counts {
+		counts[p] = 0
+	}
+	l.epoch++
+	if l.epoch == 0 { // stamp wraparound: invalidate all stamps
+		clear(l.seenStamp)
+		l.epoch = 1
+	}
 	for _, m := range me {
 		for _, v := range m.VertexIndices() {
-			if _, dup := seen[v]; dup {
+			for int(v) >= len(l.seenStamp) {
+				l.seenStamp = append(l.seenStamp, 0)
+			}
+			if l.seenStamp[v] == l.epoch {
 				continue
 			}
-			seen[v] = struct{}{}
+			l.seenStamp[v] = l.epoch
 			for p, c := range l.tr.NeighborCountsIdx(v) {
 				counts[p] += c
 			}

@@ -48,6 +48,10 @@ func TestSoakAllDatasets(t *testing.T) {
 			stream := graph.StreamOf(g, order, rand.New(rand.NewSource(5)))
 			l := datasetLoom(t, ds, g.NumVertices(), 4, 128)
 			maxWin := 0
+			// Bounded memory: the window FIFO must stay within a small
+			// multiple of the window capacity however long the stream
+			// runs (it compacts once tombstones dominate).
+			const fifoBound = 4*128 + 128
 			for _, se := range stream {
 				l.ProcessEdge(se)
 				if w := l.Window().Len(); w > maxWin {
@@ -55,6 +59,9 @@ func TestSoakAllDatasets(t *testing.T) {
 				}
 				if l.Window().Len() > 128 {
 					t.Fatalf("%s/%s: window exceeded capacity: %d", ds, order, l.Window().Len())
+				}
+				if f := l.Window().FIFOLen(); f > fifoBound {
+					t.Fatalf("%s/%s: window FIFO grew unbounded: %d entries", ds, order, f)
 				}
 			}
 			l.Flush()

@@ -26,41 +26,117 @@ const MaxLabels = 1 << 16
 
 // VertexTable interns external int64 vertex IDs as dense uint32 indices in
 // first-seen order.
+//
+// The index is a compact open-addressing table that stores only dense
+// indices (4 bytes per slot): a probe confirms occupancy by checking the
+// ids slice (ids[slot] == key), so external IDs are never duplicated in
+// the hash structure and the whole probe — hash, compare, advance — stays
+// inline in the ingest hot path, with no map runtime calls. Indices are
+// never deleted, so there are no tombstones.
 type VertexTable struct {
-	idx map[int64]uint32
-	ids []int64
+	slots []uint32 // dense index per slot; vtEmpty marks a free slot
+	ids   []int64  // dense index → external ID
 }
+
+// vtEmpty marks a free hash slot. It can never be a real dense index:
+// Intern panics before assigning index 2^32-1.
+const vtEmpty = ^uint32(0)
 
 // NewVertexTable returns an empty table pre-sized for capacityHint vertices.
 func NewVertexTable(capacityHint int) *VertexTable {
 	if capacityHint < 0 {
 		capacityHint = 0
 	}
-	return &VertexTable{
-		idx: make(map[int64]uint32, capacityHint),
-		ids: make([]int64, 0, capacityHint),
+	t := &VertexTable{ids: make([]int64, 0, capacityHint)}
+	if capacityHint > 0 {
+		t.grow(SlotsFor(capacityHint, 16))
 	}
+	return t
+}
+
+// SlotsFor returns the power-of-two slot count (at least min) that keeps
+// an open-addressing table's load under 3/4 for n entries. Shared by the
+// hot-path hash tables built on Mix64 (the vertex table here, the
+// window's edge table).
+func SlotsFor(n, min int) int {
+	s := min
+	for s*3 < n*4 {
+		s *= 2
+	}
+	return s
+}
+
+// Mix64 finishes a 64-bit key with splitmix64's avalanche, spreading
+// sequential IDs (or packed index pairs) over a power-of-two table.
+func Mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+func vtHash(id int64) uint64 { return Mix64(uint64(id)) }
+
+func (t *VertexTable) grow(n int) {
+	slots := make([]uint32, n)
+	for i := range slots {
+		slots[i] = vtEmpty
+	}
+	mask := uint64(n - 1)
+	for idx, id := range t.ids {
+		i := vtHash(id) & mask
+		for slots[i] != vtEmpty {
+			i = (i + 1) & mask
+		}
+		slots[i] = uint32(idx)
+	}
+	t.slots = slots
 }
 
 // Intern returns the dense index of id, assigning the next free index on
 // first use.
 func (t *VertexTable) Intern(id int64) uint32 {
-	if i, ok := t.idx[id]; ok {
-		return i
+	if (len(t.ids)+1)*4 > len(t.slots)*3 {
+		t.grow(SlotsFor(len(t.ids)+1, 16))
+	}
+	mask := uint64(len(t.slots) - 1)
+	i := vtHash(id) & mask
+	for {
+		v := t.slots[i]
+		if v == vtEmpty {
+			break
+		}
+		if t.ids[v] == id {
+			return v
+		}
+		i = (i + 1) & mask
 	}
 	if len(t.ids) >= int(^uint32(0)) {
 		panic("intern: vertex table overflow (2^32-1 vertices)")
 	}
-	i := uint32(len(t.ids))
-	t.idx[id] = i
+	idx := uint32(len(t.ids))
+	t.slots[i] = idx
 	t.ids = append(t.ids, id)
-	return i
+	return idx
 }
 
 // Lookup returns the dense index of id without interning it.
 func (t *VertexTable) Lookup(id int64) (uint32, bool) {
-	i, ok := t.idx[id]
-	return i, ok
+	if len(t.slots) == 0 {
+		return 0, false
+	}
+	mask := uint64(len(t.slots) - 1)
+	for i := vtHash(id) & mask; ; i = (i + 1) & mask {
+		v := t.slots[i]
+		if v == vtEmpty {
+			return 0, false
+		}
+		if t.ids[v] == id {
+			return v, true
+		}
+	}
 }
 
 // ID returns the external ID at dense index i. It panics if i has not been
@@ -81,14 +157,10 @@ func (t *VertexTable) IDs() []int64 { return t.ids }
 
 // Clone returns a deep copy of the table.
 func (t *VertexTable) Clone() *VertexTable {
-	c := &VertexTable{
-		idx: make(map[int64]uint32, len(t.idx)),
-		ids: append([]int64(nil), t.ids...),
+	return &VertexTable{
+		slots: append([]uint32(nil), t.slots...),
+		ids:   append([]int64(nil), t.ids...),
 	}
-	for id, i := range t.idx {
-		c.idx[id] = i
-	}
-	return c
 }
 
 // LabelTable interns label strings as dense uint16 codes in first-seen

@@ -222,6 +222,21 @@ func (t *Tracker) Capacity() float64 { return t.capacity }
 // Verts returns the tracker's vertex table.
 func (t *Tracker) Verts() *intern.VertexTable { return t.verts }
 
+// Reserve pre-sizes the per-vertex slices for n vertices, so a stream
+// whose vertex count is known (or derivable from the capacity constraint)
+// pays no incremental growth in the per-edge path.
+func (t *Tracker) Reserve(n int) {
+	if n <= cap(t.parts) {
+		return
+	}
+	parts := make([]ID, len(t.parts), n)
+	copy(parts, t.parts)
+	t.parts = parts
+	nbrs := make([][]uint32, len(t.nbrs), n)
+	copy(nbrs, t.nbrs)
+	t.nbrs = nbrs
+}
+
 // ensure grows the per-vertex slices to cover dense index i (the shared
 // table may have been grown by another component).
 func (t *Tracker) ensure(i uint32) {

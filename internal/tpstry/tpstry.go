@@ -91,6 +91,9 @@ type Trie struct {
 	// queries records (graph, frequency) pairs for introspection and
 	// re-thresholding.
 	queries []WorkloadEntry
+	// version counts workload mutations; consumers that memoise motif
+	// decisions (the window's single-edge gate cache) invalidate on it.
+	version int
 }
 
 // WorkloadEntry is one (query graph, relative frequency) pair of Q.
@@ -251,8 +254,14 @@ func (t *Trie) AddQuery(q *graph.Graph, freq float64) error {
 	}
 	t.total += freq
 	t.queries = append(t.queries, WorkloadEntry{Query: q, Freq: freq})
+	t.version++
 	return nil
 }
+
+// Version returns a counter incremented by every workload mutation.
+// Cached motif decisions (supports change with every AddQuery) are valid
+// only while the version is unchanged.
+func (t *Trie) Version() int { return t.version }
 
 // ensureChild returns parent's child along delta d, creating the node
 // and/or the link as needed. makeRep lazily builds a representative graph
@@ -288,6 +297,13 @@ func (t *Trie) SupportOf(n *Node) float64 {
 	}
 	return n.support / t.total
 }
+
+// SupportWeight returns a node's raw (unnormalised) support weight.
+// Because every normalised support shares the positive divisor
+// TotalWeight, comparing raw weights orders nodes exactly as comparing
+// SupportOf does — division-free, for sort comparators on hot paths.
+// (With no queries added, all weights are 0, matching SupportOf.)
+func (n *Node) SupportWeight() float64 { return n.support }
 
 // IsMotif reports whether n's normalised support meets threshold (§1.3's
 // "query motif": a graph occurring with frequency above threshold T).

@@ -1,0 +1,265 @@
+package window
+
+// Degradation-path tests: per-vertex match caps, removal of unknown or
+// duplicate edges, match dedup, and the bounded-memory FIFO guarantee
+// under streams much longer than the window.
+
+import (
+	"math/rand"
+	"testing"
+
+	"loom/internal/graph"
+	"loom/internal/pattern"
+	"loom/internal/signature"
+	"loom/internal/tpstry"
+)
+
+// starTrie matches a hub-and-spoke workload so every new leaf edge
+// multiplies matches at the hub vertex.
+func starTrie(t testing.TB) *tpstry.Trie {
+	t.Helper()
+	trie := tpstry.New(signature.NewScheme(signature.DefaultP, 5))
+	if err := trie.AddQuery(pattern.Star("h", "a", "a", "a", "a"), 1); err != nil {
+		t.Fatal(err)
+	}
+	return trie
+}
+
+func TestMaxPerVertexCapStillEvicts(t *testing.T) {
+	w := NewMatcher(starTrie(t), 0.1, 1000)
+	w.SetMaxMatchesPerVertex(1)
+	// With cap 1 the hub's single-edge match of the FIRST leaf edge takes
+	// the only slot; later edges' matches (including their own single-edge
+	// matches) are refused. The window must keep functioning: every edge
+	// remains buffered, removable, and the matchList stays consistent.
+	for i := 0; i < 20; i++ {
+		se := graph.StreamEdge{U: 1, LU: "h", V: graph.VertexID(i + 2), LV: "a"}
+		if err := w.Insert(se); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Len() != 20 {
+		t.Fatalf("Len = %d, want 20", w.Len())
+	}
+	if got := len(w.byVertex[0]); got > 1 {
+		t.Fatalf("hub holds %d matches, cap 1", got)
+	}
+	// A capped edge has no matches: the caller's eviction path falls back
+	// to per-vertex LDG, and removal must still clean it up.
+	uncapped := 0
+	for _, se := range w.WindowEdges() {
+		if len(w.MatchesContaining(se.Edge())) > 0 {
+			uncapped++
+		}
+		w.RemoveEdges([]graph.Edge{se.Edge().Norm()})
+	}
+	if uncapped == 0 {
+		t.Error("expected at least the first edge to keep its match")
+	}
+	if !w.Empty() || w.NumMatches() != 0 {
+		t.Errorf("after draining: Len=%d matches=%d", w.Len(), w.NumMatches())
+	}
+	for i, rc := range w.vertexRC {
+		if rc != 0 {
+			t.Errorf("vertex %d refcount %d after drain", i, rc)
+		}
+	}
+}
+
+func TestRemoveIEdgesDuplicatesAndUnknown(t *testing.T) {
+	w := NewMatcher(fig5Trie(t), 0.4, 100)
+	for _, e := range fig5Edges() {
+		if err := w.Insert(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n := w.Len()
+	e12, ok := w.lookupIEdge(graph.Edge{U: 1, V: 2})
+	if !ok {
+		t.Fatal("edge (1,2) not interned")
+	}
+	// One removal list holding the same edge three times (normalised and
+	// flipped) plus edges the window has never seen: the edge must come
+	// out exactly once, with no panic and no refcount underflow.
+	w.RemoveIEdges([]IEdge{
+		e12,
+		{e12.V, e12.U},
+		e12,
+		{900, 901}, // never interned
+	})
+	if got := w.Len(); got != n-1 {
+		t.Fatalf("Len = %d, want %d", got, n-1)
+	}
+	if w.HasEdge(graph.Edge{U: 1, V: 2}) {
+		t.Error("edge still reported buffered")
+	}
+	for i, rc := range w.vertexRC {
+		if rc < 0 {
+			t.Errorf("vertex %d refcount underflow: %d", i, rc)
+		}
+	}
+	// Removing it again (now unknown) is a no-op.
+	w.RemoveIEdges([]IEdge{e12})
+	if got := w.Len(); got != n-1 {
+		t.Fatalf("second removal changed Len to %d", got)
+	}
+}
+
+func TestAddMatchDedup(t *testing.T) {
+	w := NewMatcher(fig5Trie(t), 0.4, 100)
+	se := graph.StreamEdge{U: 1, LU: "a", V: 2, LV: "b"}
+	if err := w.Insert(se); err != nil {
+		t.Fatal(err)
+	}
+	live := w.NumMatches()
+	ie, _ := w.lookupIEdge(graph.Edge{U: 1, V: 2})
+	existing := w.MatchesContaining(graph.Edge{U: 1, V: 2})
+	if len(existing) != 1 {
+		t.Fatalf("want exactly the single-edge match, got %d", len(existing))
+	}
+	// Recording the same (edge set, node) pair again must return the
+	// canonical match, not create a second one, and must recycle the
+	// rejected candidate through the freelist.
+	dup := w.acquireMatch()
+	dup.Edges = append(dup.Edges, graph.Edge{U: 1, V: 2})
+	dup.iedges = append(dup.iedges, ie)
+	poolBefore := len(w.pool)
+	got, created := w.addMatch(dup, existing[0].Node)
+	if created || got != existing[0] {
+		t.Errorf("dedup failed: created=%v got=%p want=%p", created, got, existing[0])
+	}
+	if w.NumMatches() != live {
+		t.Errorf("live matches %d, want %d", w.NumMatches(), live)
+	}
+	if len(w.pool) != poolBefore+1 {
+		t.Errorf("rejected duplicate not pooled: pool %d → %d", poolBefore, len(w.pool))
+	}
+}
+
+func TestMatchPoolingRecycles(t *testing.T) {
+	trie := fig5Trie(t)
+	w := NewMatcher(trie, 0.4, 100)
+	run := func() {
+		for _, e := range fig5Edges() {
+			if err := w.Insert(e); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// The fig5 window holds the matches of §3's worked example; spot
+		// check one joined match before draining.
+		if got := len(w.MatchesContaining(graph.Edge{U: 1, V: 2})); got < 2 {
+			t.Fatalf("expected grown matches on (1,2), got %d", got)
+		}
+		for !w.Empty() {
+			_, ie, _ := w.OldestI()
+			w.RemoveIEdges([]IEdge{ie})
+		}
+	}
+	run()
+	if len(w.pool) == 0 {
+		t.Fatal("draining produced no pooled matches")
+	}
+	// The second identical run must reuse pooled matches and reproduce
+	// the same matchList shape.
+	run()
+	if w.NumMatches() != 0 {
+		t.Errorf("matches leaked across runs: %d", w.NumMatches())
+	}
+}
+
+// TestReinsertedEdgeAges asserts that an edge removed mid-window and
+// later re-inserted gets a fresh FIFO position: the stale tombstoned
+// entry must not resurrect and cause a near-immediate eviction.
+func TestReinsertedEdgeAges(t *testing.T) {
+	w := NewMatcher(chainTrie(t), 0.4, 1000)
+	mk := func(u, v graph.VertexID) graph.StreamEdge {
+		lu, lv := graph.Label("a"), graph.Label("a")
+		if u%2 == 0 {
+			lu = "b"
+		}
+		if v%2 == 0 {
+			lv = "b"
+		}
+		return graph.StreamEdge{U: u, LU: lu, V: v, LV: lv}
+	}
+	if err := w.Insert(mk(1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Insert(mk(3, 4)); err != nil {
+		t.Fatal(err)
+	}
+	// Remove (1,2) from the middle of the window, then re-insert it: it
+	// is now the NEWEST edge and must age behind (3,4).
+	w.RemoveEdges([]graph.Edge{{U: 1, V: 2}})
+	if err := w.Insert(mk(1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	old, ok := w.Oldest()
+	if !ok {
+		t.Fatal("window unexpectedly empty")
+	}
+	if old.Edge().Norm() != (graph.Edge{U: 3, V: 4}) {
+		t.Fatalf("oldest = %v, want the un-removed (3,4): stale FIFO entry resurrected", old.Edge())
+	}
+	// Order must survive compaction and full drain.
+	got := w.WindowEdges()
+	if len(got) != 2 || got[0].Edge().Norm() != (graph.Edge{U: 3, V: 4}) || got[1].Edge().Norm() != (graph.Edge{U: 1, V: 2}) {
+		t.Fatalf("WindowEdges order wrong: %v", got)
+	}
+}
+
+// TestFIFOBoundedOnLongStream is the bounded-memory soak: a stream two
+// orders of magnitude longer than the window must not grow the internal
+// FIFO beyond a small multiple of the window capacity (the pre-compaction
+// behaviour retained one entry per stream edge for the life of the
+// matcher).
+func TestFIFOBoundedOnLongStream(t *testing.T) {
+	const capEdges = 64
+	trie := chainTrie(t)
+	w := NewMatcher(trie, 0.4, capEdges)
+	r := rand.New(rand.NewSource(7))
+	bound := 4*capEdges + 2*minCompactFIFO
+	inserted, maxFIFO := 0, 0
+	for inserted < 100*capEdges {
+		u := graph.VertexID(r.Intn(300) + 1)
+		v := graph.VertexID(r.Intn(300) + 1)
+		if u == v {
+			continue
+		}
+		lu, lv := graph.Label("a"), graph.Label("a")
+		if u%2 == 0 {
+			lu = "b"
+		}
+		if v%2 == 0 {
+			lv = "b"
+		}
+		se := graph.StreamEdge{U: u, LU: lu, V: v, LV: lv}
+		if _, ok := w.SingleEdgeMotif(se); !ok {
+			continue
+		}
+		if err := w.Insert(se); err != nil {
+			continue // duplicate of a buffered edge
+		}
+		inserted++
+		for w.OverCapacity() {
+			_, ie, ok := w.OldestI()
+			if !ok {
+				t.Fatal("over capacity with no oldest edge")
+			}
+			// Remove the evicted edge together with the edges of one of
+			// its matches, like Loom's cluster assignment does, so the
+			// FIFO accumulates interior tombstones too.
+			if me := w.MatchesContainingI(ie, nil); len(me) > 0 {
+				w.RemoveIEdges(me[len(me)-1].IEdges())
+			}
+			w.RemoveIEdges([]IEdge{ie})
+		}
+		if f := w.FIFOLen(); f > maxFIFO {
+			maxFIFO = f
+		}
+	}
+	if maxFIFO > bound {
+		t.Errorf("FIFO grew to %d entries for a %d-edge window (bound %d)", maxFIFO, capEdges, bound)
+	}
+	t.Logf("inserted %d edges; FIFO peak %d (window %d)", inserted, maxFIFO, capEdges)
+}

@@ -1,0 +1,134 @@
+package window
+
+import "loom/internal/intern"
+
+// edgeTable is the window's edge index: an open-addressing hash table
+// keyed by the packed uint64 form of a normalised IEdge, holding the
+// matchList entry (the live matches containing the edge) inline in each
+// slot. It replaces the former pair of Go maps (inWindow set + byEdge
+// match index) with a single probe per lookup, no per-key hashing of
+// composite structs, and slot storage that is recycled in place — the
+// eviction hot path performs no steady-state allocation against it.
+//
+// Key encoding: a normalised edge (U <= V, U != V) packs to
+// uint64(U)<<32 | uint64(V). Self-loops are rejected upstream, so the
+// packed values 0 (U = V = 0) and ^uint64(0) (U = V = MaxUint32) can
+// never occur as keys; they serve as the empty and tombstone sentinels.
+const (
+	etEmpty = uint64(0)
+	etTomb  = ^uint64(0)
+)
+
+// packIEdge packs a normalised interned edge into its table key.
+func packIEdge(e IEdge) uint64 { return uint64(e.U)<<32 | uint64(e.V) }
+
+type edgeSlot struct {
+	key     uint64
+	seq     uint64 // insertion sequence; pairs FIFO entries with THIS residency
+	matches []*Match
+}
+
+type edgeTable struct {
+	slots []edgeSlot // len is a power of two
+	live  int        // keys present
+	used  int        // keys present + tombstones
+}
+
+// etHash finishes the packed key with intern.Mix64 (splitmix64's
+// avalanche): consecutive dense vertex indices otherwise collide in the
+// low bits that index the slot array.
+func etHash(pk uint64) uint64 { return intern.Mix64(pk) }
+
+// Len returns the number of edges in the table.
+func (t *edgeTable) Len() int { return t.live }
+
+// get returns the slot for pk, or nil. The pointer is valid until the
+// next insert (which may rehash).
+func (t *edgeTable) get(pk uint64) *edgeSlot {
+	if t.live == 0 {
+		return nil
+	}
+	mask := uint64(len(t.slots) - 1)
+	for i := etHash(pk) & mask; ; i = (i + 1) & mask {
+		s := &t.slots[i]
+		switch s.key {
+		case pk:
+			return s
+		case etEmpty:
+			return nil
+		}
+	}
+}
+
+// has reports whether pk is in the table.
+func (t *edgeTable) has(pk uint64) bool { return t.get(pk) != nil }
+
+// insert adds pk (which must not be present) and returns its slot, with
+// matches reset to length zero (capacity recycled from a prior occupant
+// of the slot, if any). The pointer is valid until the next insert.
+func (t *edgeTable) insert(pk uint64) *edgeSlot {
+	if len(t.slots) == 0 || (t.used+1)*4 > len(t.slots)*3 {
+		t.rehash()
+	}
+	mask := uint64(len(t.slots) - 1)
+	for i := etHash(pk) & mask; ; i = (i + 1) & mask {
+		s := &t.slots[i]
+		switch s.key {
+		case etEmpty:
+			t.used++
+			fallthrough
+		case etTomb:
+			s.key = pk
+			s.matches = s.matches[:0]
+			t.live++
+			return s
+		}
+	}
+}
+
+// remove deletes pk if present, reporting whether it was. The slot's
+// match list capacity is retained for the next occupant.
+func (t *edgeTable) remove(pk uint64) bool {
+	s := t.get(pk)
+	if s == nil {
+		return false
+	}
+	t.removeSlot(s)
+	return true
+}
+
+// removeSlot deletes a slot the caller already probed for, skipping the
+// second probe remove would pay.
+func (t *edgeTable) removeSlot(s *edgeSlot) {
+	s.key = etTomb
+	s.matches = s.matches[:0]
+	t.live--
+}
+
+// rehash rebuilds the slot array: doubled when genuinely full, same size
+// when tombstones account for the load (the steady state of a sliding
+// window, which inserts and removes at the same rate).
+func (t *edgeTable) rehash() {
+	n := len(t.slots)
+	switch {
+	case n == 0:
+		n = 64
+	case (t.live+1)*2 > n:
+		n *= 2
+	}
+	old := t.slots
+	t.slots = make([]edgeSlot, n)
+	t.used = t.live
+	mask := uint64(n - 1)
+	for _, s := range old {
+		if s.key == etEmpty || s.key == etTomb {
+			continue
+		}
+		for i := etHash(s.key) & mask; ; i = (i + 1) & mask {
+			if t.slots[i].key == etEmpty {
+				t.slots[i] = s
+				break
+			}
+		}
+	}
+}

@@ -155,18 +155,33 @@ type Matcher struct {
 	vertexRC []int32  // window edges touching the vertex
 	byVertex [][]*Match
 
-	fifo     []winEdge
-	head     int
-	inWindow map[IEdge]bool
-	count    int
+	fifo  []winEdge
+	head  int
+	edges edgeTable // buffered edges + per-edge matchList (packed keys)
+	seq   uint64    // insertion counter; see winEdge.seq
+	live  int       // live matches
 
-	byEdge map[IEdge][]*Match
-	live   int // live matches
+	// Single-edge motif gate memo: (cu, cv) → trie node (nil = no motif),
+	// valid while the trie's workload version is unchanged. The gate runs
+	// once per stream edge; the label alphabet is tiny, so after warm-up
+	// it is one small-map probe instead of a signature delta + trie walk.
+	gate    map[uint32]*tpstry.Node
+	gateVer int
+
+	// Freelists and scratch for the per-edge and eviction hot paths:
+	// everything here is recycled so steady-state operation performs no
+	// allocation.
+	pool     []*Match  // dead matches awaiting reuse (edge/vertex slices kept)
+	killed   []*Match  // RemoveIEdges scratch
+	joinRest []IEdge   // tryJoin: edges of the smaller match not in the larger
+	growSeed []IEdge   // tryJoin/grow: the growing edge set (cap maxEdges)
+	growRest [][]IEdge // grow: per-depth remaining-edge scratch
 }
 
 type winEdge struct {
-	se graph.StreamEdge
-	ie IEdge
+	se  graph.StreamEdge
+	ie  IEdge
+	seq uint64 // matches the edge slot's seq while THIS entry is the live one
 }
 
 // NewMatcher builds a window of the given capacity (the paper's t, default
@@ -183,25 +198,63 @@ func NewMatcherWith(trie *tpstry.Trie, threshold float64, capacity int, verts *i
 	if capacity < 0 {
 		panic(fmt.Sprintf("window: negative capacity %d", capacity))
 	}
+	maxEdges := trie.MaxMotifEdges(threshold)
 	return &Matcher{
 		trie:      trie,
 		scheme:    trie.Scheme(),
 		threshold: threshold,
 		capacity:  capacity,
-		maxEdges:  trie.MaxMotifEdges(threshold),
+		maxEdges:  maxEdges,
 		maxPerV:   DefaultMaxMatchesPerVertex,
 		verts:     verts,
 		ltab:      ltab,
-		inWindow:  make(map[IEdge]bool),
-		byEdge:    make(map[IEdge][]*Match),
+		growSeed:  make([]IEdge, 0, maxEdges),
+		growRest:  make([][]IEdge, maxEdges+1),
 	}
 }
 
 // SetMaxMatchesPerVertex overrides the per-vertex match cap.
 func (w *Matcher) SetMaxMatchesPerVertex(n int) { w.maxPerV = n }
 
+// Reserve pre-sizes the per-vertex slices for n vertices and the edge
+// index and FIFO for the window capacity, eliminating incremental growth
+// from the per-edge path when the stream's vertex count is known. Large
+// reservations are clamped; the structures still grow on demand.
+func (w *Matcher) Reserve(n int) {
+	const maxReserve = 1 << 21
+	if n > maxReserve {
+		n = maxReserve
+	}
+	if n > cap(w.vrval) {
+		vrval := make([]uint32, len(w.vrval), n)
+		copy(vrval, w.vrval)
+		w.vrval = vrval
+		vcode := make([]uint16, len(w.vcode), n)
+		copy(vcode, w.vcode)
+		w.vcode = vcode
+		rc := make([]int32, len(w.vertexRC), n)
+		copy(rc, w.vertexRC)
+		w.vertexRC = rc
+		byV := make([][]*Match, len(w.byVertex), n)
+		copy(byV, w.byVertex)
+		w.byVertex = byV
+	}
+	edges := w.capacity + 1
+	if edges > maxReserve {
+		edges = maxReserve
+	}
+	if len(w.edges.slots) == 0 && edges > 32 {
+		w.edges.slots = make([]edgeSlot, intern.SlotsFor(edges, 64))
+	}
+	if cap(w.fifo) < edges {
+		fifo := make([]winEdge, len(w.fifo), edges)
+		copy(fifo, w.fifo)
+		w.fifo = fifo
+	}
+}
+
 // Len returns the number of edges currently in the window.
-func (w *Matcher) Len() int { return w.count }
+func (w *Matcher) Len() int { return w.edges.Len() }
 
 // Capacity returns the window size t.
 func (w *Matcher) Capacity() int { return w.capacity }
@@ -209,10 +262,10 @@ func (w *Matcher) Capacity() int { return w.capacity }
 // OverCapacity reports whether the window holds more than t edges, i.e. an
 // eviction is due ("each new edge added to a full window causes the oldest
 // edge to be dropped", §4).
-func (w *Matcher) OverCapacity() bool { return w.count > w.capacity }
+func (w *Matcher) OverCapacity() bool { return w.edges.Len() > w.capacity }
 
 // Empty reports whether the window holds no edges.
-func (w *Matcher) Empty() bool { return w.count == 0 }
+func (w *Matcher) Empty() bool { return w.edges.Len() == 0 }
 
 // NumMatches returns the number of live matches (diagnostics).
 func (w *Matcher) NumMatches() int { return w.live }
@@ -276,14 +329,44 @@ func (w *Matcher) HasVertex(v graph.VertexID) bool {
 // SingleEdgeMotifCodes returns the TPSTry++ node for the single-edge motif
 // over interned label codes (cu, cv), if one exists at the current
 // threshold. This is the gate of §3: edges failing it never enter the
-// window.
+// window. Decisions are memoised per label pair until the trie's workload
+// changes (supports — and so motif-hood — move with every AddQuery).
 func (w *Matcher) SingleEdgeMotifCodes(cu, cv uint16) (*tpstry.Node, bool) {
+	if v := w.trie.Version(); w.gate == nil || w.gateVer != v {
+		if w.gate == nil {
+			w.gate = make(map[uint32]*tpstry.Node, 64)
+		} else {
+			clear(w.gate)
+		}
+		w.gateVer = v
+		// A workload change also moves the largest-motif bound; matches
+		// already larger than a shrunken bound simply stop growing.
+		w.maxEdges = w.trie.MaxMotifEdges(w.threshold)
+		w.ensureGrowScratch()
+	}
+	key := uint32(cu)<<16 | uint32(cv)
+	if n, ok := w.gate[key]; ok {
+		return n, n != nil
+	}
 	d := w.scheme.EdgeDeltaVals(w.labelVal(cu), 0, w.labelVal(cv), 0)
 	n, ok := w.trie.Root().ChildByDelta(d)
 	if !ok || !w.trie.IsMotif(n, w.threshold) {
+		w.gate[key] = nil
 		return nil, false
 	}
+	w.gate[key] = n
 	return n, true
+}
+
+// ensureGrowScratch re-sizes the join/grow scratch for the current
+// maxEdges (which can grow when queries are added to the trie).
+func (w *Matcher) ensureGrowScratch() {
+	if cap(w.growSeed) < w.maxEdges {
+		w.growSeed = make([]IEdge, 0, w.maxEdges)
+	}
+	for len(w.growRest) < w.maxEdges+1 {
+		w.growRest = append(w.growRest, nil)
+	}
 }
 
 // SingleEdgeMotif is SingleEdgeMotifCodes for a raw stream edge, interning
@@ -319,13 +402,13 @@ func (w *Matcher) InsertInterned(e graph.StreamEdge, ui, vi uint32, cu, cv uint1
 		return fmt.Errorf("window: self-loop %v", e)
 	}
 	ie := IEdge{ui, vi}.norm()
-	if w.inWindow[ie] {
+	if w.edges.has(packIEdge(ie)) {
 		return fmt.Errorf("window: duplicate edge %v", e.Edge().Norm())
 	}
 
-	w.fifo = append(w.fifo, winEdge{se: e, ie: ie})
-	w.inWindow[ie] = true
-	w.count++
+	w.seq++
+	w.fifo = append(w.fifo, winEdge{se: e, ie: ie, seq: w.seq})
+	w.edges.insert(packIEdge(ie)).seq = w.seq
 	w.ensureVertex(ui, cu)
 	w.ensureVertex(vi, cv)
 	w.vertexRC[ui]++
@@ -333,7 +416,10 @@ func (w *Matcher) InsertInterned(e graph.StreamEdge, ui, vi uint32, cu, cv uint1
 
 	// The new single-edge match ⟨{e}, m⟩.
 	norm := e.Edge().Norm()
-	w.addMatch([]graph.Edge{norm}, []IEdge{ie}, node)
+	m := w.acquireMatch()
+	m.Edges = append(m.Edges, norm)
+	m.iedges = append(m.iedges, ie)
+	w.addMatch(m, node)
 
 	// Alg. 2 lines 3–8: grow each existing match connected to e. Slice
 	// headers are stable snapshots: matches added below are appended to
@@ -374,9 +460,10 @@ func (w *Matcher) tryGrow(m *Match, norm graph.Edge, ie IEdge) {
 	}
 	d := w.deltaFor(ie, m.iedges)
 	if c, ok := m.Node.ChildByDelta(d); ok && w.trie.IsMotif(c, w.threshold) {
-		edges := append(append([]graph.Edge(nil), m.Edges...), norm)
-		iedges := append(append([]IEdge(nil), m.iedges...), ie)
-		w.addMatch(edges, iedges, c)
+		nm := w.acquireMatch()
+		nm.Edges = append(append(nm.Edges, m.Edges...), norm)
+		nm.iedges = append(append(nm.iedges, m.iedges...), ie)
+		w.addMatch(nm, c)
 	}
 }
 
@@ -428,40 +515,70 @@ func sameIEdges(a, b []IEdge) bool {
 	return true
 }
 
-// addMatch records a match if it is new and the per-vertex cap allows,
-// returning the canonical *Match (existing or new) and whether it was
-// created. edges and iedges must describe the same edge set; both are
-// sorted in place into canonical order.
-func (w *Matcher) addMatch(edges []graph.Edge, iedges []IEdge, node *tpstry.Node) (*Match, bool) {
-	slices.SortFunc(edges, compareEdges)
-	slices.SortFunc(iedges, CompareIEdges)
+// acquireMatch returns a match from the freelist (or a fresh one), with
+// empty edge/vertex slices whose capacity is recycled from a prior life.
+func (w *Matcher) acquireMatch() *Match {
+	if n := len(w.pool); n > 0 {
+		m := w.pool[n-1]
+		w.pool[n-1] = nil
+		w.pool = w.pool[:n-1]
+		return m
+	}
+	return &Match{}
+}
+
+// releaseMatch returns an unlinked match to the freelist. The caller must
+// guarantee no index entry still references it (freshly rejected by
+// addMatch, or killed and unlinked by RemoveIEdges).
+func (w *Matcher) releaseMatch(m *Match) {
+	m.Edges = m.Edges[:0]
+	m.iedges = m.iedges[:0]
+	m.verts = m.verts[:0]
+	m.Node = nil
+	m.dead = false
+	w.pool = append(w.pool, m)
+}
+
+// addMatch canonicalises and records an acquired match if it is new and
+// the per-vertex cap allows, returning the canonical *Match (existing or
+// new) and whether it was created. m.Edges and m.iedges must describe the
+// same edge set, every edge of which is buffered in the window; m.verts
+// is derived here. A duplicate or capped match is released back to the
+// freelist.
+func (w *Matcher) addMatch(m *Match, node *tpstry.Node) (*Match, bool) {
+	m.Node = node
+	slices.SortFunc(m.Edges, compareEdges)
+	slices.SortFunc(m.iedges, CompareIEdges)
 	// Dedup: an identical match (same edge set, same motif node) already
-	// hangs off any of its edges' byEdge lists.
-	for _, m := range w.byEdge[iedges[0]] {
-		if !m.dead && m.Node == node && sameIEdges(m.iedges, iedges) {
-			return m, false
+	// hangs off any of its edges' matchList entries.
+	if slot := w.edges.get(packIEdge(m.iedges[0])); slot != nil {
+		for _, ex := range slot.matches {
+			if !ex.dead && ex.Node == node && sameIEdges(ex.iedges, m.iedges) {
+				w.releaseMatch(m)
+				return ex, false
+			}
 		}
 	}
 	// Distinct vertices, sorted.
-	verts := make([]uint32, 0, len(iedges)+1)
-	for _, e := range iedges {
-		verts = append(verts, e.U, e.V)
+	for _, e := range m.iedges {
+		m.verts = append(m.verts, e.U, e.V)
 	}
-	slices.Sort(verts)
-	verts = slices.Compact(verts)
+	slices.Sort(m.verts)
+	m.verts = slices.Compact(m.verts)
 
-	for _, v := range verts {
+	for _, v := range m.verts {
 		if len(w.byVertex[v]) >= w.maxPerV {
+			w.releaseMatch(m)
 			return nil, false // cap: do not record (graceful degradation)
 		}
 	}
-	m := &Match{Edges: edges, Node: node, iedges: iedges, verts: verts}
 	w.live++
-	for _, v := range verts {
+	for _, v := range m.verts {
 		w.byVertex[v] = append(w.byVertex[v], m)
 	}
-	for _, e := range iedges {
-		w.byEdge[e] = append(w.byEdge[e], m)
+	for _, e := range m.iedges {
+		slot := w.edges.get(packIEdge(e))
+		slot.matches = append(slot.matches, m)
 	}
 	return m, true
 }
@@ -469,42 +586,50 @@ func (w *Matcher) addMatch(edges []graph.Edge, iedges []IEdge, node *tpstry.Node
 // tryJoin attempts to combine two matches (Alg. 2 lines 11–18): edges of
 // the smaller match are added to the larger one at a time; every
 // intermediate step must land on a motif node of the trie. On success the
-// combined match is recorded.
+// combined match is recorded. All intermediate state lives in reusable
+// scratch buffers (joinRest, growSeed, growRest).
 func (w *Matcher) tryJoin(m1, m2 *Match) {
 	// Grow the larger by the smaller ("we consider each edge from the
 	// smaller motif match").
 	if len(m2.iedges) > len(m1.iedges) {
 		m1, m2 = m2, m1
 	}
-	remaining := make([]IEdge, 0, len(m2.iedges))
+	remaining := w.joinRest[:0]
 	for _, e := range m2.iedges {
 		if !m1.containsIEdge(e) {
 			remaining = append(remaining, e)
 		}
 	}
+	w.joinRest = remaining
 	if len(remaining) == 0 {
 		return // m2 ⊆ m1: nothing new
 	}
 	if len(m1.iedges)+len(remaining) > w.maxEdges {
 		return // cannot possibly match a motif
 	}
-	scratch := append([]IEdge(nil), m1.iedges...)
-	if node, ok := w.grow(m1.Node, scratch, remaining); ok {
-		iedges := append(append([]IEdge(nil), m1.iedges...), remaining...)
-		edges := append([]graph.Edge(nil), m1.Edges...)
+	// growSeed has capacity maxEdges, so the recursive appends in grow
+	// never reallocate it.
+	scratch := append(w.growSeed[:0], m1.iedges...)
+	if node, ok := w.grow(m1.Node, scratch, remaining, 0); ok {
+		nm := w.acquireMatch()
+		nm.iedges = append(append(nm.iedges, m1.iedges...), remaining...)
+		nm.Edges = append(nm.Edges, m1.Edges...)
 		for _, e := range m2.Edges {
 			if !m1.ContainsEdge(e) {
-				edges = append(edges, e)
+				nm.Edges = append(nm.Edges, e)
 			}
 		}
-		w.addMatch(edges, iedges, node)
+		w.addMatch(nm, node)
 	}
 }
 
 // grow recursively adds the remaining edges (in any workable order) to the
 // edge set, following motif child links; it reports the final node on
-// success. The edge set slice is used as scratch (append/truncate).
-func (w *Matcher) grow(node *tpstry.Node, iedges []IEdge, remaining []IEdge) (*tpstry.Node, bool) {
+// success. The edge set slice is used as scratch (append/truncate); the
+// per-depth remaining-edge buffers come from the growRest freelist,
+// preserving the relative order of untried edges exactly as a fresh copy
+// would.
+func (w *Matcher) grow(node *tpstry.Node, iedges []IEdge, remaining []IEdge, depth int) (*tpstry.Node, bool) {
 	if len(remaining) == 0 {
 		return node, true
 	}
@@ -519,10 +644,11 @@ func (w *Matcher) grow(node *tpstry.Node, iedges []IEdge, remaining []IEdge) (*t
 		if !ok || !w.trie.IsMotif(c, w.threshold) {
 			continue
 		}
-		rest := make([]IEdge, 0, len(remaining)-1)
+		rest := w.growRest[depth][:0]
 		rest = append(rest, remaining[:i]...)
 		rest = append(rest, remaining[i+1:]...)
-		if final, ok := w.grow(c, append(iedges, e), rest); ok {
+		w.growRest[depth] = rest
+		if final, ok := w.grow(c, append(iedges, e), rest, depth+1); ok {
 			return final, true
 		}
 	}
@@ -541,7 +667,7 @@ func touches(iedges []IEdge, e IEdge) bool {
 // HasEdge reports whether e is currently buffered in the window.
 func (w *Matcher) HasEdge(e graph.Edge) bool {
 	ie, ok := w.lookupIEdge(e)
-	return ok && w.inWindow[ie]
+	return ok && w.edges.has(packIEdge(ie))
 }
 
 // Oldest returns the oldest edge still in the window.
@@ -553,36 +679,83 @@ func (w *Matcher) Oldest() (graph.StreamEdge, bool) {
 // OldestI returns the oldest edge still in the window along with its
 // interned form (Loom's eviction entry point).
 func (w *Matcher) OldestI() (graph.StreamEdge, IEdge, bool) {
+	w.maybeCompactFIFO()
 	for w.head < len(w.fifo) {
 		we := w.fifo[w.head]
-		if w.inWindow[we.ie] {
+		if w.fifoLive(we) {
 			return we.se, we.ie, true
 		}
 		w.head++ // tombstoned by an earlier removal
 	}
+	clear(w.fifo) // drained: release buffered label strings
+	w.fifo = w.fifo[:0]
+	w.head = 0
 	return graph.StreamEdge{}, IEdge{}, false
 }
 
-// MatchesContainingI returns the live matches whose edge sets include the
-// interned edge ie — the set Me of §4 when ie is being evicted. The result
-// is a fresh slice.
-func (w *Matcher) MatchesContainingI(ie IEdge) []*Match {
-	var out []*Match
-	for _, m := range w.byEdge[ie.norm()] {
-		if !m.dead {
-			out = append(out, m)
+// minCompactFIFO is the slice length below which FIFO compaction is not
+// worth the copy.
+const minCompactFIFO = 64
+
+// maybeCompactFIFO rewrites the FIFO in place once the tombstoned prefix
+// exceeds half the slice, dropping interior tombstones along the way. The
+// FIFO would otherwise grow for the life of the stream — one winEdge
+// (with its label strings) per inserted edge — even though only the most
+// recent t edges are live. Amortised O(1): each compaction copies at most
+// half the entries appended since the last one.
+func (w *Matcher) maybeCompactFIFO() {
+	if w.head < minCompactFIFO || w.head <= len(w.fifo)/2 {
+		return
+	}
+	n := 0
+	for i := w.head; i < len(w.fifo); i++ {
+		if w.fifoLive(w.fifo[i]) {
+			w.fifo[n] = w.fifo[i]
+			n++
 		}
 	}
-	return out
+	clear(w.fifo[n:]) // release StreamEdge label strings to the GC
+	w.fifo = w.fifo[:n]
+	w.head = 0
 }
 
-// MatchesContaining is MatchesContainingI for an external edge.
+// fifoLive reports whether a FIFO entry is the live residency of its
+// edge: the edge is buffered AND the buffered copy was inserted by this
+// entry. Without the sequence check, an edge removed mid-window and
+// later re-inserted would alias its old (older-looking) FIFO entry and
+// be evicted almost immediately, defeating §4's "the longer an edge
+// remains in the sliding window, the better the partitioning decision".
+func (w *Matcher) fifoLive(we winEdge) bool {
+	s := w.edges.get(packIEdge(we.ie))
+	return s != nil && s.seq == we.seq
+}
+
+// MatchesContainingI appends to buf the live matches whose edge sets
+// include the interned edge ie — the set Me of §4 when ie is being
+// evicted — and returns the extended slice. Passing a reused buf[:0]
+// makes the eviction path allocation-free; the appended *Match pointers
+// are valid until the matches' edges are removed from the window.
+func (w *Matcher) MatchesContainingI(ie IEdge, buf []*Match) []*Match {
+	slot := w.edges.get(packIEdge(ie.norm()))
+	if slot == nil {
+		return buf
+	}
+	for _, m := range slot.matches {
+		if !m.dead {
+			buf = append(buf, m)
+		}
+	}
+	return buf
+}
+
+// MatchesContaining is MatchesContainingI for an external edge, returning
+// a fresh slice (cold-path convenience).
 func (w *Matcher) MatchesContaining(e graph.Edge) []*Match {
 	ie, ok := w.lookupIEdge(e)
 	if !ok {
 		return nil
 	}
-	return w.MatchesContainingI(ie)
+	return w.MatchesContainingI(ie, nil)
 }
 
 func (w *Matcher) lookupIEdge(e graph.Edge) (IEdge, bool) {
@@ -604,37 +777,42 @@ func (w *Matcher) lookupIEdge(e graph.Edge) (IEdge, bool) {
 // the window are ignored. Remaining edges stay available for future
 // matches.
 func (w *Matcher) RemoveIEdges(iedges []IEdge) {
-	var killed []*Match
+	killed := w.killed[:0]
 	for _, ie := range iedges {
 		ie = ie.norm()
-		if !w.inWindow[ie] {
-			continue
+		slot := w.edges.get(packIEdge(ie))
+		if slot == nil {
+			continue // not in the window (or a duplicate in iedges)
 		}
-		delete(w.inWindow, ie)
-		w.count--
 		w.vertexRC[ie.U]--
 		w.vertexRC[ie.V]--
-		for _, m := range w.byEdge[ie] {
+		for _, m := range slot.matches {
 			if !m.dead {
 				m.dead = true
 				w.live--
 				killed = append(killed, m)
 			}
 		}
+		w.edges.removeSlot(slot)
 	}
 	// Unlink killed matches from exactly the index entries that hold
 	// them; per-match vertex/edge sets are small, so this is O(|killed|)
-	// rather than a full index sweep.
+	// rather than a full index sweep. Unlinked matches return to the
+	// freelist: callers holding them (the eviction path's Me buffer)
+	// drop their references before the next insert can recycle them.
 	for _, m := range killed {
 		for _, v := range m.verts {
 			w.byVertex[v] = dropDead(w.byVertex[v])
 		}
 		for _, e := range m.iedges {
-			w.byEdge[e] = dropDead(w.byEdge[e])
-			if len(w.byEdge[e]) == 0 {
-				delete(w.byEdge, e)
+			if slot := w.edges.get(packIEdge(e)); slot != nil {
+				slot.matches = dropDead(slot.matches)
 			}
 		}
+	}
+	w.killed = killed[:0]
+	for _, m := range killed {
+		w.releaseMatch(m)
 	}
 }
 
@@ -662,14 +840,19 @@ func dropDead(list []*Match) []*Match {
 // WindowEdges returns the edges currently buffered, oldest first (used by
 // Flush and tests).
 func (w *Matcher) WindowEdges() []graph.StreamEdge {
-	out := make([]graph.StreamEdge, 0, w.count)
+	out := make([]graph.StreamEdge, 0, w.edges.Len())
 	for i := w.head; i < len(w.fifo); i++ {
-		if w.inWindow[w.fifo[i].ie] {
+		if w.fifoLive(w.fifo[i]) {
 			out = append(out, w.fifo[i].se)
 		}
 	}
 	return out
 }
+
+// FIFOLen returns the length of the internal FIFO slice, including
+// tombstoned entries not yet compacted away (diagnostics; the soak tests
+// assert it stays bounded on streams much longer than the window).
+func (w *Matcher) FIFOLen() int { return len(w.fifo) }
 
 // Support returns the normalised support of a match's motif.
 func (w *Matcher) Support(m *Match) float64 { return w.trie.SupportOf(m.Node) }
