@@ -19,6 +19,8 @@ import (
 	"bytes"
 	"testing"
 
+	"loom"
+
 	"loom/internal/bench"
 	"loom/internal/core"
 	"loom/internal/dataset"
@@ -555,6 +557,98 @@ func BenchmarkAddEdgeBaselines(b *testing.B) {
 	})
 	b.Run("fennel", func(b *testing.B) {
 		runAddEdge(b, s, func() partition.Streamer { return partition.NewFennel(8, n, len(s)) })
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Public-API ingest benchmarks: the concurrent loom.Partitioner pays an
+// ingest lock per call, so per-edge AddEdge and 256-edge AddBatch bracket
+// the cost of the public surface (ns/op and allocs/op are per edge; graph
+// recording disabled so the numbers isolate the streaming path). Run with
+//
+//	go test -bench=AddBatch -benchmem
+// ---------------------------------------------------------------------------
+
+// publicTenKStream converts the shared 10k-edge stream to the public edge
+// type, returning it with its distinct-vertex count.
+func publicTenKStream(b *testing.B) ([]loom.StreamEdge, int) {
+	s, _ := tenKStream(b)
+	out := make([]loom.StreamEdge, len(s))
+	for i, e := range s {
+		out[i] = loom.StreamEdge{U: int64(e.U), LU: string(e.LU), V: int64(e.V), LV: string(e.LV)}
+	}
+	return out, streamVertexCount(s)
+}
+
+// newPublicLoom mirrors BenchmarkAddEdgeLoom's configuration through the
+// public constructor.
+func newPublicLoom(b *testing.B, n int) func() *loom.Partitioner {
+	b.Helper()
+	wl, err := loom.DatasetWorkload("musicbrainz")
+	if err != nil {
+		b.Fatal(err)
+	}
+	return func() *loom.Partitioner {
+		p, err := loom.New(loom.Options{
+			Partitions:            8,
+			ExpectedVertices:      n,
+			WindowSize:            1024,
+			Seed:                  42,
+			DisableGraphRecording: true,
+		}, wl)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return p
+	}
+}
+
+func BenchmarkAddBatch(b *testing.B) {
+	s, n := publicTenKStream(b)
+	newP := newPublicLoom(b, n)
+	b.Run("edge", func(b *testing.B) {
+		b.ReportAllocs()
+		p := newP()
+		j := 0
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if j == len(s) {
+				b.StopTimer()
+				p = newP()
+				j = 0
+				b.StartTimer()
+			}
+			e := s[j]
+			p.AddEdge(e.U, e.LU, e.V, e.LV)
+			j++
+		}
+	})
+	b.Run("batch256", func(b *testing.B) {
+		const batchSize = 256
+		b.ReportAllocs()
+		p := newP()
+		j := 0
+		b.ResetTimer()
+		for i := 0; i < b.N; {
+			if j == len(s) {
+				b.StopTimer()
+				p = newP()
+				j = 0
+				b.StartTimer()
+			}
+			end := j + batchSize
+			if end > len(s) {
+				end = len(s)
+			}
+			if left := b.N - i; end > j+left {
+				end = j + left
+			}
+			if err := p.AddBatch(s[j:end]); err != nil {
+				b.Fatal(err)
+			}
+			i += end - j
+			j = end
+		}
 	})
 }
 

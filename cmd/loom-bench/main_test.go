@@ -33,8 +33,8 @@ func TestRunPerfJSON(t *testing.T) {
 	if err := json.Unmarshal(data, &rep); err != nil {
 		t.Fatalf("output is not valid JSON: %v", err)
 	}
-	if len(rep.Rows) != len(bench.Systems) {
-		t.Fatalf("got %d rows, want %d", len(rep.Rows), len(bench.Systems))
+	if want := len(bench.Systems) * len(bench.PerfIngestModes); len(rep.Rows) != want {
+		t.Fatalf("got %d rows, want %d", len(rep.Rows), want)
 	}
 	for _, r := range rep.Rows {
 		if r.NsPerEdge <= 0 {

@@ -1,0 +1,151 @@
+// Router example: a toy query router kept in sync with the partitioner via
+// placement events — the downstream consumer the concurrent API exists for
+// (per "On Smart Query Routing": a streaming partitioner is only useful to
+// a distributed graph store if the routing tier can follow its decisions
+// as they happen).
+//
+// Four producer goroutines feed one Loom partitioner with AddBatch while
+// the router mirrors every vertex → partition decision through OnPlace,
+// and tracks window (Ptemp) residency through evict events. Queries are
+// then routed against the mirror alone — the partitioner is never
+// consulted at query time — and the final mirror is verified against the
+// partitioner's own assignment.
+//
+// Run with:
+//
+//	go run ./examples/router
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+
+	"loom"
+)
+
+// Router is the toy routing tier: a partition mirror fed exclusively by
+// placement events. It has its own lock because event handlers run on the
+// ingesting goroutines (under the partitioner's ingest lock) while queries
+// arrive on others; it must never call back into the partitioner from the
+// handler.
+type Router struct {
+	mu       sync.RWMutex
+	machines []string
+	table    map[int64]int // vertex → machine index, mirrored live
+	evicted  int           // edges seen leaving Ptemp
+}
+
+func NewRouter(k int) *Router {
+	r := &Router{table: make(map[int64]int)}
+	for i := 0; i < k; i++ {
+		r.machines = append(r.machines, fmt.Sprintf("graph-store-%d", i))
+	}
+	return r
+}
+
+// Apply is the OnPlace handler: O(1), no partitioner calls.
+func (r *Router) Apply(ev loom.PlacementEvent) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	switch ev.Kind {
+	case loom.EventPlace:
+		r.table[ev.V] = ev.Partition
+	case loom.EventEvict:
+		r.evicted++
+	}
+}
+
+// Route returns the machine serving v. Vertices the partitioner has not
+// placed yet live in the window partition Ptemp; a real router would
+// broadcast or consult the ingest tier for those.
+func (r *Router) Route(v int64) (string, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	m, ok := r.table[v]
+	if !ok {
+		return "Ptemp (still windowed)", false
+	}
+	return r.machines[m], true
+}
+
+func (r *Router) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.table)
+}
+
+func main() {
+	wl, err := loom.DatasetWorkload("dblp")
+	if err != nil {
+		log.Fatal(err)
+	}
+	p, err := loom.New(loom.Options{
+		Partitions:       4,
+		ExpectedVertices: 4000,
+		WindowSize:       256,
+	}, wl)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	router := NewRouter(4)
+	p.OnPlace(router.Apply) // subscribe BEFORE ingesting: no event is missed
+
+	edges, err := loom.GenerateDataset("dblp", 3000, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Four producers stream disjoint shards of the edge stream in batches —
+	// e.g. four ingestion frontends of a graph store.
+	const producers, batchSize = 4, 128
+	var wg sync.WaitGroup
+	for w := 0; w < producers; w++ {
+		shard := edges[w*len(edges)/producers : (w+1)*len(edges)/producers]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < len(shard); i += batchSize {
+				end := min(i+batchSize, len(shard))
+				if err := p.AddBatch(shard[i:end]); err != nil {
+					log.Printf("batch dropped corrupt edges: %v", err)
+				}
+			}
+		}()
+	}
+
+	// Meanwhile the router serves lookups from the live mirror.
+	probe := edges[0].U
+	fmt.Printf("mid-stream: vertex %d → %s (mirror holds %d placements)\n",
+		probe, firstOf(router.Route(probe)), router.Len())
+
+	wg.Wait()
+	p.Flush() // end-of-stream: drain Ptemp; the router sees the tail placements
+	if err := p.Err(); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("stream done: mirror holds %d placements, saw %d window evictions\n",
+		router.Len(), router.evicted)
+	for _, v := range []int64{edges[0].U, edges[len(edges)/2].V, edges[len(edges)-1].V} {
+		machine, _ := router.Route(v)
+		fmt.Printf("route(vertex %d) = %s\n", v, machine)
+	}
+
+	// The mirror must agree exactly with the partitioner's own view.
+	snap := p.Snapshot()
+	if router.Len() != snap.NumAssigned() {
+		log.Fatalf("mirror has %d placements, partitioner %d", router.Len(), snap.NumAssigned())
+	}
+	mismatches := 0
+	snap.Each(func(v int64, part int) {
+		if router.table[v] != part {
+			mismatches++
+		}
+	})
+	fmt.Printf("mirror verified against snapshot: %d vertices, %d mismatches\n",
+		snap.NumAssigned(), mismatches)
+}
+
+func firstOf(s string, _ bool) string { return s }

@@ -1,6 +1,7 @@
-// Streaming example: Loom's *online* behaviours — the sliding window as a
-// temporary partition (Ptemp, §3), mid-stream placement queries, and
-// workload evolution (§2's "trivially updated" TPSTry++).
+// Streaming example: Loom's *online* behaviours — batch ingest, the
+// sliding window as a temporary partition (Ptemp, §3), mid-stream
+// placement reads via snapshots, and workload evolution (§2's "trivially
+// updated" TPSTry++).
 //
 // Run with:
 //
@@ -29,31 +30,41 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Generate a DBLP-like stream and feed it online.
+	// Generate a DBLP-like stream and feed it online, in batches — the
+	// shape real producers have (a queue consumer hands over a poll's
+	// worth of edges at a time). AddBatch returns errors for corrupt
+	// edges instead of panicking; here the stream is clean, so any error
+	// is fatal.
 	edges, err := loom.GenerateDataset("dblp", 3000, 5)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	checkpoints := map[int]bool{
-		len(edges) / 4: true, len(edges) / 2: true, 3 * len(edges) / 4: true,
+	const batchSize = 256
+	quarters := map[int]bool{}
+	for _, q := range []int{1, 2, 3} {
+		quarters[(q*len(edges)/4)/batchSize] = true
 	}
-	for i, e := range edges {
-		p.AddStreamEdge(e)
+	for b := 0; b*batchSize < len(edges); b++ {
+		start := b * batchSize
+		end := min(start+batchSize, len(edges))
+		if err := p.AddBatch(edges[start:end]); err != nil {
+			log.Fatal(err)
+		}
 
-		if checkpoints[i] {
+		if quarters[b] {
 			st := p.Stats()
 			// Vertices in the window are accessible in the temporary
 			// partition Ptemp before permanent placement — here we just
 			// observe how many edges are buffered.
 			fmt.Printf("after %6d edges: window(Ptemp)=%d edges, evictions=%d, immediate=%d\n",
-				i+1, st.WindowLen, st.Evictions, st.ImmediateEdges)
+				end, st.WindowLen, st.Evictions, st.ImmediateEdges)
 		}
 
 		// Halfway through, the application's query mix changes: venue
 		// queries appear. Loom absorbs the new pattern online; newly
 		// arriving venue edges start matching motifs immediately.
-		if i == len(edges)/2 {
+		if b == (len(edges)/2)/batchSize {
 			if err := p.AddQuery("venue-community", loom.Path("Person", "Paper", "Venue"), 0.4); err != nil {
 				log.Fatal(err)
 			}
@@ -61,10 +72,12 @@ func main() {
 		}
 	}
 
-	// A placement can be read at any time; vertices still in Ptemp are
-	// reported as unassigned.
-	if part, ok := p.PartitionOf(edges[0].U); ok {
-		fmt.Printf("vertex %d is in partition %d before the final flush\n", edges[0].U, part)
+	// A snapshot is a consistent view that can be read at any time without
+	// blocking ingest; vertices still in Ptemp are reported as unassigned.
+	snap := p.Snapshot()
+	if part, ok := snap.PartitionOf(edges[0].U); ok {
+		fmt.Printf("vertex %d is in partition %d before the final flush (%d assigned so far)\n",
+			edges[0].U, part, snap.NumAssigned())
 	}
 
 	p.Flush()

@@ -173,9 +173,7 @@ func runOne(p *prepared, sys string, order graph.StreamOrder, k int, cfg Config,
 		return IPTCell{}, err
 	}
 	start := time.Now()
-	for _, se := range stream {
-		s.ProcessEdge(se)
-	}
+	s.ProcessEdges(stream)
 	s.Flush()
 	elapsed := time.Since(start)
 

@@ -229,9 +229,7 @@ func RunTable2(cfg Config) ([]Table2Row, error) {
 				return nil, err
 			}
 			start := time.Now()
-			for _, se := range stream {
-				s.ProcessEdge(se)
-			}
+			s.ProcessEdges(stream)
 			s.Flush()
 			elapsed := time.Since(start)
 			per10k := time.Duration(float64(elapsed) * 10_000 / float64(len(stream)))
@@ -343,9 +341,7 @@ func ExecuteWorkloadOnce(ds, sys string, order graph.StreamOrder, cfg Config) (w
 	if err != nil {
 		return workload.Result{}, err
 	}
-	for _, se := range stream {
-		s.ProcessEdge(se)
-	}
+	s.ProcessEdges(stream)
 	s.Flush()
 	return workload.Execute(p.g, s.Assignment(), p.wl, workload.Options{MaxMatchesPerQuery: cfg.MaxMatches})
 }

@@ -55,9 +55,7 @@ func RunExtensions(cfg Config) ([]ExtensionCell, error) {
 
 		// Hash baseline for the relative scale.
 		hash := partition.NewHash(cfg.K, capC)
-		for _, se := range stream {
-			hash.ProcessEdge(se)
-		}
+		hash.ProcessEdges(stream)
 		hashIPT, _, err := eval(hash.Assignment())
 		if err != nil {
 			return nil, err
@@ -77,9 +75,7 @@ func RunExtensions(cfg Config) ([]ExtensionCell, error) {
 			if err != nil {
 				return nil, err
 			}
-			for _, se := range s {
-				lm.ProcessEdge(se)
-			}
+			lm.ProcessEdges(s)
 			lm.Flush()
 			return lm.Assignment(), nil
 		}

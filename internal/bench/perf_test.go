@@ -13,20 +13,37 @@ func TestRunPerf(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rep.Rows) != len(Systems) {
-		t.Fatalf("got %d rows, want one per system (%d)", len(rep.Rows), len(Systems))
+	if want := len(Systems) * len(PerfIngestModes); len(rep.Rows) != want {
+		t.Fatalf("got %d rows, want one per system × ingest mode (%d)", len(rep.Rows), want)
 	}
 	var hashPct float64
+	iptByMode := map[string]map[string]float64{}
 	for _, r := range rep.Rows {
 		if r.NsPerEdge <= 0 || r.Edges <= 0 {
-			t.Errorf("%s: degenerate measurement %+v", r.System, r)
+			t.Errorf("%s/%s: degenerate measurement %+v", r.System, r.Ingest, r)
 		}
-		if r.System == "hash" {
+		if r.Ingest != "edge" && r.Ingest != "batch" {
+			t.Errorf("%s: unknown ingest mode %q", r.System, r.Ingest)
+		}
+		if r.System == "hash" && r.Ingest == "edge" {
 			hashPct = r.IPTPctOfHash
 		}
+		if iptByMode[r.System] == nil {
+			iptByMode[r.System] = map[string]float64{}
+		}
+		iptByMode[r.System][r.Ingest] = r.IPT
 	}
 	if hashPct != 100 {
 		t.Errorf("hash relative ipt = %v, want 100", hashPct)
+	}
+	// Both modes must be present per system. (Their shared ipt is copied
+	// from one workload execution by construction; the substantive claim —
+	// batch placements are bit-identical to per-edge — is covered by
+	// TestAddBatchGoldenIdentical at the repo root.)
+	for sys, modes := range iptByMode {
+		if len(modes) != 2 {
+			t.Errorf("%s: measured modes %v, want edge+batch", sys, modes)
+		}
 	}
 
 	var buf bytes.Buffer

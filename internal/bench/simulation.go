@@ -43,9 +43,7 @@ func RunSimulation(cfg Config, model simulate.CostModel) ([]SimulationCell, erro
 			if err != nil {
 				return nil, err
 			}
-			for _, se := range stream {
-				s.ProcessEdge(se)
-			}
+			s.ProcessEdges(stream)
 			s.Flush()
 			res, err := simulate.Run(p.g, s.Assignment(), p.wl, model, cfg.MaxMatches)
 			if err != nil {

@@ -159,6 +159,10 @@ type Loom struct {
 	// a vertex's first edge the per-edge path never hashes its label
 	// string again.
 	vlab []int32
+
+	// onEvict, when non-nil, observes every edge leaving the sliding
+	// window (see SetEvictHook). Invoked synchronously, with external IDs.
+	onEvict func(u, v int64)
 }
 
 // New builds a Loom over a TPSTry++ that already encodes the workload Q
@@ -228,6 +232,18 @@ func (l *Loom) Tracker() *partition.Tracker { return l.tr }
 
 // Window exposes the sliding window (diagnostics).
 func (l *Loom) Window() *window.Matcher { return l.win }
+
+// ProcessEdges implements partition.Streamer: it ingests a batch of stream
+// edges in arrival order. Placements are bit-identical to calling
+// ProcessEdge once per element (the window invariant — evict as soon as
+// capacity is exceeded — is maintained per edge); the batch form exists so
+// callers can amortise per-call overhead (the public API's ingest lock,
+// interface dispatch, argument copying) over many edges.
+func (l *Loom) ProcessEdges(batch []graph.StreamEdge) {
+	for i := range batch {
+		l.ProcessEdge(batch[i])
+	}
+}
 
 // ProcessEdge implements partition.Streamer.
 func (l *Loom) ProcessEdge(se graph.StreamEdge) {
@@ -338,6 +354,25 @@ func (l *Loom) priorOf(i uint32) (partition.ID, bool) {
 	return p, true
 }
 
+// SetEvictHook registers fn to observe every edge leaving the sliding
+// window: it is called synchronously with the external endpoint IDs as the
+// edge is removed (eviction rounds and end-of-stream Flush alike). Together
+// with the tracker's assign hook this lets an observer mirror both the
+// permanent assignment and Ptemp membership. One hook only; nil removes it.
+func (l *Loom) SetEvictHook(fn func(u, v int64)) { l.onEvict = fn }
+
+// removeWindowEdges drops the given edges from the window, reporting each
+// to the evict hook first (while the edge's interned endpoints are still
+// resolvable).
+func (l *Loom) removeWindowEdges(edges []window.IEdge) {
+	if l.onEvict != nil {
+		for _, e := range edges {
+			l.onEvict(l.verts.ID(e.U), l.verts.ID(e.V))
+		}
+	}
+	l.win.RemoveIEdges(edges)
+}
+
 // Flush implements partition.Streamer: it drains the window, assigning
 // every buffered edge. Call at end-of-stream before reading the final
 // assignment (during live operation the window is Ptemp, an extra
@@ -364,7 +399,7 @@ func (l *Loom) EvictOne() bool {
 		// the edge does. Guard anyway: place endpoints by LDG.
 		l.assignImmediate(oldIE.U, oldIE.V)
 		l.evictEdges = append(l.evictEdges[:0], oldIE)
-		l.win.RemoveIEdges(l.evictEdges)
+		l.removeWindowEdges(l.evictEdges)
 		return true
 	}
 	l.sortBySupport(me)
@@ -390,7 +425,7 @@ func (l *Loom) EvictOne() bool {
 			}
 		}
 		l.stats.MatchesAssigned++
-		l.win.RemoveIEdges(me[0].IEdges())
+		l.removeWindowEdges(me[0].IEdges())
 		return true
 	default:
 		winner, prefix = l.equalOpportunism(me)
@@ -416,7 +451,7 @@ func (l *Loom) EvictOne() bool {
 		}
 	}
 	l.stats.MatchesAssigned += len(prefix)
-	l.win.RemoveIEdges(edges)
+	l.removeWindowEdges(edges)
 	return true
 }
 
@@ -740,3 +775,8 @@ func (l *Loom) naiveWinner(me []*window.Match) partition.ID {
 
 // Assignment implements partition.Streamer.
 func (l *Loom) Assignment() *partition.Assignment { return l.tr.Assignment() }
+
+// Snapshot implements partition.Streamer: a fully isolated copy of the
+// current assignment (cloned vertex table), safe to read while streaming
+// continues on another goroutine.
+func (l *Loom) Snapshot() *partition.Assignment { return l.tr.Snapshot() }

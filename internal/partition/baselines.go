@@ -41,11 +41,22 @@ func (h *Hash) ProcessEdge(e graph.StreamEdge) {
 	}
 }
 
+// ProcessEdges implements Streamer: batch ingest, identical placements to
+// per-edge ProcessEdge.
+func (h *Hash) ProcessEdges(batch []graph.StreamEdge) {
+	for _, e := range batch {
+		h.ProcessEdge(e)
+	}
+}
+
 // Flush implements Streamer (no-op: Hash holds no state).
 func (h *Hash) Flush() {}
 
 // Assignment implements Streamer.
 func (h *Hash) Assignment() *Assignment { return h.t.Assignment() }
+
+// Snapshot implements Streamer.
+func (h *Hash) Snapshot() *Assignment { return h.t.Snapshot() }
 
 // Tracker exposes the underlying tracker (benchmarks inspect sizes).
 func (h *Hash) Tracker() *Tracker { return h.t }
@@ -82,11 +93,22 @@ func (l *LDG) ProcessEdge(e graph.StreamEdge) {
 	}
 }
 
+// ProcessEdges implements Streamer: batch ingest, identical placements to
+// per-edge ProcessEdge.
+func (l *LDG) ProcessEdges(batch []graph.StreamEdge) {
+	for _, e := range batch {
+		l.ProcessEdge(e)
+	}
+}
+
 // Flush implements Streamer (no-op: LDG assigns eagerly).
 func (l *LDG) Flush() {}
 
 // Assignment implements Streamer.
 func (l *LDG) Assignment() *Assignment { return l.t.Assignment() }
+
+// Snapshot implements Streamer.
+func (l *LDG) Snapshot() *Assignment { return l.t.Snapshot() }
 
 // Tracker exposes the underlying tracker.
 func (l *LDG) Tracker() *Tracker { return l.t }
@@ -160,11 +182,22 @@ func (f *Fennel) assign(vi uint32) {
 	f.t.AssignIdx(vi, best)
 }
 
+// ProcessEdges implements Streamer: batch ingest, identical placements to
+// per-edge ProcessEdge.
+func (f *Fennel) ProcessEdges(batch []graph.StreamEdge) {
+	for _, e := range batch {
+		f.ProcessEdge(e)
+	}
+}
+
 // Flush implements Streamer (no-op).
 func (f *Fennel) Flush() {}
 
 // Assignment implements Streamer.
 func (f *Fennel) Assignment() *Assignment { return f.t.Assignment() }
+
+// Snapshot implements Streamer.
+func (f *Fennel) Snapshot() *Assignment { return f.t.Snapshot() }
 
 // Tracker exposes the underlying tracker.
 func (f *Fennel) Tracker() *Tracker { return f.t }

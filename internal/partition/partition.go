@@ -41,18 +41,30 @@ const Unassigned ID = -1
 const DefaultImbalance = 1.1
 
 // Streamer is a streaming edge partitioner: it consumes stream edges one at
-// a time and yields a vertex assignment. Hash, LDG, Fennel and Loom all
-// implement it.
+// a time or in batches and yields a vertex assignment. Hash, LDG, Fennel
+// and Loom all implement it. Streamers themselves are single-threaded; the
+// public loom.Partitioner provides the concurrency layer on top.
 type Streamer interface {
 	// Name identifies the algorithm in reports ("hash", "ldg", …).
 	Name() string
 	// ProcessEdge ingests the next edge of the graph stream.
 	ProcessEdge(e graph.StreamEdge)
+	// ProcessEdges ingests a batch of stream edges in order. Placements
+	// are identical to calling ProcessEdge per element; the batch form
+	// exists so callers can amortise per-call overhead (locking,
+	// interface dispatch) over many edges.
+	ProcessEdges(batch []graph.StreamEdge)
 	// Flush completes pending work (drains any window); after Flush every
 	// observed vertex has a partition.
 	Flush()
-	// Assignment returns the current vertex → partition mapping.
+	// Assignment returns the current vertex → partition mapping. The
+	// returned value copies the per-vertex placements but shares the
+	// (grow-only) vertex table with the streamer.
 	Assignment() *Assignment
+	// Snapshot returns a fully isolated copy of the current assignment:
+	// placements, sizes and the vertex table are all deep-copied, so the
+	// snapshot stays consistent and race-free while streaming continues.
+	Snapshot() *Assignment
 }
 
 // Assignment is the result of a partitioning run: a dense slice of
@@ -160,6 +172,22 @@ func (a *Assignment) Table() *intern.VertexTable { return a.verts }
 // with NewAssignmentFrom.
 func (a *Assignment) PartsClone() []ID { return append([]ID(nil), a.parts...) }
 
+// Clone returns a fully isolated deep copy of the assignment: placements,
+// sizes and the vertex table share no state with the original, so the copy
+// can be read from any goroutine while the original's table keeps growing.
+func (a *Assignment) Clone() *Assignment {
+	c := &Assignment{
+		K:        a.K,
+		Sizes:    append([]int(nil), a.Sizes...),
+		parts:    append([]ID(nil), a.parts...),
+		assigned: a.assigned,
+	}
+	if a.verts != nil {
+		c.verts = a.verts.Clone()
+	}
+	return c
+}
+
 // Tracker maintains the shared streaming state: assignments, partition
 // sizes, and the adjacency observed so far (needed by neighbourhood
 // heuristics: "heuristics which consider the local neighbourhood of each
@@ -175,6 +203,10 @@ type Tracker struct {
 	assigned int
 	observed int   // edges observed
 	counts   []int // scratch for NeighborCountsIdx (len k)
+
+	// onAssign, when non-nil, observes every streaming placement (see
+	// SetAssignHook). Invoked synchronously from AssignIdx.
+	onAssign func(v int64, p ID)
 }
 
 // NewTracker creates a tracker for k partitions with per-partition vertex
@@ -347,13 +379,30 @@ func (t *Tracker) AssignIdx(i uint32, p ID) {
 	t.parts[i] = p
 	t.sizes[p]++
 	t.assigned++
+	if t.onAssign != nil {
+		t.onAssign(t.verts.ID(i), p)
+	}
 }
+
+// SetAssignHook registers fn to observe every streaming placement: it is
+// called synchronously from AssignIdx with the vertex's external ID and its
+// partition, after sizes and counters are updated. One hook only (the
+// public layer fans out to subscribers); nil removes it. Because vertices
+// are never reassigned in one-pass streaming, replaying the hook's calls
+// reconstructs the assignment exactly.
+func (t *Tracker) SetAssignHook(fn func(v int64, p ID)) { t.onAssign = fn }
 
 // Assign places v in partition p (see AssignIdx).
 func (t *Tracker) Assign(v graph.VertexID, p ID) { t.AssignIdx(t.Intern(v), p) }
 
 // Size returns |V(Si)| for partition p.
 func (t *Tracker) Size(p ID) int { return t.sizes[p] }
+
+// Sizes returns a copy of the per-partition vertex counts.
+func (t *Tracker) Sizes() []int { return append([]int(nil), t.sizes...) }
+
+// NumAssigned returns the number of assigned vertices.
+func (t *Tracker) NumAssigned() int { return t.assigned }
 
 // MinSize returns the size of the smallest partition (Smin in §4).
 func (t *Tracker) MinSize() int {
@@ -437,6 +486,19 @@ func (t *Tracker) Assignment() *Assignment {
 		K:        t.k,
 		Sizes:    append([]int(nil), t.sizes...),
 		verts:    t.verts,
+		parts:    append([]ID(nil), t.parts...),
+		assigned: t.assigned,
+	}
+}
+
+// Snapshot returns a fully isolated copy of the current assignment: unlike
+// Assignment, the vertex table is deep-copied too, so the snapshot can be
+// read from any goroutine while streaming keeps growing the live table.
+func (t *Tracker) Snapshot() *Assignment {
+	return &Assignment{
+		K:        t.k,
+		Sizes:    append([]int(nil), t.sizes...),
+		verts:    t.verts.Clone(),
 		parts:    append([]ID(nil), t.parts...),
 		assigned: t.assigned,
 	}

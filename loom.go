@@ -20,12 +20,29 @@
 //	wl.Add("same-city", loom.Path("person", "city", "person"), 0.3)
 //
 //	p, err := loom.New(loom.Options{Partitions: 4, ExpectedVertices: 10000}, wl)
-//	// stream edges as they arrive:
-//	p.AddEdge(1, "person", 2, "person")
-//	p.AddEdge(2, "person", 7, "city")
+//	// mirror placements as they happen (e.g. into a query router):
+//	p.OnPlace(func(ev loom.PlacementEvent) { router.Apply(ev) })
+//	// stream edges in batches — any number of goroutines may feed:
+//	err = p.AddBatch([]loom.StreamEdge{
+//		{U: 1, LU: "person", V: 2, LV: "person"},
+//		{U: 2, LU: "person", V: 7, LV: "city"},
+//	})
 //	// ...
 //	p.Flush() // drain the window at end-of-stream
-//	part, ok := p.PartitionOf(1)
+//	snap := p.Snapshot() // consistent view, readable without blocking ingest
+//	part, ok := snap.PartitionOf(1)
+//
+// # Concurrency and migration from the per-edge API
+//
+// A Partitioner is safe for concurrent use: N producers may call AddBatch
+// (or AddEdge) while other goroutines read placements. Batches are applied
+// atomically, and a single-threaded AddBatch replay is bit-identical to the
+// historical per-edge AddEdge path, so existing code keeps working
+// unchanged: AddEdge remains (it delegates to AddEdgeE and panics on
+// corrupt input, as it always did), while AddBatch/AddEdgeE return errors
+// and Err exposes the first ingest error. Prefer AddBatch for throughput —
+// it pays the ingest lock once per batch instead of once per edge — and
+// Snapshot for reads that must not block (or be blocked by) ingest.
 //
 // The package also exposes the paper's baseline streaming partitioners
 // (Hash, LDG, Fennel) behind the same interface via NewBaseline, the
@@ -37,6 +54,7 @@ package loom
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"loom/internal/core"
 	"loom/internal/dataset"
@@ -173,19 +191,40 @@ type Stats struct {
 }
 
 // Partitioner is the public handle over a streaming partitioner: Loom
-// itself or one of the baselines. Not safe for concurrent use.
+// itself or one of the baselines.
+//
+// A Partitioner is safe for concurrent use: ingest (AddBatch, AddEdge,
+// Flush) serialises behind a single writer lock, so any number of producer
+// goroutines can feed one partitioner, and reads (PartitionOf, Sizes,
+// Snapshot, …) observe only batch-atomic states — never a half-applied
+// eviction. The underlying streamers remain single-threaded; this type is
+// the concurrency boundary.
 type Partitioner struct {
-	name     string
+	name string
+	opt  Options
+
+	// mu guards every field below: ingest and other mutations take the
+	// write lock, reads the read lock. Placement-event handlers run while
+	// the write lock is held (see OnPlace).
+	mu       sync.RWMutex
 	streamer partition.Streamer
-	loom     *core.Loom // non-nil only for algo == loom
+	tr       *partition.Tracker // streamer's tracker (cheap reads, event hook)
+	loom     *core.Loom         // non-nil only for algo == loom
 	trie     *tpstry.Trie
 	wl       *Workload
 	g        *graph.Graph // recorded graph (nil when disabled)
-	opt      Options
 	// refined, when non-nil, supersedes the streamer's assignment (set by
 	// Refine).
 	refined *partition.Assignment
+
+	err      error // first ingest error (sticky; see Err)
+	seq      uint64
+	handlers []func(PlacementEvent)
 }
+
+// tracked is the capability the public layer uses for cheap placement
+// reads and event hooks; every shipped streamer exposes its tracker.
+type tracked interface{ Tracker() *partition.Tracker }
 
 func (o Options) normalise() (Options, error) {
 	if o.Partitions < 1 {
@@ -244,7 +283,7 @@ func New(opt Options, wl *Workload) (*Partitioner, error) {
 	if err != nil {
 		return nil, err
 	}
-	p := &Partitioner{name: "loom", streamer: lm, loom: lm, trie: trie, wl: wl, opt: opt}
+	p := &Partitioner{name: "loom", streamer: lm, tr: lm.Tracker(), loom: lm, trie: trie, wl: wl, opt: opt}
 	if !opt.DisableGraphRecording {
 		p.g = graph.New()
 	}
@@ -276,6 +315,9 @@ func NewBaseline(algo string, opt Options, wl *Workload) (*Partitioner, error) {
 		return nil, fmt.Errorf("loom: unknown baseline %q (want hash, ldg or fennel)", algo)
 	}
 	p := &Partitioner{name: algo, streamer: s, wl: wl, opt: opt}
+	if tk, ok := s.(tracked); ok {
+		p.tr = tk.Tracker()
+	}
 	if !opt.DisableGraphRecording {
 		p.g = graph.New()
 	}
@@ -285,36 +327,268 @@ func NewBaseline(algo string, opt Options, wl *Workload) (*Partitioner, error) {
 // Name returns the algorithm name ("loom", "hash", "ldg", "fennel").
 func (p *Partitioner) Name() string { return p.name }
 
-// AddEdge feeds one stream edge. Self-loops and duplicates are tolerated
-// (dropped), matching the robustness expected of an online ingest path.
-func (p *Partitioner) AddEdge(u int64, lu string, v int64, lv string) {
+// AddBatch feeds a batch of stream edges in order. Batches are applied
+// atomically with respect to every other ingest call and read: N producer
+// goroutines can call AddBatch concurrently, and a snapshot or placement
+// read never observes a half-applied batch. Self-loops and duplicates are
+// tolerated (dropped); an edge that conflicts with an already-recorded
+// vertex label (corrupt input) is dropped, recorded as the sticky Err, and
+// reported in the returned error — the rest of the batch is still
+// processed. A single-threaded AddBatch replay yields placements
+// bit-identical to the per-edge AddEdge path.
+//
+// AddBatch is the preferred ingest path: the ingest lock (and the public
+// per-call overhead around it) is paid once per batch rather than once per
+// edge — see BENCH_pr3_api.json for the measured per-edge saving.
+func (p *Partitioner) AddBatch(batch []StreamEdge) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var firstErr error
+	// Edges dispatch to the streamer one at a time rather than through
+	// Streamer.ProcessEdges: the public edge type must be converted
+	// per-element anyway, and staging the conversion in a []graph.StreamEdge
+	// buffer just to hand it over in one call was measured slower (one
+	// extra copy per edge) than dispatching as we convert. ProcessEdges
+	// earns its keep for callers that already hold internal stream slices
+	// (cmd tools, the bench harness).
+	for i := range batch {
+		e := &batch[i]
+		se := graph.StreamEdge{
+			U: graph.VertexID(e.U), LU: graph.Label(e.LU),
+			V: graph.VertexID(e.V), LV: graph.Label(e.LV),
+		}
+		if p.g != nil {
+			if _, err := p.g.EnsureEdge(se.U, se.LU, se.V, se.LV); err != nil {
+				err = fmt.Errorf("loom: %w", err)
+				if firstErr == nil {
+					firstErr = err
+				}
+				if p.err == nil {
+					p.err = err
+				}
+				continue
+			}
+		}
+		p.streamer.ProcessEdge(se)
+	}
+	return firstErr
+}
+
+// AddEdgeE feeds one stream edge, returning an error instead of panicking
+// on corrupt input (a label conflict with an already-recorded vertex). The
+// edge is dropped on error and the error is also retained as the sticky
+// Err. Self-loops and duplicates are tolerated (dropped), matching the
+// robustness expected of an online ingest path. Safe for concurrent use.
+func (p *Partitioner) AddEdgeE(u int64, lu string, v int64, lv string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	se := graph.StreamEdge{
 		U: graph.VertexID(u), LU: graph.Label(lu),
 		V: graph.VertexID(v), LV: graph.Label(lv),
 	}
 	if p.g != nil {
-		// Recording tolerates duplicates/self-loops; label conflicts
-		// indicate corrupt input and are surfaced as a panic here since
-		// AddEdge has no error channel by design (hot path).
 		if _, err := p.g.EnsureEdge(se.U, se.LU, se.V, se.LV); err != nil {
-			panic(fmt.Sprintf("loom: %v", err))
+			err = fmt.Errorf("loom: %w", err)
+			if p.err == nil {
+				p.err = err
+			}
+			return err
 		}
 	}
 	p.streamer.ProcessEdge(se)
+	return nil
+}
+
+// AddEdge feeds one stream edge. It is the historical per-edge ingest
+// call, kept for compatibility: it delegates to AddEdgeE and panics on
+// corrupt input (AddEdge has no error channel by design). New code should
+// prefer AddBatch, which amortises per-call overhead and returns errors.
+func (p *Partitioner) AddEdge(u int64, lu string, v int64, lv string) {
+	if err := p.AddEdgeE(u, lu, v, lv); err != nil {
+		panic(err.Error())
+	}
 }
 
 // AddStreamEdge is AddEdge for a StreamEdge value.
 func (p *Partitioner) AddStreamEdge(e StreamEdge) { p.AddEdge(e.U, e.LU, e.V, e.LV) }
 
+// Err returns the first ingest error (a corrupt edge dropped by AddBatch,
+// AddEdgeE or a batch), or nil. The error is sticky: it is never cleared,
+// so a producer pipeline can ignore per-batch errors and check once at
+// end-of-stream.
+func (p *Partitioner) Err() error {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.err
+}
+
 // Flush drains the sliding window, assigning all buffered edges. Call at
 // end-of-stream (or at a checkpoint) before reading final placements.
-func (p *Partitioner) Flush() { p.streamer.Flush() }
+func (p *Partitioner) Flush() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.streamer.Flush()
+}
+
+// EventKind discriminates placement events.
+type EventKind uint8
+
+const (
+	// EventPlace reports a vertex permanently assigned to a partition.
+	// Vertices are never reassigned in one-pass streaming, so replaying
+	// EventPlace events reconstructs the assignment exactly.
+	EventPlace EventKind = iota
+	// EventEvict reports an edge leaving the sliding window Ptemp (Loom
+	// partitioners only; baselines buffer nothing). Its endpoints are
+	// either already placed or placed by EventPlace events of the same
+	// eviction round.
+	EventEvict
+)
+
+// PlacementEvent is one observable partitioning decision: a vertex →
+// partition placement, or a window eviction. Events carry a per-partitioner
+// sequence number, dense from 0, in the exact order decisions were taken.
+type PlacementEvent struct {
+	Seq  uint64
+	Kind EventKind
+	// V is the placed vertex (EventPlace) or one endpoint of the evicted
+	// edge (EventEvict).
+	V int64
+	// Other is the second endpoint of the evicted edge (EventEvict only).
+	Other int64
+	// Partition is the target partition (EventPlace); -1 for EventEvict.
+	Partition int
+}
+
+// OnPlace subscribes fn to placement events: every vertex → partition
+// decision (and, for Loom, every window eviction) is delivered exactly
+// once, in decision order, as it happens — the feed a query router needs to
+// mirror the assignment live. Subscribe before ingesting for a complete
+// mirror; events are not replayed retroactively.
+//
+// Handlers run synchronously on the ingesting goroutine while the
+// partitioner's ingest lock is held: they must be fast and must not call
+// back into the Partitioner (hand the event to a channel or an
+// independently-locked structure instead). Multiple handlers all receive
+// every event. Offline refinement (Refine) does not emit events — it
+// produces a new assignment rather than streaming decisions; take a
+// Snapshot after refining instead.
+func (p *Partitioner) OnPlace(fn func(PlacementEvent)) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.handlers = append(p.handlers, fn)
+	if len(p.handlers) > 1 {
+		return // hooks already installed
+	}
+	if p.tr != nil {
+		p.tr.SetAssignHook(func(v int64, id partition.ID) {
+			p.emit(PlacementEvent{Kind: EventPlace, V: v, Partition: int(id)})
+		})
+	}
+	if p.loom != nil {
+		p.loom.SetEvictHook(func(u, v int64) {
+			p.emit(PlacementEvent{Kind: EventEvict, V: u, Other: v, Partition: -1})
+		})
+	}
+}
+
+// emit stamps and fans out one event. Called only from the streamer's
+// hooks, i.e. with p.mu held for writing by the ingesting goroutine.
+func (p *Partitioner) emit(ev PlacementEvent) {
+	ev.Seq = p.seq
+	p.seq++
+	for _, h := range p.handlers {
+		h(ev)
+	}
+}
+
+// Snapshot is an immutable, fully isolated view of a partitioning at one
+// consistent instant: it shares no mutable state with the partitioner, so
+// it can be read from any goroutine, for any length of time, without
+// blocking — or being invalidated by — ongoing ingest.
+type Snapshot struct {
+	name string
+	a    *partition.Assignment
+}
+
+// Snapshot captures the current assignment (the refined one, if Refine has
+// run). The capture itself takes the read lock for a single O(vertices)
+// copy; everything after is lock-free. Because ingest applies batches
+// atomically, a snapshot always corresponds to a batch boundary — the
+// state some single-threaded prefix replay of the stream would produce.
+func (p *Partitioner) Snapshot() *Snapshot {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return &Snapshot{name: p.name, a: p.snapshotLocked()}
+}
+
+// snapshotLocked returns an isolated assignment; p.mu must be held (read
+// or write). The refined assignment is immutable once installed (Refine
+// replaces it wholesale and its vertex table — a pre-refine snapshot clone
+// — never grows), so it is shared rather than copied; the live tracker's
+// state is cloned.
+func (p *Partitioner) snapshotLocked() *partition.Assignment {
+	if p.refined != nil {
+		return p.refined
+	}
+	return p.streamer.Snapshot()
+}
+
+// Name returns the algorithm name that produced the snapshot.
+func (s *Snapshot) Name() string { return s.name }
+
+// Partitions returns k.
+func (s *Snapshot) Partitions() int { return s.a.K }
+
+// PartitionOf returns v's partition in [0, Partitions), or ok = false if v
+// was unassigned when the snapshot was taken (not yet seen, or still
+// buffered in the window Ptemp).
+func (s *Snapshot) PartitionOf(v int64) (int, bool) {
+	id := s.a.Of(graph.VertexID(v))
+	if id == partition.Unassigned {
+		return 0, false
+	}
+	return int(id), true
+}
+
+// Sizes returns the vertex count of each partition.
+func (s *Snapshot) Sizes() []int { return append([]int(nil), s.a.Sizes...) }
+
+// NumAssigned returns the number of placed vertices.
+func (s *Snapshot) NumAssigned() int { return s.a.NumAssigned() }
+
+// Imbalance returns max |Vi|/(n/k) − 1 over the snapshot.
+func (s *Snapshot) Imbalance() float64 { return partition.Imbalance(s.a) }
+
+// Each calls f for every assigned vertex in first-seen order.
+func (s *Snapshot) Each(f func(v int64, part int)) {
+	s.a.Each(func(v graph.VertexID, id partition.ID) { f(int64(v), int(id)) })
+}
+
+// Assignments materialises the snapshot as a vertex → partition map.
+func (s *Snapshot) Assignments() map[int64]int {
+	out := make(map[int64]int, s.a.NumAssigned())
+	s.a.Each(func(v graph.VertexID, id partition.ID) { out[int64(v)] = int(id) })
+	return out
+}
 
 // PartitionOf returns v's partition in [0, Partitions), or ok = false while
 // v is unassigned (not yet seen, or still buffered in the window Ptemp).
+// For repeated point reads during ingest this takes the read lock per call;
+// for bulk or hot-path reads take a Snapshot (or mirror placements with
+// OnPlace) instead.
 func (p *Partitioner) PartitionOf(v int64) (int, bool) {
-	a := p.currentAssignment()
-	id := a.Of(graph.VertexID(v))
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	var id partition.ID
+	switch {
+	case p.refined != nil:
+		id = p.refined.Of(graph.VertexID(v))
+	case p.tr != nil:
+		id = p.tr.PartOf(graph.VertexID(v))
+	default:
+		id = p.streamer.Assignment().Of(graph.VertexID(v))
+	}
 	if id == partition.Unassigned {
 		return 0, false
 	}
@@ -322,16 +596,36 @@ func (p *Partitioner) PartitionOf(v int64) (int, bool) {
 }
 
 // Partitions returns k.
-func (p *Partitioner) Partitions() int { return p.currentAssignment().K }
+func (p *Partitioner) Partitions() int { return p.opt.Partitions }
 
-// Sizes returns the current vertex count of each partition.
+// Sizes returns the current vertex count of each partition, read atomically
+// (a concurrent eviction's cluster assignment is either fully included or
+// not at all).
 func (p *Partitioner) Sizes() []int {
-	return append([]int(nil), p.currentAssignment().Sizes...)
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	switch {
+	case p.refined != nil:
+		return append([]int(nil), p.refined.Sizes...)
+	case p.tr != nil:
+		return p.tr.Sizes()
+	default:
+		return append([]int(nil), p.streamer.Assignment().Sizes...)
+	}
 }
 
-// Assignments returns a copy of the full vertex → partition map.
+// Assignments returns a copy of the full vertex → partition map, taken
+// from a consistent snapshot (it can never observe a half-applied batch or
+// eviction).
 func (p *Partitioner) Assignments() map[int64]int {
-	a := p.currentAssignment()
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	var a *partition.Assignment
+	if p.refined != nil {
+		a = p.refined
+	} else {
+		a = p.streamer.Assignment()
+	}
 	out := make(map[int64]int, a.NumAssigned())
 	a.Each(func(v graph.VertexID, id partition.ID) { out[int64(v)] = int(id) })
 	return out
@@ -340,6 +634,8 @@ func (p *Partitioner) Assignments() map[int64]int {
 // Stats returns processing counters (Loom-specific fields are zero for
 // baselines).
 func (p *Partitioner) Stats() Stats {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	if p.loom == nil {
 		return Stats{}
 	}
@@ -355,8 +651,11 @@ func (p *Partitioner) Stats() Stats {
 
 // AddQuery extends the workload while streaming ("the TPSTry++ may be
 // trivially updated to account for change in the frequencies of workload
-// queries", §2). Only valid for Loom partitioners.
+// queries", §2). Only valid for Loom partitioners. Safe for concurrent use
+// with ingest: edges arriving after AddQuery returns see the new motifs.
 func (p *Partitioner) AddQuery(name string, pat *Pattern, freq float64) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if p.loom == nil {
 		return fmt.Errorf("loom: %s baseline has no workload to update", p.name)
 	}
@@ -383,21 +682,32 @@ type Evaluation struct {
 // Evaluate executes the workload over the recorded graph and the current
 // assignment. The Partitioner must have been built with graph recording
 // enabled and (for baselines) a workload.
+//
+// Evaluate runs on a snapshot: the graph and assignment are captured
+// consistently under the read lock (one O(V+E) copy), then the workload —
+// typically far more expensive — executes with no lock held, so concurrent
+// ingest proceeds while an evaluation is in flight.
 func (p *Partitioner) Evaluate() (Evaluation, error) {
+	p.mu.RLock()
 	if p.g == nil {
+		p.mu.RUnlock()
 		return Evaluation{}, fmt.Errorf("loom: graph recording disabled; Evaluate unavailable")
 	}
 	if p.wl == nil || p.wl.Len() == 0 {
+		p.mu.RUnlock()
 		return Evaluation{}, fmt.Errorf("loom: no workload to evaluate")
 	}
-	a := p.currentAssignment()
-	res, err := workload.Execute(p.g, a, p.wl.internal(), workload.Options{})
+	g := p.g.Clone()
+	a := p.snapshotLocked()
+	iwl := p.wl.internal()
+	p.mu.RUnlock()
+	res, err := workload.Execute(g, a, iwl, workload.Options{})
 	if err != nil {
 		return Evaluation{}, err
 	}
 	return Evaluation{
 		IPT:              res.IPT,
-		EdgeCut:          partition.EdgeCut(p.g, a),
+		EdgeCut:          partition.EdgeCut(g, a),
 		Imbalance:        partition.Imbalance(a),
 		AssignedVertices: a.NumAssigned(),
 	}, nil
@@ -419,10 +729,13 @@ type RefineStats struct {
 // Evaluate calls observe the refined placement, but the streaming state is
 // finished: call only after Flush.
 func (p *Partitioner) Refine(maxPasses int) (RefineStats, error) {
+	p.mu.RLock()
 	if p.g == nil {
+		p.mu.RUnlock()
 		return RefineStats{}, fmt.Errorf("loom: graph recording disabled; Refine unavailable")
 	}
 	if p.wl == nil || p.wl.Len() == 0 {
+		p.mu.RUnlock()
 		return RefineStats{}, fmt.Errorf("loom: no workload to refine against")
 	}
 	trie := p.trie
@@ -431,20 +744,53 @@ func (p *Partitioner) Refine(maxPasses int) (RefineStats, error) {
 		scheme := signature.NewScheme(p.opt.SignaturePrime, p.opt.Seed)
 		t, err := p.wl.internal().BuildTrie(scheme)
 		if err != nil {
+			p.mu.RUnlock()
 			return RefineStats{}, err
 		}
 		trie = t
 	}
-	a := p.streamer.Assignment()
-	refined, st, err := refine.Refine(p.g, a, trie, refine.Config{
-		Capacity:  partition.CapacityFor(p.opt.ExpectedVertices, p.opt.Partitions, p.opt.MaxImbalance),
+	// Refinement runs on an isolated snapshot of the graph and the
+	// streamer's assignment, but it also reads the live trie — which a
+	// concurrent AddQuery may mutate — so the read lock is held for the
+	// whole pass: concurrent reads proceed, ingest mutations wait (Refine
+	// is a post-Flush operation; there should be none). The result is
+	// swapped in atomically below.
+	g := p.g.Clone()
+	a := p.streamer.Snapshot()
+	obs := p.observedLocked()
+	opt := p.opt
+	refined, st, err := refine.Refine(g, a, trie, refine.Config{
+		Capacity:  partition.CapacityFor(opt.ExpectedVertices, opt.Partitions, opt.MaxImbalance),
 		MaxPasses: maxPasses,
 	})
+	p.mu.RUnlock()
 	if err != nil {
 		return RefineStats{}, err
 	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	// The read lock was released between refining and installing; if a
+	// producer ingested anything in that window — placed vertices, or
+	// edges merely buffered in Ptemp whose endpoints a later Flush will
+	// place — the refined assignment would silently hide them (p.refined
+	// supersedes the streamer), so refuse instead: the caller re-runs once
+	// ingest has actually quiesced.
+	if cur := p.observedLocked(); cur != obs {
+		return RefineStats{}, fmt.Errorf("loom: %d edges were ingested while Refine ran; re-run after ingest quiesces", cur-obs)
+	}
 	p.refined = refined
 	return RefineStats{Passes: st.Passes, Moves: st.Moves, CutBefore: st.CutBefore, CutAfter: st.CutAfter}, nil
+}
+
+// observedLocked returns the streamer's observed-edge count — which
+// advances on every non-degenerate ingest, including edges only buffered
+// in the window — falling back to the assigned-vertex count for streamers
+// without a tracker; p.mu must be held.
+func (p *Partitioner) observedLocked() int {
+	if p.tr != nil {
+		return p.tr.ObservedEdges()
+	}
+	return p.streamer.Assignment().NumAssigned()
 }
 
 // Restream returns a fresh Loom partitioner that uses this partitioner's
@@ -453,11 +799,19 @@ func (p *Partitioner) Refine(maxPasses int) (RefineStats, error) {
 // decisions will keep the localities discovered on the first pass. Only
 // available for Loom partitioners.
 func (p *Partitioner) Restream() (*Partitioner, error) {
+	p.mu.RLock()
 	if p.loom == nil {
-		return nil, fmt.Errorf("loom: Restream requires a Loom partitioner, not %s", p.name)
+		name := p.name
+		p.mu.RUnlock()
+		return nil, fmt.Errorf("loom: Restream requires a Loom partitioner, not %s", name)
 	}
 	opt := p.opt
-	iwl := p.wl.internal()
+	wl := p.wl
+	iwl := wl.internal()
+	// The prior is an isolated snapshot, so the returned partitioner never
+	// races this one's still-growing vertex table.
+	prior := p.snapshotLocked()
+	p.mu.RUnlock()
 	scheme := signature.NewScheme(opt.SignaturePrime, opt.Seed)
 	trie, err := iwl.BuildTrie(scheme)
 	if err != nil {
@@ -470,25 +824,16 @@ func (p *Partitioner) Restream() (*Partitioner, error) {
 		SupportThreshold: opt.SupportThreshold,
 		Alpha:            opt.Alpha,
 		MaxImbalance:     opt.MaxImbalance,
-		Prior:            p.currentAssignment(),
+		Prior:            prior,
 	}, trie)
 	if err != nil {
 		return nil, err
 	}
-	np := &Partitioner{name: "loom", streamer: lm, loom: lm, trie: trie, wl: p.wl, opt: opt}
+	np := &Partitioner{name: "loom", streamer: lm, tr: lm.Tracker(), loom: lm, trie: trie, wl: wl, opt: opt}
 	if !opt.DisableGraphRecording {
 		np.g = graph.New()
 	}
 	return np, nil
-}
-
-// currentAssignment returns the refined assignment when present, else the
-// streamer's.
-func (p *Partitioner) currentAssignment() *partition.Assignment {
-	if p.refined != nil {
-		return p.refined
-	}
-	return p.streamer.Assignment()
 }
 
 // Simulation reports a simulated distributed execution of the workload
@@ -510,13 +855,22 @@ type Simulation struct {
 // 1 and 1000). This turns the paper's ipt proxy into a latency-flavoured
 // estimate; see internal/simulate.
 func (p *Partitioner) Simulate(localCost, remoteCost float64) (Simulation, error) {
+	p.mu.RLock()
 	if p.g == nil {
+		p.mu.RUnlock()
 		return Simulation{}, fmt.Errorf("loom: graph recording disabled; Simulate unavailable")
 	}
 	if p.wl == nil || p.wl.Len() == 0 {
+		p.mu.RUnlock()
 		return Simulation{}, fmt.Errorf("loom: no workload to simulate")
 	}
-	res, err := simulate.Run(p.g, p.currentAssignment(), p.wl.internal(),
+	// Like Evaluate: capture a consistent snapshot cheaply, simulate
+	// without the lock.
+	g := p.g.Clone()
+	a := p.snapshotLocked()
+	iwl := p.wl.internal()
+	p.mu.RUnlock()
+	res, err := simulate.Run(g, a, iwl,
 		simulate.CostModel{LocalCost: localCost, RemoteCost: remoteCost}, 0)
 	if err != nil {
 		return Simulation{}, err

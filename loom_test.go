@@ -318,7 +318,7 @@ func TestRestreamPublicAPI(t *testing.T) {
 		p2.AddStreamEdge(e)
 	}
 	p2.Flush()
-	if p2.currentAssignment().NumAssigned() != len(seen) {
+	if p2.Snapshot().NumAssigned() != len(seen) {
 		t.Error("restream pass did not assign everything")
 	}
 	// Baselines can't restream.
