@@ -7,12 +7,17 @@
 //	loom-bench -exp fig7 -scale 20000 -k 8
 //	loom-bench -exp fig9 -datasets musicbrainz
 //	loom-bench -exp perf -json BENCH_$(git rev-parse --short HEAD).json
+//	loom-bench -exp scale -json BENCH_parallel.json
+//	loom-bench -exp perf -cpuprofile cpu.pprof -memprofile mem.pprof
 //
-// Experiments: table1, fig4, fig7, fig8, fig9, table2, ablation, perf, all.
-// The perf experiment measures every partitioner's streaming cost (ns,
-// allocs and bytes per edge) plus the ipt it buys; -json writes it as
-// machine-readable JSON ("-" for stdout) so the performance trajectory can
-// be tracked across commits (BENCH_*.json).
+// Experiments: table1, fig4, fig7, fig8, fig9, table2, ablation, perf,
+// scale, all. The perf experiment measures every partitioner's streaming
+// cost (ns, allocs and bytes per edge) plus the ipt it buys; the scale
+// experiment sweeps AddBatch worker counts (multi-core ingest). -json
+// writes either as machine-readable JSON ("-" for stdout) so the
+// performance trajectory can be tracked across commits (BENCH_*.json).
+// -cpuprofile / -memprofile write pprof profiles covering the selected
+// experiment, so hot-path work is profileable without a custom harness.
 // See EXPERIMENTS.md for how each output maps onto the paper's results.
 package main
 
@@ -20,6 +25,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -29,13 +36,15 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: table1, fig4, fig7, fig8, fig9, table2, ablation, extensions, simulate, motifs, perf, all")
+		exp      = flag.String("exp", "all", "experiment: table1, fig4, fig7, fig8, fig9, table2, ablation, extensions, simulate, motifs, perf, scale, all")
 		scale    = flag.Int("scale", 12000, "per-dataset target vertex count")
 		seed     = flag.Int64("seed", 42, "seed for generation/shuffles/signatures")
 		k        = flag.Int("k", 8, "partitions (fig7/fig9/table2)")
 		win      = flag.Int("window", 2048, "Loom window size at harness scale")
 		datasets = flag.String("datasets", "", "comma-separated subset (default: dblp,provgen,musicbrainz,lubm)")
-		jsonOut  = flag.String("json", "", "write the perf experiment as JSON to this file (\"-\" for stdout); implies -exp perf")
+		jsonOut  = flag.String("json", "", "write the perf or scale experiment as JSON to this file (\"-\" for stdout); implies -exp perf unless -exp scale is given")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile covering the experiment to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile taken after the experiment to this file")
 	)
 	flag.Parse()
 
@@ -43,21 +52,54 @@ func main() {
 	if *datasets != "" {
 		cfg.Datasets = strings.Split(*datasets, ",")
 	}
-	if *jsonOut != "" {
-		if *exp != "all" && *exp != "perf" {
-			fmt.Fprintf(os.Stderr, "loom-bench: -json only applies to the perf experiment (got -exp %s)\n", *exp)
-			os.Exit(1)
+	if err := withProfiles(*cpuProf, *memProf, func() error {
+		if *jsonOut != "" {
+			switch *exp {
+			case "all", "perf":
+				return runPerfJSON(cfg, *jsonOut)
+			case "scale":
+				return runScaleJSON(cfg, *jsonOut)
+			default:
+				return fmt.Errorf("-json only applies to the perf and scale experiments (got -exp %s)", *exp)
+			}
 		}
-		if err := runPerfJSON(cfg, *jsonOut); err != nil {
-			fmt.Fprintf(os.Stderr, "loom-bench: %v\n", err)
-			os.Exit(1)
-		}
-		return
-	}
-	if err := run(*exp, cfg); err != nil {
+		return run(*exp, cfg)
+	}); err != nil {
 		fmt.Fprintf(os.Stderr, "loom-bench: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// withProfiles runs fn under the requested pprof profiles: the CPU profile
+// covers fn exactly, and the heap profile snapshots live allocations after
+// fn (and a final GC), the view that matters for steady-state memory.
+func withProfiles(cpuPath, memPath string, fn func() error) error {
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if err := fn(); err != nil {
+		return err
+	}
+	if memPath != "" {
+		f, err := os.Create(memPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return fmt.Errorf("memprofile: %w", err)
+		}
+	}
+	return nil
 }
 
 // runPerfJSON runs the perf experiment and writes the machine-readable
@@ -75,6 +117,27 @@ func runPerfJSON(cfg bench.Config, path string) error {
 		return err
 	}
 	if err := bench.WritePerfJSON(f, rep); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// runScaleJSON runs the multi-core scaling sweep and writes the
+// machine-readable report to path ("-" = stdout).
+func runScaleJSON(cfg bench.Config, path string) error {
+	rep, err := bench.RunScale(cfg)
+	if err != nil {
+		return err
+	}
+	if path == "-" {
+		return bench.WriteScaleJSON(os.Stdout, rep)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := bench.WriteScaleJSON(f, rep); err != nil {
 		f.Close()
 		return err
 	}
@@ -150,6 +213,12 @@ func run(exp string, cfg bench.Config) error {
 				return err
 			}
 			bench.RenderPerf(os.Stdout, rep)
+		case "scale":
+			rep, err := bench.RunScale(cfg)
+			if err != nil {
+				return err
+			}
+			bench.RenderScale(os.Stdout, rep)
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}

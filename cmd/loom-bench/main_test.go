@@ -13,10 +13,54 @@ func tinyCfg() bench.Config {
 }
 
 func TestRunEachExperiment(t *testing.T) {
-	for _, exp := range []string{"table1", "fig4", "fig9", "table2", "ablation", "extensions", "motifs", "simulate", "perf"} {
+	for _, exp := range []string{"table1", "fig4", "fig9", "table2", "ablation", "extensions", "motifs", "simulate", "perf", "scale"} {
 		if err := run(exp, tinyCfg()); err != nil {
 			t.Errorf("%s: %v", exp, err)
 		}
+	}
+}
+
+func TestRunScaleJSON(t *testing.T) {
+	path := t.TempDir() + "/BENCH_scale_test.json"
+	if err := runScaleJSON(tinyCfg(), path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep bench.ScaleReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if want := len(bench.ScaleWorkers); len(rep.Rows) != want {
+		t.Fatalf("got %d rows, want %d", len(rep.Rows), want)
+	}
+}
+
+func TestWithProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu, mem := dir+"/cpu.pprof", dir+"/mem.pprof"
+	ran := false
+	if err := withProfiles(cpu, mem, func() error { ran = true; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("fn not run")
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile %s: %v", p, err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
+		}
+	}
+	// Errors from fn must propagate (and still stop the CPU profile).
+	wantErr := withProfiles(dir+"/cpu2.pprof", "", func() error { return os.ErrInvalid })
+	if wantErr != os.ErrInvalid {
+		t.Errorf("fn error not propagated: %v", wantErr)
 	}
 }
 

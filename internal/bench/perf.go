@@ -123,12 +123,18 @@ func RunPerf(cfg Config) (*PerfReport, error) {
 // rows isolate the streaming path; the prepared graph provides ipt).
 func newPublicSystem(sys string, p *prepared, cfg Config) (*loom.Partitioner, error) {
 	opt := loom.Options{
-		Partitions:            cfg.K,
-		ExpectedVertices:      p.g.NumVertices(),
-		ExpectedEdges:         p.g.NumEdges(),
-		WindowSize:            cfg.WindowSize,
-		SupportThreshold:      cfg.Threshold,
-		Seed:                  cfg.Seed,
+		Partitions:       cfg.K,
+		ExpectedVertices: p.g.NumVertices(),
+		ExpectedEdges:    p.g.NumEdges(),
+		WindowSize:       cfg.WindowSize,
+		SupportThreshold: cfg.Threshold,
+		Seed:             cfg.Seed,
+		// The perf rows track the sequential public ingest path across
+		// commits; pinning Workers keeps them comparable on any machine
+		// (the default would otherwise flip the parallel pipeline on
+		// wherever GOMAXPROCS > 1). The scale experiment owns the
+		// worker-count dimension.
+		Workers:               1,
 		DisableGraphRecording: true,
 	}
 	if sys == "loom" {

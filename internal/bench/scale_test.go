@@ -1,0 +1,59 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestRunScale: the sweep must produce one row per dataset × worker count,
+// with sane throughput numbers and a workers=1 speedup of exactly 1 (it is
+// its own baseline). RunScale also asserts placement identity across the
+// sweep internally, so a pass here re-proves bit-identical parallel ingest.
+func TestRunScale(t *testing.T) {
+	cfg := Config{Scale: 900, Seed: 3, K: 2, WindowSize: 64, Datasets: []string{"provgen"}}
+	rep, err := RunScale(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(ScaleWorkers); len(rep.Rows) != want {
+		t.Fatalf("got %d rows, want %d", len(rep.Rows), want)
+	}
+	if rep.NumCPU < 1 || rep.GoMaxProcs < 1 || rep.BatchSize != scaleBatchSize {
+		t.Fatalf("bad machine context: %+v", rep)
+	}
+	for i, r := range rep.Rows {
+		if r.Workers != ScaleWorkers[i] {
+			t.Errorf("row %d: workers %d, want %d", i, r.Workers, ScaleWorkers[i])
+		}
+		if r.NsPerEdge <= 0 || r.MEdgesPerSec <= 0 || r.SpeedupVsOne <= 0 {
+			t.Errorf("row %d: non-positive measurement %+v", i, r)
+		}
+		if r.Edges <= 0 {
+			t.Errorf("row %d: no edges", i)
+		}
+	}
+	if rep.Rows[0].SpeedupVsOne != 1 {
+		t.Errorf("workers=1 speedup %v, want exactly 1", rep.Rows[0].SpeedupVsOne)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteScaleJSON(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	var round ScaleReport
+	if err := json.Unmarshal(buf.Bytes(), &round); err != nil {
+		t.Fatalf("JSON round-trip: %v", err)
+	}
+	if len(round.Rows) != len(rep.Rows) {
+		t.Fatalf("round-trip lost rows: %d vs %d", len(round.Rows), len(rep.Rows))
+	}
+
+	buf.Reset()
+	RenderScale(&buf, rep)
+	out := buf.String()
+	if !strings.Contains(out, "provgen") || !strings.Contains(out, "speedup") {
+		t.Errorf("rendered table missing expected columns:\n%s", out)
+	}
+}

@@ -13,9 +13,22 @@
 //
 // Tables only grow; indices and codes are stable for the lifetime of the
 // table, so any number of components (tracker, window, recorded graph) can
-// share one table and index their own slices consistently. Tables are not
-// safe for concurrent use (Loom's pipeline is single-threaded by design,
-// §6 of the paper).
+// share one table and index their own slices consistently.
+//
+// # Concurrency
+//
+// Tables are not safe for concurrent mutation (Loom's placement core is
+// single-threaded by design, §6 of the paper), but both tables guarantee
+// that read-only calls — VertexTable.Lookup/ID/Len/IDs and
+// LabelTable.Lookup/Name/Len/Names — are safe from any number of
+// goroutines AS LONG AS no Intern runs concurrently. This is the contract
+// behind the two-phase batch resolve in internal/core's ingest pipeline:
+// phase one fans read-only Lookups of already-known vertices and labels
+// across worker goroutines, then a single serial phase interns only the
+// strings the stream has never seen (in arrival order, keeping dense
+// indices bit-identical to sequential ingest), after which the new entries
+// are visible to the next batch's parallel phase. The phases are separated
+// by a goroutine join, so no happens-before edge is missing.
 package intern
 
 import "fmt"
@@ -122,7 +135,9 @@ func (t *VertexTable) Intern(id int64) uint32 {
 	return idx
 }
 
-// Lookup returns the dense index of id without interning it.
+// Lookup returns the dense index of id without interning it. Lookup is a
+// pure read: any number of goroutines may call it concurrently while no
+// Intern is running (the parallel batch pre-pass depends on this).
 func (t *VertexTable) Lookup(id int64) (uint32, bool) {
 	if len(t.slots) == 0 {
 		return 0, false
@@ -192,7 +207,9 @@ func (t *LabelTable) Intern(name string) uint16 {
 	return c
 }
 
-// Lookup returns the code of name without interning it.
+// Lookup returns the code of name without interning it. Like
+// VertexTable.Lookup, it is safe for concurrent readers while no Intern is
+// running.
 func (t *LabelTable) Lookup(name string) (uint16, bool) {
 	c, ok := t.code[name]
 	return c, ok

@@ -1,6 +1,9 @@
 package intern
 
-import "testing"
+import (
+	"fmt"
+	"testing"
+)
 
 func TestVertexTableInternLookup(t *testing.T) {
 	vt := NewVertexTable(4)
@@ -98,4 +101,50 @@ func TestLabelTableNameOutOfRangePanics(t *testing.T) {
 		}
 	}()
 	NewLabelTable().Name(0)
+}
+
+// TestConcurrentLookups pins the package's read-concurrency contract: with
+// no Intern running, Lookup/ID/Len on both tables are safe from any number
+// of goroutines (run under -race in CI). The batch-ingest pipeline's
+// parallel resolve phase depends on this.
+func TestConcurrentLookups(t *testing.T) {
+	vt := NewVertexTable(0)
+	lt := NewLabelTable()
+	labels := []string{"a", "b", "c", "d"}
+	for i := int64(0); i < 1000; i++ {
+		vt.Intern(i * 31)
+		lt.Intern(labels[i%int64(len(labels))])
+	}
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		g := g
+		go func() {
+			for i := int64(0); i < 1000; i++ {
+				id := (i + int64(g)*7) % 1000 * 31
+				idx, ok := vt.Lookup(id)
+				if !ok || vt.ID(idx) != id {
+					done <- fmt.Errorf("Lookup(%d) = %d,%v", id, idx, ok)
+					return
+				}
+				if _, ok := vt.Lookup(id + 1); ok {
+					done <- fmt.Errorf("Lookup(%d) found a missing ID", id+1)
+					return
+				}
+				if c, ok := lt.Lookup(labels[i%int64(len(labels))]); !ok || lt.Name(c) != labels[i%int64(len(labels))] {
+					done <- fmt.Errorf("label Lookup(%q) = %d,%v", labels[i%int64(len(labels))], c, ok)
+					return
+				}
+				if _, ok := lt.Lookup("nope"); ok {
+					done <- fmt.Errorf("label Lookup found a missing name")
+					return
+				}
+			}
+			done <- nil
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
 }

@@ -1,0 +1,101 @@
+package window
+
+import (
+	"sync"
+	"testing"
+
+	"loom/internal/pattern"
+)
+
+// TestGateProbeMatchesSingleEdgeMotifCodes: after a serial warm-up,
+// GateProbe must report exactly the memoised verdicts — and report unknown
+// pairs as unknown rather than guessing.
+func TestGateProbeMatchesSingleEdgeMotifCodes(t *testing.T) {
+	trie := fig5Trie(t)
+	w := NewMatcher(trie, 0.4, 10)
+	ca := w.Labels().Intern("a")
+	cb := w.Labels().Intern("b")
+	cc := w.Labels().Intern("c")
+	cd := w.Labels().Intern("d")
+
+	w.GateSync()
+	if _, _, known := w.GateProbe(ca, cb); known {
+		t.Fatal("unwarmed pair reported as known")
+	}
+
+	wantNode, wantOK := w.SingleEdgeMotifCodes(ca, cb) // motif: a-b
+	node, motif, known := w.GateProbe(ca, cb)
+	if !known || motif != wantOK || node != wantNode {
+		t.Fatalf("GateProbe(a,b) = (%v,%v,%v); want memoised (%v,%v,true)",
+			node, motif, known, wantNode, wantOK)
+	}
+
+	if _, ok := w.SingleEdgeMotifCodes(ca, cd); ok { // non-motif: a-d
+		t.Fatal("a-d unexpectedly a motif")
+	}
+	if node, motif, known := w.GateProbe(ca, cd); !known || motif || node != nil {
+		t.Fatalf("GateProbe(a,d) = (%v,%v,%v); want memoised negative", node, motif, known)
+	}
+	if _, _, known := w.GateProbe(cc, cd); known {
+		t.Fatal("never-queried pair reported as known")
+	}
+}
+
+// TestGateSyncInvalidatesOnWorkloadChange: AddQuery bumps the trie
+// version; GateSync must clear stale verdicts so probes re-memoise against
+// the new workload.
+func TestGateSyncInvalidatesOnWorkloadChange(t *testing.T) {
+	trie := fig5Trie(t)
+	w := NewMatcher(trie, 0.4, 10)
+	cd := w.Labels().Intern("d")
+	ce := w.Labels().Intern("e")
+	if _, ok := w.SingleEdgeMotifCodes(cd, ce); ok {
+		t.Fatal("d-e a motif before the workload includes it")
+	}
+	// Make d-e dominant: its support passes the threshold.
+	if err := trie.AddQuery(pattern.Path("d", "e"), 5.0); err != nil {
+		t.Fatal(err)
+	}
+	w.GateSync()
+	if _, _, known := w.GateProbe(cd, ce); known {
+		t.Fatal("stale verdict survived GateSync after AddQuery")
+	}
+	if _, ok := w.SingleEdgeMotifCodes(cd, ce); !ok {
+		t.Fatal("d-e not a motif after AddQuery")
+	}
+	if node, motif, known := w.GateProbe(cd, ce); !known || !motif || node == nil {
+		t.Fatalf("GateProbe(d,e) = (%v,%v,%v) after re-memoisation", node, motif, known)
+	}
+}
+
+// TestGateProbeConcurrentReaders: with the memo warmed and synced, any
+// number of goroutines may probe concurrently (run under -race in CI) —
+// the contract the parallel batch pre-pass is built on.
+func TestGateProbeConcurrentReaders(t *testing.T) {
+	trie := fig5Trie(t)
+	w := NewMatcher(trie, 0.4, 10)
+	ca := w.Labels().Intern("a")
+	cb := w.Labels().Intern("b")
+	cc := w.Labels().Intern("c")
+	w.SingleEdgeMotifCodes(ca, cb)
+	w.SingleEdgeMotifCodes(cb, cc)
+	w.SingleEdgeMotifCodes(ca, cc)
+	w.GateSync()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				if _, motif, known := w.GateProbe(ca, cb); !known || !motif {
+					t.Error("a-b lost its motif verdict")
+					return
+				}
+				w.GateProbe(cb, cc)
+				w.GateProbe(ca, cc)
+			}
+		}()
+	}
+	wg.Wait()
+}

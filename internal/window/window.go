@@ -332,18 +332,7 @@ func (w *Matcher) HasVertex(v graph.VertexID) bool {
 // window. Decisions are memoised per label pair until the trie's workload
 // changes (supports — and so motif-hood — move with every AddQuery).
 func (w *Matcher) SingleEdgeMotifCodes(cu, cv uint16) (*tpstry.Node, bool) {
-	if v := w.trie.Version(); w.gate == nil || w.gateVer != v {
-		if w.gate == nil {
-			w.gate = make(map[uint32]*tpstry.Node, 64)
-		} else {
-			clear(w.gate)
-		}
-		w.gateVer = v
-		// A workload change also moves the largest-motif bound; matches
-		// already larger than a shrunken bound simply stop growing.
-		w.maxEdges = w.trie.MaxMotifEdges(w.threshold)
-		w.ensureGrowScratch()
-	}
+	w.GateSync()
 	key := uint32(cu)<<16 | uint32(cv)
 	if n, ok := w.gate[key]; ok {
 		return n, n != nil
@@ -356,6 +345,40 @@ func (w *Matcher) SingleEdgeMotifCodes(cu, cv uint16) (*tpstry.Node, bool) {
 	}
 	w.gate[key] = n
 	return n, true
+}
+
+// GateSync revalidates the single-edge gate memo against the trie's current
+// workload version, clearing stale verdicts (supports — and so motif-hood —
+// move with every AddQuery). SingleEdgeMotifCodes calls it implicitly; the
+// batch-prepare pipeline calls it explicitly, once and serially, before
+// fanning GateProbe reads across worker goroutines — after GateSync returns
+// and until the next mutating call, the memo is stable and GateProbe is
+// safe for any number of concurrent readers.
+func (w *Matcher) GateSync() {
+	if v := w.trie.Version(); w.gate == nil || w.gateVer != v {
+		if w.gate == nil {
+			w.gate = make(map[uint32]*tpstry.Node, 64)
+		} else {
+			clear(w.gate)
+		}
+		w.gateVer = v
+		// A workload change also moves the largest-motif bound; matches
+		// already larger than a shrunken bound simply stop growing.
+		w.maxEdges = w.trie.MaxMotifEdges(w.threshold)
+		w.ensureGrowScratch()
+	}
+}
+
+// GateProbe is the read-only form of SingleEdgeMotifCodes: it consults the
+// memo without ever writing it, reporting the motif node (nil for a
+// non-motif pair), the verdict, and whether the pair has been memoised at
+// all. Unknown pairs are left for a serial SingleEdgeMotifCodes pass to
+// resolve. Callers must GateSync first; concurrent GateProbe calls are then
+// safe as long as no gate-mutating call runs alongside them (the parallel
+// pre-pass of AddBatch relies on exactly this).
+func (w *Matcher) GateProbe(cu, cv uint16) (node *tpstry.Node, motif, known bool) {
+	n, ok := w.gate[uint32(cu)<<16|uint32(cv)]
+	return n, n != nil, ok
 }
 
 // ensureGrowScratch re-sizes the join/grow scratch for the current

@@ -54,6 +54,7 @@ package loom
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sync"
 
 	"loom/internal/core"
@@ -101,6 +102,16 @@ type Options struct {
 	// Seed makes signature label values and any internal randomness
 	// reproducible (default 1).
 	Seed int64
+	// Workers is the parallelism of batch ingest: AddBatch runs a
+	// prepare pre-pass (edge conversion, vertex/label resolution, motif
+	// gate) across this many goroutines before the sequential placement
+	// core consumes the batch, and large eviction rounds scatter their
+	// bids across the same pool. Placements are bit-identical for every
+	// value — parallelism changes only throughput. 0 (the default) uses
+	// GOMAXPROCS at construction time; 1 disables the pipeline and keeps
+	// ingest on the exact single-threaded path. Only Loom partitioners
+	// parallelise; baselines ignore the knob.
+	Workers int
 	// KeepGraph records every accepted edge so Evaluate can replay the
 	// workload over the final partitioning (default true; disable for
 	// large streams where only the assignment matters).
@@ -251,6 +262,12 @@ func (o Options) normalise() (Options, error) {
 	if o.Seed == 0 {
 		o.Seed = 1
 	}
+	if o.Workers == 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.Workers < 1 {
+		return o, fmt.Errorf("loom: Workers must be >= 1 (or 0 for GOMAXPROCS), got %d", o.Workers)
+	}
 	return o, nil
 }
 
@@ -279,6 +296,7 @@ func New(opt Options, wl *Workload) (*Partitioner, error) {
 		SupportThreshold: opt.SupportThreshold,
 		Alpha:            opt.Alpha,
 		MaxImbalance:     opt.MaxImbalance,
+		Workers:          opt.Workers,
 	}, trie)
 	if err != nil {
 		return nil, err
@@ -339,10 +357,17 @@ func (p *Partitioner) Name() string { return p.name }
 //
 // AddBatch is the preferred ingest path: the ingest lock (and the public
 // per-call overhead around it) is paid once per batch rather than once per
-// edge — see BENCH_pr3_api.json for the measured per-edge saving.
+// edge — see BENCH_pr3_api.json for the measured per-edge saving. With
+// Options.Workers > 1, Loom partitioners additionally run the batch
+// through a stage-parallel pipeline (parallel prepare pre-pass, sequential
+// placement core) whose placements are bit-identical to the single-threaded
+// path; see the Workers option.
 func (p *Partitioner) AddBatch(batch []StreamEdge) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if p.loom != nil && p.opt.Workers > 1 {
+		return p.addBatchParallel(batch)
+	}
 	var firstErr error
 	// Edges dispatch to the streamer one at a time rather than through
 	// Streamer.ProcessEdges: the public edge type must be converted
@@ -371,6 +396,46 @@ func (p *Partitioner) AddBatch(batch []StreamEdge) error {
 		}
 		p.streamer.ProcessEdge(se)
 	}
+	return firstErr
+}
+
+// addBatchParallel feeds a batch through the Loom core's stage-parallel
+// pipeline (p.mu held for writing). The pipeline pulls edges via the at
+// callback — conversion from the public edge type happens inside the
+// parallel prepare pre-pass, off the sequential path — and, when graph
+// recording is on, validates the batch through the same serial EnsureEdge
+// walk as the per-edge path (overlapped with the pre-pass), dropping
+// corrupt edges with the same sticky-error semantics.
+func (p *Partitioner) addBatchParallel(batch []StreamEdge) error {
+	var firstErr error
+	at := func(i int) graph.StreamEdge {
+		e := &batch[i]
+		return graph.StreamEdge{
+			U: graph.VertexID(e.U), LU: graph.Label(e.LU),
+			V: graph.VertexID(e.V), LV: graph.Label(e.LV),
+		}
+	}
+	var validate func(reject func(int))
+	if p.g != nil {
+		validate = func(reject func(int)) {
+			for i := range batch {
+				e := &batch[i]
+				if _, err := p.g.EnsureEdge(
+					graph.VertexID(e.U), graph.Label(e.LU),
+					graph.VertexID(e.V), graph.Label(e.LV)); err != nil {
+					err = fmt.Errorf("loom: %w", err)
+					if firstErr == nil {
+						firstErr = err
+					}
+					if p.err == nil {
+						p.err = err
+					}
+					reject(i)
+				}
+			}
+		}
+	}
+	p.loom.ProcessBatchFunc(len(batch), at, validate)
 	return firstErr
 }
 
@@ -824,6 +889,7 @@ func (p *Partitioner) Restream() (*Partitioner, error) {
 		SupportThreshold: opt.SupportThreshold,
 		Alpha:            opt.Alpha,
 		MaxImbalance:     opt.MaxImbalance,
+		Workers:          opt.Workers,
 		Prior:            prior,
 	}, trie)
 	if err != nil {
