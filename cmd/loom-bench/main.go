@@ -11,11 +11,14 @@
 //	loom-bench -exp perf -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // Experiments: table1, fig4, fig7, fig8, fig9, table2, ablation, perf,
-// scale, all. The perf experiment measures every partitioner's streaming
-// cost (ns, allocs and bytes per edge) plus the ipt it buys; the scale
-// experiment sweeps AddBatch worker counts (multi-core ingest). -json
-// writes either as machine-readable JSON ("-" for stdout) so the
-// performance trajectory can be tracked across commits (BENCH_*.json).
+// scale, hub, all. The perf experiment measures every partitioner's
+// streaming cost (ns, allocs and bytes per edge) plus the ipt it buys;
+// the scale experiment sweeps AddBatch worker counts (multi-core ingest);
+// the hub experiment stresses the matching core's join path on
+// adversarial dense-hub and high-overlap window shapes. -json writes the
+// perf, scale or hub experiment as machine-readable JSON ("-" for stdout)
+// so the performance trajectory can be tracked across commits
+// (BENCH_*.json).
 // -cpuprofile / -memprofile write pprof profiles covering the selected
 // experiment, so hot-path work is profileable without a custom harness.
 // See EXPERIMENTS.md for how each output maps onto the paper's results.
@@ -36,7 +39,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: table1, fig4, fig7, fig8, fig9, table2, ablation, extensions, simulate, motifs, perf, scale, all")
+		exp      = flag.String("exp", "all", "experiment: table1, fig4, fig7, fig8, fig9, table2, ablation, extensions, simulate, motifs, perf, scale, hub, all")
 		scale    = flag.Int("scale", 12000, "per-dataset target vertex count")
 		seed     = flag.Int64("seed", 42, "seed for generation/shuffles/signatures")
 		k        = flag.Int("k", 8, "partitions (fig7/fig9/table2)")
@@ -59,8 +62,10 @@ func main() {
 				return runPerfJSON(cfg, *jsonOut)
 			case "scale":
 				return runScaleJSON(cfg, *jsonOut)
+			case "hub":
+				return runHubJSON(cfg, *jsonOut)
 			default:
-				return fmt.Errorf("-json only applies to the perf and scale experiments (got -exp %s)", *exp)
+				return fmt.Errorf("-json only applies to the perf, scale and hub experiments (got -exp %s)", *exp)
 			}
 		}
 		return run(*exp, cfg)
@@ -117,6 +122,27 @@ func runPerfJSON(cfg bench.Config, path string) error {
 		return err
 	}
 	if err := bench.WritePerfJSON(f, rep); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// runHubJSON runs the join-path stress shapes and writes the
+// machine-readable report to path ("-" = stdout).
+func runHubJSON(cfg bench.Config, path string) error {
+	rep, err := bench.RunHub(cfg)
+	if err != nil {
+		return err
+	}
+	if path == "-" {
+		return bench.WriteHubJSON(os.Stdout, rep)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := bench.WriteHubJSON(f, rep); err != nil {
 		f.Close()
 		return err
 	}
@@ -219,6 +245,12 @@ func run(exp string, cfg bench.Config) error {
 				return err
 			}
 			bench.RenderScale(os.Stdout, rep)
+		case "hub":
+			rep, err := bench.RunHub(cfg)
+			if err != nil {
+				return err
+			}
+			bench.RenderHub(os.Stdout, rep)
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}

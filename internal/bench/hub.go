@@ -1,0 +1,194 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"runtime"
+	"text/tabwriter"
+	"time"
+
+	"loom/internal/core"
+	"loom/internal/graph"
+	"loom/internal/partition"
+	"loom/internal/pattern"
+	"loom/internal/signature"
+	"loom/internal/tpstry"
+	"loom/internal/workload"
+)
+
+// The hub experiment (ISSUE 5): adversarial window shapes that stress the
+// matching core's join path at experiment scale, so the quadratic-blowup
+// regressions the per-edge datasets never trigger (their matchLists stay
+// short) are caught by a plain `loom-bench -exp hub` run. Two shapes:
+//
+//   - dense-hub: one same-label hub vertex absorbs a constant stream of
+//     spokes, saturating the per-vertex match cap — every insert pays the
+//     full grow fan-out plus the pairwise join loop over the hub's
+//     matchList (the worst case the cap exists for);
+//   - high-overlap: a small same-label vertex population receives a long
+//     uniform edge stream, so window edges overlap heavily and most join
+//     candidates share vertices without sharing edges.
+//
+// Both run the full Loom pipeline (window + eviction + assignment), not
+// the bare matcher, so the numbers are comparable to the perf experiment
+// and catch regressions wherever they hide in the path.
+
+// HubRow is one shape's measurement.
+type HubRow struct {
+	Shape     string  `json:"shape"`
+	Edges     int     `json:"edges"`
+	NsPerEdge float64 `json:"ns_per_edge"`
+	// Windowed/Evictions/Matches characterise the stress actually applied
+	// (a regression that silently stops matching would show here first).
+	Windowed  int `json:"windowed_edges"`
+	Evictions int `json:"evictions"`
+	Matches   int `json:"matches_assigned"`
+}
+
+// HubReport is the machine-readable output of RunHub.
+type HubReport struct {
+	Scale      int      `json:"scale"`
+	Seed       int64    `json:"seed"`
+	K          int      `json:"k"`
+	WindowSize int      `json:"window_size"`
+	Reps       int      `json:"reps"`
+	GoVersion  string   `json:"go_version"`
+	Rows       []HubRow `json:"rows"`
+}
+
+// hubReps is how many runs each shape's timing takes the minimum over.
+const hubReps = 3
+
+// hubTrie builds the all-same-label star workload: every edge passes the
+// single-edge gate and sub-stars of every size up to four edges are
+// motifs — the join loop's worst case.
+func hubTrie(seed int64) (*tpstry.Trie, error) {
+	scheme := signature.NewScheme(signature.DefaultP, seed)
+	scheme.RegisterLabels([]graph.Label{"x"})
+	wl := &workload.Workload{Queries: []workload.Query{
+		{Name: "star4", Pattern: pattern.Star("x", "x", "x", "x", "x"), Freq: 1},
+	}}
+	return wl.BuildTrie(scheme)
+}
+
+// hubStream synthesises one shape's edge stream.
+func hubStream(shape string, scale int, rng *rand.Rand) []graph.StreamEdge {
+	edges := make([]graph.StreamEdge, 0, scale)
+	emit := func(u, v int64) {
+		if u != v {
+			edges = append(edges, graph.StreamEdge{
+				U: graph.VertexID(u), LU: "x", V: graph.VertexID(v), LV: "x",
+			})
+		}
+	}
+	switch shape {
+	case "dense-hub":
+		// One hub (vertex 0) and a large leaf population; three of four
+		// edges are spokes, the rest leaf-leaf background.
+		pop := int64(scale / 4)
+		if pop < 16 {
+			pop = 16
+		}
+		for len(edges) < scale {
+			if rng.Intn(4) < 3 {
+				emit(0, rng.Int63n(pop)+1)
+			} else {
+				emit(rng.Int63n(pop)+1, rng.Int63n(pop)+1)
+			}
+		}
+	case "high-overlap":
+		// A small population under a long uniform stream: every window
+		// edge overlaps many matches.
+		pop := int64(scale / 64)
+		if pop < 12 {
+			pop = 12
+		}
+		for len(edges) < scale {
+			emit(rng.Int63n(pop), rng.Int63n(pop))
+		}
+	default:
+		panic(fmt.Sprintf("bench: unknown hub shape %q", shape))
+	}
+	return edges
+}
+
+// HubShapes lists the stress shapes RunHub measures.
+var HubShapes = []string{"dense-hub", "high-overlap"}
+
+// RunHub measures Loom's end-to-end per-edge cost on the stress shapes.
+// Methodology matches RunPerf: ingest-only timing (construction and Flush
+// excluded), minimum over hubReps runs per shape.
+func RunHub(cfg Config) (*HubReport, error) {
+	cfg = cfg.withDefaults()
+	rep := &HubReport{
+		Scale:      cfg.Scale,
+		Seed:       cfg.Seed,
+		K:          cfg.K,
+		WindowSize: cfg.WindowSize,
+		Reps:       hubReps,
+		GoVersion:  runtime.Version(),
+	}
+	trie, err := hubTrie(cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	for _, shape := range HubShapes {
+		stream := hubStream(shape, cfg.Scale, rand.New(rand.NewSource(cfg.Seed)))
+		seen := map[graph.VertexID]bool{}
+		for _, e := range stream {
+			seen[e.U], seen[e.V] = true, true
+		}
+		var best time.Duration
+		var stats core.Stats
+		for i := 0; i < hubReps; i++ {
+			p, err := core.New(core.Config{
+				K:                cfg.K,
+				Capacity:         partition.CapacityFor(len(seen), cfg.K, partition.DefaultImbalance),
+				WindowSize:       cfg.WindowSize,
+				SupportThreshold: 0.1, // every sub-star stays a motif
+			}, trie)
+			if err != nil {
+				return nil, err
+			}
+			start := time.Now()
+			p.ProcessEdges(stream)
+			elapsed := time.Since(start)
+			p.Flush()
+			if i == 0 || elapsed < best {
+				best = elapsed
+			}
+			stats = p.Stats()
+		}
+		rep.Rows = append(rep.Rows, HubRow{
+			Shape:     shape,
+			Edges:     len(stream),
+			NsPerEdge: float64(best.Nanoseconds()) / float64(len(stream)),
+			Windowed:  stats.WindowedEdges,
+			Evictions: stats.Evictions,
+			Matches:   stats.MatchesAssigned,
+		})
+	}
+	return rep, nil
+}
+
+// WriteHubJSON writes the report as indented JSON.
+func WriteHubJSON(w io.Writer, rep *HubReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// RenderHub writes the report as an aligned text table.
+func RenderHub(w io.Writer, rep *HubReport) {
+	fmt.Fprintf(w, "Join-path stress shapes (scale %d, k %d, window %d, %d reps, min)\n",
+		rep.Scale, rep.K, rep.WindowSize, rep.Reps)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "shape\tedges\tns/edge\twindowed\tevictions\tmatches")
+	for _, r := range rep.Rows {
+		fmt.Fprintf(tw, "%s\t%d\t%.0f\t%d\t%d\t%d\n",
+			r.Shape, r.Edges, r.NsPerEdge, r.Windowed, r.Evictions, r.Matches)
+	}
+	tw.Flush()
+}

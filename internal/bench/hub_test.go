@@ -1,0 +1,50 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRunHub(t *testing.T) {
+	cfg := Config{Scale: 1200, Seed: 3, K: 2, WindowSize: 128}
+	rep, err := RunHub(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != len(HubShapes) {
+		t.Fatalf("got %d rows, want one per shape (%d)", len(rep.Rows), len(HubShapes))
+	}
+	for _, r := range rep.Rows {
+		if r.NsPerEdge <= 0 || r.Edges <= 0 {
+			t.Errorf("%s: degenerate measurement %+v", r.Shape, r)
+		}
+		// The shapes exist to exercise the matching core: a run in which
+		// nothing entered the window or no matches were assigned is a
+		// silent regression (e.g. the gate rejecting the same-label edge).
+		if r.Windowed == 0 || r.Matches == 0 || r.Evictions == 0 {
+			t.Errorf("%s: stress not applied: %+v", r.Shape, r)
+		}
+	}
+
+	var text bytes.Buffer
+	RenderHub(&text, rep)
+	for _, shape := range HubShapes {
+		if !strings.Contains(text.String(), shape) {
+			t.Errorf("rendered table missing shape %q:\n%s", shape, text.String())
+		}
+	}
+
+	var js bytes.Buffer
+	if err := WriteHubJSON(&js, rep); err != nil {
+		t.Fatal(err)
+	}
+	var back HubReport
+	if err := json.Unmarshal(js.Bytes(), &back); err != nil {
+		t.Fatalf("JSON round-trip: %v", err)
+	}
+	if len(back.Rows) != len(rep.Rows) || back.Scale != rep.Scale {
+		t.Errorf("JSON round-trip mismatch: %+v vs %+v", back, rep)
+	}
+}

@@ -423,7 +423,7 @@ func (l *Loom) Flush() {
 // EvictOne evicts the oldest window edge and assigns its motif-match
 // cluster per §4. It reports whether an eviction happened.
 func (l *Loom) EvictOne() bool {
-	_, oldIE, ok := l.win.OldestI()
+	oldIE, ok := l.win.OldestIdx()
 	if !ok {
 		return false
 	}
@@ -447,7 +447,7 @@ func (l *Loom) EvictOne() bool {
 	case l.cfg.Mode == ModeNaiveGreedy:
 		winner = l.naiveWinner(me)
 		prefix = me // the naive approach assigns the whole cluster
-	case len(me) == 1 && len(me[0].Edges) == 1:
+	case len(me) == 1 && me[0].NumEdges() == 1:
 		// A lone single-edge match: there is no intra-cluster locality
 		// for equal opportunism to preserve. Place each unassigned
 		// endpoint with the per-vertex LDG rule — the same treatment a
@@ -506,10 +506,14 @@ func (l *Loom) sortBySupport(me []*window.Match) {
 		if sa != sb {
 			return cmp.Compare(sb, sa) // descending support
 		}
-		if la, lb := len(a.Edges), len(b.Edges); la != lb {
+		if la, lb := a.NumEdges(), b.NumEdges(); la != lb {
 			return cmp.Compare(la, lb)
 		}
-		return compareEdgeSets(a.Edges, b.Edges)
+		// Full tie: fall back to the lexicographic external edge sets,
+		// exactly as before the interned rebuild (Match.Edges derives
+		// them lazily and caches per match, so only tied comparisons —
+		// and only a match's first — pay the materialisation).
+		return compareEdgeSets(a.Edges(), b.Edges())
 	})
 }
 
@@ -787,6 +791,9 @@ func (l *Loom) clusterLDG(me []*window.Match) partition.ID {
 	best := partition.Unassigned
 	bestScore := 0.0
 	for p := 0; p < l.tr.K(); p++ {
+		if counts[p] == 0 {
+			continue // zero score never wins (the score > 0 guard below)
+		}
 		pid := partition.ID(p)
 		if float64(l.tr.Size(pid))+1 > l.tr.Capacity() {
 			continue

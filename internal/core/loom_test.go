@@ -136,7 +136,7 @@ func TestPaperWorkedExample(t *testing.T) {
 	}
 	found := false
 	for _, m := range l.Window().MatchesContaining(graph.Edge{U: 4, V: 6}) {
-		if m.Node == m3node && len(m.Edges) == 2 {
+		if m.Node == m3node && m.NumEdges() == 2 {
 			found = true
 		}
 	}

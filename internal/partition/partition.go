@@ -291,9 +291,20 @@ func (t *Tracker) Intern(v graph.VertexID) uint32 {
 func (t *Tracker) ObserveIdx(ui, vi uint32) {
 	t.ensure(ui)
 	t.ensure(vi)
-	t.nbrs[ui] = append(t.nbrs[ui], vi)
-	t.nbrs[vi] = append(t.nbrs[vi], ui)
+	t.nbrs[ui] = addNbr(t.nbrs[ui], vi)
+	t.nbrs[vi] = addNbr(t.nbrs[vi], ui)
 	t.observed++
+}
+
+// addNbr appends one neighbour, seeding a fresh list with capacity for a
+// typical vertex: the default doubling from nil (1 → 2 → 4 → …) costs an
+// allocation per step on the per-edge hot path, and most stream vertices
+// end up with a handful of neighbours anyway.
+func addNbr(l []uint32, v uint32) []uint32 {
+	if l == nil {
+		l = make([]uint32, 0, 8)
+	}
+	return append(l, v)
 }
 
 // ObserveStream interns a stream edge's endpoints, records its adjacency,
@@ -302,8 +313,8 @@ func (t *Tracker) ObserveIdx(ui, vi uint32) {
 func (t *Tracker) ObserveStream(e graph.StreamEdge) (ui, vi uint32) {
 	ui = t.Intern(e.U)
 	vi = t.Intern(e.V)
-	t.nbrs[ui] = append(t.nbrs[ui], vi)
-	t.nbrs[vi] = append(t.nbrs[vi], ui)
+	t.nbrs[ui] = addNbr(t.nbrs[ui], vi)
+	t.nbrs[vi] = addNbr(t.nbrs[vi], ui)
 	t.observed++
 	return ui, vi
 }
@@ -513,6 +524,9 @@ func (t *Tracker) AssignLDGIdx(i uint32) ID {
 	counts := t.NeighborCountsIdx(i)
 	best, bestScore := Unassigned, 0.0
 	for p := 0; p < t.k; p++ {
+		if counts[p] == 0 {
+			continue // score would be 0, which never wins (see guard below)
+		}
 		if float64(t.sizes[p])+1 > t.capacity {
 			continue // assignment would exceed capacity
 		}

@@ -1,0 +1,55 @@
+package signature
+
+// Packed deltas: the stream matcher's innermost step (Alg. 2's "check if n
+// has a child c whose factor difference corresponds to e") looks a Delta up
+// against a trie node's child edges once per candidate grow. Hashing the
+// 12-byte [3]Factor key through a Go map dominates that step, so when the
+// modulus is small enough the three factors are packed into one uint64 and
+// child tables are searched by plain integer comparison instead
+// (internal/tpstry keys its child tables by PackedDelta).
+//
+// Factors lie in [1, p] (p stands in for zero, footnote 3), so each fits in
+// packedFactorBits bits exactly when p <= MaxPackedFactor. The paper's
+// primes (251, 11, 317) are far below the bound; schemes with p >= 2^21
+// fall back to the array-keyed map (Scheme.Packable reports which regime
+// applies).
+
+// packedFactorBits is the per-factor field width of a PackedDelta: three
+// 21-bit fields fill 63 of 64 bits.
+const packedFactorBits = 21
+
+// MaxPackedFactor is the largest factor value a PackedDelta field can
+// hold. A scheme's factors never exceed its modulus p, so p <=
+// MaxPackedFactor guarantees packability.
+const MaxPackedFactor = 1<<packedFactorBits - 1
+
+// PackedDelta is a Delta packed into a single comparable machine word:
+// field i holds factor i of the (sorted) delta, lowest factor in the
+// lowest bits. Packing is injective for factors <= MaxPackedFactor, so
+// equality of PackedDeltas is equality of Deltas.
+type PackedDelta uint64
+
+// Packed packs the delta. The delta's factors must each be at most
+// MaxPackedFactor (guaranteed whenever the producing scheme's p is; see
+// Scheme.Packable) — oversized factors would silently alias, so callers
+// gate on Packable once and use the array form otherwise.
+func (d Delta) Packed() PackedDelta {
+	return PackedDelta(uint64(d[0]) |
+		uint64(d[1])<<packedFactorBits |
+		uint64(d[2])<<(2*packedFactorBits))
+}
+
+// Unpack returns the Delta a PackedDelta encodes.
+func (p PackedDelta) Unpack() Delta {
+	const mask = MaxPackedFactor
+	return Delta{
+		Factor(p & mask),
+		Factor((p >> packedFactorBits) & mask),
+		Factor((p >> (2 * packedFactorBits)) & mask),
+	}
+}
+
+// Packable reports whether every factor the scheme can produce fits a
+// PackedDelta field, i.e. whether packed child tables may be used with
+// deltas from this scheme.
+func (s *Scheme) Packable() bool { return s.p <= MaxPackedFactor }

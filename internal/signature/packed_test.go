@@ -1,0 +1,94 @@
+package signature
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPackedDeltaRoundTrip(t *testing.T) {
+	cases := []Delta{
+		{1, 1, 1},
+		{1, 2, 3},
+		{250, 250, 251}, // DefaultP regime: factors in [1, 251]
+		{MaxPackedFactor, MaxPackedFactor, MaxPackedFactor},
+	}
+	for _, d := range cases {
+		if got := d.Packed().Unpack(); got != d {
+			t.Errorf("round trip %v -> %v", d, got)
+		}
+	}
+}
+
+// TestPackedDeltaInjective: distinct deltas must pack to distinct keys —
+// the packed child tables rely on equality of PackedDeltas being equality
+// of Deltas.
+func TestPackedDeltaInjective(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	seen := map[PackedDelta]Delta{}
+	for i := 0; i < 20000; i++ {
+		d := sortDelta(Delta{
+			Factor(rng.Intn(MaxPackedFactor) + 1),
+			Factor(rng.Intn(MaxPackedFactor) + 1),
+			Factor(rng.Intn(MaxPackedFactor) + 1),
+		})
+		pk := d.Packed()
+		if prev, ok := seen[pk]; ok && prev != d {
+			t.Fatalf("collision: %v and %v both pack to %d", prev, d, pk)
+		}
+		seen[pk] = d
+	}
+}
+
+// TestPackedOrderMatchesSchemeOutput: deltas produced by a DefaultP scheme
+// pack losslessly (every factor is at most p <= MaxPackedFactor).
+func TestPackedDeltaFromScheme(t *testing.T) {
+	s := NewScheme(DefaultP, 3)
+	if !s.Packable() {
+		t.Fatalf("DefaultP scheme must be packable")
+	}
+	for du := 0; du < 5; du++ {
+		for dv := 0; dv < 5; dv++ {
+			d := s.EdgeDelta("x", du, "y", dv)
+			if got := d.Packed().Unpack(); got != d {
+				t.Fatalf("scheme delta %v did not round-trip (got %v)", d, got)
+			}
+		}
+	}
+}
+
+func TestPackableBound(t *testing.T) {
+	if s := NewScheme(MaxPackedFactor, 1); !s.Packable() {
+		t.Errorf("p = MaxPackedFactor must be packable")
+	}
+	if s := NewScheme(MaxPackedFactor+1, 1); s.Packable() {
+		t.Errorf("p = MaxPackedFactor+1 must not be packable")
+	}
+}
+
+// TestDegreeFactorValLargeModulus: the division-free fast path must not
+// wrap uint32 when p > 2^31 (review finding on the rebuild).
+func TestDegreeFactorValLargeModulus(t *testing.T) {
+	const p = 4294967291 // largest 32-bit prime, > 2^31
+	s := NewScheme(p, 1)
+	for _, tc := range []struct {
+		rv uint32
+		i  int
+	}{
+		{p - 2, 7},  // rv+i wraps uint32
+		{p - 1, 1},  // lands exactly on p → factor p (footnote 3)
+		{3, 5},      // no wrap
+		{p - 10, 9}, // just below p
+	} {
+		got := s.DegreeFactorVal(tc.rv, tc.i)
+		want := uint64(tc.rv) + uint64(tc.i)
+		if want >= p {
+			want -= p
+		}
+		if want == 0 {
+			want = p
+		}
+		if uint64(got) != want {
+			t.Errorf("DegreeFactorVal(%d, %d) = %d, want %d", tc.rv, tc.i, got, want)
+		}
+	}
+}

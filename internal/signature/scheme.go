@@ -175,18 +175,30 @@ func (s *Scheme) EdgeDelta(lu graph.Label, du int, lv graph.Label, dv int) Delta
 // EdgeFactorVals is EdgeFactor over pre-resolved label values ru = r(lu),
 // rv = r(lv) (both in [1, p)). Hot paths that intern labels cache r-values
 // by label code and call the *Vals variants to keep the per-edge path free
-// of string hashing.
+// of string hashing. Both values lie below p, so the residue needs no
+// division: |ru − rv| is already in [0, p).
 func (s *Scheme) EdgeFactorVals(ru, rv uint32) Factor {
 	if ru < rv {
 		ru, rv = rv, ru
 	}
-	return s.nonzero((ru - rv) % s.p)
+	return s.nonzero(ru - rv)
 }
 
 // DegreeFactorVal is DegreeFactor over a pre-resolved label value rv = r(l).
+// For the common case i < p the sum rv + i is below 2p and one conditional
+// subtraction replaces the division (this sits under every Alg. 2 delta).
 func (s *Scheme) DegreeFactorVal(rv uint32, i int) Factor {
 	if i < 1 {
 		panic(fmt.Sprintf("signature: degree index must be >= 1, got %d", i))
+	}
+	if uint64(i) < uint64(s.p) {
+		// rv < p, i < p ⇒ rv+i < 2p: at most one subtract. Summed in
+		// uint64 so moduli above 2^31 cannot wrap the addition.
+		v := uint64(rv) + uint64(i)
+		if v >= uint64(s.p) {
+			v -= uint64(s.p)
+		}
+		return s.nonzero(uint32(v))
 	}
 	return s.nonzero(uint32((uint64(rv) + uint64(i)) % uint64(s.p)))
 }

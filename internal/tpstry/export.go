@@ -38,12 +38,12 @@ func (t *Trie) WriteDot(w io.Writer, threshold float64) error {
 
 	// Root links.
 	for _, d := range sortedDeltas(t.root) {
-		c := t.root.children[d]
+		c, _ := t.root.ChildByDelta(d)
 		fmt.Fprintf(&b, "  root -> n%d [label=\"%v\", fontsize=8];\n", c.ID, d)
 	}
 	for _, n := range t.Nodes() {
 		for _, d := range sortedDeltas(n) {
-			c := n.children[d]
+			c, _ := n.ChildByDelta(d)
 			fmt.Fprintf(&b, "  n%d -> n%d [label=\"%v\", fontsize=8];\n", n.ID, c.ID, d)
 		}
 	}
@@ -102,12 +102,10 @@ func describeGraph(g *graph.Graph) string {
 	return strings.Join(pairs, ", ")
 }
 
-// sortedDeltas returns a node's child deltas in a stable order.
+// sortedDeltas returns a node's child deltas in a stable order
+// (lexicographic by factor, matching the map-era rendering).
 func sortedDeltas(n *Node) []signature.Delta {
-	out := make([]signature.Delta, 0, len(n.children))
-	for d := range n.children {
-		out = append(out, d)
-	}
+	out := n.ChildDeltas()
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		for k := 0; k < 3; k++ {

@@ -21,6 +21,7 @@ package tpstry
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"loom/internal/graph"
@@ -47,9 +48,19 @@ type Node struct {
 	// Edges is the number of edges in the node's graph (trie depth).
 	Edges int
 
-	support  float64
-	children map[signature.Delta]*Node
-	parents  []*Node
+	support float64
+	// Child edges. In the packed regime (the scheme's modulus fits a
+	// PackedDelta field; every published prime does) children live in a
+	// compact sorted table keyed by the packed delta — ckeys is ascending
+	// and cnodes is parallel to it — so the innermost Alg. 2 lookup is a
+	// branch-free binary search over a handful of machine words instead of
+	// a Go-map hash of a 12-byte struct. When the modulus is too large to
+	// pack (p > signature.MaxPackedFactor), cmap is used instead and the
+	// slices stay nil.
+	ckeys   []signature.PackedDelta
+	cnodes  []*Node
+	cmap    map[signature.Delta]*Node
+	parents []*Node
 }
 
 // Support returns the node's accumulated support weight (normalised by the
@@ -59,17 +70,59 @@ func (n *Node) rawSupport() float64 { return n.support }
 // ChildByDelta returns the child reached by adding an edge whose factor
 // delta is d, if any. This is the core matching step of Alg. 2.
 func (n *Node) ChildByDelta(d signature.Delta) (*Node, bool) {
-	c, ok := n.children[d]
-	return c, ok
+	if n.cmap != nil {
+		c, ok := n.cmap[d]
+		return c, ok
+	}
+	return n.ChildByPacked(d.Packed())
+}
+
+// ChildByPacked is ChildByDelta over a pre-packed delta — the stream
+// matcher's hot-path form. Valid only for tries whose scheme is packable
+// (signature.Scheme.Packable); the matcher checks once at construction.
+func (n *Node) ChildByPacked(pk signature.PackedDelta) (*Node, bool) {
+	if i, ok := slices.BinarySearch(n.ckeys, pk); ok {
+		return n.cnodes[i], true
+	}
+	return nil, false
+}
+
+// NumChildren returns the number of child edges. Match growth prunes on it:
+// a leaf node can never grow, whatever the delta.
+func (n *Node) NumChildren() int {
+	if n.cmap != nil {
+		return len(n.cmap)
+	}
+	return len(n.ckeys)
 }
 
 // Children returns the node's children sorted by ID (deterministic).
 func (n *Node) Children() []*Node {
-	out := make([]*Node, 0, len(n.children))
-	for _, c := range n.children {
-		out = append(out, c)
+	out := make([]*Node, 0, n.NumChildren())
+	if n.cmap != nil {
+		for _, c := range n.cmap {
+			out = append(out, c)
+		}
+	} else {
+		out = append(out, n.cnodes...)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ChildDeltas returns the node's child edge labels (the 3-factor deltas),
+// unsorted; export rendering sorts them. Cold path.
+func (n *Node) ChildDeltas() []signature.Delta {
+	out := make([]signature.Delta, 0, n.NumChildren())
+	if n.cmap != nil {
+		for d := range n.cmap {
+			out = append(out, d)
+		}
+	} else {
+		for _, pk := range n.ckeys {
+			out = append(out, pk.Unpack())
+		}
+	}
 	return out
 }
 
@@ -84,6 +137,7 @@ func (n *Node) String() string {
 // construct with New.
 type Trie struct {
 	scheme *signature.Scheme
+	packed bool // scheme.Packable(): child tables keyed by PackedDelta
 	root   *Node
 	nodes  map[string]*Node // signature key → node
 	nextID int
@@ -106,18 +160,25 @@ type WorkloadEntry struct {
 // scheme must be the same one used by the stream matcher, so that factor
 // deltas computed on the stream side agree with trie edge labels.
 func New(scheme *signature.Scheme) *Trie {
-	root := &Node{
-		ID:       0,
-		Sig:      signature.NewMultiset(),
-		Rep:      graph.New(),
-		children: make(map[signature.Delta]*Node),
-	}
-	return &Trie{
+	t := &Trie{
 		scheme: scheme,
-		root:   root,
-		nodes:  map[string]*Node{root.Sig.Key(): root},
+		packed: scheme.Packable(),
 		nextID: 1,
 	}
+	root := t.newNode(0, signature.NewMultiset(), graph.New(), 0)
+	t.root = root
+	t.nodes = map[string]*Node{root.Sig.Key(): root}
+	return t
+}
+
+// newNode builds a node with an empty child table in the trie's regime
+// (packed slice table, or Delta-keyed map when the modulus is unpackable).
+func (t *Trie) newNode(id int, sig *signature.Multiset, rep *graph.Graph, edges int) *Node {
+	n := &Node{ID: id, Sig: sig, Rep: rep, Edges: edges}
+	if !t.packed {
+		n.cmap = make(map[signature.Delta]*Node)
+	}
+	return n
 }
 
 // Scheme returns the signature scheme the trie was built with.
@@ -267,26 +328,34 @@ func (t *Trie) Version() int { return t.version }
 // and/or the link as needed. makeRep lazily builds a representative graph
 // for newly created nodes.
 func (t *Trie) ensureChild(parent *Node, d signature.Delta, makeRep func() *graph.Graph) *Node {
-	if c, ok := parent.children[d]; ok {
+	if c, ok := parent.ChildByDelta(d); ok {
 		return c
 	}
 	sig := parent.Sig.PlusDelta(d)
 	key := sig.Key()
 	n, ok := t.nodes[key]
 	if !ok {
-		n = &Node{
-			ID:       t.nextID,
-			Sig:      sig,
-			Rep:      makeRep(),
-			Edges:    parent.Edges + 1,
-			children: make(map[signature.Delta]*Node),
-		}
+		n = t.newNode(t.nextID, sig, makeRep(), parent.Edges+1)
 		t.nextID++
 		t.nodes[key] = n
 	}
-	parent.children[d] = n
+	t.linkChild(parent, d, n)
 	n.parents = append(n.parents, parent)
 	return n
+}
+
+// linkChild records child as parent's child along delta d (absent, per the
+// ChildByDelta check in ensureChild). Construction path only: the sorted
+// insert keeps the packed table searchable with zero per-lookup work.
+func (t *Trie) linkChild(parent *Node, d signature.Delta, child *Node) {
+	if !t.packed {
+		parent.cmap[d] = child
+		return
+	}
+	pk := d.Packed()
+	i, _ := slices.BinarySearch(parent.ckeys, pk)
+	parent.ckeys = slices.Insert(parent.ckeys, i, pk)
+	parent.cnodes = slices.Insert(parent.cnodes, i, child)
 }
 
 // SupportOf returns a node's support normalised to [0, 1]: the fraction of

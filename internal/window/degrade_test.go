@@ -121,7 +121,6 @@ func TestAddMatchDedup(t *testing.T) {
 	// canonical match, not create a second one, and must recycle the
 	// rejected candidate through the freelist.
 	dup := w.acquireMatch()
-	dup.Edges = append(dup.Edges, graph.Edge{U: 1, V: 2})
 	dup.iedges = append(dup.iedges, ie)
 	poolBefore := len(w.pool)
 	got, created := w.addMatch(dup, existing[0].Node)

@@ -1,0 +1,404 @@
+package window
+
+// Differential test for the rebuilt matching core (ISSUE 5): a small
+// naive reference matcher — plain maps, degrees recomputed by scanning
+// edge sets, trie children resolved by multiset arithmetic instead of the
+// packed delta tables — runs Alg. 2 side by side with the production
+// Matcher on seeded random streams of all four evaluation datasets. After
+// every insert and every eviction the two matchers must agree on the
+// exact set of ⟨edge set, motif node⟩ matches and their supports. Runs
+// under -race in CI (the naive matcher is deliberately single-threaded;
+// the value of -race here is covering the production matcher's scratch
+// reuse under realistic interleavings of insert and removal).
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"loom/internal/dataset"
+	"loom/internal/graph"
+	"loom/internal/signature"
+	"loom/internal/tpstry"
+	"loom/internal/workload"
+)
+
+// naiveMatch mirrors Match with no cached state: just the edge set and
+// the motif node.
+type naiveMatch struct {
+	edges []IEdge // sorted
+	node  *tpstry.Node
+	dead  bool
+}
+
+// naiveMatcher is the reference implementation of the window matchList:
+// every structure is a map or plain slice, every delta is recomputed from
+// scratch against label strings, and trie child links are resolved by
+// signature-multiset subtraction (independently exercising the packed
+// child tables it is compared against).
+type naiveMatcher struct {
+	trie      *tpstry.Trie
+	scheme    *signature.Scheme
+	threshold float64
+	maxEdges  int
+	maxPerV   int
+
+	window   map[IEdge]bool
+	labels   map[uint32]graph.Label
+	byVertex map[uint32][]*naiveMatch
+}
+
+func newNaive(trie *tpstry.Trie, threshold float64, maxPerV int) *naiveMatcher {
+	return &naiveMatcher{
+		trie:      trie,
+		scheme:    trie.Scheme(),
+		threshold: threshold,
+		maxEdges:  trie.MaxMotifEdges(threshold),
+		maxPerV:   maxPerV,
+		window:    map[IEdge]bool{},
+		labels:    map[uint32]graph.Label{},
+		byVertex:  map[uint32][]*naiveMatch{},
+	}
+}
+
+func (n *naiveMatcher) vertsOf(edges []IEdge) []uint32 {
+	seen := map[uint32]bool{}
+	for _, e := range edges {
+		seen[e.U] = true
+		seen[e.V] = true
+	}
+	out := make([]uint32, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// deltaFor recomputes the 3-factor delta of adding ie to edges, scanning
+// the edge set for endpoint degrees and going through the string-label
+// EdgeDelta API (no cached r-values).
+func (n *naiveMatcher) deltaFor(ie IEdge, edges []IEdge) signature.Delta {
+	du, dv := 0, 0
+	for _, e := range edges {
+		if e.U == ie.U || e.V == ie.U {
+			du++
+		}
+		if e.U == ie.V || e.V == ie.V {
+			dv++
+		}
+	}
+	return n.scheme.EdgeDelta(n.labels[ie.U], du, n.labels[ie.V], dv)
+}
+
+// childByDelta resolves a trie child by first principles: the child whose
+// signature minus the parent's is exactly d's factors.
+func (n *naiveMatcher) childByDelta(node *tpstry.Node, d signature.Delta) (*tpstry.Node, bool) {
+	want := signature.NewMultiset(d[0], d[1], d[2])
+	for _, c := range node.Children() {
+		if diff, ok := c.Sig.Minus(node.Sig); ok && diff.Equal(want) {
+			return c, true
+		}
+	}
+	return nil, false
+}
+
+func sameNaiveEdges(a, b []IEdge) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// addMatch mirrors Matcher.addMatch: canonicalise, dedup, cap, record.
+func (n *naiveMatcher) addMatch(edges []IEdge, node *tpstry.Node) {
+	sorted := append([]IEdge(nil), edges...)
+	sort.Slice(sorted, func(i, j int) bool { return CompareIEdges(sorted[i], sorted[j]) < 0 })
+	verts := n.vertsOf(sorted)
+	for _, ex := range n.byVertex[verts[0]] {
+		if !ex.dead && ex.node == node && sameNaiveEdges(ex.edges, sorted) {
+			return // duplicate
+		}
+	}
+	for _, v := range verts {
+		if len(n.byVertex[v]) >= n.maxPerV {
+			return // per-vertex cap
+		}
+	}
+	m := &naiveMatch{edges: sorted, node: node}
+	for _, v := range verts {
+		n.byVertex[v] = append(n.byVertex[v], m)
+	}
+}
+
+func (m *naiveMatch) contains(ie IEdge) bool {
+	for _, e := range m.edges {
+		if e == ie {
+			return true
+		}
+	}
+	return false
+}
+
+func (m *naiveMatch) hasVertex(v uint32) bool {
+	for _, e := range m.edges {
+		if e.U == v || e.V == v {
+			return true
+		}
+	}
+	return false
+}
+
+// insert mirrors Matcher.InsertInterned: single-edge match, grow pass,
+// join pass (both orientations, as the pre-rebuild matcher ran them — the
+// production mirror-skip must be outcome-neutral).
+func (n *naiveMatcher) insert(ie IEdge, lu, lv graph.Label, node *tpstry.Node) {
+	n.labels[ie.U], n.labels[ie.V] = lu, lv
+	n.window[ie] = true
+	n.addMatch([]IEdge{ie}, node)
+
+	ms1 := append([]*naiveMatch(nil), n.byVertex[ie.U]...)
+	ms2 := append([]*naiveMatch(nil), n.byVertex[ie.V]...)
+	grow := func(m *naiveMatch) {
+		if m.dead || len(m.edges) >= n.maxEdges || m.contains(ie) {
+			return
+		}
+		d := n.deltaFor(ie, m.edges)
+		if c, ok := n.childByDelta(m.node, d); ok && n.trie.IsMotif(c, n.threshold) {
+			n.addMatch(append(append([]IEdge(nil), m.edges...), ie), c)
+		}
+	}
+	for _, m := range ms1 {
+		grow(m)
+	}
+	for _, m := range ms2 {
+		if !m.hasVertex(ie.U) {
+			grow(m)
+		}
+	}
+
+	ms1 = append([]*naiveMatch(nil), n.byVertex[ie.U]...)
+	ms2 = append([]*naiveMatch(nil), n.byVertex[ie.V]...)
+	for _, m1 := range ms1 {
+		if m1.dead {
+			continue
+		}
+		for _, m2 := range ms2 {
+			if m2.dead || m1 == m2 {
+				continue
+			}
+			n.join(m1, m2)
+		}
+	}
+}
+
+// join mirrors the pre-rebuild tryJoin: grow the larger by the smaller,
+// one recursive motif-checked edge at a time.
+func (n *naiveMatcher) join(m1, m2 *naiveMatch) {
+	if len(m2.edges) > len(m1.edges) {
+		m1, m2 = m2, m1
+	}
+	var remaining []IEdge
+	for _, e := range m2.edges {
+		if !m1.contains(e) {
+			remaining = append(remaining, e)
+		}
+	}
+	if len(remaining) == 0 || len(m1.edges)+len(remaining) > n.maxEdges {
+		return
+	}
+	cur := append([]IEdge(nil), m1.edges...)
+	if node, ok := n.growRec(m1.node, cur, remaining); ok {
+		n.addMatch(append(append([]IEdge(nil), m1.edges...), remaining...), node)
+	}
+}
+
+func (n *naiveMatcher) growRec(node *tpstry.Node, edges, remaining []IEdge) (*tpstry.Node, bool) {
+	if len(remaining) == 0 {
+		return node, true
+	}
+	for i, e := range remaining {
+		touches := false
+		for _, f := range edges {
+			if f.U == e.U || f.V == e.U || f.U == e.V || f.V == e.V {
+				touches = true
+				break
+			}
+		}
+		if !touches {
+			continue
+		}
+		d := n.deltaFor(e, edges)
+		c, ok := n.childByDelta(node, d)
+		if !ok || !n.trie.IsMotif(c, n.threshold) {
+			continue
+		}
+		rest := append(append([]IEdge(nil), remaining[:i]...), remaining[i+1:]...)
+		if final, ok := n.growRec(c, append(append([]IEdge(nil), edges...), e), rest); ok {
+			return final, true
+		}
+	}
+	return nil, false
+}
+
+// remove mirrors Matcher.RemoveIEdges.
+func (n *naiveMatcher) remove(ie IEdge) {
+	if !n.window[ie] {
+		return
+	}
+	delete(n.window, ie)
+	for _, ms := range n.byVertex {
+		for _, m := range ms {
+			if !m.dead && m.contains(ie) {
+				m.dead = true
+			}
+		}
+	}
+	for v, ms := range n.byVertex {
+		live := ms[:0]
+		for _, m := range ms {
+			if !m.dead {
+				live = append(live, m)
+			}
+		}
+		n.byVertex[v] = live
+	}
+}
+
+// matchKeys returns the canonical sorted list of "nodeID|support|edges"
+// strings for all live matches.
+func (n *naiveMatcher) matchKeys() []string {
+	seen := map[*naiveMatch]bool{}
+	var keys []string
+	for _, ms := range n.byVertex {
+		for _, m := range ms {
+			if m.dead || seen[m] {
+				continue
+			}
+			seen[m] = true
+			keys = append(keys, matchKey(m.node.ID, n.trie.SupportOf(m.node), m.edges))
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func matchKey(nodeID int, support float64, edges []IEdge) string {
+	return fmt.Sprintf("n%d s%.9f %v", nodeID, support, edges)
+}
+
+// realMatchKeys enumerates the production matcher's live matches the same
+// way.
+func realMatchKeys(w *Matcher) []string {
+	seen := map[*Match]bool{}
+	var keys []string
+	for _, se := range w.WindowEdges() {
+		for _, m := range w.MatchesContaining(se.Edge()) {
+			if seen[m] {
+				continue
+			}
+			seen[m] = true
+			keys = append(keys, matchKey(m.Node.ID, w.Support(m), m.IEdges()))
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func diffKeys(t *testing.T, label string, want, got []string) {
+	t.Helper()
+	if len(want) == len(got) {
+		same := true
+		for i := range want {
+			if want[i] != got[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return
+		}
+	}
+	t.Fatalf("%s: match sets diverged\nnaive (%d): %v\nreal  (%d): %v",
+		label, len(want), want, len(got), got)
+}
+
+// TestDifferentialAgainstNaiveMatcher streams seeded random orderings of
+// every evaluation dataset through both matchers with a small sliding
+// window (evictions included) and requires identical match sets and
+// supports at every step. Placement-level agreement on the same streams
+// is pinned by TestRandomStreamPlacementsParity at the repo root.
+func TestDifferentialAgainstNaiveMatcher(t *testing.T) {
+	for _, ds := range []string{"dblp", "provgen", "musicbrainz", "lubm"} {
+		t.Run(ds, func(t *testing.T) {
+			g, err := dataset.Generate(ds, 700, 11)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wl, err := workload.ForDataset(ds)
+			if err != nil {
+				t.Fatal(err)
+			}
+			scheme := signature.NewScheme(signature.DefaultP, 11)
+			scheme.RegisterLabels(dataset.DatasetLabels(ds))
+			trie, err := wl.BuildTrie(scheme)
+			if err != nil {
+				t.Fatal(err)
+			}
+			stream := graph.StreamOf(g, graph.OrderRandom, rand.New(rand.NewSource(23)))
+			if len(stream) > 1200 {
+				stream = stream[:1200]
+			}
+
+			const windowCap = 48
+			w := NewMatcher(trie, 0.4, windowCap)
+			nv := newNaive(trie, 0.4, w.maxPerV)
+
+			step := 0
+			for _, se := range stream {
+				if se.U == se.V {
+					continue
+				}
+				node, ok := w.SingleEdgeMotif(se)
+				if !ok {
+					continue
+				}
+				ui := w.verts.Intern(int64(se.U))
+				vi := w.verts.Intern(int64(se.V))
+				ie := IEdge{ui, vi}.norm()
+				if w.HasEdge(se.Edge()) {
+					continue
+				}
+				if err := w.Insert(se); err != nil {
+					t.Fatal(err)
+				}
+				lu, lv := se.LU, se.LV
+				if ie.U != ui { // normalised swap: labels follow vertices
+					lu, lv = lv, lu
+				}
+				nv.insert(ie, lu, lv, node)
+				step++
+				diffKeys(t, fmt.Sprintf("%s step %d (insert %v)", ds, step, ie), nv.matchKeys(), realMatchKeys(w))
+
+				for w.Len() > windowCap {
+					_, oldIE, ok := w.OldestI()
+					if !ok {
+						t.Fatal("over capacity but no oldest edge")
+					}
+					w.RemoveIEdges([]IEdge{oldIE})
+					nv.remove(oldIE.norm())
+					diffKeys(t, fmt.Sprintf("%s step %d (evict %v)", ds, step, oldIE), nv.matchKeys(), realMatchKeys(w))
+				}
+			}
+			if step < 50 {
+				t.Fatalf("stream exercised only %d motif edges", step)
+			}
+		})
+	}
+}

@@ -63,6 +63,40 @@ func (t *edgeTable) get(pk uint64) *edgeSlot {
 // has reports whether pk is in the table.
 func (t *edgeTable) has(pk uint64) bool { return t.get(pk) != nil }
 
+// ensure returns pk's slot, inserting it if absent; existed reports
+// whether pk was already present. One probe walk serves the insert path's
+// duplicate check AND the insertion (the separate has + insert pair it
+// replaces walked twice); an absent key lands on the first tombstone of
+// its probe path, exactly where insert would put it.
+func (t *edgeTable) ensure(pk uint64) (s *edgeSlot, existed bool) {
+	if len(t.slots) == 0 || (t.used+1)*4 > len(t.slots)*3 {
+		t.rehash()
+	}
+	mask := uint64(len(t.slots) - 1)
+	firstTomb := -1
+	for i := etHash(pk) & mask; ; i = (i + 1) & mask {
+		s := &t.slots[i]
+		switch s.key {
+		case pk:
+			return s, true
+		case etTomb:
+			if firstTomb < 0 {
+				firstTomb = int(i)
+			}
+		case etEmpty:
+			if firstTomb >= 0 {
+				s = &t.slots[firstTomb]
+			} else {
+				t.used++
+			}
+			s.key = pk
+			s.matches = s.matches[:0]
+			t.live++
+			return s, false
+		}
+	}
+}
+
 // insert adds pk (which must not be present) and returns its slot, with
 // matches reset to length zero (capacity recycled from a prior occupant
 // of the slot, if any). The pointer is valid until the next insert.

@@ -1,10 +1,14 @@
 package window
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
+	"loom/internal/graph"
 	"loom/internal/pattern"
+	"loom/internal/signature"
+	"loom/internal/tpstry"
 )
 
 // TestGateProbeMatchesSingleEdgeMotifCodes: after a serial warm-up,
@@ -98,4 +102,48 @@ func TestGateProbeConcurrentReaders(t *testing.T) {
 		}()
 	}
 	wg.Wait()
+}
+
+// TestGateLargeAlphabetFallsBackToMap: label codes at or past maxGateDim
+// must memoise through the map path (the dense table is quadratic in the
+// alphabet and capped), with verdicts identical to the dense path and
+// visible to GateProbe.
+func TestGateLargeAlphabetFallsBackToMap(t *testing.T) {
+	trie := tpstry.New(signature.NewScheme(signature.DefaultP, 5))
+	w := NewMatcher(trie, 0.4, 100)
+	// Push the alphabet past the dense cap; labels lbl0.. take codes 0..
+	labels := make([]string, maxGateDim+8)
+	for i := range labels {
+		labels[i] = fmt.Sprintf("lbl%d", i)
+		w.ltab.Intern(labels[i])
+	}
+	big := uint16(maxGateDim + 3) // code past the dense cap
+	small := uint16(1)
+	// Register the motif AFTER interning so codes are stable.
+	if err := trie.AddQuery(pattern.Path(graph.Label(labels[small]), graph.Label(labels[big])), 1); err != nil {
+		t.Fatal(err)
+	}
+	w.GateSync()
+	if _, _, known := w.GateProbe(small, big); known {
+		t.Fatal("pair known before first resolve")
+	}
+	n, ok := w.SingleEdgeMotifCodes(small, big)
+	if !ok || n == nil {
+		t.Fatal("single-edge motif not found through the map gate path")
+	}
+	if w.gateDim > maxGateDim {
+		t.Fatalf("dense gate grew past the cap: dim %d", w.gateDim)
+	}
+	pn, motif, known := w.GateProbe(small, big)
+	if !known || !motif || pn != n {
+		t.Fatalf("GateProbe disagrees with resolve: node=%v motif=%v known=%v", pn, motif, known)
+	}
+	// A non-motif pair past the cap memoises a miss.
+	other := uint16(maxGateDim + 5)
+	if _, ok := w.SingleEdgeMotifCodes(other, big); ok {
+		t.Fatal("unexpected motif for unrelated large-code pair")
+	}
+	if _, motif, known := w.GateProbe(other, big); !known || motif {
+		t.Fatalf("miss not memoised for large-code pair: motif=%v known=%v", motif, known)
+	}
 }

@@ -1,0 +1,114 @@
+package window
+
+// Worst-case microbenchmarks for the matching core (ISSUE 5): the dense
+// same-label hub saturates the per-vertex match cap so every insert pays
+// the full grow + join fan-out, and BenchmarkTryJoin isolates one
+// match-pair join. Before/after numbers are recorded in EXPERIMENTS.md
+// ("Matching-core microbenchmarks"); CI runs the hub bench as a smoke.
+
+import (
+	"testing"
+
+	"loom/internal/graph"
+	"loom/internal/pattern"
+	"loom/internal/signature"
+	"loom/internal/tpstry"
+)
+
+// hubTrie matches an all-same-label star workload: every edge passes the
+// single-edge gate, every pair of hub matches is a join candidate, and
+// sub-stars of every size are motifs — the join loop's worst case.
+func hubTrie(b testing.TB, spokes int) *tpstry.Trie {
+	b.Helper()
+	leaves := make([]graph.Label, spokes)
+	for i := range leaves {
+		leaves[i] = "a"
+	}
+	trie := tpstry.New(signature.NewScheme(signature.DefaultP, 7))
+	if err := trie.AddQuery(pattern.Star("a", leaves...), 1); err != nil {
+		b.Fatal(err)
+	}
+	return trie
+}
+
+// spokeEdge returns the i-th hub spoke as a stream edge (hub vertex 1).
+func spokeEdge(i int) graph.StreamEdge {
+	return graph.StreamEdge{U: 1, LU: "a", V: graph.VertexID(i + 2), LV: "a"}
+}
+
+// BenchmarkInsertDenseHub measures inserting one spoke into a window whose
+// hub vertex has already saturated DefaultMaxMatchesPerVertex: the insert
+// pays the grow pass over the hub's full matchList plus the quadratic
+// join pass, and the following removal restores the window, so every
+// iteration sees the identical saturated state.
+func BenchmarkInsertDenseHub(b *testing.B) {
+	const warm = 48 // spokes pre-inserted; saturates the cap at 4-edge motifs
+	w := NewMatcher(hubTrie(b, 4), 0.1, 1<<20)
+	for i := 0; i < warm; i++ {
+		if err := w.Insert(spokeEdge(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	probe := spokeEdge(warm)
+	ui := w.verts.Intern(int64(probe.U))
+	vi := w.verts.Intern(int64(probe.V))
+	remove := []IEdge{IEdge{ui, vi}.norm()}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := w.Insert(probe); err != nil {
+			b.Fatal(err)
+		}
+		w.RemoveIEdges(remove)
+	}
+}
+
+// BenchmarkTryJoin isolates one join attempt between two overlapping hub
+// matches (Alg. 2 lines 11–18): remaining-edge computation, recursive
+// grow along trie links, and the duplicate-match rejection in addMatch.
+func BenchmarkTryJoin(b *testing.B) {
+	w := NewMatcher(hubTrie(b, 4), 0.1, 1<<20)
+	for i := 0; i < 6; i++ {
+		if err := w.Insert(spokeEdge(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	// Pick two 2-edge star matches at the hub with disjoint leaves; their
+	// join is a 4-edge star, the largest motif.
+	var m1, m2 *Match
+	for _, m := range w.byVertex[0] { // dense index 0 = hub (first interned)
+		if len(m.iedges) != 2 {
+			continue
+		}
+		if m1 == nil {
+			m1 = m
+			continue
+		}
+		if m2 == nil && disjointLeaves(m1, m) {
+			m2 = m
+			break
+		}
+	}
+	if m1 == nil || m2 == nil {
+		b.Fatal("hub matches not found")
+	}
+	// First call creates the joined match; steady state is the dedup hit.
+	w.tryJoin(m1, m2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.tryJoin(m1, m2)
+	}
+}
+
+// disjointLeaves reports whether two hub matches share no spoke edge.
+func disjointLeaves(a, c *Match) bool {
+	for _, e := range a.iedges {
+		for _, f := range c.iedges {
+			if e == f {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,107 @@
+package window
+
+// Regression tests for Matcher.Insert's label handling (ISSUE 5): the old
+// path re-looked labels up after interning them and DISCARDED the ok
+// (`cu, _ := w.ltab.Lookup(...)`) — any future caller reaching that line
+// with an unregistered label would silently match with label code 0 and
+// corrupt every signature the edge touches. Insert now derives codes
+// straight from Intern and rejects label conflicts on known vertices.
+
+import (
+	"strings"
+	"testing"
+
+	"loom/internal/graph"
+	"loom/internal/pattern"
+	"loom/internal/signature"
+	"loom/internal/tpstry"
+)
+
+// TestInsertFreshLabelsUseCorrectCodes: labels never seen by the matcher's
+// label table (and interleaved in an order different from the scheme's
+// registration order) must resolve to their own r-values, not to code 0's.
+func TestInsertFreshLabelsUseCorrectCodes(t *testing.T) {
+	scheme := signature.NewScheme(signature.DefaultP, 5)
+	scheme.RegisterLabels([]graph.Label{"a", "b", "c"})
+	trie := tpstry.New(scheme)
+	if err := trie.AddQuery(pattern.Path("a", "b", "c"), 1); err != nil {
+		t.Fatal(err)
+	}
+	w := NewMatcher(trie, 0.4, 100)
+	// Intern order b-c-a ≠ scheme registration order a-b-c, so any code/
+	// r-value mix-up shifts every delta.
+	if err := w.Insert(graph.StreamEdge{U: 2, LU: "b", V: 3, LV: "c"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Insert(graph.StreamEdge{U: 1, LU: "a", V: 2, LV: "b"}); err != nil {
+		t.Fatal(err)
+	}
+	// Both single-edge matches and the joined a-b-c path must exist with
+	// signatures matching a from-scratch computation.
+	full, ok := trie.NodeBySignature(scheme.SignatureOf(pattern.Path("a", "b", "c")))
+	if !ok {
+		t.Fatal("a-b-c node missing from trie")
+	}
+	found := false
+	for _, m := range w.MatchesContaining(graph.Edge{U: 1, V: 2}) {
+		if m.Node == full && m.NumEdges() == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("fresh-label inserts did not produce the a-b-c match")
+	}
+}
+
+// TestInsertRejectsLabelConflict: an endpoint arriving under a different
+// label than its first sighting must be rejected (vertex labels are
+// immutable for the life of the stream; accepting the edge would poison
+// the per-vertex r-value cache and with it every later delta).
+func TestInsertRejectsLabelConflict(t *testing.T) {
+	scheme := signature.NewScheme(signature.DefaultP, 5)
+	trie := tpstry.New(scheme)
+	if err := trie.AddQuery(pattern.Path("a", "b", "a"), 1); err != nil {
+		t.Fatal(err)
+	}
+	w := NewMatcher(trie, 0.4, 100)
+	if err := w.Insert(graph.StreamEdge{U: 1, LU: "a", V: 2, LV: "b"}); err != nil {
+		t.Fatal(err)
+	}
+	lenBefore, matchesBefore := w.Len(), w.NumMatches()
+	err := w.Insert(graph.StreamEdge{U: 2, LU: "a", V: 3, LV: "b"}) // vertex 2 was "b"
+	if err == nil {
+		t.Fatal("conflicting label accepted")
+	}
+	if !strings.Contains(err.Error(), "label") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if w.Len() != lenBefore || w.NumMatches() != matchesBefore {
+		t.Fatalf("rejected insert mutated the window: len %d→%d matches %d→%d",
+			lenBefore, w.Len(), matchesBefore, w.NumMatches())
+	}
+	// The vertex keeps its original label and stays usable.
+	if err := w.Insert(graph.StreamEdge{U: 2, LU: "b", V: 3, LV: "a"}); err != nil {
+		t.Fatalf("consistent re-use rejected: %v", err)
+	}
+}
+
+// TestInsertLabelConflictOnEvictedVertex: label slots are sticky — the
+// conflict check must hold even after the vertex's edges left the window.
+func TestInsertLabelConflictOnEvictedVertex(t *testing.T) {
+	scheme := signature.NewScheme(signature.DefaultP, 5)
+	trie := tpstry.New(scheme)
+	if err := trie.AddQuery(pattern.Path("a", "b", "a"), 1); err != nil {
+		t.Fatal(err)
+	}
+	w := NewMatcher(trie, 0.4, 100)
+	if err := w.Insert(graph.StreamEdge{U: 1, LU: "a", V: 2, LV: "b"}); err != nil {
+		t.Fatal(err)
+	}
+	w.RemoveEdges([]graph.Edge{{U: 1, V: 2}})
+	if !w.Empty() {
+		t.Fatal("window should be empty")
+	}
+	if err := w.Insert(graph.StreamEdge{U: 1, LU: "b", V: 3, LV: "a"}); err == nil {
+		t.Fatal("conflicting label accepted on a sticky vertex slot")
+	}
+}

@@ -62,34 +62,69 @@ func (e IEdge) norm() IEdge {
 	return e
 }
 
-func (e IEdge) hasEndpoint(i uint32) bool { return e.U == i || e.V == i }
-
 // Match is a motif-matching sub-graph in the window: an edge set paired
 // with the TPSTry++ node whose signature it shares (an entry ⟨Ei, mi⟩ of
 // the matchList).
+//
+// The hot path runs entirely on the interned edge set: iedges and verts
+// are kept sorted (membership is a binary search), degs caches each
+// vertex's degree within the match (so the Alg. 2 delta of a candidate
+// edge needs no edge-set scan), and fp is an order-independent 64-bit
+// fingerprint of the edge set used as a fast negative filter before full
+// comparisons. The external-ID edge set is derived lazily (Edges) for
+// cold-path callers; per-match copies in the grow/join paths carry only
+// the interned form.
 type Match struct {
-	// Edges is the match's edge set as external vertex IDs, in canonical
-	// (normalised, sorted) order.
-	Edges []graph.Edge
 	// Node is the motif's TPSTry++ node; Node.Sig equals the sub-graph's
 	// signature and the trie's SupportOf(Node) gives the motif support
 	// used to rank matches during assignment (§4).
 	Node *tpstry.Node
 
-	iedges []IEdge  // interned edge set, sorted by (U,V)
-	verts  []uint32 // distinct interned vertices, sorted
+	iedges []IEdge      // interned edge set, sorted by (U,V)
+	verts  []uint32     // distinct interned vertices, sorted
+	degs   []int32      // in-match degree per verts[i]
+	fp     uint64       // XOR of mixed packed edges (set-equality filter)
+	seq    uint64       // creation order; byVertex lists are seq-ascending
+	ext    []graph.Edge // lazily derived external edge set (see Edges)
+	vt     *intern.VertexTable
 	dead   bool
+
+	// Inline backing for the dominant small case (most matches are the
+	// one- and two-edge sub-graphs every windowed edge spawns): a fresh
+	// match's iedges/verts/degs slices point here, so creating it costs
+	// one allocation (the Match itself) instead of four. Larger matches
+	// spill to the heap transparently via append, and the pool then
+	// recycles whichever backing a match ended up with. Scalar arrays:
+	// no pointers, no extra GC scan work.
+	ieInline [2]IEdge
+	vInline  [4]uint32
+	dInline  [4]int32
+}
+
+// Edges returns the match's edge set as external vertex IDs, in canonical
+// (normalised, sorted) order. The slice is derived lazily from the
+// interned edge set on first call, cached for the match's lifetime, and
+// owned by the match — callers must not modify it.
+func (m *Match) Edges() []graph.Edge {
+	if len(m.ext) == 0 {
+		for _, ie := range m.iedges {
+			e := graph.Edge{U: graph.VertexID(m.vt.ID(ie.U)), V: graph.VertexID(m.vt.ID(ie.V))}
+			m.ext = append(m.ext, e.Norm())
+		}
+		slices.SortFunc(m.ext, compareEdges)
+	}
+	return m.ext
 }
 
 // Vertices returns the distinct external vertex IDs of the match, sorted.
 // Cold-path convenience; the assignment hot path uses VertexIndices.
 func (m *Match) Vertices() []graph.VertexID {
-	out := make([]graph.VertexID, 0, len(m.Edges)+1)
-	for _, e := range m.Edges {
-		out = append(out, e.U, e.V)
+	out := make([]graph.VertexID, len(m.verts))
+	for i, v := range m.verts {
+		out[i] = graph.VertexID(m.vt.ID(v))
 	}
 	slices.Sort(out)
-	return slices.Compact(out)
+	return out
 }
 
 // VertexIndices returns the match's distinct dense vertex indices, sorted.
@@ -100,37 +135,46 @@ func (m *Match) VertexIndices() []uint32 { return m.verts }
 // is owned by the match and must not be modified.
 func (m *Match) IEdges() []IEdge { return m.iedges }
 
+// NumEdges returns the size of the match's edge set.
+func (m *Match) NumEdges() int { return len(m.iedges) }
+
 // ContainsEdge reports whether the match includes e (normalised).
 func (m *Match) ContainsEdge(e graph.Edge) bool {
-	e = e.Norm()
-	for _, me := range m.Edges {
-		if me == e {
-			return true
-		}
+	if m.vt == nil {
+		return false
 	}
-	return false
+	ui, ok := m.vt.Lookup(int64(e.U))
+	if !ok {
+		return false
+	}
+	vi, ok := m.vt.Lookup(int64(e.V))
+	if !ok {
+		return false
+	}
+	return m.containsIEdge(IEdge{ui, vi}.norm())
 }
 
 func (m *Match) containsIEdge(e IEdge) bool {
-	for _, me := range m.iedges {
-		if me == e {
-			return true
-		}
-	}
-	return false
+	_, ok := slices.BinarySearchFunc(m.iedges, e, CompareIEdges)
+	return ok
 }
 
 func (m *Match) containsVertex(i uint32) bool {
-	for _, v := range m.verts {
-		if v == i {
-			return true
-		}
+	_, ok := slices.BinarySearch(m.verts, i)
+	return ok
+}
+
+// degOf returns vertex i's degree within the match (0 when i is not a
+// match vertex) — the O(log |verts|) lookup behind every Alg. 2 delta.
+func (m *Match) degOf(i uint32) int32 {
+	if p, ok := slices.BinarySearch(m.verts, i); ok {
+		return m.degs[p]
 	}
-	return false
+	return 0
 }
 
 func (m *Match) String() string {
-	return fmt.Sprintf("⟨%v,%v⟩", m.Edges, m.Node)
+	return fmt.Sprintf("⟨%v,%v⟩", m.Edges(), m.Node)
 }
 
 // Matcher is the sliding window Ptemp plus its matchList. It is not safe
@@ -155,18 +199,36 @@ type Matcher struct {
 	vertexRC []int32  // window edges touching the vertex
 	byVertex [][]*Match
 
+	// Epoch-stamped per-vertex degree scratch for the recursive join grow:
+	// seeded from the base match's cached degree vector, incremented and
+	// decremented as candidate edges are tried, so each Alg. 2 delta during
+	// a join is O(1) instead of an edge-set scan. gstamp[i] == gepoch marks
+	// gdeg[i] as valid for the current grow.
+	gdeg   []int32
+	gstamp []uint32
+	gepoch uint32
+
 	fifo  []winEdge
 	head  int
 	edges edgeTable // buffered edges + per-edge matchList (packed keys)
 	seq   uint64    // insertion counter; see winEdge.seq
 	live  int       // live matches
+	mseq  uint64    // match creation counter; see Match.seq
 
-	// Single-edge motif gate memo: (cu, cv) → trie node (nil = no motif),
-	// valid while the trie's workload version is unchanged. The gate runs
-	// once per stream edge; the label alphabet is tiny, so after warm-up
-	// it is one small-map probe instead of a signature delta + trie walk.
-	gate    map[uint32]*tpstry.Node
-	gateVer int
+	// Single-edge motif gate memo: a dense per-label-pair table, valid
+	// while the trie's workload version is unchanged. The gate runs once
+	// per stream edge; the label alphabet is tiny, so after warm-up it is
+	// one slice index instead of a map probe (let alone a signature delta
+	// + trie walk). gate[cu*gateDim+cv] holds the verdict for the ordered
+	// code pair (cu, cv); gateDim tracks the label codes seen so far and
+	// the table re-strides as the alphabet grows, up to maxGateDim — the
+	// dense table is quadratic in the alphabet, so pairs involving codes
+	// past the cap (pathological alphabets; intern allows 2^16 codes)
+	// memoise in the gateSlow map instead, which is linear in pairs seen.
+	gate     []gateCell
+	gateDim  int
+	gateSlow map[uint32]*tpstry.Node // (cu<<16|cv) → node; nil = non-motif
+	gateVer  int
 
 	// Freelists and scratch for the per-edge and eviction hot paths:
 	// everything here is recycled so steady-state operation performs no
@@ -174,12 +236,15 @@ type Matcher struct {
 	pool     []*Match  // dead matches awaiting reuse (edge/vertex slices kept)
 	killed   []*Match  // RemoveIEdges scratch
 	joinRest []IEdge   // tryJoin: edges of the smaller match not in the larger
-	growSeed []IEdge   // tryJoin/grow: the growing edge set (cap maxEdges)
 	growRest [][]IEdge // grow: per-depth remaining-edge scratch
 }
 
+// winEdge is one FIFO entry: 16 bytes of interned state. The external
+// StreamEdge view is reconstructed on demand (streamEdgeOf) from the
+// vertex table and the per-vertex label codes — buffering the original
+// StreamEdge would retain two label strings per window edge for the
+// window's lifetime, the single largest slab of window memory.
 type winEdge struct {
-	se  graph.StreamEdge
 	ie  IEdge
 	seq uint64 // matches the edge slot's seq while THIS entry is the live one
 }
@@ -208,8 +273,8 @@ func NewMatcherWith(trie *tpstry.Trie, threshold float64, capacity int, verts *i
 		maxPerV:   DefaultMaxMatchesPerVertex,
 		verts:     verts,
 		ltab:      ltab,
-		growSeed:  make([]IEdge, 0, maxEdges),
 		growRest:  make([][]IEdge, maxEdges+1),
+		pool:      make([]*Match, 0, maxPoolMatches),
 	}
 }
 
@@ -238,10 +303,24 @@ func (w *Matcher) Reserve(n int) {
 		byV := make([][]*Match, len(w.byVertex), n)
 		copy(byV, w.byVertex)
 		w.byVertex = byV
+		gdeg := make([]int32, len(w.gdeg), n)
+		copy(gdeg, w.gdeg)
+		w.gdeg = gdeg
+		gstamp := make([]uint32, len(w.gstamp), n)
+		copy(gstamp, w.gstamp)
+		w.gstamp = gstamp
 	}
+	// The edge index and FIFO are reserved for a fraction of the window
+	// capacity rather than all of it: how much of the capacity a stream
+	// actually uses depends on its motif fraction (the evaluation
+	// datasets buffer well under half), both structures keep amortised
+	// O(1) growth past the reservation, and a full eager reservation is
+	// the single largest constructor allocation (a 10k window's edge
+	// slots alone are ~650 KB, repaid only when the window really fills).
+	const maxEagerEdges = 2048
 	edges := w.capacity + 1
-	if edges > maxReserve {
-		edges = maxReserve
+	if edges > maxEagerEdges {
+		edges = maxEagerEdges
 	}
 	if len(w.edges.slots) == 0 && edges > 32 {
 		w.edges.slots = make([]edgeSlot, intern.SlotsFor(edges, 64))
@@ -296,6 +375,8 @@ func (w *Matcher) ensureVertex(i uint32, code uint16) {
 		w.vcode = append(w.vcode, 0)
 		w.vertexRC = append(w.vertexRC, 0)
 		w.byVertex = append(w.byVertex, nil)
+		w.gdeg = append(w.gdeg, 0)
+		w.gstamp = append(w.gstamp, 0)
 	}
 	w.vrval[i] = w.labelVal(code)
 	w.vcode[i] = code
@@ -326,6 +407,24 @@ func (w *Matcher) HasVertex(v graph.VertexID) bool {
 	return ok && w.HasVertexIdx(i)
 }
 
+// gateCell is one memoised single-edge verdict.
+type gateCell struct {
+	node  *tpstry.Node // the single-edge motif node (gateMotif only)
+	state uint8        // gateUnknown / gateMotif / gateNonMotif
+}
+
+const (
+	gateUnknown  = uint8(iota) // pair not yet resolved
+	gateMotif                  // single-edge motif; node is set
+	gateNonMotif               // fails the gate
+)
+
+// maxGateDim caps the dense gate's dimension: the table is quadratic in
+// the alphabet (256² cells × 16 B = 1 MiB at the cap), and label codes
+// can in principle run to intern.MaxLabels = 2^16, where a dense table
+// would be tens of GiB. Codes past the cap take the map path.
+const maxGateDim = 256
+
 // SingleEdgeMotifCodes returns the TPSTry++ node for the single-edge motif
 // over interned label codes (cu, cv), if one exists at the current
 // threshold. This is the gate of §3: edges failing it never enter the
@@ -333,18 +432,69 @@ func (w *Matcher) HasVertex(v graph.VertexID) bool {
 // changes (supports — and so motif-hood — move with every AddQuery).
 func (w *Matcher) SingleEdgeMotifCodes(cu, cv uint16) (*tpstry.Node, bool) {
 	w.GateSync()
-	key := uint32(cu)<<16 | uint32(cv)
-	if n, ok := w.gate[key]; ok {
+	if int(cu) >= maxGateDim || int(cv) >= maxGateDim {
+		key := uint32(cu)<<16 | uint32(cv)
+		if n, ok := w.gateSlow[key]; ok {
+			return n, n != nil
+		}
+		n := w.resolveGate(cu, cv)
+		if w.gateSlow == nil {
+			w.gateSlow = make(map[uint32]*tpstry.Node, 64)
+		}
+		w.gateSlow[key] = n
 		return n, n != nil
 	}
+	if int(cu) >= w.gateDim || int(cv) >= w.gateDim {
+		w.growGate(int(max(cu, cv)) + 1)
+	}
+	cell := &w.gate[int(cu)*w.gateDim+int(cv)]
+	switch cell.state {
+	case gateMotif:
+		return cell.node, true
+	case gateNonMotif:
+		return nil, false
+	}
+	n := w.resolveGate(cu, cv)
+	if n == nil {
+		cell.state = gateNonMotif
+		return nil, false
+	}
+	cell.node = n
+	cell.state = gateMotif
+	return n, true
+}
+
+// resolveGate answers the single-edge motif question from the trie (the
+// memo miss path): the motif node, or nil.
+func (w *Matcher) resolveGate(cu, cv uint16) *tpstry.Node {
 	d := w.scheme.EdgeDeltaVals(w.labelVal(cu), 0, w.labelVal(cv), 0)
 	n, ok := w.trie.Root().ChildByDelta(d)
 	if !ok || !w.trie.IsMotif(n, w.threshold) {
-		w.gate[key] = nil
-		return nil, false
+		return nil
 	}
-	w.gate[key] = n
-	return n, true
+	return n
+}
+
+// growGate re-strides the gate table to cover label codes below dim
+// (≤ maxGateDim), relocating memoised verdicts. Runs once per new label
+// (serial contexts only — the same ones that intern labels).
+func (w *Matcher) growGate(dim int) {
+	newDim := w.gateDim * 2
+	if newDim < dim {
+		newDim = dim
+	}
+	if newDim < 8 {
+		newDim = 8
+	}
+	if newDim > maxGateDim {
+		newDim = maxGateDim
+	}
+	grown := make([]gateCell, newDim*newDim)
+	for i := 0; i < w.gateDim; i++ {
+		copy(grown[i*newDim:i*newDim+w.gateDim], w.gate[i*w.gateDim:(i+1)*w.gateDim])
+	}
+	w.gate = grown
+	w.gateDim = newDim
 }
 
 // GateSync revalidates the single-edge gate memo against the trie's current
@@ -357,9 +507,12 @@ func (w *Matcher) SingleEdgeMotifCodes(cu, cv uint16) (*tpstry.Node, bool) {
 func (w *Matcher) GateSync() {
 	if v := w.trie.Version(); w.gate == nil || w.gateVer != v {
 		if w.gate == nil {
-			w.gate = make(map[uint32]*tpstry.Node, 64)
+			w.growGate(8)
 		} else {
 			clear(w.gate)
+		}
+		if w.gateSlow != nil {
+			clear(w.gateSlow)
 		}
 		w.gateVer = v
 		// A workload change also moves the largest-motif bound; matches
@@ -377,16 +530,20 @@ func (w *Matcher) GateSync() {
 // safe as long as no gate-mutating call runs alongside them (the parallel
 // pre-pass of AddBatch relies on exactly this).
 func (w *Matcher) GateProbe(cu, cv uint16) (node *tpstry.Node, motif, known bool) {
-	n, ok := w.gate[uint32(cu)<<16|uint32(cv)]
-	return n, n != nil, ok
+	if int(cu) >= maxGateDim || int(cv) >= maxGateDim {
+		n, ok := w.gateSlow[uint32(cu)<<16|uint32(cv)]
+		return n, n != nil, ok
+	}
+	if int(cu) >= w.gateDim || int(cv) >= w.gateDim {
+		return nil, false, false
+	}
+	cell := &w.gate[int(cu)*w.gateDim+int(cv)]
+	return cell.node, cell.state == gateMotif, cell.state != gateUnknown
 }
 
 // ensureGrowScratch re-sizes the join/grow scratch for the current
 // maxEdges (which can grow when queries are added to the trie).
 func (w *Matcher) ensureGrowScratch() {
-	if cap(w.growSeed) < w.maxEdges {
-		w.growSeed = make([]IEdge, 0, w.maxEdges)
-	}
 	for len(w.growRest) < w.maxEdges+1 {
 		w.growRest = append(w.growRest, nil)
 	}
@@ -400,20 +557,46 @@ func (w *Matcher) SingleEdgeMotif(e graph.StreamEdge) (*tpstry.Node, bool) {
 
 // Insert adds a motif-matching edge to the window and updates the
 // matchList per Alg. 2. The caller must have checked SingleEdgeMotif; a
-// duplicate window edge or self-loop is rejected with an error.
+// duplicate window edge, self-loop, or an endpoint arriving with a label
+// different from the one it was first seen with is rejected with an error.
+//
+// Labels are interned here and the resulting codes carried through — the
+// former re-Lookup (whose ok was discarded) could in principle fall back
+// to label code 0 and compute signatures against the wrong r-values; the
+// codes now come straight from Intern, and a label-consistency check
+// guards the per-vertex r-value cache (vertex labels are immutable for
+// the life of the stream; a conflicting label would silently corrupt
+// every signature delta the vertex participates in).
 func (w *Matcher) Insert(e graph.StreamEdge) error {
 	if e.U == e.V {
 		return fmt.Errorf("window: self-loop %v", e)
 	}
-	node, ok := w.SingleEdgeMotif(e)
+	cu := w.ltab.Intern(string(e.LU))
+	cv := w.ltab.Intern(string(e.LV))
+	node, ok := w.SingleEdgeMotifCodes(cu, cv)
 	if !ok {
 		return fmt.Errorf("window: edge %v does not match a single-edge motif", e)
 	}
 	ui := w.verts.Intern(int64(e.U))
 	vi := w.verts.Intern(int64(e.V))
-	cu, _ := w.ltab.Lookup(string(e.LU))
-	cv, _ := w.ltab.Lookup(string(e.LV))
+	if err := w.checkLabel(ui, e.U, cu); err != nil {
+		return err
+	}
+	if err := w.checkLabel(vi, e.V, cv); err != nil {
+		return err
+	}
 	return w.InsertInterned(e, ui, vi, cu, cv, node)
+}
+
+// checkLabel rejects a label conflict on a vertex whose r-value cache is
+// already populated (vrval entries are in [1, p), so 0 marks "never
+// labelled").
+func (w *Matcher) checkLabel(i uint32, v graph.VertexID, code uint16) error {
+	if int(i) < len(w.vrval) && w.vrval[i] != 0 && w.vcode[i] != code {
+		return fmt.Errorf("window: vertex %d arrived with label %q but was first seen with %q",
+			v, w.ltab.Name(code), w.ltab.Name(w.vcode[i]))
+	}
+	return nil
 }
 
 // InsertInterned is the pre-interned fast path used by Loom's per-edge
@@ -425,48 +608,83 @@ func (w *Matcher) InsertInterned(e graph.StreamEdge, ui, vi uint32, cu, cv uint1
 		return fmt.Errorf("window: self-loop %v", e)
 	}
 	ie := IEdge{ui, vi}.norm()
-	if w.edges.has(packIEdge(ie)) {
+	slot, existed := w.edges.ensure(packIEdge(ie))
+	if existed {
 		return fmt.Errorf("window: duplicate edge %v", e.Edge().Norm())
 	}
 
 	w.seq++
-	w.fifo = append(w.fifo, winEdge{se: e, ie: ie, seq: w.seq})
-	w.edges.insert(packIEdge(ie)).seq = w.seq
+	slot.seq = w.seq
+	w.fifo = append(w.fifo, winEdge{ie: ie, seq: w.seq})
 	w.ensureVertex(ui, cu)
 	w.ensureVertex(vi, cv)
 	w.vertexRC[ui]++
 	w.vertexRC[vi]++
 
-	// The new single-edge match ⟨{e}, m⟩.
-	norm := e.Edge().Norm()
+	// The new single-edge match ⟨{e}, m⟩. Its canonical form is known by
+	// construction (ie is normalised; a duplicate is impossible — the
+	// edge itself was absent until this insert), so it skips addMatch's
+	// canonicalisation and dedup entirely.
 	m := w.acquireMatch()
-	m.Edges = append(m.Edges, norm)
+	m.Node = node
 	m.iedges = append(m.iedges, ie)
-	w.addMatch(m, node)
+	m.fp = intern.Mix64(packIEdge(ie))
+	m.verts = append(m.verts, ie.U, ie.V)
+	m.degs = append(m.degs, 1, 1)
+	single, _ := w.record(m)
 
 	// Alg. 2 lines 3–8: grow each existing match connected to e. Slice
 	// headers are stable snapshots: matches added below are appended to
-	// the live lists, not these.
+	// the live lists, not these. No snapshot match can already contain e
+	// (e was absent from the window until this insert, and live matches
+	// reference only window edges) — except the single-edge match just
+	// recorded, skipped by pointer.
 	ms1, ms2 := w.byVertex[ui], w.byVertex[vi]
 	for _, m := range ms1 {
-		w.tryGrow(m, norm, ie)
+		if m != single {
+			w.tryGrow(m, ie)
+		}
 	}
 	for _, m := range ms2 {
-		if !m.containsVertex(ui) { // those were grown from ms1 already
-			w.tryGrow(m, norm, ie)
+		if m != single && !m.containsVertex(ui) { // ui-containing were grown from ms1 already
+			w.tryGrow(m, ie)
 		}
 	}
 
 	// Alg. 2 lines 11–18: join pairs of matches from the two endpoints'
-	// (updated) matchList entries.
+	// (updated) matchList entries. Pairs that cannot produce a new match
+	// are pruned before any delta work:
+	//
+	//   - identical edge sets (fingerprint, then exact): the "join" adds
+	//     nothing;
+	//   - both-endpoint duplicates: a match containing BOTH endpoints
+	//     appears in both lists, so an unequal-size pair (m1, m2) occurs
+	//     once per orientation — and tryJoin normalises those to the same
+	//     (larger, smaller) call. byVertex lists are creation-ordered
+	//     (seq-ascending), so the orientation with m1.seq < m2.seq is the
+	//     one the nested loop reaches first; the later mirror is skipped.
+	//     Equal-size pairs are not normalised (each orientation grows a
+	//     different base match) and both still run.
+	//
+	// Size and leaf-node pruning live in tryJoin, after its swap.
 	ms1, ms2 = w.byVertex[ui], w.byVertex[vi]
 	for _, m1 := range ms1 {
 		if m1.dead {
 			continue
 		}
+		n1 := len(m1.iedges)
+		m1HasV := m1.containsVertex(vi)
 		for _, m2 := range ms2 {
 			if m2.dead || m1 == m2 {
 				continue
+			}
+			n2 := len(m2.iedges)
+			if n1 == n2 {
+				if m1.fp == m2.fp && sameIEdges(m1.iedges, m2.iedges) {
+					continue // same edge set under a different motif node
+				}
+			} else if m1HasV && m1.seq > m2.seq && m2.containsVertex(ui) {
+				continue // mirror of a pair already joined this round
 			}
 			w.tryJoin(m1, m2)
 		}
@@ -474,38 +692,115 @@ func (w *Matcher) InsertInterned(e graph.StreamEdge, ui, vi uint32, cu, cv uint1
 	return nil
 }
 
-// tryGrow extends match m by the new edge (Alg. 2 lines 3–8): the 3-factor
-// delta of adding the edge to m's sub-graph is looked up among m's trie
-// node's children.
-func (w *Matcher) tryGrow(m *Match, norm graph.Edge, ie IEdge) {
-	if m.dead || len(m.iedges) >= w.maxEdges || m.containsIEdge(ie) {
+// tryGrow extends match m by the new edge ie (Alg. 2 lines 3–8): the
+// 3-factor delta of adding the edge to m's sub-graph is looked up among
+// m's trie node's children. The delta comes from the match's cached
+// per-vertex degree vector (O(log |verts|)) rather than an edge-set scan,
+// and a leaf node (no children) is rejected before any delta work. The
+// caller guarantees ie ∉ m (the edge was not in the window when m's
+// snapshot was taken).
+func (w *Matcher) tryGrow(m *Match, ie IEdge) {
+	if m.dead || len(m.iedges) >= w.maxEdges || m.Node.NumChildren() == 0 {
 		return
 	}
-	d := w.deltaFor(ie, m.iedges)
+	d := w.deltaForMatch(m, ie)
 	if c, ok := m.Node.ChildByDelta(d); ok && w.trie.IsMotif(c, w.threshold) {
-		nm := w.acquireMatch()
-		nm.Edges = append(append(nm.Edges, m.Edges...), norm)
-		nm.iedges = append(append(nm.iedges, m.iedges...), ie)
-		w.addMatch(nm, c)
+		w.addGrown(m, ie, c)
 	}
 }
 
-// deltaFor computes the 3 factors that adding edge ie to the sub-graph
-// formed by iedges would multiply into its signature: the edge factor plus
-// one degree factor per endpoint, using each endpoint's degree *within the
-// sub-graph* (§2.1's incremental computation, applied stream-side). All
-// inputs are interned; label r-values come from the per-vertex cache.
-func (w *Matcher) deltaFor(ie IEdge, iedges []IEdge) signature.Delta {
-	du, dv := 0, 0
-	for _, me := range iedges {
-		if me.hasEndpoint(ie.U) {
-			du++
-		}
-		if me.hasEndpoint(ie.V) {
-			dv++
+// addGrown records the match base ∪ {ie} under node, deriving the
+// canonical form incrementally from base's cached state — sorted insert
+// into the edge set, one fingerprint XOR, and a copy-and-bump of the
+// vertex/degree vectors — instead of addMatch's from-scratch rebuild.
+// Dedup (grown duplicates are common: many sub-matches grow to the same
+// super-graph) and the per-vertex cap behave exactly as addMatch.
+func (w *Matcher) addGrown(base *Match, ie IEdge, node *tpstry.Node) (*Match, bool) {
+	nm := w.acquireMatch()
+	nm.Node = node
+	pos, _ := slices.BinarySearchFunc(base.iedges, ie, CompareIEdges)
+	nm.iedges = slices.Grow(nm.iedges, len(base.iedges)+1)
+	nm.iedges = append(nm.iedges, base.iedges[:pos]...)
+	nm.iedges = append(nm.iedges, ie)
+	nm.iedges = append(nm.iedges, base.iedges[pos:]...)
+	fp := base.fp ^ intern.Mix64(packIEdge(ie))
+	nm.fp = fp
+	if slot := w.edges.get(packIEdge(nm.iedges[0])); slot != nil {
+		for _, ex := range slot.matches {
+			if !ex.dead && ex.fp == fp && ex.Node == node && sameIEdges(ex.iedges, nm.iedges) {
+				w.releaseMatch(nm)
+				return ex, false
+			}
 		}
 	}
+	nm.verts = append(slices.Grow(nm.verts, len(base.verts)+2), base.verts...)
+	nm.degs = append(slices.Grow(nm.degs, len(base.degs)+2), base.degs...)
+	nm.bumpVertex(ie.U)
+	nm.bumpVertex(ie.V)
+	return w.record(nm)
+}
+
+// bumpVertex adds one unit of in-match degree for v, inserting it into the
+// sorted vertex/degree vectors if absent.
+func (m *Match) bumpVertex(v uint32) {
+	if p, ok := slices.BinarySearch(m.verts, v); ok {
+		m.degs[p]++
+	} else {
+		m.verts = slices.Insert(m.verts, p, v)
+		m.degs = slices.Insert(m.degs, p, 1)
+	}
+}
+
+// deltaForMatch computes the 3 factors that adding edge ie to match m's
+// sub-graph would multiply into its signature: the edge factor plus one
+// degree factor per endpoint, using each endpoint's degree *within the
+// sub-graph* (§2.1's incremental computation, applied stream-side).
+// Degrees come from the match's cached vector; label r-values from the
+// per-vertex cache.
+func (w *Matcher) deltaForMatch(m *Match, ie IEdge) signature.Delta {
+	return w.scheme.EdgeDeltaVals(w.vrval[ie.U], int(m.degOf(ie.U)), w.vrval[ie.V], int(m.degOf(ie.V)))
+}
+
+// growDelta is deltaForMatch for the intermediate sub-graph of a running
+// join grow, reading degrees from the epoch-stamped scratch.
+func (w *Matcher) growDelta(ie IEdge) signature.Delta {
+	du, dv := 0, 0
+	if w.gstamp[ie.U] == w.gepoch {
+		du = int(w.gdeg[ie.U])
+	}
+	if w.gstamp[ie.V] == w.gepoch {
+		dv = int(w.gdeg[ie.V])
+	}
 	return w.scheme.EdgeDeltaVals(w.vrval[ie.U], du, w.vrval[ie.V], dv)
+}
+
+// growTouches reports whether edge e shares a vertex with the current
+// grow sub-graph — a vertex is in the sub-graph iff its stamped degree is
+// positive (a backtracked vertex decays to 0 but stays stamped).
+func (w *Matcher) growTouches(e IEdge) bool {
+	return (w.gstamp[e.U] == w.gepoch && w.gdeg[e.U] > 0) ||
+		(w.gstamp[e.V] == w.gepoch && w.gdeg[e.V] > 0)
+}
+
+// growDegInc bumps vertex i's degree in the grow scratch.
+func (w *Matcher) growDegInc(i uint32) {
+	if w.gstamp[i] != w.gepoch {
+		w.gstamp[i] = w.gepoch
+		w.gdeg[i] = 0
+	}
+	w.gdeg[i]++
+}
+
+// growDegDec undoes growDegInc on backtrack.
+func (w *Matcher) growDegDec(i uint32) { w.gdeg[i]-- }
+
+// growEpochNext invalidates the grow scratch for a fresh join.
+func (w *Matcher) growEpochNext() {
+	w.gepoch++
+	if w.gepoch == 0 { // stamp wraparound: invalidate all stamps
+		clear(w.gstamp)
+		w.gepoch = 1
+	}
 }
 
 // CompareIEdges orders interned edges by (U, V); match edge sets are kept
@@ -547,81 +842,150 @@ func (w *Matcher) acquireMatch() *Match {
 		w.pool = w.pool[:n-1]
 		return m
 	}
-	return &Match{}
+	m := &Match{vt: w.verts}
+	m.iedges = m.ieInline[:0]
+	m.verts = m.vInline[:0]
+	m.degs = m.dInline[:0]
+	return m
 }
 
-// releaseMatch returns an unlinked match to the freelist. The caller must
-// guarantee no index entry still references it (freshly rejected by
-// addMatch, or killed and unlinked by RemoveIEdges).
+// maxPoolMatches bounds the match freelist. The pool exists to serve the
+// steady-state insert/evict churn, where demand is a handful of matches
+// per edge; during a drain (Flush, large eviction cascades) releases
+// vastly outnumber acquires and an unbounded pool would grow to the
+// all-time match high-water mark and keep re-paying append growth — the
+// only steady allocation left on the eviction path. Beyond the cap,
+// released matches are simply dropped for the GC.
+const maxPoolMatches = 1024
+
+// releaseMatch returns an unlinked match to the freelist (or drops it once
+// the pool is full). The caller must guarantee no index entry still
+// references it (freshly rejected by addMatch, or killed and unlinked by
+// RemoveIEdges).
 func (w *Matcher) releaseMatch(m *Match) {
-	m.Edges = m.Edges[:0]
+	if len(w.pool) >= maxPoolMatches {
+		return
+	}
 	m.iedges = m.iedges[:0]
 	m.verts = m.verts[:0]
+	m.degs = m.degs[:0]
+	m.ext = m.ext[:0]
 	m.Node = nil
+	m.fp = 0
+	m.seq = 0
 	m.dead = false
 	w.pool = append(w.pool, m)
 }
 
 // addMatch canonicalises and records an acquired match if it is new and
 // the per-vertex cap allows, returning the canonical *Match (existing or
-// new) and whether it was created. m.Edges and m.iedges must describe the
-// same edge set, every edge of which is buffered in the window; m.verts
-// is derived here. A duplicate or capped match is released back to the
-// freelist.
+// new) and whether it was created. Every edge of m.iedges must be buffered
+// in the window; m.verts, m.degs and m.fp are derived here. A duplicate or
+// capped match is released back to the freelist. Dedup is fingerprint-
+// first: the fp mismatch rejects unequal edge sets in one word compare,
+// and only fp-equal candidates pay the full edge-set comparison.
 func (w *Matcher) addMatch(m *Match, node *tpstry.Node) (*Match, bool) {
 	m.Node = node
-	slices.SortFunc(m.Edges, compareEdges)
 	slices.SortFunc(m.iedges, CompareIEdges)
+	var fp uint64
+	for _, e := range m.iedges {
+		fp ^= intern.Mix64(packIEdge(e))
+	}
+	m.fp = fp
 	// Dedup: an identical match (same edge set, same motif node) already
 	// hangs off any of its edges' matchList entries.
 	if slot := w.edges.get(packIEdge(m.iedges[0])); slot != nil {
 		for _, ex := range slot.matches {
-			if !ex.dead && ex.Node == node && sameIEdges(ex.iedges, m.iedges) {
+			if !ex.dead && ex.fp == fp && ex.Node == node && sameIEdges(ex.iedges, m.iedges) {
 				w.releaseMatch(m)
 				return ex, false
 			}
 		}
 	}
-	// Distinct vertices, sorted.
+	// Distinct vertices, sorted, with the in-match degree vector.
 	for _, e := range m.iedges {
 		m.verts = append(m.verts, e.U, e.V)
 	}
 	slices.Sort(m.verts)
 	m.verts = slices.Compact(m.verts)
+	for range m.verts {
+		m.degs = append(m.degs, 0)
+	}
+	for _, e := range m.iedges {
+		i, _ := slices.BinarySearch(m.verts, e.U)
+		m.degs[i]++
+		j, _ := slices.BinarySearch(m.verts, e.V)
+		m.degs[j]++
+	}
+	return w.record(m)
+}
 
+// record registers a fully-canonical match — iedges/verts/degs sorted and
+// consistent, fp and Node set — in the matchList indexes, subject to the
+// per-vertex cap. The shared tail of addMatch and its fast-path siblings
+// (the single-edge insert and addGrown).
+func (w *Matcher) record(m *Match) (*Match, bool) {
 	for _, v := range m.verts {
 		if len(w.byVertex[v]) >= w.maxPerV {
 			w.releaseMatch(m)
 			return nil, false // cap: do not record (graceful degradation)
 		}
 	}
+	w.mseq++
+	m.seq = w.mseq
 	w.live++
 	for _, v := range m.verts {
-		w.byVertex[v] = append(w.byVertex[v], m)
+		w.byVertex[v] = addMatchRef(w.byVertex[v], m)
 	}
 	for _, e := range m.iedges {
 		slot := w.edges.get(packIEdge(e))
-		slot.matches = append(slot.matches, m)
+		slot.matches = addMatchRef(slot.matches, m)
 	}
 	return m, true
+}
+
+// addMatchRef appends one match-list reference, seeding a fresh list with
+// room for the overlap a motif vertex typically accumulates (the default
+// 1 → 2 → 4 doubling costs an allocation per step on the insert path).
+func addMatchRef(l []*Match, m *Match) []*Match {
+	if l == nil {
+		l = make([]*Match, 0, 4)
+	}
+	return append(l, m)
 }
 
 // tryJoin attempts to combine two matches (Alg. 2 lines 11–18): edges of
 // the smaller match are added to the larger one at a time; every
 // intermediate step must land on a motif node of the trie. On success the
 // combined match is recorded. All intermediate state lives in reusable
-// scratch buffers (joinRest, growSeed, growRest).
+// scratch buffers (joinRest, growRest, the epoch-stamped degree scratch).
+//
+// Pairs that cannot possibly succeed are rejected before any delta work:
+// a larger side already at the motif size bound can only absorb a subset
+// (a no-op), and a larger side at a leaf node has no trie link to grow
+// along.
 func (w *Matcher) tryJoin(m1, m2 *Match) {
 	// Grow the larger by the smaller ("we consider each edge from the
 	// smaller motif match").
 	if len(m2.iedges) > len(m1.iedges) {
 		m1, m2 = m2, m1
 	}
+	if len(m1.iedges) >= w.maxEdges || m1.Node.NumChildren() == 0 {
+		return
+	}
+	// remaining = m2 \ m1, a linear merge of the two sorted edge sets
+	// (preserving m2's order, as the filter it replaces did).
 	remaining := w.joinRest[:0]
+	i := 0
 	for _, e := range m2.iedges {
-		if !m1.containsIEdge(e) {
-			remaining = append(remaining, e)
+		for i < len(m1.iedges) && CompareIEdges(m1.iedges[i], e) < 0 {
+			i++
 		}
+		if i < len(m1.iedges) && m1.iedges[i] == e {
+			i++
+			continue
+		}
+		remaining = append(remaining, e)
 	}
 	w.joinRest = remaining
 	if len(remaining) == 0 {
@@ -630,39 +994,38 @@ func (w *Matcher) tryJoin(m1, m2 *Match) {
 	if len(m1.iedges)+len(remaining) > w.maxEdges {
 		return // cannot possibly match a motif
 	}
-	// growSeed has capacity maxEdges, so the recursive appends in grow
-	// never reallocate it.
-	scratch := append(w.growSeed[:0], m1.iedges...)
-	if node, ok := w.grow(m1.Node, scratch, remaining, 0); ok {
+	// Seed the degree scratch with m1's cached in-match degrees; grow
+	// maintains it incrementally as candidate edges are tried.
+	w.growEpochNext()
+	for k, v := range m1.verts {
+		w.gstamp[v] = w.gepoch
+		w.gdeg[v] = m1.degs[k]
+	}
+	if node, ok := w.grow(m1.Node, remaining, 0); ok {
 		nm := w.acquireMatch()
 		nm.iedges = append(append(nm.iedges, m1.iedges...), remaining...)
-		nm.Edges = append(nm.Edges, m1.Edges...)
-		for _, e := range m2.Edges {
-			if !m1.ContainsEdge(e) {
-				nm.Edges = append(nm.Edges, e)
-			}
-		}
 		w.addMatch(nm, node)
 	}
 }
 
 // grow recursively adds the remaining edges (in any workable order) to the
-// edge set, following motif child links; it reports the final node on
-// success. The edge set slice is used as scratch (append/truncate); the
-// per-depth remaining-edge buffers come from the growRest freelist,
-// preserving the relative order of untried edges exactly as a fresh copy
-// would.
-func (w *Matcher) grow(node *tpstry.Node, iedges []IEdge, remaining []IEdge, depth int) (*tpstry.Node, bool) {
+// grow sub-graph, following motif child links; it reports the final node
+// on success. The sub-graph itself is represented only by the epoch-
+// stamped per-vertex degree scratch (deltas and the connectivity guard
+// need nothing else); the per-depth remaining-edge buffers come from the
+// growRest freelist, preserving the relative order of untried edges
+// exactly as a fresh copy would.
+func (w *Matcher) grow(node *tpstry.Node, remaining []IEdge, depth int) (*tpstry.Node, bool) {
 	if len(remaining) == 0 {
 		return node, true
 	}
 	for i, e := range remaining {
 		// Connectivity guard: the next edge must touch the sub-graph
 		// (trie deltas imply this, but a factor collision could lie).
-		if !touches(iedges, e) {
+		if !w.growTouches(e) {
 			continue
 		}
-		d := w.deltaFor(e, iedges)
+		d := w.growDelta(e)
 		c, ok := node.ChildByDelta(d)
 		if !ok || !w.trie.IsMotif(c, w.threshold) {
 			continue
@@ -671,20 +1034,15 @@ func (w *Matcher) grow(node *tpstry.Node, iedges []IEdge, remaining []IEdge, dep
 		rest = append(rest, remaining[:i]...)
 		rest = append(rest, remaining[i+1:]...)
 		w.growRest[depth] = rest
-		if final, ok := w.grow(c, append(iedges, e), rest, depth+1); ok {
+		w.growDegInc(e.U)
+		w.growDegInc(e.V)
+		if final, ok := w.grow(c, rest, depth+1); ok {
 			return final, true
 		}
+		w.growDegDec(e.U)
+		w.growDegDec(e.V)
 	}
 	return nil, false
-}
-
-func touches(iedges []IEdge, e IEdge) bool {
-	for _, me := range iedges {
-		if me.hasEndpoint(e.U) || me.hasEndpoint(e.V) {
-			return true
-		}
-	}
-	return false
 }
 
 // HasEdge reports whether e is currently buffered in the window.
@@ -700,20 +1058,42 @@ func (w *Matcher) Oldest() (graph.StreamEdge, bool) {
 }
 
 // OldestI returns the oldest edge still in the window along with its
-// interned form (Loom's eviction entry point).
+// interned form. The StreamEdge view is reconstructed (normalised
+// orientation) from interned state.
 func (w *Matcher) OldestI() (graph.StreamEdge, IEdge, bool) {
+	ie, ok := w.OldestIdx()
+	if !ok {
+		return graph.StreamEdge{}, IEdge{}, false
+	}
+	return w.streamEdgeOf(ie), ie, true
+}
+
+// OldestIdx returns the oldest edge still in the window in interned form
+// only — Loom's eviction entry point, which never needs the external
+// view.
+func (w *Matcher) OldestIdx() (IEdge, bool) {
 	w.maybeCompactFIFO()
 	for w.head < len(w.fifo) {
 		we := w.fifo[w.head]
 		if w.fifoLive(we) {
-			return we.se, we.ie, true
+			return we.ie, true
 		}
 		w.head++ // tombstoned by an earlier removal
 	}
-	clear(w.fifo) // drained: release buffered label strings
-	w.fifo = w.fifo[:0]
+	w.fifo = w.fifo[:0] // drained
 	w.head = 0
-	return graph.StreamEdge{}, IEdge{}, false
+	return IEdge{}, false
+}
+
+// streamEdgeOf rebuilds the external StreamEdge view of a buffered edge
+// from the vertex table and per-vertex label codes (vertex labels are
+// immutable for the life of the stream). Orientation is the normalised
+// one; consumers treat window edges as undirected.
+func (w *Matcher) streamEdgeOf(ie IEdge) graph.StreamEdge {
+	return graph.StreamEdge{
+		U: graph.VertexID(w.verts.ID(ie.U)), LU: graph.Label(w.ltab.Name(w.vcode[ie.U])),
+		V: graph.VertexID(w.verts.ID(ie.V)), LV: graph.Label(w.ltab.Name(w.vcode[ie.V])),
+	}
 }
 
 // minCompactFIFO is the slice length below which FIFO compaction is not
@@ -722,10 +1102,10 @@ const minCompactFIFO = 64
 
 // maybeCompactFIFO rewrites the FIFO in place once the tombstoned prefix
 // exceeds half the slice, dropping interior tombstones along the way. The
-// FIFO would otherwise grow for the life of the stream — one winEdge
-// (with its label strings) per inserted edge — even though only the most
-// recent t edges are live. Amortised O(1): each compaction copies at most
-// half the entries appended since the last one.
+// FIFO would otherwise grow for the life of the stream — one winEdge per
+// inserted edge — even though only the most recent t edges are live.
+// Amortised O(1): each compaction copies at most half the entries appended
+// since the last one.
 func (w *Matcher) maybeCompactFIFO() {
 	if w.head < minCompactFIFO || w.head <= len(w.fifo)/2 {
 		return
@@ -737,7 +1117,6 @@ func (w *Matcher) maybeCompactFIFO() {
 			n++
 		}
 	}
-	clear(w.fifo[n:]) // release StreamEdge label strings to the GC
 	w.fifo = w.fifo[:n]
 	w.head = 0
 }
@@ -866,7 +1245,7 @@ func (w *Matcher) WindowEdges() []graph.StreamEdge {
 	out := make([]graph.StreamEdge, 0, w.edges.Len())
 	for i := w.head; i < len(w.fifo); i++ {
 		if w.fifoLive(w.fifo[i]) {
-			out = append(out, w.fifo[i].se)
+			out = append(out, w.streamEdgeOf(w.fifo[i].ie))
 		}
 	}
 	return out

@@ -42,7 +42,7 @@ func TestDeepMatchGrowth(t *testing.T) {
 	}
 	found := false
 	for _, m := range w.MatchesContaining(graph.Edge{U: 1, V: 2}) {
-		if m.Node == full && len(m.Edges) == 4 {
+		if m.Node == full && m.NumEdges() == 4 {
 			found = true
 		}
 	}
@@ -71,7 +71,7 @@ func TestDeepGrowthOutOfOrder(t *testing.T) {
 	full, _ := trie.NodeBySignature(trie.Scheme().SignatureOf(pattern.Path("a", "b", "a", "b", "a")))
 	found := false
 	for _, m := range w.MatchesContaining(graph.Edge{U: 2, V: 3}) {
-		if m.Node == full && len(m.Edges) == 4 {
+		if m.Node == full && m.NumEdges() == 4 {
 			found = true
 		}
 	}
@@ -187,12 +187,12 @@ func TestWindowSoak(t *testing.T) {
 		for _, se2 := range w.WindowEdges() {
 			live++
 			for _, m := range w.MatchesContaining(se2.Edge()) {
-				for _, e := range m.Edges {
+				for _, e := range m.Edges() {
 					if !w.HasEdge(e) {
 						t.Fatalf("match %v references evicted edge %v", m, e)
 					}
 				}
-				sub := graph.InducedSubgraph(g, m.Edges)
+				sub := graph.InducedSubgraph(g, m.Edges())
 				if !scheme.SignatureOf(sub).Equal(m.Node.Sig) {
 					t.Fatalf("signature mismatch for %v", m)
 				}

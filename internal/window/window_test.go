@@ -53,7 +53,7 @@ func hasMatch(w *Matcher, node *tpstry.Node, edges ...graph.Edge) bool {
 		return false
 	}
 	for _, m := range w.MatchesContaining(edges[0]) {
-		if m.Node != node || len(m.Edges) != len(edges) {
+		if m.Node != node || m.NumEdges() != len(edges) {
 			continue
 		}
 		all := true
@@ -274,7 +274,7 @@ func TestMatchSignatureInvariant(t *testing.T) {
 	checked := 0
 	for _, se := range inserted {
 		for _, m := range w.MatchesContaining(se.Edge()) {
-			sub := graph.InducedSubgraph(g, m.Edges)
+			sub := graph.InducedSubgraph(g, m.Edges())
 			if !scheme.SignatureOf(sub).Equal(m.Node.Sig) {
 				t.Fatalf("match %v: sub-graph signature %v != node sig %v",
 					m, scheme.SignatureOf(sub), m.Node.Sig)
@@ -306,7 +306,7 @@ func TestMatchesAreSubgraphsOfWindow(t *testing.T) {
 	}
 	for _, se := range w.WindowEdges() {
 		for _, m := range w.MatchesContaining(se.Edge()) {
-			for _, e := range m.Edges {
+			for _, e := range m.Edges() {
 				if !w.HasEdge(e) {
 					t.Fatalf("match %v references evicted edge %v", m, e)
 				}
@@ -367,7 +367,7 @@ func TestSupportOrdering(t *testing.T) {
 	e1 := graph.Edge{U: 1, V: 2}
 	var single, m6sup float64
 	for _, m := range w.MatchesContaining(e1) {
-		switch len(m.Edges) {
+		switch m.NumEdges() {
 		case 1:
 			single = w.Support(m)
 		case 3:
