@@ -715,6 +715,117 @@ func BenchmarkAddBatchParallel(b *testing.B) {
 	}
 }
 
+// ---------------------------------------------------------------------------
+// Read-path benchmarks: snapshot capture and point reads at serving scale
+// (one million assigned vertices, the router-tier regime of ISSUE 6). The
+// clone benchmark pins the historical O(V) deep-copy cost that the epoch
+// read path replaces. Run with
+//
+//	go test -bench='Snapshot|PartitionOf' -benchmem
+// ---------------------------------------------------------------------------
+
+// benchReadVertices is 2^20 ≈ one million assigned vertices.
+const benchReadVertices = 1 << 20
+
+// benchReadPartitioner builds a hash-baseline partitioner with n assigned
+// vertices (hash places every endpoint immediately, so construction is the
+// cheap way to a serving-scale assignment).
+func benchReadPartitioner(b *testing.B, n int) *loom.Partitioner {
+	b.Helper()
+	p, err := loom.NewBaseline("hash", loom.Options{
+		Partitions: 8, ExpectedVertices: n, DisableGraphRecording: true,
+	}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const chunk = 8192
+	batch := make([]loom.StreamEdge, 0, chunk)
+	for i := 0; i < n; i += 2 {
+		batch = append(batch, loom.StreamEdge{U: int64(i), LU: "n", V: int64(i + 1), LV: "n"})
+		if len(batch) == chunk {
+			if err := p.AddBatch(batch); err != nil {
+				b.Fatal(err)
+			}
+			batch = batch[:0]
+		}
+	}
+	if len(batch) > 0 {
+		if err := p.AddBatch(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+	p.Flush()
+	if got := p.Snapshot().NumAssigned(); got != n {
+		b.Fatalf("built %d assigned vertices, want %d", got, n)
+	}
+	return p
+}
+
+// BenchmarkSnapshot measures Partitioner.Snapshot at one million assigned
+// vertices — the capture cost a router replica pays per refresh.
+func BenchmarkSnapshot(b *testing.B) {
+	p := benchReadPartitioner(b, benchReadVertices)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s := p.Snapshot(); s.NumAssigned() != benchReadVertices {
+			b.Fatal("inconsistent snapshot")
+		}
+	}
+}
+
+// BenchmarkSnapshotClone pins the O(V) deep-copy baseline
+// (Tracker.Snapshot: parts, sizes and the whole vertex table) that
+// Partitioner.Snapshot historically paid per call.
+func BenchmarkSnapshotClone(b *testing.B) {
+	const n = benchReadVertices
+	tr := partition.NewTracker(8, partition.CapacityFor(n, 8, partition.DefaultImbalance))
+	for i := 0; i < n; i++ {
+		tr.Assign(graph.VertexID(i), partition.ID(i%8))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s := tr.Snapshot(); s.NumAssigned() != n {
+			b.Fatal("inconsistent clone")
+		}
+	}
+}
+
+var sinkPart int
+
+// BenchmarkPartitionOf measures uncontended point reads against the live
+// partitioner (cache-hot vertex: the per-call floor of the read path).
+func BenchmarkPartitionOf(b *testing.B) {
+	p := benchReadPartitioner(b, benchReadVertices)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pt, ok := p.PartitionOf(12345)
+		if !ok {
+			b.Fatal("vertex missing")
+		}
+		sinkPart += pt
+	}
+}
+
+// BenchmarkPartitionOfParallel measures point-read scalability: GOMAXPROCS
+// reader goroutines issuing PartitionOf against one partitioner.
+func BenchmarkPartitionOfParallel(b *testing.B) {
+	p := benchReadPartitioner(b, benchReadVertices)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		v, local := int64(0), 0
+		for pb.Next() {
+			pt, _ := p.PartitionOf(v & (benchReadVertices - 1))
+			local += pt
+			v++
+		}
+		sinkPart += local
+	})
+}
+
 func BenchmarkWorkloadExecution(b *testing.B) {
 	s, g := tenKStream(b)
 	wl, err := workload.ForDataset("musicbrainz")

@@ -11,13 +11,15 @@
 //	loom-bench -exp perf -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // Experiments: table1, fig4, fig7, fig8, fig9, table2, ablation, perf,
-// scale, hub, all. The perf experiment measures every partitioner's
+// scale, read, hub, all. The perf experiment measures every partitioner's
 // streaming cost (ns, allocs and bytes per edge) plus the ipt it buys;
 // the scale experiment sweeps AddBatch worker counts (multi-core ingest);
+// the read experiment measures the lock-free read path (snapshot latency
+// vs assignment size, and read/ingest throughput under contention);
 // the hub experiment stresses the matching core's join path on
 // adversarial dense-hub and high-overlap window shapes. -json writes the
-// perf, scale or hub experiment as machine-readable JSON ("-" for stdout)
-// so the performance trajectory can be tracked across commits
+// perf, scale, read or hub experiment as machine-readable JSON ("-" for
+// stdout) so the performance trajectory can be tracked across commits
 // (BENCH_*.json).
 // -cpuprofile / -memprofile write pprof profiles covering the selected
 // experiment, so hot-path work is profileable without a custom harness.
@@ -39,13 +41,13 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: table1, fig4, fig7, fig8, fig9, table2, ablation, extensions, simulate, motifs, perf, scale, hub, all")
+		exp      = flag.String("exp", "all", "experiment: table1, fig4, fig7, fig8, fig9, table2, ablation, extensions, simulate, motifs, perf, scale, read, hub, all")
 		scale    = flag.Int("scale", 12000, "per-dataset target vertex count")
 		seed     = flag.Int64("seed", 42, "seed for generation/shuffles/signatures")
 		k        = flag.Int("k", 8, "partitions (fig7/fig9/table2)")
 		win      = flag.Int("window", 2048, "Loom window size at harness scale")
 		datasets = flag.String("datasets", "", "comma-separated subset (default: dblp,provgen,musicbrainz,lubm)")
-		jsonOut  = flag.String("json", "", "write the perf or scale experiment as JSON to this file (\"-\" for stdout); implies -exp perf unless -exp scale is given")
+		jsonOut  = flag.String("json", "", "write the perf, scale, read or hub experiment as JSON to this file (\"-\" for stdout)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile covering the experiment to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile taken after the experiment to this file")
 	)
@@ -62,10 +64,12 @@ func main() {
 				return runPerfJSON(cfg, *jsonOut)
 			case "scale":
 				return runScaleJSON(cfg, *jsonOut)
+			case "read":
+				return runReadJSON(cfg, *jsonOut)
 			case "hub":
 				return runHubJSON(cfg, *jsonOut)
 			default:
-				return fmt.Errorf("-json only applies to the perf, scale and hub experiments (got -exp %s)", *exp)
+				return fmt.Errorf("-json only applies to the perf, scale, read and hub experiments (got -exp %s)", *exp)
 			}
 		}
 		return run(*exp, cfg)
@@ -143,6 +147,27 @@ func runHubJSON(cfg bench.Config, path string) error {
 		return err
 	}
 	if err := bench.WriteHubJSON(f, rep); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// runReadJSON runs the read-path experiment and writes the
+// machine-readable report to path ("-" = stdout).
+func runReadJSON(cfg bench.Config, path string) error {
+	rep, err := bench.RunRead(cfg)
+	if err != nil {
+		return err
+	}
+	if path == "-" {
+		return bench.WriteReadJSON(os.Stdout, rep)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := bench.WriteReadJSON(f, rep); err != nil {
 		f.Close()
 		return err
 	}
@@ -245,6 +270,12 @@ func run(exp string, cfg bench.Config) error {
 				return err
 			}
 			bench.RenderScale(os.Stdout, rep)
+		case "read":
+			rep, err := bench.RunRead(cfg)
+			if err != nil {
+				return err
+			}
+			bench.RenderRead(os.Stdout, rep)
 		case "hub":
 			rep, err := bench.RunHub(cfg)
 			if err != nil {

@@ -6,9 +6,14 @@
 //
 // Four producer goroutines feed one Loom partitioner with AddBatch while
 // the router mirrors every vertex → partition decision through OnPlace,
-// and tracks window (Ptemp) residency through evict events. Queries are
-// then routed against the mirror alone — the partitioner is never
-// consulted at query time — and the final mirror is verified against the
+// and tracks window (Ptemp) residency through evict events. A third
+// mechanism shows the copy-on-write read path: a reconciler pins a fresh
+// routing generation — an immutable Snapshot — on every lap of its loop.
+// Snapshots are an atomic epoch grab (nanoseconds, one small allocation,
+// no lock shared with ingest), so re-pinning never stalls the producers:
+// zero-stall mirroring. Queries are routed against the event mirror with
+// the pinned generation as fallback — the partitioner's locks are never
+// touched at query time — and the final mirror is verified against the
 // partitioner's own assignment.
 //
 // Run with:
@@ -20,20 +25,28 @@ import (
 	"fmt"
 	"log"
 	"sync"
+	"sync/atomic"
 
 	"loom"
 )
 
 // Router is the toy routing tier: a partition mirror fed exclusively by
-// placement events. It has its own lock because event handlers run on the
-// ingesting goroutines (under the partitioner's ingest lock) while queries
-// arrive on others; it must never call back into the partitioner from the
-// handler.
+// placement events, plus a pinned routing generation (an immutable
+// snapshot) swapped at the router's own pace. It has its own lock because
+// event handlers run on the ingesting goroutines (under the partitioner's
+// ingest lock) while queries arrive on others; it must never call back
+// into the partitioner from the handler.
 type Router struct {
 	mu       sync.RWMutex
 	machines []string
 	table    map[int64]int // vertex → machine index, mirrored live
 	evicted  int           // edges seen leaving Ptemp
+
+	// gen is the pinned routing generation: a consistent, immutable view
+	// the query path can fall back to for vertices whose place event it
+	// has not applied yet. Swapping it is one pointer store; reading it
+	// never blocks and never observes a half-applied batch.
+	gen atomic.Pointer[loom.Snapshot]
 }
 
 func NewRouter(k int) *Router {
@@ -56,17 +69,26 @@ func (r *Router) Apply(ev loom.PlacementEvent) {
 	}
 }
 
-// Route returns the machine serving v. Vertices the partitioner has not
-// placed yet live in the window partition Ptemp; a real router would
-// broadcast or consult the ingest tier for those.
+// Pin swaps in a new routing generation.
+func (r *Router) Pin(snap *loom.Snapshot) { r.gen.Store(snap) }
+
+// Route returns the machine serving v: the live event mirror first, then
+// the pinned generation (lock-free, batch-consistent). Vertices neither
+// knows live in the window partition Ptemp; a real router would broadcast
+// or consult the ingest tier for those.
 func (r *Router) Route(v int64) (string, bool) {
 	r.mu.RLock()
-	defer r.mu.RUnlock()
 	m, ok := r.table[v]
-	if !ok {
-		return "Ptemp (still windowed)", false
+	r.mu.RUnlock()
+	if ok {
+		return r.machines[m], true
 	}
-	return r.machines[m], true
+	if snap := r.gen.Load(); snap != nil {
+		if m, ok := snap.PartitionOf(v); ok {
+			return r.machines[m], true
+		}
+	}
+	return "Ptemp (still windowed)", false
 }
 
 func (r *Router) Len() int {
@@ -115,6 +137,26 @@ func main() {
 		}()
 	}
 
+	// The reconciler re-pins the routing generation as fast as it can spin.
+	// Each Snapshot call is an atomic epoch grab — it costs the producers
+	// nothing, which is why a routing tier can afford a tight loop here.
+	ingestDone := make(chan struct{})
+	var pins int
+	var reconciler sync.WaitGroup
+	reconciler.Add(1)
+	go func() {
+		defer reconciler.Done()
+		for {
+			select {
+			case <-ingestDone:
+				return
+			default:
+				router.Pin(p.Snapshot())
+				pins++
+			}
+		}
+	}()
+
 	// Meanwhile the router serves lookups from the live mirror.
 	probe := edges[0].U
 	fmt.Printf("mid-stream: vertex %d → %s (mirror holds %d placements)\n",
@@ -122,12 +164,15 @@ func main() {
 
 	wg.Wait()
 	p.Flush() // end-of-stream: drain Ptemp; the router sees the tail placements
+	close(ingestDone)
+	reconciler.Wait()
+	router.Pin(p.Snapshot()) // final generation
 	if err := p.Err(); err != nil {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("stream done: mirror holds %d placements, saw %d window evictions\n",
-		router.Len(), router.evicted)
+	fmt.Printf("stream done: mirror holds %d placements, saw %d window evictions, pinned %d routing generations\n",
+		router.Len(), router.evicted, pins)
 	for _, v := range []int64{edges[0].U, edges[len(edges)/2].V, edges[len(edges)-1].V} {
 		machine, _ := router.Route(v)
 		fmt.Printf("route(vertex %d) = %s\n", v, machine)

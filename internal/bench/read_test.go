@@ -1,0 +1,80 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestRunRead: the read experiment must produce one latency row per swept
+// vertex count and one mix row per reader count, with positive measurements,
+// a readers=0 cell that is its own ingest baseline, and a clean JSON/text
+// round trip. The sweeps are shrunk so the test stays fast.
+func TestRunRead(t *testing.T) {
+	defer func(v []int, r []int) { ReadVertexSweep, ReadReaderSweep = v, r }(ReadVertexSweep, ReadReaderSweep)
+	ReadVertexSweep = []int{1 << 12, 1 << 14}
+	ReadReaderSweep = []int{0, 2}
+
+	cfg := Config{Scale: 900, Seed: 3, K: 2, WindowSize: 64, Datasets: []string{"provgen"}}
+	rep, err := RunRead(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Latency) != len(ReadVertexSweep) {
+		t.Fatalf("got %d latency rows, want %d", len(rep.Latency), len(ReadVertexSweep))
+	}
+	for i, r := range rep.Latency {
+		if r.Vertices != ReadVertexSweep[i] {
+			t.Errorf("latency row %d: vertices %d, want %d", i, r.Vertices, ReadVertexSweep[i])
+		}
+		if r.SnapshotNs <= 0 || r.CloneNs <= 0 || r.Speedup <= 0 {
+			t.Errorf("latency row %d: non-positive measurement %+v", i, r)
+		}
+	}
+	// The epoch grab must not be slower than the O(V) clone at any size —
+	// even a noisy single-CPU runner clears that bar.
+	for _, r := range rep.Latency {
+		if r.SnapshotNs > r.CloneNs {
+			t.Errorf("V=%d: Snapshot (%v ns) slower than O(V) clone (%v ns)",
+				r.Vertices, r.SnapshotNs, r.CloneNs)
+		}
+	}
+
+	if want := len(ReadReaderSweep); len(rep.Mix) != want {
+		t.Fatalf("got %d mix rows, want %d", len(rep.Mix), want)
+	}
+	for i, r := range rep.Mix {
+		if r.Readers != ReadReaderSweep[i] {
+			t.Errorf("mix row %d: readers %d, want %d", i, r.Readers, ReadReaderSweep[i])
+		}
+		if r.IngestNsPerEdge <= 0 || r.Edges <= 0 || r.IngestVsSolo <= 0 {
+			t.Errorf("mix row %d: non-positive measurement %+v", i, r)
+		}
+		if r.Readers > 0 && (r.ReadsPerSec <= 0 || r.ReadNs <= 0) {
+			t.Errorf("mix row %d: readers measured nothing %+v", i, r)
+		}
+	}
+	if rep.Mix[0].IngestVsSolo != 1 {
+		t.Errorf("readers=0 ingest vs solo = %v, want exactly 1", rep.Mix[0].IngestVsSolo)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteReadJSON(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	var round ReadReport
+	if err := json.Unmarshal(buf.Bytes(), &round); err != nil {
+		t.Fatalf("JSON round-trip: %v", err)
+	}
+	if len(round.Latency) != len(rep.Latency) || len(round.Mix) != len(rep.Mix) {
+		t.Fatal("round-trip lost rows")
+	}
+
+	buf.Reset()
+	RenderRead(&buf, rep)
+	out := buf.String()
+	if !strings.Contains(out, "provgen") || !strings.Contains(out, "speedup") || !strings.Contains(out, "vs solo") {
+		t.Errorf("rendered tables missing expected columns:\n%s", out)
+	}
+}

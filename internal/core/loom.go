@@ -863,3 +863,10 @@ func (l *Loom) Assignment() *partition.Assignment { return l.tr.Assignment() }
 // current assignment (cloned vertex table), safe to read while streaming
 // continues on another goroutine.
 func (l *Loom) Snapshot() *partition.Assignment { return l.tr.Snapshot() }
+
+// Publish captures the current assignment as an immutable copy-on-write
+// epoch (see partition.Tracker.Publish). The public layer calls this at
+// batch boundaries — the stream's natural consistent points — to feed its
+// lock-free Snapshot/PartitionOf read path; pure single-threaded users
+// (bench harness, cmd tools) never pay for it.
+func (l *Loom) Publish() *partition.Epoch { return l.tr.Publish() }

@@ -18,20 +18,36 @@
 // # Concurrency
 //
 // Tables are not safe for concurrent mutation (Loom's placement core is
-// single-threaded by design, §6 of the paper), but both tables guarantee
-// that read-only calls — VertexTable.Lookup/ID/Len/IDs and
-// LabelTable.Lookup/Name/Len/Names — are safe from any number of
-// goroutines AS LONG AS no Intern runs concurrently. This is the contract
-// behind the two-phase batch resolve in internal/core's ingest pipeline:
-// phase one fans read-only Lookups of already-known vertices and labels
-// across worker goroutines, then a single serial phase interns only the
-// strings the stream has never seen (in arrival order, keeping dense
-// indices bit-identical to sequential ingest), after which the new entries
-// are visible to the next batch's parallel phase. The phases are separated
-// by a goroutine join, so no happens-before edge is missing.
+// single-threaded by design, §6 of the paper), but they admit concurrent
+// readers at two strengths:
+//
+// Quiescent reads: every read-only call — VertexTable.Lookup/ID/Len/IDs and
+// LabelTable.Lookup/Name/Len/Names — is safe from any number of goroutines
+// while no Intern runs. This is the contract behind the two-phase batch
+// resolve in internal/core's ingest pipeline: phase one fans read-only
+// Lookups of already-known vertices and labels across worker goroutines,
+// then a single serial phase interns only the strings the stream has never
+// seen (in arrival order, keeping dense indices bit-identical to sequential
+// ingest), after which the new entries are visible to the next batch's
+// parallel phase. The phases are separated by a goroutine join, so no
+// happens-before edge is missing.
+//
+// Live reads: VertexTable.Lookup (and View.Lookup) additionally tolerates a
+// single concurrent Intern-ing writer. Slots publish their dense index with
+// an atomic release store after the external ID, the slot array itself is
+// swapped with an atomic pointer on growth, and indices are never deleted —
+// so a concurrent probe either finds an entry that was fully published or
+// stops at an empty slot, never observes a torn one. A View captured at a
+// known-consistent instant bounds Lookup to the vertices interned by then,
+// which is what lets partition epochs serve lock-free point reads while the
+// stream keeps interning (see internal/partition's Epoch). LabelTable makes
+// no such promise: it is map-backed and supports quiescent reads only.
 package intern
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // MaxLabels bounds the label alphabet: codes are uint16 and the paper's
 // datasets use alphabets of a handful of labels ("typically small", §1.3).
@@ -48,12 +64,19 @@ const MaxLabels = 1 << 16
 // miss on every probe of the per-edge hot path.) The ids slice remains
 // the reverse mapping. Indices are never deleted, so there are no
 // tombstones.
+//
+// Slot fields are written with atomic stores (ID first, index last) and the
+// slot array is republished through an atomic pointer on growth, so Lookup
+// is safe against one concurrent Intern-ing writer — see the package
+// comment's "live reads" contract.
 type VertexTable struct {
-	slots []vtSlot // vtEmpty idx marks a free slot
-	ids   []int64  // dense index → external ID
+	slots atomic.Pointer[[]vtSlot] // current slot array; vtEmpty idx marks a free slot
+	ids   []int64                  // dense index → external ID (writer-owned; readers use View)
 }
 
 // vtSlot is one hash slot: the interned external ID and its dense index.
+// Both fields are accessed with sync/atomic functions (plain fields rather
+// than atomic.Int64/Uint32 so grow and Clone can bulk-copy slot arrays).
 type vtSlot struct {
 	id  int64
 	idx uint32
@@ -69,10 +92,21 @@ func NewVertexTable(capacityHint int) *VertexTable {
 		capacityHint = 0
 	}
 	t := &VertexTable{ids: make([]int64, 0, capacityHint)}
+	n := 0
 	if capacityHint > 0 {
-		t.grow(SlotsFor(capacityHint, 16))
+		n = SlotsFor(capacityHint, 16)
 	}
+	t.slots.Store(newSlotArray(n))
 	return t
+}
+
+// newSlotArray allocates n empty slots (n must be 0 or a power of two).
+func newSlotArray(n int) *[]vtSlot {
+	slots := make([]vtSlot, n)
+	for i := range slots {
+		slots[i].idx = vtEmpty
+	}
+	return &slots
 }
 
 // SlotsFor returns the power-of-two slot count (at least min) that keeps
@@ -100,11 +134,13 @@ func Mix64(x uint64) uint64 {
 
 func vtHash(id int64) uint64 { return Mix64(uint64(id)) }
 
-func (t *VertexTable) grow(n int) {
-	slots := make([]vtSlot, n)
-	for i := range slots {
-		slots[i].idx = vtEmpty
-	}
+// grow rebuilds the slot array at n slots and republishes it. The new array
+// is fully populated with plain writes before the atomic pointer store, so
+// concurrent readers see either the old array (still valid: entries are
+// never deleted) or the complete new one.
+func (t *VertexTable) grow(n int) *[]vtSlot {
+	arr := newSlotArray(n)
+	slots := *arr
 	mask := uint64(n - 1)
 	for idx, id := range t.ids {
 		i := vtHash(id) & mask
@@ -113,19 +149,22 @@ func (t *VertexTable) grow(n int) {
 		}
 		slots[i] = vtSlot{id: id, idx: uint32(idx)}
 	}
-	t.slots = slots
+	t.slots.Store(arr)
+	return arr
 }
 
 // Intern returns the dense index of id, assigning the next free index on
-// first use.
+// first use. Single writer only (see the package comment).
 func (t *VertexTable) Intern(id int64) uint32 {
-	if (len(t.ids)+1)*4 > len(t.slots)*3 {
-		t.grow(SlotsFor(len(t.ids)+1, 16))
+	arr := t.slots.Load()
+	if (len(t.ids)+1)*4 > len(*arr)*3 {
+		arr = t.grow(SlotsFor(len(t.ids)+1, 16))
 	}
-	mask := uint64(len(t.slots) - 1)
+	slots := *arr
+	mask := uint64(len(slots) - 1)
 	i := vtHash(id) & mask
 	for {
-		s := &t.slots[i]
+		s := &slots[i]
 		if s.idx == vtEmpty {
 			break
 		}
@@ -138,26 +177,35 @@ func (t *VertexTable) Intern(id int64) uint32 {
 		panic("intern: vertex table overflow (2^32-1 vertices)")
 	}
 	idx := uint32(len(t.ids))
-	t.slots[i] = vtSlot{id: id, idx: idx}
 	t.ids = append(t.ids, id)
+	s := &slots[i]
+	// Publish the slot for live readers: ID first, index last. A reader
+	// that loads idx != vtEmpty is guaranteed to read the matching ID.
+	atomic.StoreInt64(&s.id, id)
+	atomic.StoreUint32(&s.idx, idx)
 	return idx
 }
 
 // Lookup returns the dense index of id without interning it. Lookup is a
-// pure read: any number of goroutines may call it concurrently while no
-// Intern is running (the parallel batch pre-pass depends on this).
+// pure read, safe from any number of goroutines even while a single writer
+// is interning (the "live reads" contract in the package comment): slots
+// publish atomically and are never deleted, so a probe either finds a fully
+// published entry or stops at an empty slot. A concurrently-interned id may
+// or may not be found — capture a View to pin the boundary.
 func (t *VertexTable) Lookup(id int64) (uint32, bool) {
-	if len(t.slots) == 0 {
+	slots := *t.slots.Load()
+	if len(slots) == 0 {
 		return 0, false
 	}
-	mask := uint64(len(t.slots) - 1)
+	mask := uint64(len(slots) - 1)
 	for i := vtHash(id) & mask; ; i = (i + 1) & mask {
-		s := &t.slots[i]
-		if s.idx == vtEmpty {
+		s := &slots[i]
+		idx := atomic.LoadUint32(&s.idx)
+		if idx == vtEmpty {
 			return 0, false
 		}
-		if s.id == id {
-			return s.idx, true
+		if atomic.LoadInt64(&s.id) == id {
+			return idx, true
 		}
 	}
 }
@@ -178,13 +226,69 @@ func (t *VertexTable) Len() int { return len(t.ids) }
 // by the table and must not be modified.
 func (t *VertexTable) IDs() []int64 { return t.ids }
 
-// Clone returns a deep copy of the table.
+// Clone returns a deep copy of the table. Like Intern, Clone runs on the
+// writer side: it must not race a concurrent Intern.
 func (t *VertexTable) Clone() *VertexTable {
-	return &VertexTable{
-		slots: append([]vtSlot(nil), t.slots...),
-		ids:   append([]int64(nil), t.ids...),
-	}
+	src := *t.slots.Load()
+	c := &VertexTable{ids: append([]int64(nil), t.ids...)}
+	slots := append([]vtSlot(nil), src...)
+	c.slots.Store(&slots)
+	return c
 }
+
+// View is an immutable point-in-time view of a VertexTable: the set of
+// vertices interned when it was captured. Capture is O(1) — the view pins
+// the reverse-mapping slice header (index-stable, append-only) and bounds
+// lookups to it — and every View method is safe from any number of
+// goroutines while the underlying table keeps interning, per the live-reads
+// contract. Views are plain values; copy them freely.
+type View struct {
+	t   *VertexTable
+	ids []int64 // captured reverse mapping; also the index bound
+}
+
+// View captures the table's current extent. Writer side only: it must not
+// race a concurrent Intern (callers capture under their ingest lock, then
+// hand the View to any number of readers).
+func (t *VertexTable) View() View { return View{t: t, ids: t.ids} }
+
+// Len returns the number of vertices in the view; valid indices are
+// [0, Len).
+func (v View) Len() int { return len(v.ids) }
+
+// Lookup returns the dense index of id if it was interned by capture time.
+// Vertices interned after the view was captured are reported absent, even
+// though the live table already knows them.
+func (v View) Lookup(id int64) (uint32, bool) {
+	if v.t == nil {
+		return 0, false
+	}
+	i, ok := v.t.Lookup(id)
+	if !ok || int(i) >= len(v.ids) {
+		return 0, false
+	}
+	return i, true
+}
+
+// ID returns the external ID at dense index i. It panics if i is beyond the
+// view.
+func (v View) ID(i uint32) int64 {
+	if int(i) >= len(v.ids) {
+		panic(fmt.Sprintf("intern: vertex index %d out of view (len %d)", i, len(v.ids)))
+	}
+	return v.ids[i]
+}
+
+// IDs returns the view's external IDs in index order. The slice is shared
+// and immutable; it must not be modified.
+func (v View) IDs() []int64 { return v.ids }
+
+// Table returns the view's underlying live table. Lookups through it are
+// concurrent-safe but not bounded by the view (use View.Lookup for that);
+// it exists so read-only wrappers can share the table instead of cloning
+// it. Interning through it from a reader goroutine violates the
+// single-writer contract.
+func (v View) Table() *VertexTable { return v.t }
 
 // LabelTable interns label strings as dense uint16 codes in first-seen
 // order.
@@ -215,9 +319,9 @@ func (t *LabelTable) Intern(name string) uint16 {
 	return c
 }
 
-// Lookup returns the code of name without interning it. Like
-// VertexTable.Lookup, it is safe for concurrent readers while no Intern is
-// running.
+// Lookup returns the code of name without interning it. Unlike
+// VertexTable.Lookup it supports quiescent reads only: safe for concurrent
+// readers while no Intern is running.
 func (t *LabelTable) Lookup(name string) (uint16, bool) {
 	c, ok := t.code[name]
 	return c, ok

@@ -56,6 +56,7 @@ import (
 	"math/rand"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"loom/internal/core"
 	"loom/internal/dataset"
@@ -208,11 +209,24 @@ type Stats struct {
 // Flush) serialises behind a single writer lock, so any number of producer
 // goroutines can feed one partitioner, and reads (PartitionOf, Sizes,
 // Snapshot, …) observe only batch-atomic states — never a half-applied
-// eviction. The underlying streamers remain single-threaded; this type is
+// eviction. Reads do not take the lock at all on the common path: every
+// batch boundary publishes an immutable copy-on-write epoch of the
+// assignment through an atomic pointer, so PartitionOf and Snapshot run
+// lock-free against the last published epoch while producers keep
+// ingesting. The underlying streamers remain single-threaded; this type is
 // the concurrency boundary.
 type Partitioner struct {
 	name string
 	opt  Options
+
+	// view is the lock-free read surface: the latest published epoch (or
+	// the refined assignment), swapped atomically at every batch boundary
+	// with the write lock held. pending flags per-edge ingest (AddEdgeE)
+	// that has not been published yet: while set, readers fall back to the
+	// locked paths so they never miss their own writes. Both are read
+	// without the lock.
+	view    atomic.Pointer[readView]
+	pending atomic.Bool
 
 	// mu guards every field below: ingest and other mutations take the
 	// write lock, reads the read lock. Placement-event handlers run while
@@ -224,6 +238,12 @@ type Partitioner struct {
 	trie     *tpstry.Trie
 	wl       *Workload
 	g        *graph.Graph // recorded graph (nil when disabled)
+	// rec is the append-only log of edges the recorded graph accepted (nil
+	// when recording is disabled). Evaluate/Simulate capture the slice
+	// header under the read lock — O(1) — and replay it into a private
+	// graph with no lock held, so evaluations no longer stall ingest for
+	// an O(V+E) clone.
+	rec []graph.StreamEdge
 	// refined, when non-nil, supersedes the streamer's assignment (set by
 	// Refine).
 	refined *partition.Assignment
@@ -231,6 +251,55 @@ type Partitioner struct {
 	err      error // first ingest error (sticky; see Err)
 	seq      uint64
 	handlers []func(PlacementEvent)
+}
+
+// readView is one published read surface: exactly one of epoch (the
+// streamer's latest copy-on-write epoch) or refined (the immutable
+// assignment installed by Refine) is non-nil. Both are immutable, so a
+// single atomic load hands a reader a complete consistent view.
+type readView struct {
+	epoch   *partition.Epoch
+	refined *partition.Assignment
+}
+
+// publishLocked publishes the current assignment state to the lock-free
+// read surface; p.mu must be held for writing (every mutation path ends
+// here, making batch boundaries the epochs' consistent points). Returns nil
+// for streamers without a tracker (no shipped streamer lacks one).
+func (p *Partitioner) publishLocked() *readView {
+	var rv *readView
+	switch {
+	case p.refined != nil:
+		if prev := p.view.Load(); prev != nil && prev.refined == p.refined {
+			rv = prev
+		} else {
+			rv = &readView{refined: p.refined}
+			p.view.Store(rv)
+		}
+	case p.tr != nil:
+		e := p.tr.Publish()
+		if prev := p.view.Load(); prev != nil && prev.epoch == e {
+			rv = prev
+		} else {
+			rv = &readView{epoch: e}
+			p.view.Store(rv)
+		}
+	}
+	// Clear only after the view store: a reader that observes
+	// pending == false is guaranteed to load a view at least as fresh as
+	// every write that preceded this publish.
+	p.pending.Store(false)
+	return rv
+}
+
+// loadView returns the published read surface when it is current — no
+// unpublished per-edge ingest — or nil, in which case the caller takes a
+// locked fallback path.
+func (p *Partitioner) loadView() *readView {
+	if p.pending.Load() {
+		return nil
+	}
+	return p.view.Load()
 }
 
 // tracked is the capability the public layer uses for cheap placement
@@ -305,6 +374,7 @@ func New(opt Options, wl *Workload) (*Partitioner, error) {
 	if !opt.DisableGraphRecording {
 		p.g = graph.New()
 	}
+	p.publishLocked() // seed the lock-free read surface (no sharing yet)
 	return p, nil
 }
 
@@ -339,6 +409,7 @@ func NewBaseline(algo string, opt Options, wl *Workload) (*Partitioner, error) {
 	if !opt.DisableGraphRecording {
 		p.g = graph.New()
 	}
+	p.publishLocked() // seed the lock-free read surface (no sharing yet)
 	return p, nil
 }
 
@@ -365,6 +436,7 @@ func (p *Partitioner) Name() string { return p.name }
 func (p *Partitioner) AddBatch(batch []StreamEdge) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	defer p.publishLocked() // batch boundary: refresh the lock-free epoch
 	if p.loom != nil && p.opt.Workers > 1 {
 		return p.addBatchParallel(batch)
 	}
@@ -383,7 +455,8 @@ func (p *Partitioner) AddBatch(batch []StreamEdge) error {
 			V: graph.VertexID(e.V), LV: graph.Label(e.LV),
 		}
 		if p.g != nil {
-			if _, err := p.g.EnsureEdge(se.U, se.LU, se.V, se.LV); err != nil {
+			added, err := p.g.EnsureEdge(se.U, se.LU, se.V, se.LV)
+			if err != nil {
 				err = fmt.Errorf("loom: %w", err)
 				if firstErr == nil {
 					firstErr = err
@@ -392,6 +465,9 @@ func (p *Partitioner) AddBatch(batch []StreamEdge) error {
 					p.err = err
 				}
 				continue
+			}
+			if added {
+				p.rec = append(p.rec, se)
 			}
 		}
 		p.streamer.ProcessEdge(se)
@@ -420,9 +496,12 @@ func (p *Partitioner) addBatchParallel(batch []StreamEdge) error {
 		validate = func(reject func(int)) {
 			for i := range batch {
 				e := &batch[i]
-				if _, err := p.g.EnsureEdge(
-					graph.VertexID(e.U), graph.Label(e.LU),
-					graph.VertexID(e.V), graph.Label(e.LV)); err != nil {
+				se := graph.StreamEdge{
+					U: graph.VertexID(e.U), LU: graph.Label(e.LU),
+					V: graph.VertexID(e.V), LV: graph.Label(e.LV),
+				}
+				added, err := p.g.EnsureEdge(se.U, se.LU, se.V, se.LV)
+				if err != nil {
 					err = fmt.Errorf("loom: %w", err)
 					if firstErr == nil {
 						firstErr = err
@@ -431,6 +510,10 @@ func (p *Partitioner) addBatchParallel(batch []StreamEdge) error {
 						p.err = err
 					}
 					reject(i)
+					continue
+				}
+				if added {
+					p.rec = append(p.rec, se)
 				}
 			}
 		}
@@ -452,15 +535,24 @@ func (p *Partitioner) AddEdgeE(u int64, lu string, v int64, lv string) error {
 		V: graph.VertexID(v), LV: graph.Label(lv),
 	}
 	if p.g != nil {
-		if _, err := p.g.EnsureEdge(se.U, se.LU, se.V, se.LV); err != nil {
+		added, err := p.g.EnsureEdge(se.U, se.LU, se.V, se.LV)
+		if err != nil {
 			err = fmt.Errorf("loom: %w", err)
 			if p.err == nil {
 				p.err = err
 			}
 			return err
 		}
+		if added {
+			p.rec = append(p.rec, se)
+		}
 	}
 	p.streamer.ProcessEdge(se)
+	// Per-edge ingest does not pay a publish per call (that would copy a
+	// dirty page per edge); it flags the read surface stale instead, and
+	// readers fall back to the locked path until the next batch boundary
+	// (AddBatch, Flush, or a Snapshot) publishes.
+	p.pending.Store(true)
 	return nil
 }
 
@@ -493,6 +585,7 @@ func (p *Partitioner) Flush() {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.streamer.Flush()
+	p.publishLocked()
 }
 
 // EventKind discriminates placement events.
@@ -567,21 +660,51 @@ func (p *Partitioner) emit(ev PlacementEvent) {
 	}
 }
 
-// Snapshot is an immutable, fully isolated view of a partitioning at one
-// consistent instant: it shares no mutable state with the partitioner, so
-// it can be read from any goroutine, for any length of time, without
-// blocking — or being invalidated by — ongoing ingest.
+// Snapshot is an immutable view of a partitioning at one consistent batch
+// boundary: it shares no mutable state with the partitioner, so it can be
+// read from any goroutine, for any length of time, without blocking — or
+// being invalidated by — ongoing ingest. Snapshots are backed by
+// copy-on-write assignment pages shared with the partitioner's published
+// epochs; holding one costs nothing beyond the pages that ingest has since
+// replaced.
 type Snapshot struct {
 	name string
-	a    *partition.Assignment
+	e    *partition.Epoch      // epoch-backed (the common case)
+	a    *partition.Assignment // assignment-backed: refined, or the deep-copy fallback
+
+	asgOnce sync.Once
+	asg     map[int64]int // memoised Assignments result
+}
+
+// newSnapshot wraps a published read view.
+func newSnapshot(name string, rv *readView) *Snapshot {
+	if rv.refined != nil {
+		return &Snapshot{name: name, a: rv.refined}
+	}
+	return &Snapshot{name: name, e: rv.epoch}
 }
 
 // Snapshot captures the current assignment (the refined one, if Refine has
-// run). The capture itself takes the read lock for a single O(vertices)
-// copy; everything after is lock-free. Because ingest applies batches
-// atomically, a snapshot always corresponds to a batch boundary — the
-// state some single-threaded prefix replay of the stream would produce.
+// run). The capture is O(1) — one atomic load of the last published epoch,
+// no lock, no per-vertex copying — so routers can snapshot at arbitrary
+// frequency while ingest continues. Because ingest applies batches
+// atomically and publishes at batch boundaries, a snapshot always
+// corresponds to a batch boundary — the state some single-threaded prefix
+// replay of the stream would produce. (After per-edge AddEdge ingest the
+// capture briefly takes the ingest lock to publish the unpublished tail;
+// batch ingest never pays this.)
 func (p *Partitioner) Snapshot() *Snapshot {
+	if rv := p.loadView(); rv != nil {
+		return newSnapshot(p.name, rv)
+	}
+	// Per-edge ingest left the published epoch stale: publish the tail.
+	p.mu.Lock()
+	rv := p.publishLocked()
+	p.mu.Unlock()
+	if rv != nil {
+		return newSnapshot(p.name, rv)
+	}
+	// No tracker (never the case for shipped streamers): isolated deep copy.
 	p.mu.RLock()
 	defer p.mu.RUnlock()
 	return &Snapshot{name: p.name, a: p.snapshotLocked()}
@@ -603,46 +726,100 @@ func (p *Partitioner) snapshotLocked() *partition.Assignment {
 func (s *Snapshot) Name() string { return s.name }
 
 // Partitions returns k.
-func (s *Snapshot) Partitions() int { return s.a.K }
+func (s *Snapshot) Partitions() int {
+	if s.e != nil {
+		return s.e.K()
+	}
+	return s.a.K
+}
 
 // PartitionOf returns v's partition in [0, Partitions), or ok = false if v
 // was unassigned when the snapshot was taken (not yet seen, or still
-// buffered in the window Ptemp).
+// buffered in the window Ptemp). Point reads are lock-free and allocate
+// nothing.
 func (s *Snapshot) PartitionOf(v int64) (int, bool) {
-	id := s.a.Of(graph.VertexID(v))
+	var id partition.ID
+	if s.e != nil {
+		id = s.e.Of(graph.VertexID(v))
+	} else {
+		id = s.a.Of(graph.VertexID(v))
+	}
 	if id == partition.Unassigned {
 		return 0, false
 	}
 	return int(id), true
 }
 
-// Sizes returns the vertex count of each partition.
-func (s *Snapshot) Sizes() []int { return append([]int(nil), s.a.Sizes...) }
+// Sizes returns the vertex count of each partition. The sizes were
+// computed once when the snapshot's state was captured; the returned slice
+// is shared and immutable — callers must not modify it (copy first if you
+// need a mutable slice).
+func (s *Snapshot) Sizes() []int {
+	if s.e != nil {
+		return s.e.Sizes()
+	}
+	return s.a.Sizes
+}
 
 // NumAssigned returns the number of placed vertices.
-func (s *Snapshot) NumAssigned() int { return s.a.NumAssigned() }
+func (s *Snapshot) NumAssigned() int {
+	if s.e != nil {
+		return s.e.NumAssigned()
+	}
+	return s.a.NumAssigned()
+}
 
 // Imbalance returns max |Vi|/(n/k) − 1 over the snapshot.
-func (s *Snapshot) Imbalance() float64 { return partition.Imbalance(s.a) }
+func (s *Snapshot) Imbalance() float64 {
+	return partition.ImbalanceOf(s.Partitions(), s.Sizes())
+}
 
-// Each calls f for every assigned vertex in first-seen order.
+// Each calls f for every assigned vertex in first-seen order. Each is the
+// zero-alloc bulk read: it walks the snapshot's shared pages directly,
+// allocating nothing (unlike Assignments, which materialises a map).
 func (s *Snapshot) Each(f func(v int64, part int)) {
+	if s.e != nil {
+		s.e.Each(func(v graph.VertexID, id partition.ID) { f(int64(v), int(id)) })
+		return
+	}
 	s.a.Each(func(v graph.VertexID, id partition.ID) { f(int64(v), int(id)) })
 }
 
-// Assignments materialises the snapshot as a vertex → partition map.
+// Assignments materialises the snapshot as a vertex → partition map. The
+// map is built once on first call and memoised — subsequent calls return
+// the same map — so callers must treat it as read-only (the snapshot is
+// immutable; iterate with Each for allocation-free bulk reads).
 func (s *Snapshot) Assignments() map[int64]int {
-	out := make(map[int64]int, s.a.NumAssigned())
-	s.a.Each(func(v graph.VertexID, id partition.ID) { out[int64(v)] = int(id) })
-	return out
+	s.asgOnce.Do(func() {
+		out := make(map[int64]int, s.NumAssigned())
+		s.Each(func(v int64, part int) { out[v] = part })
+		s.asg = out
+	})
+	return s.asg
 }
 
 // PartitionOf returns v's partition in [0, Partitions), or ok = false while
 // v is unassigned (not yet seen, or still buffered in the window Ptemp).
-// For repeated point reads during ingest this takes the read lock per call;
-// for bulk or hot-path reads take a Snapshot (or mirror placements with
-// OnPlace) instead.
+//
+// The read is lock-free: one atomic load of the last published epoch, a
+// concurrent hash probe and two array indexes — no mutex, no allocation —
+// so any number of reader goroutines can issue point reads at full speed
+// while producers ingest. It reflects the last batch boundary; only after
+// per-edge AddEdge ingest (which defers publishing) does it fall back to a
+// read-locked path so callers still see their own writes.
 func (p *Partitioner) PartitionOf(v int64) (int, bool) {
+	if rv := p.loadView(); rv != nil {
+		var id partition.ID
+		if rv.refined != nil {
+			id = rv.refined.Of(graph.VertexID(v))
+		} else {
+			id = rv.epoch.Of(graph.VertexID(v))
+		}
+		if id == partition.Unassigned {
+			return 0, false
+		}
+		return int(id), true
+	}
 	p.mu.RLock()
 	defer p.mu.RUnlock()
 	var id partition.ID
@@ -663,10 +840,17 @@ func (p *Partitioner) PartitionOf(v int64) (int, bool) {
 // Partitions returns k.
 func (p *Partitioner) Partitions() int { return p.opt.Partitions }
 
-// Sizes returns the current vertex count of each partition, read atomically
-// (a concurrent eviction's cluster assignment is either fully included or
-// not at all).
+// Sizes returns the current vertex count of each partition as a fresh
+// copy, read atomically (a concurrent eviction's cluster assignment is
+// either fully included or not at all). Lock-free on the common path, like
+// PartitionOf.
 func (p *Partitioner) Sizes() []int {
+	if rv := p.loadView(); rv != nil {
+		if rv.refined != nil {
+			return append([]int(nil), rv.refined.Sizes...)
+		}
+		return append([]int(nil), rv.epoch.Sizes()...)
+	}
 	p.mu.RLock()
 	defer p.mu.RUnlock()
 	switch {
@@ -681,8 +865,14 @@ func (p *Partitioner) Sizes() []int {
 
 // Assignments returns a copy of the full vertex → partition map, taken
 // from a consistent snapshot (it can never observe a half-applied batch or
-// eviction).
+// eviction). The map is built from the last published epoch with no lock
+// held on the common path.
 func (p *Partitioner) Assignments() map[int64]int {
+	if rv := p.loadView(); rv != nil {
+		// A fresh wrapper per call keeps the documented copy semantics
+		// (the memoised map is shared only within one Snapshot).
+		return newSnapshot(p.name, rv).Assignments()
+	}
 	p.mu.RLock()
 	defer p.mu.RUnlock()
 	var a *partition.Assignment
@@ -748,24 +938,21 @@ type Evaluation struct {
 // assignment. The Partitioner must have been built with graph recording
 // enabled and (for baselines) a workload.
 //
-// Evaluate runs on a snapshot: the graph and assignment are captured
-// consistently under the read lock (one O(V+E) copy), then the workload —
-// typically far more expensive — executes with no lock held, so concurrent
-// ingest proceeds while an evaluation is in flight.
+// Evaluate runs on a snapshot captured in O(1) under the read lock — the
+// last published epoch plus the accepted-edge log's current length —
+// after which the graph replay and the workload execution (typically far
+// more expensive) run with no lock held, so concurrent AddBatch never
+// stalls behind an in-flight evaluation.
 func (p *Partitioner) Evaluate() (Evaluation, error) {
-	p.mu.RLock()
-	if p.g == nil {
-		p.mu.RUnlock()
-		return Evaluation{}, fmt.Errorf("loom: graph recording disabled; Evaluate unavailable")
+	rec, e, a, iwl, err := p.captureEval("Evaluate")
+	if err != nil {
+		return Evaluation{}, err
 	}
-	if p.wl == nil || p.wl.Len() == 0 {
-		p.mu.RUnlock()
-		return Evaluation{}, fmt.Errorf("loom: no workload to evaluate")
+	// No lock held from here: flatten the epoch and replay the graph.
+	if a == nil {
+		a = e.Materialise()
 	}
-	g := p.g.Clone()
-	a := p.snapshotLocked()
-	iwl := p.wl.internal()
-	p.mu.RUnlock()
+	g := replayRecorded(rec)
 	res, err := workload.Execute(g, a, iwl, workload.Options{})
 	if err != nil {
 		return Evaluation{}, err
@@ -776,6 +963,52 @@ func (p *Partitioner) Evaluate() (Evaluation, error) {
 		Imbalance:        partition.Imbalance(a),
 		AssignedVertices: a.NumAssigned(),
 	}, nil
+}
+
+// captureEval captures a consistent (accepted-edge log, assignment) pair
+// for Evaluate/Simulate under the read lock, in O(1) on the common path:
+// the log is append-only (the captured header never mutates) and the
+// epoch/refined view is immutable. Exactly one of the returned epoch and
+// assignment is non-nil; after per-edge ingest, whose tail is unpublished,
+// it degrades to the isolated O(V) assignment capture.
+func (p *Partitioner) captureEval(op string) ([]graph.StreamEdge, *partition.Epoch, *partition.Assignment, workload.Workload, error) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.g == nil {
+		return nil, nil, nil, workload.Workload{}, fmt.Errorf("loom: graph recording disabled; %s unavailable", op)
+	}
+	if p.wl == nil || p.wl.Len() == 0 {
+		return nil, nil, nil, workload.Workload{}, fmt.Errorf("loom: no workload to %s against", op)
+	}
+	rec := p.rec
+	var e *partition.Epoch
+	var a *partition.Assignment
+	if rv := p.loadView(); rv != nil { // under RLock: rec and view are mutually consistent
+		e, a = rv.epoch, rv.refined
+	}
+	if e == nil && a == nil {
+		a = p.snapshotLocked()
+	}
+	return rec, e, a, p.wl.internal(), nil
+}
+
+// replayRecorded rebuilds the recorded graph from the accepted-edge log,
+// with no lock held. The replay reproduces every edge and every connected
+// vertex; degenerate inputs (self-loops, corrupt edges) may have interned
+// isolated vertices in the live graph that the replay omits — they have no
+// edges, so no workload pattern reaches them and every evaluation metric
+// is unchanged.
+func replayRecorded(rec []graph.StreamEdge) *graph.Graph {
+	g := graph.New()
+	for i := range rec {
+		e := &rec[i]
+		if _, err := g.EnsureEdge(e.U, e.LU, e.V, e.LV); err != nil {
+			// The log holds only edges the recorded graph accepted;
+			// replaying them cannot conflict.
+			panic(fmt.Sprintf("loom: corrupt accepted-edge log: %v", err))
+		}
+	}
+	return g
 }
 
 // RefineStats reports an offline refinement run (see Refine).
@@ -844,6 +1077,7 @@ func (p *Partitioner) Refine(maxPasses int) (RefineStats, error) {
 		return RefineStats{}, fmt.Errorf("loom: %d edges were ingested while Refine ran; re-run after ingest quiesces", cur-obs)
 	}
 	p.refined = refined
+	p.publishLocked() // swap the lock-free read surface to the refined view
 	return RefineStats{Passes: st.Passes, Moves: st.Moves, CutBefore: st.CutBefore, CutAfter: st.CutAfter}, nil
 }
 
@@ -921,21 +1155,16 @@ type Simulation struct {
 // 1 and 1000). This turns the paper's ipt proxy into a latency-flavoured
 // estimate; see internal/simulate.
 func (p *Partitioner) Simulate(localCost, remoteCost float64) (Simulation, error) {
-	p.mu.RLock()
-	if p.g == nil {
-		p.mu.RUnlock()
-		return Simulation{}, fmt.Errorf("loom: graph recording disabled; Simulate unavailable")
+	// Like Evaluate: O(1) capture under the read lock, replay and simulate
+	// with no lock held.
+	rec, e, a, iwl, err := p.captureEval("Simulate")
+	if err != nil {
+		return Simulation{}, err
 	}
-	if p.wl == nil || p.wl.Len() == 0 {
-		p.mu.RUnlock()
-		return Simulation{}, fmt.Errorf("loom: no workload to simulate")
+	if a == nil {
+		a = e.Materialise()
 	}
-	// Like Evaluate: capture a consistent snapshot cheaply, simulate
-	// without the lock.
-	g := p.g.Clone()
-	a := p.snapshotLocked()
-	iwl := p.wl.internal()
-	p.mu.RUnlock()
+	g := replayRecorded(rec)
 	res, err := simulate.Run(g, a, iwl,
 		simulate.CostModel{LocalCost: localCost, RemoteCost: remoteCost}, 0)
 	if err != nil {

@@ -269,6 +269,137 @@ func TestSnapshotIsPrefixState(t *testing.T) {
 	}
 }
 
+// TestReadersUnderIngest: the lock-free read path under fire. One producer
+// streams batches while N reader goroutines hammer PartitionOf and Snapshot;
+// every observed snapshot must equal a whole-batch-prefix replay, and every
+// observed placement must agree with the final assignment (placements are
+// immutable in one-pass streaming). Run under -race in CI.
+func TestReadersUnderIngest(t *testing.T) {
+	wl := concurrencyWorkload(t)
+	edges := concurrencyStream(t, 1500)
+	n := distinctVertices(edges)
+	opt := loom.Options{Partitions: 4, ExpectedVertices: n, WindowSize: 64}
+	batches := chunk(edges, 40)
+
+	// Single-threaded replay of every whole-batch prefix.
+	replay, err := loom.New(opt, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prefix := make([]map[int64]int, 0, len(batches)+1)
+	prefix = append(prefix, replay.Assignments())
+	for _, b := range batches {
+		if err := replay.AddBatch(b); err != nil {
+			t.Fatal(err)
+		}
+		prefix = append(prefix, replay.Assignments())
+	}
+
+	// One producer keeps the batch-prefix set linear; the readers race it.
+	p, err := loom.New(opt, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	producerDone := make(chan struct{})
+	go func() {
+		defer close(producerDone)
+		for _, b := range batches {
+			if err := p.AddBatch(b); err != nil {
+				t.Errorf("AddBatch: %v", err)
+				return
+			}
+		}
+	}()
+
+	type placement struct {
+		v    int64
+		part int
+	}
+	const readers = 4
+	snaps := make([][]map[int64]int, readers)
+	placed := make([][]placement, readers)
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		r := r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			i := 0
+			for alive := true; alive; i++ {
+				select {
+				case <-producerDone:
+					alive = false
+				default:
+				}
+				// Hammer the point-read path on a sliding set of vertices.
+				for j := 0; j < 64; j++ {
+					v := edges[(i*64+j*17+r)%len(edges)].U
+					if part, ok := p.PartitionOf(v); ok {
+						if part < 0 || part >= 4 {
+							t.Errorf("reader %d: PartitionOf(%d) = %d out of range", r, v, part)
+							return
+						}
+						if i%8 == 0 {
+							placed[r] = append(placed[r], placement{v, part})
+						}
+					}
+				}
+				// Periodically capture a full snapshot for prefix checking.
+				if i%4 == 0 && len(snaps[r]) < 64 {
+					snaps[r] = append(snaps[r], p.Snapshot().Assignments())
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	p.Flush()
+	if err := p.Err(); err != nil {
+		t.Fatalf("ingest error: %v", err)
+	}
+
+	final := p.Assignments()
+	matches := func(snap map[int64]int) bool {
+		for _, state := range prefix {
+			if len(state) != len(snap) {
+				continue
+			}
+			equal := true
+			for v, part := range snap {
+				if got, ok := state[v]; !ok || got != part {
+					equal = false
+					break
+				}
+			}
+			if equal {
+				return true
+			}
+		}
+		return false
+	}
+	totalSnaps, totalPlaced := 0, 0
+	for r := 0; r < readers; r++ {
+		for i, snap := range snaps[r] {
+			if !matches(snap) {
+				t.Fatalf("reader %d snapshot %d (%d assigned) equals no whole-batch prefix", r, i, len(snap))
+			}
+		}
+		totalSnaps += len(snaps[r])
+		for _, pl := range placed[r] {
+			if got, ok := final[pl.v]; !ok || got != pl.part {
+				t.Fatalf("reader %d saw vertex %d in partition %d, final says %d (ok=%v)",
+					r, pl.v, pl.part, got, ok)
+			}
+		}
+		totalPlaced += len(placed[r])
+	}
+	if totalSnaps == 0 || totalPlaced == 0 {
+		t.Fatalf("degenerate run: %d snapshots, %d placements observed", totalSnaps, totalPlaced)
+	}
+	if len(final) != n {
+		t.Fatalf("final assignment has %d of %d vertices", len(final), n)
+	}
+}
+
 // TestPlacementEventsMirrorAssignment: replaying the EventPlace feed must
 // reconstruct the final assignment exactly, with dense sequence numbers,
 // and the evict feed must account for every windowed edge.
