@@ -246,6 +246,58 @@ func BenchmarkLoomPartition10k(b *testing.B) {
 	}
 }
 
+// BenchmarkDurableLoomPartition10k is BenchmarkLoomPartition10k at the
+// public API with a write-ahead log under the default group-commit policy
+// — the pair quantifies what durability costs on the paper configuration.
+// Each iteration pays the full lifecycle (Open's directory fsync, Close's
+// final group write + fsync) on top of the ingest itself; the
+// `loom-bench -exp recover` sweep isolates the in-stream overhead across
+// all fsync policies with interleaved-minimum methodology.
+func BenchmarkDurableLoomPartition10k(b *testing.B) {
+	s, _ := tenKStream(b)
+	stream := make([]loom.StreamEdge, len(s))
+	seen := make(map[int64]struct{})
+	for i, e := range s {
+		stream[i] = loom.StreamEdge{U: int64(e.U), LU: string(e.LU), V: int64(e.V), LV: string(e.LV)}
+		seen[int64(e.U)] = struct{}{}
+		seen[int64(e.V)] = struct{}{}
+	}
+	wl, err := loom.DatasetWorkload("musicbrainz")
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := loom.Options{
+		Partitions:       8,
+		ExpectedVertices: len(seen),
+		// Paper configuration: window 10k, T = 40%.
+		WindowSize:            10_000,
+		SupportThreshold:      0.40,
+		Seed:                  42,
+		DisableGraphRecording: true,
+		WALSync:               loom.WALSyncBatch,
+	}
+	tmp := b.TempDir()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o := opt
+		o.WALDir = fmt.Sprintf("%s/run-%d", tmp, i)
+		p, _, err := loom.Open(o, wl)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j := 0; j < len(stream); j += 256 {
+			end := min(j+256, len(stream))
+			if err := p.AddBatch(stream[j:end]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		p.Flush()
+		if err := p.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // ---------------------------------------------------------------------------
 // Component micro-benchmarks.
 // ---------------------------------------------------------------------------

@@ -11,15 +11,17 @@
 //	loom-bench -exp perf -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // Experiments: table1, fig4, fig7, fig8, fig9, table2, ablation, perf,
-// scale, read, hub, all. The perf experiment measures every partitioner's
+// scale, read, hub, recover, all. The perf experiment measures every partitioner's
 // streaming cost (ns, allocs and bytes per edge) plus the ipt it buys;
 // the scale experiment sweeps AddBatch worker counts (multi-core ingest);
 // the read experiment measures the lock-free read path (snapshot latency
 // vs assignment size, and read/ingest throughput under contention);
 // the hub experiment stresses the matching core's join path on
-// adversarial dense-hub and high-overlap window shapes. -json writes the
-// perf, scale, read or hub experiment as machine-readable JSON ("-" for
-// stdout) so the performance trajectory can be tracked across commits
+// adversarial dense-hub and high-overlap window shapes; the recover
+// experiment measures the durability subsystem (WAL ingest overhead per
+// fsync policy, checkpoint cost, recovery time vs log tail). -json writes
+// the perf, scale, read, hub or recover experiment as machine-readable
+// JSON ("-" for stdout) so the performance trajectory can be tracked across commits
 // (BENCH_*.json).
 // -cpuprofile / -memprofile write pprof profiles covering the selected
 // experiment, so hot-path work is profileable without a custom harness.
@@ -41,13 +43,13 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: table1, fig4, fig7, fig8, fig9, table2, ablation, extensions, simulate, motifs, perf, scale, read, hub, all")
+		exp      = flag.String("exp", "all", "experiment: table1, fig4, fig7, fig8, fig9, table2, ablation, extensions, simulate, motifs, perf, scale, read, hub, recover, all")
 		scale    = flag.Int("scale", 12000, "per-dataset target vertex count")
 		seed     = flag.Int64("seed", 42, "seed for generation/shuffles/signatures")
 		k        = flag.Int("k", 8, "partitions (fig7/fig9/table2)")
 		win      = flag.Int("window", 2048, "Loom window size at harness scale")
 		datasets = flag.String("datasets", "", "comma-separated subset (default: dblp,provgen,musicbrainz,lubm)")
-		jsonOut  = flag.String("json", "", "write the perf, scale, read or hub experiment as JSON to this file (\"-\" for stdout)")
+		jsonOut  = flag.String("json", "", "write the perf, scale, read, hub or recover experiment as JSON to this file (\"-\" for stdout)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile covering the experiment to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile taken after the experiment to this file")
 	)
@@ -68,8 +70,10 @@ func main() {
 				return runReadJSON(cfg, *jsonOut)
 			case "hub":
 				return runHubJSON(cfg, *jsonOut)
+			case "recover":
+				return runRecoverJSON(cfg, *jsonOut)
 			default:
-				return fmt.Errorf("-json only applies to the perf, scale, read and hub experiments (got -exp %s)", *exp)
+				return fmt.Errorf("-json only applies to the perf, scale, read, hub and recover experiments (got -exp %s)", *exp)
 			}
 		}
 		return run(*exp, cfg)
@@ -168,6 +172,27 @@ func runReadJSON(cfg bench.Config, path string) error {
 		return err
 	}
 	if err := bench.WriteReadJSON(f, rep); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// runRecoverJSON runs the durability experiment and writes the
+// machine-readable report to path ("-" = stdout).
+func runRecoverJSON(cfg bench.Config, path string) error {
+	rep, err := bench.RunRecover(cfg)
+	if err != nil {
+		return err
+	}
+	if path == "-" {
+		return bench.WriteRecoverJSON(os.Stdout, rep)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := bench.WriteRecoverJSON(f, rep); err != nil {
 		f.Close()
 		return err
 	}
@@ -282,6 +307,12 @@ func run(exp string, cfg bench.Config) error {
 				return err
 			}
 			bench.RenderHub(os.Stdout, rep)
+		case "recover":
+			rep, err := bench.RunRecover(cfg)
+			if err != nil {
+				return err
+			}
+			bench.RenderRecover(os.Stdout, rep)
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}

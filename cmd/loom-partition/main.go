@@ -12,6 +12,12 @@
 // internal/workload JSON format). Quality (ipt, edge-cut, imbalance) is
 // reported on stderr; use -no-eval to skip workload execution on very
 // large inputs.
+//
+// With -wal DIR the Loom partitioner is durable: every ingest is logged
+// to a write-ahead log in DIR before it is applied, an existing DIR is
+// recovered (checkpoint + log replay) before the new stream is ingested,
+// and -checkpoint writes a full-state snapshot at the end so the next run
+// opens fast and old log segments can be pruned.
 package main
 
 import (
@@ -19,6 +25,8 @@ import (
 	"fmt"
 	"os"
 	"time"
+
+	"loom"
 
 	"loom/internal/core"
 	"loom/internal/dataset"
@@ -41,15 +49,85 @@ func main() {
 		out      = flag.String("out", "-", "assignment output file ('-' for stdout)")
 		noEval   = flag.Bool("no-eval", false, "skip workload execution (ipt measurement)")
 		costsTrv = flag.Bool("traversal-cost", false, "use the traversal-level ipt cost model")
+		walDir   = flag.String("wal", "", "write-ahead log directory (loom only; recovers existing state, logs every ingest)")
+		ckpt     = flag.Bool("checkpoint", false, "write a checkpoint after ingesting the stream (requires -wal)")
 	)
 	flag.Parse()
-	if err := run(*input, *k, *algo, *wlName, *wlFile, *win, *thr, *seed, *out, *noEval, *costsTrv); err != nil {
+	if err := run(*input, *k, *algo, *wlName, *wlFile, *win, *thr, *seed, *out, *noEval, *costsTrv, *walDir, *ckpt); err != nil {
 		fmt.Fprintf(os.Stderr, "loom-partition: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(input string, k int, algo, wlName, wlFile string, win int, thr float64, seed int64, out string, noEval, costTrv bool) error {
+// publicWorkload rebuilds an internal workload through the public pattern
+// API, edge by edge — the durable path runs entirely at the public
+// surface, so its checkpoints fingerprint the same workload a library
+// caller would pass to loom.Open.
+func publicWorkload(wl workload.Workload) *loom.Workload {
+	out := loom.NewWorkload(wl.Name)
+	for _, q := range wl.Queries {
+		p := loom.NewPattern()
+		for _, ed := range q.Pattern.Edges() {
+			lu, lv := q.Pattern.EdgeLabels(ed)
+			p.AddEdge(int64(ed.U), string(lu), int64(ed.V), string(lv))
+		}
+		out.Add(q.Name, p, q.Freq)
+	}
+	return out
+}
+
+// runDurable ingests the stream through a WAL-backed public partitioner,
+// recovering whatever state the directory already holds.
+func runDurable(stream graph.Stream, wl workload.Workload, k, win int, thr float64, seed int64, n int, walDir string, ckpt bool) (*partition.Assignment, time.Duration, error) {
+	opt := loom.Options{
+		Partitions:       k,
+		ExpectedVertices: n,
+		WindowSize:       win,
+		SupportThreshold: thr,
+		Seed:             seed,
+		WALDir:           walDir,
+	}
+	p, info, err := loom.Open(opt, publicWorkload(wl))
+	if err != nil {
+		return nil, 0, err
+	}
+	if info.Recovered {
+		fmt.Fprintf(os.Stderr, "wal: recovered checkpoint@%d + %d replayed records (lsn %d)\n",
+			info.CheckpointLSN, info.ReplayedRecords, info.LastLSN)
+	}
+	for _, w := range info.Warnings {
+		fmt.Fprintf(os.Stderr, "wal: warning: %s\n", w)
+	}
+	pub := make([]loom.StreamEdge, len(stream))
+	for i, e := range stream {
+		pub[i] = loom.StreamEdge{U: int64(e.U), LU: string(e.LU), V: int64(e.V), LV: string(e.LV)}
+	}
+	start := time.Now()
+	const chunk = 1024
+	for i := 0; i < len(pub); i += chunk {
+		end := min(i+chunk, len(pub))
+		if err := p.AddBatch(pub[i:end]); err != nil {
+			return nil, 0, err
+		}
+	}
+	p.Flush()
+	elapsed := time.Since(start)
+	if err := p.Err(); err != nil {
+		return nil, 0, err
+	}
+	if ckpt {
+		sz, err := p.Checkpoint()
+		if err != nil {
+			return nil, 0, err
+		}
+		fmt.Fprintf(os.Stderr, "wal: checkpoint written (%d bytes)\n", sz)
+	}
+	a := partition.NewAssignment(k)
+	p.Snapshot().Each(func(v int64, part int) { a.Set(graph.VertexID(v), partition.ID(part)) })
+	return a, elapsed, p.Close()
+}
+
+func run(input string, k int, algo, wlName, wlFile string, win int, thr float64, seed int64, out string, noEval, costTrv bool, walDir string, ckpt bool) error {
 	// Load the stream.
 	in := os.Stdin
 	if input != "-" {
@@ -101,41 +179,63 @@ func run(input string, k int, algo, wlName, wlFile string, win int, thr float64,
 		haveWL = true
 	}
 
-	// Build the partitioner.
-	var s partition.Streamer
-	switch algo {
-	case "hash":
-		s = partition.NewHash(k, capC)
-	case "ldg":
-		s = partition.NewLDG(k, capC)
-	case "fennel":
-		s = partition.NewFennel(k, n, len(stream))
-	case "loom":
+	var a *partition.Assignment
+	var elapsed time.Duration
+	if walDir != "" {
+		// Durable path: the public partitioner logs every ingest to the
+		// WAL before applying it and recovers existing directory state
+		// first. Placements are identical to the in-memory path.
+		if algo != "loom" {
+			return fmt.Errorf("-wal requires -algo loom (baselines are stateless; rerun them from the stream)")
+		}
 		if !haveWL {
 			return fmt.Errorf("loom requires -workload or -workload-file")
 		}
-		scheme := signature.NewScheme(signature.DefaultP, seed)
-		trie, err := wl.BuildTrie(scheme)
+		a, elapsed, err = runDurable(stream, wl, k, win, thr, seed, n, walDir, ckpt)
 		if err != nil {
 			return err
 		}
-		s, err = core.New(core.Config{
-			K: k, Capacity: capC, WindowSize: win, SupportThreshold: thr,
-		}, trie)
-		if err != nil {
-			return err
+	} else {
+		if ckpt {
+			return fmt.Errorf("-checkpoint requires -wal")
 		}
-	default:
-		return fmt.Errorf("unknown algorithm %q", algo)
-	}
+		// Build the partitioner.
+		var s partition.Streamer
+		switch algo {
+		case "hash":
+			s = partition.NewHash(k, capC)
+		case "ldg":
+			s = partition.NewLDG(k, capC)
+		case "fennel":
+			s = partition.NewFennel(k, n, len(stream))
+		case "loom":
+			if !haveWL {
+				return fmt.Errorf("loom requires -workload or -workload-file")
+			}
+			scheme := signature.NewScheme(signature.DefaultP, seed)
+			trie, err := wl.BuildTrie(scheme)
+			if err != nil {
+				return err
+			}
+			s, err = core.New(core.Config{
+				K: k, Capacity: capC, WindowSize: win, SupportThreshold: thr,
+			}, trie)
+			if err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("unknown algorithm %q", algo)
+		}
 
-	// Partition: the whole file is already in memory, so ingest it as one
-	// batch (identical placements to the per-edge path, less dispatch).
-	start := time.Now()
-	s.ProcessEdges(stream)
-	s.Flush()
-	elapsed := time.Since(start)
-	a := s.Assignment()
+		// Partition: the whole file is already in memory, so ingest it as
+		// one batch (identical placements to the per-edge path, less
+		// dispatch).
+		start := time.Now()
+		s.ProcessEdges(stream)
+		s.Flush()
+		elapsed = time.Since(start)
+		a = s.Assignment()
+	}
 
 	// Write assignments.
 	w := os.Stdout

@@ -1,0 +1,921 @@
+package loom
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"loom/internal/core"
+	"loom/internal/graph"
+	"loom/internal/partition"
+	"loom/internal/signature"
+	"loom/internal/tpstry"
+	"loom/internal/wal"
+	"loom/internal/window"
+)
+
+// WALSyncPolicy selects when the write-ahead log fsyncs (Options.WALSync).
+// The policies trade ingest latency against the durability of the most
+// recent writes; recovery always lands on a consistent batch boundary
+// under every policy — what varies is only how much recent ingest a crash
+// can lose.
+type WALSyncPolicy int
+
+const (
+	// WALSyncBatch (the default) group-commits: log records accumulate in
+	// a buffer and are written and fsynced together once ~256 KiB have
+	// staged, and always at Sync, Checkpoint, segment rotation and Close.
+	// A crash or kill loses at most the ingest since the last such point.
+	WALSyncBatch WALSyncPolicy = iota
+	// WALSyncAlways writes and fsyncs every ingest call: once AddBatch (or
+	// AddEdgeE, AddQuery, Flush) returns, that call is durable.
+	WALSyncAlways
+	// WALSyncNone group-commits writes like WALSyncBatch but never fsyncs
+	// on ingest; the OS flushes when it pleases. Sync, Checkpoint,
+	// rotation and Close still sync, so a checkpoint is always a hard
+	// durability point.
+	WALSyncNone
+)
+
+func (s WALSyncPolicy) String() string { return s.internal().String() }
+
+func (s WALSyncPolicy) internal() wal.SyncPolicy {
+	switch s {
+	case WALSyncAlways:
+		return wal.SyncAlways
+	case WALSyncNone:
+		return wal.SyncNone
+	default:
+		return wal.SyncBatch
+	}
+}
+
+// ErrWALConfig reports that a checkpoint was written by a partitioner
+// whose Options or base workload differ from the ones passed to Open.
+// Everything that shapes placement decisions is fingerprinted (Workers is
+// deliberately exempt: placements are bit-identical across worker counts,
+// so a checkpoint is portable between them).
+var ErrWALConfig = errors.New("loom: checkpoint does not match Options/workload")
+
+// Typed recovery failures, re-exported from the wal layer for errors.Is.
+// Open returns these (wrapped with context) instead of panicking when the
+// directory is damaged beyond the degradations recovery tolerates on its
+// own (torn tails, corrupt newest checkpoints).
+var (
+	// ErrWALCorrupt: structural damage that is not a recoverable torn tail.
+	ErrWALCorrupt = wal.ErrCorrupt
+	// ErrWALGap: a log segment between the checkpoint and the tail is
+	// missing, so no consistent state can be rebuilt.
+	ErrWALGap = wal.ErrGap
+	// ErrWALNoCheckpoint: every checkpoint is unreadable and the log does
+	// not reach back to the start of the stream.
+	ErrWALNoCheckpoint = wal.ErrNoCheckpoint
+)
+
+// RecoveryInfo describes what Open found in the WAL directory.
+type RecoveryInfo struct {
+	// Recovered reports that prior state existed (a checkpoint and/or log
+	// records) and was restored; false means a fresh directory.
+	Recovered bool
+	// CheckpointLSN is the log position of the restored checkpoint (0 if
+	// none).
+	CheckpointLSN uint64
+	// ReplayedRecords is the number of log records replayed on top of the
+	// checkpoint.
+	ReplayedRecords int
+	// LastLSN is the log position after recovery.
+	LastLSN uint64
+	// TornTail reports that the log ended in a torn write (a crashed
+	// writer) and was truncated at the last intact record.
+	TornTail bool
+	// CheckpointFallback reports that the newest checkpoint was corrupt
+	// and an older retained one was used.
+	CheckpointFallback bool
+	// Warnings lists every degradation tolerated during recovery.
+	Warnings []string
+}
+
+// Open constructs a durable Loom partitioner backed by the write-ahead
+// log in opt.WALDir. If the directory is empty a fresh partitioner is
+// returned; otherwise the newest readable checkpoint is loaded and the
+// log tail replayed, reconstructing the pre-crash state bit-identically —
+// same placements, sizes, stats and event sequence — regardless of how
+// the previous process died (see RecoveryInfo for what recovery
+// tolerated). wl must be the same base workload the directory was created
+// with; queries added later via AddQuery are recovered from the log and
+// checkpoint, not from wl.
+//
+// The returned partitioner logs every ingest call before applying it, so
+// its in-memory state never runs ahead of what a future Open can
+// reproduce. Call Checkpoint periodically to bound replay time and let
+// old log segments be pruned, and Close on shutdown.
+func Open(opt Options, wl *Workload) (*Partitioner, RecoveryInfo, error) {
+	return openFS(wal.OS(), opt, wl)
+}
+
+// openFS is Open over an injectable filesystem (the fault-injection tests
+// recover from deterministic in-memory crash states).
+func openFS(fsys wal.FS, opt Options, wl *Workload) (*Partitioner, RecoveryInfo, error) {
+	var info RecoveryInfo
+	nopt, err := opt.normalise()
+	if err != nil {
+		return nil, info, err
+	}
+	if nopt.WALDir == "" {
+		return nil, info, fmt.Errorf("loom: Open requires Options.WALDir (use New for a non-durable partitioner)")
+	}
+	wlog, recd, err := wal.Open(fsys, wal.Options{
+		Dir:             nopt.WALDir,
+		Policy:          nopt.WALSync.internal(),
+		SegmentBytes:    int64(nopt.WALSegmentBytes),
+		KeepCheckpoints: nopt.WALKeepCheckpoints,
+	})
+	if err != nil {
+		return nil, info, err
+	}
+	p, err := newLoom(nopt, wl)
+	if err != nil {
+		wlog.Close()
+		return nil, info, err
+	}
+	info = RecoveryInfo{
+		Recovered:          recd.HaveCheckpoint || len(recd.Records) > 0,
+		CheckpointLSN:      recd.CheckpointLSN,
+		ReplayedRecords:    len(recd.Records),
+		LastLSN:            recd.LastLSN,
+		TornTail:           recd.TornTail,
+		CheckpointFallback: recd.CheckpointFallback,
+		Warnings:           recd.Warnings,
+	}
+	// No lock needed yet — the partitioner is unshared until we return.
+	if recd.HaveCheckpoint {
+		if err := p.restoreCheckpoint(recd.Checkpoint); err != nil {
+			wlog.Close()
+			return nil, info, err
+		}
+	}
+	for i, rec := range recd.Records {
+		if err := p.applyRecordLocked(rec); err != nil {
+			wlog.Close()
+			return nil, info, fmt.Errorf("loom: replay record %d (LSN %d): %w", i, recd.CheckpointLSN+uint64(i)+1, err)
+		}
+	}
+	p.publishLocked()
+	p.wal = wlog
+	return p, info, nil
+}
+
+// Checkpoint atomically writes a full-state snapshot to the WAL
+// directory, after which recovery replays only records logged past this
+// point and older segments become prunable. It returns the checkpoint
+// file size in bytes. Only valid on a durable partitioner (built with
+// Open) whose assignment has not been replaced by Refine — a refined
+// assignment is a terminal, offline artifact the streaming state cannot
+// be reconstructed around.
+func (p *Partitioner) Checkpoint() (int64, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.walClosed {
+		return 0, fmt.Errorf("loom: partitioner is closed")
+	}
+	if p.wal == nil {
+		return 0, fmt.Errorf("loom: Checkpoint requires a durable partitioner (use loom.Open with Options.WALDir)")
+	}
+	if p.refined != nil {
+		return 0, fmt.Errorf("loom: cannot checkpoint a refined assignment (Refine supersedes the streaming state)")
+	}
+	payload := p.encodeCheckpointLocked()
+	n, err := p.wal.WriteCheckpoint(payload)
+	if err != nil {
+		err = fmt.Errorf("loom: checkpoint failed: %w", err)
+		if p.err == nil {
+			p.err = err
+		}
+		return 0, err
+	}
+	return n, nil
+}
+
+// Sync forces every acknowledged ingest call to stable storage, draining
+// the group-commit buffer and fsyncing the log regardless of WALSync
+// policy. It is the explicit durability point between checkpoints: after
+// Sync returns, a crash or kill replays everything ingested so far. On a
+// non-durable partitioner Sync is a no-op. Unlike Flush it does not touch
+// the streaming window.
+func (p *Partitioner) Sync() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.walClosed {
+		return fmt.Errorf("loom: partitioner is closed")
+	}
+	if p.wal == nil {
+		return nil
+	}
+	if err := p.wal.Sync(); err != nil {
+		err = fmt.Errorf("loom: wal sync failed: %w", err)
+		if p.err == nil {
+			p.err = err
+		}
+		return err
+	}
+	return nil
+}
+
+// Close syncs and closes the write-ahead log. Ingest calls after Close
+// return errors; reads (Snapshot, PartitionOf, Evaluate, …) keep working.
+// Close does not write a checkpoint — call Checkpoint first for a fast
+// next Open. On a non-durable partitioner Close is a no-op.
+func (p *Partitioner) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.wal == nil {
+		return nil
+	}
+	err := p.wal.Close()
+	p.wal = nil
+	p.walClosed = true
+	return err
+}
+
+// --- Write-ahead records -------------------------------------------------
+//
+// Every mutating public call appends exactly one record before applying
+// itself (log-before-apply): a batch (AddBatch, and AddEdgeE as a 1-edge
+// batch), a flush, or a workload query. Replay re-applies records through
+// the same locked application halves the live calls use, so every
+// deterministic outcome — including dropped corrupt edges and their
+// sticky errors — reproduces exactly.
+
+const (
+	recBatch uint8 = 1
+	recFlush uint8 = 2
+	recQuery uint8 = 3
+)
+
+// encodeBatchRecord writes the edge section first and the label string
+// table after it: the table's contents are only known once every edge has
+// been scanned, and this order lets a single pass encode straight into e
+// with no staging buffer. The label alphabet is tiny, so index lookup is
+// a linear scan, fronted by a memo of the previous edge's labels —
+// streams run the same vertex types for long stretches, so the memo hits
+// far more often than the scan. The labels scratch is passed in and
+// returned so the caller can reuse its backing array across batches (the
+// ingest path must not allocate per record: the extra garbage skews GC
+// pacing inside the partitioner's hot loop).
+func encodeBatchRecord(e *wal.Enc, batch []StreamEdge, labels []string) []string {
+	e.U8(recBatch)
+	labels = labels[:0]
+	e.U32(uint32(len(batch)))
+	var lastLU, lastLV string
+	var lastLUi, lastLVi uint32
+	for i := range batch {
+		ed := &batch[i]
+		if i == 0 || ed.LU != lastLU {
+			lastLU = ed.LU
+			lastLUi, labels = labelIndex(labels, ed.LU)
+		}
+		if i == 0 || ed.LV != lastLV {
+			lastLV = ed.LV
+			lastLVi, labels = labelIndex(labels, ed.LV)
+		}
+		var eb [24]byte
+		binary.LittleEndian.PutUint64(eb[0:8], uint64(ed.U))
+		binary.LittleEndian.PutUint64(eb[8:16], uint64(ed.V))
+		binary.LittleEndian.PutUint32(eb[16:20], lastLUi)
+		binary.LittleEndian.PutUint32(eb[20:24], lastLVi)
+		e.B = append(e.B, eb[:]...)
+	}
+	e.U32(uint32(len(labels)))
+	for _, l := range labels {
+		e.Str(l)
+	}
+	return labels
+}
+
+func labelIndex(labels []string, s string) (uint32, []string) {
+	for i, l := range labels {
+		if l == s {
+			return uint32(i), labels
+		}
+	}
+	return uint32(len(labels)), append(labels, s)
+}
+
+func decodeBatchRecord(d *wal.Dec) ([]StreamEdge, error) {
+	// Wire order is edges first, label table second (see encodeBatchRecord),
+	// so indices are buffered and resolved once the table is in hand.
+	batch := make([]StreamEdge, d.Len(24))
+	lidx := make([]uint32, 2*len(batch))
+	for i := range batch {
+		batch[i].U = d.I64()
+		batch[i].V = d.I64()
+		lidx[2*i] = d.U32()
+		lidx[2*i+1] = d.U32()
+	}
+	labels := make([]string, d.Len(1))
+	for i := range labels {
+		labels[i] = d.Str()
+	}
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	for i := range batch {
+		lu, lv := lidx[2*i], lidx[2*i+1]
+		if int(lu) >= len(labels) || int(lv) >= len(labels) {
+			return nil, fmt.Errorf("batch record references label %d/%d beyond table of %d", lu, lv, len(labels))
+		}
+		batch[i].LU = labels[lu]
+		batch[i].LV = labels[lv]
+	}
+	return batch, nil
+}
+
+func encodeQueryPayload(e *wal.Enc, name string, g *graph.Graph, freq float64) {
+	e.Str(name)
+	e.F64(freq)
+	edges := g.Edges()
+	e.U32(uint32(len(edges)))
+	for _, ed := range edges {
+		lu, lv := g.EdgeLabels(ed)
+		e.I64(int64(ed.U))
+		e.Str(string(lu))
+		e.I64(int64(ed.V))
+		e.Str(string(lv))
+	}
+}
+
+func decodeQueryPayload(d *wal.Dec) (name string, pat *Pattern, freq float64, err error) {
+	name = d.Str()
+	freq = d.F64()
+	g := graph.New()
+	n := d.Len(22) // i64 + min str + i64 + min str
+	for i := 0; i < n; i++ {
+		u := d.I64()
+		lu := d.Str()
+		v := d.I64()
+		lv := d.Str()
+		if d.Err() != nil {
+			break
+		}
+		if _, eerr := g.EnsureEdge(graph.VertexID(u), graph.Label(lu), graph.VertexID(v), graph.Label(lv)); eerr != nil {
+			return "", nil, 0, fmt.Errorf("query %q edge %d: %w", name, i, eerr)
+		}
+	}
+	if derr := d.Err(); derr != nil {
+		return "", nil, 0, derr
+	}
+	return name, &Pattern{g: g}, freq, nil
+}
+
+// walAppendBatch logs one batch record; a nil p.wal (non-durable) is a
+// no-op. On failure nothing must be applied: the returned error becomes
+// the caller's, and it is retained as the sticky Err.
+func (p *Partitioner) walAppendBatch(batch []StreamEdge) error {
+	if p.walClosed {
+		return fmt.Errorf("loom: partitioner is closed")
+	}
+	if p.wal == nil {
+		return nil
+	}
+	p.walLabels = encodeBatchRecord(p.walEncReset(), batch, p.walLabels)
+	return p.walAppend(p.walEnc.B)
+}
+
+func (p *Partitioner) walAppendFlush() error {
+	if p.walClosed {
+		err := fmt.Errorf("loom: partitioner is closed")
+		if p.err == nil {
+			p.err = err
+		}
+		return err
+	}
+	if p.wal == nil {
+		return nil
+	}
+	p.walEncReset().U8(recFlush)
+	return p.walAppend(p.walEnc.B)
+}
+
+func (p *Partitioner) walAppendQuery(name string, pat *Pattern, freq float64) error {
+	if p.walClosed {
+		return fmt.Errorf("loom: partitioner is closed")
+	}
+	if p.wal == nil {
+		return nil
+	}
+	e := p.walEncReset()
+	e.U8(recQuery)
+	encodeQueryPayload(e, name, pat.g, freq)
+	return p.walAppend(p.walEnc.B)
+}
+
+// walEncReset clears the record encode buffer and reserves the eight
+// bytes Log.AppendFramed overwrites with the record frame.
+func (p *Partitioner) walEncReset() *wal.Enc {
+	p.walEnc.B = append(p.walEnc.B[:0], 0, 0, 0, 0, 0, 0, 0, 0)
+	return &p.walEnc
+}
+
+// walAppend hands the framed record buffer (walEncReset + payload) to the
+// log. On failure the sticky error is set and nothing may be applied.
+func (p *Partitioner) walAppend(framed []byte) error {
+	if _, err := p.wal.AppendFramed(framed); err != nil {
+		err = fmt.Errorf("loom: wal append failed, operation not applied: %w", err)
+		if p.err == nil {
+			p.err = err
+		}
+		return err
+	}
+	return nil
+}
+
+// applyRecordLocked decodes and applies one replayed record. Decoding is
+// completed (and validated) before anything is applied, so a undecodable
+// record — CRC-intact but semantically short, i.e. version skew — cannot
+// half-apply.
+func (p *Partitioner) applyRecordLocked(payload []byte) error {
+	d := wal.NewDec(payload)
+	switch typ := d.U8(); typ {
+	case recBatch:
+		batch, err := decodeBatchRecord(d)
+		if err != nil {
+			return fmt.Errorf("decode batch record: %w", err)
+		}
+		// Per-record errors (corrupt edges) were already sticky in the
+		// run that logged them and re-latch identically here.
+		_ = p.applyBatchLocked(batch)
+		return nil
+	case recFlush:
+		if err := d.Err(); err != nil {
+			return err
+		}
+		p.streamer.Flush()
+		return nil
+	case recQuery:
+		name, pat, freq, err := decodeQueryPayload(d)
+		if err != nil {
+			return fmt.Errorf("decode query record: %w", err)
+		}
+		// A query that failed validation when logged fails identically.
+		_ = p.applyQueryLocked(name, pat, freq)
+		return nil
+	default:
+		return fmt.Errorf("unknown record type %d", typ)
+	}
+}
+
+// --- Checkpoint payload --------------------------------------------------
+//
+// The checkpoint is the full partitioner state in one CRC-framed payload:
+// meta (event seq, subscription flag, sticky error), the placement-shaping
+// config fingerprint, the workload (base fingerprint + AddQuery tail),
+// a trie identity check, the signature scheme's label r-values (assigned
+// in first-use order, so stream-history-dependent — see
+// signature.SchemeState), the shared intern tables, the tracker, the core
+// counters and label cache, the complete window matcher state, and the
+// recorded graph. Restore rebuilds each layer through its own state hook
+// and validates every cross-reference; the trie itself is never
+// serialised — it is rebuilt deterministically from the base workload plus
+// the query tail, which reproduces every node ID the window state refers
+// to.
+
+func (p *Partitioner) encodeCheckpointLocked() []byte {
+	var e wal.Enc
+	// Meta.
+	e.U64(p.seq)
+	e.Bool(p.evHooked)
+	e.Bool(p.err != nil)
+	if p.err != nil {
+		e.Str(p.err.Error())
+	}
+	// Config fingerprint (normalised values; Workers excluded).
+	e.I64(int64(p.opt.Partitions))
+	e.I64(int64(p.opt.ExpectedVertices))
+	e.I64(int64(p.opt.ExpectedEdges))
+	e.I64(int64(p.opt.WindowSize))
+	e.F64(p.opt.SupportThreshold)
+	e.F64(p.opt.Alpha)
+	e.F64(p.opt.MaxImbalance)
+	e.U32(p.opt.SignaturePrime)
+	e.I64(p.opt.Seed)
+	e.Bool(p.opt.DisableGraphRecording)
+	// Workload: base fingerprint + replayable AddQuery tail.
+	e.U32(uint32(p.baseQueries))
+	e.U32(p.baseWorkloadCRC())
+	e.U32(uint32(len(p.added)))
+	for _, q := range p.added {
+		encodeQueryPayload(&e, q.name, q.pat.g, q.freq)
+	}
+	// Trie identity check (validated after the rebuild on restore).
+	e.I64(int64(p.trie.Size()))
+	e.I64(int64(p.trie.Version()))
+	e.F64(p.trie.TotalWeight())
+	// Signature scheme: r-values are drawn in label first-use order, so
+	// they depend on the stream history, not just (prime, seed). Restore
+	// must install these before rebuilding the query tail or the window —
+	// and fast-forward the generator so post-checkpoint labels draw the
+	// same values the uninterrupted run drew.
+	ss := p.trie.Scheme().CaptureState()
+	e.U32(uint32(len(ss.Labels)))
+	for i := range ss.Labels {
+		e.Str(string(ss.Labels[i]))
+		e.U32(ss.Values[i])
+	}
+	e.U32(uint32(ss.Draws))
+	// Shared intern tables, in dense/code order.
+	win := p.loom.Window()
+	ids := win.Verts().IDs()
+	e.U32(uint32(len(ids)))
+	for _, id := range ids {
+		e.I64(id)
+	}
+	names := win.Labels().Names()
+	e.U32(uint32(len(names)))
+	for _, n := range names {
+		e.Str(n)
+	}
+	// Tracker.
+	ts := p.tr.CaptureState()
+	e.U32(uint32(len(ts.Parts)))
+	for _, part := range ts.Parts {
+		e.I64(int64(part))
+	}
+	for _, row := range ts.Nbrs {
+		e.U32(uint32(len(row)))
+		for _, u := range row {
+			e.U32(u)
+		}
+	}
+	e.I64(int64(ts.Observed))
+	// Core counters + label-code cache.
+	cs := p.loom.CaptureState()
+	st := cs.Stats
+	for _, v := range []int{
+		st.EdgesProcessed, st.SelfLoops, st.DuplicateEdges, st.ImmediateEdges,
+		st.WindowedEdges, st.Evictions, st.MatchesAssigned, st.ZeroBidRounds,
+		st.LoneEdgeRounds, st.DeferredEndpoints, st.PriorPlacements,
+	} {
+		e.I64(int64(v))
+	}
+	e.U32(uint32(len(cs.VLab)))
+	for _, c := range cs.VLab {
+		e.I64(int64(c))
+	}
+	// Window matcher.
+	ws := win.CaptureState()
+	e.U64(ws.Seq)
+	e.U64(ws.MSeq)
+	e.U32(uint32(len(ws.VCode)))
+	for i := range ws.VCode {
+		e.Bool(ws.Labelled[i])
+		e.U16(ws.VCode[i])
+	}
+	e.U32(uint32(len(ws.Edges)))
+	for _, es := range ws.Edges {
+		e.U32(es.E.U)
+		e.U32(es.E.V)
+		e.U64(es.Seq)
+	}
+	e.U32(uint32(len(ws.Matches)))
+	for _, ms := range ws.Matches {
+		e.I64(int64(ms.NodeID))
+		e.U64(ms.Seq)
+		e.U32(uint32(len(ms.IEdges)))
+		for _, ie := range ms.IEdges {
+			e.U32(ie.U)
+			e.U32(ie.V)
+		}
+	}
+	// Recorded graph: the full vertex list (EnsureEdge interns labelled
+	// endpoints even for self-loops that never become edges, and future
+	// label-conflict detection depends on them) plus the accepted-edge
+	// log, each against a local label table.
+	e.Bool(p.g != nil)
+	if p.g != nil {
+		var labels []string
+		idx := func(s graph.Label) uint32 {
+			for i, l := range labels {
+				if l == string(s) {
+					return uint32(i)
+				}
+			}
+			labels = append(labels, string(s))
+			return uint32(len(labels) - 1)
+		}
+		verts := p.g.Vertices()
+		for _, v := range verts {
+			l, _ := p.g.Label(v)
+			idx(l)
+		}
+		for i := range p.rec {
+			idx(p.rec[i].LU)
+			idx(p.rec[i].LV)
+		}
+		e.U32(uint32(len(labels)))
+		for _, l := range labels {
+			e.Str(l)
+		}
+		e.U32(uint32(len(verts)))
+		for _, v := range verts {
+			l, _ := p.g.Label(v)
+			e.I64(int64(v))
+			e.U32(idx(l))
+		}
+		e.U32(uint32(len(p.rec)))
+		for i := range p.rec {
+			r := &p.rec[i]
+			e.I64(int64(r.U))
+			e.U32(idx(r.LU))
+			e.I64(int64(r.V))
+			e.U32(idx(r.LV))
+		}
+	}
+	return e.B
+}
+
+// baseWorkloadCRC fingerprints the construction-time workload (the first
+// baseQueries entries): Open must be handed the exact workload the
+// checkpoint was built against, or the rebuilt trie — and with it every
+// node ID and placement decision — would silently diverge.
+func (p *Partitioner) baseWorkloadCRC() uint32 {
+	var e wal.Enc
+	for _, q := range p.wl.queries[:p.baseQueries] {
+		encodeQueryPayload(&e, q.Name, q.Pattern, q.Freq)
+	}
+	return wal.Checksum(e.B)
+}
+
+func (p *Partitioner) restoreCheckpoint(payload []byte) error {
+	d := wal.NewDec(payload)
+	fail := func(what string, err error) error {
+		return fmt.Errorf("loom: checkpoint %s: %w", what, err)
+	}
+
+	// Meta.
+	seq := d.U64()
+	hooked := d.Bool()
+	var errMsg string
+	hasErr := d.Bool()
+	if hasErr {
+		errMsg = d.Str()
+	}
+
+	// Config fingerprint vs the options Open was given.
+	type cfgField struct {
+		name string
+		want string
+		got  string
+	}
+	var mismatches []cfgField
+	cmpI := func(name string, got int64) {
+		if want := d.I64(); want != got {
+			mismatches = append(mismatches, cfgField{name, fmt.Sprint(want), fmt.Sprint(got)})
+		}
+	}
+	cmpF := func(name string, got float64) {
+		if want := d.F64(); want != got {
+			mismatches = append(mismatches, cfgField{name, fmt.Sprint(want), fmt.Sprint(got)})
+		}
+	}
+	cmpI("Partitions", int64(p.opt.Partitions))
+	cmpI("ExpectedVertices", int64(p.opt.ExpectedVertices))
+	cmpI("ExpectedEdges", int64(p.opt.ExpectedEdges))
+	cmpI("WindowSize", int64(p.opt.WindowSize))
+	cmpF("SupportThreshold", p.opt.SupportThreshold)
+	cmpF("Alpha", p.opt.Alpha)
+	cmpF("MaxImbalance", p.opt.MaxImbalance)
+	if want := d.U32(); want != p.opt.SignaturePrime {
+		mismatches = append(mismatches, cfgField{"SignaturePrime", fmt.Sprint(want), fmt.Sprint(p.opt.SignaturePrime)})
+	}
+	cmpI("Seed", p.opt.Seed)
+	if want := d.Bool(); want != p.opt.DisableGraphRecording {
+		mismatches = append(mismatches, cfgField{"DisableGraphRecording", fmt.Sprint(want), fmt.Sprint(p.opt.DisableGraphRecording)})
+	}
+
+	// Workload base fingerprint + query tail.
+	baseCount := int(d.U32())
+	baseCRC := d.U32()
+	tailN := d.Len(1)
+	type tailQ struct {
+		name string
+		pat  *Pattern
+		freq float64
+	}
+	tail := make([]tailQ, 0, tailN)
+	for i := 0; i < tailN; i++ {
+		name, pat, freq, err := decodeQueryPayload(d)
+		if err != nil {
+			return fail("query tail", err)
+		}
+		tail = append(tail, tailQ{name, pat, freq})
+	}
+
+	trieSize := int(d.I64())
+	trieVersion := int(d.I64())
+	trieWeight := d.F64()
+
+	var ss signature.SchemeState
+	ss.Labels = make([]graph.Label, d.Len(5))
+	ss.Values = make([]uint32, len(ss.Labels))
+	for i := range ss.Labels {
+		ss.Labels[i] = graph.Label(d.Str())
+		ss.Values[i] = d.U32()
+	}
+	ss.Draws = int(d.U32())
+
+	ids := make([]int64, d.Len(8))
+	for i := range ids {
+		ids[i] = d.I64()
+	}
+	labelNames := make([]string, d.Len(4))
+	for i := range labelNames {
+		labelNames[i] = d.Str()
+	}
+
+	var ts partition.TrackerState
+	ts.Parts = make([]partition.ID, d.Len(8))
+	for i := range ts.Parts {
+		ts.Parts[i] = partition.ID(d.I64())
+	}
+	ts.Nbrs = make([][]uint32, len(ts.Parts))
+	for i := range ts.Nbrs {
+		row := make([]uint32, d.Len(4))
+		for j := range row {
+			row[j] = d.U32()
+		}
+		ts.Nbrs[i] = row
+	}
+	ts.Observed = int(d.I64())
+
+	var cs core.State
+	for _, f := range []*int{
+		&cs.Stats.EdgesProcessed, &cs.Stats.SelfLoops, &cs.Stats.DuplicateEdges,
+		&cs.Stats.ImmediateEdges, &cs.Stats.WindowedEdges, &cs.Stats.Evictions,
+		&cs.Stats.MatchesAssigned, &cs.Stats.ZeroBidRounds, &cs.Stats.LoneEdgeRounds,
+		&cs.Stats.DeferredEndpoints, &cs.Stats.PriorPlacements,
+	} {
+		*f = int(d.I64())
+	}
+	cs.VLab = make([]int32, d.Len(8))
+	for i := range cs.VLab {
+		cs.VLab[i] = int32(d.I64())
+	}
+
+	var ws window.MatcherState
+	ws.Seq = d.U64()
+	ws.MSeq = d.U64()
+	nv := d.Len(3)
+	ws.Labelled = make([]bool, nv)
+	ws.VCode = make([]uint16, nv)
+	for i := 0; i < nv; i++ {
+		ws.Labelled[i] = d.Bool()
+		ws.VCode[i] = d.U16()
+	}
+	ws.Edges = make([]window.EdgeState, d.Len(16))
+	for i := range ws.Edges {
+		ws.Edges[i].E.U = d.U32()
+		ws.Edges[i].E.V = d.U32()
+		ws.Edges[i].Seq = d.U64()
+	}
+	ws.Matches = make([]window.MatchState, d.Len(20))
+	for i := range ws.Matches {
+		ws.Matches[i].NodeID = int(d.I64())
+		ws.Matches[i].Seq = d.U64()
+		ie := make([]window.IEdge, d.Len(8))
+		for j := range ie {
+			ie[j].U = d.U32()
+			ie[j].V = d.U32()
+		}
+		ws.Matches[i].IEdges = ie
+	}
+
+	hasGraph := d.Bool()
+	type gvert struct {
+		id    int64
+		label uint32
+	}
+	var glabels []string
+	var gverts []gvert
+	var gedges []graph.StreamEdge
+	if hasGraph {
+		glabels = make([]string, d.Len(4))
+		for i := range glabels {
+			glabels[i] = d.Str()
+		}
+		gverts = make([]gvert, d.Len(12))
+		for i := range gverts {
+			gverts[i] = gvert{id: d.I64(), label: d.U32()}
+		}
+		gedges = make([]graph.StreamEdge, d.Len(24))
+		glab := func(i uint32) (graph.Label, error) {
+			if int(i) >= len(glabels) {
+				return "", fmt.Errorf("label index %d beyond table of %d", i, len(glabels))
+			}
+			return graph.Label(glabels[i]), nil
+		}
+		for i := range gedges {
+			u := d.I64()
+			lu := d.U32()
+			v := d.I64()
+			lv := d.U32()
+			lul, err := glab(lu)
+			if err != nil {
+				return fail("recorded edge", err)
+			}
+			lvl, err := glab(lv)
+			if err != nil {
+				return fail("recorded edge", err)
+			}
+			gedges[i] = graph.StreamEdge{U: graph.VertexID(u), LU: lul, V: graph.VertexID(v), LV: lvl}
+		}
+	}
+
+	// Everything decoded; one truncation check before any state mutates.
+	if err := d.Err(); err != nil {
+		return fail("decode", err)
+	}
+	if len(mismatches) > 0 {
+		m := mismatches[0]
+		return fmt.Errorf("loom: checkpoint %s is %s but Open was given %s (%d mismatching fields): %w",
+			m.name, m.want, m.got, len(mismatches), ErrWALConfig)
+	}
+	if baseCount != p.baseQueries {
+		return fmt.Errorf("loom: checkpoint base workload has %d queries but Open was given %d: %w",
+			baseCount, p.baseQueries, ErrWALConfig)
+	}
+	if got := p.baseWorkloadCRC(); got != baseCRC {
+		return fmt.Errorf("loom: base workload fingerprint %08x does not match checkpoint %08x: %w",
+			got, baseCRC, ErrWALConfig)
+	}
+	if hasGraph != (p.g != nil) {
+		return fail("graph section", fmt.Errorf("presence %v does not match options", hasGraph))
+	}
+
+	// Apply, bottom-up. Order matters: the signature scheme before the
+	// query tail (AddQuery computes trie deltas through it — a tail query
+	// whose labels the primary first met mid-stream must see the primary's
+	// r-values, not fresh draws); intern tables before anything that
+	// indexes by dense vertex; the trie's query tail before the window's
+	// matches (which reference the rebuilt nodes by ID).
+	if err := p.trie.Scheme().RestoreState(ss); err != nil {
+		return fail("signature scheme", err)
+	}
+	for _, q := range tail {
+		if err := p.applyQueryLocked(q.name, q.pat, q.freq); err != nil {
+			return fail("query tail", err)
+		}
+	}
+	if p.trie.Size() != trieSize || p.trie.Version() != trieVersion || p.trie.TotalWeight() != trieWeight {
+		return fail("trie identity", fmt.Errorf("rebuilt trie (size %d, version %d, weight %g) does not match checkpoint (size %d, version %d, weight %g)",
+			p.trie.Size(), p.trie.Version(), p.trie.TotalWeight(), trieSize, trieVersion, trieWeight))
+	}
+	win := p.loom.Window()
+	if err := win.Verts().RestoreIDs(ids); err != nil {
+		return fail("vertex table", err)
+	}
+	if err := win.Labels().RestoreNames(labelNames); err != nil {
+		return fail("label table", err)
+	}
+	if err := p.tr.RestoreState(ts); err != nil {
+		return fail("tracker", err)
+	}
+	if err := p.loom.RestoreState(cs); err != nil {
+		return fail("core", err)
+	}
+	nodeByID := make(map[int]*tpstry.Node, p.trie.Size())
+	for _, n := range p.trie.Nodes() {
+		nodeByID[n.ID] = n
+	}
+	if err := win.RestoreState(ws, nodeByID); err != nil {
+		return fail("window", err)
+	}
+	if p.g != nil {
+		for _, v := range gverts {
+			if int(v.label) >= len(glabels) {
+				return fail("recorded vertex", fmt.Errorf("label index %d beyond table of %d", v.label, len(glabels)))
+			}
+			if err := p.g.AddVertex(graph.VertexID(v.id), graph.Label(glabels[v.label])); err != nil {
+				return fail("recorded vertex", err)
+			}
+		}
+		for i := range gedges {
+			ge := &gedges[i]
+			added, err := p.g.EnsureEdge(ge.U, ge.LU, ge.V, ge.LV)
+			if err != nil {
+				return fail("recorded edge", err)
+			}
+			if !added {
+				return fail("recorded edge", fmt.Errorf("duplicate edge %v-%v in accepted-edge log", ge.U, ge.V))
+			}
+		}
+		p.rec = gedges
+	}
+	p.seq = seq
+	if hasErr {
+		p.err = errors.New(errMsg)
+	}
+	if hooked {
+		p.installEventHooksLocked()
+	}
+	return nil
+}

@@ -16,6 +16,15 @@
 // touched at query time — and the final mirror is verified against the
 // partitioner's own assignment.
 //
+// The second act is state shipping ("On Smart Query Routing" assumes
+// late-joining router replicas bootstrap from shipped state, not by
+// replaying the whole stream): the primary runs durably (-wal style),
+// checkpoints mid-stream, syncs, and its WAL directory is copied to a
+// replica, which recovers checkpoint + log tail and — while the primary
+// is still ingesting — routes with zero mismatches against it. Once the
+// primary finishes, the replica tails the rest of the stream and lands
+// on the identical assignment.
+//
 // Run with:
 //
 //	go run ./examples/router
@@ -24,6 +33,8 @@ package main
 import (
 	"fmt"
 	"log"
+	"os"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 
@@ -97,16 +108,53 @@ func (r *Router) Len() int {
 	return len(r.table)
 }
 
+// shipDir copies a synced WAL directory to a new location — the "state
+// shipping" step. In a real deployment this is an object-store upload or
+// an rsync; the files are self-validating (CRC-framed), so a torn copy is
+// detected at the replica, not silently replayed.
+func shipDir(src, dst string) error {
+	if err := os.MkdirAll(dst, 0o755); err != nil {
+		return err
+	}
+	ents, err := os.ReadDir(src)
+	if err != nil {
+		return err
+	}
+	for _, e := range ents {
+		if e.IsDir() {
+			continue
+		}
+		b, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), b, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 func main() {
 	wl, err := loom.DatasetWorkload("dblp")
 	if err != nil {
 		log.Fatal(err)
 	}
-	p, err := loom.New(loom.Options{
+	walRoot, err := os.MkdirTemp("", "loom-router-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(walRoot)
+
+	// The primary is durable: every accepted batch is framed into the WAL
+	// before it is applied, so its state can be shipped to replicas.
+	opt := loom.Options{
 		Partitions:       4,
 		ExpectedVertices: 4000,
 		WindowSize:       256,
-	}, wl)
+		WALDir:           filepath.Join(walRoot, "primary"),
+	}
+	p, _, err := loom.Open(opt, wl)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -118,13 +166,17 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	// half: checkpoint here. ship: sync + copy the WAL dir here; the
+	// replica bootstraps from checkpoint@half plus the logged tail
+	// (half..ship) instead of replaying the whole stream.
+	half, ship := len(edges)/2, 5*len(edges)/6
 
-	// Four producers stream disjoint shards of the edge stream in batches —
+	// Four producers stream disjoint shards of the first half in batches —
 	// e.g. four ingestion frontends of a graph store.
 	const producers, batchSize = 4, 128
 	var wg sync.WaitGroup
 	for w := 0; w < producers; w++ {
-		shard := edges[w*len(edges)/producers : (w+1)*len(edges)/producers]
+		shard := edges[w*half/producers : (w+1)*half/producers]
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -163,6 +215,75 @@ func main() {
 		probe, firstOf(router.Route(probe)), router.Len())
 
 	wg.Wait()
+
+	// Mid-stream checkpoint: a full-state snapshot in the WAL directory.
+	// Everything before it can be pruned; a replica starts here instead of
+	// replaying 1500 edges' worth of log.
+	ckptBytes, err := p.Checkpoint()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("checkpoint at edge %d: %d bytes\n", half, ckptBytes)
+
+	// The next sixth of the stream lands in the log tail after the
+	// checkpoint — the part the replica will replay record by record.
+	for i := half; i < ship; i += batchSize {
+		end := min(i+batchSize, ship)
+		if err := p.AddBatch(edges[i:end]); err != nil {
+			log.Printf("batch dropped corrupt edges: %v", err)
+		}
+	}
+	// Sync makes every acknowledged record durable (group commit may still
+	// be staging some), then the directory is shipped byte-for-byte.
+	if err := p.Sync(); err != nil {
+		log.Fatal(err)
+	}
+	if err := shipDir(filepath.Join(walRoot, "primary"), filepath.Join(walRoot, "replica")); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("shipped WAL dir at edge %d (checkpoint + tail)\n", ship)
+
+	// The primary keeps ingesting the last sixth while the late-joining
+	// replica bootstraps from the shipped directory.
+	liveDone := make(chan struct{})
+	go func() {
+		defer close(liveDone)
+		for i := ship; i < len(edges); i += batchSize {
+			end := min(i+batchSize, len(edges))
+			if err := p.AddBatch(edges[i:end]); err != nil {
+				log.Printf("batch dropped corrupt edges: %v", err)
+			}
+		}
+	}()
+
+	ropt := opt
+	ropt.WALDir = filepath.Join(walRoot, "replica")
+	replica, info, err := loom.Open(ropt, wl)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer replica.Close()
+	fmt.Printf("replica recovered: checkpoint@%d + %d replayed records (lsn %d)\n",
+		info.CheckpointLSN, info.ReplayedRecords, info.LastLSN)
+
+	// Zero routing mismatches against the live primary, checked while the
+	// primary is still ingesting: placements are immutable once made, and
+	// PartitionOf is the lock-free read path, so every vertex the replica
+	// recovered must route exactly where the primary put it.
+	catchupMismatch := 0
+	rsnap := replica.Snapshot()
+	rsnap.Each(func(v int64, part int) {
+		if got, ok := p.PartitionOf(v); !ok || got != part {
+			catchupMismatch++
+		}
+	})
+	fmt.Printf("replica vs live primary (mid-ingest): %d recovered placements, %d routing mismatches\n",
+		rsnap.NumAssigned(), catchupMismatch)
+	if catchupMismatch != 0 {
+		log.Fatalf("replica diverged from primary after catch-up")
+	}
+
+	<-liveDone
 	p.Flush() // end-of-stream: drain Ptemp; the router sees the tail placements
 	close(ingestDone)
 	reconciler.Wait()
@@ -191,6 +312,39 @@ func main() {
 	})
 	fmt.Printf("mirror verified against snapshot: %d vertices, %d mismatches\n",
 		snap.NumAssigned(), mismatches)
+
+	// Finally the replica tails the same last sixth of the stream (in a
+	// real deployment: the shipped segments the primary wrote after the
+	// copy) and must land on the identical assignment — recovery plus
+	// replay is bit-identical to never having crashed or joined late.
+	for i := ship; i < len(edges); i += batchSize {
+		end := min(i+batchSize, len(edges))
+		if err := replica.AddBatch(edges[i:end]); err != nil {
+			log.Printf("batch dropped corrupt edges: %v", err)
+		}
+	}
+	replica.Flush()
+	if err := replica.Err(); err != nil {
+		log.Fatal(err)
+	}
+	final := replica.Snapshot()
+	tailMismatch := 0
+	if final.NumAssigned() != snap.NumAssigned() {
+		log.Fatalf("replica finished with %d placements, primary %d", final.NumAssigned(), snap.NumAssigned())
+	}
+	final.Each(func(v int64, part int) {
+		if got, ok := snap.PartitionOf(v); !ok || got != part {
+			tailMismatch++
+		}
+	})
+	fmt.Printf("replica caught up: %d placements, %d mismatches vs primary\n",
+		final.NumAssigned(), tailMismatch)
+	if tailMismatch != 0 {
+		log.Fatal("replica final state diverged from primary")
+	}
+	if err := p.Close(); err != nil {
+		log.Fatal(err)
+	}
 }
 
 func firstOf(s string, _ bool) string { return s }

@@ -1,0 +1,33 @@
+package intern
+
+import "fmt"
+
+// RestoreIDs re-interns ids, in order, into an empty vertex table. Dense
+// indices are assigned first-seen, so replaying the original dense order
+// reproduces every index exactly; a duplicate in ids (which would shift
+// all later indices) is rejected.
+func (t *VertexTable) RestoreIDs(ids []int64) error {
+	if t.Len() != 0 {
+		return fmt.Errorf("intern: RestoreIDs on a non-empty vertex table (%d entries)", t.Len())
+	}
+	for i, id := range ids {
+		if got := t.Intern(id); int(got) != i {
+			return fmt.Errorf("intern: vertex %d duplicated in restored ID list (index %d vs %d)", id, got, i)
+		}
+	}
+	return nil
+}
+
+// RestoreNames re-interns label names, in order, into an empty label
+// table, reproducing every label code (see RestoreIDs).
+func (t *LabelTable) RestoreNames(names []string) error {
+	if t.Len() != 0 {
+		return fmt.Errorf("intern: RestoreNames on a non-empty label table (%d entries)", t.Len())
+	}
+	for i, name := range names {
+		if got := t.Intern(name); int(got) != i {
+			return fmt.Errorf("intern: label %q duplicated in restored name list (code %d vs %d)", name, got, i)
+		}
+	}
+	return nil
+}

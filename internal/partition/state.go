@@ -1,0 +1,72 @@
+package partition
+
+import "fmt"
+
+// TrackerState is the checkpointable portion of a Tracker: the per-vertex
+// placements and observed adjacency, keyed by dense index. Sizes and the
+// assigned count are derived on restore; the copy-on-write publish state
+// is deliberately absent (a restored tracker's first Publish copies every
+// page, exactly like a fresh tracker's).
+type TrackerState struct {
+	Parts    []ID
+	Nbrs     [][]uint32
+	Observed int
+}
+
+// CaptureState deep-copies the tracker's checkpointable state.
+func (t *Tracker) CaptureState() TrackerState {
+	s := TrackerState{
+		Parts:    append([]ID(nil), t.parts...),
+		Nbrs:     make([][]uint32, len(t.nbrs)),
+		Observed: t.observed,
+	}
+	for i, ns := range t.nbrs {
+		if len(ns) > 0 {
+			s.Nbrs[i] = append([]uint32(nil), ns...)
+		}
+	}
+	return s
+}
+
+// RestoreState loads a captured state into a freshly constructed tracker.
+// It bypasses AssignIdx entirely: the assign hook is not fired (recovery
+// replays events only for post-checkpoint work) and no page is marked
+// dirty (the page table is still empty, so the next Publish copies
+// everything it needs).
+func (t *Tracker) RestoreState(s TrackerState) error {
+	if t.assigned != 0 || t.observed != 0 || len(t.parts) != 0 {
+		return fmt.Errorf("partition: RestoreState on a non-fresh tracker (%d assigned, %d observed)",
+			t.assigned, t.observed)
+	}
+	if len(s.Nbrs) != len(s.Parts) {
+		return fmt.Errorf("partition: state has %d adjacency rows for %d vertices", len(s.Nbrs), len(s.Parts))
+	}
+	parts := make([]ID, len(s.Parts))
+	copy(parts, s.Parts)
+	nbrs := make([][]uint32, len(s.Nbrs))
+	for i, ns := range s.Nbrs {
+		for _, u := range ns {
+			if int(u) >= len(s.Parts) {
+				return fmt.Errorf("partition: state adjacency of vertex %d references vertex %d beyond extent %d",
+					i, u, len(s.Parts))
+			}
+		}
+		if len(ns) > 0 {
+			nbrs[i] = append([]uint32(nil), ns...)
+		}
+	}
+	for i, p := range parts {
+		if p == Unassigned {
+			continue
+		}
+		if p < 0 || int(p) >= t.k {
+			return fmt.Errorf("partition: state assigns vertex %d to partition %d (k=%d)", i, p, t.k)
+		}
+		t.sizes[p]++
+		t.assigned++
+	}
+	t.parts = parts
+	t.nbrs = nbrs
+	t.observed = s.Observed
+	return nil
+}

@@ -71,6 +71,7 @@ type Scheme struct {
 	p     uint32
 	seed  int64
 	rng   *rand.Rand
+	draws int // values drawn from rng so far (see CaptureState)
 	rvals map[graph.Label]uint32
 }
 
@@ -114,8 +115,71 @@ func (s *Scheme) LabelValue(l graph.Label) uint32 {
 		return v
 	}
 	v := uint32(s.rng.Intn(int(s.p-1))) + 1 // [1, p)
+	s.draws++
 	s.rvals[l] = v
 	return v
+}
+
+// SchemeState is the restorable label-value state of a Scheme: every
+// assigned r(l) plus the generator position. r-values are drawn in
+// first-use order, so the assignment depends on the label arrival history,
+// not just (p, seed) — a Scheme rebuilt from the same workload but a
+// different stream prefix gives different values to stream-only labels.
+// Checkpoints therefore persist this state; Draws lets restore fast-forward
+// the generator so labels first seen *after* the checkpoint also draw the
+// values the uninterrupted run would have drawn.
+type SchemeState struct {
+	Labels []graph.Label // sorted, for a deterministic encoding
+	Values []uint32      // Values[i] = r(Labels[i])
+	Draws  int
+}
+
+// CaptureState snapshots the scheme's assigned label values and generator
+// position.
+func (s *Scheme) CaptureState() SchemeState {
+	st := SchemeState{
+		Labels: make([]graph.Label, 0, len(s.rvals)),
+		Values: make([]uint32, 0, len(s.rvals)),
+		Draws:  s.draws,
+	}
+	for l := range s.rvals {
+		st.Labels = append(st.Labels, l)
+	}
+	sort.Slice(st.Labels, func(i, j int) bool { return st.Labels[i] < st.Labels[j] })
+	for _, l := range st.Labels {
+		st.Values = append(st.Values, s.rvals[l])
+	}
+	return st
+}
+
+// RestoreState replaces the scheme's label values and generator position
+// with a captured snapshot. The scheme must have been built with the same
+// (p, seed) as the captured one; values are validated against [1, p).
+func (s *Scheme) RestoreState(st SchemeState) error {
+	if len(st.Labels) != len(st.Values) {
+		return fmt.Errorf("signature: state has %d labels but %d values", len(st.Labels), len(st.Values))
+	}
+	if st.Draws < 0 {
+		return fmt.Errorf("signature: negative draw count %d", st.Draws)
+	}
+	rvals := make(map[graph.Label]uint32, len(st.Labels))
+	for i, l := range st.Labels {
+		v := st.Values[i]
+		if v < 1 || v >= s.p {
+			return fmt.Errorf("signature: label %q value %d out of range [1,%d)", l, v, s.p)
+		}
+		if _, dup := rvals[l]; dup {
+			return fmt.Errorf("signature: duplicate label %q", l)
+		}
+		rvals[l] = v
+	}
+	s.rng = rand.New(rand.NewSource(s.seed))
+	for i := 0; i < st.Draws; i++ {
+		s.rng.Intn(int(s.p - 1))
+	}
+	s.draws = st.Draws
+	s.rvals = rvals
+	return nil
 }
 
 // nonzero maps a residue in [0, p) to a valid factor in [1, p], replacing 0

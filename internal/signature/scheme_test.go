@@ -234,3 +234,60 @@ func randomLabelled(r *rand.Rand, n, extra int) *graph.Graph {
 	}
 	return g
 }
+
+// TestSchemeStateRoundTrip: restoring a captured state onto a fresh
+// (p, seed)-identical Scheme must reproduce every assigned r-value AND
+// the generator position, so labels first used after the restore draw
+// exactly what the original scheme would have drawn. Values are assigned
+// in first-use order, so without the fast-forward a restored scheme
+// would hand post-restore labels the draws its history already consumed.
+func TestSchemeStateRoundTrip(t *testing.T) {
+	orig := NewScheme(DefaultP, 7)
+	for _, l := range []graph.Label{"Paper", "Person", "Journal", "Venue"} {
+		orig.LabelValue(l)
+	}
+	st := orig.CaptureState()
+	if len(st.Labels) != 4 || st.Draws != 4 {
+		t.Fatalf("captured %d labels, %d draws; want 4, 4", len(st.Labels), st.Draws)
+	}
+
+	fresh := NewScheme(DefaultP, 7)
+	// The fresh scheme has its own short, different history.
+	fresh.LabelValue("Paper")
+	if err := fresh.RestoreState(st); err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range []graph.Label{"Paper", "Person", "Journal", "Venue"} {
+		if got, want := fresh.LabelValue(l), orig.LabelValue(l); got != want {
+			t.Fatalf("restored r(%s) = %d, original %d", l, got, want)
+		}
+	}
+	// Labels first used after the restore must draw the same values the
+	// original draws for them.
+	for _, l := range []graph.Label{"Year", "Topic", "Institution"} {
+		if got, want := fresh.LabelValue(l), orig.LabelValue(l); got != want {
+			t.Fatalf("post-restore r(%s) = %d, original %d", l, got, want)
+		}
+	}
+}
+
+// TestSchemeStateRejectsBadValues: out-of-range values, duplicate labels
+// and mismatched lengths are construction-time errors, not latent state.
+func TestSchemeStateRejectsBadValues(t *testing.T) {
+	s := NewScheme(11, 1)
+	for _, st := range []SchemeState{
+		{Labels: []graph.Label{"a"}, Values: []uint32{0}},
+		{Labels: []graph.Label{"a"}, Values: []uint32{11}},
+		{Labels: []graph.Label{"a", "a"}, Values: []uint32{3, 4}},
+		{Labels: []graph.Label{"a", "b"}, Values: []uint32{3}},
+		{Labels: []graph.Label{"a"}, Values: []uint32{3}, Draws: -1},
+	} {
+		if err := s.RestoreState(st); err == nil {
+			t.Fatalf("RestoreState(%+v): want error", st)
+		}
+	}
+	// A rejected restore must not have clobbered the scheme.
+	if v := s.LabelValue("a"); v < 1 || v >= 11 {
+		t.Fatalf("scheme unusable after rejected restore: r(a) = %d", v)
+	}
+}

@@ -1,0 +1,125 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+)
+
+// ErrTruncated is the Dec failure state: a payload ended before the value
+// it was supposed to contain. It wraps ErrCorrupt because a short payload
+// behind a valid CRC means the encoder and decoder disagree — structural
+// damage, not a torn write.
+var ErrTruncated = errors.New("wal: truncated payload")
+
+// Enc is an append-only little-endian encoder. The zero value (or one
+// seeded with a reused buffer via B) is ready to use.
+type Enc struct{ B []byte }
+
+func (e *Enc) U8(v uint8)   { e.B = append(e.B, v) }
+func (e *Enc) U16(v uint16) { e.B = binary.LittleEndian.AppendUint16(e.B, v) }
+func (e *Enc) U32(v uint32) { e.B = binary.LittleEndian.AppendUint32(e.B, v) }
+func (e *Enc) U64(v uint64) { e.B = binary.LittleEndian.AppendUint64(e.B, v) }
+func (e *Enc) I64(v int64)  { e.U64(uint64(v)) }
+func (e *Enc) F64(v float64) {
+	e.U64(math.Float64bits(v))
+}
+func (e *Enc) Bool(v bool) {
+	if v {
+		e.U8(1)
+	} else {
+		e.U8(0)
+	}
+}
+func (e *Enc) Str(s string) {
+	e.U32(uint32(len(s)))
+	e.B = append(e.B, s...)
+}
+
+// Dec decodes what Enc encoded. It never panics: once any read runs past
+// the buffer it latches the failure and every later read returns a zero
+// value, so decode loops can defer a single Err() check to the end.
+type Dec struct {
+	b    []byte
+	off  int
+	fail bool
+}
+
+func NewDec(b []byte) *Dec { return &Dec{b: b} }
+
+func (d *Dec) take(n int) []byte {
+	if d.fail || n < 0 || len(d.b)-d.off < n {
+		d.fail = true
+		return nil
+	}
+	v := d.b[d.off : d.off+n]
+	d.off += n
+	return v
+}
+
+func (d *Dec) U8() uint8 {
+	v := d.take(1)
+	if v == nil {
+		return 0
+	}
+	return v[0]
+}
+func (d *Dec) U16() uint16 {
+	v := d.take(2)
+	if v == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(v)
+}
+func (d *Dec) U32() uint32 {
+	v := d.take(4)
+	if v == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(v)
+}
+func (d *Dec) U64() uint64 {
+	v := d.take(8)
+	if v == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(v)
+}
+func (d *Dec) I64() int64   { return int64(d.U64()) }
+func (d *Dec) F64() float64 { return math.Float64frombits(d.U64()) }
+func (d *Dec) Bool() bool   { return d.U8() != 0 }
+func (d *Dec) Str() string {
+	n := d.U32()
+	v := d.take(int(n))
+	if v == nil {
+		return ""
+	}
+	return string(v)
+}
+
+// Len is a bounds-checked count prefix: it reads a U32 and fails the
+// decoder if the claimed count could not possibly fit in the remaining
+// bytes at elemSize bytes each, so corrupted counts cannot drive huge
+// allocations in the caller.
+func (d *Dec) Len(elemSize int) int {
+	n := int(d.U32())
+	if d.fail || elemSize <= 0 {
+		return 0
+	}
+	if rem := len(d.b) - d.off; n > rem/elemSize {
+		d.fail = true
+		return 0
+	}
+	return n
+}
+
+// Remaining reports the undecoded byte count.
+func (d *Dec) Remaining() int { return len(d.b) - d.off }
+
+// Err returns ErrTruncated if any read ran out of bytes.
+func (d *Dec) Err() error {
+	if d.fail {
+		return ErrTruncated
+	}
+	return nil
+}

@@ -1,0 +1,558 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+const (
+	segPrefix  = "wal-"
+	segSuffix  = ".seg"
+	ckptPrefix = "checkpoint-"
+	ckptSuffix = ".ckpt"
+	tmpSuffix  = ".tmp"
+
+	// segHeaderSize: 8-byte magic, 8-byte first LSN, 4-byte CRC of the
+	// first 16 bytes.
+	segHeaderSize = 20
+	// recordFrameSize: 4-byte payload length, 4-byte payload CRC.
+	recordFrameSize = 8
+	// maxRecordBytes bounds a single record; larger length fields are
+	// treated as corruption rather than allocated.
+	maxRecordBytes = 1 << 30
+)
+
+func segName(firstLSN uint64) string { return fmt.Sprintf("%s%016x%s", segPrefix, firstLSN, segSuffix) }
+func ckptName(lsn uint64) string     { return fmt.Sprintf("%s%016x%s", ckptPrefix, lsn, ckptSuffix) }
+func parseName(name, prefix, suffix string) (uint64, bool) {
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+		return 0, false
+	}
+	v, err := strconv.ParseUint(name[len(prefix):len(name)-len(suffix)], 16, 64)
+	return v, err == nil
+}
+
+func buildSegHeader(firstLSN uint64) []byte {
+	b := make([]byte, 0, segHeaderSize)
+	b = append(b, segMagic[:]...)
+	b = binary.LittleEndian.AppendUint64(b, firstLSN)
+	return binary.LittleEndian.AppendUint32(b, Checksum(b))
+}
+
+func parseSegHeader(data []byte, wantFirst uint64) bool {
+	if len(data) < segHeaderSize {
+		return false
+	}
+	if string(data[:8]) != string(segMagic[:]) {
+		return false
+	}
+	if binary.LittleEndian.Uint32(data[16:20]) != Checksum(data[:16]) {
+		return false
+	}
+	return binary.LittleEndian.Uint64(data[8:16]) == wantFirst
+}
+
+func buildCheckpointFile(lsn uint64, payload []byte) []byte {
+	var e Enc
+	e.B = make([]byte, 0, 8+4+8+8+len(payload)+4)
+	e.B = append(e.B, ckptMagic[:]...)
+	e.U32(CheckpointVersion)
+	e.U64(lsn)
+	e.U64(uint64(len(payload)))
+	e.B = append(e.B, payload...)
+	e.U32(Checksum(e.B[8:]))
+	return e.B
+}
+
+func parseCheckpointFile(data []byte) (payload []byte, lsn uint64, err error) {
+	const hdr = 8 + 4 + 8 + 8
+	if len(data) < hdr+4 {
+		return nil, 0, fmt.Errorf("short checkpoint file (%d bytes)", len(data))
+	}
+	if string(data[:8]) != string(ckptMagic[:]) {
+		return nil, 0, fmt.Errorf("bad checkpoint magic")
+	}
+	if v := binary.LittleEndian.Uint32(data[8:12]); v != CheckpointVersion {
+		return nil, 0, fmt.Errorf("unsupported checkpoint version %d", v)
+	}
+	lsn = binary.LittleEndian.Uint64(data[12:20])
+	plen := binary.LittleEndian.Uint64(data[20:28])
+	if plen != uint64(len(data)-hdr-4) {
+		return nil, 0, fmt.Errorf("checkpoint length mismatch (header %d, file %d)", plen, len(data)-hdr-4)
+	}
+	if Checksum(data[8:len(data)-4]) != binary.LittleEndian.Uint32(data[len(data)-4:]) {
+		return nil, 0, fmt.Errorf("checkpoint CRC mismatch")
+	}
+	return data[hdr : len(data)-4], lsn, nil
+}
+
+// Log is an open write-ahead log: an append position in a segment chain
+// plus the checkpoint bookkeeping for the same directory. It is not
+// goroutine-safe; the owning partitioner serialises access under its
+// ingest lock.
+type Log struct {
+	fs  FS
+	opt Options
+
+	cur      File // active segment, nil only between rotate and next write-out
+	curSize  int64
+	nextLSN  uint64 // LSN the next Append will get; LSNs start at 1
+	unsynced int64
+	// buf is the group-commit buffer: acknowledged records not yet handed
+	// to the OS. One write call per group (not per record) is most of what
+	// group commit buys; writeOut drains it at sync points, rotation,
+	// close, and whenever GroupBytes have accumulated.
+	buf    []byte
+	ckpts  []uint64 // retained checkpoint LSNs, ascending
+	segs   []uint64 // live segment first-LSNs, ascending
+	closed bool
+	broken bool // a write failed; the tail may be torn, refuse appends
+	enc    Enc
+}
+
+func (l *Log) path(name string) string { return filepath.Join(l.opt.Dir, name) }
+
+// Open scans dir, recovers the newest readable checkpoint and the
+// surviving record tail (see the package comment for the exact
+// degradation rules), and returns a Log positioned to append after the
+// last surviving record.
+func Open(fsys FS, opt Options) (*Log, *Recovered, error) {
+	opt = opt.withDefaults()
+	if opt.Dir == "" {
+		return nil, nil, fmt.Errorf("wal: Options.Dir is required")
+	}
+	if err := fsys.MkdirAll(opt.Dir); err != nil {
+		return nil, nil, fmt.Errorf("wal: create dir: %w", err)
+	}
+	l := &Log{fs: fsys, opt: opt}
+	names, err := fsys.List(opt.Dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal: list dir: %w", err)
+	}
+	rec := &Recovered{}
+	for _, name := range names {
+		if strings.HasSuffix(name, tmpSuffix) {
+			// Leftover of a checkpoint that crashed before its rename;
+			// the atomic-publish protocol makes it garbage by definition.
+			_ = fsys.Remove(l.path(name))
+			continue
+		}
+		if lsn, ok := parseName(name, ckptPrefix, ckptSuffix); ok {
+			l.ckpts = append(l.ckpts, lsn)
+			continue
+		}
+		if lsn, ok := parseName(name, segPrefix, segSuffix); ok {
+			l.segs = append(l.segs, lsn)
+			continue
+		}
+		rec.Warnings = append(rec.Warnings, fmt.Sprintf("ignoring unrecognised file %q", name))
+	}
+	// List is sorted and the zero-padded hex names sort by LSN, so ckpts
+	// and segs are already ascending.
+
+	// Newest readable checkpoint wins; older ones are the fallback chain.
+	for i := len(l.ckpts) - 1; i >= 0; i-- {
+		lsn := l.ckpts[i]
+		data, rerr := fsys.ReadFile(l.path(ckptName(lsn)))
+		if rerr == nil {
+			payload, plsn, perr := parseCheckpointFile(data)
+			if perr == nil && plsn == lsn {
+				rec.HaveCheckpoint = true
+				rec.Checkpoint = payload
+				rec.CheckpointLSN = lsn
+				rec.CheckpointFallback = i != len(l.ckpts)-1
+				break
+			}
+			rerr = perr
+			if perr == nil {
+				rerr = fmt.Errorf("checkpoint LSN %d does not match file name", plsn)
+			}
+		}
+		rec.Warnings = append(rec.Warnings,
+			fmt.Sprintf("checkpoint %s unreadable (%v), falling back", ckptName(lsn), rerr))
+	}
+	if !rec.HaveCheckpoint {
+		if len(l.ckpts) > 0 && (len(l.segs) == 0 || l.segs[0] != 1) {
+			// Checkpoints existed (so old segments were pruned against
+			// them) but none is readable and the log no longer reaches
+			// back to the start of the stream: unrecoverable.
+			return nil, nil, fmt.Errorf("wal: all %d checkpoints unreadable and log starts at segment %016x: %w",
+				len(l.ckpts), firstOr(l.segs, 0), ErrNoCheckpoint)
+		}
+		if len(l.ckpts) > 0 {
+			rec.Warnings = append(rec.Warnings,
+				fmt.Sprintf("all %d checkpoints unreadable; replaying the full log", len(l.ckpts)))
+		}
+	}
+
+	if err := l.scanSegments(rec); err != nil {
+		return nil, nil, err
+	}
+	rec.LastLSN = l.nextLSN - 1
+	// Start the tail segment now rather than on the first append: segment
+	// creation carries a directory fsync, and paying it here keeps that
+	// constant cost out of the ingest path.
+	if err := l.startSegment(); err != nil {
+		return nil, nil, err
+	}
+	if opt.Policy != SyncAlways {
+		// The group buffer tops out at one group plus a record; growing it
+		// here (not by doubling mid-ingest) keeps append allocation-free.
+		l.buf = make([]byte, 0, opt.GroupBytes+4096)
+	}
+	return l, rec, nil
+}
+
+func firstOr(s []uint64, def uint64) uint64 {
+	if len(s) > 0 {
+		return s[0]
+	}
+	return def
+}
+
+// scanSegments reads every record after rec.CheckpointLSN, truncating the
+// log at the first damaged frame (torn tail) and erroring on gaps. It
+// leaves l.nextLSN positioned after the last surviving record.
+func (l *Log) scanSegments(rec *Recovered) error {
+	base := rec.CheckpointLSN
+	l.nextLSN = base + 1
+
+	// The scan starts at the last segment whose first LSN is <= base+1 —
+	// the one that contains (or would contain) the first record to replay.
+	start := -1
+	for i, fl := range l.segs {
+		if fl <= base+1 {
+			start = i
+		}
+	}
+	if start == -1 {
+		if len(l.segs) > 0 {
+			// Every surviving segment starts after the records we need.
+			return fmt.Errorf("wal: need records from LSN %d but oldest segment starts at %d: %w",
+				base+1, l.segs[0], ErrGap)
+		}
+		return nil
+	}
+
+	expectFirst := uint64(0)
+	for i := start; i < len(l.segs); i++ {
+		fl := l.segs[i]
+		name := segName(fl)
+		data, err := l.fs.ReadFile(l.path(name))
+		if err != nil {
+			return fmt.Errorf("wal: read segment %s: %w", name, err)
+		}
+		if !parseSegHeader(data, fl) {
+			// A damaged header can only be the torn creation of the tail
+			// segment; drop it and anything after it.
+			rec.Warnings = append(rec.Warnings,
+				fmt.Sprintf("segment %s has a damaged header; truncating log before it", name))
+			return l.dropFrom(i, rec)
+		}
+		if expectFirst != 0 && fl != expectFirst {
+			if fl > expectFirst {
+				return fmt.Errorf("wal: segment chain jumps from LSN %d to %d (%s): %w",
+					expectFirst, fl, name, ErrGap)
+			}
+			return fmt.Errorf("wal: segment %s overlaps the previous segment (expected first LSN %d): %w",
+				name, expectFirst, ErrCorrupt)
+		}
+		lsn := fl
+		off := segHeaderSize
+		for off < len(data) {
+			tornAt := -1
+			var plen int
+			if len(data)-off < recordFrameSize {
+				tornAt = off
+			} else {
+				plen = int(binary.LittleEndian.Uint32(data[off:]))
+				if plen > maxRecordBytes || off+recordFrameSize+plen > len(data) {
+					tornAt = off
+				} else if Checksum(data[off+recordFrameSize:off+recordFrameSize+plen]) !=
+					binary.LittleEndian.Uint32(data[off+4:]) {
+					tornAt = off
+				}
+			}
+			if tornAt >= 0 {
+				rec.Warnings = append(rec.Warnings,
+					fmt.Sprintf("segment %s: bad record at offset %d (LSN %d); truncating log there", name, off, lsn))
+				if err := l.fs.Truncate(l.path(name), int64(off)); err != nil {
+					return fmt.Errorf("wal: truncate torn tail of %s: %w", name, err)
+				}
+				if lsn > base {
+					l.nextLSN = lsn
+				}
+				return l.dropFrom(i+1, rec)
+			}
+			payload := data[off+recordFrameSize : off+recordFrameSize+plen]
+			if lsn > base {
+				rec.Records = append(rec.Records, payload)
+			}
+			lsn++
+			off += recordFrameSize + plen
+		}
+		if lsn > base {
+			l.nextLSN = lsn
+		}
+		expectFirst = lsn
+	}
+	return nil
+}
+
+// dropFrom removes segments l.segs[i:] — everything at or past the first
+// damaged frame — and records the truncation in rec.
+func (l *Log) dropFrom(i int, rec *Recovered) error {
+	rec.TornTail = true
+	for _, fl := range l.segs[i:] {
+		if err := l.fs.Remove(l.path(segName(fl))); err != nil {
+			return fmt.Errorf("wal: remove truncated segment %s: %w", segName(fl), err)
+		}
+		rec.Warnings = append(rec.Warnings, fmt.Sprintf("removed segment %s past the torn tail", segName(fl)))
+	}
+	l.segs = l.segs[:i]
+	return nil
+}
+
+// LSN returns the LSN of the last appended (or recovered) record.
+func (l *Log) LSN() uint64 { return l.nextLSN - 1 }
+
+// Append frames payload, stages it in the group-commit buffer and applies
+// the sync policy: SyncAlways writes and fsyncs the record immediately;
+// SyncBatch and SyncNone let records accumulate and hand the whole group
+// to the OS in one write once GroupBytes are staged (SyncBatch follows the
+// group write with one fsync). On any write error the log latches broken:
+// the tail may be torn, and accepting later appends after a hole would let
+// the caller apply state that recovery will silently drop.
+func (l *Log) Append(payload []byte) (uint64, error) {
+	l.enc.B = append(l.enc.B[:0], 0, 0, 0, 0, 0, 0, 0, 0)
+	l.enc.B = append(l.enc.B, payload...)
+	return l.AppendFramed(l.enc.B)
+}
+
+// AppendFramed is Append for callers that reserve the record frame
+// themselves: b's first eight bytes are overwritten with the length/CRC
+// frame and the payload starts at b[8]. Encoding straight into such a
+// buffer skips Append's payload copy.
+func (l *Log) AppendFramed(b []byte) (uint64, error) {
+	if l.closed {
+		return 0, ErrClosed
+	}
+	if l.broken {
+		return 0, fmt.Errorf("wal: log broken by earlier write failure: %w", ErrClosed)
+	}
+	if len(b) < recordFrameSize {
+		return 0, fmt.Errorf("wal: framed record shorter than its frame")
+	}
+	payload := b[recordFrameSize:]
+	binary.LittleEndian.PutUint32(b[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(b[4:8], Checksum(payload))
+	l.buf = append(l.buf, b...)
+	n := int64(len(b))
+	l.curSize += n
+	l.unsynced += n
+	lsn := l.nextLSN
+	l.nextLSN++
+
+	switch l.opt.Policy {
+	case SyncAlways:
+		if err := l.writeSync(); err != nil {
+			return 0, err
+		}
+	case SyncBatch:
+		if l.unsynced >= l.opt.GroupBytes {
+			if err := l.writeSync(); err != nil {
+				return 0, err
+			}
+		}
+	case SyncNone:
+		if int64(len(l.buf)) >= l.opt.GroupBytes {
+			if err := l.writeOut(); err != nil {
+				return 0, err
+			}
+		}
+	}
+	if l.curSize >= l.opt.SegmentBytes {
+		if err := l.rotate(); err != nil {
+			l.broken = true
+			return 0, err
+		}
+	}
+	return lsn, nil
+}
+
+// writeOut drains the group-commit buffer into the active segment. A
+// segment is always active on a healthy log (Open and rotate both start
+// one eagerly). A failed write latches the log broken: the segment tail
+// may hold a torn fragment of the group.
+func (l *Log) writeOut() error {
+	if len(l.buf) == 0 {
+		return nil
+	}
+	if l.cur == nil {
+		l.broken = true
+		return fmt.Errorf("wal: no active segment for staged records")
+	}
+	if _, err := l.cur.Write(l.buf); err != nil {
+		l.broken = true
+		return fmt.Errorf("wal: write record group: %w", err)
+	}
+	l.buf = l.buf[:0]
+	return nil
+}
+
+// writeSync drains the buffer and fsyncs the segment — one durability
+// point for the whole group.
+func (l *Log) writeSync() error {
+	if err := l.writeOut(); err != nil {
+		return err
+	}
+	if l.cur == nil || l.unsynced == 0 {
+		return nil
+	}
+	if err := l.cur.Sync(); err != nil {
+		l.broken = true
+		return fmt.Errorf("wal: fsync segment: %w", err)
+	}
+	l.unsynced = 0
+	return nil
+}
+
+func (l *Log) startSegment() error {
+	name := segName(l.nextLSN)
+	f, err := l.fs.Create(l.path(name))
+	if err != nil {
+		return fmt.Errorf("wal: create segment %s: %w", name, err)
+	}
+	if _, err := f.Write(buildSegHeader(l.nextLSN)); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: write segment header %s: %w", name, err)
+	}
+	// The directory entry must be durable before any record in the file
+	// can be considered durable.
+	if err := l.fs.SyncDir(l.opt.Dir); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: sync dir for segment %s: %w", name, err)
+	}
+	l.cur = f
+	// curSize already counts any records staged since the last rotation;
+	// the header joins them.
+	l.curSize += segHeaderSize
+	l.segs = append(l.segs, l.nextLSN)
+	return nil
+}
+
+func (l *Log) rotate() error {
+	if l.cur == nil {
+		return nil
+	}
+	// Rotation is a durability point under every policy.
+	l.unsynced = 1 // force the sync even if group accounting says clean
+	if err := l.writeSync(); err != nil {
+		return err
+	}
+	err := l.cur.Close()
+	l.cur = nil
+	l.curSize = 0
+	if err != nil {
+		return fmt.Errorf("wal: close segment: %w", err)
+	}
+	// Start the successor now, while the buffer is drained: its first LSN
+	// is exactly l.nextLSN here, and rotation already paid for a sync, so
+	// the segment-creation dir-fsync belongs at this point too.
+	return l.startSegment()
+}
+
+// Sync writes out any staged records and forces the active segment to
+// stable storage regardless of policy.
+func (l *Log) Sync() error {
+	if l.closed {
+		return ErrClosed
+	}
+	if l.broken {
+		return fmt.Errorf("wal: log broken by earlier write failure: %w", ErrClosed)
+	}
+	return l.writeSync()
+}
+
+// WriteCheckpoint atomically publishes payload as the checkpoint at the
+// current LSN (temp file + fsync + rename + dir fsync), then prunes
+// checkpoints beyond KeepCheckpoints and segments whose records all
+// precede the oldest retained checkpoint. Returns the checkpoint file
+// size.
+func (l *Log) WriteCheckpoint(payload []byte) (int64, error) {
+	if l.closed {
+		return 0, ErrClosed
+	}
+	// Make the log durable through the checkpoint LSN first, so the
+	// checkpoint never describes state the log cannot corroborate.
+	if err := l.Sync(); err != nil {
+		return 0, err
+	}
+	lsn := l.LSN()
+	file := buildCheckpointFile(lsn, payload)
+	name := ckptName(lsn)
+	tmp := name + tmpSuffix
+	f, err := l.fs.Create(l.path(tmp))
+	if err != nil {
+		return 0, fmt.Errorf("wal: create checkpoint temp: %w", err)
+	}
+	if _, err := f.Write(file); err != nil {
+		f.Close()
+		return 0, fmt.Errorf("wal: write checkpoint: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return 0, fmt.Errorf("wal: fsync checkpoint: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return 0, fmt.Errorf("wal: close checkpoint: %w", err)
+	}
+	if err := l.fs.Rename(l.path(tmp), l.path(name)); err != nil {
+		return 0, fmt.Errorf("wal: publish checkpoint: %w", err)
+	}
+	if err := l.fs.SyncDir(l.opt.Dir); err != nil {
+		return 0, fmt.Errorf("wal: sync dir after checkpoint: %w", err)
+	}
+	if len(l.ckpts) == 0 || l.ckpts[len(l.ckpts)-1] != lsn {
+		l.ckpts = append(l.ckpts, lsn)
+	}
+	// Prune: old checkpoints first, then segments the oldest retained
+	// checkpoint makes redundant. Failed removals are retried implicitly
+	// by the next checkpoint; staleness is harmless.
+	for len(l.ckpts) > l.opt.KeepCheckpoints {
+		_ = l.fs.Remove(l.path(ckptName(l.ckpts[0])))
+		l.ckpts = l.ckpts[1:]
+	}
+	oldest := l.ckpts[0]
+	for len(l.segs) >= 2 && l.segs[1] <= oldest+1 {
+		_ = l.fs.Remove(l.path(segName(l.segs[0])))
+		l.segs = l.segs[1:]
+	}
+	return int64(len(file)), nil
+}
+
+// Close writes out staged records, syncs and closes the active segment.
+// The log accepts no further operations.
+func (l *Log) Close() error {
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	var first error
+	if !l.broken {
+		if err := l.writeSync(); err != nil {
+			first = err
+		}
+	}
+	if l.cur == nil {
+		return first
+	}
+	if err := l.cur.Close(); err != nil && first == nil {
+		first = fmt.Errorf("wal: close segment: %w", err)
+	}
+	l.cur = nil
+	return first
+}

@@ -1,0 +1,342 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// ErrCrashed is returned by every MemFS operation after the simulated
+// process has crashed (its write budget ran out) and before Crash*
+// resolves the outcome.
+var ErrCrashed = errors.New("wal: simulated crash")
+
+// MemFS is a deterministic in-memory FS for fault injection. It models
+// the two distinct durability layers a real crash cuts through:
+//
+//   - a write budget: after SetBudget(n), exactly n more bytes of Write
+//     succeed and the next byte fails mid-call — the process crash. This
+//     places the crash at an arbitrary byte offset, including mid-record
+//     and mid-header.
+//   - a synced watermark per file, advanced only by File.Sync, plus a
+//     pending-rename list cleared only by SyncDir — the page cache. After
+//     a crash, CrashLose discards everything above the watermarks and
+//     rolls back renames that were never made durable (the machine lost
+//     power); CrashKeep keeps all written bytes and completed renames
+//     (only the process died).
+//
+// Both resolutions reset the FS to a readable state so recovery can run
+// against exactly what "the disk" would hold.
+type MemFS struct {
+	mu      sync.Mutex
+	files   map[string]*memFile
+	budget  int64 // remaining writable bytes; < 0 means unlimited
+	crashed bool
+	pending []renameOp // renames not yet made durable by SyncDir
+	written int64      // total bytes ever written (for sweep planning)
+}
+
+type memFile struct {
+	data   []byte
+	synced int
+}
+
+type renameOp struct {
+	from, to  string
+	fromFile  *memFile // the file as it existed under from
+	displaced *memFile // whatever `to` pointed at before, nil if nothing
+}
+
+// NewMemFS returns an empty MemFS with an unlimited write budget.
+func NewMemFS() *MemFS {
+	return &MemFS{files: make(map[string]*memFile), budget: -1}
+}
+
+// SetBudget arms the crash: after n more written bytes, the next byte
+// fails and the FS refuses all further work until CrashLose or CrashKeep.
+// n < 0 disarms.
+func (m *MemFS) SetBudget(n int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.budget = n
+	m.crashed = false
+}
+
+// Written returns the total bytes ever written through the FS, so a test
+// can run a stream once uncrashed and derive the sweep offsets.
+func (m *MemFS) Written() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.written
+}
+
+// Crashed reports whether the write budget has been exhausted.
+func (m *MemFS) Crashed() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.crashed
+}
+
+// CrashLose resolves the crash as a power loss: every file is truncated
+// to its synced watermark and renames never covered by a SyncDir are
+// rolled back. The FS becomes usable again with an unlimited budget.
+func (m *MemFS) CrashLose() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i := len(m.pending) - 1; i >= 0; i-- {
+		op := m.pending[i]
+		if m.files[op.to] == op.fromFile {
+			delete(m.files, op.to)
+			if op.displaced != nil {
+				m.files[op.to] = op.displaced
+			}
+			m.files[op.from] = op.fromFile
+		}
+	}
+	m.pending = nil
+	for _, f := range m.files {
+		f.data = f.data[:f.synced]
+	}
+	m.crashed = false
+	m.budget = -1
+}
+
+// CrashKeep resolves the crash as a process kill with the OS intact:
+// written bytes and completed renames survive even though never fsynced.
+func (m *MemFS) CrashKeep() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.pending = nil
+	for _, f := range m.files {
+		f.synced = len(f.data)
+	}
+	m.crashed = false
+	m.budget = -1
+}
+
+// FlipBit XORs one bit at byte offset off of name — the disk-rot /
+// corruption injector.
+func (m *MemFS) FlipBit(name string, off int64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[filepath.Clean(name)]
+	if !ok || off < 0 || off >= int64(len(f.data)) {
+		return fmt.Errorf("memfs: flip %s@%d: no such byte", name, off)
+	}
+	f.data[off] ^= 1
+	f.synced = len(f.data)
+	return nil
+}
+
+// Size returns the length of name, or -1 if absent.
+func (m *MemFS) Size(name string) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if f, ok := m.files[filepath.Clean(name)]; ok {
+		return int64(len(f.data))
+	}
+	return -1
+}
+
+func (m *MemFS) checkLocked() error {
+	if m.crashed {
+		return ErrCrashed
+	}
+	return nil
+}
+
+// MkdirAll is a no-op beyond the crash check: MemFS is flat, paths are
+// just keys.
+func (m *MemFS) MkdirAll(string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.checkLocked()
+}
+
+func (m *MemFS) Create(name string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.checkLocked(); err != nil {
+		return nil, err
+	}
+	f := &memFile{}
+	m.files[filepath.Clean(name)] = f
+	return &memHandle{fs: m, f: f}, nil
+}
+
+func (m *MemFS) ReadFile(name string) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.checkLocked(); err != nil {
+		return nil, err
+	}
+	f, ok := m.files[filepath.Clean(name)]
+	if !ok {
+		return nil, fmt.Errorf("memfs: %s: file does not exist", name)
+	}
+	return append([]byte(nil), f.data...), nil
+}
+
+func (m *MemFS) List(dir string) ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.checkLocked(); err != nil {
+		return nil, err
+	}
+	dir = filepath.Clean(dir)
+	var names []string
+	for path := range m.files {
+		if filepath.Dir(path) == dir {
+			names = append(names, filepath.Base(path))
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (m *MemFS) Rename(old, new string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.checkLocked(); err != nil {
+		return err
+	}
+	old, new = filepath.Clean(old), filepath.Clean(new)
+	f, ok := m.files[old]
+	if !ok {
+		return fmt.Errorf("memfs: rename %s: file does not exist", old)
+	}
+	m.pending = append(m.pending, renameOp{from: old, to: new, fromFile: f, displaced: m.files[new]})
+	delete(m.files, old)
+	m.files[new] = f
+	return nil
+}
+
+func (m *MemFS) Remove(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.checkLocked(); err != nil {
+		return err
+	}
+	name = filepath.Clean(name)
+	if _, ok := m.files[name]; !ok {
+		return fmt.Errorf("memfs: remove %s: file does not exist", name)
+	}
+	delete(m.files, name)
+	return nil
+}
+
+func (m *MemFS) Truncate(name string, size int64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.checkLocked(); err != nil {
+		return err
+	}
+	f, ok := m.files[filepath.Clean(name)]
+	if !ok {
+		return fmt.Errorf("memfs: truncate %s: file does not exist", name)
+	}
+	if size < 0 || size > int64(len(f.data)) {
+		return fmt.Errorf("memfs: truncate %s to %d: out of range", name, size)
+	}
+	f.data = f.data[:size]
+	if f.synced > int(size) {
+		f.synced = int(size)
+	}
+	return nil
+}
+
+func (m *MemFS) SyncDir(string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.checkLocked(); err != nil {
+		return err
+	}
+	m.pending = nil // renames (and creates/removes) now durable
+	return nil
+}
+
+type memHandle struct {
+	fs     *MemFS
+	f      *memFile
+	closed bool
+}
+
+func (h *memHandle) Write(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.fs.crashed {
+		return 0, ErrCrashed
+	}
+	if h.closed {
+		return 0, errors.New("memfs: write to closed file")
+	}
+	n := len(p)
+	if h.fs.budget >= 0 && int64(n) > h.fs.budget {
+		n = int(h.fs.budget)
+		h.f.data = append(h.f.data, p[:n]...)
+		h.fs.written += int64(n)
+		h.fs.budget = 0
+		h.fs.crashed = true
+		return n, ErrCrashed
+	}
+	h.f.data = append(h.f.data, p...)
+	h.fs.written += int64(n)
+	if h.fs.budget >= 0 {
+		h.fs.budget -= int64(n)
+	}
+	return n, nil
+}
+
+func (h *memHandle) Sync() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.fs.crashed {
+		return ErrCrashed
+	}
+	h.f.synced = len(h.f.data)
+	return nil
+}
+
+func (h *memHandle) Close() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	h.closed = true
+	return nil
+}
+
+// DumpNames lists every file path in the FS (sorted) — a debugging aid
+// for failed sweeps.
+func (m *MemFS) DumpNames() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	names := make([]string, 0, len(m.files))
+	for p := range m.files {
+		names = append(names, p)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// String summarises the FS state.
+func (m *MemFS) String() string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var b strings.Builder
+	fmt.Fprintf(&b, "memfs{written=%d crashed=%v budget=%d", m.written, m.crashed, m.budget)
+	for _, p := range func() []string {
+		names := make([]string, 0, len(m.files))
+		for q := range m.files {
+			names = append(names, q)
+		}
+		sort.Strings(names)
+		return names
+	}() {
+		f := m.files[p]
+		fmt.Fprintf(&b, " %s:%d/%d", filepath.Base(p), f.synced, len(f.data))
+	}
+	b.WriteString("}")
+	return b.String()
+}

@@ -1,0 +1,181 @@
+// Package wal implements the durability substrate of the public loom
+// package: a write-ahead segment log of ingest records plus versioned,
+// CRC-framed binary checkpoints, both written through a small filesystem
+// interface so crash behaviour is testable deterministically.
+//
+// # On-disk layout
+//
+// A WAL directory holds two kinds of files:
+//
+//	wal-<firstLSN>.seg        segment log files, append-only
+//	checkpoint-<lsn>.ckpt     full-state checkpoints, written atomically
+//
+// Every ingest operation of the owning partitioner appends one record to
+// the current segment before it is applied (log-before-apply), so the log
+// replayed on top of the newest checkpoint reconstructs the exact state —
+// including sticky error paths, which fail identically on replay. Records
+// are opaque payloads to this package; framing, integrity and ordering are
+// its whole job.
+//
+// Segment files carry a 20-byte header (magic, format version, first LSN,
+// header CRC) followed by length-prefixed records, each protected by a
+// CRC-32C (Castagnoli) of its payload. LSNs are implicit: the i-th record
+// of a segment has LSN firstLSN+i, and segment chains are validated for
+// continuity when the log is opened.
+//
+// Checkpoints are written to a temporary file, fsynced, renamed into
+// place, and the directory fsynced — the standard atomic-publish sequence
+// — and the last KeepCheckpoints of them are retained so a corrupt latest
+// checkpoint can fall back to the previous one. Segments whose records all
+// precede the oldest retained checkpoint are deleted.
+//
+// # Recovery semantics
+//
+// Open scans the directory and returns the newest checkpoint whose CRC
+// verifies (falling back across retained checkpoints), plus every record
+// after it. The first record whose frame is short or whose CRC mismatches
+// is treated as the torn tail of a crashed writer: the log is truncated at
+// that offset, any later segments are removed, and a warning is recorded —
+// recovery proceeds with the surviving prefix, which is always a
+// batch-consistent state. A gap in the segment chain (records missing
+// before intact ones) is not recoverable and surfaces as ErrGap; a
+// directory whose checkpoints are all unreadable and whose log does not
+// reach back to LSN 0 surfaces ErrNoCheckpoint. Neither panics.
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Format versions, bumped when the on-disk encoding changes shape.
+const (
+	// SegmentVersion is the segment file format version.
+	SegmentVersion = 1
+	// CheckpointVersion is the checkpoint file format version.
+	CheckpointVersion = 1
+)
+
+var (
+	segMagic  = [8]byte{'L', 'O', 'O', 'M', 'W', 'A', 'L', '1'}
+	ckptMagic = [8]byte{'L', 'O', 'O', 'M', 'C', 'K', 'P', '1'}
+)
+
+// castagnoli is the CRC-32C polynomial table; CRC-32C has hardware support
+// on every modern ISA and is the conventional WAL record checksum.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Checksum returns the CRC-32C of b.
+func Checksum(b []byte) uint32 { return crc32.Checksum(b, castagnoli) }
+
+// Typed recovery errors. They are returned (wrapped with context) from
+// Open — never panicked — so callers can distinguish a recoverable torn
+// tail (not an error at all; see Recovered.TornTail) from unrecoverable
+// log damage.
+var (
+	// ErrCorrupt marks structural damage that is not a torn tail: an
+	// unparseable segment header in the middle of the chain, or a record
+	// that claims to extend past its segment in a non-final position.
+	ErrCorrupt = errors.New("wal: corrupt log")
+	// ErrGap marks a discontinuity in the segment chain: records between
+	// the recovery base and the surviving segments are missing, so no
+	// consistent state can be rebuilt.
+	ErrGap = errors.New("wal: missing log segment")
+	// ErrNoCheckpoint marks a directory whose checkpoints are all
+	// unreadable and whose log does not reach back to the beginning of
+	// the stream.
+	ErrNoCheckpoint = errors.New("wal: no usable checkpoint")
+	// ErrClosed is returned by operations on a closed log.
+	ErrClosed = errors.New("wal: log closed")
+)
+
+// SyncPolicy selects when appended records are written and fsynced to
+// stable storage. Under SyncBatch and SyncNone, appended records are
+// group-committed: they accumulate in a user-space buffer and are handed
+// to the OS in one write per GroupBytes-sized group (and at every sync
+// point — Sync, checkpoint, rotation, close). A crash or kill between
+// sync points can lose the staged group; recovery still lands on a
+// record boundary.
+type SyncPolicy uint8
+
+const (
+	// SyncBatch (the default) group-commits: the log writes and fsyncs
+	// once at least GroupBytes of records have accumulated since the last
+	// sync, and always at rotation, checkpoint and close. A crash can lose
+	// at most the last group.
+	SyncBatch SyncPolicy = iota
+	// SyncAlways writes and fsyncs every record: every acknowledged append
+	// is durable before the caller proceeds.
+	SyncAlways
+	// SyncNone never fsyncs on append (rotation, checkpoint and close
+	// still sync); staged groups are written per GroupBytes and the OS
+	// decides when dirty pages reach the disk.
+	SyncNone
+)
+
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncBatch:
+		return "batch"
+	case SyncAlways:
+		return "always"
+	case SyncNone:
+		return "none"
+	}
+	return fmt.Sprintf("policy(%d)", uint8(p))
+}
+
+// Options configures a Log.
+type Options struct {
+	// Dir is the WAL directory (required; created if absent).
+	Dir string
+	// Policy is the fsync policy (default SyncBatch).
+	Policy SyncPolicy
+	// SegmentBytes rotates the active segment once it exceeds this size
+	// (default 4 MiB).
+	SegmentBytes int64
+	// GroupBytes is the group-commit threshold (default 256 KiB): staged
+	// records are written out — and, under SyncBatch, fsynced — once this
+	// many bytes have accumulated.
+	GroupBytes int64
+	// KeepCheckpoints is how many checkpoints to retain (default 2; the
+	// second is the fallback when the latest is corrupt).
+	KeepCheckpoints int
+}
+
+func (o Options) withDefaults() Options {
+	if o.SegmentBytes == 0 {
+		o.SegmentBytes = 4 << 20
+	}
+	if o.GroupBytes == 0 {
+		o.GroupBytes = 256 << 10
+	}
+	if o.KeepCheckpoints == 0 {
+		o.KeepCheckpoints = 2
+	}
+	return o
+}
+
+// Recovered is what Open found in an existing WAL directory.
+type Recovered struct {
+	// HaveCheckpoint reports whether a readable checkpoint was found;
+	// Checkpoint is its payload and CheckpointLSN its log position.
+	HaveCheckpoint bool
+	Checkpoint     []byte
+	CheckpointLSN  uint64
+	// Records holds the payloads of every surviving record after the
+	// checkpoint, in LSN order (the first has LSN CheckpointLSN+1).
+	Records [][]byte
+	// LastLSN is the LSN of the last surviving record (CheckpointLSN when
+	// Records is empty).
+	LastLSN uint64
+	// TornTail reports that a short or CRC-mismatching record was found
+	// and the log was truncated there (the crashed writer's torn tail).
+	TornTail bool
+	// CheckpointFallback reports that the newest checkpoint was unreadable
+	// and an older one was used instead.
+	CheckpointFallback bool
+	// Warnings records every degradation tolerated during recovery.
+	Warnings []string
+}

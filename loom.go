@@ -67,6 +67,7 @@ import (
 	"loom/internal/signature"
 	"loom/internal/simulate"
 	"loom/internal/tpstry"
+	"loom/internal/wal"
 	"loom/internal/workload"
 )
 
@@ -117,6 +118,21 @@ type Options struct {
 	// workload over the final partitioning (default true; disable for
 	// large streams where only the assignment matters).
 	DisableGraphRecording bool
+
+	// WALDir enables durability: every ingest call is appended to a
+	// write-ahead segment log in this directory before it is applied, and
+	// Checkpoint writes atomic full-state snapshots there. A durable
+	// partitioner is constructed with Open (New rejects a non-empty
+	// WALDir); see the package's "Durability & recovery" documentation.
+	// Empty (the default) disables the WAL entirely.
+	WALDir string
+	// WALSync selects the fsync policy for the log (default WALSyncBatch).
+	WALSync WALSyncPolicy
+	// WALSegmentBytes rotates log segments at this size (default 4 MiB).
+	WALSegmentBytes int
+	// WALKeepCheckpoints retains this many checkpoints (default 2: the
+	// latest plus one fallback in case the latest is corrupt).
+	WALKeepCheckpoints int
 }
 
 // Pattern is a small labelled query graph.
@@ -251,6 +267,31 @@ type Partitioner struct {
 	err      error // first ingest error (sticky; see Err)
 	seq      uint64
 	handlers []func(PlacementEvent)
+	// evHooked records that the streamer-level event hooks are installed.
+	// It is set by the first OnPlace and — crucially for recovery — by
+	// restore when the checkpointed partitioner had subscribers: the hooks
+	// must advance the event seq during replay even before any handler
+	// re-subscribes, or post-recovery seqs would diverge from the
+	// uninterrupted run's.
+	evHooked bool
+
+	// Durability (nil/zero without a WAL; see Open, Checkpoint, Close).
+	wal       *wal.Log
+	walClosed bool
+	walEnc    wal.Enc  // record staging; starts with the 8-byte frame hole (walEncReset)
+	walLabels []string // label-table scratch reused across batch records
+	// baseQueries is the length of the construction-time workload; queries
+	// beyond it arrived via AddQuery and are checkpointed as a replayable
+	// tail (added) on top of the base workload fingerprint.
+	baseQueries int
+	added       []addedQuery
+}
+
+// addedQuery is one AddQuery call retained for checkpointing.
+type addedQuery struct {
+	name string
+	pat  *Pattern
+	freq float64
 }
 
 // readView is one published read surface: exactly one of epoch (the
@@ -337,15 +378,41 @@ func (o Options) normalise() (Options, error) {
 	if o.Workers < 1 {
 		return o, fmt.Errorf("loom: Workers must be >= 1 (or 0 for GOMAXPROCS), got %d", o.Workers)
 	}
+	if o.WALSync < WALSyncBatch || o.WALSync > WALSyncNone {
+		return o, fmt.Errorf("loom: unknown WALSync policy %d", o.WALSync)
+	}
+	if o.WALSegmentBytes == 0 {
+		o.WALSegmentBytes = 4 << 20
+	}
+	if o.WALSegmentBytes < 1024 {
+		return o, fmt.Errorf("loom: WALSegmentBytes must be >= 1024, got %d", o.WALSegmentBytes)
+	}
+	if o.WALKeepCheckpoints == 0 {
+		o.WALKeepCheckpoints = 2
+	}
+	if o.WALKeepCheckpoints < 1 {
+		return o, fmt.Errorf("loom: WALKeepCheckpoints must be >= 1, got %d", o.WALKeepCheckpoints)
+	}
 	return o, nil
 }
 
-// New builds a Loom partitioner for the given workload.
+// New builds a Loom partitioner for the given workload. For a durable
+// partitioner (Options.WALDir set), use Open instead — construction and
+// recovery are the same operation there.
 func New(opt Options, wl *Workload) (*Partitioner, error) {
+	if opt.WALDir != "" {
+		return nil, fmt.Errorf("loom: Options.WALDir is set; use loom.Open to construct (or recover) a durable partitioner")
+	}
 	opt, err := opt.normalise()
 	if err != nil {
 		return nil, err
 	}
+	return newLoom(opt, wl)
+}
+
+// newLoom is New after option validation, shared with Open (which builds
+// the same fresh partitioner and then restores state into it).
+func newLoom(opt Options, wl *Workload) (*Partitioner, error) {
 	if wl == nil || wl.Len() == 0 {
 		return nil, fmt.Errorf("loom: a non-empty workload is required (use NewBaseline for workload-agnostic partitioning)")
 	}
@@ -370,7 +437,10 @@ func New(opt Options, wl *Workload) (*Partitioner, error) {
 	if err != nil {
 		return nil, err
 	}
-	p := &Partitioner{name: "loom", streamer: lm, tr: lm.Tracker(), loom: lm, trie: trie, wl: wl, opt: opt}
+	p := &Partitioner{
+		name: "loom", streamer: lm, tr: lm.Tracker(), loom: lm,
+		trie: trie, wl: wl, opt: opt, baseQueries: wl.Len(),
+	}
 	if !opt.DisableGraphRecording {
 		p.g = graph.New()
 	}
@@ -382,6 +452,9 @@ func New(opt Options, wl *Workload) (*Partitioner, error) {
 // "ldg" or "fennel" — behind the same interface, with an optional workload
 // used only by Evaluate.
 func NewBaseline(algo string, opt Options, wl *Workload) (*Partitioner, error) {
+	if opt.WALDir != "" {
+		return nil, fmt.Errorf("loom: the WAL is only supported for Loom partitioners (use loom.Open)")
+	}
 	opt, err := opt.normalise()
 	if err != nil {
 		return nil, err
@@ -437,6 +510,18 @@ func (p *Partitioner) AddBatch(batch []StreamEdge) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	defer p.publishLocked() // batch boundary: refresh the lock-free epoch
+	if err := p.walAppendBatch(batch); err != nil {
+		return err
+	}
+	return p.applyBatchLocked(batch)
+}
+
+// applyBatchLocked is AddBatch's application half, shared with WAL replay
+// (p.mu held for writing; the batch is already logged or being replayed
+// from the log). Corrupt edges are dropped with the sticky-error
+// semantics; because those error paths are deterministic, replaying a
+// logged batch reproduces them exactly.
+func (p *Partitioner) applyBatchLocked(batch []StreamEdge) error {
 	if p.loom != nil && p.opt.Workers > 1 {
 		return p.addBatchParallel(batch)
 	}
@@ -530,6 +615,14 @@ func (p *Partitioner) addBatchParallel(batch []StreamEdge) error {
 func (p *Partitioner) AddEdgeE(u int64, lu string, v int64, lv string) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if p.wal != nil || p.walClosed {
+		// Logged as (and replayed exactly like) a one-edge batch; PR 4's
+		// golden guarantee makes the two paths bit-identical.
+		one := [1]StreamEdge{{U: u, LU: lu, V: v, LV: lv}}
+		if err := p.walAppendBatch(one[:]); err != nil {
+			return err
+		}
+	}
 	se := graph.StreamEdge{
 		U: graph.VertexID(u), LU: graph.Label(lu),
 		V: graph.VertexID(v), LV: graph.Label(lv),
@@ -581,9 +674,18 @@ func (p *Partitioner) Err() error {
 
 // Flush drains the sliding window, assigning all buffered edges. Call at
 // end-of-stream (or at a checkpoint) before reading final placements.
+//
+// On a durable partitioner the flush is logged before it is applied; if
+// the log rejects the record (disk failure, or Close already ran) the
+// flush is NOT applied — the in-memory state must never run ahead of what
+// recovery can reproduce — and the error is retained as the sticky Err
+// (Flush itself has no error return, for compatibility).
 func (p *Partitioner) Flush() {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if err := p.walAppendFlush(); err != nil {
+		return
+	}
 	p.streamer.Flush()
 	p.publishLocked()
 }
@@ -635,9 +737,19 @@ func (p *Partitioner) OnPlace(fn func(PlacementEvent)) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.handlers = append(p.handlers, fn)
-	if len(p.handlers) > 1 {
-		return // hooks already installed
+	p.installEventHooksLocked()
+}
+
+// installEventHooksLocked installs the streamer-level event hooks exactly
+// once (p.mu held for writing). Recovery calls it before replay when the
+// checkpointed partitioner had subscribers, so the event sequence keeps
+// advancing through replayed decisions — with no handlers yet, emit
+// stamps and counts but fans out to nobody.
+func (p *Partitioner) installEventHooksLocked() {
+	if p.evHooked {
+		return
 	}
+	p.evHooked = true
 	if p.tr != nil {
 		p.tr.SetAssignHook(func(v int64, id partition.ID) {
 			p.emit(PlacementEvent{Kind: EventPlace, V: v, Partition: int(id)})
@@ -914,10 +1026,22 @@ func (p *Partitioner) AddQuery(name string, pat *Pattern, freq float64) error {
 	if p.loom == nil {
 		return fmt.Errorf("loom: %s baseline has no workload to update", p.name)
 	}
+	if err := p.walAppendQuery(name, pat, freq); err != nil {
+		return err
+	}
+	return p.applyQueryLocked(name, pat, freq)
+}
+
+// applyQueryLocked is AddQuery's application half, shared with WAL replay
+// and with the checkpoint's query-tail restore. Validation failures are
+// deterministic, so a logged AddQuery that failed fails identically on
+// replay.
+func (p *Partitioner) applyQueryLocked(name string, pat *Pattern, freq float64) error {
 	if err := p.trie.AddQuery(pat.g, freq); err != nil {
 		return err
 	}
 	p.wl.Add(name, pat, freq)
+	p.added = append(p.added, addedQuery{name: name, pat: pat, freq: freq})
 	return nil
 }
 
@@ -1129,7 +1253,10 @@ func (p *Partitioner) Restream() (*Partitioner, error) {
 	if err != nil {
 		return nil, err
 	}
-	np := &Partitioner{name: "loom", streamer: lm, tr: lm.Tracker(), loom: lm, trie: trie, wl: wl, opt: opt}
+	np := &Partitioner{
+		name: "loom", streamer: lm, tr: lm.Tracker(), loom: lm,
+		trie: trie, wl: wl, opt: opt, baseQueries: wl.Len(),
+	}
 	if !opt.DisableGraphRecording {
 		np.g = graph.New()
 	}
