@@ -19,8 +19,11 @@
 // the hub experiment stresses the matching core's join path on
 // adversarial dense-hub and high-overlap window shapes; the recover
 // experiment measures the durability subsystem (WAL ingest overhead per
-// fsync policy, checkpoint cost, recovery time vs log tail). -json writes
-// the perf, scale, read, hub or recover experiment as machine-readable
+// fsync policy, checkpoint cost, recovery time vs log tail); the route
+// experiment measures the placement-serving tier (routing QPS under live
+// ingest, replica catch-up vs checkpoint position, scatter fan-out vs
+// broadcast). -json writes
+// the perf, scale, read, hub, recover or route experiment as machine-readable
 // JSON ("-" for stdout) so the performance trajectory can be tracked across commits
 // (BENCH_*.json).
 // -cpuprofile / -memprofile write pprof profiles covering the selected
@@ -43,7 +46,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: table1, fig4, fig7, fig8, fig9, table2, ablation, extensions, simulate, motifs, perf, scale, read, hub, recover, all")
+		exp      = flag.String("exp", "all", "experiment: table1, fig4, fig7, fig8, fig9, table2, ablation, extensions, simulate, motifs, perf, scale, read, hub, recover, route, all")
 		scale    = flag.Int("scale", 12000, "per-dataset target vertex count")
 		seed     = flag.Int64("seed", 42, "seed for generation/shuffles/signatures")
 		k        = flag.Int("k", 8, "partitions (fig7/fig9/table2)")
@@ -72,8 +75,10 @@ func main() {
 				return runHubJSON(cfg, *jsonOut)
 			case "recover":
 				return runRecoverJSON(cfg, *jsonOut)
+			case "route":
+				return runRouteJSON(cfg, *jsonOut)
 			default:
-				return fmt.Errorf("-json only applies to the perf, scale, read, hub and recover experiments (got -exp %s)", *exp)
+				return fmt.Errorf("-json only applies to the perf, scale, read, hub, recover and route experiments (got -exp %s)", *exp)
 			}
 		}
 		return run(*exp, cfg)
@@ -199,6 +204,27 @@ func runRecoverJSON(cfg bench.Config, path string) error {
 	return f.Close()
 }
 
+// runRouteJSON runs the serving-tier experiment and writes the
+// machine-readable report to path ("-" = stdout).
+func runRouteJSON(cfg bench.Config, path string) error {
+	rep, err := bench.RunRoute(cfg)
+	if err != nil {
+		return err
+	}
+	if path == "-" {
+		return bench.WriteRouteJSON(os.Stdout, rep)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := bench.WriteRouteJSON(f, rep); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
 // runScaleJSON runs the multi-core scaling sweep and writes the
 // machine-readable report to path ("-" = stdout).
 func runScaleJSON(cfg bench.Config, path string) error {
@@ -313,6 +339,12 @@ func run(exp string, cfg bench.Config) error {
 				return err
 			}
 			bench.RenderRecover(os.Stdout, rep)
+		case "route":
+			rep, err := bench.RunRoute(cfg)
+			if err != nil {
+				return err
+			}
+			bench.RenderRoute(os.Stdout, rep)
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}

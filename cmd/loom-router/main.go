@@ -1,0 +1,282 @@
+// Command loom-router serves Loom placement decisions over HTTP: the
+// network face of the router package, the serving tier "On Smart Query
+// Routing" assumes a streaming partitioner will feed.
+//
+//	GET  /route/{vertex}                 one routing decision
+//	POST /route/batch                    JSON array of vertex ids
+//	GET  /route/scatter?seed=V&motif=Q   scatter-gather plan for a motif
+//	GET  /stats                          mirror + planner counters
+//	GET  /healthz                        200 once caught up, 503 before
+//
+// Three modes:
+//
+//	loom-router -addr :7474 -dataset dblp -scale 3000
+//	    In-memory demo: partitions a generated stream while serving; the
+//	    mirror attaches before ingest and is ready immediately.
+//
+//	loom-router -addr :7474 -dataset dblp -wal /var/loom/wal
+//	    Durable primary: same demo ingest, WAL-backed (recovering whatever
+//	    the directory holds first), checkpointing when ingest completes.
+//
+//	loom-router -addr :7474 -dataset dblp -wal /var/loom/wal -follow
+//	    Replica: tails another process's WAL directory read-only —
+//	    bootstrap from its newest checkpoint + log tail, then poll for new
+//	    records every -poll. /healthz turns 200 only once the replica has
+//	    caught up to the primary's durable log head; routing answers are
+//	    served (from what has been applied) even before that.
+//
+// The motif workload for /route/scatter is the dataset's registered
+// workload (-dataset). Shutdown is graceful on SIGINT/SIGTERM: in-flight
+// requests drain, the partitioner closes (syncing the WAL).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"loom"
+	"loom/router"
+)
+
+type config struct {
+	addr     string
+	dataset  string
+	k        int
+	scale    int
+	vertices int
+	window   int
+	seed     int64
+	walDir   string
+	follow   bool
+	poll     time.Duration
+	pin      time.Duration
+}
+
+func main() {
+	var cfg config
+	flag.StringVar(&cfg.addr, "addr", ":7474", "HTTP listen address")
+	flag.StringVar(&cfg.dataset, "dataset", "dblp", "dataset workload: dblp, provgen, musicbrainz, lubm")
+	flag.IntVar(&cfg.k, "k", 4, "number of partitions")
+	flag.IntVar(&cfg.scale, "scale", 3000, "edges of demo stream to ingest (ignored with -follow)")
+	flag.IntVar(&cfg.vertices, "vertices", 0, "ExpectedVertices sizing hint (0: derive from -scale); durable modes must match the directory's value")
+	flag.IntVar(&cfg.window, "window", 256, "Loom window size t")
+	flag.Int64Var(&cfg.seed, "seed", 7, "demo stream seed")
+	flag.StringVar(&cfg.walDir, "wal", "", "write-ahead log directory (primary: log + recover; with -follow: tail read-only)")
+	flag.BoolVar(&cfg.follow, "follow", false, "follow a primary's WAL directory instead of ingesting (requires -wal)")
+	flag.DurationVar(&cfg.poll, "poll", 200*time.Millisecond, "WAL poll interval in -follow mode")
+	flag.DurationVar(&cfg.pin, "pin", time.Second, "routing-generation repin interval")
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, cfg, os.Stderr, nil); err != nil {
+		fmt.Fprintf(os.Stderr, "loom-router: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run builds the partitioner (or follower), attaches the mirror, and
+// serves until ctx is cancelled. If addrCh is non-nil the bound listen
+// address is sent on it once the listener is up (tests bind :0).
+func run(ctx context.Context, cfg config, logw io.Writer, addrCh chan<- string) error {
+	logger := log.New(logw, "loom-router: ", log.LstdFlags)
+	if cfg.follow && cfg.walDir == "" {
+		return fmt.Errorf("-follow requires -wal DIR (the primary's log directory)")
+	}
+	wl, err := loom.DatasetWorkload(cfg.dataset)
+	if err != nil {
+		return err
+	}
+	// Checkpoints fingerprint every placement-shaping option, so durable
+	// modes must present the exact ExpectedVertices the directory was
+	// created with — hence the explicit -vertices override.
+	expected := cfg.vertices
+	if expected <= 0 {
+		expected = 2 * cfg.scale
+	}
+	if expected < 1024 {
+		expected = 4096
+	}
+	opt := loom.Options{
+		Partitions:       cfg.k,
+		ExpectedVertices: expected,
+		WindowSize:       cfg.window,
+		WALDir:           cfg.walDir,
+	}
+
+	var (
+		p        *loom.Partitioner
+		follower *loom.Follower
+	)
+	switch {
+	case cfg.follow:
+		f, info, err := loom.Follow(opt, wl)
+		if err != nil {
+			return err
+		}
+		follower = f
+		p = f.Partitioner()
+		logger.Printf("following %s: checkpoint@%d + %d replayed records (lsn %d)",
+			cfg.walDir, info.CheckpointLSN, info.ReplayedRecords, info.LastLSN)
+	case cfg.walDir != "":
+		dp, info, err := loom.Open(opt, wl)
+		if err != nil {
+			return err
+		}
+		p = dp
+		if info.Recovered {
+			logger.Printf("recovered %s: checkpoint@%d + %d replayed records",
+				cfg.walDir, info.CheckpointLSN, info.ReplayedRecords)
+		}
+	default:
+		p, err = loom.New(opt, wl)
+		if err != nil {
+			return err
+		}
+	}
+
+	m := router.New()
+	m.Attach(p)
+	if cfg.follow {
+		// Readiness means caught up to the primary's durable log head,
+		// not merely bootstrapped: gate it on the first drained poll.
+		m.SetReady(false)
+	}
+	srv := router.NewServer(m, router.NewPlanner(m, wl.Queries(), cfg.k))
+
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return err
+	}
+	if addrCh != nil {
+		addrCh <- ln.Addr().String()
+	}
+	logger.Printf("serving on %s (dataset %s, k=%d)", ln.Addr(), cfg.dataset, cfg.k)
+
+	httpSrv := &http.Server{Handler: srv}
+	errc := make(chan error, 3)
+	go func() {
+		if err := httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+		}
+	}()
+
+	// The reconciler repins the routing generation: vertices placed before
+	// the mirror attached (recovered state) resolve through it.
+	pinCtx, stopPin := context.WithCancel(ctx)
+	defer stopPin()
+	go func() {
+		tick := time.NewTicker(cfg.pin)
+		defer tick.Stop()
+		for {
+			select {
+			case <-pinCtx.Done():
+				return
+			case <-tick.C:
+				m.Pin(p.Snapshot())
+			}
+		}
+	}()
+
+	if cfg.follow {
+		go func() { errc <- followLoop(pinCtx, follower, m, cfg.poll, logger) }()
+	} else if cfg.scale > 0 {
+		go func() { errc <- demoIngest(pinCtx, p, m, cfg, logger) }()
+	}
+
+	select {
+	case <-ctx.Done():
+		logger.Printf("shutting down")
+	case err := <-errc:
+		if err != nil {
+			shutdown(httpSrv, follower, p, cfg, logger)
+			return err
+		}
+		<-ctx.Done()
+		logger.Printf("shutting down")
+	}
+	return shutdown(httpSrv, follower, p, cfg, logger)
+}
+
+func shutdown(httpSrv *http.Server, follower *loom.Follower, p *loom.Partitioner, cfg config, logger *log.Logger) error {
+	sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(sctx); err != nil {
+		logger.Printf("http shutdown: %v", err)
+	}
+	if follower != nil {
+		return follower.Close()
+	}
+	if cfg.walDir != "" {
+		return p.Close() // syncs the log
+	}
+	return nil
+}
+
+// followLoop polls the primary's WAL at the configured interval, marking
+// the mirror ready the first time a poll drains the log (caught up to the
+// durable head). ErrWALGap — the primary checkpointed and pruned past our
+// position — is fatal; a restart re-bootstraps from the newer checkpoint.
+func followLoop(ctx context.Context, f *loom.Follower, m *router.Mirror, every time.Duration, logger *log.Logger) error {
+	tick := time.NewTicker(every)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-tick.C:
+			n, err := f.Poll()
+			if err != nil {
+				m.SetReady(false)
+				return fmt.Errorf("follow: %w", err)
+			}
+			if n == 0 && !m.Ready() {
+				logger.Printf("caught up to primary at lsn %d", f.LSN())
+				m.SetReady(true)
+			}
+		}
+	}
+}
+
+// demoIngest streams a generated dataset into the partitioner while the
+// server routes against it — the standalone demo (and CI smoke) mode.
+func demoIngest(ctx context.Context, p *loom.Partitioner, m *router.Mirror, cfg config, logger *log.Logger) error {
+	edges, err := loom.GenerateDataset(cfg.dataset, cfg.scale, cfg.seed)
+	if err != nil {
+		return err
+	}
+	const batch = 256
+	for i := 0; i < len(edges); i += batch {
+		if ctx.Err() != nil {
+			return nil
+		}
+		end := min(i+batch, len(edges))
+		if err := p.AddBatch(edges[i:end]); err != nil {
+			return err
+		}
+	}
+	p.Flush()
+	if err := p.Err(); err != nil {
+		return err
+	}
+	m.Pin(p.Snapshot())
+	if cfg.walDir != "" {
+		if _, err := p.Checkpoint(); err != nil {
+			return err
+		}
+	}
+	st := m.Stats()
+	logger.Printf("demo stream done: %d edges, mirror holds %d placements (%d evictions)",
+		len(edges), st.Vertices, st.Evicted)
+	return nil
+}

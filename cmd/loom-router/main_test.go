@@ -1,0 +1,179 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"loom"
+	"loom/router"
+)
+
+// startRouter runs the service with a kernel-assigned port and returns
+// its base URL plus a stop function that asserts clean shutdown.
+func startRouter(t *testing.T, cfg config) (string, func()) {
+	t.Helper()
+	cfg.addr = "127.0.0.1:0"
+	ctx, cancel := context.WithCancel(context.Background())
+	addrCh := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() { done <- run(ctx, cfg, io.Discard, addrCh) }()
+	var base string
+	select {
+	case addr := <-addrCh:
+		base = "http://" + addr
+	case err := <-done:
+		t.Fatalf("router exited before listening: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("router did not start listening")
+	}
+	return base, func() {
+		cancel()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("run returned %v", err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("router did not shut down")
+		}
+	}
+}
+
+// waitHealthy polls /healthz until it answers 200.
+func waitHealthy(t *testing.T, base string) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatal("/healthz never turned 200")
+}
+
+func getDecision(t *testing.T, base string, v int64) router.Decision {
+	t.Helper()
+	resp, err := http.Get(fmt.Sprintf("%s/route/%d", base, v))
+	if err != nil {
+		t.Fatalf("GET /route/%d: %v", v, err)
+	}
+	defer resp.Body.Close()
+	var d router.Decision
+	if err := json.NewDecoder(resp.Body).Decode(&d); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	return d
+}
+
+func TestServeInMemoryDemo(t *testing.T) {
+	cfg := config{dataset: "dblp", k: 4, scale: 1500, window: 256, seed: 7,
+		poll: 20 * time.Millisecond, pin: 20 * time.Millisecond}
+	base, stop := startRouter(t, cfg)
+	defer stop()
+	waitHealthy(t, base)
+
+	// Wait for the demo ingest to make placements, then route one.
+	edges, err := loom.GenerateDataset(cfg.dataset, cfg.scale, cfg.seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := edges[0].U
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		if d := getDecision(t, base, probe); d.Found {
+			if d.Partition < 0 || d.Partition >= cfg.k {
+				t.Fatalf("routed to partition %d of k=%d", d.Partition, cfg.k)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("demo ingest never placed the probe vertex")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	resp, err := http.Get(fmt.Sprintf("%s/route/scatter?seed=%d&motif=coauthors", base, probe))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var plan router.Plan
+	if err := json.NewDecoder(resp.Body).Decode(&plan); err != nil {
+		t.Fatalf("decode plan: %v", err)
+	}
+	resp.Body.Close()
+	if plan.Fanout < 1 || plan.Fanout > cfg.k {
+		t.Fatalf("scatter plan = %+v", plan)
+	}
+}
+
+func TestFollowModeCatchesUp(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "wal")
+	wl, err := loom.DatasetWorkload("dblp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := loom.Options{Partitions: 4, ExpectedVertices: 3000, WindowSize: 256, WALDir: dir}
+	p, _, err := loom.Open(opt, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges, err := loom.GenerateDataset("dblp", 1500, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	half := len(edges) / 2
+	if err := p.AddBatch(edges[:half]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddBatch(edges[half:]); err != nil {
+		t.Fatal(err)
+	}
+	p.Flush()
+	if err := p.Close(); err != nil { // sync: the whole stream is durable
+		t.Fatal(err)
+	}
+
+	cfg := config{dataset: "dblp", k: 4, vertices: 3000, window: 256, walDir: dir, follow: true,
+		poll: 10 * time.Millisecond, pin: 20 * time.Millisecond}
+	base, stop := startRouter(t, cfg)
+	defer stop()
+	// Readiness is gated on catching up to the primary's log head.
+	waitHealthy(t, base)
+
+	// Every placement the primary made routes identically on the replica.
+	snap := p.Snapshot()
+	checked := 0
+	snap.Each(func(v int64, part int) {
+		if checked >= 50 {
+			return
+		}
+		checked++
+		if d := getDecision(t, base, v); !d.Found || d.Partition != part {
+			t.Fatalf("replica routes %d to %+v, primary placed it in %d", v, d, part)
+		}
+	})
+	if checked == 0 {
+		t.Fatal("primary placed nothing")
+	}
+}
+
+func TestFollowRequiresWALDir(t *testing.T) {
+	err := run(context.Background(), config{dataset: "dblp", follow: true, poll: time.Millisecond, pin: time.Millisecond}, io.Discard, nil)
+	if err == nil {
+		t.Fatal("follow mode without -wal did not error")
+	}
+}

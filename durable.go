@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 
 	"loom/internal/core"
 	"loom/internal/graph"
@@ -163,6 +164,139 @@ func openFS(fsys wal.FS, opt Options, wl *Workload) (*Partitioner, RecoveryInfo,
 	p.publishLocked()
 	p.wal = wlog
 	return p, info, nil
+}
+
+// Follower is a read-only replica of a durable partitioner: it bootstraps
+// from the newest checkpoint in a live primary's WAL directory, replays
+// the log tail, and then follows the primary record by record as the log
+// grows — without writing a single byte to the directory (contrast Open,
+// which positions a writer and truncates torn tails). This is the serving
+// tier's "-follow" mode: a router replica on another machine points a
+// Follower at a shipped or shared WAL directory and keeps its mirror
+// consistent by polling.
+//
+// The wrapped Partitioner (see Partitioner method) serves every read —
+// PartitionOf, Snapshot, OnPlace/Subscribe, Evaluate — but refuses direct
+// ingest: state changes arrive exclusively through Poll, which applies
+// newly appended primary records under the same ingest lock, emitting
+// placement events exactly as the primary did. Because replay is
+// bit-identical (the durability guarantee PR 7 pinned), a caught-up
+// follower answers PartitionOf identically to the primary at the same log
+// position.
+type Follower struct {
+	mu     sync.Mutex
+	p      *Partitioner
+	tail   *wal.Tailer
+	closed bool
+}
+
+// Follow opens a read-only follower over the WAL directory in opt.WALDir.
+// The directory may be owned by a live primary on the same filesystem, or
+// be a shipped copy that keeps receiving segment updates; Follow never
+// modifies it. wl must be the base workload the directory was created
+// with, exactly as for Open. The returned RecoveryInfo describes the
+// bootstrap (TornTail here means the scan stopped before an in-flight or
+// torn final record — the follower picks it up on a later Poll if the
+// primary completes it).
+func Follow(opt Options, wl *Workload) (*Follower, RecoveryInfo, error) {
+	return followFS(wal.OS(), opt, wl)
+}
+
+// followFS is Follow over an injectable filesystem.
+func followFS(fsys wal.FS, opt Options, wl *Workload) (*Follower, RecoveryInfo, error) {
+	var info RecoveryInfo
+	nopt, err := opt.normalise()
+	if err != nil {
+		return nil, info, err
+	}
+	if nopt.WALDir == "" {
+		return nil, info, fmt.Errorf("loom: Follow requires Options.WALDir (the primary's log directory)")
+	}
+	tail, recd, err := wal.OpenTailer(fsys, nopt.WALDir)
+	if err != nil {
+		return nil, info, err
+	}
+	p, err := newLoom(nopt, wl)
+	if err != nil {
+		return nil, info, err
+	}
+	info = RecoveryInfo{
+		Recovered:          recd.HaveCheckpoint || len(recd.Records) > 0,
+		CheckpointLSN:      recd.CheckpointLSN,
+		ReplayedRecords:    len(recd.Records),
+		LastLSN:            recd.LastLSN,
+		TornTail:           recd.TornTail,
+		CheckpointFallback: recd.CheckpointFallback,
+		Warnings:           recd.Warnings,
+	}
+	if recd.HaveCheckpoint {
+		if err := p.restoreCheckpoint(recd.Checkpoint); err != nil {
+			return nil, info, err
+		}
+	}
+	for i, rec := range recd.Records {
+		if err := p.applyRecordLocked(rec); err != nil {
+			return nil, info, fmt.Errorf("loom: replay record %d (LSN %d): %w", i, recd.CheckpointLSN+uint64(i)+1, err)
+		}
+	}
+	p.follower = true
+	p.publishLocked()
+	return &Follower{p: p, tail: tail}, info, nil
+}
+
+// Partitioner returns the follower's read surface. It is safe for
+// concurrent use like any Partitioner; ingest calls (AddBatch, AddEdgeE,
+// Flush, AddQuery) return errors — the follower's state advances only
+// through Poll.
+func (f *Follower) Partitioner() *Partitioner { return f.p }
+
+// Poll reads every record the primary has appended since the last Poll
+// and applies them in log order, publishing a fresh read epoch and
+// emitting placement events to subscribers exactly as the primary's own
+// ingest did. It returns the number of records applied. A torn or
+// in-flight final record is not an error — it is retried next Poll; an
+// ErrWALGap means the primary checkpointed and pruned past the follower's
+// position, which a fresh Follow (re-bootstrap from the newer checkpoint)
+// resolves. Poll is safe for concurrent use with reads; concurrent Polls
+// serialise.
+func (f *Follower) Poll() (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return 0, fmt.Errorf("loom: follower is closed")
+	}
+	records, err := f.tail.Poll()
+	if err != nil {
+		return 0, err
+	}
+	if len(records) == 0 {
+		return 0, nil
+	}
+	f.p.mu.Lock()
+	defer f.p.mu.Unlock()
+	defer f.p.publishLocked()
+	for i, rec := range records {
+		if err := f.p.applyRecordLocked(rec); err != nil {
+			return i, fmt.Errorf("loom: apply followed record (LSN %d): %w", f.tail.LSN()-uint64(len(records)-1-i), err)
+		}
+	}
+	return len(records), nil
+}
+
+// LSN returns the log position the follower has applied through.
+func (f *Follower) LSN() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.tail.LSN()
+}
+
+// Close stops the follower; later Polls fail. Reads on the wrapped
+// Partitioner keep working against the last applied state.
+func (f *Follower) Close() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.closed = true
+	return nil
 }
 
 // Checkpoint atomically writes a full-state snapshot to the WAL
@@ -370,7 +504,17 @@ func decodeQueryPayload(d *wal.Dec) (name string, pat *Pattern, freq float64, er
 // walAppendBatch logs one batch record; a nil p.wal (non-durable) is a
 // no-op. On failure nothing must be applied: the returned error becomes
 // the caller's, and it is retained as the sticky Err.
+// errFollower rejects direct ingest into a read-only follower. It is NOT
+// retained as the sticky Err: the follower's mirrored state is perfectly
+// healthy, the caller just used the wrong door.
+func errFollower() error {
+	return fmt.Errorf("loom: read-only follower: state advances via Follower.Poll, not direct ingest")
+}
+
 func (p *Partitioner) walAppendBatch(batch []StreamEdge) error {
+	if p.follower {
+		return errFollower()
+	}
 	if p.walClosed {
 		return fmt.Errorf("loom: partitioner is closed")
 	}
@@ -382,6 +526,9 @@ func (p *Partitioner) walAppendBatch(batch []StreamEdge) error {
 }
 
 func (p *Partitioner) walAppendFlush() error {
+	if p.follower {
+		return errFollower()
+	}
 	if p.walClosed {
 		err := fmt.Errorf("loom: partitioner is closed")
 		if p.err == nil {
@@ -397,6 +544,9 @@ func (p *Partitioner) walAppendFlush() error {
 }
 
 func (p *Partitioner) walAppendQuery(name string, pat *Pattern, freq float64) error {
+	if p.follower {
+		return errFollower()
+	}
 	if p.walClosed {
 		return fmt.Errorf("loom: partitioner is closed")
 	}

@@ -1,29 +1,25 @@
-// Router example: a toy query router kept in sync with the partitioner via
-// placement events — the downstream consumer the concurrent API exists for
-// (per "On Smart Query Routing": a streaming partitioner is only useful to
-// a distributed graph store if the routing tier can follow its decisions
-// as they happen).
+// Router example: the placement-serving tier in two acts, as a thin demo
+// of the router package (per "On Smart Query Routing": a streaming
+// partitioner is only useful to a distributed graph store if the routing
+// tier can follow its decisions as they happen).
 //
-// Four producer goroutines feed one Loom partitioner with AddBatch while
-// the router mirrors every vertex → partition decision through OnPlace,
-// and tracks window (Ptemp) residency through evict events. A third
-// mechanism shows the copy-on-write read path: a reconciler pins a fresh
-// routing generation — an immutable Snapshot — on every lap of its loop.
-// Snapshots are an atomic epoch grab (nanoseconds, one small allocation,
-// no lock shared with ingest), so re-pinning never stalls the producers:
-// zero-stall mirroring. Queries are routed against the event mirror with
-// the pinned generation as fallback — the partitioner's locks are never
-// touched at query time — and the final mirror is verified against the
-// partitioner's own assignment.
+// Act one is live mirroring: four producer goroutines feed one Loom
+// partitioner with AddBatch while a router.Mirror — attached before
+// ingest — follows every vertex → partition decision through the
+// placement event feed. A reconciler re-pins the mirror's routing
+// generation (an immutable Snapshot, an atomic epoch grab costing the
+// producers nothing) on every lap of its loop, queries are routed without
+// ever touching the partitioner's locks, and a scatter-gather plan for a
+// workload motif contacts fewer partitions than a broadcast.
 //
-// The second act is state shipping ("On Smart Query Routing" assumes
+// Act two is state shipping ("On Smart Query Routing" assumes
 // late-joining router replicas bootstrap from shipped state, not by
-// replaying the whole stream): the primary runs durably (-wal style),
-// checkpoints mid-stream, syncs, and its WAL directory is copied to a
-// replica, which recovers checkpoint + log tail and — while the primary
-// is still ingesting — routes with zero mismatches against it. Once the
-// primary finishes, the replica tails the rest of the stream and lands
-// on the identical assignment.
+// replaying the whole stream): the primary runs durably, checkpoints
+// mid-stream, syncs, and its WAL directory is copied to a replica, which
+// recovers checkpoint + log tail, splices its own Mirror onto the live
+// feed with Attach — and, while the primary is still ingesting, routes
+// with zero mismatches against it. Once both finish the stream, the
+// replica's mirror lands on the identical assignment.
 //
 // Run with:
 //
@@ -36,77 +32,10 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
-	"sync/atomic"
 
 	"loom"
+	"loom/router"
 )
-
-// Router is the toy routing tier: a partition mirror fed exclusively by
-// placement events, plus a pinned routing generation (an immutable
-// snapshot) swapped at the router's own pace. It has its own lock because
-// event handlers run on the ingesting goroutines (under the partitioner's
-// ingest lock) while queries arrive on others; it must never call back
-// into the partitioner from the handler.
-type Router struct {
-	mu       sync.RWMutex
-	machines []string
-	table    map[int64]int // vertex → machine index, mirrored live
-	evicted  int           // edges seen leaving Ptemp
-
-	// gen is the pinned routing generation: a consistent, immutable view
-	// the query path can fall back to for vertices whose place event it
-	// has not applied yet. Swapping it is one pointer store; reading it
-	// never blocks and never observes a half-applied batch.
-	gen atomic.Pointer[loom.Snapshot]
-}
-
-func NewRouter(k int) *Router {
-	r := &Router{table: make(map[int64]int)}
-	for i := 0; i < k; i++ {
-		r.machines = append(r.machines, fmt.Sprintf("graph-store-%d", i))
-	}
-	return r
-}
-
-// Apply is the OnPlace handler: O(1), no partitioner calls.
-func (r *Router) Apply(ev loom.PlacementEvent) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	switch ev.Kind {
-	case loom.EventPlace:
-		r.table[ev.V] = ev.Partition
-	case loom.EventEvict:
-		r.evicted++
-	}
-}
-
-// Pin swaps in a new routing generation.
-func (r *Router) Pin(snap *loom.Snapshot) { r.gen.Store(snap) }
-
-// Route returns the machine serving v: the live event mirror first, then
-// the pinned generation (lock-free, batch-consistent). Vertices neither
-// knows live in the window partition Ptemp; a real router would broadcast
-// or consult the ingest tier for those.
-func (r *Router) Route(v int64) (string, bool) {
-	r.mu.RLock()
-	m, ok := r.table[v]
-	r.mu.RUnlock()
-	if ok {
-		return r.machines[m], true
-	}
-	if snap := r.gen.Load(); snap != nil {
-		if m, ok := snap.PartitionOf(v); ok {
-			return r.machines[m], true
-		}
-	}
-	return "Ptemp (still windowed)", false
-}
-
-func (r *Router) Len() int {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	return len(r.table)
-}
 
 // shipDir copies a synced WAL directory to a new location — the "state
 // shipping" step. In a real deployment this is an object-store upload or
@@ -159,8 +88,12 @@ func main() {
 		log.Fatal(err)
 	}
 
-	router := NewRouter(4)
-	p.OnPlace(router.Apply) // subscribe BEFORE ingesting: no event is missed
+	// ---- Act one: live mirroring ------------------------------------
+
+	// Attach before ingesting: no event is missed, the mirror is a
+	// complete replica of every placement decision as it happens.
+	mirror := router.New()
+	mirror.Attach(p)
 
 	edges, err := loom.GenerateDataset("dblp", 3000, 7)
 	if err != nil {
@@ -189,9 +122,10 @@ func main() {
 		}()
 	}
 
-	// The reconciler re-pins the routing generation as fast as it can spin.
-	// Each Snapshot call is an atomic epoch grab — it costs the producers
-	// nothing, which is why a routing tier can afford a tight loop here.
+	// The reconciler re-pins the routing generation as fast as it can
+	// spin. Each Snapshot call is an atomic epoch grab — it costs the
+	// producers nothing, which is why a routing tier can afford a tight
+	// loop here.
 	ingestDone := make(chan struct{})
 	var pins int
 	var reconciler sync.WaitGroup
@@ -203,7 +137,7 @@ func main() {
 			case <-ingestDone:
 				return
 			default:
-				router.Pin(p.Snapshot())
+				mirror.Pin(p.Snapshot())
 				pins++
 			}
 		}
@@ -211,14 +145,27 @@ func main() {
 
 	// Meanwhile the router serves lookups from the live mirror.
 	probe := edges[0].U
-	fmt.Printf("mid-stream: vertex %d → %s (mirror holds %d placements)\n",
-		probe, firstOf(router.Route(probe)), router.Len())
+	fmt.Printf("mid-stream: %s (mirror holds %d placements)\n",
+		mirror.Lookup(probe), mirror.Len())
 
 	wg.Wait()
 
+	// Scatter-gather: a motif query seeded at probe only needs the
+	// partitions within the motif's diameter of it — Loom's co-location
+	// keeps that well under a broadcast to all 4.
+	planner := router.NewPlanner(mirror, wl.Queries(), p.Partitions())
+	plan, err := planner.Scatter(probe, "coauthors")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("scatter(coauthors @ %d): contact partitions %v (fanout %d of %d)\n",
+		probe, plan.Partitions, plan.Fanout, p.Partitions())
+
+	// ---- Act two: state shipping + a late-joining replica ------------
+
 	// Mid-stream checkpoint: a full-state snapshot in the WAL directory.
-	// Everything before it can be pruned; a replica starts here instead of
-	// replaying 1500 edges' worth of log.
+	// Everything before it can be pruned; a replica starts here instead
+	// of replaying 1500 edges' worth of log.
 	ckptBytes, err := p.Checkpoint()
 	if err != nil {
 		log.Fatal(err)
@@ -226,15 +173,16 @@ func main() {
 	fmt.Printf("checkpoint at edge %d: %d bytes\n", half, ckptBytes)
 
 	// The next sixth of the stream lands in the log tail after the
-	// checkpoint — the part the replica will replay record by record.
+	// checkpoint — the part the replica will recover record by record.
 	for i := half; i < ship; i += batchSize {
 		end := min(i+batchSize, ship)
 		if err := p.AddBatch(edges[i:end]); err != nil {
 			log.Printf("batch dropped corrupt edges: %v", err)
 		}
 	}
-	// Sync makes every acknowledged record durable (group commit may still
-	// be staging some), then the directory is shipped byte-for-byte.
+	// Sync makes every acknowledged record durable (group commit may
+	// still be staging some), then the directory is shipped
+	// byte-for-byte.
 	if err := p.Sync(); err != nil {
 		log.Fatal(err)
 	}
@@ -266,13 +214,22 @@ func main() {
 	fmt.Printf("replica recovered: checkpoint@%d + %d replayed records (lsn %d)\n",
 		info.CheckpointLSN, info.ReplayedRecords, info.LastLSN)
 
+	// Attach splices the replica's mirror onto its live feed: the pinned
+	// generation covers everything recovered from the shipped state, the
+	// event stream covers everything from here on.
+	rmirror := router.New()
+	rmirror.Attach(replica)
+
 	// Zero routing mismatches against the live primary, checked while the
 	// primary is still ingesting: placements are immutable once made, and
-	// PartitionOf is the lock-free read path, so every vertex the replica
+	// both lookup paths are lock-free, so every vertex the replica
 	// recovered must route exactly where the primary put it.
 	catchupMismatch := 0
 	rsnap := replica.Snapshot()
 	rsnap.Each(func(v int64, part int) {
+		if d := rmirror.Lookup(v); !d.Found || d.Partition != part {
+			catchupMismatch++
+		}
 		if got, ok := p.PartitionOf(v); !ok || got != part {
 			catchupMismatch++
 		}
@@ -284,29 +241,29 @@ func main() {
 	}
 
 	<-liveDone
-	p.Flush() // end-of-stream: drain Ptemp; the router sees the tail placements
+	p.Flush() // end-of-stream: drain Ptemp; the mirror sees the tail placements
 	close(ingestDone)
 	reconciler.Wait()
-	router.Pin(p.Snapshot()) // final generation
+	mirror.Pin(p.Snapshot()) // final generation
 	if err := p.Err(); err != nil {
 		log.Fatal(err)
 	}
 
+	st := mirror.Stats()
 	fmt.Printf("stream done: mirror holds %d placements, saw %d window evictions, pinned %d routing generations\n",
-		router.Len(), router.evicted, pins)
+		st.Vertices, st.Evicted, pins)
 	for _, v := range []int64{edges[0].U, edges[len(edges)/2].V, edges[len(edges)-1].V} {
-		machine, _ := router.Route(v)
-		fmt.Printf("route(vertex %d) = %s\n", v, machine)
+		fmt.Printf("route: %s\n", mirror.Lookup(v))
 	}
 
 	// The mirror must agree exactly with the partitioner's own view.
 	snap := p.Snapshot()
-	if router.Len() != snap.NumAssigned() {
-		log.Fatalf("mirror has %d placements, partitioner %d", router.Len(), snap.NumAssigned())
+	if mirror.Len() != snap.NumAssigned() {
+		log.Fatalf("mirror has %d placements, partitioner %d", mirror.Len(), snap.NumAssigned())
 	}
 	mismatches := 0
 	snap.Each(func(v int64, part int) {
-		if router.table[v] != part {
+		if d := mirror.Lookup(v); !d.Found || d.Partition != part {
 			mismatches++
 		}
 	})
@@ -327,18 +284,20 @@ func main() {
 	if err := replica.Err(); err != nil {
 		log.Fatal(err)
 	}
-	final := replica.Snapshot()
-	tailMismatch := 0
-	if final.NumAssigned() != snap.NumAssigned() {
-		log.Fatalf("replica finished with %d placements, primary %d", final.NumAssigned(), snap.NumAssigned())
+	// The replica's mirror resolves recovered placements through its
+	// pinned generation and tail placements through the live feed — the
+	// splice. Routed answers, not table sizes, are the contract.
+	if got := replica.Snapshot().NumAssigned(); got != snap.NumAssigned() {
+		log.Fatalf("replica finished with %d placements, primary %d", got, snap.NumAssigned())
 	}
-	final.Each(func(v int64, part int) {
-		if got, ok := snap.PartitionOf(v); !ok || got != part {
+	tailMismatch := 0
+	snap.Each(func(v int64, part int) {
+		if d := rmirror.Lookup(v); !d.Found || d.Partition != part {
 			tailMismatch++
 		}
 	})
 	fmt.Printf("replica caught up: %d placements, %d mismatches vs primary\n",
-		final.NumAssigned(), tailMismatch)
+		snap.NumAssigned(), tailMismatch)
 	if tailMismatch != 0 {
 		log.Fatal("replica final state diverged from primary")
 	}
@@ -346,5 +305,3 @@ func main() {
 		log.Fatal(err)
 	}
 }
-
-func firstOf(s string, _ bool) string { return s }

@@ -1,0 +1,96 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestRunRoute: the route experiment must produce one mix row per router
+// count, one catch-up row per swept checkpoint position, and scatter rows
+// for every registered motif, with positive measurements, a routers=0
+// cell that is its own ingest baseline, scatter plans that never exceed
+// broadcast, and a clean JSON/text round trip. The sweeps are shrunk so
+// the test stays fast.
+func TestRunRoute(t *testing.T) {
+	defer func(r []int, c []float64) { RouteRouterSweep, RouteCatchupSweep = r, c }(RouteRouterSweep, RouteCatchupSweep)
+	RouteRouterSweep = []int{0, 2}
+	RouteCatchupSweep = []float64{0.5}
+
+	cfg := Config{Scale: 900, Seed: 3, K: 4, WindowSize: 64, Datasets: []string{"dblp"}}
+	rep, err := RunRoute(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if want := len(RouteRouterSweep); len(rep.Mix) != want {
+		t.Fatalf("got %d mix rows, want %d", len(rep.Mix), want)
+	}
+	for i, r := range rep.Mix {
+		if r.Routers != RouteRouterSweep[i] {
+			t.Errorf("mix row %d: routers %d, want %d", i, r.Routers, RouteRouterSweep[i])
+		}
+		if r.IngestNsPerEdge <= 0 || r.Edges <= 0 || r.IngestVsSolo <= 0 {
+			t.Errorf("mix row %d: non-positive measurement %+v", i, r)
+		}
+		if r.Routers > 0 && (r.RoutesPerSec <= 0 || r.RouteNs <= 0) {
+			t.Errorf("mix row %d: routers measured nothing %+v", i, r)
+		}
+	}
+	if rep.Mix[0].IngestVsSolo != 1 {
+		t.Errorf("routers=0 ingest vs solo = %v, want exactly 1", rep.Mix[0].IngestVsSolo)
+	}
+
+	if want := len(RouteCatchupSweep); len(rep.Catchup) != want {
+		t.Fatalf("got %d catch-up rows, want %d", len(rep.Catchup), want)
+	}
+	for i, r := range rep.Catchup {
+		if r.Position != RouteCatchupSweep[i] {
+			t.Errorf("catch-up row %d: position %v, want %v", i, r.Position, RouteCatchupSweep[i])
+		}
+		if r.CatchupMs <= 0 || r.Placements <= 0 || r.TailRecords <= 0 {
+			t.Errorf("catch-up row %d: non-positive measurement %+v", i, r)
+		}
+	}
+
+	if len(rep.Scatter) != 4 { // dblp registers four motif queries
+		t.Fatalf("got %d scatter rows, want 4", len(rep.Scatter))
+	}
+	narrowerSomewhere := false
+	for _, r := range rep.Scatter {
+		if r.Broadcast != cfg.K {
+			t.Errorf("scatter %s: broadcast %d, want k=%d", r.Motif, r.Broadcast, cfg.K)
+		}
+		if r.Seeds > 0 {
+			if r.AvgFanout <= 0 || r.AvgFanout > float64(cfg.K) {
+				t.Errorf("scatter %s: average fanout %v outside (0, %d]", r.Motif, r.AvgFanout, cfg.K)
+			}
+			if r.AvgFanout < float64(cfg.K) {
+				narrowerSomewhere = true
+			}
+		}
+	}
+	if !narrowerSomewhere {
+		t.Error("no motif produced plans narrower than broadcast")
+	}
+
+	var buf bytes.Buffer
+	if err := WriteRouteJSON(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	var round RouteReport
+	if err := json.Unmarshal(buf.Bytes(), &round); err != nil {
+		t.Fatalf("JSON round-trip: %v", err)
+	}
+	if len(round.Mix) != len(rep.Mix) || len(round.Catchup) != len(rep.Catchup) || len(round.Scatter) != len(rep.Scatter) {
+		t.Fatal("round-trip lost rows")
+	}
+
+	buf.Reset()
+	RenderRoute(&buf, rep)
+	out := buf.String()
+	if !strings.Contains(out, "dblp") || !strings.Contains(out, "catch-up ms") || !strings.Contains(out, "avg fanout") {
+		t.Errorf("rendered tables missing expected columns:\n%s", out)
+	}
+}

@@ -1,0 +1,177 @@
+package wal
+
+import (
+	"errors"
+	"testing"
+)
+
+func mustTail(t *testing.T, fsys FS, dir string) (*Tailer, *Recovered) {
+	t.Helper()
+	tl, rec, err := OpenTailer(fsys, dir)
+	if err != nil {
+		t.Fatalf("OpenTailer: %v", err)
+	}
+	return tl, rec
+}
+
+func TestTailerSeesWriterRecords(t *testing.T) {
+	fs := NewMemFS()
+	opt := Options{Dir: "wal", Policy: SyncAlways}
+	l, _ := mustOpen(t, fs, opt)
+	appendN(t, l, 0, 10)
+
+	// Bootstrapping mid-stream: the tailer recovers the same view Open
+	// would, without writing anything.
+	before := len(fs.DumpNames())
+	tl, rec := mustTail(t, fs, "wal")
+	if rec.HaveCheckpoint {
+		t.Fatalf("no checkpoint written, but tailer found one")
+	}
+	wantRecords(t, rec, 0, 10)
+	if got := len(fs.DumpNames()); got != before {
+		t.Fatalf("read-only open changed the directory: %d files, was %d", got, before)
+	}
+
+	// The log grows; Poll picks up exactly the new records.
+	appendN(t, l, 10, 7)
+	more, err := tl.Poll()
+	if err != nil {
+		t.Fatalf("Poll: %v", err)
+	}
+	if len(more) != 7 {
+		t.Fatalf("Poll returned %d records, want 7", len(more))
+	}
+	for i, r := range more {
+		if want := string(payload(10 + i)); string(r) != want {
+			t.Fatalf("polled record %d = %q, want %q", i, r, want)
+		}
+	}
+	// Idle polls return nothing.
+	if more, err = tl.Poll(); err != nil || len(more) != 0 {
+		t.Fatalf("idle Poll = %d records, err %v", len(more), err)
+	}
+	if tl.LSN() != l.LSN() {
+		t.Fatalf("tailer LSN %d != writer LSN %d", tl.LSN(), l.LSN())
+	}
+	l.Close()
+}
+
+func TestTailerBootstrapsFromCheckpoint(t *testing.T) {
+	fs := NewMemFS()
+	opt := Options{Dir: "wal", Policy: SyncAlways, SegmentBytes: 256}
+	l, _ := mustOpen(t, fs, opt)
+	appendN(t, l, 0, 20)
+	if _, err := l.WriteCheckpoint([]byte("state@20")); err != nil {
+		t.Fatalf("WriteCheckpoint: %v", err)
+	}
+	appendN(t, l, 20, 5)
+
+	tl, rec := mustTail(t, fs, "wal")
+	if !rec.HaveCheckpoint || string(rec.Checkpoint) != "state@20" {
+		t.Fatalf("checkpoint not recovered: %+v", rec)
+	}
+	if rec.CheckpointLSN != 20 {
+		t.Fatalf("CheckpointLSN = %d, want 20", rec.CheckpointLSN)
+	}
+	wantRecords(t, rec, 20, 5)
+
+	appendN(t, l, 25, 3)
+	more, err := tl.Poll()
+	if err != nil || len(more) != 3 {
+		t.Fatalf("Poll after growth = %d records, err %v", len(more), err)
+	}
+	l.Close()
+}
+
+func TestTailerToleratesInFlightTail(t *testing.T) {
+	fs := NewMemFS()
+	// SyncNone with a large group: records stage in the writer's buffer,
+	// so the tailer sees only what has been written out.
+	opt := Options{Dir: "wal", Policy: SyncNone, GroupBytes: 1 << 20}
+	l, _ := mustOpen(t, fs, opt)
+	appendN(t, l, 0, 10)
+
+	tl, rec := mustTail(t, fs, "wal")
+	if len(rec.Records) != 0 {
+		t.Fatalf("staged records visible before writeout: %d", len(rec.Records))
+	}
+
+	// A torn frame at the end of the segment (half a record) must stop the
+	// scan silently, then be delivered once completed.
+	if err := l.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	seg := "wal/" + segName(1)
+	full, err := fs.ReadFile(seg)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if err := fs.Truncate(seg, int64(len(full)-3)); err != nil {
+		t.Fatalf("Truncate: %v", err)
+	}
+	got, err := tl.Poll()
+	if err != nil {
+		t.Fatalf("Poll over torn tail: %v", err)
+	}
+	if len(got) != 9 {
+		t.Fatalf("Poll over torn tail = %d records, want 9", len(got))
+	}
+	// Restore the full bytes (the writer finishing its flush) and re-poll.
+	f, err := fs.Create(seg)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	if _, err := f.Write(full); err != nil {
+		t.Fatalf("rewrite: %v", err)
+	}
+	f.Close()
+	got, err = tl.Poll()
+	if err != nil || len(got) != 1 {
+		t.Fatalf("Poll after tail completed = %d records, err %v", len(got), err)
+	}
+	if string(got[0]) != string(payload(9)) {
+		t.Fatalf("completed tail record = %q, want %q", got[0], payload(9))
+	}
+}
+
+func TestTailerGapAfterPrune(t *testing.T) {
+	fs := NewMemFS()
+	// Small segments so checkpoint pruning actually removes files.
+	opt := Options{Dir: "wal", Policy: SyncAlways, SegmentBytes: 128, KeepCheckpoints: 1}
+	l, _ := mustOpen(t, fs, opt)
+	appendN(t, l, 0, 4)
+
+	tl, _ := mustTail(t, fs, "wal")
+
+	// The primary races far ahead and checkpoints twice; segments holding
+	// the records the tailer never read are pruned.
+	appendN(t, l, 4, 40)
+	if _, err := l.WriteCheckpoint([]byte("ckpt-a")); err != nil {
+		t.Fatalf("WriteCheckpoint: %v", err)
+	}
+	appendN(t, l, 44, 40)
+	if _, err := l.WriteCheckpoint([]byte("ckpt-b")); err != nil {
+		t.Fatalf("WriteCheckpoint: %v", err)
+	}
+	if _, err := tl.Poll(); !errors.Is(err, ErrGap) {
+		t.Fatalf("Poll after prune = %v, want ErrGap", err)
+	}
+	l.Close()
+}
+
+func TestTailerMidChainDamageIsCorrupt(t *testing.T) {
+	fs := NewMemFS()
+	opt := Options{Dir: "wal", Policy: SyncAlways, SegmentBytes: 128}
+	l, _ := mustOpen(t, fs, opt)
+	appendN(t, l, 0, 30) // spans several 128-byte segments
+	l.Close()
+
+	// Flip a bit inside the FIRST segment's record area: intact segments
+	// follow, so this cannot be an in-flight tail.
+	if err := fs.FlipBit("wal/"+segName(1), int64(segHeaderSize+recordFrameSize+2)); err != nil {
+		t.Fatalf("FlipBit: %v", err)
+	}
+	if _, _, err := OpenTailer(fs, "wal"); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("OpenTailer over mid-chain damage = %v, want ErrCorrupt", err)
+	}
+}

@@ -55,6 +55,7 @@ import (
 	"fmt"
 	"math/rand"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -205,6 +206,76 @@ func (w *Workload) Add(name string, p *Pattern, freq float64) *Workload {
 // Len returns the number of queries.
 func (w *Workload) Len() int { return len(w.queries) }
 
+// QueryInfo describes one workload query for consumers that plan around
+// the workload without executing it — e.g. a router deciding how far a
+// scatter-gather pattern query can reach from its seed vertex.
+type QueryInfo struct {
+	Name string
+	Freq float64
+	// Edges is the number of edges in the query pattern.
+	Edges int
+	// Diameter is the longest shortest-path distance (in hops) between any
+	// two pattern vertices: from whichever vertex a seed binds to, every
+	// other match vertex is within Diameter hops.
+	Diameter int
+	// Labels are the distinct vertex labels the pattern mentions, sorted.
+	Labels []string
+}
+
+// Queries describes the workload's queries (see QueryInfo). The returned
+// slice is a fresh copy in Add order.
+func (w *Workload) Queries() []QueryInfo {
+	out := make([]QueryInfo, len(w.queries))
+	for i, q := range w.queries {
+		labelSet := map[string]bool{}
+		for _, l := range q.Pattern.Labels() {
+			labelSet[string(l)] = true
+		}
+		labels := make([]string, 0, len(labelSet))
+		for l := range labelSet {
+			labels = append(labels, l)
+		}
+		sort.Strings(labels)
+		out[i] = QueryInfo{
+			Name:     q.Name,
+			Freq:     q.Freq,
+			Edges:    q.Pattern.NumEdges(),
+			Diameter: patternDiameter(q.Pattern),
+			Labels:   labels,
+		}
+	}
+	return out
+}
+
+// patternDiameter is the diameter of a (small, connected) pattern graph:
+// BFS from every vertex, take the largest eccentricity. Patterns are a
+// handful of vertices, so the quadratic walk is irrelevant.
+func patternDiameter(g *graph.Graph) int {
+	verts := g.Vertices()
+	diam := 0
+	dist := make(map[graph.VertexID]int, len(verts))
+	queue := make([]graph.VertexID, 0, len(verts))
+	for _, s := range verts {
+		clear(dist)
+		dist[s] = 0
+		queue = append(queue[:0], s)
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, n := range g.Neighbors(v) {
+				if _, seen := dist[n]; !seen {
+					dist[n] = dist[v] + 1
+					if dist[n] > diam {
+						diam = dist[n]
+					}
+					queue = append(queue, n)
+				}
+			}
+		}
+	}
+	return diam
+}
+
 func (w *Workload) internal() workload.Workload {
 	return workload.Workload{Name: w.name, Queries: w.queries}
 }
@@ -278,6 +349,9 @@ type Partitioner struct {
 	// Durability (nil/zero without a WAL; see Open, Checkpoint, Close).
 	wal       *wal.Log
 	walClosed bool
+	// follower marks a read-only replica built by Follow: direct ingest is
+	// refused; state advances only through Follower.Poll.
+	follower  bool
 	walEnc    wal.Enc  // record staging; starts with the 8-byte frame hole (walEncReset)
 	walLabels []string // label-table scratch reused across batch records
 	// baseQueries is the length of the construction-time workload; queries
@@ -615,7 +689,7 @@ func (p *Partitioner) addBatchParallel(batch []StreamEdge) error {
 func (p *Partitioner) AddEdgeE(u int64, lu string, v int64, lv string) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if p.wal != nil || p.walClosed {
+	if p.wal != nil || p.walClosed || p.follower {
 		// Logged as (and replayed exactly like) a one-edge batch; PR 4's
 		// golden guarantee makes the two paths bit-identical.
 		one := [1]StreamEdge{{U: u, LU: lu, V: v, LV: lv}}
@@ -724,7 +798,9 @@ type PlacementEvent struct {
 // decision (and, for Loom, every window eviction) is delivered exactly
 // once, in decision order, as it happens — the feed a query router needs to
 // mirror the assignment live. Subscribe before ingesting for a complete
-// mirror; events are not replayed retroactively.
+// mirror; events are not replayed retroactively. To subscribe after ingest
+// has started, use Subscribe, which additionally reports the resume point
+// the mirror needs to splice a snapshot onto the live feed.
 //
 // Handlers run synchronously on the ingesting goroutine while the
 // partitioner's ingest lock is held: they must be fast and must not call
@@ -733,11 +809,34 @@ type PlacementEvent struct {
 // every event. Offline refinement (Refine) does not emit events — it
 // produces a new assignment rather than streaming decisions; take a
 // Snapshot after refining instead.
-func (p *Partitioner) OnPlace(fn func(PlacementEvent)) {
+func (p *Partitioner) OnPlace(fn func(PlacementEvent)) { p.Subscribe(fn) }
+
+// Subscribe is OnPlace with a resume point: it registers fn and returns the
+// sequence number the first event delivered to fn will carry. The contract,
+// which holds even when the subscription races ongoing ingest:
+//
+//   - fn receives every event with Seq >= the returned firstSeq, exactly
+//     once, in Seq order, with no holes (Seqs are dense).
+//   - Events with Seq < firstSeq were emitted before the subscription and
+//     are not replayed — but a Snapshot taken any time after Subscribe
+//     returns covers every placement those missed events reported. Events
+//     are emitted while the ingest lock is held and each batch publishes
+//     its epoch before releasing that lock, so the snapshot cannot be
+//     older than the last pre-subscription event.
+//
+// Placements are write-once (a vertex is never reassigned), so the pair
+// (snapshot, event stream from firstSeq) is a complete and consistent view
+// of every placement decision regardless of when the subscription
+// happened: route a vertex through the live event mirror first and fall
+// back to the snapshot for anything the feed has not delivered. This is
+// the splice a late-joining query router performs at attach time — see the
+// router package.
+func (p *Partitioner) Subscribe(fn func(PlacementEvent)) (firstSeq uint64) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.handlers = append(p.handlers, fn)
 	p.installEventHooksLocked()
+	return p.seq
 }
 
 // installEventHooksLocked installs the streamer-level event hooks exactly

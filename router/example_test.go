@@ -1,0 +1,61 @@
+package router_test
+
+import (
+	"fmt"
+	"log"
+
+	"loom"
+	"loom/router"
+)
+
+// Example mirrors a live partitioner into a routing tier and plans a
+// scatter-gather motif query: the serving-side counterpart of Loom's
+// query-aware placement.
+func Example() {
+	wl, err := loom.DatasetWorkload("dblp")
+	if err != nil {
+		log.Fatal(err)
+	}
+	p, err := loom.New(loom.Options{Partitions: 4, ExpectedVertices: 4000, WindowSize: 256}, wl)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Attach before ingest: the mirror sees every placement event. (A
+	// late joiner attaches mid-stream the same way — Attach splices a
+	// snapshot onto the live feed automatically.)
+	m := router.New()
+	m.Attach(p)
+
+	edges, err := loom.GenerateDataset("dblp", 3000, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := p.AddBatch(edges); err != nil {
+		log.Fatal(err)
+	}
+	p.Flush()
+
+	// Point lookup: answered from the mirror, never touching the
+	// partitioner's locks.
+	d := m.Lookup(edges[0].U)
+	fmt.Printf("found=%v source=%s\n", d.Found, d.Source)
+
+	// Scatter plan: contact only the partitions reachable within the
+	// motif's diameter of the seed — fewer than a broadcast to all 4.
+	pl := router.NewPlanner(m, wl.Queries(), p.Partitions())
+	plan, err := pl.Scatter(edges[0].U, "coauthors")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("broadcast=%v fanout within k: %v\n", plan.Broadcast, plan.Fanout <= p.Partitions())
+
+	// Unknown seeds fall back to broadcast.
+	plan, _ = pl.Scatter(1<<40, "coauthors")
+	fmt.Printf("unknown seed broadcasts: %v\n", plan.Broadcast)
+
+	// Output:
+	// found=true source=mirror
+	// broadcast=false fanout within k: true
+	// unknown seed broadcasts: true
+}

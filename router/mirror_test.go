@@ -1,0 +1,189 @@
+package router
+
+import (
+	"testing"
+
+	"loom"
+)
+
+// smallPartitioner builds a tiny finished partitioning to pin snapshots
+// from in unit tests.
+func smallPartitioner(t *testing.T) *loom.Partitioner {
+	t.Helper()
+	wl, err := loom.DatasetWorkload("dblp")
+	if err != nil {
+		t.Fatalf("DatasetWorkload: %v", err)
+	}
+	p, err := loom.New(loom.Options{Partitions: 4, ExpectedVertices: 2000, WindowSize: 64}, wl)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	edges, err := loom.GenerateDataset("dblp", 800, 11)
+	if err != nil {
+		t.Fatalf("GenerateDataset: %v", err)
+	}
+	if err := p.AddBatch(edges); err != nil {
+		t.Fatalf("AddBatch: %v", err)
+	}
+	p.Flush()
+	return p
+}
+
+func TestMirrorAppliesEvents(t *testing.T) {
+	m := New()
+	m.Apply(loom.PlacementEvent{Seq: 0, Kind: loom.EventPlace, V: 7, Partition: 2})
+	m.Apply(loom.PlacementEvent{Seq: 1, Kind: loom.EventEvict, V: 7, Other: 9, Partition: -1})
+	m.Apply(loom.PlacementEvent{Seq: 2, Kind: loom.EventPlace, V: 9, Partition: 2})
+
+	if d := m.Lookup(7); !d.Found || d.Partition != 2 || d.Source != SourceMirror {
+		t.Fatalf("Lookup(7) = %+v, want partition 2 from mirror", d)
+	}
+	if d := m.Lookup(404); d.Found || d.Partition != -1 || d.Source != SourceNone {
+		t.Fatalf("Lookup(404) = %+v, want a miss", d)
+	}
+	if nb := m.Neighbors(7); len(nb) != 1 || nb[0] != 9 {
+		t.Fatalf("Neighbors(7) = %v, want [9]", nb)
+	}
+	if nb := m.Neighbors(9); len(nb) != 1 || nb[0] != 7 {
+		t.Fatalf("Neighbors(9) = %v, want [7]", nb)
+	}
+	st := m.Stats()
+	if st.Vertices != 2 || st.Evicted != 1 || st.Applied != 3 || st.NextSeq != 3 {
+		t.Fatalf("Stats = %+v", st)
+	}
+	if st.Gaps != 0 || st.Lost != 0 {
+		t.Fatalf("dense feed reported gaps: %+v", st)
+	}
+	if st.Lookups != 2 || st.MirrorHits != 1 || st.Misses != 1 {
+		t.Fatalf("lookup counters wrong: %+v", st)
+	}
+}
+
+func TestMirrorNeighborSampleIsBounded(t *testing.T) {
+	m := New()
+	for i := 0; i < 3*maxNeighborSample; i++ {
+		m.Apply(loom.PlacementEvent{Seq: uint64(i), Kind: loom.EventEvict, V: 1, Other: int64(100 + i), Partition: -1})
+	}
+	if nb := m.Neighbors(1); len(nb) != maxNeighborSample {
+		t.Fatalf("sample for vertex 1 has %d neighbours, want the %d cap", len(nb), maxNeighborSample)
+	}
+	// Duplicate edges don't consume sample slots.
+	m2 := New()
+	for i := 0; i < 5; i++ {
+		m2.Apply(loom.PlacementEvent{Seq: uint64(i), Kind: loom.EventEvict, V: 1, Other: 2, Partition: -1})
+	}
+	if nb := m2.Neighbors(1); len(nb) != 1 {
+		t.Fatalf("duplicate edge sampled %d times", len(nb))
+	}
+}
+
+func TestMirrorGapDetectionAndHeal(t *testing.T) {
+	m := New()
+	m.Apply(loom.PlacementEvent{Seq: 0, Kind: loom.EventPlace, V: 1, Partition: 0})
+	m.Apply(loom.PlacementEvent{Seq: 1, Kind: loom.EventPlace, V: 2, Partition: 1})
+	// Seqs 2..4 vanish in a hypothetical lossy transport.
+	m.Apply(loom.PlacementEvent{Seq: 5, Kind: loom.EventPlace, V: 6, Partition: 1})
+
+	st := m.Stats()
+	if st.Gaps != 1 || st.Lost != 3 {
+		t.Fatalf("gap accounting = gaps %d lost %d, want 1/3", st.Gaps, st.Lost)
+	}
+	if st.NextSeq != 6 {
+		t.Fatalf("NextSeq = %d, want 6 (resynced past the gap)", st.NextSeq)
+	}
+
+	// Heal: pin a snapshot (write-once placements make any post-gap
+	// snapshot complete) and the counters clear.
+	p := smallPartitioner(t)
+	m.Heal(p.Snapshot())
+	st = m.Stats()
+	if st.Gaps != 0 || st.Lost != 0 {
+		t.Fatalf("Heal left counters: %+v", st)
+	}
+	if m.Generation() == nil {
+		t.Fatal("Heal did not pin the snapshot")
+	}
+}
+
+func TestMirrorSnapshotFallback(t *testing.T) {
+	p := smallPartitioner(t)
+	snap := p.Snapshot()
+	if snap.NumAssigned() == 0 {
+		t.Fatal("test partitioner assigned nothing")
+	}
+
+	// A mirror with an empty live table but a pinned generation resolves
+	// every placed vertex through the snapshot.
+	m := New()
+	m.Pin(snap)
+	snap.Each(func(v int64, part int) {
+		if d := m.Lookup(v); !d.Found || d.Partition != part || d.Source != SourceSnapshot {
+			t.Fatalf("Lookup(%d) = %+v, want partition %d from snapshot", v, d, part)
+		}
+	})
+
+	// A live-mirror hit takes precedence over the generation.
+	var probe int64
+	snap.Each(func(v int64, _ int) { probe = v })
+	m.Apply(loom.PlacementEvent{Seq: 0, Kind: loom.EventPlace, V: probe, Partition: 3})
+	if d := m.Lookup(probe); d.Source != SourceMirror || d.Partition != 3 {
+		t.Fatalf("live mirror did not take precedence: %+v", d)
+	}
+}
+
+func TestLookupBatchMatchesLookup(t *testing.T) {
+	p := smallPartitioner(t)
+	m := New()
+	m.Attach(p)
+
+	vs := []int64{1, 2, 3, 1 << 40, 5, 6, 7}
+	batch := m.LookupBatch(vs)
+	if len(batch) != len(vs) {
+		t.Fatalf("LookupBatch returned %d decisions for %d vertices", len(batch), len(vs))
+	}
+	for i, v := range vs {
+		if one := m.Lookup(v); one != batch[i] {
+			t.Fatalf("vertex %d: batch %+v != single %+v", v, batch[i], one)
+		}
+	}
+}
+
+func TestAttachBeforeIngestMirrorsEverything(t *testing.T) {
+	wl, err := loom.DatasetWorkload("dblp")
+	if err != nil {
+		t.Fatalf("DatasetWorkload: %v", err)
+	}
+	p, err := loom.New(loom.Options{Partitions: 4, ExpectedVertices: 2000, WindowSize: 64}, wl)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	m := New()
+	if first := m.Attach(p); first != 0 {
+		t.Fatalf("Attach before ingest reported firstSeq %d, want 0", first)
+	}
+	if !m.Ready() {
+		t.Fatal("Attach did not mark the mirror ready")
+	}
+
+	edges, err := loom.GenerateDataset("dblp", 800, 12)
+	if err != nil {
+		t.Fatalf("GenerateDataset: %v", err)
+	}
+	if err := p.AddBatch(edges); err != nil {
+		t.Fatalf("AddBatch: %v", err)
+	}
+	p.Flush()
+
+	snap := p.Snapshot()
+	if m.Len() != snap.NumAssigned() {
+		t.Fatalf("mirror holds %d placements, partitioner %d", m.Len(), snap.NumAssigned())
+	}
+	snap.Each(func(v int64, part int) {
+		if d := m.Lookup(v); !d.Found || d.Partition != part {
+			t.Fatalf("Lookup(%d) = %+v, want partition %d", v, d, part)
+		}
+	})
+	if st := m.Stats(); st.Gaps != 0 || st.Lost != 0 {
+		t.Fatalf("in-process feed produced gaps: %+v", st)
+	}
+}

@@ -1,0 +1,121 @@
+package router
+
+import (
+	"fmt"
+	"sort"
+
+	"loom"
+)
+
+// Planner turns motif queries into scatter-gather plans. A pattern query
+// seeded at one vertex can only bind vertices within the motif's diameter
+// of the seed, and Loom's placement actively co-locates motif-matched
+// neighbourhoods — so instead of broadcasting to all k partitions, the
+// planner walks the mirror's motif-relevant adjacency sample out to that
+// diameter and returns just the partitions the reachable vertices live
+// on. This is the locality heuristic of "On Smart Query Routing": contact
+// the partition holding the seed's neighbourhood first, fan out only as
+// far as the data demands, and fall back to broadcast when nothing is
+// known about the seed.
+type Planner struct {
+	m       *Mirror
+	queries map[string]loom.QueryInfo
+	order   []string // registration order, for Motifs
+	k       int
+}
+
+// NewPlanner builds a planner over the mirror for a registered workload
+// (pass Workload.Queries()). k is the partition count a broadcast
+// contacts.
+func NewPlanner(m *Mirror, queries []loom.QueryInfo, k int) *Planner {
+	pl := &Planner{m: m, queries: make(map[string]loom.QueryInfo, len(queries)), k: k}
+	for _, q := range queries {
+		if _, dup := pl.queries[q.Name]; !dup {
+			pl.order = append(pl.order, q.Name)
+		}
+		pl.queries[q.Name] = q
+	}
+	return pl
+}
+
+// Motifs lists the registered queries in registration order.
+func (pl *Planner) Motifs() []loom.QueryInfo {
+	out := make([]loom.QueryInfo, 0, len(pl.order))
+	for _, name := range pl.order {
+		out = append(out, pl.queries[name])
+	}
+	return out
+}
+
+// Plan is a scatter-gather routing decision for one seeded motif query:
+// the partitions to contact, in contact order (the seed's own partition
+// first — per Khan et al. it answers co-located matches without any
+// remote hop at all).
+type Plan struct {
+	Seed     int64  `json:"seed"`
+	Motif    string `json:"motif"`
+	Diameter int    `json:"diameter"` // hops explored from the seed
+
+	Partitions []int `json:"partitions"`
+	Fanout     int   `json:"fanout"`    // len(Partitions)
+	Broadcast  bool  `json:"broadcast"` // true: nothing known, contact everyone
+	Visited    int   `json:"visited"`   // vertices reached in the adjacency sample
+}
+
+// Scatter plans the partition set for motif seeded at seed. The walk uses
+// the mirror's evict-edge adjacency sample — exactly the edges that
+// matched a workload motif inside Loom's window — bounded by the motif's
+// diameter. An unknown seed (never placed, or still windowed) yields a
+// broadcast plan over all k partitions. Unknown motif names are an error.
+func (pl *Planner) Scatter(seed int64, motif string) (Plan, error) {
+	q, ok := pl.queries[motif]
+	if !ok {
+		return Plan{}, fmt.Errorf("router: motif %q is not in the registered workload", motif)
+	}
+	plan := Plan{Seed: seed, Motif: motif, Diameter: q.Diameter}
+
+	seedDec := pl.m.Lookup(seed)
+	if !seedDec.Found {
+		plan.Broadcast = true
+		plan.Partitions = make([]int, pl.k)
+		for i := range plan.Partitions {
+			plan.Partitions[i] = i
+		}
+		plan.Fanout = pl.k
+		return plan, nil
+	}
+
+	// BFS over the sampled motif adjacency, at most Diameter hops out.
+	parts := map[int]bool{seedDec.Partition: true}
+	dist := map[int64]int{seed: 0}
+	frontier := []int64{seed}
+	for hop := 0; hop < q.Diameter && len(frontier) > 0; hop++ {
+		var next []int64
+		for _, v := range frontier {
+			for _, w := range pl.m.Neighbors(v) {
+				if _, seen := dist[w]; seen {
+					continue
+				}
+				dist[w] = hop + 1
+				next = append(next, w)
+				if d := pl.m.Lookup(w); d.Found {
+					parts[d.Partition] = true
+				}
+			}
+		}
+		frontier = next
+	}
+	plan.Visited = len(dist)
+
+	// Seed's partition first, the rest ascending: the contact order.
+	rest := make([]int, 0, len(parts)-1)
+	for p := range parts {
+		if p != seedDec.Partition {
+			rest = append(rest, p)
+		}
+	}
+	sort.Ints(rest)
+	plan.Partitions = append([]int{seedDec.Partition}, rest...)
+	plan.Fanout = len(plan.Partitions)
+	return plan, nil
+}

@@ -1,0 +1,128 @@
+package router
+
+import (
+	"testing"
+
+	"loom"
+)
+
+// motifMirror builds a finished dblp partitioning with an attached mirror
+// (so the evict-edge adjacency sample is populated) plus its planner.
+func motifMirror(t *testing.T) (*Mirror, *Planner, []loom.StreamEdge, int) {
+	t.Helper()
+	const k = 4
+	wl, err := loom.DatasetWorkload("dblp")
+	if err != nil {
+		t.Fatalf("DatasetWorkload: %v", err)
+	}
+	p, err := loom.New(loom.Options{Partitions: k, ExpectedVertices: 4000, WindowSize: 256}, wl)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	m := New()
+	m.Attach(p)
+	edges, err := loom.GenerateDataset("dblp", 3000, 5)
+	if err != nil {
+		t.Fatalf("GenerateDataset: %v", err)
+	}
+	if err := p.AddBatch(edges); err != nil {
+		t.Fatalf("AddBatch: %v", err)
+	}
+	p.Flush()
+	return m, NewPlanner(m, wl.Queries(), k), edges, k
+}
+
+func TestScatterBeatsBroadcast(t *testing.T) {
+	m, pl, edges, k := motifMirror(t)
+	if m.Stats().Evicted == 0 {
+		t.Fatal("no window evictions: the adjacency sample is empty, dataset/window mismatch")
+	}
+
+	// Every placed seed with a motif neighbourhood must produce a
+	// non-broadcast plan whose first contact is the seed's own partition;
+	// on a motif-heavy dataset the plans must beat broadcast on average
+	// (and strictly, for at least one seed).
+	seeds := 0
+	narrower := 0
+	totalFanout := 0
+	seen := map[int64]bool{}
+	for _, e := range edges {
+		for _, v := range []int64{e.U, e.V} {
+			if seen[v] || len(m.Neighbors(v)) == 0 {
+				continue
+			}
+			seen[v] = true
+			d := m.Lookup(v)
+			if !d.Found {
+				continue
+			}
+			plan, err := pl.Scatter(v, "coauthors")
+			if err != nil {
+				t.Fatalf("Scatter(%d): %v", v, err)
+			}
+			if plan.Broadcast {
+				t.Fatalf("placed seed %d yielded a broadcast plan", v)
+			}
+			if plan.Fanout != len(plan.Partitions) || plan.Fanout < 1 || plan.Fanout > k {
+				t.Fatalf("plan fanout inconsistent: %+v", plan)
+			}
+			if plan.Partitions[0] != d.Partition {
+				t.Fatalf("plan contacts %v first, seed lives on %d", plan.Partitions[0], d.Partition)
+			}
+			seeds++
+			totalFanout += plan.Fanout
+			if plan.Fanout < k {
+				narrower++
+			}
+		}
+	}
+	if seeds == 0 {
+		t.Fatal("no plannable seeds found")
+	}
+	if narrower == 0 {
+		t.Fatalf("all %d plans contact every partition — locality heuristic is not working", seeds)
+	}
+	if avg := float64(totalFanout) / float64(seeds); avg >= float64(k) {
+		t.Fatalf("average fanout %.2f is not below broadcast k=%d", avg, k)
+	}
+	t.Logf("%d seeds, %d plans narrower than broadcast, average fanout %.2f of k=%d",
+		seeds, narrower, float64(totalFanout)/float64(seeds), k)
+}
+
+func TestScatterUnknownSeedBroadcasts(t *testing.T) {
+	_, pl, _, k := motifMirror(t)
+	plan, err := pl.Scatter(1<<40, "coauthors")
+	if err != nil {
+		t.Fatalf("Scatter: %v", err)
+	}
+	if !plan.Broadcast || plan.Fanout != k || len(plan.Partitions) != k {
+		t.Fatalf("unknown seed should broadcast to all %d partitions: %+v", k, plan)
+	}
+}
+
+func TestScatterUnknownMotifErrors(t *testing.T) {
+	m, pl, _, _ := motifMirror(t)
+	_ = m
+	if _, err := pl.Scatter(1, "no-such-motif"); err == nil {
+		t.Fatal("unknown motif did not error")
+	}
+}
+
+func TestPlannerMotifs(t *testing.T) {
+	_, pl, _, _ := motifMirror(t)
+	motifs := pl.Motifs()
+	if len(motifs) != 4 {
+		t.Fatalf("dblp workload has 4 queries, planner lists %d", len(motifs))
+	}
+	byName := map[string]loom.QueryInfo{}
+	for _, q := range motifs {
+		byName[q.Name] = q
+	}
+	co, ok := byName["coauthors"]
+	if !ok {
+		t.Fatal("coauthors missing from Motifs")
+	}
+	if co.Edges != 2 || co.Diameter != 2 {
+		t.Fatalf("coauthors path has 2 edges, diameter 2; got %+v", co)
+	}
+}

@@ -1,0 +1,63 @@
+// Package router is Loom's placement-serving tier: the piece that turns a
+// streaming partitioner into something a distributed graph store can route
+// queries against. Khan et al.'s "On Smart Query Routing" is the blueprint
+// — decoupled storage nodes, router replicas that bootstrap from shipped
+// state, and locality-aware routing of pattern queries — and Loom supplies
+// exactly the three feeds such a router needs: a dense-sequenced placement
+// event stream (Partitioner.Subscribe), O(1) immutable snapshots
+// (Partitioner.Snapshot), and checkpoint+WAL state shipping (loom.Open /
+// loom.Follow).
+//
+// The core type is Mirror: a goroutine-safe vertex → partition table fed by
+// the event stream, with dense-sequence gap detection and a pinned routing
+// generation (an atomic Snapshot swap) as fallback for vertices whose event
+// has not landed yet. A Mirror attached before ingest mirrors everything; a
+// Mirror attached mid-stream splices a snapshot onto the live feed using
+// Subscribe's resume-point contract; a late-joining replica bootstraps a
+// whole Partitioner from a shipped checkpoint+WAL directory (loom.Open on a
+// copy, or loom.Follow to tail the primary's directory read-only) and then
+// attaches the same way. All three paths converge on the same guarantee:
+// placements are write-once, so every routed answer matches the primary's
+// assignment.
+//
+// On top of the mirror, Planner turns a registered motif workload into
+// scatter-gather plans: given a seed vertex and a motif name, it walks the
+// mirror's evict-edge adjacency sample out to the motif's diameter and
+// returns the minimal partition set to contact — neighbours co-located by
+// Loom's motif-aware placement beat a naive broadcast. Server exposes
+// lookups, batch lookups, scatter plans, stats and a readiness probe over
+// HTTP/JSON; cmd/loom-router wraps it into a network service.
+package router
+
+import "strconv"
+
+// Source says which structure answered a lookup.
+type Source string
+
+const (
+	// SourceMirror: the live event mirror held the vertex.
+	SourceMirror Source = "mirror"
+	// SourceSnapshot: the pinned routing generation held the vertex (its
+	// place event predates the mirror's attach, or has not landed yet).
+	SourceSnapshot Source = "snapshot"
+	// SourceNone: nobody knows the vertex — it is still windowed in Ptemp
+	// (or has never been seen). Callers broadcast or consult the ingest
+	// tier.
+	SourceNone Source = ""
+)
+
+// Decision is one routing decision: where to find a vertex.
+type Decision struct {
+	Vertex    int64  `json:"vertex"`
+	Partition int    `json:"partition"` // -1 when not Found
+	Found     bool   `json:"found"`
+	Source    Source `json:"source,omitempty"`
+}
+
+func (d Decision) String() string {
+	if !d.Found {
+		return "vertex " + strconv.FormatInt(d.Vertex, 10) + " → Ptemp (still windowed)"
+	}
+	return "vertex " + strconv.FormatInt(d.Vertex, 10) + " → partition " +
+		strconv.Itoa(d.Partition) + " (" + string(d.Source) + ")"
+}

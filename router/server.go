@@ -1,0 +1,135 @@
+package router
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+)
+
+// maxBatch bounds one /route/batch request.
+const maxBatch = 65536
+
+// Server exposes a Mirror (and optionally a Planner) over HTTP/JSON:
+//
+//	GET  /route/{vertex}                 one routing decision
+//	POST /route/batch                    JSON array of vertex ids → decisions
+//	GET  /route/scatter?seed=V&motif=Q   scatter-gather plan for a motif query
+//	GET  /stats                          mirror + planner counters
+//	GET  /healthz                        200 once catch-up completed, else 503
+//
+// It is an http.Handler; wrap it in an http.Server (cmd/loom-router does)
+// or mount it under a prefix. All responses are JSON except /healthz's
+// plain "ok". Requests against a not-yet-ready mirror still answer — a
+// replica mid-catch-up serves what it has — only /healthz reports the
+// distinction, so load balancers drain traffic while the mirror is behind.
+type Server struct {
+	mirror  *Mirror
+	planner *Planner // nil: /route/scatter answers 501
+	mux     *http.ServeMux
+}
+
+// NewServer builds the handler. planner may be nil when no workload is
+// registered (scatter planning needs motif diameters).
+func NewServer(m *Mirror, planner *Planner) *Server {
+	s := &Server{mirror: m, planner: planner, mux: http.NewServeMux()}
+	// Literal patterns win over the {vertex} wildcard, so /route/batch and
+	// /route/scatter are not shadowed (vertex ids are integers anyway).
+	s.mux.HandleFunc("GET /route/{vertex}", s.handleRoute)
+	s.mux.HandleFunc("POST /route/batch", s.handleBatch)
+	s.mux.HandleFunc("GET /route/scatter", s.handleScatter)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return s
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+type httpError struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
+	v, err := strconv.ParseInt(r.PathValue("vertex"), 10, 64)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, httpError{fmt.Sprintf("vertex must be an integer id: %v", err)})
+		return
+	}
+	writeJSON(w, http.StatusOK, s.mirror.Lookup(v))
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var vs []int64
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<22))
+	if err := dec.Decode(&vs); err != nil {
+		writeJSON(w, http.StatusBadRequest, httpError{fmt.Sprintf("body must be a JSON array of vertex ids: %v", err)})
+		return
+	}
+	if len(vs) > maxBatch {
+		writeJSON(w, http.StatusRequestEntityTooLarge, httpError{fmt.Sprintf("batch of %d exceeds the %d limit", len(vs), maxBatch)})
+		return
+	}
+	writeJSON(w, http.StatusOK, s.mirror.LookupBatch(vs))
+}
+
+func (s *Server) handleScatter(w http.ResponseWriter, r *http.Request) {
+	if s.planner == nil {
+		writeJSON(w, http.StatusNotImplemented, httpError{"no workload registered: scatter planning is unavailable"})
+		return
+	}
+	seed, err := strconv.ParseInt(r.URL.Query().Get("seed"), 10, 64)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, httpError{fmt.Sprintf("seed must be an integer vertex id: %v", err)})
+		return
+	}
+	motif := r.URL.Query().Get("motif")
+	if motif == "" {
+		writeJSON(w, http.StatusBadRequest, httpError{"motif query parameter is required"})
+		return
+	}
+	plan, err := s.planner.Scatter(seed, motif)
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, httpError{err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, plan)
+}
+
+// statsReply is the /stats payload: the mirror's counters plus the
+// planner's registered motifs.
+type statsReply struct {
+	Mirror Stats        `json:"mirror"`
+	Motifs []motifReply `json:"motifs,omitempty"`
+}
+
+type motifReply struct {
+	Name     string  `json:"name"`
+	Freq     float64 `json:"freq"`
+	Edges    int     `json:"edges"`
+	Diameter int     `json:"diameter"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	reply := statsReply{Mirror: s.mirror.Stats()}
+	if s.planner != nil {
+		for _, q := range s.planner.Motifs() {
+			reply.Motifs = append(reply.Motifs, motifReply{Name: q.Name, Freq: q.Freq, Edges: q.Edges, Diameter: q.Diameter})
+		}
+	}
+	writeJSON(w, http.StatusOK, reply)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if !s.mirror.Ready() {
+		http.Error(w, "catching up", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}

@@ -1,0 +1,126 @@
+package router
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func getJSON(t *testing.T, url string, out any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("GET %s: decode: %v", url, err)
+		}
+	}
+	return resp
+}
+
+func TestServerEndpoints(t *testing.T) {
+	m, pl, edges, k := motifMirror(t)
+	ts := httptest.NewServer(NewServer(m, pl))
+	defer ts.Close()
+
+	// A placed vertex routes; the decision round-trips as JSON.
+	seed := edges[0].U
+	want := m.Lookup(seed)
+	var d Decision
+	if resp := getJSON(t, fmt.Sprintf("%s/route/%d", ts.URL, seed), &d); resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /route/%d: status %d", seed, resp.StatusCode)
+	}
+	if d != want {
+		t.Fatalf("GET /route/%d = %+v, want %+v", seed, d, want)
+	}
+
+	// Non-integer vertex ids are a 400.
+	if resp := getJSON(t, ts.URL+"/route/xyz", nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("GET /route/xyz: status %d, want 400", resp.StatusCode)
+	}
+
+	// Batch: POST an array, get decisions in order.
+	vs := []int64{seed, 1 << 40, edges[1].V}
+	body, _ := json.Marshal(vs)
+	resp, err := http.Post(ts.URL+"/route/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /route/batch: %v", err)
+	}
+	var ds []Decision
+	if err := json.NewDecoder(resp.Body).Decode(&ds); err != nil {
+		t.Fatalf("decode batch: %v", err)
+	}
+	resp.Body.Close()
+	if len(ds) != len(vs) || ds[0] != want || ds[1].Found {
+		t.Fatalf("POST /route/batch = %+v", ds)
+	}
+
+	// Malformed batch body is a 400.
+	resp, err = http.Post(ts.URL+"/route/batch", "application/json", bytes.NewReader([]byte(`{"not":"an array"}`)))
+	if err != nil {
+		t.Fatalf("POST bad batch: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad batch body: status %d, want 400", resp.StatusCode)
+	}
+
+	// Scatter plan for a placed seed.
+	var plan Plan
+	if resp := getJSON(t, fmt.Sprintf("%s/route/scatter?seed=%d&motif=coauthors", ts.URL, seed), &plan); resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /route/scatter: status %d", resp.StatusCode)
+	}
+	if plan.Motif != "coauthors" || plan.Fanout < 1 || plan.Fanout > k {
+		t.Fatalf("scatter plan = %+v", plan)
+	}
+	if resp := getJSON(t, ts.URL+"/route/scatter?seed=1&motif=nope", nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown motif: status %d, want 404", resp.StatusCode)
+	}
+	if resp := getJSON(t, ts.URL+"/route/scatter?seed=abc&motif=coauthors", nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad seed: status %d, want 400", resp.StatusCode)
+	}
+
+	// Stats carries the mirror counters and the registered motifs.
+	var st statsReply
+	if resp := getJSON(t, ts.URL+"/stats", &st); resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /stats: status %d", resp.StatusCode)
+	}
+	if st.Mirror.Vertices == 0 || !st.Mirror.Ready || len(st.Motifs) != 4 {
+		t.Fatalf("GET /stats = %+v", st)
+	}
+
+	// Healthz: ready.
+	if resp := getJSON(t, ts.URL+"/healthz", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /healthz: status %d, want 200", resp.StatusCode)
+	}
+}
+
+func TestServerHealthzGatesOnCatchUp(t *testing.T) {
+	m := New() // detached: catch-up has not completed
+	ts := httptest.NewServer(NewServer(m, nil))
+	defer ts.Close()
+
+	if resp := getJSON(t, ts.URL+"/healthz", nil); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("not-ready /healthz: status %d, want 503", resp.StatusCode)
+	}
+	// Lookups still answer while catching up — only health reports it.
+	var d Decision
+	if resp := getJSON(t, ts.URL+"/route/42", &d); resp.StatusCode != http.StatusOK || d.Found {
+		t.Fatalf("mid-catch-up /route = %+v (status %d)", d, resp.StatusCode)
+	}
+	// Scatter without a workload is 501.
+	if resp := getJSON(t, ts.URL+"/route/scatter?seed=1&motif=x", nil); resp.StatusCode != http.StatusNotImplemented {
+		t.Fatalf("plannerless scatter: status %d, want 501", resp.StatusCode)
+	}
+
+	m.SetReady(true)
+	if resp := getJSON(t, ts.URL+"/healthz", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("ready /healthz: status %d, want 200", resp.StatusCode)
+	}
+}
