@@ -22,8 +22,12 @@
 // fsync policy, checkpoint cost, recovery time vs log tail); the route
 // experiment measures the placement-serving tier (routing QPS under live
 // ingest, replica catch-up vs checkpoint position, scatter fan-out vs
-// broadcast). -json writes
-// the perf, scale, read, hub, recover or route experiment as machine-readable
+// broadcast); the chaos experiment injects WAL faults — a primary killed
+// mid-write, segments pruned out from under a follower, a flipped bit in
+// a tailed segment, transient read errors, an fsync-bouncing disk — and
+// asserts the supervised serving tier self-heals with zero wrong routes
+// (-short trims it to a CI smoke). -json writes
+// the perf, scale, read, hub, recover, route or chaos experiment as machine-readable
 // JSON ("-" for stdout) so the performance trajectory can be tracked across commits
 // (BENCH_*.json).
 // -cpuprofile / -memprofile write pprof profiles covering the selected
@@ -46,7 +50,8 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: table1, fig4, fig7, fig8, fig9, table2, ablation, extensions, simulate, motifs, perf, scale, read, hub, recover, route, all")
+		exp      = flag.String("exp", "all", "experiment: table1, fig4, fig7, fig8, fig9, table2, ablation, extensions, simulate, motifs, perf, scale, read, hub, recover, route, chaos, all")
+		short    = flag.Bool("short", false, "trim the chaos experiment to a CI-smoke scale")
 		scale    = flag.Int("scale", 12000, "per-dataset target vertex count")
 		seed     = flag.Int64("seed", 42, "seed for generation/shuffles/signatures")
 		k        = flag.Int("k", 8, "partitions (fig7/fig9/table2)")
@@ -77,11 +82,13 @@ func main() {
 				return runRecoverJSON(cfg, *jsonOut)
 			case "route":
 				return runRouteJSON(cfg, *jsonOut)
+			case "chaos":
+				return runChaosJSON(cfg, *jsonOut, *short)
 			default:
-				return fmt.Errorf("-json only applies to the perf, scale, read, hub, recover and route experiments (got -exp %s)", *exp)
+				return fmt.Errorf("-json only applies to the perf, scale, read, hub, recover, route and chaos experiments (got -exp %s)", *exp)
 			}
 		}
-		return run(*exp, cfg)
+		return run(*exp, cfg, *short)
 	}); err != nil {
 		fmt.Fprintf(os.Stderr, "loom-bench: %v\n", err)
 		os.Exit(1)
@@ -225,6 +232,27 @@ func runRouteJSON(cfg bench.Config, path string) error {
 	return f.Close()
 }
 
+// runChaosJSON runs the fault-injection suite and writes the
+// machine-readable report to path ("-" = stdout).
+func runChaosJSON(cfg bench.Config, path string, short bool) error {
+	rep, err := bench.RunChaos(cfg, short)
+	if err != nil {
+		return err
+	}
+	if path == "-" {
+		return bench.WriteChaosJSON(os.Stdout, rep)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := bench.WriteChaosJSON(f, rep); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
 // runScaleJSON runs the multi-core scaling sweep and writes the
 // machine-readable report to path ("-" = stdout).
 func runScaleJSON(cfg bench.Config, path string) error {
@@ -246,7 +274,7 @@ func runScaleJSON(cfg bench.Config, path string) error {
 	return f.Close()
 }
 
-func run(exp string, cfg bench.Config) error {
+func run(exp string, cfg bench.Config, short bool) error {
 	runOne := func(name string) error {
 		start := time.Now()
 		defer func() {
@@ -345,6 +373,12 @@ func run(exp string, cfg bench.Config) error {
 				return err
 			}
 			bench.RenderRoute(os.Stdout, rep)
+		case "chaos":
+			rep, err := bench.RunChaos(cfg, short)
+			if err != nil {
+				return err
+			}
+			bench.RenderChaos(os.Stdout, rep)
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}

@@ -5,8 +5,9 @@
 //	GET  /route/{vertex}                 one routing decision
 //	POST /route/batch                    JSON array of vertex ids
 //	GET  /route/scatter?seed=V&motif=Q   scatter-gather plan for a motif
-//	GET  /stats                          mirror + planner counters
-//	GET  /healthz                        200 once caught up, 503 before
+//	GET  /stats                          mirror + supervisor + server counters
+//	GET  /healthz                        200 once caught up, 503 before;
+//	                                     "degraded" body while riding out a fault
 //
 // Three modes:
 //
@@ -19,15 +20,25 @@
 //	    the directory holds first), checkpointing when ingest completes.
 //
 //	loom-router -addr :7474 -dataset dblp -wal /var/loom/wal -follow
-//	    Replica: tails another process's WAL directory read-only —
-//	    bootstrap from its newest checkpoint + log tail, then poll for new
-//	    records every -poll. /healthz turns 200 only once the replica has
-//	    caught up to the primary's durable log head; routing answers are
-//	    served (from what has been applied) even before that.
+//	    Supervised replica: tails another process's WAL directory
+//	    read-only, polling every -poll. The follower runs under a
+//	    supervisor that classifies faults and self-heals: transient I/O
+//	    errors are retried with jittered exponential backoff (-backoff-min
+//	    .. -backoff-max, factor -backoff-factor) while routing keeps
+//	    serving the last applied state; a WAL gap (the primary pruned past
+//	    us) or segment corruption triggers an automatic re-bootstrap from
+//	    the primary's newest checkpoint, quarantining any damaged segment
+//	    by name in /stats. /healthz turns 200 only once the replica has
+//	    caught up to the primary's durable log head, and reports
+//	    "degraded" (still 200 — keep routing, page someone) during
+//	    faults after that.
 //
-// The motif workload for /route/scatter is the dataset's registered
-// workload (-dataset). Shutdown is graceful on SIGINT/SIGTERM: in-flight
-// requests drain, the partitioner closes (syncing the WAL).
+// Serving is bounded: per-request deadline (-timeout), an in-flight cap
+// that sheds excess route load with 503 + Retry-After (-max-inflight),
+// and a batch-size limit (-max-batch). The motif workload for
+// /route/scatter is the dataset's registered workload (-dataset).
+// Shutdown is graceful on SIGINT/SIGTERM: in-flight requests drain for
+// up to -drain, the partitioner closes (syncing the WAL).
 package main
 
 import (
@@ -60,6 +71,16 @@ type config struct {
 	follow   bool
 	poll     time.Duration
 	pin      time.Duration
+
+	backoffMin    time.Duration
+	backoffMax    time.Duration
+	backoffFactor float64
+
+	timeout     time.Duration
+	maxInFlight int
+	maxBatch    int
+	drain       time.Duration
+	routeDelay  time.Duration
 }
 
 func main() {
@@ -73,8 +94,16 @@ func main() {
 	flag.Int64Var(&cfg.seed, "seed", 7, "demo stream seed")
 	flag.StringVar(&cfg.walDir, "wal", "", "write-ahead log directory (primary: log + recover; with -follow: tail read-only)")
 	flag.BoolVar(&cfg.follow, "follow", false, "follow a primary's WAL directory instead of ingesting (requires -wal)")
-	flag.DurationVar(&cfg.poll, "poll", 200*time.Millisecond, "WAL poll interval in -follow mode")
+	flag.DurationVar(&cfg.poll, "poll", 200*time.Millisecond, "steady-state WAL poll interval in -follow mode")
 	flag.DurationVar(&cfg.pin, "pin", time.Second, "routing-generation repin interval")
+	flag.DurationVar(&cfg.backoffMin, "backoff-min", 50*time.Millisecond, "first retry delay after a follow fault")
+	flag.DurationVar(&cfg.backoffMax, "backoff-max", 5*time.Second, "retry delay ceiling for follow faults")
+	flag.Float64Var(&cfg.backoffFactor, "backoff-factor", 2, "retry delay multiplier per consecutive follow fault")
+	flag.DurationVar(&cfg.timeout, "timeout", 5*time.Second, "per-request handler deadline (negative: no deadline)")
+	flag.IntVar(&cfg.maxInFlight, "max-inflight", 256, "concurrent route requests before shedding with 503 (negative: unbounded)")
+	flag.IntVar(&cfg.maxBatch, "max-batch", 65536, "largest accepted /route/batch vertex count")
+	flag.DurationVar(&cfg.drain, "drain", 5*time.Second, "graceful-shutdown deadline for in-flight requests")
+	flag.DurationVar(&cfg.routeDelay, "route-delay", 0, "artificial per-route delay (drain/overload testing aid)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
@@ -85,13 +114,17 @@ func main() {
 	}
 }
 
-// run builds the partitioner (or follower), attaches the mirror, and
-// serves until ctx is cancelled. If addrCh is non-nil the bound listen
-// address is sent on it once the listener is up (tests bind :0).
+// run builds the partitioner (or supervised follower), attaches the
+// mirror, and serves until ctx is cancelled. If addrCh is non-nil the
+// bound listen address is sent on it once the listener is up (tests
+// bind :0).
 func run(ctx context.Context, cfg config, logw io.Writer, addrCh chan<- string) error {
 	logger := log.New(logw, "loom-router: ", log.LstdFlags)
 	if cfg.follow && cfg.walDir == "" {
 		return fmt.Errorf("-follow requires -wal DIR (the primary's log directory)")
+	}
+	if cfg.drain <= 0 {
+		cfg.drain = 5 * time.Second
 	}
 	wl, err := loom.DatasetWorkload(cfg.dataset)
 	if err != nil {
@@ -114,20 +147,26 @@ func run(ctx context.Context, cfg config, logw io.Writer, addrCh chan<- string) 
 		WALDir:           cfg.walDir,
 	}
 
+	m := router.New()
 	var (
-		p        *loom.Partitioner
-		follower *loom.Follower
+		p   *loom.Partitioner
+		sup *router.Supervisor
 	)
 	switch {
 	case cfg.follow:
-		f, info, err := loom.Follow(opt, wl)
-		if err != nil {
-			return err
-		}
-		follower = f
-		p = f.Partitioner()
-		logger.Printf("following %s: checkpoint@%d + %d replayed records (lsn %d)",
-			cfg.walDir, info.CheckpointLSN, info.ReplayedRecords, info.LastLSN)
+		// The supervisor owns the follower's whole lifecycle — bootstrap
+		// included, so a briefly unreachable WAL directory delays serving
+		// instead of killing the process — and re-bootstraps through
+		// gaps and corruption on its own.
+		sup = router.NewSupervisor(m, func() (*loom.Follower, loom.RecoveryInfo, error) {
+			return loom.Follow(opt, wl)
+		}, router.SupervisorConfig{
+			Poll:          cfg.poll,
+			BackoffMin:    cfg.backoffMin,
+			BackoffMax:    cfg.backoffMax,
+			BackoffFactor: cfg.backoffFactor,
+			Logf:          logger.Printf,
+		})
 	case cfg.walDir != "":
 		dp, info, err := loom.Open(opt, wl)
 		if err != nil {
@@ -144,18 +183,22 @@ func run(ctx context.Context, cfg config, logw io.Writer, addrCh chan<- string) 
 			return err
 		}
 	}
-
-	m := router.New()
-	m.Attach(p)
-	if cfg.follow {
-		// Readiness means caught up to the primary's durable log head,
-		// not merely bootstrapped: gate it on the first drained poll.
-		m.SetReady(false)
+	if p != nil {
+		m.Attach(p)
 	}
-	srv := router.NewServer(m, router.NewPlanner(m, wl.Queries(), cfg.k))
+	srv := router.NewServerWith(m, router.NewPlanner(m, wl.Queries(), cfg.k), router.ServerConfig{
+		Timeout:     cfg.timeout,
+		MaxInFlight: cfg.maxInFlight,
+		MaxBatch:    cfg.maxBatch,
+		Supervisor:  sup,
+		Delay:       cfg.routeDelay,
+	})
 
 	ln, err := net.Listen("tcp", cfg.addr)
 	if err != nil {
+		if p != nil && cfg.walDir != "" {
+			p.Close()
+		}
 		return err
 	}
 	if addrCh != nil {
@@ -171,81 +214,59 @@ func run(ctx context.Context, cfg config, logw io.Writer, addrCh chan<- string) 
 		}
 	}()
 
-	// The reconciler repins the routing generation: vertices placed before
-	// the mirror attached (recovered state) resolve through it.
-	pinCtx, stopPin := context.WithCancel(ctx)
-	defer stopPin()
-	go func() {
-		tick := time.NewTicker(cfg.pin)
-		defer tick.Stop()
-		for {
-			select {
-			case <-pinCtx.Done():
-				return
-			case <-tick.C:
-				m.Pin(p.Snapshot())
+	bgCtx, stopBg := context.WithCancel(ctx)
+	defer stopBg()
+	if sup != nil {
+		go func() { errc <- sup.Run(bgCtx) }()
+	} else {
+		// The reconciler repins the routing generation: vertices placed
+		// before the mirror attached (recovered state) resolve through
+		// it. In follow mode the supervisor repins after every
+		// productive poll instead.
+		go func() {
+			tick := time.NewTicker(cfg.pin)
+			defer tick.Stop()
+			for {
+				select {
+				case <-bgCtx.Done():
+					return
+				case <-tick.C:
+					m.Pin(p.Snapshot())
+				}
 			}
+		}()
+		if cfg.scale > 0 {
+			go func() { errc <- demoIngest(bgCtx, p, m, cfg, logger) }()
 		}
-	}()
-
-	if cfg.follow {
-		go func() { errc <- followLoop(pinCtx, follower, m, cfg.poll, logger) }()
-	} else if cfg.scale > 0 {
-		go func() { errc <- demoIngest(pinCtx, p, m, cfg, logger) }()
 	}
 
 	select {
 	case <-ctx.Done():
-		logger.Printf("shutting down")
+		logger.Printf("shutting down (draining for up to %v)", cfg.drain)
 	case err := <-errc:
 		if err != nil {
-			shutdown(httpSrv, follower, p, cfg, logger)
+			shutdown(httpSrv, p, cfg, logger)
 			return err
 		}
 		<-ctx.Done()
-		logger.Printf("shutting down")
+		logger.Printf("shutting down (draining for up to %v)", cfg.drain)
 	}
-	return shutdown(httpSrv, follower, p, cfg, logger)
+	return shutdown(httpSrv, p, cfg, logger)
 }
 
-func shutdown(httpSrv *http.Server, follower *loom.Follower, p *loom.Partitioner, cfg config, logger *log.Logger) error {
-	sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+// shutdown drains in-flight requests for up to cfg.drain, then closes
+// the partitioner (primary mode: a final WAL sync). The supervised
+// follower is closed by Supervisor.Run's own cleanup on cancellation.
+func shutdown(httpSrv *http.Server, p *loom.Partitioner, cfg config, logger *log.Logger) error {
+	sctx, cancel := context.WithTimeout(context.Background(), cfg.drain)
 	defer cancel()
 	if err := httpSrv.Shutdown(sctx); err != nil {
 		logger.Printf("http shutdown: %v", err)
 	}
-	if follower != nil {
-		return follower.Close()
-	}
-	if cfg.walDir != "" {
+	if p != nil && cfg.walDir != "" {
 		return p.Close() // syncs the log
 	}
 	return nil
-}
-
-// followLoop polls the primary's WAL at the configured interval, marking
-// the mirror ready the first time a poll drains the log (caught up to the
-// durable head). ErrWALGap — the primary checkpointed and pruned past our
-// position — is fatal; a restart re-bootstraps from the newer checkpoint.
-func followLoop(ctx context.Context, f *loom.Follower, m *router.Mirror, every time.Duration, logger *log.Logger) error {
-	tick := time.NewTicker(every)
-	defer tick.Stop()
-	for {
-		select {
-		case <-ctx.Done():
-			return nil
-		case <-tick.C:
-			n, err := f.Poll()
-			if err != nil {
-				m.SetReady(false)
-				return fmt.Errorf("follow: %w", err)
-			}
-			if n == 0 && !m.Ready() {
-				logger.Printf("caught up to primary at lsn %d", f.LSN())
-				m.SetReady(true)
-			}
-		}
-	}
 }
 
 // demoIngest streams a generated dataset into the partitioner while the

@@ -171,6 +171,124 @@ func TestFollowModeCatchesUp(t *testing.T) {
 	}
 }
 
+// TestFollowStatsReportSupervisor: follow mode surfaces the follower
+// lifecycle in /stats once caught up.
+func TestFollowStatsReportSupervisor(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "wal")
+	wl, err := loom.DatasetWorkload("dblp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := loom.Options{Partitions: 4, ExpectedVertices: 3000, WindowSize: 256, WALDir: dir}
+	p, _, err := loom.Open(opt, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges, err := loom.GenerateDataset("dblp", 600, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddBatch(edges); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := config{dataset: "dblp", k: 4, vertices: 3000, window: 256, walDir: dir, follow: true,
+		poll: 10 * time.Millisecond, pin: 20 * time.Millisecond,
+		backoffMin: 10 * time.Millisecond, backoffMax: 100 * time.Millisecond, backoffFactor: 2}
+	base, stop := startRouter(t, cfg)
+	defer stop()
+	waitHealthy(t, base)
+
+	resp, err := http.Get(base + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st struct {
+		Supervisor *struct {
+			State        string `json:"state"`
+			EverHealthy  bool   `json:"ever_healthy"`
+			Rebootstraps uint64 `json:"rebootstraps"`
+		} `json:"supervisor"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("decode stats: %v", err)
+	}
+	if st.Supervisor == nil || st.Supervisor.State != "healthy" || !st.Supervisor.EverHealthy {
+		t.Fatalf("supervisor stats = %+v", st.Supervisor)
+	}
+	if st.Supervisor.Rebootstraps != 0 {
+		t.Fatalf("clean follow re-bootstrapped %d times", st.Supervisor.Rebootstraps)
+	}
+}
+
+// TestGracefulShutdownDrains: a request in flight when shutdown begins
+// completes normally, while connections attempted after the listener
+// closes are refused — http.Server.Shutdown with the -drain deadline.
+func TestGracefulShutdownDrains(t *testing.T) {
+	cfg := config{dataset: "dblp", k: 4, scale: 0, window: 256, seed: 7,
+		poll: 20 * time.Millisecond, pin: 20 * time.Millisecond,
+		routeDelay: 500 * time.Millisecond, drain: 10 * time.Second}
+	base, stop := startRouter(t, cfg)
+
+	type result struct {
+		code int
+		err  error
+	}
+	slow := make(chan result, 1)
+	go func() {
+		resp, err := http.Get(base + "/route/42")
+		if err != nil {
+			slow <- result{0, err}
+			return
+		}
+		resp.Body.Close()
+		slow <- result{resp.StatusCode, nil}
+	}()
+	time.Sleep(150 * time.Millisecond) // the slow request is now in flight
+
+	stopped := make(chan struct{})
+	go func() {
+		stop() // cancel + wait for run to return cleanly
+		close(stopped)
+	}()
+
+	// New connections get refused once the listener closes, while the
+	// slow request keeps draining.
+	refusedBy := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(base + "/route/1")
+		if err != nil {
+			break // refused: the listener is closed
+		}
+		resp.Body.Close()
+		if time.Now().After(refusedBy) {
+			t.Fatal("new requests were still accepted during shutdown")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	select {
+	case r := <-slow:
+		if r.err != nil || r.code != http.StatusOK {
+			t.Fatalf("in-flight request during shutdown: code %d, err %v", r.code, r.err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("in-flight request never completed")
+	}
+	select {
+	case <-stopped:
+	case <-time.After(15 * time.Second):
+		t.Fatal("shutdown did not complete")
+	}
+}
+
 func TestFollowRequiresWALDir(t *testing.T) {
 	err := run(context.Background(), config{dataset: "dblp", follow: true, poll: time.Millisecond, pin: time.Millisecond}, io.Discard, nil)
 	if err == nil {

@@ -51,6 +51,37 @@ func (s WALSyncPolicy) internal() wal.SyncPolicy {
 	}
 }
 
+// WALFailurePolicy selects how a durable partitioner responds when the
+// write-ahead log itself fails — a segment write or fsync error that
+// survives the configured retries (Options.WALFailure).
+type WALFailurePolicy int
+
+const (
+	// FailStop (the default) treats a log failure as fatal to ingest: the
+	// failing call errors, the sticky Err latches, and every further
+	// ingest call is refused. Nothing is ever applied that the log cannot
+	// reproduce — the strict log-before-apply contract.
+	FailStop WALFailurePolicy = iota
+	// DegradeToMemory keeps placements flowing when the log fails: after
+	// retries are exhausted a breaker trips, ingest continues memory-only,
+	// and DurabilityLost reports the first error plus the LSN watermark of
+	// the last record the disk is guaranteed to hold. A successful
+	// Checkpoint on a recovered disk captures the full in-memory state,
+	// re-arms the log and closes the breaker. Opt-in: serving availability
+	// over the durability of the most recent ingest.
+	DegradeToMemory
+)
+
+func (f WALFailurePolicy) String() string {
+	switch f {
+	case FailStop:
+		return "fail-stop"
+	case DegradeToMemory:
+		return "degrade-to-memory"
+	}
+	return fmt.Sprintf("policy(%d)", int(f))
+}
+
 // ErrWALConfig reports that a checkpoint was written by a partitioner
 // whose Options or base workload differ from the ones passed to Open.
 // Everything that shapes placement decisions is fingerprinted (Workers is
@@ -130,6 +161,8 @@ func openFS(fsys wal.FS, opt Options, wl *Workload) (*Partitioner, RecoveryInfo,
 		Policy:          nopt.WALSync.internal(),
 		SegmentBytes:    int64(nopt.WALSegmentBytes),
 		KeepCheckpoints: nopt.WALKeepCheckpoints,
+		Retries:         nopt.walRetries(),
+		RetryBackoff:    nopt.WALRetryBackoff,
 	})
 	if err != nil {
 		return nil, info, err
@@ -164,6 +197,45 @@ func openFS(fsys wal.FS, opt Options, wl *Workload) (*Partitioner, RecoveryInfo,
 	p.publishLocked()
 	p.wal = wlog
 	return p, info, nil
+}
+
+// walRetries maps Options.WALAppendRetries onto the wal layer's count:
+// 0 (unset) means the default 2 retries, negative disables retrying.
+func (o Options) walRetries() int {
+	switch {
+	case o.WALAppendRetries < 0:
+		return 0
+	case o.WALAppendRetries == 0:
+		return 2
+	default:
+		return o.WALAppendRetries
+	}
+}
+
+// OpenFS is Open over an injectable write-ahead-log filesystem. The FS
+// interface lives in an internal package, so only this module's fault
+// tests and chaos harness (loom-bench -exp chaos) can construct one;
+// external callers use Open, which runs on the real filesystem.
+func OpenFS(fsys wal.FS, opt Options, wl *Workload) (*Partitioner, RecoveryInfo, error) {
+	return openFS(fsys, opt, wl)
+}
+
+// FollowFS is Follow over an injectable filesystem; see OpenFS.
+func FollowFS(fsys wal.FS, opt Options, wl *Workload) (*Follower, RecoveryInfo, error) {
+	return followFS(fsys, opt, wl)
+}
+
+// DamagedSegment reports the WAL segment file an error from Follow,
+// Follower.Poll or Open was attributed to, when the damage is localised
+// to one segment — the name a supervisor quarantines before
+// re-bootstrapping. ok is false for errors with no segment attribution
+// (gaps spanning the chain, config mismatches, transient I/O elsewhere).
+func DamagedSegment(err error) (name string, ok bool) {
+	var se *wal.SegmentError
+	if errors.As(err, &se) {
+		return se.Name, true
+	}
+	return "", false
 }
 
 // Follower is a read-only replica of a durable partitioner: it bootstraps
@@ -322,12 +394,41 @@ func (p *Partitioner) Checkpoint() (int64, error) {
 	n, err := p.wal.WriteCheckpoint(payload)
 	if err != nil {
 		err = fmt.Errorf("loom: checkpoint failed: %w", err)
-		if p.err == nil {
+		// Under DegradeToMemory a failed checkpoint means the disk is
+		// still bad — the breaker stays open, ingest stays live, and the
+		// caller retries later. Only FailStop latches the sticky error.
+		if p.opt.WALFailure != DegradeToMemory && p.err == nil {
 			p.err = err
 		}
 		return 0, err
 	}
+	if p.degraded {
+		// The checkpoint captured the full in-memory state on a recovered
+		// disk and the wal layer re-armed the log around it: durability is
+		// restored, the breaker closes.
+		p.degraded = false
+		p.duraErr = nil
+		p.duraLSN = 0
+	}
 	return n, nil
+}
+
+// DurabilityLost reports the breaker state of a durable partitioner
+// running under WALFailure == DegradeToMemory. While the breaker is open
+// — a log write or fsync failure exhausted its retries — ingest continues
+// memory-only: err is the first log failure and lsn is the exact
+// watermark of the last record the disk is guaranteed to hold (a crash
+// before the next successful Checkpoint recovers state through lsn and
+// nothing after it). On a fully durable partitioner both are zero. A
+// successful Checkpoint on a recovered disk re-arms the log and resets
+// the breaker.
+func (p *Partitioner) DurabilityLost() (err error, lsn uint64) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if !p.degraded {
+		return nil, 0
+	}
+	return p.duraErr, p.duraLSN
 }
 
 // Sync forces every acknowledged ingest call to stable storage, draining
@@ -345,7 +446,19 @@ func (p *Partitioner) Sync() error {
 	if p.wal == nil {
 		return nil
 	}
+	if p.degraded {
+		// Sync promises durability of every acknowledged call; with the
+		// breaker open that promise cannot be kept. Not sticky: ingest is
+		// healthy, only durability is degraded (see DurabilityLost).
+		return fmt.Errorf("loom: durability degraded since LSN %d: %w", p.duraLSN, p.duraErr)
+	}
 	if err := p.wal.Sync(); err != nil {
+		if p.opt.WALFailure == DegradeToMemory {
+			p.degraded = true
+			p.duraErr = err
+			p.duraLSN = p.wal.SyncedLSN()
+			return fmt.Errorf("loom: durability degraded since LSN %d: %w", p.duraLSN, p.duraErr)
+		}
 		err = fmt.Errorf("loom: wal sync failed: %w", err)
 		if p.err == nil {
 			p.err = err
@@ -567,16 +680,29 @@ func (p *Partitioner) walEncReset() *wal.Enc {
 }
 
 // walAppend hands the framed record buffer (walEncReset + payload) to the
-// log. On failure the sticky error is set and nothing may be applied.
+// log. On failure, WALFailure decides: FailStop sets the sticky error and
+// nothing may be applied; DegradeToMemory trips the breaker — the record
+// is dropped, the operation applies anyway, and ingest runs memory-only
+// until a successful Checkpoint re-arms the log.
 func (p *Partitioner) walAppend(framed []byte) error {
-	if _, err := p.wal.AppendFramed(framed); err != nil {
-		err = fmt.Errorf("loom: wal append failed, operation not applied: %w", err)
-		if p.err == nil {
-			p.err = err
-		}
-		return err
+	if p.degraded {
+		return nil // breaker open: memory-only until Checkpoint re-arms
 	}
-	return nil
+	_, err := p.wal.AppendFramed(framed)
+	if err == nil {
+		return nil
+	}
+	if p.opt.WALFailure == DegradeToMemory {
+		p.degraded = true
+		p.duraErr = err
+		p.duraLSN = p.wal.SyncedLSN()
+		return nil
+	}
+	err = fmt.Errorf("loom: wal append failed, operation not applied: %w", err)
+	if p.err == nil {
+		p.err = err
+	}
+	return err
 }
 
 // applyRecordLocked decodes and applies one replayed record. Decoding is

@@ -3,9 +3,11 @@ package wal
 import (
 	"encoding/binary"
 	"fmt"
+	"io"
 	"path/filepath"
 	"strconv"
 	"strings"
+	"time"
 )
 
 const (
@@ -109,7 +111,8 @@ type Log struct {
 	ckpts  []uint64 // retained checkpoint LSNs, ascending
 	segs   []uint64 // live segment first-LSNs, ascending
 	closed bool
-	broken bool // a write failed; the tail may be torn, refuse appends
+	broken bool   // a write failed; the tail may be torn, refuse appends
+	synced uint64 // LSN of the last record covered by a successful fsync
 	enc    Enc
 }
 
@@ -192,6 +195,8 @@ func Open(fsys FS, opt Options) (*Log, *Recovered, error) {
 		return nil, nil, err
 	}
 	rec.LastLSN = l.nextLSN - 1
+	// Everything recovery handed back came off stable storage.
+	l.synced = rec.LastLSN
 	// Start the tail segment now rather than on the first append: segment
 	// creation carries a directory fsync, and paying it here keeps that
 	// constant cost out of the ingest path.
@@ -319,6 +324,26 @@ func (l *Log) dropFrom(i int, rec *Recovered) error {
 // LSN returns the LSN of the last appended (or recovered) record.
 func (l *Log) LSN() uint64 { return l.nextLSN - 1 }
 
+// SyncedLSN returns the LSN of the last record known durable — covered by
+// a successful fsync (or recovered off disk at Open). Records between
+// SyncedLSN and LSN are acknowledged but staged or unsynced; a crash can
+// lose them. After a write failure this is the exact watermark of what
+// the disk is guaranteed to hold.
+func (l *Log) SyncedLSN() uint64 { return l.synced }
+
+// Broken reports whether a write failure has latched the log: appends are
+// refused until a successful WriteCheckpoint re-arms it.
+func (l *Log) Broken() bool { return l.broken }
+
+// retryDelay is the backoff before retry attempt (0-based, capped).
+func (l *Log) retryDelay(attempt int) time.Duration {
+	d := l.opt.RetryBackoff
+	for i := 0; i < attempt && d < time.Second; i++ {
+		d *= 2
+	}
+	return d
+}
+
 // Append frames payload, stages it in the group-commit buffer and applies
 // the sync policy: SyncAlways writes and fsyncs the record immediately;
 // SyncBatch and SyncNone let records accumulate and hand the whole group
@@ -385,8 +410,10 @@ func (l *Log) AppendFramed(b []byte) (uint64, error) {
 
 // writeOut drains the group-commit buffer into the active segment. A
 // segment is always active on a healthy log (Open and rotate both start
-// one eagerly). A failed write latches the log broken: the segment tail
-// may hold a torn fragment of the group.
+// one eagerly). A failed write is retried opt.Retries times (the OS may
+// have taken a prefix; only the remainder is re-sent); once retries are
+// exhausted the log latches broken: the segment tail may hold a torn
+// fragment of the group.
 func (l *Log) writeOut() error {
 	if len(l.buf) == 0 {
 		return nil
@@ -395,16 +422,31 @@ func (l *Log) writeOut() error {
 		l.broken = true
 		return fmt.Errorf("wal: no active segment for staged records")
 	}
-	if _, err := l.cur.Write(l.buf); err != nil {
-		l.broken = true
-		return fmt.Errorf("wal: write record group: %w", err)
+	off := 0
+	var err error
+	for attempt := 0; ; attempt++ {
+		var n int
+		n, err = l.cur.Write(l.buf[off:])
+		off += n
+		if err == nil && off == len(l.buf) {
+			l.buf = l.buf[:0]
+			return nil
+		}
+		if err == nil {
+			err = io.ErrShortWrite
+		}
+		if attempt >= l.opt.Retries {
+			break
+		}
+		time.Sleep(l.retryDelay(attempt))
 	}
-	l.buf = l.buf[:0]
-	return nil
+	l.broken = true
+	return fmt.Errorf("wal: write record group: %w", err)
 }
 
 // writeSync drains the buffer and fsyncs the segment — one durability
-// point for the whole group.
+// point for the whole group. A failed fsync is retried like a failed
+// write; on success the synced watermark advances to the log head.
 func (l *Log) writeSync() error {
 	if err := l.writeOut(); err != nil {
 		return err
@@ -412,12 +454,20 @@ func (l *Log) writeSync() error {
 	if l.cur == nil || l.unsynced == 0 {
 		return nil
 	}
-	if err := l.cur.Sync(); err != nil {
-		l.broken = true
-		return fmt.Errorf("wal: fsync segment: %w", err)
+	var err error
+	for attempt := 0; ; attempt++ {
+		if err = l.cur.Sync(); err == nil {
+			l.unsynced = 0
+			l.synced = l.nextLSN - 1
+			return nil
+		}
+		if attempt >= l.opt.Retries {
+			break
+		}
+		time.Sleep(l.retryDelay(attempt))
 	}
-	l.unsynced = 0
-	return nil
+	l.broken = true
+	return fmt.Errorf("wal: fsync segment: %w", err)
 }
 
 func (l *Log) startSegment() error {
@@ -482,14 +532,26 @@ func (l *Log) Sync() error {
 // checkpoints beyond KeepCheckpoints and segments whose records all
 // precede the oldest retained checkpoint. Returns the checkpoint file
 // size.
+//
+// On a broken log (an earlier write or fsync failure latched it) the
+// checkpoint is still attempted: the payload is the caller's full state,
+// which supersedes every record including any lost in the torn tail. If
+// it publishes, the log re-arms — the staged group is discarded, history
+// collapses to the re-arming checkpoint (older checkpoints can no longer
+// be corroborated by the damaged chain), and appends resume on a fresh
+// segment.
 func (l *Log) WriteCheckpoint(payload []byte) (int64, error) {
 	if l.closed {
 		return 0, ErrClosed
 	}
 	// Make the log durable through the checkpoint LSN first, so the
-	// checkpoint never describes state the log cannot corroborate.
-	if err := l.Sync(); err != nil {
-		return 0, err
+	// checkpoint never describes state the log cannot corroborate. If the
+	// sync fails (or already failed), fall through broken: the checkpoint
+	// itself is about to supersede the log.
+	if !l.broken {
+		if err := l.writeSync(); err != nil && !l.broken {
+			return 0, err
+		}
 	}
 	lsn := l.LSN()
 	file := buildCheckpointFile(lsn, payload)
@@ -519,6 +581,12 @@ func (l *Log) WriteCheckpoint(payload []byte) (int64, error) {
 	if len(l.ckpts) == 0 || l.ckpts[len(l.ckpts)-1] != lsn {
 		l.ckpts = append(l.ckpts, lsn)
 	}
+	if l.broken {
+		if err := l.rearm(lsn); err != nil {
+			return 0, err
+		}
+		return int64(len(file)), nil
+	}
 	// Prune: old checkpoints first, then segments the oldest retained
 	// checkpoint makes redundant. Failed removals are retried implicitly
 	// by the next checkpoint; staleness is harmless.
@@ -532,6 +600,41 @@ func (l *Log) WriteCheckpoint(payload []byte) (int64, error) {
 		l.segs = l.segs[1:]
 	}
 	return int64(len(file)), nil
+}
+
+// rearm recovers a broken log after a checkpoint published at lsn. Every
+// record — durable, staged, or lost in the torn tail — has LSN <= lsn and
+// is superseded by the checkpoint payload, so the whole segment chain and
+// every older checkpoint are dropped (a fallback to an older checkpoint
+// would need records the damaged chain cannot corroborate) and a fresh
+// tail segment is started at the head. Failed removals are tolerated:
+// recovery picks the newest segment containing the next record to replay,
+// so stale leftovers are ignored.
+func (l *Log) rearm(lsn uint64) error {
+	l.buf = l.buf[:0]
+	l.unsynced = 0
+	if l.cur != nil {
+		_ = l.cur.Close()
+		l.cur = nil
+	}
+	l.curSize = 0
+	for _, fl := range l.segs {
+		_ = l.fs.Remove(l.path(segName(fl)))
+	}
+	l.segs = l.segs[:0]
+	for _, c := range l.ckpts {
+		if c != lsn {
+			_ = l.fs.Remove(l.path(ckptName(c)))
+		}
+	}
+	l.ckpts = append(l.ckpts[:0], lsn)
+	l.broken = false
+	if err := l.startSegment(); err != nil {
+		l.broken = true
+		return fmt.Errorf("wal: re-arm after checkpoint: %w", err)
+	}
+	l.synced = lsn
+	return nil
 }
 
 // Close writes out staged records, syncs and closes the active segment.

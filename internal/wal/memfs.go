@@ -14,6 +14,10 @@ import (
 // resolves the outcome.
 var ErrCrashed = errors.New("wal: simulated crash")
 
+// ErrInjected is the default error surfaced by scripted faults
+// (SetReadFault / SetWriteFault / SetSyncFault with a nil error).
+var ErrInjected = errors.New("wal: injected fault")
+
 // MemFS is a deterministic in-memory FS for fault injection. It models
 // the two distinct durability layers a real crash cuts through:
 //
@@ -37,6 +41,38 @@ type MemFS struct {
 	crashed bool
 	pending []renameOp // renames not yet made durable by SyncDir
 	written int64      // total bytes ever written (for sweep planning)
+
+	// Scripted transient faults (see SetReadFault and friends). Unlike
+	// the write budget these do not crash the FS: the matched operation
+	// fails and life goes on — EIO on a cold page, a raced prune, a disk
+	// that bounces an fsync.
+	readFault  faultRule
+	writeFault faultRule
+	syncFault  faultRule
+	readHook   func(path string) error
+}
+
+// faultRule scripts transient failures for one operation class: the next
+// count calls whose path contains match fail with err.
+type faultRule struct {
+	match string
+	count int // remaining injections; < 0 means unlimited
+	err   error
+}
+
+// take consumes one injection if the rule matches path, returning the
+// scripted error (nil when the rule is disarmed or does not match).
+func (f *faultRule) take(path string) error {
+	if f.count == 0 || !strings.Contains(path, f.match) {
+		return nil
+	}
+	if f.count > 0 {
+		f.count--
+	}
+	if f.err != nil {
+		return f.err
+	}
+	return ErrInjected
 }
 
 type memFile struct {
@@ -117,6 +153,44 @@ func (m *MemFS) CrashKeep() {
 	m.budget = -1
 }
 
+// SetReadFault arms scripted read-path injection: the next count
+// ReadFile calls whose path contains match fail with err (nil err:
+// ErrInjected). count < 0 injects until disarmed; count 0 disarms.
+func (m *MemFS) SetReadFault(match string, count int, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.readFault = faultRule{match: match, count: count, err: err}
+}
+
+// SetWriteFault arms scripted write-path injection: the next count
+// File.Write calls on files whose path contains match fail (taking no
+// bytes) with err. Semantics as SetReadFault.
+func (m *MemFS) SetWriteFault(match string, count int, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.writeFault = faultRule{match: match, count: count, err: err}
+}
+
+// SetSyncFault arms scripted fsync injection: the next count File.Sync
+// calls on files whose path contains match fail with err, without
+// advancing the synced watermark. Semantics as SetReadFault.
+func (m *MemFS) SetSyncFault(match string, count int, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.syncFault = faultRule{match: match, count: count, err: err}
+}
+
+// SetReadHook installs fn to run at the top of every ReadFile, outside
+// the FS lock — the fully scriptable side of the read path. The hook may
+// mutate the FS (e.g. Remove the very file being read, modelling a prune
+// racing an in-flight tailer Poll between its List and ReadFile); a
+// non-nil return is surfaced as the ReadFile error. nil uninstalls.
+func (m *MemFS) SetReadHook(fn func(path string) error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.readHook = fn
+}
+
 // FlipBit XORs one bit at byte offset off of name — the disk-rot /
 // corruption injector.
 func (m *MemFS) FlipBit(name string, off int64) error {
@@ -164,14 +238,26 @@ func (m *MemFS) Create(name string) (File, error) {
 	}
 	f := &memFile{}
 	m.files[filepath.Clean(name)] = f
-	return &memHandle{fs: m, f: f}, nil
+	return &memHandle{fs: m, f: f, name: filepath.Clean(name)}, nil
 }
 
 func (m *MemFS) ReadFile(name string) ([]byte, error) {
 	m.mu.Lock()
+	hook := m.readHook
+	m.mu.Unlock()
+	if hook != nil {
+		// Outside the lock: the hook may call back into the FS.
+		if err := hook(name); err != nil {
+			return nil, err
+		}
+	}
+	m.mu.Lock()
 	defer m.mu.Unlock()
 	if err := m.checkLocked(); err != nil {
 		return nil, err
+	}
+	if err := m.readFault.take(name); err != nil {
+		return nil, fmt.Errorf("memfs: read %s: %w", name, err)
 	}
 	f, ok := m.files[filepath.Clean(name)]
 	if !ok {
@@ -261,6 +347,7 @@ func (m *MemFS) SyncDir(string) error {
 type memHandle struct {
 	fs     *MemFS
 	f      *memFile
+	name   string
 	closed bool
 }
 
@@ -272,6 +359,9 @@ func (h *memHandle) Write(p []byte) (int, error) {
 	}
 	if h.closed {
 		return 0, errors.New("memfs: write to closed file")
+	}
+	if err := h.fs.writeFault.take(h.name); err != nil {
+		return 0, fmt.Errorf("memfs: write %s: %w", h.name, err)
 	}
 	n := len(p)
 	if h.fs.budget >= 0 && int64(n) > h.fs.budget {
@@ -295,6 +385,9 @@ func (h *memHandle) Sync() error {
 	defer h.fs.mu.Unlock()
 	if h.fs.crashed {
 		return ErrCrashed
+	}
+	if err := h.fs.syncFault.take(h.name); err != nil {
+		return fmt.Errorf("memfs: fsync %s: %w", h.name, err)
 	}
 	h.f.synced = len(h.f.data)
 	return nil

@@ -165,8 +165,11 @@ func (t *Tailer) readFrom(segs []uint64, rec *Recovered) (records [][]byte, torn
 		if rerr != nil {
 			// The primary may prune a segment between List and ReadFile;
 			// a vanished segment at the start of the walk is a pruning
-			// race only if we no longer need it.
-			return nil, false, fmt.Errorf("wal: read segment %s: %w", name, rerr)
+			// race only if we no longer need it. Surfaced as a transient
+			// (non-Gap, non-Corrupt) error: the next Poll re-lists and
+			// classifies the directory's true state.
+			return nil, false, &SegmentError{Name: name,
+				Err: fmt.Errorf("wal: read segment %s: %w", name, rerr)}
 		}
 		if !parseSegHeader(data, fl) {
 			if i == len(segs)-1 {
@@ -177,15 +180,17 @@ func (t *Tailer) readFrom(segs []uint64, rec *Recovered) (records [][]byte, torn
 				}
 				return records, true, nil
 			}
-			return nil, false, fmt.Errorf("wal: segment %s has a damaged header mid-chain: %w", name, ErrCorrupt)
+			return nil, false, &SegmentError{Name: name,
+				Err: fmt.Errorf("wal: segment %s has a damaged header mid-chain: %w", name, ErrCorrupt)}
 		}
 		if expectFirst != 0 && fl != expectFirst {
 			if fl > expectFirst {
 				return nil, false, fmt.Errorf("wal: segment chain jumps from LSN %d to %d (%s): %w",
 					expectFirst, fl, name, ErrGap)
 			}
-			return nil, false, fmt.Errorf("wal: segment %s overlaps the previous segment (expected first LSN %d): %w",
-				name, expectFirst, ErrCorrupt)
+			return nil, false, &SegmentError{Name: name,
+				Err: fmt.Errorf("wal: segment %s overlaps the previous segment (expected first LSN %d): %w",
+					name, expectFirst, ErrCorrupt)}
 		}
 		lsn := fl
 		off := segHeaderSize
@@ -213,8 +218,9 @@ func (t *Tailer) readFrom(segs []uint64, rec *Recovered) (records [][]byte, torn
 					}
 					return records, true, nil
 				}
-				return nil, false, fmt.Errorf("wal: segment %s: bad record at offset %d with intact segments after it: %w",
-					name, off, ErrCorrupt)
+				return nil, false, &SegmentError{Name: name,
+					Err: fmt.Errorf("wal: segment %s: bad record at offset %d with intact segments after it: %w",
+						name, off, ErrCorrupt)}
 			}
 			payload := data[off+recordFrameSize : off+recordFrameSize+plen]
 			if lsn >= t.next {

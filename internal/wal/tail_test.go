@@ -2,7 +2,10 @@ package wal
 
 import (
 	"errors"
+	"fmt"
+	"strings"
 	"testing"
+	"time"
 )
 
 func mustTail(t *testing.T, fsys FS, dir string) (*Tailer, *Recovered) {
@@ -171,7 +174,163 @@ func TestTailerMidChainDamageIsCorrupt(t *testing.T) {
 	if err := fs.FlipBit("wal/"+segName(1), int64(segHeaderSize+recordFrameSize+2)); err != nil {
 		t.Fatalf("FlipBit: %v", err)
 	}
-	if _, _, err := OpenTailer(fs, "wal"); !errors.Is(err, ErrCorrupt) {
+	_, _, err := OpenTailer(fs, "wal")
+	if !errors.Is(err, ErrCorrupt) {
 		t.Fatalf("OpenTailer over mid-chain damage = %v, want ErrCorrupt", err)
 	}
+	// Corruption is attributed to the damaged segment by name, so a
+	// supervisor can quarantine exactly that file.
+	var se *SegmentError
+	if !errors.As(err, &se) || se.Name != segName(1) {
+		t.Fatalf("corruption not attributed to %s: %v", segName(1), err)
+	}
+}
+
+// TestTailerTransientReadErrors: an injected read failure surfaces as a
+// plain error — neither ErrGap nor ErrCorrupt — naming the segment, the
+// tailer's position does not advance, and the very next Poll delivers
+// everything once reads recover.
+func TestTailerTransientReadErrors(t *testing.T) {
+	fs := NewMemFS()
+	opt := Options{Dir: "wal", Policy: SyncAlways}
+	l, _ := mustOpen(t, fs, opt)
+	appendN(t, l, 0, 6)
+	tl, rec := mustTail(t, fs, "wal")
+	wantRecords(t, rec, 0, 6)
+
+	appendN(t, l, 6, 4)
+	fs.SetReadFault(".seg", 2, nil)
+	for i := 0; i < 2; i++ {
+		_, err := tl.Poll()
+		if err == nil {
+			t.Fatalf("Poll %d over injected read fault did not error", i)
+		}
+		if errors.Is(err, ErrGap) || errors.Is(err, ErrCorrupt) {
+			t.Fatalf("transient read fault misclassified: %v", err)
+		}
+		var se *SegmentError
+		if !errors.As(err, &se) || se.Name == "" {
+			t.Fatalf("transient fault does not name its segment: %v", err)
+		}
+	}
+	got, err := tl.Poll()
+	if err != nil || len(got) != 4 {
+		t.Fatalf("Poll after faults cleared = %d records, err %v — want 4, nil", len(got), err)
+	}
+	if tl.LSN() != l.LSN() {
+		t.Fatalf("tailer LSN %d != writer LSN %d after recovery", tl.LSN(), l.LSN())
+	}
+	l.Close()
+}
+
+// TestTailerPruneRacesPoll: the primary checkpoints and prunes between
+// the tailer's List and its ReadFile, so Poll reads a file that just
+// vanished. That must be a transient error — the re-list on the next
+// Poll sees the directory's true state and classifies it for real
+// (here: ErrGap, because the pruned records were never delivered).
+func TestTailerPruneRacesPoll(t *testing.T) {
+	fs := NewMemFS()
+	opt := Options{Dir: "wal", Policy: SyncAlways, SegmentBytes: 128, KeepCheckpoints: 1}
+	l, _ := mustOpen(t, fs, opt)
+	appendN(t, l, 0, 4)
+	tl, _ := mustTail(t, fs, "wal")
+
+	// The tailer needs records from segment 1 onward. Arm a hook that,
+	// on the tailer's first read of a segment, lets the primary race
+	// ahead: append, checkpoint twice (pruning every old segment), and
+	// only then fail the read — the file is genuinely gone.
+	appendN(t, l, 4, 40)
+	raced := false
+	fs.SetReadHook(func(path string) error {
+		if raced || !strings.HasSuffix(path, ".seg") {
+			return nil
+		}
+		raced = true
+		fs.SetReadHook(nil)
+		if _, err := l.WriteCheckpoint([]byte("ckpt-a")); err != nil {
+			t.Errorf("WriteCheckpoint: %v", err)
+		}
+		appendN(t, l, 44, 40)
+		if _, err := l.WriteCheckpoint([]byte("ckpt-b")); err != nil {
+			t.Errorf("WriteCheckpoint: %v", err)
+		}
+		return fmt.Errorf("%s: file does not exist (pruned)", path)
+	})
+
+	_, err := tl.Poll()
+	if err == nil || errors.Is(err, ErrGap) || errors.Is(err, ErrCorrupt) {
+		t.Fatalf("racing Poll = %v, want a transient error", err)
+	}
+	if !raced {
+		t.Fatal("read hook never fired")
+	}
+	// Next Poll re-lists: the needed segments are truly pruned → ErrGap.
+	if _, err := tl.Poll(); !errors.Is(err, ErrGap) {
+		t.Fatalf("Poll after raced prune = %v, want ErrGap", err)
+	}
+	l.Close()
+}
+
+// TestLogRetriesTransientWriteFaults: a bounded burst of write and fsync
+// failures is absorbed by the append path's retry loop — no broken
+// latch, no lost records.
+func TestLogRetriesTransientWriteFaults(t *testing.T) {
+	fs := NewMemFS()
+	opt := Options{Dir: "wal", Policy: SyncAlways, Retries: 3, RetryBackoff: time.Microsecond}
+	l, _ := mustOpen(t, fs, opt)
+	appendN(t, l, 0, 3)
+
+	fs.SetWriteFault(".seg", 1, nil)
+	appendN(t, l, 3, 1) // appendN fails the test if Append errors
+	fs.SetSyncFault(".seg", 2, nil)
+	appendN(t, l, 4, 1)
+	if l.Broken() {
+		t.Fatal("log broke despite retries")
+	}
+	if got := l.SyncedLSN(); got != 5 {
+		t.Fatalf("SyncedLSN = %d, want 5", got)
+	}
+	l.Close()
+
+	_, rec := mustOpen(t, fs, opt)
+	wantRecords(t, rec, 0, 5)
+}
+
+// TestLogBreaksWhenRetriesExhausted: a persistent fsync failure defeats
+// the retries, latches the log broken, and SyncedLSN keeps reporting the
+// last durable record.
+func TestLogBreaksWhenRetriesExhausted(t *testing.T) {
+	fs := NewMemFS()
+	opt := Options{Dir: "wal", Policy: SyncAlways, Retries: 2, RetryBackoff: time.Microsecond}
+	l, _ := mustOpen(t, fs, opt)
+	appendN(t, l, 0, 3)
+
+	fs.SetSyncFault(".seg", -1, nil)
+	if _, err := l.Append(payload(3)); err == nil {
+		t.Fatal("Append over persistent fsync failure did not error")
+	}
+	if !l.Broken() {
+		t.Fatal("log not latched broken after retries exhausted")
+	}
+	if got := l.SyncedLSN(); got != 3 {
+		t.Fatalf("SyncedLSN = %d, want 3 (last durable record)", got)
+	}
+
+	// Re-arm: with the disk healthy again, a checkpoint supersedes the
+	// torn tail and appends flow again.
+	fs.SetSyncFault("", 0, nil)
+	if _, err := l.WriteCheckpoint([]byte("full-state")); err != nil {
+		t.Fatalf("re-arming WriteCheckpoint: %v", err)
+	}
+	if l.Broken() {
+		t.Fatal("log still broken after re-arming checkpoint")
+	}
+	appendN(t, l, 100, 2)
+	l.Close()
+
+	_, rec := mustOpen(t, fs, opt)
+	if !rec.HaveCheckpoint || string(rec.Checkpoint) != "full-state" {
+		t.Fatalf("recovery did not find the re-arming checkpoint: %+v", rec)
+	}
+	wantRecords(t, rec, 100, 2)
 }

@@ -47,6 +47,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"time"
 )
 
 // Format versions, bumped when the on-disk encoding changes shape.
@@ -89,6 +90,19 @@ var (
 	// ErrClosed is returned by operations on a closed log.
 	ErrClosed = errors.New("wal: log closed")
 )
+
+// SegmentError attributes log damage to one segment file, so a supervisor
+// can quarantine the segment by name instead of guessing from the message.
+// It wraps the underlying classification (ErrCorrupt, ErrGap, or a raw
+// read error), which errors.Is/As see through.
+type SegmentError struct {
+	// Name is the base name of the segment the damage was attributed to.
+	Name string
+	Err  error
+}
+
+func (e *SegmentError) Error() string { return e.Err.Error() }
+func (e *SegmentError) Unwrap() error { return e.Err }
 
 // SyncPolicy selects when appended records are written and fsynced to
 // stable storage. Under SyncBatch and SyncNone, appended records are
@@ -142,6 +156,15 @@ type Options struct {
 	// KeepCheckpoints is how many checkpoints to retain (default 2; the
 	// second is the fallback when the latest is corrupt).
 	KeepCheckpoints int
+	// Retries is how many times a failed segment write or fsync is
+	// retried (sleeping RetryBackoff, doubled per attempt, in between)
+	// before the log latches broken. Default 0: the first error breaks
+	// the log, exactly the pre-retry behaviour.
+	Retries int
+	// RetryBackoff is the initial delay between write/fsync retries,
+	// doubling per attempt (default 10ms). Only consulted when Retries
+	// is non-zero.
+	RetryBackoff time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -153,6 +176,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.KeepCheckpoints == 0 {
 		o.KeepCheckpoints = 2
+	}
+	if o.RetryBackoff == 0 {
+		o.RetryBackoff = 10 * time.Millisecond
 	}
 	return o
 }

@@ -58,6 +58,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"loom/internal/core"
 	"loom/internal/dataset"
@@ -134,6 +135,23 @@ type Options struct {
 	// WALKeepCheckpoints retains this many checkpoints (default 2: the
 	// latest plus one fallback in case the latest is corrupt).
 	WALKeepCheckpoints int
+	// WALFailure selects how ingest responds when the log itself fails —
+	// a segment write or fsync error that survives WALAppendRetries
+	// retries. FailStop (the default) makes the failing call error and
+	// latches the sticky Err; DegradeToMemory trips a breaker instead:
+	// placements keep flowing in memory while DurabilityLost reports what
+	// the disk is guaranteed to hold, and a successful Checkpoint on a
+	// recovered disk re-arms the log.
+	WALFailure WALFailurePolicy
+	// WALAppendRetries is how many times a failed log write or fsync is
+	// retried (sleeping WALRetryBackoff, doubled per attempt, in between)
+	// before WALFailure decides the outcome. 0 (the default) means 2
+	// retries; negative disables retrying.
+	WALAppendRetries int
+	// WALRetryBackoff is the initial delay between log write retries,
+	// doubling per attempt (default 10ms). Retries run under the ingest
+	// lock: concurrent writers stall, lock-free reads do not.
+	WALRetryBackoff time.Duration
 }
 
 // Pattern is a small labelled query graph.
@@ -349,6 +367,13 @@ type Partitioner struct {
 	// Durability (nil/zero without a WAL; see Open, Checkpoint, Close).
 	wal       *wal.Log
 	walClosed bool
+	// Breaker state under WALFailure == DegradeToMemory: degraded means a
+	// log failure exhausted its retries and ingest now runs memory-only;
+	// duraErr is the first failure and duraLSN the watermark of the last
+	// record the disk is guaranteed to hold (see DurabilityLost).
+	degraded bool
+	duraErr  error
+	duraLSN  uint64
 	// follower marks a read-only replica built by Follow: direct ingest is
 	// refused; state advances only through Follower.Poll.
 	follower  bool
@@ -466,6 +491,12 @@ func (o Options) normalise() (Options, error) {
 	}
 	if o.WALKeepCheckpoints < 1 {
 		return o, fmt.Errorf("loom: WALKeepCheckpoints must be >= 1, got %d", o.WALKeepCheckpoints)
+	}
+	if o.WALFailure < FailStop || o.WALFailure > DegradeToMemory {
+		return o, fmt.Errorf("loom: unknown WALFailure policy %d", o.WALFailure)
+	}
+	if o.WALRetryBackoff == 0 {
+		o.WALRetryBackoff = 10 * time.Millisecond
 	}
 	return o, nil
 }

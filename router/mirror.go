@@ -91,6 +91,27 @@ func (m *Mirror) Attach(p *loom.Partitioner) (firstSeq uint64) {
 	return firstSeq
 }
 
+// Splice re-attaches the mirror to a freshly bootstrapped partitioner —
+// the supervisor's re-bootstrap path after a WAL gap or corruption killed
+// the old follower. Unlike Attach it force-reseeds the dense-sequence
+// check: the new feed's seqs restart at the bootstrap checkpoint's event
+// seq, at or behind what the mirror already applied, and that overlap is
+// not a gap. Re-delivered events overwrite table entries with identical
+// values (placements are write-once), and the Heal with a snapshot taken
+// after the subscription pins a generation covering everything the old
+// feed lost. Readiness is left untouched: the mirror keeps serving its
+// applied state throughout the splice.
+func (m *Mirror) Splice(p *loom.Partitioner) (firstSeq uint64) {
+	firstSeq = p.Subscribe(m.Apply)
+	m.mu.Lock()
+	m.seeded = true
+	m.firstSeq = firstSeq
+	m.nextSeq = firstSeq
+	m.mu.Unlock()
+	m.Heal(p.Snapshot())
+	return firstSeq
+}
+
 // Apply is the placement event handler: O(1), no partitioner calls. It is
 // exported so a Mirror can be wired to OnPlace/Subscribe directly (or to a
 // replayed event feed in tests); most callers use Attach.

@@ -5,45 +5,147 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"sync/atomic"
+	"time"
 )
 
-// maxBatch bounds one /route/batch request.
-const maxBatch = 65536
+// ServerConfig bounds the serving tier so overload degrades into fast,
+// explicit rejections instead of pile-ups. The zero value gets defaults
+// from NewServerWith.
+type ServerConfig struct {
+	// Timeout is the per-request handler deadline (http.TimeoutHandler):
+	// a stuck handler answers 503 after this long instead of holding its
+	// connection forever. Default 5s; negative disables.
+	Timeout time.Duration
+	// MaxInFlight caps concurrently executing /route/* requests; excess
+	// requests are shed immediately with 503 + Retry-After rather than
+	// queued (queues under overload only add latency to eventual
+	// failures). /stats and /healthz are never gated — operators and load
+	// balancers must see an overloaded server, not a dead one. Default
+	// 256; negative disables.
+	MaxInFlight int
+	// MaxBatch caps one /route/batch request's vertex count. Default
+	// 65536.
+	MaxBatch int
+	// Supervisor, when the server fronts a supervised -follow replica,
+	// feeds /healthz (not ready vs degraded vs ok) and /stats.
+	Supervisor *Supervisor
+	// Delay artificially stretches each route request by this much —
+	// a test hook for exercising drain and shed behaviour with real
+	// in-flight requests.
+	Delay time.Duration
+}
+
+func (c ServerConfig) withDefaults() ServerConfig {
+	if c.Timeout == 0 {
+		c.Timeout = 5 * time.Second
+	}
+	if c.MaxInFlight == 0 {
+		c.MaxInFlight = 256
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 65536
+	}
+	return c
+}
 
 // Server exposes a Mirror (and optionally a Planner) over HTTP/JSON:
 //
 //	GET  /route/{vertex}                 one routing decision
 //	POST /route/batch                    JSON array of vertex ids → decisions
 //	GET  /route/scatter?seed=V&motif=Q   scatter-gather plan for a motif query
-//	GET  /stats                          mirror + planner counters
-//	GET  /healthz                        200 once catch-up completed, else 503
+//	GET  /stats                          mirror + supervisor + server counters
+//	GET  /healthz                        503 until first catch-up, then 200
+//	                                     ("ok", or "degraded: ..." while the
+//	                                     supervisor is riding out a fault)
 //
 // It is an http.Handler; wrap it in an http.Server (cmd/loom-router does)
 // or mount it under a prefix. All responses are JSON except /healthz's
-// plain "ok". Requests against a not-yet-ready mirror still answer — a
+// plain text. Requests against a not-yet-ready mirror still answer — a
 // replica mid-catch-up serves what it has — only /healthz reports the
-// distinction, so load balancers drain traffic while the mirror is behind.
+// distinction, so load balancers drain traffic while the mirror is
+// behind. Route endpoints are bounded: per-request timeout, an in-flight
+// cap that sheds excess load with 503 + Retry-After, and a batch-size
+// limit (ServerConfig).
 type Server struct {
 	mirror  *Mirror
 	planner *Planner // nil: /route/scatter answers 501
+	cfg     ServerConfig
 	mux     *http.ServeMux
+	handler http.Handler  // mux, timeout-wrapped when cfg.Timeout > 0
+	gate    chan struct{} // nil: unbounded
+	shed    atomic.Uint64
 }
 
-// NewServer builds the handler. planner may be nil when no workload is
-// registered (scatter planning needs motif diameters).
+// NewServer builds a handler with default bounds. planner may be nil
+// when no workload is registered (scatter planning needs motif
+// diameters).
 func NewServer(m *Mirror, planner *Planner) *Server {
-	s := &Server{mirror: m, planner: planner, mux: http.NewServeMux()}
+	return NewServerWith(m, planner, ServerConfig{})
+}
+
+// NewServerWith builds the handler with explicit bounds and an optional
+// supervisor for health reporting.
+func NewServerWith(m *Mirror, planner *Planner, cfg ServerConfig) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{mirror: m, planner: planner, cfg: cfg, mux: http.NewServeMux()}
+	if cfg.MaxInFlight > 0 {
+		s.gate = make(chan struct{}, cfg.MaxInFlight)
+	}
 	// Literal patterns win over the {vertex} wildcard, so /route/batch and
 	// /route/scatter are not shadowed (vertex ids are integers anyway).
-	s.mux.HandleFunc("GET /route/{vertex}", s.handleRoute)
-	s.mux.HandleFunc("POST /route/batch", s.handleBatch)
-	s.mux.HandleFunc("GET /route/scatter", s.handleScatter)
+	s.mux.HandleFunc("GET /route/{vertex}", s.gated(s.handleRoute))
+	s.mux.HandleFunc("POST /route/batch", s.gated(s.handleBatch))
+	s.mux.HandleFunc("GET /route/scatter", s.gated(s.handleScatter))
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.handler = s.mux
+	if cfg.Timeout > 0 {
+		s.handler = http.TimeoutHandler(s.mux, cfg.Timeout, "request deadline exceeded")
+	}
 	return s
 }
 
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.handler.ServeHTTP(w, r) }
+
+// Shed returns how many route requests were rejected at the in-flight
+// gate.
+func (s *Server) Shed() uint64 { return s.shed.Load() }
+
+// gated wraps a route handler in the in-flight cap: acquire a slot or
+// shed the request immediately — no queueing — with 503 + Retry-After so
+// well-behaved clients back off.
+func (s *Server) gated(h http.HandlerFunc) http.HandlerFunc {
+	if s.gate == nil {
+		return h
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case s.gate <- struct{}{}:
+			defer func() { <-s.gate }()
+			h(w, r)
+		default:
+			s.shed.Add(1)
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusServiceUnavailable,
+				httpError{fmt.Sprintf("overloaded: %d route requests already in flight", s.cfg.MaxInFlight)})
+		}
+	}
+}
+
+// stall applies the configured artificial delay, cut short if the
+// request is cancelled (client gone or deadline hit).
+func (s *Server) stall(r *http.Request) {
+	if s.cfg.Delay <= 0 {
+		return
+	}
+	t := time.NewTimer(s.cfg.Delay)
+	defer t.Stop()
+	select {
+	case <-r.Context().Done():
+	case <-t.C:
+	}
+}
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -61,6 +163,7 @@ func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, httpError{fmt.Sprintf("vertex must be an integer id: %v", err)})
 		return
 	}
+	s.stall(r)
 	writeJSON(w, http.StatusOK, s.mirror.Lookup(v))
 }
 
@@ -71,10 +174,11 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, httpError{fmt.Sprintf("body must be a JSON array of vertex ids: %v", err)})
 		return
 	}
-	if len(vs) > maxBatch {
-		writeJSON(w, http.StatusRequestEntityTooLarge, httpError{fmt.Sprintf("batch of %d exceeds the %d limit", len(vs), maxBatch)})
+	if len(vs) > s.cfg.MaxBatch {
+		writeJSON(w, http.StatusRequestEntityTooLarge, httpError{fmt.Sprintf("batch of %d exceeds the %d limit", len(vs), s.cfg.MaxBatch)})
 		return
 	}
+	s.stall(r)
 	writeJSON(w, http.StatusOK, s.mirror.LookupBatch(vs))
 }
 
@@ -98,14 +202,25 @@ func (s *Server) handleScatter(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusNotFound, httpError{err.Error()})
 		return
 	}
+	s.stall(r)
 	writeJSON(w, http.StatusOK, plan)
 }
 
-// statsReply is the /stats payload: the mirror's counters plus the
-// planner's registered motifs.
+// statsReply is the /stats payload: the mirror's counters, the serving
+// bounds, and — on a supervised -follow replica — the follower
+// lifecycle.
 type statsReply struct {
-	Mirror Stats        `json:"mirror"`
-	Motifs []motifReply `json:"motifs,omitempty"`
+	Mirror     Stats            `json:"mirror"`
+	Server     serverStats      `json:"server"`
+	Supervisor *SupervisorStats `json:"supervisor,omitempty"`
+	Motifs     []motifReply     `json:"motifs,omitempty"`
+}
+
+type serverStats struct {
+	Shed        uint64 `json:"shed"` // route requests rejected at the gate
+	MaxInFlight int    `json:"max_inflight"`
+	MaxBatch    int    `json:"max_batch"`
+	TimeoutMS   int64  `json:"timeout_ms"`
 }
 
 type motifReply struct {
@@ -116,7 +231,19 @@ type motifReply struct {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	reply := statsReply{Mirror: s.mirror.Stats()}
+	reply := statsReply{
+		Mirror: s.mirror.Stats(),
+		Server: serverStats{
+			Shed:        s.shed.Load(),
+			MaxInFlight: s.cfg.MaxInFlight,
+			MaxBatch:    s.cfg.MaxBatch,
+			TimeoutMS:   s.cfg.Timeout.Milliseconds(),
+		},
+	}
+	if sup := s.cfg.Supervisor; sup != nil {
+		st := sup.Stats()
+		reply.Supervisor = &st
+	}
 	if s.planner != nil {
 		for _, q := range s.planner.Motifs() {
 			reply.Motifs = append(reply.Motifs, motifReply{Name: q.Name, Freq: q.Freq, Edges: q.Edges, Diameter: q.Diameter})
@@ -125,11 +252,34 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, reply)
 }
 
+// handleHealthz separates three conditions load balancers and operators
+// care about:
+//
+//	503 "not ready: ..."  — never caught up; do not route traffic here
+//	200 "degraded: ..."   — serving (possibly stale) while the supervisor
+//	                        rides out a fault; keep traffic, page someone
+//	200 "ok"              — caught up and fault-free
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	if !s.mirror.Ready() {
-		http.Error(w, "catching up", http.StatusServiceUnavailable)
+	sup := s.cfg.Supervisor
+	if sup != nil && !sup.EverHealthy() {
+		http.Error(w, fmt.Sprintf("not ready: %s", sup.State()), http.StatusServiceUnavailable)
+		return
+	}
+	if sup == nil && !s.mirror.Ready() {
+		http.Error(w, "not ready: catching up", http.StatusServiceUnavailable)
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	ms := s.mirror.Stats()
+	if sup != nil {
+		if st := sup.State(); st != StateHealthy {
+			fmt.Fprintf(w, "degraded: follower %s\n", st)
+			return
+		}
+	}
+	if ms.Lost > 0 {
+		fmt.Fprintf(w, "degraded: %d placement events lost awaiting heal\n", ms.Lost)
+		return
+	}
 	fmt.Fprintln(w, "ok")
 }

@@ -4,9 +4,13 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"strings"
+	"sync"
 	"testing"
+	"time"
 )
 
 func getJSON(t *testing.T, url string, out any) *http.Response {
@@ -122,5 +126,158 @@ func TestServerHealthzGatesOnCatchUp(t *testing.T) {
 	m.SetReady(true)
 	if resp := getJSON(t, ts.URL+"/healthz", nil); resp.StatusCode != http.StatusOK {
 		t.Fatalf("ready /healthz: status %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestServerLoadShedding: with one in-flight slot and slow routes, a
+// burst must get some immediate 503s carrying Retry-After — shed, not
+// queued — while /stats and /healthz stay un-gated and the shed counter
+// shows up in /stats.
+func TestServerLoadShedding(t *testing.T) {
+	m := New()
+	m.SetReady(true)
+	s := NewServerWith(m, nil, ServerConfig{
+		MaxInFlight: 1,
+		Delay:       100 * time.Millisecond,
+	})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	const burst = 8
+	codes := make(chan int, burst)
+	var wg sync.WaitGroup
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Get(ts.URL + "/route/1")
+			if err != nil {
+				t.Errorf("GET /route/1: %v", err)
+				codes <- 0
+				return
+			}
+			if resp.StatusCode == http.StatusServiceUnavailable && resp.Header.Get("Retry-After") == "" {
+				t.Error("shed response missing Retry-After")
+			}
+			resp.Body.Close()
+			codes <- resp.StatusCode
+		}()
+	}
+	wg.Wait()
+	close(codes)
+	var ok, shed int
+	for c := range codes {
+		switch c {
+		case http.StatusOK:
+			ok++
+		case http.StatusServiceUnavailable:
+			shed++
+		}
+	}
+	if ok == 0 || shed == 0 {
+		t.Fatalf("burst of %d: %d ok, %d shed — want both nonzero", burst, ok, shed)
+	}
+	// Health and stats answer even with the gate saturated.
+	var st statsReply
+	if resp := getJSON(t, ts.URL+"/stats", &st); resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /stats under load: status %d", resp.StatusCode)
+	}
+	if st.Server.Shed == 0 || st.Server.MaxInFlight != 1 {
+		t.Fatalf("server stats = %+v, want shed > 0, max_inflight 1", st.Server)
+	}
+	if got := s.Shed(); got != st.Server.Shed {
+		t.Fatalf("Shed() = %d, stats say %d", got, st.Server.Shed)
+	}
+}
+
+// TestServerBatchLimit: the configurable batch cap answers 413.
+func TestServerBatchLimit(t *testing.T) {
+	m := New()
+	s := NewServerWith(m, nil, ServerConfig{MaxBatch: 4})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	body, _ := json.Marshal([]int64{1, 2, 3, 4, 5})
+	resp, err := http.Post(ts.URL+"/route/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /route/batch: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversize batch: status %d, want 413", resp.StatusCode)
+	}
+}
+
+// TestServerRequestTimeout: a handler slower than the deadline answers
+// 503 instead of holding the connection.
+func TestServerRequestTimeout(t *testing.T) {
+	m := New()
+	s := NewServerWith(m, nil, ServerConfig{
+		Timeout: 30 * time.Millisecond,
+		Delay:   5 * time.Second,
+	})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	start := time.Now()
+	resp, err := http.Get(ts.URL + "/route/1")
+	if err != nil {
+		t.Fatalf("GET /route/1: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("slow route: status %d, want 503", resp.StatusCode)
+	}
+	if took := time.Since(start); took > 2*time.Second {
+		t.Fatalf("timeout reply took %v — deadline not enforced", took)
+	}
+}
+
+// TestServerHealthzDegraded: with a supervisor attached, /healthz
+// separates never-caught-up (503) from degraded-but-serving (200 with a
+// warning body) from healthy (200 "ok").
+func TestServerHealthzDegraded(t *testing.T) {
+	m := New()
+	sup := NewSupervisor(m, nil, SupervisorConfig{})
+	s := NewServerWith(m, nil, ServerConfig{Supervisor: sup})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	readBody := func() (int, string) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatalf("GET /healthz: %v", err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(b)
+	}
+
+	// Never healthy: not ready, regardless of mirror readiness.
+	m.SetReady(true)
+	if code, body := readBody(); code != http.StatusServiceUnavailable || !strings.Contains(body, "not ready") {
+		t.Fatalf("pre-health /healthz = %d %q, want 503 not ready", code, body)
+	}
+
+	sup.setState(StateHealthy)
+	if code, body := readBody(); code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Fatalf("healthy /healthz = %d %q, want 200 ok", code, body)
+	}
+
+	// Degraded after having been healthy: keep serving, say so.
+	sup.setState(StateDegraded)
+	if code, body := readBody(); code != http.StatusOK || !strings.Contains(body, "degraded") {
+		t.Fatalf("degraded /healthz = %d %q, want 200 degraded", code, body)
+	}
+	sup.setState(StateRebootstrapping)
+	if code, body := readBody(); code != http.StatusOK || !strings.Contains(body, "degraded") {
+		t.Fatalf("rebootstrapping /healthz = %d %q, want 200 degraded", code, body)
+	}
+	// Supervisor state also lands in /stats.
+	var st statsReply
+	getJSON(t, ts.URL+"/stats", &st)
+	if st.Supervisor == nil || st.Supervisor.State != "rebootstrapping" {
+		t.Fatalf("stats supervisor = %+v", st.Supervisor)
 	}
 }

@@ -1,0 +1,502 @@
+package router
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"loom"
+)
+
+// SupervisorState is the follower lifecycle state machine the supervisor
+// drives:
+//
+//	CatchingUp ──► Healthy ◄──► Degraded
+//	     ▲            │            │
+//	     └── Rebootstrapping ◄─────┘
+//
+// CatchingUp: bootstrapped, still draining the backlog between the
+// checkpoint and the primary's tip. Healthy: a poll drained the log
+// completely. Degraded: polls are failing transiently (I/O hiccups);
+// the mirror keeps serving its last applied state. Rebootstrapping: the
+// follower hit a WAL gap (primary pruned past it) or corruption and is
+// being rebuilt from the newest checkpoint.
+type SupervisorState int32
+
+const (
+	StateCatchingUp SupervisorState = iota
+	StateHealthy
+	StateDegraded
+	StateRebootstrapping
+)
+
+func (s SupervisorState) String() string {
+	switch s {
+	case StateCatchingUp:
+		return "catching-up"
+	case StateHealthy:
+		return "healthy"
+	case StateDegraded:
+		return "degraded"
+	case StateRebootstrapping:
+		return "rebootstrapping"
+	default:
+		return fmt.Sprintf("state(%d)", int32(s))
+	}
+}
+
+// FaultClass is the supervisor's triage of a poll or bootstrap error.
+type FaultClass int
+
+const (
+	// FaultTransient: retry the same follower after a backoff — I/O
+	// hiccups, a segment pruned between List and ReadFile, NFS blips.
+	FaultTransient FaultClass = iota
+	// FaultGap: the primary checkpointed and pruned past the follower's
+	// position; only a re-bootstrap from the newer checkpoint recovers.
+	FaultGap
+	// FaultCorrupt: structural damage in a segment the follower still
+	// needs. Re-bootstrap; if the error names the segment, quarantine it.
+	FaultCorrupt
+	// FaultFatal: no retry can help (checkpoint written under different
+	// Options/workload). Run returns the error.
+	FaultFatal
+)
+
+func (c FaultClass) String() string {
+	switch c {
+	case FaultTransient:
+		return "transient"
+	case FaultGap:
+		return "gap"
+	case FaultCorrupt:
+		return "corrupt"
+	case FaultFatal:
+		return "fatal"
+	default:
+		return fmt.Sprintf("fault(%d)", int(c))
+	}
+}
+
+// Classify triages an error from Follower.Poll or a bootstrap attempt.
+// Unrecognised errors default to FaultTransient: retrying is harmless,
+// and the true state (gap, corruption, recovery) is re-classified on the
+// next attempt once the directory is readable again.
+func Classify(err error) FaultClass {
+	switch {
+	case err == nil:
+		return FaultTransient
+	case errors.Is(err, loom.ErrWALConfig):
+		return FaultFatal
+	case errors.Is(err, loom.ErrWALGap):
+		return FaultGap
+	case errors.Is(err, loom.ErrWALCorrupt), errors.Is(err, loom.ErrWALNoCheckpoint):
+		return FaultCorrupt
+	default:
+		return FaultTransient
+	}
+}
+
+// SupervisorConfig tunes the poll cadence and fault backoff. The zero
+// value gets sane defaults from NewSupervisor.
+type SupervisorConfig struct {
+	// Poll is the steady-state interval between polls while healthy.
+	// Default 200ms.
+	Poll time.Duration
+	// BackoffMin is the first retry delay after a fault. Default 50ms.
+	BackoffMin time.Duration
+	// BackoffMax caps the exponential backoff. Default 5s.
+	BackoffMax time.Duration
+	// BackoffFactor multiplies the delay after each consecutive fault.
+	// Default 2.
+	BackoffFactor float64
+	// Seed seeds the backoff jitter; fixed default so runs are
+	// reproducible.
+	Seed int64
+	// Logf, when set, receives state transitions and fault reports.
+	Logf func(format string, args ...any)
+}
+
+func (c SupervisorConfig) withDefaults() SupervisorConfig {
+	if c.Poll <= 0 {
+		c.Poll = 200 * time.Millisecond
+	}
+	if c.BackoffMin <= 0 {
+		c.BackoffMin = 50 * time.Millisecond
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = 5 * time.Second
+	}
+	if c.BackoffMax < c.BackoffMin {
+		c.BackoffMax = c.BackoffMin
+	}
+	if c.BackoffFactor < 1 {
+		c.BackoffFactor = 2
+	}
+	return c
+}
+
+// SupervisorStats is a point-in-time summary of the supervised follower,
+// embedded in the router's GET /stats reply.
+type SupervisorStats struct {
+	State       string `json:"state"`
+	EverHealthy bool   `json:"ever_healthy"`
+	LSN         uint64 `json:"lsn"` // log position applied through
+
+	Polls        uint64 `json:"polls"`
+	Records      uint64 `json:"records"` // WAL records applied via Poll
+	Transients   uint64 `json:"transients"`
+	Gaps         uint64 `json:"gaps"`
+	Corruptions  uint64 `json:"corruptions"`
+	Rebootstraps uint64 `json:"rebootstraps"`
+
+	// Quarantined lists segment files the supervisor attributed
+	// corruption to, so an operator knows what to preserve for forensics
+	// before the primary prunes them.
+	Quarantined []string `json:"quarantined,omitempty"`
+	LastError   string   `json:"last_error,omitempty"`
+
+	// DowntimeMS is the cumulative wall time spent outside Healthy after
+	// first reaching it — the serving tier's staleness exposure, not an
+	// availability gap (the mirror serves throughout).
+	DowntimeMS int64 `json:"downtime_ms"`
+}
+
+// Supervisor owns a -follow replica's lifecycle so the serving process
+// never has to restart over a recoverable WAL fault. It polls the
+// follower on a steady cadence, classifies every error (Classify),
+// retries transients under jittered exponential backoff, and on a gap or
+// corruption re-bootstraps: a fresh loom.Follow from the newest
+// checkpoint, spliced onto the live Mirror (Mirror.Splice) so routing
+// never stops serving — the pinned snapshot from the splice covers every
+// placement the dead follower had, and staleness is bounded by the
+// re-bootstrap time, which SupervisorStats reports as downtime.
+type Supervisor struct {
+	mirror *Mirror
+	boot   func() (*loom.Follower, loom.RecoveryInfo, error)
+	cfg    SupervisorConfig
+
+	state atomic.Int32
+
+	mu              sync.Mutex
+	f               *loom.Follower
+	p               *loom.Partitioner
+	rng             *rand.Rand
+	everHealthy     bool
+	notHealthySince time.Time // zero while Healthy
+	downtime        time.Duration
+	lastErr         string
+	quarantined     map[string]struct{}
+	polls           uint64
+	records         uint64
+	transients      uint64
+	gaps            uint64
+	corruptions     uint64
+	boots           uint64
+}
+
+// NewSupervisor wires a supervisor over mirror, (re)building followers
+// with boot — typically a closure over loom.Follow(opt, wl). boot is
+// called once at Run start and again after every gap/corruption; each
+// call must return an independent follower bootstrapped from the newest
+// checkpoint.
+func NewSupervisor(mirror *Mirror, boot func() (*loom.Follower, loom.RecoveryInfo, error), cfg SupervisorConfig) *Supervisor {
+	cfg = cfg.withDefaults()
+	return &Supervisor{
+		mirror:      mirror,
+		boot:        boot,
+		cfg:         cfg,
+		rng:         rand.New(rand.NewSource(cfg.Seed + 1)),
+		quarantined: make(map[string]struct{}),
+	}
+}
+
+// State returns the current lifecycle state. Lock-free.
+func (s *Supervisor) State() SupervisorState {
+	return SupervisorState(s.state.Load())
+}
+
+// EverHealthy reports whether the follower has ever fully drained the
+// log — the boundary between "not ready yet" (health 503) and "degraded
+// but serving" (health 200 with a warning body).
+func (s *Supervisor) EverHealthy() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.everHealthy
+}
+
+// Partitioner returns the current follower's read surface, or nil before
+// the first successful bootstrap. The mirror remains the routing path;
+// this is for snapshot repinning and diagnostics.
+func (s *Supervisor) Partitioner() *loom.Partitioner {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.p
+}
+
+// Stats returns current counters. Safe from any goroutine.
+func (s *Supervisor) Stats() SupervisorStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := SupervisorStats{
+		State:       s.State().String(),
+		EverHealthy: s.everHealthy,
+		Polls:       s.polls,
+		Records:     s.records,
+		Transients:  s.transients,
+		Gaps:        s.gaps,
+		Corruptions: s.corruptions,
+		LastError:   s.lastErr,
+		DowntimeMS:  s.downtimeLocked().Milliseconds(),
+	}
+	if s.boots > 0 {
+		st.Rebootstraps = s.boots - 1
+	}
+	if s.f != nil {
+		st.LSN = s.f.LSN()
+	}
+	if len(s.quarantined) > 0 {
+		st.Quarantined = make([]string, 0, len(s.quarantined))
+		for name := range s.quarantined {
+			st.Quarantined = append(st.Quarantined, name)
+		}
+		sort.Strings(st.Quarantined)
+	}
+	return st
+}
+
+// Downtime returns the cumulative time spent outside Healthy since first
+// reaching it, including any outage in progress.
+func (s *Supervisor) Downtime() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.downtimeLocked()
+}
+
+// downtimeLocked: s.mu held.
+func (s *Supervisor) downtimeLocked() time.Duration {
+	d := s.downtime
+	if s.everHealthy && !s.notHealthySince.IsZero() {
+		d += time.Since(s.notHealthySince)
+	}
+	return d
+}
+
+// setState transitions the lifecycle state, keeping the downtime clock:
+// time outside Healthy accrues only after the follower has been Healthy
+// once (before that it is bootstrap, not an outage).
+func (s *Supervisor) setState(st SupervisorState) {
+	old := SupervisorState(s.state.Swap(int32(st)))
+	if old == st {
+		return
+	}
+	now := time.Now()
+	s.mu.Lock()
+	if st == StateHealthy {
+		if s.everHealthy && !s.notHealthySince.IsZero() {
+			s.downtime += now.Sub(s.notHealthySince)
+		}
+		s.everHealthy = true
+		s.notHealthySince = time.Time{}
+	} else if old == StateHealthy {
+		s.notHealthySince = now
+	}
+	s.mu.Unlock()
+	s.logf("supervisor: %s -> %s", old, st)
+}
+
+func (s *Supervisor) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// Run drives the follower until ctx is cancelled. It blocks; callers run
+// it on its own goroutine. The initial bootstrap happens inside Run, so
+// the process can start serving (health: 503 catching up) before the WAL
+// directory is even reachable. Run returns nil on cancellation and an
+// error only for fatal faults (Classify: FaultFatal) — a WAL directory
+// written under different Options or workload, where retrying forever
+// would mask an operator mistake.
+func (s *Supervisor) Run(ctx context.Context) error {
+	backoff := s.cfg.BackoffMin
+	defer func() {
+		s.mu.Lock()
+		f := s.f
+		s.mu.Unlock()
+		if f != nil {
+			_ = f.Close()
+		}
+	}()
+	for {
+		if ctx.Err() != nil {
+			return nil
+		}
+
+		s.mu.Lock()
+		f := s.f
+		s.mu.Unlock()
+		if f == nil {
+			if err := s.rebootstrap(); err != nil {
+				if Classify(err) == FaultFatal {
+					return fmt.Errorf("router: supervisor bootstrap: %w", err)
+				}
+				if !s.sleep(ctx, s.jitter(backoff)) {
+					return nil
+				}
+				backoff = s.nextBackoff(backoff)
+				continue
+			}
+			backoff = s.cfg.BackoffMin
+			continue // poll the fresh follower immediately
+		}
+
+		n, err := s.poll(f)
+		if err == nil {
+			if n == 0 {
+				// Fully drained: the follower is at the primary's tip.
+				s.setState(StateHealthy)
+				s.mirror.SetReady(true)
+			}
+			backoff = s.cfg.BackoffMin
+			if !s.sleep(ctx, s.jitter(s.cfg.Poll)) {
+				return nil
+			}
+			continue
+		}
+
+		switch c := Classify(err); c {
+		case FaultFatal:
+			return fmt.Errorf("router: supervisor poll: %w", err)
+		case FaultGap, FaultCorrupt:
+			s.recordFault(c, err)
+			_ = f.Close()
+			s.mu.Lock()
+			s.f, s.p = nil, nil
+			s.mu.Unlock()
+			s.setState(StateRebootstrapping)
+			backoff = s.cfg.BackoffMin
+			// Loop re-bootstraps immediately: the newer checkpoint that
+			// caused a gap is already there to read.
+		default:
+			s.recordFault(FaultTransient, err)
+			if s.State() != StateRebootstrapping {
+				s.setState(StateDegraded)
+			}
+			if !s.sleep(ctx, s.jitter(backoff)) {
+				return nil
+			}
+			backoff = s.nextBackoff(backoff)
+		}
+	}
+}
+
+// poll runs one Follower.Poll, updates counters, and keeps the mirror's
+// pinned generation fresh after applying records.
+func (s *Supervisor) poll(f *loom.Follower) (int, error) {
+	n, err := f.Poll()
+	s.mu.Lock()
+	s.polls++
+	s.records += uint64(n)
+	p := s.p
+	s.mu.Unlock()
+	if err == nil && n > 0 && p != nil {
+		// Snapshots are O(1); repinning per productive poll keeps the
+		// fallback generation at most one poll behind the mirror.
+		s.mirror.Pin(p.Snapshot())
+	}
+	return n, err
+}
+
+// rebootstrap builds a fresh follower from the newest checkpoint and
+// splices it onto the mirror. On failure the fault is recorded (and any
+// named segment quarantined) and the caller backs off.
+func (s *Supervisor) rebootstrap() error {
+	s.setState(StateRebootstrapping)
+	f, info, err := s.boot()
+	if err != nil {
+		s.recordFault(Classify(err), err)
+		return err
+	}
+	p := f.Partitioner()
+	s.mirror.Splice(p)
+	s.mu.Lock()
+	s.f, s.p = f, p
+	s.boots++
+	boots := s.boots
+	s.mu.Unlock()
+	s.setState(StateCatchingUp)
+	s.logf("supervisor: bootstrap #%d from checkpoint LSN %d (%d records replayed, through LSN %d)",
+		boots, info.CheckpointLSN, info.ReplayedRecords, info.LastLSN)
+	return nil
+}
+
+// recordFault updates fault counters, remembers the error for /stats,
+// and quarantines any segment the error names.
+func (s *Supervisor) recordFault(c FaultClass, err error) {
+	s.mu.Lock()
+	s.lastErr = err.Error()
+	switch c {
+	case FaultGap:
+		s.gaps++
+	case FaultCorrupt:
+		s.corruptions++
+	default:
+		s.transients++
+	}
+	var quarantined string
+	if c == FaultCorrupt {
+		if name, ok := loom.DamagedSegment(err); ok {
+			if _, seen := s.quarantined[name]; !seen {
+				s.quarantined[name] = struct{}{}
+				quarantined = name
+			}
+		}
+	}
+	s.mu.Unlock()
+	s.logf("supervisor: %s fault: %v", c, err)
+	if quarantined != "" {
+		s.logf("supervisor: quarantined segment %s (preserve for forensics; re-bootstrapping around it)", quarantined)
+	}
+}
+
+// jitter spreads d uniformly over [d/2, d) so a fleet of replicas
+// polling one primary does not synchronise its retries.
+func (s *Supervisor) jitter(d time.Duration) time.Duration {
+	if d <= 1 {
+		return d
+	}
+	s.mu.Lock()
+	j := time.Duration(s.rng.Int63n(int64(d / 2)))
+	s.mu.Unlock()
+	return d/2 + j
+}
+
+// nextBackoff grows the delay by BackoffFactor, capped at BackoffMax.
+func (s *Supervisor) nextBackoff(d time.Duration) time.Duration {
+	n := time.Duration(float64(d) * s.cfg.BackoffFactor)
+	if n > s.cfg.BackoffMax {
+		n = s.cfg.BackoffMax
+	}
+	if n < s.cfg.BackoffMin {
+		n = s.cfg.BackoffMin
+	}
+	return n
+}
+
+// sleep waits d or until cancellation; reports false on cancellation.
+func (s *Supervisor) sleep(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}

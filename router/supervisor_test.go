@@ -1,0 +1,319 @@
+package router
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"loom"
+	"loom/internal/wal"
+)
+
+// supervisedRig is the shared harness: a primary on a fault-scriptable
+// in-memory filesystem, a mirror, and a supervisor re-bootstrapping
+// followers over the same filesystem.
+type supervisedRig struct {
+	fs     *wal.MemFS
+	wl     *loom.Workload
+	edges  []loom.StreamEdge
+	opt    loom.Options
+	p      *loom.Partitioner
+	m      *Mirror
+	sup    *Supervisor
+	cancel context.CancelFunc
+	done   chan error
+}
+
+func newSupervisedRig(t *testing.T, keepCkpts int, seed int64) *supervisedRig {
+	t.Helper()
+	wl, err := loom.DatasetWorkload("dblp")
+	if err != nil {
+		t.Fatalf("DatasetWorkload: %v", err)
+	}
+	edges, err := loom.GenerateDataset("dblp", 1500, seed)
+	if err != nil {
+		t.Fatalf("GenerateDataset: %v", err)
+	}
+	r := &supervisedRig{
+		fs:    wal.NewMemFS(),
+		wl:    wl,
+		edges: edges,
+		opt: loom.Options{
+			Partitions:       4,
+			ExpectedVertices: 3000,
+			WindowSize:       128,
+			WALDir:           "wal",
+			// Every accepted batch is immediately durable and visible to
+			// the tailer; small segments force frequent rotation so gap
+			// and corruption scenarios span real segment chains.
+			WALSync:            loom.WALSyncAlways,
+			WALSegmentBytes:    2048,
+			WALKeepCheckpoints: keepCkpts,
+		},
+	}
+	r.p, _, err = loom.OpenFS(r.fs, r.opt, wl)
+	if err != nil {
+		t.Fatalf("OpenFS primary: %v", err)
+	}
+	t.Cleanup(func() { r.p.Close() })
+	return r
+}
+
+// start runs the supervisor on its own goroutine, as cmd/loom-router
+// does.
+func (r *supervisedRig) start(t *testing.T) {
+	t.Helper()
+	r.m = New()
+	boot := func() (*loom.Follower, loom.RecoveryInfo, error) {
+		return loom.FollowFS(r.fs, r.opt, r.wl)
+	}
+	r.sup = NewSupervisor(r.m, boot, SupervisorConfig{
+		Poll:       2 * time.Millisecond,
+		BackoffMin: time.Millisecond,
+		BackoffMax: 20 * time.Millisecond,
+		Logf:       t.Logf,
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	r.cancel = cancel
+	r.done = make(chan error, 1)
+	go func() { r.done <- r.sup.Run(ctx) }()
+	t.Cleanup(func() {
+		cancel()
+		select {
+		case err := <-r.done:
+			if err != nil {
+				t.Errorf("supervisor Run: %v", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Error("supervisor did not stop on cancellation")
+		}
+	})
+}
+
+func (r *supervisedRig) ingest(t *testing.T, from, to int) {
+	t.Helper()
+	const batch = 16
+	for i := from; i < to; i += batch {
+		end := min(i+batch, to)
+		if err := r.p.AddBatch(r.edges[i:end]); err != nil {
+			t.Fatalf("AddBatch[%d:%d]: %v", i, end, err)
+		}
+	}
+}
+
+func (r *supervisedRig) checkpoint(t *testing.T) {
+	t.Helper()
+	if _, err := r.p.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+}
+
+// waitFor polls cond for up to 10s — generous because the suite runs
+// under -race.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// verifyConverged waits until the supervised follower holds exactly the
+// primary's placements, then checks every routed answer matches the
+// primary's final assignment — the "never a wrong route" guarantee.
+func (r *supervisedRig) verifyConverged(t *testing.T) {
+	t.Helper()
+	r.p.Flush()
+	final := r.p.Snapshot()
+	waitFor(t, "follower convergence", func() bool {
+		fp := r.sup.Partitioner()
+		return fp != nil && fp.Snapshot().NumAssigned() == final.NumAssigned() &&
+			r.sup.State() == StateHealthy
+	})
+	final.Each(func(v int64, part int) {
+		if d := r.m.Lookup(v); !d.Found || d.Partition != part {
+			t.Fatalf("after heal Lookup(%d) = %+v, want partition %d", v, d, part)
+		}
+	})
+	if st := r.m.Stats(); st.Gaps != 0 || st.Lost != 0 {
+		t.Fatalf("mirror left with unhealed gaps: %+v", st)
+	}
+}
+
+// TestSupervisorRebootstrapOnGap: the follower stalls on injected read
+// errors while the primary checkpoints twice and prunes the segments the
+// follower still needs. When reads recover, Poll hits ErrWALGap and the
+// supervisor must re-bootstrap from the newer checkpoint and converge to
+// Healthy with every route agreeing with the primary.
+func TestSupervisorRebootstrapOnGap(t *testing.T) {
+	r := newSupervisedRig(t, 1, 7) // keep 1 checkpoint: prune aggressively
+	third := len(r.edges) / 3
+
+	r.ingest(t, 0, third)
+	r.checkpoint(t)
+	r.start(t)
+	waitFor(t, "initial catch-up", func() bool { return r.sup.State() == StateHealthy })
+	if !r.m.Ready() {
+		t.Fatal("mirror not ready after first healthy poll")
+	}
+
+	// Stall the follower: every segment read fails until cleared.
+	r.fs.SetReadFault(".seg", -1, nil)
+	waitFor(t, "degraded on transient faults", func() bool {
+		return r.sup.Stats().Transients > 0 && r.sup.State() == StateDegraded
+	})
+
+	// Primary advances and prunes past the stalled follower.
+	r.ingest(t, third, 2*third)
+	r.checkpoint(t)
+	r.ingest(t, 2*third, len(r.edges))
+	r.checkpoint(t)
+
+	r.fs.SetReadFault("", 0, nil)
+	waitFor(t, "re-bootstrap after gap", func() bool {
+		st := r.sup.Stats()
+		return st.Rebootstraps >= 1 && st.Gaps >= 1
+	})
+	r.verifyConverged(t)
+
+	if err := r.p.Err(); err != nil {
+		t.Fatalf("primary error: %v", err)
+	}
+}
+
+// TestSupervisorQuarantinesCorruptSegment: a rotated segment the stalled
+// follower has not consumed yet rots on disk (one flipped bit). Poll
+// must classify it as corruption, quarantine the segment by name, and
+// re-bootstrap from the checkpoint written past the damage.
+func TestSupervisorQuarantinesCorruptSegment(t *testing.T) {
+	r := newSupervisedRig(t, 4, 11) // retain checkpoints: nothing pruned
+	third := len(r.edges) / 3
+
+	r.ingest(t, 0, third)
+	r.checkpoint(t)
+	r.start(t)
+	waitFor(t, "initial catch-up", func() bool { return r.sup.State() == StateHealthy })
+
+	r.fs.SetReadFault(".seg", -1, nil)
+	waitFor(t, "degraded on transient faults", func() bool {
+		return r.sup.State() == StateDegraded
+	})
+
+	// Rotate at least three fresh segments past the follower, then flip a
+	// bit in the second-to-last — complete, mid-chain, unconsumed.
+	before := len(segNames(r.fs))
+	for i := third; i < len(r.edges) && len(segNames(r.fs)) < before+3; i += 16 {
+		r.ingest(t, i, min(i+16, len(r.edges)))
+	}
+	segs := segNames(r.fs)
+	if len(segs) < before+3 {
+		t.Fatalf("stream too small to rotate segments: %d -> %d", before, len(segs))
+	}
+	victim := segs[len(segs)-2]
+	if err := r.fs.FlipBit(victim, r.fs.Size(victim)-3); err != nil {
+		t.Fatalf("FlipBit: %v", err)
+	}
+	// A checkpoint past the damage gives re-bootstrap a clean entry
+	// point; with KeepCheckpoints=4 nothing is pruned, so the stalled
+	// follower still walks into the rotten segment.
+	r.checkpoint(t)
+
+	r.fs.SetReadFault("", 0, nil)
+	waitFor(t, "quarantine + re-bootstrap", func() bool {
+		st := r.sup.Stats()
+		return st.Corruptions >= 1 && st.Rebootstraps >= 1
+	})
+	st := r.sup.Stats()
+	found := false
+	for _, q := range st.Quarantined {
+		if strings.HasSuffix(victim, q) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("flipped segment %s not quarantined: %+v", victim, st.Quarantined)
+	}
+	r.verifyConverged(t)
+}
+
+// TestSupervisorRidesOutTransients: a bounded burst of read errors must
+// degrade and then self-recover on the same follower — no re-bootstrap,
+// no gap, no corruption.
+func TestSupervisorRidesOutTransients(t *testing.T) {
+	r := newSupervisedRig(t, 2, 13)
+	r.ingest(t, 0, len(r.edges)/2)
+	r.checkpoint(t)
+	r.start(t)
+	waitFor(t, "initial catch-up", func() bool { return r.sup.State() == StateHealthy })
+
+	r.fs.SetReadFault(".seg", 3, errors.New("eio: cold page"))
+	waitFor(t, "transients absorbed", func() bool {
+		st := r.sup.Stats()
+		return st.Transients >= 3 && st.State == "healthy"
+	})
+	st := r.sup.Stats()
+	if st.Rebootstraps != 0 || st.Gaps != 0 || st.Corruptions != 0 {
+		t.Fatalf("transient burst escalated: %+v", st)
+	}
+	r.ingest(t, len(r.edges)/2, len(r.edges))
+	r.verifyConverged(t)
+}
+
+// segNames lists the segment files currently in the rig's WAL directory
+// (full paths, sorted).
+func segNames(fs *wal.MemFS) []string {
+	var segs []string
+	for _, name := range fs.DumpNames() {
+		if strings.HasSuffix(name, ".seg") {
+			segs = append(segs, name)
+		}
+	}
+	return segs
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		err  error
+		want FaultClass
+	}{
+		{loom.ErrWALGap, FaultGap},
+		{fmt.Errorf("poll: %w", loom.ErrWALGap), FaultGap},
+		{loom.ErrWALCorrupt, FaultCorrupt},
+		{fmt.Errorf("segment: %w", loom.ErrWALCorrupt), FaultCorrupt},
+		{loom.ErrWALNoCheckpoint, FaultCorrupt},
+		{loom.ErrWALConfig, FaultFatal},
+		{errors.New("read wal-0001.seg: EIO"), FaultTransient},
+	}
+	for _, c := range cases {
+		if got := Classify(c.err); got != c.want {
+			t.Errorf("Classify(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+}
+
+// TestSupervisorFatalConfigMismatch: a WAL directory written under a
+// different partition count must make Run return the error instead of
+// retrying forever — retry cannot fix an operator mistake.
+func TestSupervisorFatalConfigMismatch(t *testing.T) {
+	r := newSupervisedRig(t, 2, 17)
+	r.ingest(t, 0, len(r.edges)/4)
+	r.checkpoint(t)
+
+	wrong := r.opt
+	wrong.Partitions = 8
+	m := New()
+	sup := NewSupervisor(m, func() (*loom.Follower, loom.RecoveryInfo, error) {
+		return loom.FollowFS(r.fs, wrong, r.wl)
+	}, SupervisorConfig{Poll: time.Millisecond, BackoffMin: time.Millisecond})
+	err := sup.Run(context.Background())
+	if !errors.Is(err, loom.ErrWALConfig) {
+		t.Fatalf("Run = %v, want ErrWALConfig", err)
+	}
+}
