@@ -50,13 +50,14 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: table1, fig4, fig7, fig8, fig9, table2, ablation, extensions, simulate, motifs, perf, scale, read, hub, recover, route, chaos, all")
+		exp      = flag.String("exp", "all", "experiment: table1, fig4, fig7, fig8, fig9, table2, ablation, extensions, simulate, motifs, perf, scale, read, hub, recover, route, chaos, footprint, all")
 		short    = flag.Bool("short", false, "trim the chaos experiment to a CI-smoke scale")
 		scale    = flag.Int("scale", 12000, "per-dataset target vertex count")
 		seed     = flag.Int64("seed", 42, "seed for generation/shuffles/signatures")
 		k        = flag.Int("k", 8, "partitions (fig7/fig9/table2)")
 		win      = flag.Int("window", 2048, "Loom window size at harness scale")
 		datasets = flag.String("datasets", "", "comma-separated subset (default: dblp,provgen,musicbrainz,lubm)")
+		fpEdges  = flag.String("edges", "1e6", "footprint: comma-separated stream edge counts, e.g. 1e6,1e7,1e8")
 		jsonOut  = flag.String("json", "", "write the perf, scale, read, hub or recover experiment as JSON to this file (\"-\" for stdout)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile covering the experiment to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile taken after the experiment to this file")
@@ -66,6 +67,11 @@ func main() {
 	cfg := bench.Config{Scale: *scale, Seed: *seed, K: *k, WindowSize: *win}
 	if *datasets != "" {
 		cfg.Datasets = strings.Split(*datasets, ",")
+	}
+	edgeCounts, err := bench.ParseEdgeCounts(*fpEdges)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loom-bench: %v\n", err)
+		os.Exit(1)
 	}
 	if err := withProfiles(*cpuProf, *memProf, func() error {
 		if *jsonOut != "" {
@@ -84,11 +90,13 @@ func main() {
 				return runRouteJSON(cfg, *jsonOut)
 			case "chaos":
 				return runChaosJSON(cfg, *jsonOut, *short)
+			case "footprint":
+				return runFootprintJSON(cfg, edgeCounts, *jsonOut)
 			default:
-				return fmt.Errorf("-json only applies to the perf, scale, read, hub, recover, route and chaos experiments (got -exp %s)", *exp)
+				return fmt.Errorf("-json only applies to the perf, scale, read, hub, recover, route, chaos and footprint experiments (got -exp %s)", *exp)
 			}
 		}
-		return run(*exp, cfg, *short)
+		return run(*exp, cfg, *short, edgeCounts)
 	}); err != nil {
 		fmt.Fprintf(os.Stderr, "loom-bench: %v\n", err)
 		os.Exit(1)
@@ -274,7 +282,28 @@ func runScaleJSON(cfg bench.Config, path string) error {
 	return f.Close()
 }
 
-func run(exp string, cfg bench.Config, short bool) error {
+// runFootprintJSON runs the memory-footprint sweep and writes the
+// machine-readable report to path ("-" = stdout).
+func runFootprintJSON(cfg bench.Config, edgeCounts []int64, path string) error {
+	rep, err := bench.RunFootprint(cfg, edgeCounts, nil)
+	if err != nil {
+		return err
+	}
+	if path == "-" {
+		return bench.WriteFootprintJSON(os.Stdout, rep)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := bench.WriteFootprintJSON(f, rep); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func run(exp string, cfg bench.Config, short bool, edgeCounts []int64) error {
 	runOne := func(name string) error {
 		start := time.Now()
 		defer func() {
@@ -379,6 +408,12 @@ func run(exp string, cfg bench.Config, short bool) error {
 				return err
 			}
 			bench.RenderChaos(os.Stdout, rep)
+		case "footprint":
+			rep, err := bench.RunFootprint(cfg, edgeCounts, nil)
+			if err != nil {
+				return err
+			}
+			bench.RenderFootprint(os.Stdout, rep)
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}

@@ -14,7 +14,7 @@ func tinyCfg() bench.Config {
 
 func TestRunEachExperiment(t *testing.T) {
 	for _, exp := range []string{"table1", "fig4", "fig9", "table2", "ablation", "extensions", "motifs", "simulate", "perf", "scale"} {
-		if err := run(exp, tinyCfg(), false); err != nil {
+		if err := run(exp, tinyCfg(), false, nil); err != nil {
 			t.Errorf("%s: %v", exp, err)
 		}
 	}
@@ -92,14 +92,14 @@ func TestRunFig7AndFig8(t *testing.T) {
 		t.Skip("short mode")
 	}
 	for _, exp := range []string{"fig7", "fig8"} {
-		if err := run(exp, tinyCfg(), false); err != nil {
+		if err := run(exp, tinyCfg(), false, nil); err != nil {
 			t.Errorf("%s: %v", exp, err)
 		}
 	}
 }
 
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run("fig99", tinyCfg(), false); err == nil {
+	if err := run("fig99", tinyCfg(), false, nil); err == nil {
 		t.Error("unknown experiment: want error")
 	}
 }

@@ -6,10 +6,17 @@
 //
 //	loom-gen -dataset dblp -scale 12000 -order bfs -seed 42 -out dblp.el
 //
+// For streams too large to materialise, -stream switches to a
+// constant-memory generator that writes edges as it draws them (order is
+// necessarily "original"):
+//
+//	loom-gen -stream powerlaw -edges 100000000 -vertices 10000000 -out big.el
+//
 // The output format is one edge per line: "<u> <label-u> <v> <label-v>".
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -33,9 +40,23 @@ func main() {
 		comms      = flag.Int("communities", 0, "custom: community count (0 = auto)")
 		cross      = flag.Float64("cross", 0.05, "custom: cross-community edge fraction")
 		hubSkew    = flag.Float64("hub-skew", 0.5, "custom: degree skew in [0,1)")
+
+		// Constant-memory streaming mode (-stream set ⇒ the flags above
+		// except -seed/-out are ignored).
+		streamMode = flag.String("stream", "", "constant-memory stream mode: powerlaw or triples (empty: materialised dataset)")
+		edges      = flag.Int64("edges", 1_000_000, "stream: number of edges to emit")
+		vertices   = flag.Int64("vertices", 0, "stream: core vertex range (0: edges/10)")
+		skew       = flag.Float64("skew", 1.3, "stream: Zipf exponent (> 1)")
 	)
 	flag.Parse()
 
+	if *streamMode != "" {
+		if err := runStream(*streamMode, *edges, *vertices, *labels, *skew, *seed, *out); err != nil {
+			fmt.Fprintf(os.Stderr, "loom-gen: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	spec := dataset.CustomSpec{
 		Labels: *labels, EdgeFactor: *edgeFactor, Communities: *comms,
 		CrossFraction: *cross, HubSkew: *hubSkew,
@@ -44,6 +65,46 @@ func main() {
 		fmt.Fprintf(os.Stderr, "loom-gen: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// runStream draws edges from the constant-memory generator and writes
+// them as it goes: the working set is one bufio buffer regardless of
+// -edges, which is what lets loom-gen materialise 10⁸-edge files.
+func runStream(mode string, edges, vertices int64, labels int, skew float64, seed int64, out string) error {
+	if vertices == 0 {
+		vertices = edges / 10
+	}
+	gen, err := dataset.NewStreamGen(dataset.StreamSpec{
+		Mode: mode, Edges: edges, Vertices: vertices,
+		Labels: labels, Skew: skew, Seed: seed,
+	})
+	if err != nil {
+		return err
+	}
+	w := os.Stdout
+	if out != "-" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	bw := bufio.NewWriterSize(w, 1<<20)
+	for {
+		e, ok := gen.Next()
+		if !ok {
+			break
+		}
+		if _, err := fmt.Fprintf(bw, "%d %s %d %s\n", e.U, e.LU, e.V, e.LV); err != nil {
+			return err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "loom-gen: stream %s |E|=%d vertices<=%d seed=%d\n", mode, edges, vertices, seed)
+	return nil
 }
 
 func run(name string, scale int, order string, seed int64, out string, spec dataset.CustomSpec) error {

@@ -390,6 +390,13 @@ func (p *Partitioner) Checkpoint() (int64, error) {
 	if p.refined != nil {
 		return 0, fmt.Errorf("loom: cannot checkpoint a refined assignment (Refine supersedes the streaming state)")
 	}
+	if p.g != nil {
+		// Retry any recorded-graph edge-log spills that failed earlier: a
+		// checkpoint is the natural moment to bound resident log memory
+		// again. A still-failing spill is not fatal to the checkpoint —
+		// the chunks simply stay resident.
+		_ = p.g.Compact()
+	}
 	payload := p.encodeCheckpointLocked()
 	n, err := p.wal.WriteCheckpoint(payload)
 	if err != nil {
@@ -822,6 +829,10 @@ func (p *Partitioner) encodeCheckpointLocked() []byte {
 			e.U32(u)
 		}
 	}
+	e.U32(uint32(len(ts.Cnt)))
+	for _, c := range ts.Cnt {
+		e.U32(uint32(c))
+	}
 	e.I64(int64(ts.Observed))
 	// Core counters + label-code cache.
 	cs := p.loom.CaptureState()
@@ -883,10 +894,11 @@ func (p *Partitioner) encodeCheckpointLocked() []byte {
 			l, _ := p.g.Label(v)
 			idx(l)
 		}
-		for i := range p.rec {
-			idx(p.rec[i].LU)
-			idx(p.rec[i].LV)
-		}
+		// The accepted-edge log is replayed straight out of the graph's
+		// compressed edge log (including spilled chunks) — it is never
+		// materialised as a slice. Edge labels are always vertex labels,
+		// so the label table is already complete after the vertex walk.
+		rec := p.g.CaptureReplay()
 		e.U32(uint32(len(labels)))
 		for _, l := range labels {
 			e.Str(l)
@@ -897,13 +909,20 @@ func (p *Partitioner) encodeCheckpointLocked() []byte {
 			e.I64(int64(v))
 			e.U32(idx(l))
 		}
-		e.U32(uint32(len(p.rec)))
-		for i := range p.rec {
-			r := &p.rec[i]
-			e.I64(int64(r.U))
-			e.U32(idx(r.LU))
-			e.I64(int64(r.V))
-			e.U32(idx(r.LV))
+		e.U32(uint32(rec.NumEdges()))
+		err := rec.Each(func(se graph.StreamEdge) error {
+			e.I64(int64(se.U))
+			e.U32(idx(se.LU))
+			e.I64(int64(se.V))
+			e.U32(idx(se.LV))
+			return nil
+		})
+		if err != nil {
+			// A spilled chunk could not be read back. The log is the
+			// durable source for the recorded graph; encoding a
+			// checkpoint that silently drops edges would corrupt every
+			// later recovery, so fail loudly.
+			panic(fmt.Sprintf("loom: checkpoint: %v", err))
 		}
 	}
 	return e.B
@@ -1020,6 +1039,10 @@ func (p *Partitioner) restoreCheckpoint(payload []byte) error {
 			row[j] = d.U32()
 		}
 		ts.Nbrs[i] = row
+	}
+	ts.Cnt = make([]int32, d.Len(4))
+	for i := range ts.Cnt {
+		ts.Cnt[i] = int32(d.U32())
 	}
 	ts.Observed = int(d.I64())
 
@@ -1184,7 +1207,6 @@ func (p *Partitioner) restoreCheckpoint(payload []byte) error {
 				return fail("recorded edge", fmt.Errorf("duplicate edge %v-%v in accepted-edge log", ge.U, ge.V))
 			}
 		}
-		p.rec = gedges
 	}
 	p.seq = seq
 	if hasErr {

@@ -1,0 +1,215 @@
+// Package container provides the packed open-addressing hash structures
+// shared by Loom's hot paths: a generic uint64-keyed table (U64Table) that
+// backs the window's edge index, and a 4-byte-per-slot fingerprint set
+// (FP32Set) that backs the recorded graph's duplicate-edge check at
+// 10⁸-edge scale.
+//
+// Both structures use the probing scheme proved out by the window's
+// original edgeTable (PR 2): linear probing over a power-of-two slot
+// array, keys finished with intern.Mix64 (splitmix64's avalanche), growth
+// at 3/4 load. Packed uint64 keys reserve two sentinel values — 0 and
+// ^uint64(0) — for the empty and tombstone markers; callers guarantee real
+// keys never take those values (for packed (u,v) index pairs both
+// sentinels decode to self-loops, which are rejected upstream).
+package container
+
+import (
+	"unsafe"
+
+	"loom/internal/intern"
+)
+
+// Key sentinels for U64Table. Exported for the tests' white-box checks;
+// callers never store them.
+const (
+	u64Empty = uint64(0)
+	u64Tomb  = ^uint64(0)
+)
+
+// Slot is one occupied hash slot of a U64Table: the packed key and the
+// caller's payload. Slot pointers returned by Get/Ensure/Insert are valid
+// until the next insert (which may rehash).
+type Slot[V any] struct {
+	key uint64
+	Val V
+}
+
+// Key returns the slot's packed key.
+func (s *Slot[V]) Key() uint64 { return s.key }
+
+// U64Table is a packed open-addressing hash table keyed by uint64, holding
+// one payload value inline per slot. Payloads of removed slots are retained
+// in place and handed back (not zeroed) when the slot is reused, so callers
+// can recycle payload capacity (e.g. a match list's backing array) across
+// occupants — reset what you need after Ensure/Insert report a fresh key.
+//
+// Keys must never be 0 or ^uint64(0) (the empty and tombstone sentinels).
+// The zero U64Table is ready to use.
+type U64Table[V any] struct {
+	slots []Slot[V] // len is a power of two (or 0)
+	live  int       // keys present
+	used  int       // keys present + tombstones
+}
+
+// hash finishes the packed key; see intern.Mix64.
+func hash(pk uint64) uint64 { return intern.Mix64(pk) }
+
+// Len returns the number of keys in the table.
+func (t *U64Table[V]) Len() int { return t.live }
+
+// Reserve grows the slot array to hold at least n keys under 3/4 load
+// without rehashing, if it is not already that large. Payloads and keys
+// are preserved.
+func (t *U64Table[V]) Reserve(n int) {
+	want := intern.SlotsFor(n, 64)
+	if want > len(t.slots) {
+		t.rehashTo(want)
+	}
+}
+
+// Get returns the slot for pk, or nil. The pointer is valid until the next
+// insert (which may rehash).
+func (t *U64Table[V]) Get(pk uint64) *Slot[V] {
+	if t.live == 0 {
+		return nil
+	}
+	mask := uint64(len(t.slots) - 1)
+	for i := hash(pk) & mask; ; i = (i + 1) & mask {
+		s := &t.slots[i]
+		switch s.key {
+		case pk:
+			return s
+		case u64Empty:
+			return nil
+		}
+	}
+}
+
+// Has reports whether pk is in the table.
+func (t *U64Table[V]) Has(pk uint64) bool { return t.Get(pk) != nil }
+
+// Ensure returns pk's slot, inserting it if absent; existed reports
+// whether pk was already present. One probe walk serves the duplicate
+// check AND the insertion: an absent key lands on the first tombstone of
+// its probe path, exactly where Insert would put it. On a fresh insert the
+// payload is whatever the slot's previous occupant left behind.
+func (t *U64Table[V]) Ensure(pk uint64) (s *Slot[V], existed bool) {
+	if len(t.slots) == 0 || (t.used+1)*4 > len(t.slots)*3 {
+		t.rehash()
+	}
+	mask := uint64(len(t.slots) - 1)
+	firstTomb := -1
+	for i := hash(pk) & mask; ; i = (i + 1) & mask {
+		s := &t.slots[i]
+		switch s.key {
+		case pk:
+			return s, true
+		case u64Tomb:
+			if firstTomb < 0 {
+				firstTomb = int(i)
+			}
+		case u64Empty:
+			if firstTomb >= 0 {
+				s = &t.slots[firstTomb]
+			} else {
+				t.used++
+			}
+			s.key = pk
+			t.live++
+			return s, false
+		}
+	}
+}
+
+// Insert adds pk (which must not be present) and returns its slot, with
+// the payload left as the slot's previous occupant had it (recycle or
+// reset as needed). The pointer is valid until the next insert.
+func (t *U64Table[V]) Insert(pk uint64) *Slot[V] {
+	if len(t.slots) == 0 || (t.used+1)*4 > len(t.slots)*3 {
+		t.rehash()
+	}
+	mask := uint64(len(t.slots) - 1)
+	for i := hash(pk) & mask; ; i = (i + 1) & mask {
+		s := &t.slots[i]
+		switch s.key {
+		case u64Empty:
+			t.used++
+			fallthrough
+		case u64Tomb:
+			s.key = pk
+			t.live++
+			return s
+		}
+	}
+}
+
+// Remove deletes pk if present, reporting whether it was. The payload
+// stays in the tombstoned slot for the next occupant to recycle.
+func (t *U64Table[V]) Remove(pk uint64) bool {
+	s := t.Get(pk)
+	if s == nil {
+		return false
+	}
+	t.RemoveSlot(s)
+	return true
+}
+
+// RemoveSlot deletes a slot the caller already probed for, skipping the
+// second probe Remove would pay.
+func (t *U64Table[V]) RemoveSlot(s *Slot[V]) {
+	s.key = u64Tomb
+	t.live--
+}
+
+// Range calls fn for every occupied slot until fn returns false. Iteration
+// order is unspecified. The table must not be mutated during the walk.
+func (t *U64Table[V]) Range(fn func(*Slot[V]) bool) {
+	for i := range t.slots {
+		s := &t.slots[i]
+		if s.key != u64Empty && s.key != u64Tomb {
+			if !fn(s) {
+				return
+			}
+		}
+	}
+}
+
+// Bytes returns the table's slot-array footprint, for memory accounting.
+// Payload-owned allocations (slices the caller hangs off Val) are not
+// included.
+func (t *U64Table[V]) Bytes() int {
+	var s Slot[V]
+	return cap(t.slots) * int(unsafe.Sizeof(s))
+}
+
+// rehash rebuilds the slot array: doubled when genuinely full, same size
+// when tombstones account for the load (the steady state of a sliding
+// window, which inserts and removes at the same rate).
+func (t *U64Table[V]) rehash() {
+	n := len(t.slots)
+	switch {
+	case n == 0:
+		n = 64
+	case (t.live+1)*2 > n:
+		n *= 2
+	}
+	t.rehashTo(n)
+}
+
+func (t *U64Table[V]) rehashTo(n int) {
+	old := t.slots
+	t.slots = make([]Slot[V], n)
+	t.used = t.live
+	mask := uint64(n - 1)
+	for _, s := range old {
+		if s.key == u64Empty || s.key == u64Tomb {
+			continue
+		}
+		for i := hash(s.key) & mask; ; i = (i + 1) & mask {
+			if t.slots[i].key == u64Empty {
+				t.slots[i] = s
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,286 @@
+package container
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// pack mimics the window's packed-IEdge keys: (u<<32)|v with u < v, never
+// the 0 / ^0 sentinels.
+func pack(u, v uint32) uint64 { return uint64(u)<<32 | uint64(v) }
+
+func TestU64TableBasics(t *testing.T) {
+	var tab U64Table[[]int]
+	if tab.Len() != 0 || tab.Has(pack(1, 2)) {
+		t.Fatal("empty table claims contents")
+	}
+	a := pack(1, 2)
+	b := pack(1, 3)
+	sa := tab.Insert(a)
+	sa.Val = sa.Val[:0]
+	tab.Insert(b).Val = nil
+	if tab.Len() != 2 || !tab.Has(a) || !tab.Has(b) {
+		t.Fatalf("after inserts: len=%d has(a)=%v has(b)=%v", tab.Len(), tab.Has(a), tab.Has(b))
+	}
+	tab.Get(a).Val = append(tab.Get(a).Val, 7)
+	if got := tab.Get(a).Val; len(got) != 1 || got[0] != 7 {
+		t.Fatal("slot payload lost")
+	}
+	if tab.Get(a).Key() != a {
+		t.Fatal("slot key mismatch")
+	}
+	if !tab.Remove(a) || tab.Has(a) || tab.Len() != 1 {
+		t.Fatal("remove failed")
+	}
+	if tab.Remove(a) {
+		t.Fatal("double remove reported success")
+	}
+	// Reinsert after removal: the tombstoned slot is recycled and the
+	// payload is handed back for the caller to recycle (capacity kept).
+	s := tab.Insert(a)
+	if cap(s.Val) == 0 {
+		t.Fatal("recycled slot dropped payload capacity")
+	}
+	s.Val = s.Val[:0]
+	if len(tab.Get(a).Val) != 0 {
+		t.Fatal("payload reset lost")
+	}
+}
+
+func TestU64TableEnsure(t *testing.T) {
+	var tab U64Table[int]
+	s, existed := tab.Ensure(pack(4, 9))
+	if existed {
+		t.Fatal("fresh key reported as existing")
+	}
+	s.Val = 42
+	s2, existed := tab.Ensure(pack(4, 9))
+	if !existed || s2.Val != 42 {
+		t.Fatalf("ensure of present key: existed=%v val=%d", existed, s2.Val)
+	}
+	if tab.Len() != 1 {
+		t.Fatalf("len = %d, want 1", tab.Len())
+	}
+	// Ensure after a removal lands on the tombstone of the probe path.
+	tab.Remove(pack(4, 9))
+	if _, existed := tab.Ensure(pack(4, 9)); existed {
+		t.Fatal("removed key reported as existing")
+	}
+}
+
+func TestU64TableChurn(t *testing.T) {
+	// A sliding-window-like workload: sustained insert/remove churn with
+	// a bounded live set must not grow the table without bound and must
+	// stay consistent with a reference map.
+	var tab U64Table[struct{}]
+	ref := make(map[uint64]bool)
+	r := rand.New(rand.NewSource(99))
+	var livePeak, slotPeak int
+	for i := 0; i < 200_000; i++ {
+		pk := pack(uint32(r.Intn(500)), uint32(500+r.Intn(500)))
+		if ref[pk] {
+			tab.Remove(pk)
+			delete(ref, pk)
+		} else if len(ref) < 256 {
+			tab.Insert(pk)
+			ref[pk] = true
+		}
+		if tab.Len() != len(ref) {
+			t.Fatalf("step %d: len %d != ref %d", i, tab.Len(), len(ref))
+		}
+		if len(ref) > livePeak {
+			livePeak = len(ref)
+		}
+		if len(tab.slots) > slotPeak {
+			slotPeak = len(tab.slots)
+		}
+	}
+	for pk := range ref {
+		if !tab.Has(pk) {
+			t.Fatalf("lost key %x", pk)
+		}
+	}
+	// 256 live keys need 512 slots at 3/4 load; churn must not push the
+	// table past a small constant factor of that.
+	if slotPeak > 2048 {
+		t.Errorf("table grew to %d slots for %d live keys", slotPeak, livePeak)
+	}
+}
+
+func TestU64TableCollisionProbe(t *testing.T) {
+	// Force many keys into one small table so linear probing and
+	// tombstone reuse both exercise wraparound.
+	var tab U64Table[struct{}]
+	keys := make([]uint64, 0, 100)
+	for i := uint32(1); i <= 100; i++ {
+		keys = append(keys, pack(i, i+1))
+	}
+	for _, k := range keys {
+		tab.Insert(k)
+	}
+	for i, k := range keys {
+		if i%2 == 0 {
+			tab.Remove(k)
+		}
+	}
+	for i, k := range keys {
+		if want := i%2 != 0; tab.Has(k) != want {
+			t.Fatalf("key %d: has=%v want %v", i, tab.Has(k), want)
+		}
+	}
+	// Reinsert the removed half; everything must be findable again.
+	for i, k := range keys {
+		if i%2 == 0 {
+			tab.Insert(k)
+		}
+	}
+	for i, k := range keys {
+		if !tab.Has(k) {
+			t.Fatalf("key %d lost after reinsert", i)
+		}
+	}
+}
+
+func TestU64TableReserveAndRange(t *testing.T) {
+	var tab U64Table[int]
+	tab.Reserve(1000)
+	slots := len(tab.slots)
+	if slots < 1000*4/3 {
+		t.Fatalf("reserve(1000) sized only %d slots", slots)
+	}
+	for i := uint32(1); i <= 1000; i++ {
+		tab.Insert(pack(i, i+7)).Val = int(i)
+	}
+	if len(tab.slots) != slots {
+		t.Fatalf("table rehashed despite Reserve: %d -> %d slots", slots, len(tab.slots))
+	}
+	sum := 0
+	tab.Range(func(s *Slot[int]) bool { sum += s.Val; return true })
+	if want := 1000 * 1001 / 2; sum != want {
+		t.Fatalf("range sum %d, want %d", sum, want)
+	}
+	// Early-exit walk.
+	n := 0
+	tab.Range(func(s *Slot[int]) bool { n++; return n < 10 })
+	if n != 10 {
+		t.Fatalf("range visited %d slots after early exit", n)
+	}
+	if tab.Bytes() <= 0 {
+		t.Fatal("Bytes() reported nothing for a populated table")
+	}
+}
+
+// fpRef pairs an FP32Set with the reference map that plays its ground
+// truth: the KeyVerifier answers from the map, as the graph's adjacency
+// scan would.
+type fpRef struct {
+	set FP32Set
+	ref map[uint64]bool
+}
+
+func (f *fpRef) VerifyKey(k uint64) bool { return f.ref[k] }
+
+func (f *fpRef) add(k uint64) bool { return f.set.Add(k, f) }
+
+func (f *fpRef) contains(k uint64) bool { return f.set.Contains(k, f) }
+
+func TestFP32SetAgainstMap(t *testing.T) {
+	f := &fpRef{ref: make(map[uint64]bool)}
+	r := rand.New(rand.NewSource(7))
+	keys := make([]uint64, 0, 50_000)
+	for i := 0; i < 50_000; i++ {
+		k := pack(uint32(r.Intn(5000)), uint32(5000+r.Intn(5000)))
+		wantAdd := !f.ref[k]
+		if got := f.add(k); got != wantAdd {
+			t.Fatalf("step %d: Add(%x)=%v want %v", i, k, got, wantAdd)
+		}
+		if wantAdd {
+			f.ref[k] = true
+			keys = append(keys, k)
+		}
+		if f.set.Len() != len(f.ref) {
+			t.Fatalf("step %d: len %d != ref %d", i, f.set.Len(), len(f.ref))
+		}
+	}
+	for _, k := range keys {
+		if !f.contains(k) {
+			t.Fatalf("lost key %x", k)
+		}
+	}
+	for i := 0; i < 50_000; i++ {
+		k := pack(uint32(10_000+r.Intn(5000)), uint32(20_000+r.Intn(5000)))
+		if f.ref[k] {
+			continue
+		}
+		if f.contains(k) {
+			t.Fatalf("phantom key %x", k)
+		}
+	}
+}
+
+// mapTruth is a bare map-backed KeyVerifier.
+type mapTruth map[uint64]bool
+
+func (m mapTruth) VerifyKey(k uint64) bool { return m[k] }
+
+func TestFP32SetForcedCollisions(t *testing.T) {
+	// Drive the collision path deterministically: ground truth that says
+	// "absent" forces the shared-fingerprint insert, and flipping the
+	// ground truth must flip the answers — the fingerprint is shared, the
+	// verdict comes from VerifyKey.
+	var s FP32Set
+	truth := mapTruth{}
+	k1, k2 := pack(1, 2), pack(3, 4)
+	for _, k := range []uint64{k1, k2} {
+		if !s.Add(k, truth) {
+			t.Fatal("fresh add rejected")
+		}
+		truth[k] = true
+	}
+	// Whatever the fingerprints, Contains consults ground truth on a hit
+	// and trusts empty-slot misses; both keys must read back present.
+	for _, k := range []uint64{k1, k2} {
+		if !s.Contains(k, truth) {
+			t.Fatalf("key %x lost", k)
+		}
+	}
+	// Duplicate adds are rejected via ground truth.
+	if s.Add(k1, truth) {
+		t.Fatal("duplicate add accepted")
+	}
+}
+
+func TestFP32SetReserveGrowth(t *testing.T) {
+	var s FP32Set
+	s.Reserve(10_000)
+	slots := len(s.slots)
+	truth := mapTruth{}
+	for i := uint32(1); i <= 10_000; i++ {
+		k := pack(i, i+1)
+		s.Add(k, truth)
+		truth[k] = true
+	}
+	if len(s.slots) != slots {
+		t.Fatalf("set rehashed despite Reserve: %d -> %d slots", slots, len(s.slots))
+	}
+	// Growth keeps everything findable across rehashes (no stored keys —
+	// fingerprints must relocate by their own bits).
+	for i := uint32(10_001); i <= 40_000; i++ {
+		k := pack(i, i+1)
+		s.Add(k, truth)
+		truth[k] = true
+	}
+	for k := range truth {
+		if !s.Contains(k, truth) {
+			t.Fatalf("key %x lost after growth", k)
+		}
+	}
+	if s.Bytes() < 4*len(s.slots) {
+		t.Fatal("Bytes() under-reports")
+	}
+	// Clone is independent of the original.
+	c := s.Clone()
+	if c.Len() != s.Len() || !c.Contains(pack(5, 6), truth) {
+		t.Fatal("clone lost contents")
+	}
+}

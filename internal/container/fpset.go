@@ -1,0 +1,163 @@
+package container
+
+// FP32Set is the recorded graph's duplicate-edge accelerator: an
+// open-addressing set over uint64 keys that stores a 4-byte fingerprint
+// per slot instead of the full 8-byte key. It is the U64Table probing
+// design adapted for 10⁸-key scale, where full keys alone cost 8 bytes ×
+// (1/load) per entry — more than half the recorded graph's entire memory
+// budget.
+//
+// A fingerprint table cannot be exact on its own: two distinct keys can
+// share a fingerprint. FP32Set is exact anyway because every query carries
+// a verify callback that consults the caller's ground truth (for the
+// graph: an adjacency-list membership scan). The protocol:
+//
+//   - A probe that finds no matching fingerprint proves absence — no
+//     false negatives, since a present key always left its fingerprint on
+//     its probe path, and entries are never deleted.
+//   - A probe that finds a matching fingerprint proves nothing; verify is
+//     consulted (at most once per operation — it answers for the key, not
+//     the slot) and its answer is authoritative.
+//
+// verify runs only on fingerprint hits: for a true duplicate (which the
+// caller then rejects — no further work), or on a ~2⁻³² per-probe
+// collision. The hot path — inserting a fresh edge — is one cache line of
+// 16 fingerprints, no map hashing, no verification.
+//
+// Slots hold the top 32 bits of the mixed key; the slot index is derived
+// from those same bits, so the table can rehash without storing keys.
+// Fingerprint 0 marks an empty slot (real fingerprints remap 0 to 1).
+// There are no tombstones: the set does not support deletion, matching
+// the recorded graph's append-only contract.
+type FP32Set struct {
+	slots []uint32 // len is a power of two (or 0)
+	live  int
+}
+
+// fp32 returns the non-zero fingerprint of key.
+func fp32(key uint64) uint32 {
+	f := uint32(hash(key) >> 32)
+	if f == 0 {
+		f = 1
+	}
+	return f
+}
+
+// Len returns the number of keys added to the set.
+func (t *FP32Set) Len() int { return t.live }
+
+// Bytes returns the slot-array footprint, for memory accounting.
+func (t *FP32Set) Bytes() int { return 4 * cap(t.slots) }
+
+// Reserve grows the slot array to hold at least n keys under 3/4 load, if
+// it is not already that large.
+func (t *FP32Set) Reserve(n int) {
+	if want := slotsForFP(n); want > len(t.slots) {
+		t.rehashTo(want)
+	}
+}
+
+// slotsForFP returns the power-of-two slot count keeping load under 13/16
+// for n entries. The set tolerates a higher load than the key-storing
+// tables: probes touch 4-byte slots (16 per cache line), so longer probe
+// chains stay cheap, and the higher load is worth ~1.6 bytes per edge at
+// 10⁸ edges.
+func slotsForFP(n int) int {
+	s := 64
+	for s*13 < n*16 {
+		s *= 2
+	}
+	return s
+}
+
+// KeyVerifier answers ground-truth membership for a key. It is an
+// interface rather than a closure so hot paths (one Add per streamed
+// edge) pass their existing structure — e.g. the graph itself — with no
+// per-call allocation.
+type KeyVerifier interface {
+	// VerifyKey reports whether key is truly present.
+	VerifyKey(key uint64) bool
+}
+
+// Contains reports whether key is in the set. gt is consulted (at most
+// once) when a fingerprint on the probe path matches; it must report
+// whether key is truly present in the caller's ground truth.
+func (t *FP32Set) Contains(key uint64, gt KeyVerifier) bool {
+	if t.live == 0 {
+		return false
+	}
+	f := fp32(key)
+	mask := uint32(len(t.slots) - 1)
+	for i := f & mask; ; i = (i + 1) & mask {
+		switch t.slots[i] {
+		case f:
+			// Authoritative for the key, not the slot: one call decides.
+			return gt.VerifyKey(key)
+		case 0:
+			return false
+		}
+	}
+}
+
+// Add inserts key if absent, reporting whether it was added (false means
+// key was already present). gt is consulted as in Contains.
+func (t *FP32Set) Add(key uint64, gt KeyVerifier) bool {
+	if len(t.slots) == 0 || (t.live+1)*16 > len(t.slots)*13 {
+		t.rehash()
+	}
+	f := fp32(key)
+	mask := uint32(len(t.slots) - 1)
+	for i := f & mask; ; i = (i + 1) & mask {
+		switch t.slots[i] {
+		case f:
+			// A fingerprint match: either key is a duplicate, or another
+			// key collided into the same fingerprint. Ground truth
+			// decides. On a collision the key is added without planting a
+			// second slot: probe starts are derived from the fingerprint,
+			// so the planted f already serves every key that maps to it.
+			if gt.VerifyKey(key) {
+				return false
+			}
+			t.live++
+			return true
+		case 0:
+			t.slots[i] = f
+			t.live++
+			return true
+		}
+	}
+}
+
+func (t *FP32Set) rehash() {
+	n := len(t.slots) * 2
+	if n == 0 {
+		n = 64
+	}
+	t.rehashTo(n)
+}
+
+// Clone returns a deep copy of the set.
+func (t *FP32Set) Clone() FP32Set {
+	return FP32Set{slots: append([]uint32(nil), t.slots...), live: t.live}
+}
+
+// rehashTo rebuilds the slot array. The new index of an entry is derived
+// from its stored fingerprint — the same bits the original index came
+// from — so no keys are needed. Entries that shared a fingerprint each
+// keep a slot; lookups verify through ground truth either way.
+func (t *FP32Set) rehashTo(n int) {
+	old := t.slots
+	t.slots = make([]uint32, n)
+	mask := uint32(n - 1)
+	for _, f := range old {
+		if f == 0 {
+			continue
+		}
+		for i := f & mask; ; i = (i + 1) & mask {
+			if t.slots[i] == 0 {
+				t.slots[i] = f
+				break
+			}
+		}
+	}
+}

@@ -562,10 +562,11 @@ func (l *Loom) ration(p partition.ID, smin int) float64 {
 // the observed incident edges from the match's vertices into Si. For a
 // fresh single-edge match this reduces exactly to LDG's N(Si, e); the
 // printed |V(Si) ∩ V(Ek)| alone discards the neighbourhood signal LDG uses
-// (see DESIGN.md §5). Everything runs on dense indices: match vertices and
-// tracker adjacency are both interned, so the scatter is pure slice
-// traversal — O(|V(Ek)| + Σdeg) total, where the per-partition rewalk it
-// replaces cost K times that.
+// (see DESIGN.md §5). The neighbourhood term reads the tracker's
+// incrementally maintained per-vertex count rows instead of walking
+// adjacency, so one scatter is O(|V(Ek)|·K) regardless of vertex degree —
+// on hub-heavy streams the walk it replaces was O(hub degree) per
+// eviction, which turned 10⁸-edge ingests quadratic.
 func (l *Loom) scatterBidCounts(m *window.Match, counts []int32) {
 	for i := range counts {
 		counts[i] = 0
@@ -574,11 +575,7 @@ func (l *Loom) scatterBidCounts(m *window.Match, counts []int32) {
 		if p := l.tr.PartOfIdx(v); p != partition.Unassigned {
 			counts[p]++
 		}
-		for _, u := range l.tr.NeighborsIdx(v) {
-			if p := l.tr.PartOfIdx(u); p != partition.Unassigned {
-				counts[p]++
-			}
-		}
+		l.tr.AddNeighborCountsIdx(v, counts)
 	}
 }
 

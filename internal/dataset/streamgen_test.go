@@ -1,0 +1,155 @@
+package dataset
+
+import (
+	"testing"
+
+	"loom/internal/graph"
+)
+
+func collectStream(t *testing.T, spec StreamSpec) []graph.StreamEdge {
+	t.Helper()
+	gen, err := NewStreamGen(spec)
+	if err != nil {
+		t.Fatalf("NewStreamGen: %v", err)
+	}
+	var out []graph.StreamEdge
+	for {
+		e, ok := gen.Next()
+		if !ok {
+			break
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+func TestStreamGenDeterministic(t *testing.T) {
+	for _, mode := range []string{"powerlaw", "triples"} {
+		spec := StreamSpec{Mode: mode, Edges: 5000, Vertices: 500, Seed: 7}
+		a := collectStream(t, spec)
+		b := collectStream(t, spec)
+		if len(a) != 5000 || len(b) != 5000 {
+			t.Fatalf("%s: emitted %d / %d edges, want 5000", mode, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: edge %d differs across runs: %v vs %v", mode, i, a[i], b[i])
+			}
+		}
+		// Different seed must not reproduce the same stream.
+		spec.Seed = 8
+		c := collectStream(t, spec)
+		same := true
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatalf("%s: seeds 7 and 8 produced identical streams", mode)
+		}
+	}
+}
+
+func TestStreamGenLabelConsistency(t *testing.T) {
+	spec := StreamSpec{Mode: "triples", Edges: 8000, Vertices: 300, Labels: 3, Seed: 3}
+	seen := make(map[graph.VertexID]graph.Label)
+	check := func(v graph.VertexID, l graph.Label) {
+		if prev, ok := seen[v]; ok && prev != l {
+			t.Fatalf("vertex %d streamed with labels %q and %q", v, prev, l)
+		}
+		seen[v] = l
+	}
+	for _, e := range collectStream(t, spec) {
+		check(e.U, e.LU)
+		check(e.V, e.LV)
+	}
+	// Core vertices draw from the 3-letter alphabet; minted attribute
+	// vertices (IDs >= Vertices) are all "Attr".
+	attrs := 0
+	for v, l := range seen {
+		if int64(v) >= spec.Vertices {
+			attrs++
+			if l != "Attr" {
+				t.Fatalf("attribute vertex %d has label %q", v, l)
+			}
+		} else if l != "A" && l != "B" && l != "C" {
+			t.Fatalf("core vertex %d has label %q outside alphabet", v, l)
+		}
+	}
+	if attrs == 0 {
+		t.Fatal("triples mode minted no attribute vertices in 8000 edges")
+	}
+}
+
+func TestStreamGenRemaining(t *testing.T) {
+	gen, err := NewStreamGen(StreamSpec{Edges: 10, Vertices: 4, Seed: 1})
+	if err != nil {
+		t.Fatalf("NewStreamGen: %v", err)
+	}
+	for want := int64(10); want > 0; want-- {
+		if got := gen.Remaining(); got != want {
+			t.Fatalf("Remaining = %d, want %d", got, want)
+		}
+		if _, ok := gen.Next(); !ok {
+			t.Fatalf("Next exhausted with %d edges remaining", want)
+		}
+	}
+	if gen.Remaining() != 0 {
+		t.Fatalf("Remaining after exhaustion = %d", gen.Remaining())
+	}
+	if _, ok := gen.Next(); ok {
+		t.Fatal("Next returned an edge after exhaustion")
+	}
+}
+
+func TestStreamGenSpecValidation(t *testing.T) {
+	bad := []StreamSpec{
+		{Edges: 0, Vertices: 10},
+		{Edges: 10, Vertices: 1},
+		{Edges: 10, Vertices: 10, Skew: 0.9},
+		{Edges: 10, Vertices: 10, Mode: "nope"},
+	}
+	for i, spec := range bad {
+		if _, err := NewStreamGen(spec); err == nil {
+			t.Fatalf("spec %d accepted: %+v", i, spec)
+		}
+	}
+	// Defaults: mode powerlaw, 5 labels, skew 1.3.
+	gen, err := NewStreamGen(StreamSpec{Edges: 100, Vertices: 50, Seed: 2})
+	if err != nil {
+		t.Fatalf("default spec rejected: %v", err)
+	}
+	for {
+		e, ok := gen.Next()
+		if !ok {
+			break
+		}
+		for _, l := range []graph.Label{e.LU, e.LV} {
+			if len(l) != 1 || l[0] < 'A' || l[0] > 'E' {
+				t.Fatalf("default alphabet produced label %q", l)
+			}
+		}
+	}
+}
+
+func TestStreamGenSkewIsSkewed(t *testing.T) {
+	// With Zipf selection the most popular vertex (ID 0) should appear far
+	// more often than a uniform draw would allow.
+	spec := StreamSpec{Edges: 20000, Vertices: 1000, Seed: 5}
+	hits := 0
+	for _, e := range collectStream(t, spec) {
+		if e.U == 0 {
+			hits++
+		}
+		if e.V == 0 {
+			hits++
+		}
+	}
+	// Uniform would give ~40 endpoint hits (2*20000/1000); Zipf s=1.3
+	// concentrates a large constant fraction on rank 0.
+	if hits < 400 {
+		t.Fatalf("vertex 0 hit %d endpoints; stream does not look skewed", hits)
+	}
+}

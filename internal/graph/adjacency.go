@@ -1,0 +1,155 @@
+package graph
+
+import "encoding/binary"
+
+// Compressed adjacency: each vertex stores its neighbour list as dense
+// uint32 indices in one byte buffer — a delta-varint-compressed prefix in
+// blocks of adjBlock entries, followed by an uncompressed tail of raw
+// 4-byte little-endian entries. Hot appends are O(1) (write 4 raw bytes);
+// every adjBlock-th append compresses the tail in place. Insertion order
+// is preserved exactly — the deterministic BFS/DFS stream orders and the
+// golden placement tests depend on it — so deltas are zigzag-encoded
+// (streams mostly touch recently-interned vertices, keeping deltas small,
+// but they can be negative).
+//
+// Iteration decodes sequentially into a caller scratch (Graph.Neighbors);
+// membership scans (the duplicate-edge verify) decode with early exit.
+
+// adjBlock is the number of raw tail entries buffered before a block is
+// compressed, and the granularity of block-at-a-time decoding.
+const adjBlock = 32
+
+// vertexAdj is one vertex's adjacency. 40 bytes of fixed state per
+// vertex; buf is the only allocation.
+type vertexAdj struct {
+	buf  []byte
+	deg  uint32 // total neighbours
+	last uint32 // final value of the compressed prefix (delta base)
+	tail uint16 // raw entries at the end of buf
+}
+
+// zigzag maps a signed delta to an unsigned varint-friendly value.
+func zigzag(d int64) uint64 { return uint64((d << 1) ^ (d >> 63)) }
+
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// appendUv appends v as an unsigned varint.
+func appendUv(b []byte, v uint64) []byte { return binary.AppendUvarint(b, v) }
+
+// add appends neighbour v in insertion order.
+func (a *vertexAdj) add(v uint32) {
+	if len(a.buf)+4 > cap(a.buf) {
+		// Grow by 1/4 with a small floor: adjacency buffers dominate the
+		// recorded graph's variable memory, so the doubling Go's append
+		// would use for small slices wastes too much across 10⁷ vertices.
+		nb := make([]byte, len(a.buf), len(a.buf)+len(a.buf)/4+16)
+		copy(nb, a.buf)
+		a.buf = nb
+	}
+	a.buf = binary.LittleEndian.AppendUint32(a.buf, v)
+	a.tail++
+	a.deg++
+	if a.tail == adjBlock {
+		a.compressTail()
+	}
+}
+
+// compressTail re-encodes the raw tail entries (adjBlock of them on the
+// hot path; possibly fewer under shrink) as one delta-varint block chained
+// onto the compressed prefix. Usually shrinks the buffer (4 bytes raw →
+// 1–3 bytes per entry on real streams); in the worst case (adversarial
+// deltas) a block costs 5 bytes per entry, which iteration and membership
+// handle identically.
+func (a *vertexAdj) compressTail() {
+	k := int(a.tail)
+	start := len(a.buf) - k*4
+	var vals [adjBlock]uint32
+	for i := 0; i < k; i++ {
+		vals[i] = binary.LittleEndian.Uint32(a.buf[start+4*i:])
+	}
+	var enc [adjBlock * 5]byte
+	n := 0
+	prev := a.last
+	for _, v := range vals[:k] {
+		n += binary.PutUvarint(enc[n:], zigzag(int64(v)-int64(prev)))
+		prev = v
+	}
+	a.buf = append(a.buf[:start], enc[:n]...)
+	a.last = prev
+	a.tail = 0
+}
+
+// shrink compresses any partial raw tail and re-allocates the buffer to
+// exact size, dropping growth slack. Appending after a shrink still works
+// (the tail simply refills) at the cost of one re-allocation, so this is
+// for quiesce points — Graph.Compact, which Checkpoint calls — not the
+// hot path.
+func (a *vertexAdj) shrink() {
+	if a.tail > 0 {
+		a.compressTail()
+	}
+	if cap(a.buf) > len(a.buf) {
+		a.buf = append(make([]byte, 0, len(a.buf)), a.buf...)
+	}
+}
+
+// each invokes fn for every neighbour in insertion order until fn returns
+// false.
+func (a *vertexAdj) each(fn func(uint32) bool) {
+	comp := a.buf[:len(a.buf)-int(a.tail)*4]
+	prev := uint32(0)
+	for i := 0; i < len(comp); {
+		u, n := binary.Uvarint(comp[i:])
+		i += n
+		prev = uint32(int64(prev) + unzigzag(u))
+		if !fn(prev) {
+			return
+		}
+	}
+	raw := a.buf[len(a.buf)-int(a.tail)*4:]
+	for i := 0; i < len(raw); i += 4 {
+		if !fn(binary.LittleEndian.Uint32(raw[i:])) {
+			return
+		}
+	}
+}
+
+// appendTo appends every neighbour to buf in insertion order, decoding
+// the compressed prefix block-at-a-time, and returns the extended buffer.
+func (a *vertexAdj) appendTo(buf []uint32) []uint32 {
+	if cap(buf)-len(buf) < int(a.deg) {
+		nb := make([]uint32, len(buf), len(buf)+int(a.deg))
+		copy(nb, buf)
+		buf = nb
+	}
+	a.each(func(v uint32) bool {
+		buf = append(buf, v)
+		return true
+	})
+	return buf
+}
+
+// contains reports whether v is a neighbour: the ground-truth scan behind
+// the fingerprint edge set's verify callback.
+func (a *vertexAdj) contains(v uint32) bool {
+	found := false
+	a.each(func(n uint32) bool {
+		if n == v {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// clone deep-copies the adjacency.
+func (a *vertexAdj) clone() vertexAdj {
+	c := *a
+	c.buf = append([]byte(nil), a.buf...)
+	return c
+}
+
+// bytes returns the buffer footprint (the fixed struct is accounted by
+// the caller per len(adj)).
+func (a *vertexAdj) bytes() int { return cap(a.buf) }

@@ -10,11 +10,17 @@ func ConnectedComponents(g *Graph) [][]VertexID {
 	if g.directed {
 		// Build a symmetric adjacency view for traversal.
 		undirected := make(map[VertexID][]VertexID, g.NumVertices())
-		for _, e := range g.eorder {
+		err := g.EachEdge(func(e Edge) error {
 			undirected[e.U] = append(undirected[e.U], e.V)
 			undirected[e.V] = append(undirected[e.V], e.U)
+			return nil
+		})
+		if err != nil {
+			panic(err)
 		}
-		neighbors = func(v VertexID) []VertexID { return undirected[v] }
+		neighbors = func(v VertexID, buf []VertexID) []VertexID {
+			return append(buf, undirected[v]...)
+		}
 	}
 
 	var comps [][]VertexID
@@ -25,10 +31,12 @@ func ConnectedComponents(g *Graph) [][]VertexID {
 		visited[root] = struct{}{}
 		comp := []VertexID{root}
 		queue := []VertexID{root}
+		var ns []VertexID
 		for len(queue) > 0 {
 			u := queue[0]
 			queue = queue[1:]
-			for _, v := range neighbors(u) {
+			ns = neighbors(u, ns[:0])
+			for _, v := range ns {
 				if _, ok := visited[v]; ok {
 					continue
 				}

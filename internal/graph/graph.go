@@ -10,17 +10,40 @@
 // simple (no self-loops, no parallel edges) and undirected by default; the
 // directed extension the paper mentions inline is supported via NewDirected.
 //
-// Storage is slice-backed: external vertex IDs and label strings are
-// interned (internal/intern) at insertion, and labels, adjacency lists and
-// the edge set are indexed by the dense vertex index. The exported API
-// still speaks VertexID/Label; only the representation changed.
+// # Storage
+//
+// The graph is engineered for bounded memory at 10⁸-edge scale. External
+// vertex IDs and label strings are interned (internal/intern) at insertion;
+// everything downstream is indexed by the dense vertex index:
+//
+//   - Adjacency is stored per vertex as dense uint32 indices in chunked
+//     delta-varint-compressed blocks with a small raw tail (adjacency.go):
+//     O(1) hot appends, block-at-a-time decode into caller scratch, ~2–4
+//     bytes per adjacency entry on real streams. Neighbors therefore takes
+//     a caller-owned scratch buffer instead of exposing an internal slice.
+//   - Duplicate edges are detected by a 4-byte-per-slot fingerprint set
+//     (internal/container.FP32Set) verified against the adjacency lists —
+//     exact, one cache line per probe, no per-edge map or closure
+//     allocation.
+//   - The insertion-order edge sequence lives in a chunked delta-encoded
+//     log (elog.go) that can spill frozen chunks to disk (SpillTo) through
+//     the same wal.FS abstraction the WAL uses; replay reads chunks
+//     sequentially, so replay memory is one chunk regardless of stream
+//     length.
+//
+// Insertion order is preserved everywhere — Edges, Neighbors and the
+// stream orderings built on them are bit-identical to the earlier
+// slice-backed representation.
 package graph
 
 import (
 	"fmt"
 	"sort"
+	"unsafe"
 
+	"loom/internal/container"
 	"loom/internal/intern"
+	"loom/internal/wal"
 )
 
 // VertexID identifies a vertex. IDs are opaque to the library; datasets and
@@ -68,14 +91,19 @@ type Graph struct {
 
 	verts  *intern.VertexTable
 	ltab   *intern.LabelTable
-	vlabel []uint16     // label code per dense vertex index
-	adj    [][]VertexID // adjacency per dense vertex index (external IDs)
+	vlabel []uint16    // label code per dense vertex index
+	adj    []vertexAdj // compressed adjacency per dense vertex index
 
-	// eorder preserves insertion order so that iteration, orderings and
-	// tests are deterministic; eset (packed dense index pairs) detects
-	// duplicates without hashing external IDs twice.
-	eorder []Edge
-	eset   map[uint64]struct{}
+	// eset (fingerprints of packed dense index pairs, verified against
+	// adjacency) detects duplicates; log preserves insertion order so that
+	// iteration, orderings, replay and tests are deterministic.
+	eset container.FP32Set
+	log  edgeLog
+
+	// dupCache is a direct-mapped cache of packed index pairs VerifyKey has
+	// confirmed present, lazily allocated on the first confirmed duplicate.
+	// It short-circuits the adjacency scan for repeated duplicates.
+	dupCache []uint64
 }
 
 // New returns an empty undirected labelled graph.
@@ -83,7 +111,6 @@ func New() *Graph {
 	return &Graph{
 		verts: intern.NewVertexTable(0),
 		ltab:  intern.NewLabelTable(),
-		eset:  make(map[uint64]struct{}),
 	}
 }
 
@@ -99,6 +126,46 @@ func NewDirected() *Graph {
 // Directed reports whether g stores directed edges.
 func (g *Graph) Directed() bool { return g.directed }
 
+// Reserve pre-sizes the duplicate-edge set for the expected edge count,
+// avoiding incremental rehashes during bulk ingest.
+func (g *Graph) Reserve(edges int) {
+	if edges > 0 {
+		g.eset.Reserve(edges)
+	}
+}
+
+// SpillTo configures the edge log to spill frozen chunks to dir on fs
+// (production callers pass wal.OS()), creating dir and immediately
+// spilling any chunks already frozen. Resident log memory is thereafter
+// bounded by the active chunk. A failed spill is not fatal: the chunk
+// stays resident and Compact retries.
+func (g *Graph) SpillTo(fs wal.FS, dir string) error {
+	if err := fs.MkdirAll(dir); err != nil {
+		return fmt.Errorf("graph: spill dir: %w", err)
+	}
+	g.log.fs, g.log.dir = fs, dir
+	return g.log.compact()
+}
+
+// Compact bounds resident memory at a quiesce point: it compresses every
+// vertex's partial adjacency tail and drops buffer growth slack, and
+// retries any edge-log spills that previously failed. Ingest after a
+// Compact is fully supported — each touched vertex pays one re-allocation
+// on its next append. The partitioner calls it at checkpoint.
+func (g *Graph) Compact() error {
+	for i := range g.adj {
+		g.adj[i].shrink()
+	}
+	return g.log.compact()
+}
+
+// SpillStats reports the edge log's on-disk residency: spilled chunk
+// count and bytes, and the latest spill error (nil when all frozen
+// chunks are on disk or spilling is not configured).
+func (g *Graph) SpillStats() (chunks int, bytes int64, err error) {
+	return g.log.spilled, g.log.spillB, g.log.spillErr
+}
+
 // packIdx packs a dense index pair into the edge-set key, normalising for
 // undirected graphs.
 func (g *Graph) packIdx(ui, vi uint32) uint64 {
@@ -106,6 +173,56 @@ func (g *Graph) packIdx(ui, vi uint32) uint64 {
 		ui, vi = vi, ui
 	}
 	return uint64(ui)<<32 | uint64(vi)
+}
+
+// dupCacheSlots sizes the direct-mapped confirmed-duplicate cache for a
+// graph with verts vertices: a power of two between 1k and 32k slots
+// (8 KiB–256 KiB). Scaling with |V| keeps the cache negligible against
+// small graphs while covering the hub-pair population of large ones.
+func dupCacheSlots(verts int) int {
+	n := 1 << 10
+	for n < verts && n < 1<<15 {
+		n <<= 1
+	}
+	return n
+}
+
+// noteDup records a confirmed-present key in the duplicate cache,
+// (re)allocating it lazily — and growing it as the vertex set outgrows
+// it — on a power-of-two schedule. Dropping old entries on growth is
+// safe: the cache only short-circuits a scan that would succeed anyway.
+func (g *Graph) noteDup(pk uint64) {
+	if want := dupCacheSlots(len(g.adj)); len(g.dupCache) < want {
+		g.dupCache = make([]uint64, want)
+	}
+	g.dupCache[intern.Mix64(pk)&uint64(len(g.dupCache)-1)] = pk
+}
+
+// VerifyKey reports whether the packed dense index pair pk is a recorded
+// edge, by scanning the shorter endpoint's adjacency list. It is the
+// ground truth behind the fingerprint edge set (container.KeyVerifier);
+// callers use HasEdge. Confirmed-present keys are remembered in a small
+// direct-mapped cache, so dup-heavy streams pay the adjacency scan once
+// per hot pair instead of on every repeat — safe because edges are only
+// ever added, so "present" can never go stale.
+func (g *Graph) VerifyKey(pk uint64) bool {
+	if n := len(g.dupCache); n > 0 && g.dupCache[intern.Mix64(pk)&uint64(n-1)] == pk {
+		return true
+	}
+	ui, vi := uint32(pk>>32), uint32(pk)
+	var found bool
+	switch {
+	case g.directed:
+		found = g.adj[ui].contains(vi)
+	case g.adj[ui].deg <= g.adj[vi].deg:
+		found = g.adj[ui].contains(vi)
+	default:
+		found = g.adj[vi].contains(ui)
+	}
+	if found {
+		g.noteDup(pk)
+	}
+	return found
 }
 
 // key returns the canonical Edge value for (u,v): normalised for
@@ -118,20 +235,27 @@ func (g *Graph) key(u, v VertexID) Edge {
 	return e
 }
 
+// ensureVertex interns id with label l (or validates the label if id is
+// already present) and returns its dense index.
+func (g *Graph) ensureVertex(id VertexID, l Label) (uint32, error) {
+	if i, ok := g.verts.Lookup(int64(id)); ok {
+		if have := g.ltab.Name(g.vlabel[i]); have != string(l) {
+			return 0, fmt.Errorf("graph: vertex %d already has label %q (got %q)", id, have, l)
+		}
+		return i, nil
+	}
+	i := g.verts.Intern(int64(id))
+	g.vlabel = append(g.vlabel, g.ltab.Intern(string(l)))
+	g.adj = append(g.adj, vertexAdj{})
+	return i, nil
+}
+
 // AddVertex inserts vertex id with the given label. Re-adding an existing
 // vertex with the same label is a no-op; with a different label it returns
 // an error, since fl is a function.
 func (g *Graph) AddVertex(id VertexID, l Label) error {
-	if i, ok := g.verts.Lookup(int64(id)); ok {
-		if have := g.ltab.Name(g.vlabel[i]); have != string(l) {
-			return fmt.Errorf("graph: vertex %d already has label %q (got %q)", id, have, l)
-		}
-		return nil
-	}
-	g.verts.Intern(int64(id))
-	g.vlabel = append(g.vlabel, g.ltab.Intern(string(l)))
-	g.adj = append(g.adj, nil)
-	return nil
+	_, err := g.ensureVertex(id, l)
+	return err
 }
 
 // HasVertex reports whether id is in the graph.
@@ -159,6 +283,20 @@ func (g *Graph) MustLabel(id VertexID) Label {
 	return Label(g.ltab.Name(g.vlabel[i]))
 }
 
+// addEdgeIdx records the edge between dense indices (ui, vi), given in
+// stream orientation. It reports false for a duplicate.
+func (g *Graph) addEdgeIdx(ui, vi uint32) bool {
+	if !g.eset.Add(g.packIdx(ui, vi), g) {
+		return false
+	}
+	g.log.append(ui, vi)
+	g.adj[ui].add(vi)
+	if !g.directed {
+		g.adj[vi].add(ui)
+	}
+	return true
+}
+
 // AddEdge inserts the edge (u,v). Both endpoints must already exist.
 // Self-loops and duplicate edges are rejected with an error: the paper's
 // graphs are simple, and rejecting rather than silently ignoring surfaces
@@ -175,19 +313,8 @@ func (g *Graph) AddEdge(u, v VertexID) error {
 	if !ok {
 		return fmt.Errorf("graph: edge endpoint %d not in graph", v)
 	}
-	k := Edge{u, v}
-	if !g.directed {
-		k = k.Norm()
-	}
-	pk := g.packIdx(ui, vi)
-	if _, dup := g.eset[pk]; dup {
-		return fmt.Errorf("graph: duplicate edge %v", k)
-	}
-	g.eset[pk] = struct{}{}
-	g.eorder = append(g.eorder, k)
-	g.adj[ui] = append(g.adj[ui], v)
-	if !g.directed {
-		g.adj[vi] = append(g.adj[vi], u)
+	if !g.addEdgeIdx(ui, vi) {
+		return fmt.Errorf("graph: duplicate edge %v", g.key(u, v))
 	}
 	return nil
 }
@@ -196,22 +323,22 @@ func (g *Graph) AddEdge(u, v VertexID) error {
 // the edge between them. It reports whether a new edge was added; duplicate
 // edges and self-loops return false without error, making it convenient for
 // ingesting noisy streams. A label conflict still returns an error.
+//
+// This is the streaming hot path: two vertex-table probes, one
+// fingerprint-set probe, and the O(1) adjacency and log appends.
 func (g *Graph) EnsureEdge(u VertexID, lu Label, v VertexID, lv Label) (bool, error) {
-	if err := g.AddVertex(u, lu); err != nil {
+	ui, err := g.ensureVertex(u, lu)
+	if err != nil {
 		return false, err
 	}
-	if err := g.AddVertex(v, lv); err != nil {
+	vi, err := g.ensureVertex(v, lv)
+	if err != nil {
 		return false, err
 	}
 	if u == v {
 		return false, nil
 	}
-	ui, _ := g.verts.Lookup(int64(u))
-	vi, _ := g.verts.Lookup(int64(v))
-	if _, dup := g.eset[g.packIdx(ui, vi)]; dup {
-		return false, nil
-	}
-	return true, g.AddEdge(u, v)
+	return g.addEdgeIdx(ui, vi), nil
 }
 
 // HasEdge reports whether the edge (u,v) exists. For undirected graphs the
@@ -225,8 +352,7 @@ func (g *Graph) HasEdge(u, v VertexID) bool {
 	if !ok {
 		return false
 	}
-	_, ok = g.eset[g.packIdx(ui, vi)]
-	return ok
+	return g.eset.Contains(g.packIdx(ui, vi), g)
 }
 
 // Degree returns the number of edges incident to v (out-degree for directed
@@ -236,31 +362,70 @@ func (g *Graph) Degree(v VertexID) int {
 	if !ok {
 		return 0
 	}
-	return len(g.adj[i])
+	return int(g.adj[i].deg)
 }
 
-// Neighbors returns the adjacency list of v. The returned slice is owned by
-// the graph and must not be modified.
-func (g *Graph) Neighbors(v VertexID) []VertexID {
+// Neighbors appends the neighbours of v (out-neighbours for directed
+// graphs) to buf in insertion order and returns the extended slice. Pass
+// a reused scratch as buf[:0] to amortise the decode allocation; pass nil
+// for a fresh slice. A vertex not in the graph appends nothing.
+func (g *Graph) Neighbors(v VertexID, buf []VertexID) []VertexID {
 	i, ok := g.verts.Lookup(int64(v))
 	if !ok {
-		return nil
+		return buf
 	}
-	return g.adj[i]
+	return g.appendNeighbors(i, buf)
+}
+
+// appendNeighbors is Neighbors for a dense index the caller already holds.
+func (g *Graph) appendNeighbors(i uint32, buf []VertexID) []VertexID {
+	a := &g.adj[i]
+	if need := len(buf) + int(a.deg); cap(buf) < need {
+		nb := make([]VertexID, len(buf), need)
+		copy(nb, buf)
+		buf = nb
+	}
+	ids := g.verts.IDs()
+	a.each(func(n uint32) bool {
+		buf = append(buf, VertexID(ids[n]))
+		return true
+	})
+	return buf
+}
+
+// EachNeighbor invokes fn for each neighbour of v in insertion order until
+// fn returns false, without materialising the list.
+func (g *Graph) EachNeighbor(v VertexID, fn func(VertexID) bool) {
+	i, ok := g.verts.Lookup(int64(v))
+	if !ok {
+		return
+	}
+	ids := g.verts.IDs()
+	g.adj[i].each(func(n uint32) bool { return fn(VertexID(ids[n])) })
 }
 
 // InNeighbors returns, for a directed graph, the vertices with an edge into
-// v. It is computed on demand and is O(|E|); directed support exists for the
-// paper's "extends to directed graphs" remark, not for hot paths.
+// v. It is computed on demand by a log replay and is O(|E|); directed
+// support exists for the paper's "extends to directed graphs" remark, not
+// for hot paths.
 func (g *Graph) InNeighbors(v VertexID) []VertexID {
 	if !g.directed {
-		return g.Neighbors(v)
+		return g.Neighbors(v, nil)
 	}
+	ti, ok := g.verts.Lookup(int64(v))
+	if !ok {
+		return nil
+	}
+	ids := g.verts.IDs()
 	var in []VertexID
-	for _, e := range g.eorder {
-		if e.V == v {
-			in = append(in, e.U)
+	err := g.log.view().each(func(ui, vi uint32) error {
+		if vi == ti {
+			in = append(in, VertexID(ids[ui]))
 		}
+		return nil
+	})
+	if err != nil {
+		panic(fmt.Sprintf("graph: edge log replay: %v", err))
 	}
 	return in
 }
@@ -269,7 +434,7 @@ func (g *Graph) InNeighbors(v VertexID) []VertexID {
 func (g *Graph) NumVertices() int { return g.verts.Len() }
 
 // NumEdges returns |E|.
-func (g *Graph) NumEdges() int { return len(g.eorder) }
+func (g *Graph) NumEdges() int { return g.log.n }
 
 // Vertices returns all vertex IDs in insertion order. The returned slice is
 // a copy and may be modified by the caller.
@@ -282,10 +447,35 @@ func (g *Graph) Vertices() []VertexID {
 	return out
 }
 
-// Edges returns all edges in insertion order. The returned slice is a copy.
+// EachEdge invokes fn for every edge in insertion order (normalised for
+// undirected graphs, stream orientation for directed ones), replaying the
+// edge log one chunk at a time — including chunks spilled to disk. fn
+// returning an error stops the replay; a read error on a spilled chunk is
+// returned as-is.
+func (g *Graph) EachEdge(fn func(Edge) error) error {
+	ids := g.verts.IDs()
+	directed := g.directed
+	return g.log.view().each(func(ui, vi uint32) error {
+		e := Edge{VertexID(ids[ui]), VertexID(ids[vi])}
+		if !directed {
+			e = e.Norm()
+		}
+		return fn(e)
+	})
+}
+
+// Edges returns all edges in insertion order. The returned slice is a
+// copy. It panics if a spilled log chunk cannot be read back (use
+// EachEdge for error-aware iteration); in-memory graphs cannot fail.
 func (g *Graph) Edges() []Edge {
-	out := make([]Edge, len(g.eorder))
-	copy(out, g.eorder)
+	out := make([]Edge, 0, g.log.n)
+	err := g.EachEdge(func(e Edge) error {
+		out = append(out, e)
+		return nil
+	})
+	if err != nil {
+		panic(fmt.Sprintf("graph: edge log replay: %v", err))
+	}
 	return out
 }
 
@@ -309,22 +499,24 @@ func (g *Graph) LabelHistogram() map[Label]int {
 	return h
 }
 
-// Clone returns a deep copy of g.
+// Clone returns a deep copy of g. The clone shares the original's
+// immutable frozen log chunks (and reads already-spilled ones from the
+// same directory) but never spills new chunks itself.
 func (g *Graph) Clone() *Graph {
 	c := &Graph{
 		directed: g.directed,
 		verts:    g.verts.Clone(),
 		ltab:     g.ltab.Clone(),
 		vlabel:   append([]uint16(nil), g.vlabel...),
-		adj:      make([][]VertexID, len(g.adj)),
-		eorder:   append([]Edge(nil), g.eorder...),
-		eset:     make(map[uint64]struct{}, len(g.eset)),
+		adj:      make([]vertexAdj, len(g.adj)),
+		eset:     g.eset.Clone(),
+		log:      g.log.clone(),
 	}
-	for i, ns := range g.adj {
-		c.adj[i] = append([]VertexID(nil), ns...)
+	for i := range g.adj {
+		c.adj[i] = g.adj[i].clone()
 	}
-	for e := range g.eset {
-		c.eset[e] = struct{}{}
+	if g.dupCache != nil {
+		c.dupCache = append([]uint64(nil), g.dupCache...)
 	}
 	return c
 }
@@ -334,6 +526,85 @@ func (g *Graph) EdgeLabels(e Edge) (Label, Label) {
 	lu, _ := g.Label(e.U)
 	lv, _ := g.Label(e.V)
 	return lu, lv
+}
+
+// Replay is an immutable point-in-time capture of the recorded stream:
+// the accepted edges in arrival order and orientation, with their labels.
+// Capture is O(1) — it pins append-only slice headers and the log's
+// chunk list — and Each is safe without any lock while the graph keeps
+// ingesting, so the partitioner's Evaluate/Simulate replay edges without
+// stalling the stream. A Replay holds no materialised edge slice: memory
+// during Each is one log chunk.
+type Replay struct {
+	directed bool
+	ids      []int64
+	vlabel   []uint16
+	names    []string
+	lv       logView
+}
+
+// CaptureReplay captures the recorded stream. Call with the graph's
+// writer quiescent (the partitioner captures under its ingest lock).
+func (g *Graph) CaptureReplay() Replay {
+	return Replay{
+		directed: g.directed,
+		ids:      g.verts.IDs(),
+		vlabel:   g.vlabel,
+		names:    g.ltab.Names(),
+		lv:       g.log.view(),
+	}
+}
+
+// NumEdges returns the number of captured edges.
+func (r Replay) NumEdges() int { return r.lv.len() }
+
+// Each invokes fn for every captured edge in arrival order, with the
+// original stream orientation and the endpoint labels. fn returning an
+// error stops the replay.
+func (r Replay) Each(fn func(StreamEdge) error) error {
+	return r.lv.each(func(ui, vi uint32) error {
+		return fn(StreamEdge{
+			U: VertexID(r.ids[ui]), LU: Label(r.names[r.vlabel[ui]]),
+			V: VertexID(r.ids[vi]), LV: Label(r.names[r.vlabel[vi]]),
+		})
+	})
+}
+
+// MemStats breaks down the recorded graph's memory footprint.
+type MemStats struct {
+	VertexBytes  int   // intern table: slot array + reverse ID mapping
+	LabelBytes   int   // per-vertex label codes
+	AdjBytes     int   // compressed adjacency: buffers + fixed per-vertex state
+	EdgeSetBytes int   // duplicate-edge fingerprint slots
+	LogBytes     int   // resident edge-log chunks + active tail
+	SpilledBytes int64 // edge-log bytes resident on disk instead of memory
+	Total        int   // sum of the in-memory fields
+}
+
+// BytesPerEdge returns resident in-memory bytes per recorded edge.
+func (m MemStats) BytesPerEdge(edges int) float64 {
+	if edges == 0 {
+		return 0
+	}
+	return float64(m.Total) / float64(edges)
+}
+
+// Mem returns the graph's memory breakdown. O(|V|) — it walks the
+// per-vertex adjacency headers — so callers sample it, not per-edge.
+func (g *Graph) Mem() MemStats {
+	m := MemStats{
+		VertexBytes:  g.verts.MemBytes(),
+		LabelBytes:   cap(g.vlabel) * 2,
+		AdjBytes:     len(g.adj) * int(unsafe.Sizeof(vertexAdj{})),
+		EdgeSetBytes: g.eset.Bytes() + cap(g.dupCache)*8,
+		LogBytes:     g.log.bytes(),
+		SpilledBytes: g.log.spillB,
+	}
+	for i := range g.adj {
+		m.AdjBytes += g.adj[i].bytes()
+	}
+	m.Total = m.VertexBytes + m.LabelBytes + m.AdjBytes + m.EdgeSetBytes + m.LogBytes
+	return m
 }
 
 // String summarises the graph.

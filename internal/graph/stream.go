@@ -94,10 +94,12 @@ func bfsEdges(g *Graph) []Edge {
 		}
 		visited[root] = struct{}{}
 		queue := []VertexID{root}
+		var ns []VertexID
 		for len(queue) > 0 {
 			u := queue[0]
 			queue = queue[1:]
-			for _, v := range g.Neighbors(u) {
+			ns = g.Neighbors(u, ns[:0])
+			for _, v := range ns {
 				k := g.key(u, v)
 				if _, dup := seen[k]; !dup {
 					seen[k] = struct{}{}
@@ -125,13 +127,15 @@ func dfsEdges(g *Graph) []Edge {
 			continue
 		}
 		stack := []VertexID{root}
+		var ns []VertexID
 		for len(stack) > 0 {
 			u := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
 			if _, ok := visited[u]; ok {
 				// Still emit any unseen edges from u so every edge
 				// appears exactly once even when u was reached twice.
-				for _, v := range g.Neighbors(u) {
+				ns = g.Neighbors(u, ns[:0])
+				for _, v := range ns {
 					k := g.key(u, v)
 					if _, dup := seen[k]; !dup {
 						seen[k] = struct{}{}
@@ -143,7 +147,7 @@ func dfsEdges(g *Graph) []Edge {
 			visited[u] = struct{}{}
 			// Push neighbours in reverse so traversal follows
 			// adjacency insertion order.
-			ns := g.Neighbors(u)
+			ns = g.Neighbors(u, ns[:0])
 			for i := len(ns) - 1; i >= 0; i-- {
 				v := ns[i]
 				k := g.key(u, v)

@@ -226,6 +226,13 @@ func (t *VertexTable) Len() int { return len(t.ids) }
 // by the table and must not be modified.
 func (t *VertexTable) IDs() []int64 { return t.ids }
 
+// MemBytes returns the table's memory footprint — the slot array plus the
+// reverse mapping — for the recorded graph's memory accounting.
+func (t *VertexTable) MemBytes() int {
+	const slotBytes = 16 // vtSlot: int64 + uint32, padded
+	return len(*t.slots.Load())*slotBytes + cap(t.ids)*8
+}
+
 // Clone returns a deep copy of the table. Like Intern, Clone runs on the
 // writer side: it must not race a concurrent Intern.
 func (t *VertexTable) Clone() *VertexTable {

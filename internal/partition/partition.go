@@ -328,6 +328,17 @@ type Tracker struct {
 	observed int   // edges observed
 	counts   []int // scratch for NeighborCountsIdx (len k)
 
+	// cnt holds N(Si, v) for every vertex as a flat K-stride table:
+	// cnt[v·k+p] is the number of observed occurrences u ∈ nbrs[v] with
+	// parts[u] == p. It is maintained incrementally — an observation whose
+	// far endpoint is already assigned credits the near row immediately,
+	// and AssignIdx credits all of a vertex's pending occurrences once —
+	// so neighbourhood scores are O(K) reads instead of O(deg) walks.
+	// Total maintenance cost is one increment per (occurrence, assigned
+	// endpoint) pair, i.e. O(observations), where the walks it replaces
+	// were O(deg) per eviction and quadratic on hub-heavy streams.
+	cnt []int32
+
 	// Copy-on-write publish state: pages mirrors parts page-by-page as of
 	// the last Publish; pageDirty marks pages whose flat contents have
 	// changed since. Published epochs hold references into former pages
@@ -400,6 +411,11 @@ func (t *Tracker) Reserve(n int) {
 	nbrs := make([][]uint32, len(t.nbrs), n)
 	copy(nbrs, t.nbrs)
 	t.nbrs = nbrs
+	if n*t.k > cap(t.cnt) {
+		cnt := make([]int32, len(t.cnt), n*t.k)
+		copy(cnt, t.cnt)
+		t.cnt = cnt
+	}
 }
 
 // ensure grows the per-vertex slices to cover dense index i (the shared
@@ -408,6 +424,9 @@ func (t *Tracker) ensure(i uint32) {
 	for len(t.parts) <= int(i) {
 		t.parts = append(t.parts, Unassigned)
 		t.nbrs = append(t.nbrs, nil)
+	}
+	for want := len(t.parts) * t.k; len(t.cnt) < want; {
+		t.cnt = append(t.cnt, 0)
 	}
 }
 
@@ -421,12 +440,39 @@ func (t *Tracker) Intern(v graph.VertexID) uint32 {
 // ObserveIdx records the adjacency of an edge between dense indices ui and
 // vi without assigning anything. Callers observe every edge exactly once,
 // before placement.
+//
+// Occurrence lists are kept only while an endpoint is unassigned: they
+// exist to carry the pending neighbour-partition credits that AssignIdx
+// folds into the count table, and an assigned endpoint's credits flow
+// into cnt immediately instead. Tracker adjacency memory is therefore
+// proportional to the unassigned frontier (roughly the sliding window's
+// reach), not to the stream length.
 func (t *Tracker) ObserveIdx(ui, vi uint32) {
 	t.ensure(ui)
 	t.ensure(vi)
-	t.nbrs[ui] = addNbr(t.nbrs[ui], vi)
-	t.nbrs[vi] = addNbr(t.nbrs[vi], ui)
+	if t.parts[ui] == Unassigned {
+		t.nbrs[ui] = addNbr(t.nbrs[ui], vi)
+	}
+	if t.parts[vi] == Unassigned {
+		t.nbrs[vi] = addNbr(t.nbrs[vi], ui)
+	}
+	t.creditObserve(ui, vi)
 	t.observed++
+}
+
+// creditObserve folds one observed occurrence into the incremental
+// neighbour-partition counts: an endpoint that is already assigned
+// credits the far endpoint's row immediately; an unassigned endpoint's
+// credit is deferred to its AssignIdx, which walks the occurrences
+// observed up to that point. Each occurrence is credited exactly once
+// per endpoint either way.
+func (t *Tracker) creditObserve(ui, vi uint32) {
+	if p := t.parts[ui]; p != Unassigned {
+		t.cnt[int(vi)*t.k+int(p)]++
+	}
+	if p := t.parts[vi]; p != Unassigned {
+		t.cnt[int(ui)*t.k+int(p)]++
+	}
 }
 
 // addNbr appends one neighbour, seeding a fresh list with capacity for a
@@ -446,8 +492,13 @@ func addNbr(l []uint32, v uint32) []uint32 {
 func (t *Tracker) ObserveStream(e graph.StreamEdge) (ui, vi uint32) {
 	ui = t.Intern(e.U)
 	vi = t.Intern(e.V)
-	t.nbrs[ui] = addNbr(t.nbrs[ui], vi)
-	t.nbrs[vi] = addNbr(t.nbrs[vi], ui)
+	if t.parts[ui] == Unassigned {
+		t.nbrs[ui] = addNbr(t.nbrs[ui], vi)
+	}
+	if t.parts[vi] == Unassigned {
+		t.nbrs[vi] = addNbr(t.nbrs[vi], ui)
+	}
+	t.creditObserve(ui, vi)
 	t.observed++
 	return ui, vi
 }
@@ -459,7 +510,9 @@ func (t *Tracker) Observe(e graph.StreamEdge) { t.ObserveStream(e) }
 // ObservedEdges returns the number of edges observed so far.
 func (t *Tracker) ObservedEdges() int { return t.observed }
 
-// ObservedDegree returns the degree of v in the graph seen so far.
+// ObservedDegree returns the number of occurrences observed while v was
+// unassigned (an assigned vertex's occurrence list is folded into the
+// neighbour-partition counts and freed; see ObserveIdx).
 func (t *Tracker) ObservedDegree(v graph.VertexID) int {
 	i, ok := t.verts.Lookup(int64(v))
 	if !ok || int(i) >= len(t.nbrs) {
@@ -468,8 +521,9 @@ func (t *Tracker) ObservedDegree(v graph.VertexID) int {
 	return len(t.nbrs[i])
 }
 
-// NeighborsIdx returns the observed neighbours (dense indices) of dense
-// index i. The slice is owned by the tracker.
+// NeighborsIdx returns the occurrences observed while dense index i was
+// unassigned (nil once i is assigned; see ObserveIdx). The slice is owned
+// by the tracker.
 func (t *Tracker) NeighborsIdx(i uint32) []uint32 {
 	if int(i) >= len(t.nbrs) {
 		return nil
@@ -521,6 +575,15 @@ func (t *Tracker) AssignIdx(i uint32, p ID) {
 		panic(fmt.Sprintf("partition: vertex %d reassigned %d → %d", t.verts.ID(i), old, p))
 	}
 	t.parts[i] = p
+	// Credit every occurrence observed while i was unassigned: each
+	// neighbour's row gains one count for partition p per occurrence,
+	// completing the invariant creditObserve maintains going forward.
+	// The list is then dead — no path reads an assigned vertex's
+	// occurrences again — so free it.
+	for _, u := range t.nbrs[i] {
+		t.cnt[int(u)*t.k+int(p)]++
+	}
+	t.nbrs[i] = nil
 	t.sizes[p]++
 	t.assigned++
 	t.markDirty(i)
@@ -592,35 +655,47 @@ func (t *Tracker) Residual(p ID) float64 {
 // already assigned to partition p.
 func (t *Tracker) NeighborCount(v graph.VertexID, p ID) int {
 	i, ok := t.verts.Lookup(int64(v))
-	if !ok {
+	if !ok || p < 0 || int(p) >= t.k {
 		return 0
 	}
-	n := 0
-	for _, u := range t.NeighborsIdx(i) {
-		if t.parts[u] == p {
-			n++
-		}
+	if row := t.cntRow(i); row != nil {
+		return int(row[p])
 	}
-	return n
+	return 0
 }
 
-// NeighborCountsIdx returns N(Si, ·) for every partition in one pass over
-// the neighbours of dense index i. The returned slice is the tracker's
-// reusable scratch buffer: it is valid only until the next call that
-// computes neighbour counts on this tracker (NeighborCountsIdx,
-// NeighborCounts, countNeighbors, AssignLDGIdx, AssignLDG, or any placer
-// built on them).
+// cntRow returns dense index i's neighbour-partition count row, or nil
+// when i is beyond the tracked extent.
+func (t *Tracker) cntRow(i uint32) []int32 {
+	off := int(i) * t.k
+	if off >= len(t.cnt) {
+		return nil
+	}
+	return t.cnt[off : off+t.k]
+}
+
+// AddNeighborCountsIdx adds N(Si, i) for every partition Si into counts
+// (len K), reading the incrementally maintained row — O(K), independent
+// of i's observed degree.
+func (t *Tracker) AddNeighborCountsIdx(i uint32, counts []int32) {
+	for p, c := range t.cntRow(i) {
+		counts[p] += c
+	}
+}
+
+// NeighborCountsIdx returns N(Si, ·) for every partition of dense index
+// i, read from the incrementally maintained count table — O(K) regardless
+// of degree. The returned slice is the tracker's reusable scratch buffer:
+// it is valid only until the next call that computes neighbour counts on
+// this tracker (NeighborCountsIdx, NeighborCounts, countNeighbors,
+// AssignLDGIdx, AssignLDG, or any placer built on them).
 func (t *Tracker) NeighborCountsIdx(i uint32) []int {
 	counts := t.counts
 	for p := range counts {
 		counts[p] = 0
 	}
-	if int(i) < len(t.nbrs) {
-		for _, u := range t.nbrs[i] {
-			if p := t.parts[u]; p != Unassigned {
-				counts[p]++
-			}
-		}
+	for p, c := range t.cntRow(i) {
+		counts[p] = int(c)
 	}
 	return counts
 }
@@ -801,10 +876,12 @@ func ImbalanceOf(k int, sizes []int) float64 {
 // Sheep optimises (§1.2), reported for completeness.
 func CommunicationVolume(g *graph.Graph, a *Assignment) int {
 	vol := 0
+	var ns []graph.VertexID
 	for _, v := range g.Vertices() {
 		seen := make(map[ID]bool)
 		own := a.Of(v)
-		for _, u := range g.Neighbors(v) {
+		ns = g.Neighbors(v, ns[:0])
+		for _, u := range ns {
 			if p := a.Of(u); p != own && !seen[p] {
 				seen[p] = true
 				vol++

@@ -3,13 +3,20 @@ package partition
 import "fmt"
 
 // TrackerState is the checkpointable portion of a Tracker: the per-vertex
-// placements and observed adjacency, keyed by dense index. Sizes and the
-// assigned count are derived on restore; the copy-on-write publish state
-// is deliberately absent (a restored tracker's first Publish copies every
-// page, exactly like a fresh tracker's).
+// placements, the pending (unassigned-frontier) occurrence lists, and the
+// flat neighbour-partition count table. Sizes and the assigned count are
+// derived on restore; the copy-on-write publish state is deliberately
+// absent (a restored tracker's first Publish copies every page, exactly
+// like a fresh tracker's).
+//
+// Cnt must be carried explicitly: assigned vertices' occurrence lists are
+// freed once folded in (see ObserveIdx), so the counts are not derivable
+// from Nbrs. A nil Cnt (a state captured before the count table existed,
+// when Nbrs held every occurrence) is rebuilt from Nbrs on restore.
 type TrackerState struct {
 	Parts    []ID
 	Nbrs     [][]uint32
+	Cnt      []int32
 	Observed int
 }
 
@@ -18,7 +25,11 @@ func (t *Tracker) CaptureState() TrackerState {
 	s := TrackerState{
 		Parts:    append([]ID(nil), t.parts...),
 		Nbrs:     make([][]uint32, len(t.nbrs)),
+		Cnt:      append([]int32(nil), t.cnt...),
 		Observed: t.observed,
+	}
+	if s.Cnt == nil {
+		s.Cnt = []int32{}
 	}
 	for i, ns := range t.nbrs {
 		if len(ns) > 0 {
@@ -68,5 +79,25 @@ func (t *Tracker) RestoreState(s TrackerState) error {
 	t.parts = parts
 	t.nbrs = nbrs
 	t.observed = s.Observed
+	switch {
+	case s.Cnt != nil && len(s.Cnt) == len(parts)*t.k:
+		t.cnt = append([]int32(nil), s.Cnt...)
+	case s.Cnt != nil:
+		return fmt.Errorf("partition: state has %d neighbour counts for %d vertices × k=%d",
+			len(s.Cnt), len(parts), t.k)
+	default:
+		// Legacy state (captured when Nbrs held every occurrence): rebuild
+		// cnt[v·k+p] = occurrences u ∈ nbrs[v] with parts[u] == p, the
+		// exact invariant the streaming path maintains.
+		cnt := make([]int32, len(parts)*t.k)
+		for v, ns := range nbrs {
+			for _, u := range ns {
+				if p := parts[u]; p != Unassigned {
+					cnt[v*t.k+int(p)]++
+				}
+			}
+		}
+		t.cnt = cnt
+	}
 	return nil
 }

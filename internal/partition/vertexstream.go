@@ -61,7 +61,7 @@ func VertexStreamOf(g *graph.Graph, order graph.StreamOrder, rng *rand.Rand) []V
 		out = append(out, VertexElement{
 			V:         v,
 			L:         g.MustLabel(v),
-			Neighbors: append([]graph.VertexID(nil), g.Neighbors(v)...),
+			Neighbors: g.Neighbors(v, nil),
 		})
 	}
 	return out

@@ -56,6 +56,7 @@ func NewMatcher(q *graph.Graph) (*Matcher, error) {
 	}
 	ordered := map[graph.VertexID]bool{start: true}
 	order := []graph.VertexID{start}
+	var qns []graph.VertexID
 	for len(order) < len(vertices) {
 		var best graph.VertexID
 		bestScore := -1
@@ -64,7 +65,8 @@ func NewMatcher(q *graph.Graph) (*Matcher, error) {
 				continue
 			}
 			score := 0
-			for _, n := range q.Neighbors(v) {
+			qns = q.Neighbors(v, qns[:0])
+			for _, n := range qns {
 				if ordered[n] {
 					score++
 				}
@@ -84,7 +86,8 @@ func NewMatcher(q *graph.Graph) (*Matcher, error) {
 		pos[v] = i
 	}
 	for i, v := range order {
-		for _, n := range q.Neighbors(v) {
+		qns = q.Neighbors(v, qns[:0])
+		for _, n := range qns {
 			if pos[n] < i {
 				anchored[i] = append(anchored[i], n)
 			}
@@ -117,6 +120,9 @@ func (m *Matcher) Embeddings(g *graph.Graph, opt Options, yield func(Embedding) 
 	assign := make(Embedding, len(m.order))
 	used := make(map[graph.VertexID]bool, len(m.order))
 	count := 0
+	// One neighbour scratch per recursion depth: the loop at depth d keeps
+	// iterating its decoded list while deeper levels decode into their own.
+	scratch := make([][]graph.VertexID, len(m.order))
 
 	var rec func(depth int) bool // returns false to abort entirely
 	rec = func(depth int) bool {
@@ -154,7 +160,9 @@ func (m *Matcher) Embeddings(g *graph.Graph, opt Options, yield func(Embedding) 
 		// against all anchors.
 		anchors := m.anchored[depth]
 		base := assign[anchors[0]]
-		for _, dv := range g.Neighbors(base) {
+		ns := g.Neighbors(base, scratch[depth][:0])
+		scratch[depth] = ns
+		for _, dv := range ns {
 			if opt.OnTraverse != nil {
 				opt.OnTraverse(base, dv)
 			}

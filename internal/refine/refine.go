@@ -126,6 +126,7 @@ func Refine(g *graph.Graph, a *partition.Assignment, trie *tpstry.Trie, cfg Conf
 	order := g.Vertices()
 	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
 
+	var ns []graph.VertexID
 	for pass := 0; pass < cfg.MaxPasses; pass++ {
 		moves := 0
 		for _, v := range order {
@@ -139,7 +140,8 @@ func Refine(g *graph.Graph, a *partition.Assignment, trie *tpstry.Trie, cfg Conf
 			}
 			// Weighted adjacency per partition.
 			attract := make([]float64, a.K)
-			for _, u := range g.Neighbors(v) {
+			ns = g.Neighbors(v, ns[:0])
+			for _, u := range ns {
 				if p := lookup(u); p != partition.Unassigned {
 					attract[p] += weight(graph.Edge{U: v, V: u})
 				}

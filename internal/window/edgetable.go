@@ -1,129 +1,69 @@
 package window
 
-import "loom/internal/intern"
+import "loom/internal/container"
 
-// edgeTable is the window's edge index: an open-addressing hash table
-// keyed by the packed uint64 form of a normalised IEdge, holding the
-// matchList entry (the live matches containing the edge) inline in each
-// slot. It replaces the former pair of Go maps (inWindow set + byEdge
-// match index) with a single probe per lookup, no per-key hashing of
-// composite structs, and slot storage that is recycled in place — the
-// eviction hot path performs no steady-state allocation against it.
+// edgeTable is the window's edge index: a packed open-addressing table
+// (internal/container.U64Table — promoted from this package, which proved
+// the design in PR 2) keyed by the packed uint64 form of a normalised
+// IEdge, holding the insertion sequence and the matchList entry (the live
+// matches containing the edge) inline in each slot. One probe per lookup,
+// no per-key hashing of composite structs, and slot payload storage is
+// recycled in place — the eviction hot path performs no steady-state
+// allocation against it.
 //
 // Key encoding: a normalised edge (U <= V, U != V) packs to
 // uint64(U)<<32 | uint64(V). Self-loops are rejected upstream, so the
 // packed values 0 (U = V = 0) and ^uint64(0) (U = V = MaxUint32) can
-// never occur as keys; they serve as the empty and tombstone sentinels.
-const (
-	etEmpty = uint64(0)
-	etTomb  = ^uint64(0)
-)
+// never occur as keys; they serve as the table's empty and tombstone
+// sentinels.
 
 // packIEdge packs a normalised interned edge into its table key.
 func packIEdge(e IEdge) uint64 { return uint64(e.U)<<32 | uint64(e.V) }
 
-type edgeSlot struct {
-	key     uint64
-	seq     uint64 // insertion sequence; pairs FIFO entries with THIS residency
+// edgeVal is the per-edge payload: insertion sequence (pairs FIFO entries
+// with THIS residency of the edge) and the live matches containing it.
+type edgeVal struct {
+	seq     uint64
 	matches []*Match
 }
 
+type edgeSlot = container.Slot[edgeVal]
+
 type edgeTable struct {
-	slots []edgeSlot // len is a power of two
-	live  int        // keys present
-	used  int        // keys present + tombstones
+	container.U64Table[edgeVal]
 }
-
-// etHash finishes the packed key with intern.Mix64 (splitmix64's
-// avalanche): consecutive dense vertex indices otherwise collide in the
-// low bits that index the slot array.
-func etHash(pk uint64) uint64 { return intern.Mix64(pk) }
-
-// Len returns the number of edges in the table.
-func (t *edgeTable) Len() int { return t.live }
 
 // get returns the slot for pk, or nil. The pointer is valid until the
 // next insert (which may rehash).
-func (t *edgeTable) get(pk uint64) *edgeSlot {
-	if t.live == 0 {
-		return nil
-	}
-	mask := uint64(len(t.slots) - 1)
-	for i := etHash(pk) & mask; ; i = (i + 1) & mask {
-		s := &t.slots[i]
-		switch s.key {
-		case pk:
-			return s
-		case etEmpty:
-			return nil
-		}
-	}
-}
+func (t *edgeTable) get(pk uint64) *edgeSlot { return t.Get(pk) }
 
 // has reports whether pk is in the table.
-func (t *edgeTable) has(pk uint64) bool { return t.get(pk) != nil }
+func (t *edgeTable) has(pk uint64) bool { return t.Has(pk) }
 
 // ensure returns pk's slot, inserting it if absent; existed reports
-// whether pk was already present. One probe walk serves the insert path's
-// duplicate check AND the insertion (the separate has + insert pair it
-// replaces walked twice); an absent key lands on the first tombstone of
-// its probe path, exactly where insert would put it.
+// whether pk was already present. A fresh slot's match list starts empty
+// (capacity recycled from a prior occupant, if any).
 func (t *edgeTable) ensure(pk uint64) (s *edgeSlot, existed bool) {
-	if len(t.slots) == 0 || (t.used+1)*4 > len(t.slots)*3 {
-		t.rehash()
+	s, existed = t.Ensure(pk)
+	if !existed {
+		s.Val.matches = s.Val.matches[:0]
 	}
-	mask := uint64(len(t.slots) - 1)
-	firstTomb := -1
-	for i := etHash(pk) & mask; ; i = (i + 1) & mask {
-		s := &t.slots[i]
-		switch s.key {
-		case pk:
-			return s, true
-		case etTomb:
-			if firstTomb < 0 {
-				firstTomb = int(i)
-			}
-		case etEmpty:
-			if firstTomb >= 0 {
-				s = &t.slots[firstTomb]
-			} else {
-				t.used++
-			}
-			s.key = pk
-			s.matches = s.matches[:0]
-			t.live++
-			return s, false
-		}
-	}
+	return s, existed
 }
 
 // insert adds pk (which must not be present) and returns its slot, with
 // matches reset to length zero (capacity recycled from a prior occupant
 // of the slot, if any). The pointer is valid until the next insert.
 func (t *edgeTable) insert(pk uint64) *edgeSlot {
-	if len(t.slots) == 0 || (t.used+1)*4 > len(t.slots)*3 {
-		t.rehash()
-	}
-	mask := uint64(len(t.slots) - 1)
-	for i := etHash(pk) & mask; ; i = (i + 1) & mask {
-		s := &t.slots[i]
-		switch s.key {
-		case etEmpty:
-			t.used++
-			fallthrough
-		case etTomb:
-			s.key = pk
-			s.matches = s.matches[:0]
-			t.live++
-			return s
-		}
-	}
+	s := t.Insert(pk)
+	s.Val.matches = s.Val.matches[:0]
+	return s
 }
 
 // remove deletes pk if present, reporting whether it was. The slot's
 // match list capacity is retained for the next occupant.
 func (t *edgeTable) remove(pk uint64) bool {
-	s := t.get(pk)
+	s := t.Get(pk)
 	if s == nil {
 		return false
 	}
@@ -134,35 +74,6 @@ func (t *edgeTable) remove(pk uint64) bool {
 // removeSlot deletes a slot the caller already probed for, skipping the
 // second probe remove would pay.
 func (t *edgeTable) removeSlot(s *edgeSlot) {
-	s.key = etTomb
-	s.matches = s.matches[:0]
-	t.live--
-}
-
-// rehash rebuilds the slot array: doubled when genuinely full, same size
-// when tombstones account for the load (the steady state of a sliding
-// window, which inserts and removes at the same rate).
-func (t *edgeTable) rehash() {
-	n := len(t.slots)
-	switch {
-	case n == 0:
-		n = 64
-	case (t.live+1)*2 > n:
-		n *= 2
-	}
-	old := t.slots
-	t.slots = make([]edgeSlot, n)
-	t.used = t.live
-	mask := uint64(n - 1)
-	for _, s := range old {
-		if s.key == etEmpty || s.key == etTomb {
-			continue
-		}
-		for i := etHash(s.key) & mask; ; i = (i + 1) & mask {
-			if t.slots[i].key == etEmpty {
-				t.slots[i] = s
-				break
-			}
-		}
-	}
+	s.Val.matches = s.Val.matches[:0]
+	t.RemoveSlot(s)
 }

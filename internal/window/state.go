@@ -144,7 +144,7 @@ func (w *Matcher) RestoreState(s MatcherState, nodeByID map[int]*tpstry.Node) er
 		if existed {
 			return fmt.Errorf("window: state contains duplicate edge %v", e)
 		}
-		slot.seq = es.Seq
+		slot.Val.seq = es.Seq
 		w.fifo = append(w.fifo, winEdge{ie: e, seq: es.Seq})
 		w.vertexRC[e.U]++
 		w.vertexRC[e.V]++
@@ -198,7 +198,7 @@ func (w *Matcher) RestoreState(s MatcherState, nodeByID map[int]*tpstry.Node) er
 		}
 		for _, e := range m.iedges {
 			slot := w.edges.get(packIEdge(e))
-			slot.matches = addMatchRef(slot.matches, m)
+			slot.Val.matches = addMatchRef(slot.Val.matches, m)
 		}
 	}
 

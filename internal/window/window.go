@@ -322,8 +322,8 @@ func (w *Matcher) Reserve(n int) {
 	if edges > maxEagerEdges {
 		edges = maxEagerEdges
 	}
-	if len(w.edges.slots) == 0 && edges > 32 {
-		w.edges.slots = make([]edgeSlot, intern.SlotsFor(edges, 64))
+	if w.edges.Len() == 0 && edges > 32 {
+		w.edges.Reserve(edges)
 	}
 	if cap(w.fifo) < edges {
 		fifo := make([]winEdge, len(w.fifo), edges)
@@ -614,7 +614,7 @@ func (w *Matcher) InsertInterned(e graph.StreamEdge, ui, vi uint32, cu, cv uint1
 	}
 
 	w.seq++
-	slot.seq = w.seq
+	slot.Val.seq = w.seq
 	w.fifo = append(w.fifo, winEdge{ie: ie, seq: w.seq})
 	w.ensureVertex(ui, cu)
 	w.ensureVertex(vi, cv)
@@ -726,7 +726,7 @@ func (w *Matcher) addGrown(base *Match, ie IEdge, node *tpstry.Node) (*Match, bo
 	fp := base.fp ^ intern.Mix64(packIEdge(ie))
 	nm.fp = fp
 	if slot := w.edges.get(packIEdge(nm.iedges[0])); slot != nil {
-		for _, ex := range slot.matches {
+		for _, ex := range slot.Val.matches {
 			if !ex.dead && ex.fp == fp && ex.Node == node && sameIEdges(ex.iedges, nm.iedges) {
 				w.releaseMatch(nm)
 				return ex, false
@@ -895,7 +895,7 @@ func (w *Matcher) addMatch(m *Match, node *tpstry.Node) (*Match, bool) {
 	// Dedup: an identical match (same edge set, same motif node) already
 	// hangs off any of its edges' matchList entries.
 	if slot := w.edges.get(packIEdge(m.iedges[0])); slot != nil {
-		for _, ex := range slot.matches {
+		for _, ex := range slot.Val.matches {
 			if !ex.dead && ex.fp == fp && ex.Node == node && sameIEdges(ex.iedges, m.iedges) {
 				w.releaseMatch(m)
 				return ex, false
@@ -939,7 +939,7 @@ func (w *Matcher) record(m *Match) (*Match, bool) {
 	}
 	for _, e := range m.iedges {
 		slot := w.edges.get(packIEdge(e))
-		slot.matches = addMatchRef(slot.matches, m)
+		slot.Val.matches = addMatchRef(slot.Val.matches, m)
 	}
 	return m, true
 }
@@ -1129,7 +1129,7 @@ func (w *Matcher) maybeCompactFIFO() {
 // remains in the sliding window, the better the partitioning decision".
 func (w *Matcher) fifoLive(we winEdge) bool {
 	s := w.edges.get(packIEdge(we.ie))
-	return s != nil && s.seq == we.seq
+	return s != nil && s.Val.seq == we.seq
 }
 
 // MatchesContainingI appends to buf the live matches whose edge sets
@@ -1142,7 +1142,7 @@ func (w *Matcher) MatchesContainingI(ie IEdge, buf []*Match) []*Match {
 	if slot == nil {
 		return buf
 	}
-	for _, m := range slot.matches {
+	for _, m := range slot.Val.matches {
 		if !m.dead {
 			buf = append(buf, m)
 		}
@@ -1188,7 +1188,7 @@ func (w *Matcher) RemoveIEdges(iedges []IEdge) {
 		}
 		w.vertexRC[ie.U]--
 		w.vertexRC[ie.V]--
-		for _, m := range slot.matches {
+		for _, m := range slot.Val.matches {
 			if !m.dead {
 				m.dead = true
 				w.live--
@@ -1208,7 +1208,7 @@ func (w *Matcher) RemoveIEdges(iedges []IEdge) {
 		}
 		for _, e := range m.iedges {
 			if slot := w.edges.get(packIEdge(e)); slot != nil {
-				slot.matches = dropDead(slot.matches)
+				slot.Val.matches = dropDead(slot.Val.matches)
 			}
 		}
 	}

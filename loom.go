@@ -120,6 +120,14 @@ type Options struct {
 	// workload over the final partitioning (default true; disable for
 	// large streams where only the assignment matters).
 	DisableGraphRecording bool
+	// SpillDir, when non-empty, bounds the recorded graph's memory at
+	// very large scale by spilling frozen chunks of its compressed edge
+	// log to files in this directory (written durably: temp file, fsync,
+	// rename, directory fsync). Evaluate/Simulate read spilled chunks
+	// back sequentially, one at a time. A failed spill degrades
+	// gracefully — the chunk stays resident and is retried at the next
+	// Checkpoint (or GraphCompact). Ignored when recording is disabled.
+	SpillDir string
 
 	// WALDir enables durability: every ingest call is appended to a
 	// write-ahead segment log in this directory before it is applied, and
@@ -273,6 +281,7 @@ func patternDiameter(g *graph.Graph) int {
 	diam := 0
 	dist := make(map[graph.VertexID]int, len(verts))
 	queue := make([]graph.VertexID, 0, len(verts))
+	var ns []graph.VertexID
 	for _, s := range verts {
 		clear(dist)
 		dist[s] = 0
@@ -280,7 +289,8 @@ func patternDiameter(g *graph.Graph) int {
 		for len(queue) > 0 {
 			v := queue[0]
 			queue = queue[1:]
-			for _, n := range g.Neighbors(v) {
+			ns = g.Neighbors(v, ns[:0])
+			for _, n := range ns {
 				if _, seen := dist[n]; !seen {
 					dist[n] = dist[v] + 1
 					if dist[n] > diam {
@@ -342,13 +352,12 @@ type Partitioner struct {
 	loom     *core.Loom         // non-nil only for algo == loom
 	trie     *tpstry.Trie
 	wl       *Workload
-	g        *graph.Graph // recorded graph (nil when disabled)
-	// rec is the append-only log of edges the recorded graph accepted (nil
-	// when recording is disabled). Evaluate/Simulate capture the slice
-	// header under the read lock — O(1) — and replay it into a private
-	// graph with no lock held, so evaluations no longer stall ingest for
-	// an O(V+E) clone.
-	rec []graph.StreamEdge
+	// g is the recorded graph (nil when disabled). Its compressed edge log
+	// doubles as the accepted-edge log: Evaluate/Simulate capture a
+	// graph.Replay under the read lock — O(1), pinned slice headers plus
+	// the log's chunk list — and replay it into a private graph with no
+	// lock held, so evaluations never stall ingest.
+	g *graph.Graph
 	// refined, when non-nil, supersedes the streamer's assignment (set by
 	// Refine).
 	refined *partition.Assignment
@@ -546,11 +555,28 @@ func newLoom(opt Options, wl *Workload) (*Partitioner, error) {
 		name: "loom", streamer: lm, tr: lm.Tracker(), loom: lm,
 		trie: trie, wl: wl, opt: opt, baseQueries: wl.Len(),
 	}
-	if !opt.DisableGraphRecording {
-		p.g = graph.New()
+	if p.g, err = newRecordedGraph(opt); err != nil {
+		return nil, err
 	}
 	p.publishLocked() // seed the lock-free read surface (no sharing yet)
 	return p, nil
+}
+
+// newRecordedGraph builds the recorded graph per opt — nil when recording
+// is disabled — pre-sizing the duplicate-edge set from ExpectedEdges and
+// configuring edge-log spilling when SpillDir is set.
+func newRecordedGraph(opt Options) (*graph.Graph, error) {
+	if opt.DisableGraphRecording {
+		return nil, nil
+	}
+	g := graph.New()
+	g.Reserve(opt.ExpectedEdges)
+	if opt.SpillDir != "" {
+		if err := g.SpillTo(wal.OS(), opt.SpillDir); err != nil {
+			return nil, fmt.Errorf("loom: %w", err)
+		}
+	}
+	return g, nil
 }
 
 // NewBaseline builds one of the paper's baseline partitioners — "hash",
@@ -584,8 +610,8 @@ func NewBaseline(algo string, opt Options, wl *Workload) (*Partitioner, error) {
 	if tk, ok := s.(tracked); ok {
 		p.tr = tk.Tracker()
 	}
-	if !opt.DisableGraphRecording {
-		p.g = graph.New()
+	if p.g, err = newRecordedGraph(opt); err != nil {
+		return nil, err
 	}
 	p.publishLocked() // seed the lock-free read surface (no sharing yet)
 	return p, nil
@@ -645,8 +671,7 @@ func (p *Partitioner) applyBatchLocked(batch []StreamEdge) error {
 			V: graph.VertexID(e.V), LV: graph.Label(e.LV),
 		}
 		if p.g != nil {
-			added, err := p.g.EnsureEdge(se.U, se.LU, se.V, se.LV)
-			if err != nil {
+			if _, err := p.g.EnsureEdge(se.U, se.LU, se.V, se.LV); err != nil {
 				err = fmt.Errorf("loom: %w", err)
 				if firstErr == nil {
 					firstErr = err
@@ -655,9 +680,6 @@ func (p *Partitioner) applyBatchLocked(batch []StreamEdge) error {
 					p.err = err
 				}
 				continue
-			}
-			if added {
-				p.rec = append(p.rec, se)
 			}
 		}
 		p.streamer.ProcessEdge(se)
@@ -690,8 +712,7 @@ func (p *Partitioner) addBatchParallel(batch []StreamEdge) error {
 					U: graph.VertexID(e.U), LU: graph.Label(e.LU),
 					V: graph.VertexID(e.V), LV: graph.Label(e.LV),
 				}
-				added, err := p.g.EnsureEdge(se.U, se.LU, se.V, se.LV)
-				if err != nil {
+				if _, err := p.g.EnsureEdge(se.U, se.LU, se.V, se.LV); err != nil {
 					err = fmt.Errorf("loom: %w", err)
 					if firstErr == nil {
 						firstErr = err
@@ -701,9 +722,6 @@ func (p *Partitioner) addBatchParallel(batch []StreamEdge) error {
 					}
 					reject(i)
 					continue
-				}
-				if added {
-					p.rec = append(p.rec, se)
 				}
 			}
 		}
@@ -733,16 +751,12 @@ func (p *Partitioner) AddEdgeE(u int64, lu string, v int64, lv string) error {
 		V: graph.VertexID(v), LV: graph.Label(lv),
 	}
 	if p.g != nil {
-		added, err := p.g.EnsureEdge(se.U, se.LU, se.V, se.LV)
-		if err != nil {
+		if _, err := p.g.EnsureEdge(se.U, se.LU, se.V, se.LV); err != nil {
 			err = fmt.Errorf("loom: %w", err)
 			if p.err == nil {
 				p.err = err
 			}
 			return err
-		}
-		if added {
-			p.rec = append(p.rec, se)
 		}
 	}
 	p.streamer.ProcessEdge(se)
@@ -775,6 +789,44 @@ func (p *Partitioner) Err() error {
 	p.mu.RLock()
 	defer p.mu.RUnlock()
 	return p.err
+}
+
+// GraphMemory reports the recorded graph's memory breakdown (adjacency,
+// duplicate-edge set, edge log, intern tables) and how much of the edge
+// log is resident on disk rather than in memory. ok is false when graph
+// recording is disabled. O(|V|); sample it, don't call per edge.
+func (p *Partitioner) GraphMemory() (m graph.MemStats, ok bool) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.g == nil {
+		return graph.MemStats{}, false
+	}
+	return p.g.Mem(), true
+}
+
+// GraphSize reports the recorded graph's vertex and edge counts (the
+// denominator of any bytes-per-edge figure over GraphMemory). ok is false
+// when graph recording is disabled.
+func (p *Partitioner) GraphSize() (vertices, edges int, ok bool) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.g == nil {
+		return 0, 0, false
+	}
+	return p.g.NumVertices(), p.g.NumEdges(), true
+}
+
+// GraphCompact retries any recorded-graph edge-log spills that previously
+// failed (see Options.SpillDir). It is a no-op — and returns nil — when
+// recording is disabled or spilling is not configured. Checkpoint calls
+// this automatically.
+func (p *Partitioner) GraphCompact() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.g == nil {
+		return nil
+	}
+	return p.g.Compact()
 }
 
 // Flush drains the sliding window, assigning all buffered edges. Call at
@@ -1197,6 +1249,14 @@ type Evaluation struct {
 // after which the graph replay and the workload execution (typically far
 // more expensive) run with no lock held, so concurrent AddBatch never
 // stalls behind an in-flight evaluation.
+//
+// Replay window: the replayed graph is every accepted edge since the
+// partitioner started (or was recovered) — checkpoints bound the log's
+// resident memory, not its extent. With Options.SpillDir set, frozen log
+// chunks live on disk and are streamed back one at a time here, so a
+// long-lived durable partitioner's evaluation memory stays bounded while
+// its replay window stays complete. Without a spill directory the log is
+// fully resident at ~2–4 bytes per accepted edge.
 func (p *Partitioner) Evaluate() (Evaluation, error) {
 	rec, e, a, iwl, err := p.captureEval("Evaluate")
 	if err != nil {
@@ -1219,25 +1279,26 @@ func (p *Partitioner) Evaluate() (Evaluation, error) {
 	}, nil
 }
 
-// captureEval captures a consistent (accepted-edge log, assignment) pair
-// for Evaluate/Simulate under the read lock, in O(1) on the common path:
-// the log is append-only (the captured header never mutates) and the
-// epoch/refined view is immutable. Exactly one of the returned epoch and
-// assignment is non-nil; after per-edge ingest, whose tail is unpublished,
-// it degrades to the isolated O(V) assignment capture.
-func (p *Partitioner) captureEval(op string) ([]graph.StreamEdge, *partition.Epoch, *partition.Assignment, workload.Workload, error) {
+// captureEval captures a consistent (accepted-edge replay, assignment)
+// pair for Evaluate/Simulate under the read lock, in O(1) on the common
+// path: the replay pins append-only headers and the edge log's immutable
+// chunk list, and the epoch/refined view is immutable. Exactly one of the
+// returned epoch and assignment is non-nil; after per-edge ingest, whose
+// tail is unpublished, it degrades to the isolated O(V) assignment
+// capture.
+func (p *Partitioner) captureEval(op string) (graph.Replay, *partition.Epoch, *partition.Assignment, workload.Workload, error) {
 	p.mu.RLock()
 	defer p.mu.RUnlock()
 	if p.g == nil {
-		return nil, nil, nil, workload.Workload{}, fmt.Errorf("loom: graph recording disabled; %s unavailable", op)
+		return graph.Replay{}, nil, nil, workload.Workload{}, fmt.Errorf("loom: graph recording disabled; %s unavailable", op)
 	}
 	if p.wl == nil || p.wl.Len() == 0 {
-		return nil, nil, nil, workload.Workload{}, fmt.Errorf("loom: no workload to %s against", op)
+		return graph.Replay{}, nil, nil, workload.Workload{}, fmt.Errorf("loom: no workload to %s against", op)
 	}
-	rec := p.rec
+	rec := p.g.CaptureReplay()
 	var e *partition.Epoch
 	var a *partition.Assignment
-	if rv := p.loadView(); rv != nil { // under RLock: rec and view are mutually consistent
+	if rv := p.loadView(); rv != nil { // under RLock: replay and view are mutually consistent
 		e, a = rv.epoch, rv.refined
 	}
 	if e == nil && a == nil {
@@ -1246,21 +1307,25 @@ func (p *Partitioner) captureEval(op string) ([]graph.StreamEdge, *partition.Epo
 	return rec, e, a, p.wl.internal(), nil
 }
 
-// replayRecorded rebuilds the recorded graph from the accepted-edge log,
-// with no lock held. The replay reproduces every edge and every connected
-// vertex; degenerate inputs (self-loops, corrupt edges) may have interned
-// isolated vertices in the live graph that the replay omits — they have no
-// edges, so no workload pattern reaches them and every evaluation metric
-// is unchanged.
-func replayRecorded(rec []graph.StreamEdge) *graph.Graph {
+// replayRecorded rebuilds the recorded graph from the accepted-edge
+// replay, with no lock held (spilled log chunks are read back one at a
+// time). The replay reproduces every edge and every connected vertex;
+// degenerate inputs (self-loops, corrupt edges) may have interned
+// isolated vertices in the live graph that the replay omits — they have
+// no edges, so no workload pattern reaches them and every evaluation
+// metric is unchanged.
+func replayRecorded(rec graph.Replay) *graph.Graph {
 	g := graph.New()
-	for i := range rec {
-		e := &rec[i]
+	err := rec.Each(func(e graph.StreamEdge) error {
 		if _, err := g.EnsureEdge(e.U, e.LU, e.V, e.LV); err != nil {
 			// The log holds only edges the recorded graph accepted;
 			// replaying them cannot conflict.
-			panic(fmt.Sprintf("loom: corrupt accepted-edge log: %v", err))
+			return fmt.Errorf("loom: corrupt accepted-edge log: %w", err)
 		}
+		return nil
+	})
+	if err != nil {
+		panic(err.Error())
 	}
 	return g
 }
@@ -1387,8 +1452,13 @@ func (p *Partitioner) Restream() (*Partitioner, error) {
 		name: "loom", streamer: lm, tr: lm.Tracker(), loom: lm,
 		trie: trie, wl: wl, opt: opt, baseQueries: wl.Len(),
 	}
-	if !opt.DisableGraphRecording {
-		np.g = graph.New()
+	// The restream partitioner must not share the original's spill
+	// directory — its fresh edge log would overwrite the original's chunk
+	// files — so its recorded graph stays in memory.
+	memOpt := opt
+	memOpt.SpillDir = ""
+	if np.g, err = newRecordedGraph(memOpt); err != nil {
+		return nil, err
 	}
 	return np, nil
 }
@@ -1410,7 +1480,9 @@ type Simulation struct {
 // distributed cost model: every adjacency step costs localCost on one
 // machine and remoteCost across machines (0 values take the defaults
 // 1 and 1000). This turns the paper's ipt proxy into a latency-flavoured
-// estimate; see internal/simulate.
+// estimate; see internal/simulate. The replay window is the same as
+// Evaluate's: the full accepted-edge log, streamed chunk-at-a-time from
+// disk when Options.SpillDir is set.
 func (p *Partitioner) Simulate(localCost, remoteCost float64) (Simulation, error) {
 	// Like Evaluate: O(1) capture under the read lock, replay and simulate
 	// with no lock held.
